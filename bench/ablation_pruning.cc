@@ -1,0 +1,156 @@
+// Ablation of REMI's design choices (§3.3 prunings, §3.5.2 heuristics).
+//
+// For a sampled workload on the DBpedia-like KB this harness toggles:
+//   * depth pruning, side pruning, best-bound pruning (Alg. 2/3),
+//   * the LRU query cache (§3.5.2),
+//   * the top-5% prominent-object expansion rule (§3.5.2),
+//   * join-conditioned vs global predicate ranks (§3.1 vs §3.5.3),
+// and reports visited nodes, wall time, and whether the optimum changed.
+// The prunings must never change the optimum; the heuristics may (they
+// trade completeness of the candidate space for speed).
+//
+//   ./ablation_pruning [--scale 0.05] [--sets 15]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "kbgen/workload.h"
+#include "remi/remi.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+struct AblationRow {
+  const char* name;
+  double seconds = 0.0;
+  uint64_t nodes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  int solutions = 0;
+  int optimum_changes = 0;  // vs the full configuration
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineDouble("scale", remi::bench::kDefaultScale, "KB scale");
+  flags.DefineInt("sets", 8, "entity sets");
+  flags.DefineDouble("timeout", 1.5, "per-set timeout (unpruned configs)");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+  setvbuf(stdout, nullptr, _IOLBF, 0);  // survive SIGTERM with output intact
+
+  remi::KnowledgeBase kb =
+      remi::bench::BuildDbpediaLike(flags.GetDouble("scale"));
+  const auto classes = remi::LargestClasses(kb, 4);
+  remi::Rng rng(424242);
+  remi::WorkloadConfig wconfig;
+  wconfig.num_sets = static_cast<size_t>(flags.GetInt("sets"));
+  const auto sets = remi::SampleEntitySets(kb, classes, wconfig, &rng);
+
+  struct Config {
+    const char* name;
+    remi::RemiOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    Config full{"full (paper)", remi::RemiOptions{}};
+    full.options.timeout_seconds = flags.GetDouble("timeout");
+    configs.push_back(full);
+
+    Config no_depth = full;
+    no_depth.name = "no depth pruning";
+    no_depth.options.depth_pruning = false;
+    configs.push_back(no_depth);
+
+    Config no_side = full;
+    no_side.name = "no side pruning";
+    no_side.options.side_pruning = false;
+    configs.push_back(no_side);
+
+    Config no_bound = full;
+    no_bound.name = "no best-bound";
+    no_bound.options.best_bound_pruning = false;
+    configs.push_back(no_bound);
+
+    Config no_prune = full;
+    no_prune.name = "no pruning at all";
+    no_prune.options.depth_pruning = false;
+    no_prune.options.side_pruning = false;
+    no_prune.options.best_bound_pruning = false;
+    configs.push_back(no_prune);
+
+    Config no_cache = full;
+    no_cache.name = "no query cache";
+    no_cache.options.eval_cache_capacity = 0;
+    configs.push_back(no_cache);
+
+    Config no_prominent = full;
+    no_prominent.name = "no 5% object rule";
+    no_prominent.options.enumerator.prune_prominent_expansion = false;
+    configs.push_back(no_prominent);
+
+    Config global_ranks = full;
+    global_ranks.name = "global pred ranks";
+    global_ranks.options.cost.use_join_predicate_ranks = false;
+    configs.push_back(global_ranks);
+
+    Config fitted = full;
+    fitted.name = "fitted ranks (Eq.1)";
+    fitted.options.cost.use_fitted_entity_ranks = true;
+    configs.push_back(fitted);
+  }
+
+  remi::bench::Banner("Ablation: REMI design choices");
+  std::printf("  %-20s %10s %10s %8s %9s %8s\n", "configuration", "time",
+              "nodes", "#sol", "hit-rate", "Δopt");
+  remi::bench::CsvWriter csv("ablation_pruning");
+  csv.Header({"configuration", "seconds", "nodes", "solutions",
+              "cache_hit_rate", "optimum_changes"});
+
+  // Reference expressions from the full configuration; each row prints as
+  // soon as its configuration finishes.
+  std::vector<remi::Expression> reference(sets.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    remi::RemiMiner miner(&kb, configs[c].options);
+    AblationRow row;
+    row.name = configs[c].name;
+    remi::Timer timer;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      auto result = miner.MineRe(sets[i].entities);
+      REMI_CHECK_OK(result.status());
+      row.nodes += result->stats.nodes_visited;
+      row.cache_hits += result->stats.eval.cache_hits;
+      row.cache_misses += result->stats.eval.cache_misses;
+      row.solutions += result->found ? 1 : 0;
+      if (c == 0) {
+        reference[i] = result->expression;
+      } else if (!(result->expression == reference[i])) {
+        ++row.optimum_changes;
+      }
+    }
+    row.seconds = timer.ElapsedSeconds();
+    const double hit_rate =
+        row.cache_hits + row.cache_misses > 0
+            ? static_cast<double>(row.cache_hits) /
+                  static_cast<double>(row.cache_hits + row.cache_misses)
+            : 0.0;
+    std::printf("  %-20s %10s %10llu %8d %8.1f%% %8d\n", row.name,
+                remi::FormatSeconds(row.seconds).c_str(),
+                static_cast<unsigned long long>(row.nodes), row.solutions,
+                100.0 * hit_rate, row.optimum_changes);
+    csv.Row({row.name, remi::FormatDouble(row.seconds, 4),
+             std::to_string(row.nodes), std::to_string(row.solutions),
+             remi::FormatDouble(hit_rate, 4),
+             std::to_string(row.optimum_changes)});
+  }
+  std::printf("\n  invariant: without timeouts the three prunings show "
+              "Δopt=0 (they are exactness-preserving; a per-set timeout "
+              "can cut the unpruned configs first). Heuristic rows may "
+              "legitimately differ.\n");
+  return 0;
+}

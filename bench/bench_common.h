@@ -1,0 +1,73 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each harness prints paper-reported values next to the
+// measured ones and appends a CSV file next to the working directory so
+// EXPERIMENTS.md can reference machine-readable results.
+
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kbgen/synthetic.h"
+#include "userstudy/metrics.h"
+#include "util/string_util.h"
+
+namespace remi::bench {
+
+/// Default laptop-scale factor relative to the paper's KBs. The paper's
+/// DBpedia has 42.07M facts; scale 0.05 yields ~20k content facts, enough
+/// for distribution-faithful behaviour at interactive runtimes.
+inline constexpr double kDefaultScale = 0.05;
+
+/// Builds the two evaluation KBs of §4 at the given scale.
+inline KnowledgeBase BuildDbpediaLike(double scale) {
+  return BuildSyntheticKb(SyntheticKbConfig::DBpediaLike(scale));
+}
+inline KnowledgeBase BuildWikidataLike(double scale) {
+  return BuildSyntheticKb(SyntheticKbConfig::WikidataLike(scale));
+}
+
+/// "mean±std" with fixed decimals.
+inline std::string MeanStdToString(const MeanStd& ms, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", digits, ms.mean, digits,
+                ms.stddev);
+  return buf;
+}
+
+/// Simple CSV sink: one header + rows, written to <name>.csv in the
+/// current directory.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& name) : path_(name + ".csv") {}
+
+  void Header(const std::vector<std::string>& columns) {
+    Row(columns);
+  }
+  void Row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) line += ",";
+      line += cells[i];
+    }
+    lines_.push_back(std::move(line));
+  }
+
+  ~CsvWriter() {
+    std::ofstream out(path_, std::ios::trunc);
+    for (const auto& line : lines_) out << line << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+};
+
+/// Prints a banner separating harness sections.
+inline void Banner(const char* title) {
+  std::printf("\n================ %s ================\n", title);
+}
+
+}  // namespace remi::bench

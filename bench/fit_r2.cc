@@ -1,0 +1,106 @@
+// §3.5.3 — the power-law compression of conditional rankings (Eq. 1).
+//
+// The paper fits log2(rank) ≈ -α·log2(freq) + β per predicate and reports
+// mean R² of 0.85 (DBpedia, fr), 0.88 (Wikidata, fr), and 0.91 (DBpedia,
+// pr). This harness materializes the object ranking of every predicate
+// with at least --min-objects distinct objects on both synthetic KBs,
+// reports the (unweighted and size-weighted) mean R², and quantifies the
+// storage saved by keeping two coefficients per predicate instead of the
+// exact per-entity ranks.
+//
+//   ./fit_r2 [--scale 0.05] [--min-objects 20]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "complexity/rankings.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+struct FitReport {
+  remi::MeanStd r2;
+  double weighted_r2 = 0.0;
+  size_t predicates = 0;
+  size_t exact_entries = 0;  // per-entity rank entries
+};
+
+FitReport Measure(const remi::KnowledgeBase& kb,
+                  remi::ProminenceMetric metric, size_t min_objects) {
+  auto prominence = remi::MakeProminenceProvider(&kb, metric);
+  remi::RankingService rankings(&kb, prominence.get());
+  std::vector<double> r2s;
+  double weighted_sum = 0.0, weight = 0.0;
+  FitReport report;
+  for (const remi::TermId p : kb.store().predicates()) {
+    if (p == kb.label_predicate()) continue;
+    auto ranking = rankings.ObjectsOfPredicate(p);
+    if (ranking->size() < min_objects) continue;
+    r2s.push_back(ranking->fit.r2);
+    weighted_sum += ranking->fit.r2 * static_cast<double>(ranking->size());
+    weight += static_cast<double>(ranking->size());
+    ++report.predicates;
+    report.exact_entries += ranking->size();
+  }
+  report.r2 = remi::ComputeMeanStd(r2s);
+  report.weighted_r2 = weight > 0 ? weighted_sum / weight : 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineDouble("scale", remi::bench::kDefaultScale, "KB scale");
+  flags.DefineInt("min-objects", 20,
+                  "minimum distinct objects for a predicate to be fitted");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+  const size_t min_objects =
+      static_cast<size_t>(flags.GetInt("min-objects"));
+
+  remi::bench::CsvWriter csv("fit_r2");
+  csv.Header({"kb", "metric", "predicates", "mean_r2", "weighted_r2"});
+
+  struct Case {
+    const char* kb_name;
+    remi::ProminenceMetric metric;
+    const char* paper;
+  };
+  const Case cases[] = {
+      {"dbpedia", remi::ProminenceMetric::kFrequency, "0.85"},
+      {"wikidata", remi::ProminenceMetric::kFrequency, "0.88"},
+      {"dbpedia", remi::ProminenceMetric::kPageRank, "0.91"},
+  };
+
+  std::printf("§3.5.3 reproduction — Eq. 1 fit quality\n");
+  for (const auto& c : cases) {
+    remi::KnowledgeBase kb =
+        std::string(c.kb_name) == "dbpedia"
+            ? remi::bench::BuildDbpediaLike(flags.GetDouble("scale"))
+            : remi::bench::BuildWikidataLike(flags.GetDouble("scale"));
+    const auto report = Measure(kb, c.metric, min_objects);
+    std::printf(
+        "  %s/%s: mean R²=%.3f (weighted %.3f) over %zu predicates — "
+        "paper: %s\n",
+        c.kb_name, remi::ProminenceMetricToString(c.metric),
+        report.r2.mean, report.weighted_r2, report.predicates, c.paper);
+    // Storage accounting: 2 doubles per predicate vs one (TermId, rank)
+    // entry per ranked object.
+    const double exact_bytes =
+        static_cast<double>(report.exact_entries) * (sizeof(remi::TermId) +
+                                                     sizeof(size_t));
+    const double fitted_bytes =
+        static_cast<double>(report.predicates) * 2 * sizeof(double);
+    std::printf("    storage: exact rankings ~%.0f KiB -> fitted "
+                "coefficients ~%.1f KiB (%.0fx smaller)\n",
+                exact_bytes / 1024.0, fitted_bytes / 1024.0,
+                fitted_bytes > 0 ? exact_bytes / fitted_bytes : 0.0);
+    csv.Row({c.kb_name, remi::ProminenceMetricToString(c.metric),
+             std::to_string(report.predicates),
+             remi::FormatDouble(report.r2.mean, 4),
+             remi::FormatDouble(report.weighted_r2, 4)});
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks of the query and mining layers: per-shape match-set
+// evaluation, membership tests, cost computation, enumeration, and
+// end-to-end REMI / P-REMI mining on the curated KB.
+
+#include <benchmark/benchmark.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "kbgen/synthetic.h"
+#include "kbgen/workload.h"
+#include "remi/remi.h"
+
+namespace remi {
+namespace {
+
+const KnowledgeBase& Curated() {
+  static const KnowledgeBase* kb = new KnowledgeBase(BuildCuratedKb());
+  return *kb;
+}
+
+const KnowledgeBase& Synthetic() {
+  static const KnowledgeBase* kb = [] {
+    SyntheticKbConfig config;
+    config.num_entities = 5000;
+    config.num_predicates = 60;
+    config.num_classes = 16;
+    config.num_facts = 50000;
+    return new KnowledgeBase(BuildSyntheticKb(config));
+  }();
+  return *kb;
+}
+
+TermId Id(const KnowledgeBase& kb, const char* name) {
+  return *FindEntity(kb, name);
+}
+
+void BM_EvalAtom(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, /*cache_capacity=*/0);  // measure raw evaluation
+  const auto rho =
+      SubgraphExpression::Atom(Id(kb, "cityIn"), Id(kb, "France"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Match(rho)->size());
+  }
+}
+BENCHMARK(BM_EvalAtom);
+
+void BM_EvalPath(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, 0);
+  const auto rho = SubgraphExpression::Path(
+      Id(kb, "officialLanguage"), Id(kb, "langFamily"), Id(kb, "Germanic"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Match(rho)->size());
+  }
+}
+BENCHMARK(BM_EvalPath);
+
+void BM_EvalTwinPair(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, 0);
+  const auto rho =
+      SubgraphExpression::TwinPair(Id(kb, "cityIn"), Id(kb, "capitalOf"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Match(rho)->size());
+  }
+}
+BENCHMARK(BM_EvalTwinPair);
+
+void BM_EvalCached(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, 1024);
+  const auto rho = SubgraphExpression::Path(
+      Id(kb, "officialLanguage"), Id(kb, "langFamily"), Id(kb, "Germanic"));
+  (void)eval.Match(rho);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Match(rho)->size());
+  }
+}
+BENCHMARK(BM_EvalCached);
+
+void BM_MembershipTest(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, 0);
+  const auto rho = SubgraphExpression::Path(
+      Id(kb, "officialLanguage"), Id(kb, "langFamily"), Id(kb, "Germanic"));
+  const TermId guyana = Id(kb, "Guyana");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Matches(guyana, rho));
+  }
+}
+BENCHMARK(BM_MembershipTest);
+
+void BM_SubgraphCost(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  const auto rho = SubgraphExpression::Path(
+      Id(kb, "mayor"), Id(kb, "party"), Id(kb, "Socialist_Party"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CostModel model(&kb, CostModelOptions{});  // cold rankings each round
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.SubgraphCost(rho));
+  }
+}
+BENCHMARK(BM_SubgraphCost)->Iterations(200);
+
+void BM_SubgraphCostCached(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  CostModel model(&kb, CostModelOptions{});
+  const auto rho = SubgraphExpression::Path(
+      Id(kb, "mayor"), Id(kb, "party"), Id(kb, "Socialist_Party"));
+  (void)model.SubgraphCost(rho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SubgraphCost(rho));
+  }
+}
+BENCHMARK(BM_SubgraphCostCached);
+
+void BM_EnumerateEntity(benchmark::State& state) {
+  const KnowledgeBase& kb = Synthetic();
+  Evaluator eval(&kb);
+  SubgraphEnumerator enumerator(&eval);
+  const auto classes = LargestClasses(kb, 1);
+  const auto members = ClassMembersByProminence(kb, classes[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        enumerator.EnumerateFor(members[i++ % std::min<size_t>(
+                                             members.size(), 50)])
+            .size());
+  }
+}
+BENCHMARK(BM_EnumerateEntity);
+
+void BM_MineReCurated(benchmark::State& state) {
+  const KnowledgeBase& kb = Curated();
+  RemiMiner miner(&kb, RemiOptions{});
+  const std::vector<TermId> targets{Id(kb, "Rennes"), Id(kb, "Nantes")};
+  for (auto _ : state) {
+    auto result = miner.MineRe(targets);
+    benchmark::DoNotOptimize(result->cost);
+  }
+}
+BENCHMARK(BM_MineReCurated);
+
+void BM_MineReSynthetic(benchmark::State& state) {
+  const KnowledgeBase& kb = Synthetic();
+  RemiOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  RemiMiner miner(&kb, options);
+  const auto classes = LargestClasses(kb, 1);
+  const auto members = ClassMembersByProminence(kb, classes[0]);
+  const std::vector<TermId> targets{members[0], members[1]};
+  for (auto _ : state) {
+    auto result = miner.MineRe(targets);
+    benchmark::DoNotOptimize(result->found);
+  }
+}
+BENCHMARK(BM_MineReSynthetic)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace remi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// Microbenchmarks of the storage substrate: dictionary interning, triple
+// store lookups, N-Triples parsing, and the RKF codec.
+
+#include <benchmark/benchmark.h>
+
+#include "kbgen/synthetic.h"
+#include "rdf/ntriples.h"
+#include "rdf/rkf.h"
+#include "util/random.h"
+
+namespace remi {
+namespace {
+
+const KnowledgeBase& SmallKb() {
+  static const KnowledgeBase* kb = [] {
+    SyntheticKbConfig config;
+    config.num_entities = 5000;
+    config.num_predicates = 60;
+    config.num_classes = 16;
+    config.num_facts = 50000;
+    return new KnowledgeBase(BuildSyntheticKb(config));
+  }();
+  return *kb;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dictionary dict;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(
+          dict.InternIri("http://bench/e" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_DictionaryLookupHit(benchmark::State& state) {
+  Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    dict.InternIri("http://bench/e" + std::to_string(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dict.Lookup(TermKind::kIri,
+                    "http://bench/e" + std::to_string(i++ % 1000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryLookupHit);
+
+void BM_StoreBySubject(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const auto& subjects = kb.store().subjects();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kb.store().BySubject(subjects[i++ % subjects.size()]).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreBySubject);
+
+void BM_StoreByPredicateObject(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const auto& pso = kb.store().pso();
+  Rng rng(7);
+  std::vector<Triple> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(pso[rng.NextBounded(pso.size())]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& probe = probes[i++ % probes.size()];
+    benchmark::DoNotOptimize(
+        kb.store().ByPredicateObject(probe.p, probe.o).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreByPredicateObject);
+
+void BM_StoreContains(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const auto& spo = kb.store().spo();
+  Rng rng(8);
+  std::vector<Triple> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(spo[rng.NextBounded(spo.size())]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& probe = probes[i++ % probes.size()];
+    benchmark::DoNotOptimize(kb.store().Contains(probe.s, probe.p, probe.o));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreContains);
+
+void BM_TripleStoreBuild(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  std::vector<Triple> triples = kb.store().spo();
+  for (auto _ : state) {
+    TripleStore store = TripleStore::Build(triples);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(triples.size()));
+}
+BENCHMARK(BM_TripleStoreBuild);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  std::vector<Triple> sample(kb.store().spo().begin(),
+                             kb.store().spo().begin() + 5000);
+  const std::string doc = WriteNTriples(kb.dict(), sample);
+  for (auto _ : state) {
+    Dictionary dict;
+    NTriplesParser parser(&dict);
+    auto triples = parser.ParseString(doc);
+    benchmark::DoNotOptimize(triples->size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_NTriplesParse);
+
+void BM_RkfSerialize(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  for (auto _ : state) {
+    const std::string bytes = SerializeRkf(kb.dict(), kb.store().spo());
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+BENCHMARK(BM_RkfSerialize);
+
+void BM_RkfDeserialize(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const std::string bytes = SerializeRkf(kb.dict(), kb.store().spo());
+  for (auto _ : state) {
+    auto data = DeserializeRkf(bytes);
+    benchmark::DoNotOptimize(data->triples.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_RkfDeserialize);
+
+}  // namespace
+}  // namespace remi
+
+BENCHMARK_MAIN();

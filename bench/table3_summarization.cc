@@ -1,0 +1,139 @@
+// Table 3 — REMI vs FACES-lite vs LinkSUM-lite on the simulated expert
+// gold standard for entity summarization (paper §4.1.4).
+//
+// Protocol: 80 prominent entities, reference summaries of 5 and 10
+// attributes from 7 simulated experts; REMI runs with the standard
+// language bias, no rdf:type atoms, no inverse predicates; quality is the
+// average overlap with the expert summaries at the predicate-object (PO)
+// and object (O) levels. The paper's shape: the diversity-optimizing
+// summarizers beat REMI on average quality, REMI's variability is lower,
+// and against the merged gold standard REMI's object precision is ~0.62.
+//
+//   ./table3_summarization [--scale 0.05] [--entities 80]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "complexity/pagerank.h"
+#include "kbgen/workload.h"
+#include "summ/faces_lite.h"
+#include "summ/gold_standard.h"
+#include "summ/linksum_lite.h"
+#include "summ/remi_summarizer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+using remi::bench::CsvWriter;
+using remi::bench::MeanStdToString;
+
+struct MethodScores {
+  std::vector<double> po5, o5, po10, o10;
+  std::vector<double> merged_p, merged_o, merged_po;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineDouble("scale", remi::bench::kDefaultScale, "KB scale");
+  flags.DefineInt("entities", 80, "gold-standard entities (paper: 80)");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+
+  remi::KnowledgeBase kb =
+      remi::bench::BuildDbpediaLike(flags.GetDouble("scale"));
+  const auto pagerank = remi::ComputePageRank(kb);
+
+  // 80 prominent entities with enough facts to summarize.
+  std::vector<remi::TermId> entities;
+  for (const remi::TermId e : kb.EntitiesByProminence()) {
+    if (entities.size() >= static_cast<size_t>(flags.GetInt("entities"))) {
+      break;
+    }
+    if (remi::CandidateFacts(kb, e).size() >= 10) entities.push_back(e);
+  }
+  std::printf("Table 3 reproduction — %zu entities on a %zu-fact KB\n",
+              entities.size(), kb.NumFacts());
+
+  remi::RemiMiner fr_miner(
+      &kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kFrequency));
+  remi::RemiMiner pr_miner(
+      &kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kPageRank));
+
+  MethodScores faces, linksum, remi_fr, remi_pr;
+  for (const remi::TermId entity : entities) {
+    const auto gold = remi::BuildGoldStandard(kb, entity, {});
+
+    const auto score = [&](MethodScores* scores, const remi::Summary& top5,
+                           const remi::Summary& top10) {
+      scores->po5.push_back(remi::QualityPo(top5, gold.top5));
+      scores->o5.push_back(remi::QualityO(top5, gold.top5));
+      scores->po10.push_back(remi::QualityPo(top10, gold.top10));
+      scores->o10.push_back(remi::QualityO(top10, gold.top10));
+      const auto merged = remi::PrecisionVsMergedGold(top10, gold.top10);
+      scores->merged_p.push_back(merged.predicates);
+      scores->merged_o.push_back(merged.objects);
+      scores->merged_po.push_back(merged.pairs);
+    };
+
+    score(&faces, remi::FacesSummarize(kb, entity, 5),
+          remi::FacesSummarize(kb, entity, 10));
+    score(&linksum, remi::LinkSumSummarize(kb, pagerank, entity, 5),
+          remi::LinkSumSummarize(kb, pagerank, entity, 10));
+    score(&remi_fr, remi::RemiSummarize(fr_miner, entity, 5),
+          remi::RemiSummarize(fr_miner, entity, 10));
+    score(&remi_pr, remi::RemiSummarize(pr_miner, entity, 5),
+          remi::RemiSummarize(pr_miner, entity, 10));
+  }
+
+  CsvWriter csv("table3_summarization");
+  csv.Header({"method", "quality_po5", "quality_o5", "quality_po10",
+              "quality_o10"});
+  const auto print_method = [&csv](const char* name,
+                                   const MethodScores& scores) {
+    const auto po5 = remi::ComputeMeanStd(scores.po5);
+    const auto o5 = remi::ComputeMeanStd(scores.o5);
+    const auto po10 = remi::ComputeMeanStd(scores.po10);
+    const auto o10 = remi::ComputeMeanStd(scores.o10);
+    std::printf("  %-10s top5: PO=%-10s O=%-10s   top10: PO=%-10s O=%s\n",
+                name, MeanStdToString(po5).c_str(),
+                MeanStdToString(o5).c_str(), MeanStdToString(po10).c_str(),
+                MeanStdToString(o10).c_str());
+    csv.Row({name, MeanStdToString(po5), MeanStdToString(o5),
+             MeanStdToString(po10), MeanStdToString(o10)});
+  };
+
+  remi::bench::Banner("Table 3: average overlap with expert summaries");
+  std::printf("  paper      top5: PO / O            top10: PO / O\n");
+  std::printf("  FACES      0.93±0.54 / 1.66±0.57   2.92±0.94 / 4.33±1.01\n");
+  std::printf("  LinkSUM    1.20±0.60 / 1.89±0.55   3.20±0.87 / 4.82±1.06\n");
+  std::printf("  REMI-fr    0.68±0.18 / 1.31±0.27   2.26±0.34 / 3.70±0.46\n");
+  std::printf("  REMI-pr    0.73±0.13 / 1.21±0.29   2.24±0.46 / 3.75±0.23\n");
+  std::printf("  measured:\n");
+  print_method("FACES", faces);
+  print_method("LinkSUM", linksum);
+  print_method("REMI-fr", remi_fr);
+  print_method("REMI-pr", remi_pr);
+
+  remi::bench::Banner("§4.1.4: precision vs merged top-10 gold standard");
+  const auto merged_fr_p = remi::ComputeMeanStd(remi_fr.merged_p);
+  const auto merged_fr_o = remi::ComputeMeanStd(remi_fr.merged_o);
+  const auto merged_fr_po = remi::ComputeMeanStd(remi_fr.merged_po);
+  const auto merged_pr_po = remi::ComputeMeanStd(remi_pr.merged_po);
+  std::printf("  paper   (Ĉfr): P=0.53 O=0.62 PO=0.31; Ĉpr slightly worse "
+              "except PO=0.38\n");
+  std::printf("  measured(Ĉfr): P=%.2f O=%.2f PO=%.2f\n", merged_fr_p.mean,
+              merged_fr_o.mean, merged_fr_po.mean);
+  std::printf("  measured(Ĉpr): PO=%.2f\n", merged_pr_po.mean);
+
+  // Shape checks the reader can eyeball: variance ordering.
+  const auto faces_po10 = remi::ComputeMeanStd(faces.po10);
+  const auto remi_po10 = remi::ComputeMeanStd(remi_fr.po10);
+  std::printf("\n  shape: FACES mean quality %s REMI-fr (paper: higher); "
+              "REMI std %s FACES std (paper: lower)\n",
+              faces_po10.mean > remi_po10.mean ? ">" : "<=",
+              remi_po10.stddev < faces_po10.stddev ? "<" : ">=");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Entity summarization side-by-side (Table 3's systems on real entities):
+// REMI's top-k most intuitive atoms vs FACES-lite vs LinkSUM-lite vs the
+// simulated expert gold standard.
+//
+//   ./entity_summaries [--k 5] [--entities France,Paris,Albert_Einstein]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "complexity/pagerank.h"
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "summ/faces_lite.h"
+#include "summ/gold_standard.h"
+#include "summ/linksum_lite.h"
+#include "summ/remi_summarizer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintSummary(const remi::KnowledgeBase& kb, const char* name,
+                  const remi::Summary& summary) {
+  std::printf("  %-12s", name);
+  bool first = true;
+  for (const auto& item : summary) {
+    if (!first) std::printf(" | ");
+    first = false;
+    std::printf("%s=%s", kb.Label(item.predicate).c_str(),
+                kb.Label(item.object).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineInt("k", 5, "summary size");
+  flags.DefineString("entities", "France,Paris,Albert_Einstein,Switzerland",
+                     "comma-separated curated-KB entities");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  remi::KnowledgeBase kb = remi::BuildCuratedKb();
+  const auto pagerank = remi::ComputePageRank(kb);
+  remi::RemiMiner miner(
+      &kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kFrequency));
+
+  for (const std::string& name :
+       remi::SplitString(flags.GetString("entities"), ',')) {
+    auto id = remi::FindEntity(kb, name);
+    if (!id.ok()) {
+      std::printf("unknown entity '%s'\n", name.c_str());
+      continue;
+    }
+    std::printf("=== %s (top %zu) ===\n", kb.Label(*id).c_str(), k);
+    PrintSummary(kb, "REMI", remi::RemiSummarize(miner, *id, k));
+    PrintSummary(kb, "FACES", remi::FacesSummarize(kb, *id, k));
+    PrintSummary(kb, "LinkSUM",
+                 remi::LinkSumSummarize(kb, pagerank, *id, k));
+    const auto gold = remi::BuildGoldStandard(kb, *id, {});
+    PrintSummary(kb, "expert#1", gold.top5.empty() ? remi::Summary{}
+                                                   : gold.top5[0]);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's geography walkthrough (§1, §2.2.2) on the curated world KB:
+// mines REs for the running examples — {Guyana, Suriname}, Paris, the
+// Johann J. Müller supervisor chain, {Ecuador, Peru} — under both cost
+// variants (Ĉfr and Ĉpr) and prints the ranked candidate queue.
+//
+//   ./geo_describe [--show-queue 5]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "nlg/verbalizer.h"
+#include "remi/remi.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+void Describe(const remi::KnowledgeBase& kb, const remi::RemiMiner& miner,
+              const std::vector<std::string>& names, int show_queue) {
+  std::vector<remi::TermId> targets;
+  std::string title;
+  for (const auto& name : names) {
+    auto id = remi::FindEntity(kb, name);
+    REMI_CHECK_OK(id.status());
+    targets.push_back(*id);
+    if (!title.empty()) title += ", ";
+    title += kb.Label(*id);
+  }
+  std::printf("--- {%s} ---\n", title.c_str());
+
+  auto result = miner.MineRe(targets);
+  REMI_CHECK_OK(result.status());
+  remi::Verbalizer verbalizer(&kb);
+  if (!result->found) {
+    std::printf("  no RE found\n");
+    return;
+  }
+  std::printf("  RE (%.2f bits): %s\n", result->cost,
+              result->expression.ToString(kb.dict()).c_str());
+  std::printf("  \"%s\"\n", verbalizer.Sentence(result->expression).c_str());
+
+  if (show_queue > 0) {
+    auto ranked = miner.RankedCommonSubgraphs(targets);
+    REMI_CHECK_OK(ranked.status());
+    std::printf("  candidate queue (top %d of %zu):\n", show_queue,
+                ranked->size());
+    int shown = 0;
+    for (const auto& r : *ranked) {
+      if (shown++ >= show_queue) break;
+      std::printf("    %6.2f  %s\n", r.cost,
+                  r.expression.ToString(kb.dict()).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineInt("show-queue", 5,
+                  "how many ranked candidate subgraph expressions to print");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+  const int show_queue = static_cast<int>(flags.GetInt("show-queue"));
+
+  remi::KnowledgeBase kb = remi::BuildCuratedKb();
+  std::printf("curated KB: %zu facts, %zu entities\n\n", kb.NumFacts(),
+              kb.NumEntities());
+
+  for (const auto metric : {remi::ProminenceMetric::kFrequency,
+                            remi::ProminenceMetric::kPageRank}) {
+    std::printf("=============== Ĉ%s ===============\n",
+                remi::ProminenceMetricToString(metric));
+    remi::RemiOptions options;
+    options.cost.metric = metric;
+    remi::RemiMiner miner(&kb, options);
+
+    // §2.2.2: the Germanic-language countries of South America.
+    Describe(kb, miner, {"Guyana", "Suriname"}, show_queue);
+    // §1: Paris, "the capital of France".
+    Describe(kb, miner, {"Paris"}, show_queue);
+    // §1/§3.2: the supervisor of the supervisor of Albert Einstein.
+    Describe(kb, miner, {"Johann_J_Mueller"}, show_queue);
+    // §4.1.3: "they were both places of the Inca Civil War".
+    Describe(kb, miner, {"Ecuador", "Peru"}, show_queue);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,616 @@
+#include "amie/amie.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace remi {
+
+namespace {
+
+/// Cap on collected binding values per variable during refinement; keeps
+/// candidate generation bounded on hub-heavy KBs.
+constexpr size_t kMaxVarValues = 512;
+
+std::string AtomKey(const RuleAtom& atom,
+                    const std::unordered_map<int, int>& renumber) {
+  const auto side = [&renumber](bool is_var, int var, TermId constant) {
+    if (is_var) {
+      auto it = renumber.find(var);
+      return "v" + std::to_string(it == renumber.end() ? -1 : it->second);
+    }
+    return "c" + std::to_string(constant);
+  };
+  return std::to_string(atom.predicate) + "(" +
+         side(atom.subject_is_var(), atom.subject_var, atom.subject_const) +
+         "," +
+         side(atom.object_is_var(), atom.object_var, atom.object_const) +
+         ")";
+}
+
+/// Canonical key of a rule body: minimum over body permutations of the
+/// first-occurrence variable renumbering. Bodies have <= 3 atoms, so the
+/// permutation sweep is at most 6 arrangements.
+std::string CanonicalKey(const std::vector<RuleAtom>& body) {
+  std::vector<size_t> order(body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::string best;
+  do {
+    std::unordered_map<int, int> renumber;
+    renumber[0] = 0;
+    int next = 1;
+    std::string key;
+    for (const size_t idx : order) {
+      const RuleAtom& atom = body[idx];
+      if (atom.subject_is_var() && !renumber.count(atom.subject_var)) {
+        renumber[atom.subject_var] = next++;
+      }
+      if (atom.object_is_var() && !renumber.count(atom.object_var)) {
+        renumber[atom.object_var] = next++;
+      }
+      key += AtomKey(atom, renumber) + ";";
+    }
+    if (best.empty() || key < best) best = key;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+/// Every non-head variable must occur in at least two body atoms (AMIE's
+/// closed-rule condition; the head occurrence covers variable 0).
+bool IsClosed(const Rule& rule) {
+  std::unordered_map<int, int> occurrences;
+  bool has_x = false;
+  for (const RuleAtom& atom : rule.body) {
+    if (atom.subject_is_var()) {
+      ++occurrences[atom.subject_var];
+      has_x |= atom.subject_var == 0;
+    }
+    if (atom.object_is_var()) {
+      ++occurrences[atom.object_var];
+      has_x |= atom.object_var == 0;
+    }
+  }
+  if (!has_x) return false;
+  for (const auto& [var, count] : occurrences) {
+    if (var != 0 && count < 2) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RuleAtom::operator==(const RuleAtom& other) const {
+  return predicate == other.predicate && subject_var == other.subject_var &&
+         subject_const == other.subject_const &&
+         object_var == other.object_var &&
+         object_const == other.object_const;
+}
+
+std::string Rule::ToString(const Dictionary& dict) const {
+  const auto short_name = [&dict](TermId t) {
+    const std::string& lex = dict.lexical(t);
+    const size_t cut = lex.find_last_of("/#");
+    return cut == std::string::npos ? lex : lex.substr(cut + 1);
+  };
+  const auto side = [&](bool is_var, int var, TermId constant) {
+    if (is_var) return var == 0 ? std::string("x") : "z" + std::to_string(var);
+    return short_name(constant);
+  };
+  std::string out = "psi(x, True) <= ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    const RuleAtom& a = body[i];
+    out += short_name(a.predicate) + "(" +
+           side(a.subject_is_var(), a.subject_var, a.subject_const) + ", " +
+           side(a.object_is_var(), a.object_var, a.object_const) + ")";
+  }
+  return out;
+}
+
+AmieMiner::AmieMiner(const KnowledgeBase* kb, const CostModel* cost_model,
+                     const AmieOptions& options)
+    : kb_(kb), cost_model_(cost_model), options_(options) {}
+
+// --- body evaluation ---------------------------------------------------------
+
+namespace {
+
+/// Backtracking matcher over rule atoms. Bindings map variable -> TermId
+/// (kNullTerm = unbound). At each step the cheapest unresolved atom is
+/// evaluated against the store.
+class BodyMatcher {
+ public:
+  BodyMatcher(const TripleStore& store, const std::vector<RuleAtom>& body)
+      : store_(store), body_(body) {}
+
+  /// Satisfiability with variable 0 pre-bound to x.
+  bool Matches(TermId x) {
+    bindings_.assign(16, kNullTerm);
+    bindings_[0] = x;
+    used_.assign(body_.size(), false);
+    return Solve(body_.size());
+  }
+
+  /// Enumerates solutions with x bound, calling visit(bindings) per
+  /// solution; visit returns false to stop enumeration.
+  template <typename Visitor>
+  void Enumerate(TermId x, Visitor visit) {
+    bindings_.assign(16, kNullTerm);
+    bindings_[0] = x;
+    used_.assign(body_.size(), false);
+    stop_ = false;
+    EnumerateImpl(body_.size(), visit);
+  }
+
+ private:
+  TermId Value(bool is_var, int var, TermId constant) const {
+    return is_var ? bindings_[static_cast<size_t>(var)] : constant;
+  }
+
+  // Estimated candidate count of an atom under current bindings.
+  size_t EstimateCost(const RuleAtom& atom) const {
+    const TermId s = Value(atom.subject_is_var(), atom.subject_var,
+                           atom.subject_const);
+    const TermId o =
+        Value(atom.object_is_var(), atom.object_var, atom.object_const);
+    if (s != kNullTerm && o != kNullTerm) return 0;
+    if (s != kNullTerm) return store_.CountPredicateSubject(atom.predicate, s);
+    if (o != kNullTerm) return store_.CountPredicateObject(atom.predicate, o);
+    return store_.CountPredicate(atom.predicate);
+  }
+
+  int PickAtom() const {
+    int best = -1;
+    size_t best_cost = 0;
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (used_[i]) continue;
+      const size_t cost = EstimateCost(body_[i]);
+      if (best < 0 || cost < best_cost) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  bool Solve(size_t remaining) {
+    if (remaining == 0) return true;
+    const int idx = PickAtom();
+    const RuleAtom& atom = body_[static_cast<size_t>(idx)];
+    used_[static_cast<size_t>(idx)] = true;
+    bool found = false;
+    ForEachMatch(atom, [&](TermId s, TermId o) {
+      if (Bind(atom.subject_is_var(), atom.subject_var, s) &&
+          Bind(atom.object_is_var(), atom.object_var, o) &&
+          Solve(remaining - 1)) {
+        found = true;
+      }
+      return !found;  // stop iterating once satisfied
+    });
+    used_[static_cast<size_t>(idx)] = false;
+    return found;
+  }
+
+  template <typename Visitor>
+  void EnumerateImpl(size_t remaining, Visitor& visit) {
+    if (stop_) return;
+    if (remaining == 0) {
+      if (!visit(bindings_)) stop_ = true;
+      return;
+    }
+    const int idx = PickAtom();
+    const RuleAtom& atom = body_[static_cast<size_t>(idx)];
+    used_[static_cast<size_t>(idx)] = true;
+    ForEachMatch(atom, [&](TermId s, TermId o) {
+      if (Bind(atom.subject_is_var(), atom.subject_var, s) &&
+          Bind(atom.object_is_var(), atom.object_var, o)) {
+        EnumerateImpl(remaining - 1, visit);
+      }
+      return !stop_;
+    });
+    used_[static_cast<size_t>(idx)] = false;
+  }
+
+  // Binds a variable side to a value; returns false on conflict (same
+  // variable already bound to a different value). Constant sides are
+  // pre-filtered by ForEachMatch and always succeed. Bindings are rolled
+  // back by ForEachMatch after each fact.
+  bool Bind(bool is_var, int var, TermId value) {
+    if (!is_var) return true;
+    TermId& slot = bindings_[static_cast<size_t>(var)];
+    if (slot == kNullTerm) {
+      slot = value;
+      bound_stack_.push_back(var);
+      return true;
+    }
+    return slot == value;
+  }
+
+  // Iterates the facts compatible with the atom's bound sides.
+  template <typename Fn>
+  void ForEachMatch(const RuleAtom& atom, Fn fn) {
+    const TermId s = Value(atom.subject_is_var(), atom.subject_var,
+                           atom.subject_const);
+    const TermId o =
+        Value(atom.object_is_var(), atom.object_var, atom.object_const);
+    const size_t stack_before = bound_stack_.size();
+    const auto emit = [&](TermId es, TermId eo) {
+      const bool keep = fn(es, eo);
+      // Roll back any bindings fn made for this fact.
+      while (bound_stack_.size() > stack_before) {
+        bindings_[static_cast<size_t>(bound_stack_.back())] = kNullTerm;
+        bound_stack_.pop_back();
+      }
+      return keep;
+    };
+    if (s != kNullTerm && o != kNullTerm) {
+      if (store_.Contains(s, atom.predicate, o)) emit(s, o);
+      return;
+    }
+    if (s != kNullTerm) {
+      for (const Triple& t : store_.ByPredicateSubject(atom.predicate, s)) {
+        if (!emit(t.s, t.o)) return;
+      }
+      return;
+    }
+    if (o != kNullTerm) {
+      for (const Triple& t : store_.ByPredicateObject(atom.predicate, o)) {
+        if (!emit(t.s, t.o)) return;
+      }
+      return;
+    }
+    for (const Triple& t : store_.ByPredicate(atom.predicate)) {
+      if (!emit(t.s, t.o)) return;
+    }
+  }
+
+  const TripleStore& store_;
+  const std::vector<RuleAtom>& body_;
+  std::vector<TermId> bindings_;
+  std::vector<bool> used_;
+  std::vector<int> bound_stack_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+bool AmieMiner::BodyMatches(const std::vector<RuleAtom>& body,
+                            TermId x) const {
+  BodyMatcher matcher(kb_->store(), body);
+  return matcher.Matches(x);
+}
+
+std::vector<TermId> AmieMiner::EvaluateBody(
+    const std::vector<RuleAtom>& body) const {
+  // Candidate x values from the most selective atom mentioning x.
+  const TripleStore& store = kb_->store();
+  std::vector<TermId> candidates;
+  size_t best_cost = SIZE_MAX;
+  for (const RuleAtom& atom : body) {
+    std::vector<TermId> current;
+    size_t cost = SIZE_MAX;
+    if (atom.subject_is_var() && atom.subject_var == 0) {
+      if (!atom.object_is_var()) {
+        const auto range =
+            store.ByPredicateObject(atom.predicate, atom.object_const);
+        cost = range.size();
+        if (cost < best_cost) {
+          for (const Triple& t : range) current.push_back(t.s);
+        }
+      } else {
+        const auto range = store.ByPredicate(atom.predicate);
+        cost = range.size();
+        if (cost < best_cost) {
+          for (const Triple& t : range) current.push_back(t.s);
+        }
+      }
+    } else if (atom.object_is_var() && atom.object_var == 0) {
+      if (!atom.subject_is_var()) {
+        const auto range =
+            store.ByPredicateSubject(atom.predicate, atom.subject_const);
+        cost = range.size();
+        if (cost < best_cost) {
+          for (const Triple& t : range) current.push_back(t.o);
+        }
+      } else {
+        const auto range = store.ByPredicate(atom.predicate);
+        cost = range.size();
+        if (cost < best_cost) {
+          for (const Triple& t : range) current.push_back(t.o);
+        }
+      }
+    } else {
+      continue;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      std::sort(current.begin(), current.end());
+      current.erase(std::unique(current.begin(), current.end()),
+                    current.end());
+      candidates = std::move(current);
+    }
+  }
+  if (best_cost == SIZE_MAX) return {};
+
+  std::vector<TermId> matches;
+  BodyMatcher matcher(kb_->store(), body);
+  for (const TermId x : candidates) {
+    if (matcher.Matches(x)) matches.push_back(x);
+  }
+  return matches;
+}
+
+// --- mining ------------------------------------------------------------------
+
+struct AmieMiner::SearchState {
+  std::deque<Rule> queue;
+  std::unordered_set<std::string> seen;
+  std::vector<Rule> output;
+  Deadline deadline;
+  AmieStats stats;
+
+  bool Enqueue(Rule rule) {
+    const std::string key = CanonicalKey(rule.body);
+    if (!seen.insert(key).second) return false;
+    queue.push_back(std::move(rule));
+    ++stats.rules_generated;
+    return true;
+  }
+};
+
+void AmieMiner::Refine(const Rule& rule, const std::vector<TermId>& targets,
+                       SearchState* state) const {
+  if (rule.num_atoms_with_head() >= options_.max_rule_length) return;
+  const TripleStore& store = kb_->store();
+
+  // Collect, per target, the values each variable can take in solutions of
+  // the current body (the empty body binds x only).
+  const int num_vars = rule.num_variables;
+  // per variable -> per target -> set of values
+  std::vector<std::vector<std::unordered_set<TermId>>> values(
+      static_cast<size_t>(num_vars));
+  for (auto& v : values) v.resize(targets.size());
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    if (rule.body.empty()) {
+      values[0][ti].insert(targets[ti]);
+      continue;
+    }
+    BodyMatcher matcher(store, rule.body);
+    size_t solutions = 0;
+    matcher.Enumerate(targets[ti], [&](const std::vector<TermId>& bindings) {
+      bool all_full = true;
+      for (int v = 0; v < num_vars; ++v) {
+        auto& set = values[static_cast<size_t>(v)][ti];
+        const TermId value = bindings[static_cast<size_t>(v)];
+        if (value != kNullTerm && set.size() < kMaxVarValues) {
+          set.insert(value);
+        }
+        if (set.size() < kMaxVarValues) all_full = false;
+      }
+      // Stop once every variable's value set is saturated or the solution
+      // budget is spent (hub joins can have huge cross products).
+      return !all_full && ++solutions < 20000;
+    });
+  }
+
+  const auto intersect_candidates =
+      [&targets](const std::vector<std::unordered_set<uint64_t>>& per_target)
+      -> std::vector<uint64_t> {
+    std::vector<uint64_t> common;
+    if (per_target.empty()) return common;
+    for (const uint64_t key : per_target[0]) {
+      bool everywhere = true;
+      for (size_t ti = 1; ti < targets.size(); ++ti) {
+        if (!per_target[ti].count(key)) {
+          everywhere = false;
+          break;
+        }
+      }
+      if (everywhere) common.push_back(key);
+    }
+    std::sort(common.begin(), common.end());
+    return common;
+  };
+
+  for (int v = 0; v < num_vars; ++v) {
+    // Candidate instantiated atoms p(v, C) and p(C, v), and dangling
+    // predicates p(v, z) / p(z, v), each keyed for cross-target
+    // intersection.
+    std::vector<std::unordered_set<uint64_t>> inst_out(targets.size());
+    std::vector<std::unordered_set<uint64_t>> inst_in(targets.size());
+    std::vector<std::unordered_set<uint64_t>> dangle_out(targets.size());
+    std::vector<std::unordered_set<uint64_t>> dangle_in(targets.size());
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      for (const TermId val : values[static_cast<size_t>(v)][ti]) {
+        for (const Triple& t : store.BySubject(val)) {
+          if (t.p == kb_->label_predicate()) continue;
+          inst_out[ti].insert((static_cast<uint64_t>(t.p) << 32) | t.o);
+          dangle_out[ti].insert(t.p);
+        }
+        // Incoming facts: scan via inverse predicates if materialized;
+        // otherwise fall back to a POS probe per predicate (bounded).
+        for (const TermId p : store.predicates()) {
+          if (p == kb_->label_predicate() || p == kb_->type_predicate()) {
+            continue;
+          }
+          const auto range = store.ByPredicateObject(p, val);
+          if (range.empty()) continue;
+          dangle_in[ti].insert(p);
+          for (const Triple& t : range) {
+            inst_in[ti].insert((static_cast<uint64_t>(t.p) << 32) | t.s);
+          }
+        }
+      }
+    }
+
+    for (const uint64_t key : intersect_candidates(inst_out)) {
+      const TermId p = static_cast<TermId>(key >> 32);
+      const TermId c = static_cast<TermId>(key & 0xffffffffu);
+      RuleAtom atom;
+      atom.predicate = p;
+      atom.subject_var = v;
+      atom.object_var = -1;
+      atom.object_const = c;
+      Rule next = rule;
+      next.body.push_back(atom);
+      state->Enqueue(std::move(next));
+    }
+    for (const uint64_t key : intersect_candidates(inst_in)) {
+      const TermId p = static_cast<TermId>(key >> 32);
+      const TermId c = static_cast<TermId>(key & 0xffffffffu);
+      RuleAtom atom;
+      atom.predicate = p;
+      atom.subject_var = -1;
+      atom.subject_const = c;
+      atom.object_var = v;
+      Rule next = rule;
+      next.body.push_back(atom);
+      state->Enqueue(std::move(next));
+    }
+
+    if (options_.allow_existential_variables) {
+      for (const uint64_t key : intersect_candidates(dangle_out)) {
+        RuleAtom atom;
+        atom.predicate = static_cast<TermId>(key);
+        atom.subject_var = v;
+        atom.object_var = rule.num_variables;
+        Rule next = rule;
+        next.body.push_back(atom);
+        ++next.num_variables;
+        state->Enqueue(std::move(next));
+      }
+      for (const uint64_t key : intersect_candidates(dangle_in)) {
+        RuleAtom atom;
+        atom.predicate = static_cast<TermId>(key);
+        atom.subject_var = rule.num_variables;
+        atom.object_var = v;
+        Rule next = rule;
+        next.body.push_back(atom);
+        ++next.num_variables;
+        state->Enqueue(std::move(next));
+      }
+
+      // Closing atoms between existing variable pairs.
+      for (int v2 = 0; v2 < num_vars; ++v2) {
+        if (v2 == v) continue;
+        std::vector<std::unordered_set<uint64_t>> closing(targets.size());
+        for (size_t ti = 0; ti < targets.size(); ++ti) {
+          for (const TermId val : values[static_cast<size_t>(v)][ti]) {
+            for (const Triple& t : store.BySubject(val)) {
+              if (values[static_cast<size_t>(v2)][ti].count(t.o)) {
+                closing[ti].insert(t.p);
+              }
+            }
+          }
+        }
+        for (const uint64_t key : intersect_candidates(closing)) {
+          RuleAtom atom;
+          atom.predicate = static_cast<TermId>(key);
+          atom.subject_var = v;
+          atom.object_var = v2;
+          Rule next = rule;
+          bool duplicate = false;
+          for (const RuleAtom& existing : next.body) {
+            if (existing == atom) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (duplicate) continue;
+          next.body.push_back(atom);
+          state->Enqueue(std::move(next));
+        }
+      }
+    }
+  }
+}
+
+Result<AmieResult> AmieMiner::MineRe(
+    const std::vector<TermId>& targets) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("target set is empty");
+  }
+  std::vector<TermId> sorted_targets(targets.begin(), targets.end());
+  std::sort(sorted_targets.begin(), sorted_targets.end());
+  sorted_targets.erase(
+      std::unique(sorted_targets.begin(), sorted_targets.end()),
+      sorted_targets.end());
+
+  Timer timer;
+  SearchState state;
+  if (options_.timeout_seconds > 0) {
+    state.deadline = Deadline::AfterSeconds(options_.timeout_seconds);
+  }
+
+  Rule empty;
+  state.queue.push_back(empty);
+
+  while (!state.queue.empty()) {
+    if (state.deadline.Expired()) {
+      state.stats.timed_out = true;
+      break;
+    }
+    if (options_.max_expansions > 0 &&
+        state.stats.rules_expanded >= options_.max_expansions) {
+      break;
+    }
+    Rule rule = std::move(state.queue.front());
+    state.queue.pop_front();
+    ++state.stats.rules_expanded;
+
+    if (!rule.body.empty()) {
+      // Support check: every target must satisfy the body.
+      bool supported = true;
+      for (const TermId t : sorted_targets) {
+        ++state.stats.body_evaluations;
+        if (!BodyMatches(rule.body, t)) {
+          supported = false;
+          break;
+        }
+      }
+      if (!supported) continue;
+
+      // Confidence check on closed rules: the body's x-matches must be
+      // exactly the target set.
+      if (IsClosed(rule)) {
+        ++state.stats.body_evaluations;
+        std::vector<TermId> matches = EvaluateBody(rule.body);
+        if (matches == sorted_targets) {
+          state.output.push_back(rule);
+        }
+      }
+    }
+    Refine(rule, sorted_targets, &state);
+  }
+
+  AmieResult result;
+  result.rules = std::move(state.output);
+  result.stats = state.stats;
+  result.stats.seconds = timer.ElapsedSeconds();
+
+  // Rank output by Ĉfr as the paper does for AMIE's answers.
+  double best = CostModel::kInfiniteCost;
+  for (size_t i = 0; i < result.rules.size(); ++i) {
+    double cost = 0;
+    for (const RuleAtom& atom : result.rules[i].body) {
+      cost += cost_model_->PredicateBits(atom.predicate);
+      if (!atom.object_is_var()) {
+        cost += cost_model_->ObjectBits(atom.object_const, atom.predicate);
+      }
+      if (!atom.subject_is_var()) {
+        cost += cost_model_->SubjectBits(atom.subject_const, atom.predicate);
+      }
+    }
+    if (cost < best) {
+      best = cost;
+      result.best_rule = static_cast<int>(i);
+      result.best_cost = cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace remi

@@ -1,0 +1,108 @@
+#include "complexity/cost_model.h"
+
+#include <cmath>
+
+namespace remi {
+
+namespace {
+
+double Log2Rank(size_t rank) {
+  if (rank == 0) return CostModel::kInfiniteCost;
+  return std::log2(static_cast<double>(rank));
+}
+
+}  // namespace
+
+CostModel::CostModel(const KnowledgeBase* kb, const CostModelOptions& options)
+    : CostModel(kb, options, MakeProminenceProvider(kb, options.metric)) {}
+
+CostModel::CostModel(const KnowledgeBase* kb, const CostModelOptions& options,
+                     std::unique_ptr<ProminenceProvider> provider)
+    : kb_(kb),
+      options_(options),
+      prominence_(std::move(provider)),
+      rankings_(std::make_unique<RankingService>(kb, prominence_.get())) {}
+
+double CostModel::PredicateBits(TermId p) const {
+  return Log2Rank(rankings_->PredicateRank(p));
+}
+
+double CostModel::EntityBitsFromRanking(const ConditionalRanking& ranking,
+                                        TermId term) const {
+  const size_t rank = ranking.RankOf(term);
+  if (rank == 0) return kInfiniteCost;
+  if (options_.use_fitted_entity_ranks) {
+    return ranking.FittedBits(ranking.sorted_scores[rank - 1]);
+  }
+  return Log2Rank(rank);
+}
+
+double CostModel::ObjectBits(TermId obj, TermId p) const {
+  return EntityBitsFromRanking(*rankings_->ObjectsOfPredicate(p), obj);
+}
+
+double CostModel::SubjectBits(TermId subj, TermId p) const {
+  return EntityBitsFromRanking(*rankings_->SubjectsOfPredicate(p), subj);
+}
+
+double CostModel::ObjectJoinPredicateBits(TermId q, TermId p) const {
+  if (!options_.use_join_predicate_ranks) return PredicateBits(q);
+  return Log2Rank(rankings_->ObjectJoinPredicates(p)->RankOf(q));
+}
+
+double CostModel::SubjectJoinPredicateBits(TermId q, TermId p) const {
+  if (!options_.use_join_predicate_ranks) return PredicateBits(q);
+  return Log2Rank(rankings_->SubjectJoinPredicates(p)->RankOf(q));
+}
+
+double CostModel::PathObjectBits(TermId obj, TermId p0, TermId p1) const {
+  return EntityBitsFromRanking(*rankings_->PathObjects(p0, p1), obj);
+}
+
+double CostModel::SubgraphCost(const SubgraphExpression& rho) const {
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    auto it = cost_cache_.find(rho);
+    if (it != cost_cache_.end()) return it->second;
+  }
+  double cost = 0.0;
+  switch (rho.shape) {
+    case SubgraphShape::kAtom:
+      cost = PredicateBits(rho.p0) + ObjectBits(rho.c1, rho.p0);
+      break;
+    case SubgraphShape::kPath:
+      cost = PredicateBits(rho.p0) + ObjectJoinPredicateBits(rho.p1, rho.p0) +
+             PathObjectBits(rho.c1, rho.p0, rho.p1);
+      break;
+    case SubgraphShape::kPathStar:
+      cost = PredicateBits(rho.p0) + ObjectJoinPredicateBits(rho.p1, rho.p0) +
+             PathObjectBits(rho.c1, rho.p0, rho.p1) +
+             ObjectJoinPredicateBits(rho.p2, rho.p0) +
+             PathObjectBits(rho.c2, rho.p0, rho.p2);
+      break;
+    case SubgraphShape::kTwinPair:
+      cost = PredicateBits(rho.p0) +
+             SubjectJoinPredicateBits(rho.p1, rho.p0);
+      break;
+    case SubgraphShape::kTwinTriple:
+      cost = PredicateBits(rho.p0) +
+             SubjectJoinPredicateBits(rho.p1, rho.p0) +
+             SubjectJoinPredicateBits(rho.p2, rho.p0);
+      break;
+  }
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  cost_cache_.emplace(rho, cost);
+  return cost;
+}
+
+double CostModel::Cost(const Expression& e) const {
+  if (e.IsTop()) return kInfiniteCost;
+  double total = 0.0;
+  for (const auto& part : e.parts) {
+    total += SubgraphCost(part);
+    if (total == kInfiniteCost) break;
+  }
+  return total;
+}
+
+}  // namespace remi

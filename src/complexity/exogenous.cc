@@ -1,0 +1,62 @@
+#include "complexity/exogenous.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace remi {
+
+Result<ExogenousProminence> ExogenousProminence::FromTsv(
+    const KnowledgeBase& kb, std::string_view tsv) {
+  ExogenousProminence provider;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= tsv.size()) {
+    size_t end = tsv.find('\n', start);
+    if (end == std::string_view::npos) end = tsv.size();
+    std::string_view line = TrimWhitespace(tsv.substr(start, end - start));
+    ++line_number;
+    if (!line.empty() && line[0] != '#') {
+      const size_t tab = line.find('\t');
+      if (tab == std::string_view::npos) {
+        return Status::ParseError("exogenous TSV line " +
+                                  std::to_string(line_number) +
+                                  ": missing tab separator");
+      }
+      const std::string iri(TrimWhitespace(line.substr(0, tab)));
+      const std::string score_text(TrimWhitespace(line.substr(tab + 1)));
+      char* parse_end = nullptr;
+      const double score = std::strtod(score_text.c_str(), &parse_end);
+      if (parse_end == score_text.c_str() || *parse_end != '\0' ||
+          score < 0) {
+        return Status::ParseError("exogenous TSV line " +
+                                  std::to_string(line_number) +
+                                  ": bad score '" + score_text + "'");
+      }
+      auto id = kb.dict().Lookup(TermKind::kIri, iri);
+      if (id.ok()) provider.scores_[*id] = score;
+    }
+    if (end == tsv.size()) break;
+    start = end + 1;
+  }
+  return provider;
+}
+
+Result<ExogenousProminence> ExogenousProminence::FromTsvFile(
+    const KnowledgeBase& kb, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return FromTsv(kb, buf.str());
+}
+
+double ExogenousProminence::Score(TermId t) const {
+  auto it = scores_.find(t);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+}  // namespace remi

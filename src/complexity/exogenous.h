@@ -1,0 +1,47 @@
+// Exogenous prominence (paper §6 future work): "investigate if external
+// sources — such as the ranking provided by a search engine or external
+// localized corpora — can yield even more intuitive REs".
+//
+// This provider loads term scores from a simple TSV source
+// ("<iri>\t<score>" per line, '#' comments allowed) and serves them as a
+// prominence metric. Terms absent from the source are undefined, so the
+// RankingService falls back to conditional frequency for them — the same
+// fallback rule the paper applies to pr ("we use fr whenever pr is
+// undefined").
+
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+
+#include "complexity/prominence.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief Prominence scores injected from an external corpus or engine.
+class ExogenousProminence : public ProminenceProvider {
+ public:
+  /// Parses a TSV document of "<iri>\t<score>" lines. Unknown IRIs are
+  /// retained only if present in the KB's dictionary.
+  static Result<ExogenousProminence> FromTsv(const KnowledgeBase& kb,
+                                             std::string_view tsv);
+
+  /// Loads a TSV file from disk.
+  static Result<ExogenousProminence> FromTsvFile(const KnowledgeBase& kb,
+                                                 const std::string& path);
+
+  double Score(TermId t) const override;
+  bool Defined(TermId t) const override { return scores_.count(t) > 0; }
+  /// Exogenous sources replace the page-rank slot in reporting.
+  ProminenceMetric metric() const override {
+    return ProminenceMetric::kPageRank;
+  }
+
+  size_t size() const { return scores_.size(); }
+
+ private:
+  std::unordered_map<TermId, double> scores_;
+};
+
+}  // namespace remi

@@ -1,0 +1,62 @@
+#include "complexity/pagerank.h"
+
+#include <cmath>
+#include <vector>
+
+namespace remi {
+
+std::unordered_map<TermId, double> ComputePageRank(
+    const KnowledgeBase& kb, const PageRankOptions& options) {
+  // Dense node numbering over entities.
+  const auto& entities = kb.EntitiesByProminence();
+  std::unordered_map<TermId, size_t> node_of;
+  node_of.reserve(entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) node_of[entities[i]] = i;
+  const size_t n = entities.size();
+  if (n == 0) return {};
+
+  // CSR out-edge lists.
+  std::vector<std::vector<uint32_t>> out_edges(n);
+  for (const Triple& t : kb.store().spo()) {
+    if (options.skip_inverse_predicates && kb.IsInversePredicate(t.p)) {
+      continue;
+    }
+    auto si = node_of.find(t.s);
+    auto oi = node_of.find(t.o);
+    if (si == node_of.end() || oi == node_of.end()) continue;
+    if (si->second == oi->second) continue;  // self-loops add nothing
+    out_edges[si->second].push_back(static_cast<uint32_t>(oi->second));
+  }
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double d = options.damping;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (out_edges[i].empty()) {
+        dangling += rank[i];
+        continue;
+      }
+      const double share = rank[i] / static_cast<double>(out_edges[i].size());
+      for (const uint32_t j : out_edges[i]) next[j] += share;
+    }
+    const double base =
+        (1.0 - d) / static_cast<double>(n) + d * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = base + d * next[i];
+      delta += std::fabs(v - rank[i]);
+      rank[i] = v;
+    }
+    if (delta < options.tolerance) break;
+  }
+
+  std::unordered_map<TermId, double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out[entities[i]] = rank[i];
+  return out;
+}
+
+}  // namespace remi

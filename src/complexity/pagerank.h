@@ -1,0 +1,33 @@
+// PageRank over the KB's entity link graph.
+//
+// The paper's `pr` prominence metric is the Wikipedia page rank of an
+// entity. Wikipedia's hyperlink graph is not available offline, so we
+// compute PageRank on the closest endogenous equivalent: the directed
+// entity-to-entity link graph induced by the KB's own facts (one edge per
+// base fact whose subject and object are both entities). See DESIGN.md §5
+// for why this preserves the fr/pr divergence the paper measures.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "kb/knowledge_base.h"
+
+namespace remi {
+
+/// PageRank parameters.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  /// Stop once the L1 change between iterations drops below this.
+  double tolerance = 1e-10;
+  /// Skip edges from materialized inverse facts (they duplicate base
+  /// edges in the reverse direction).
+  bool skip_inverse_predicates = true;
+};
+
+/// Computes PageRank scores for every entity of the KB. Scores sum to ~1.
+std::unordered_map<TermId, double> ComputePageRank(
+    const KnowledgeBase& kb, const PageRankOptions& options = {});
+
+}  // namespace remi

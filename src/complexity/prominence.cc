@@ -1,0 +1,40 @@
+#include "complexity/prominence.h"
+
+#include "complexity/pagerank.h"
+
+namespace remi {
+
+const char* ProminenceMetricToString(ProminenceMetric metric) {
+  switch (metric) {
+    case ProminenceMetric::kFrequency:
+      return "fr";
+    case ProminenceMetric::kPageRank:
+      return "pr";
+  }
+  return "?";
+}
+
+double FrequencyProminence::Score(TermId t) const {
+  return static_cast<double>(kb_->EntityFrequency(t));
+}
+
+PageRankProminence::PageRankProminence(const KnowledgeBase* kb)
+    : scores_(ComputePageRank(*kb)) {}
+
+double PageRankProminence::Score(TermId t) const {
+  auto it = scores_.find(t);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+std::unique_ptr<ProminenceProvider> MakeProminenceProvider(
+    const KnowledgeBase* kb, ProminenceMetric metric) {
+  switch (metric) {
+    case ProminenceMetric::kFrequency:
+      return std::make_unique<FrequencyProminence>(kb);
+    case ProminenceMetric::kPageRank:
+      return std::make_unique<PageRankProminence>(kb);
+  }
+  return nullptr;
+}
+
+}  // namespace remi

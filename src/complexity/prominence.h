@@ -1,0 +1,77 @@
+// Prominence providers (paper §3.1): how "well-known" a concept is.
+//
+// REMI ranks concepts by prominence to assign them code lengths; the paper
+// evaluates two metrics, fr (in-KB fact frequency) and pr (page rank),
+// yielding the Ĉfr and Ĉpr cost variants. Providers score entities; the
+// RankingService falls back to fr wherever a metric is undefined ("We use
+// fr whenever pr is undefined").
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "kb/knowledge_base.h"
+
+namespace remi {
+
+/// Which prominence metric backs entity rankings.
+enum class ProminenceMetric {
+  kFrequency,  ///< fr: number of facts mentioning the concept
+  kPageRank,   ///< pr: PageRank on the entity link graph
+};
+
+const char* ProminenceMetricToString(ProminenceMetric metric);
+
+/// \brief Scores terms by prominence; larger is more prominent.
+class ProminenceProvider {
+ public:
+  virtual ~ProminenceProvider() = default;
+
+  /// The prominence score of `t`, or 0 when undefined.
+  virtual double Score(TermId t) const = 0;
+
+  /// Whether the metric is defined for `t`.
+  virtual bool Defined(TermId t) const = 0;
+
+  virtual ProminenceMetric metric() const = 0;
+};
+
+/// fr: in-KB fact frequency (defined for every entity; literals score by
+/// their occurrence count too).
+class FrequencyProminence : public ProminenceProvider {
+ public:
+  explicit FrequencyProminence(const KnowledgeBase* kb) : kb_(kb) {}
+
+  double Score(TermId t) const override;
+  bool Defined(TermId /*t*/) const override { return true; }
+  ProminenceMetric metric() const override {
+    return ProminenceMetric::kFrequency;
+  }
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+/// pr: PageRank over the entity link graph; undefined for literals and
+/// for terms outside the graph.
+class PageRankProminence : public ProminenceProvider {
+ public:
+  /// Computes PageRank on construction (O(iterations * edges)).
+  explicit PageRankProminence(const KnowledgeBase* kb);
+
+  double Score(TermId t) const override;
+  bool Defined(TermId t) const override { return scores_.count(t) > 0; }
+  ProminenceMetric metric() const override {
+    return ProminenceMetric::kPageRank;
+  }
+
+ private:
+  std::unordered_map<TermId, double> scores_;
+};
+
+/// Builds the provider for a metric.
+std::unique_ptr<ProminenceProvider> MakeProminenceProvider(
+    const KnowledgeBase* kb, ProminenceMetric metric);
+
+}  // namespace remi

@@ -1,0 +1,239 @@
+#include "complexity/rankings.h"
+
+#include <algorithm>
+
+namespace remi {
+
+namespace {
+
+uint64_t PackPair(TermId a, TermId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+RankingService::RankingService(const KnowledgeBase* kb,
+                               const ProminenceProvider* prominence)
+    : kb_(kb), prominence_(prominence), path_objects_(8192) {
+  // Global predicate ranking by fact count (descending), ties by id so the
+  // order is deterministic.
+  std::vector<TermId> preds = kb_->store().predicates();
+  std::sort(preds.begin(), preds.end(), [this](TermId a, TermId b) {
+    const size_t fa = kb_->store().CountPredicate(a);
+    const size_t fb = kb_->store().CountPredicate(b);
+    if (fa != fb) return fa > fb;
+    // Lexical tie-break so ranks are independent of interning order.
+    return kb_->dict().lexical(a) < kb_->dict().lexical(b);
+  });
+  for (size_t i = 0; i < preds.size(); ++i) {
+    predicate_ranking_[preds[i]] = i + 1;
+  }
+}
+
+size_t RankingService::PredicateRank(TermId p) const {
+  auto it = predicate_ranking_.find(p);
+  return it == predicate_ranking_.end() ? 0 : it->second;
+}
+
+std::shared_ptr<const ConditionalRanking> RankingService::BuildEntityRanking(
+    std::unordered_map<TermId, uint64_t> cond_freq) const {
+  auto ranking = std::make_shared<ConditionalRanking>();
+  std::vector<std::pair<TermId, uint64_t>> items(cond_freq.begin(),
+                                                 cond_freq.end());
+  const bool use_pr =
+      prominence_->metric() == ProminenceMetric::kPageRank;
+  std::sort(items.begin(), items.end(),
+            [this, use_pr](const auto& a, const auto& b) {
+              if (use_pr) {
+                // pr mode: pr-defined terms first by pr, then the rest by
+                // conditional frequency ("fr whenever pr is undefined").
+                const bool da = prominence_->Defined(a.first);
+                const bool db = prominence_->Defined(b.first);
+                if (da != db) return da;
+                if (da && db) {
+                  const double sa = prominence_->Score(a.first);
+                  const double sb = prominence_->Score(b.first);
+                  if (sa != sb) return sa > sb;
+                }
+              }
+              if (a.second != b.second) return a.second > b.second;
+              // Conditional-frequency ties break by *global* prominence:
+              // among equally rare objects the globally famous one is the
+              // cheaper code (this is what makes "supervisor of the
+              // supervisor of Einstein" beat "supervisor of Kleiner").
+              const uint64_t ga = kb_->EntityFrequency(a.first);
+              const uint64_t gb = kb_->EntityFrequency(b.first);
+              if (ga != gb) return ga > gb;
+              // Lexical tie-break: independent of interning order.
+              return kb_->dict().lexical(a.first) <
+                     kb_->dict().lexical(b.first);
+            });
+  ranking->rank.reserve(items.size());
+  ranking->sorted_scores.reserve(items.size());
+  double min_score = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    ranking->rank[items[i].first] = i + 1;
+    double score;
+    if (use_pr && prominence_->Defined(items[i].first)) {
+      score = prominence_->Score(items[i].first);
+    } else {
+      score = static_cast<double>(items[i].second);
+    }
+    ranking->sorted_scores.push_back(score);
+    if (score > 0 && (min_score == 0.0 || score < min_score)) {
+      min_score = score;
+    }
+  }
+  ranking->min_score = min_score > 0 ? min_score : 1.0;
+  // Eq. 1 fit on scores scaled so the minimum maps to frequency 1.
+  std::vector<double> scaled;
+  scaled.reserve(ranking->sorted_scores.size());
+  for (double s : ranking->sorted_scores) {
+    scaled.push_back(s / ranking->min_score);
+  }
+  ranking->fit = FitPowerLaw(scaled);
+  return ranking;
+}
+
+std::shared_ptr<const ConditionalRanking>
+RankingService::BuildPredicateRanking(
+    std::unordered_map<TermId, uint64_t> counts) const {
+  auto ranking = std::make_shared<ConditionalRanking>();
+  std::vector<std::pair<TermId, uint64_t>> items(counts.begin(),
+                                                 counts.end());
+  std::sort(items.begin(), items.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return kb_->dict().lexical(a.first) <
+                     kb_->dict().lexical(b.first);
+            });
+  ranking->rank.reserve(items.size());
+  ranking->sorted_scores.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ranking->rank[items[i].first] = i + 1;
+    ranking->sorted_scores.push_back(static_cast<double>(items[i].second));
+  }
+  ranking->min_score = 1.0;
+  ranking->fit = FitPowerLaw(ranking->sorted_scores);
+  return ranking;
+}
+
+std::vector<TermId> RankingService::DistinctObjects(TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : kb_->store().ByPredicateObjectOrder(p)) {
+    if (out.empty() || out.back() != t.o) out.push_back(t.o);
+  }
+  return out;
+}
+
+std::vector<TermId> RankingService::DistinctSubjects(TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : kb_->store().ByPredicate(p)) {
+    if (out.empty() || out.back() != t.s) out.push_back(t.s);
+  }
+  return out;
+}
+
+std::shared_ptr<const ConditionalRanking> RankingService::ObjectsOfPredicate(
+    TermId p) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_of_predicate_.find(p);
+    if (it != objects_of_predicate_.end()) return it->second;
+  }
+  // Conditional frequency fr(I|p): number of facts p(s, I).
+  std::unordered_map<TermId, uint64_t> cond_freq;
+  for (const Triple& t : kb_->store().ByPredicateObjectOrder(p)) {
+    ++cond_freq[t.o];
+  }
+  auto ranking = BuildEntityRanking(std::move(cond_freq));
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_of_predicate_.try_emplace(p, std::move(ranking))
+      .first->second;
+}
+
+std::shared_ptr<const ConditionalRanking> RankingService::SubjectsOfPredicate(
+    TermId p) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subjects_of_predicate_.find(p);
+    if (it != subjects_of_predicate_.end()) return it->second;
+  }
+  std::unordered_map<TermId, uint64_t> cond_freq;
+  for (const Triple& t : kb_->store().ByPredicate(p)) {
+    ++cond_freq[t.s];
+  }
+  auto ranking = BuildEntityRanking(std::move(cond_freq));
+  std::lock_guard<std::mutex> lock(mu_);
+  return subjects_of_predicate_.try_emplace(p, std::move(ranking))
+      .first->second;
+}
+
+std::shared_ptr<const ConditionalRanking>
+RankingService::ObjectJoinPredicates(TermId p) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = object_join_predicates_.find(p);
+    if (it != object_join_predicates_.end()) return it->second;
+  }
+  // Count facts q(y, ·) whose subject y is an object of p.
+  std::unordered_map<TermId, uint64_t> counts;
+  for (const TermId y : DistinctObjects(p)) {
+    for (const Triple& t : kb_->store().BySubject(y)) {
+      ++counts[t.p];
+    }
+  }
+  auto ranking = BuildPredicateRanking(std::move(counts));
+  std::lock_guard<std::mutex> lock(mu_);
+  return object_join_predicates_.try_emplace(p, std::move(ranking))
+      .first->second;
+}
+
+std::shared_ptr<const ConditionalRanking>
+RankingService::SubjectJoinPredicates(TermId p) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subject_join_predicates_.find(p);
+    if (it != subject_join_predicates_.end()) return it->second;
+  }
+  // Count facts q(s, ·) whose subject s is also a subject of p.
+  std::unordered_map<TermId, uint64_t> counts;
+  for (const TermId s : DistinctSubjects(p)) {
+    for (const Triple& t : kb_->store().BySubject(s)) {
+      ++counts[t.p];
+    }
+  }
+  auto ranking = BuildPredicateRanking(std::move(counts));
+  std::lock_guard<std::mutex> lock(mu_);
+  return subject_join_predicates_.try_emplace(p, std::move(ranking))
+      .first->second;
+}
+
+std::shared_ptr<const ConditionalRanking> RankingService::PathObjects(
+    TermId p0, TermId p1) const {
+  const uint64_t key = PackPair(p0, p1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = path_objects_.Get(key)) return *hit;
+  }
+  // Bindings of z in p0(x,y) ∧ p1(y,z), weighted by (y,z) pair counts.
+  std::unordered_map<TermId, uint64_t> cond_freq;
+  for (const TermId y : DistinctObjects(p0)) {
+    for (const Triple& t : kb_->store().ByPredicateSubject(p1, y)) {
+      ++cond_freq[t.o];
+    }
+  }
+  auto ranking = BuildEntityRanking(std::move(cond_freq));
+  std::lock_guard<std::mutex> lock(mu_);
+  path_objects_.Put(key, ranking);
+  return ranking;
+}
+
+size_t RankingService::NumMaterializedRankings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_of_predicate_.size() + subjects_of_predicate_.size() +
+         object_join_predicates_.size() + subject_join_predicates_.size() +
+         path_objects_.size();
+}
+
+}  // namespace remi

@@ -1,0 +1,141 @@
+// Prominence rankings used by the Ĉ cost model (paper §3.1, §3.5.3).
+//
+// Ĉ encodes a concept by the log2 of its 1-based rank in a context-specific
+// prominence ranking:
+//   * predicates: one global ranking by fact count (pr is undefined for
+//     predicates, so fr is always used);
+//   * entity I given predicate p: rank of I among the objects of p
+//     (the "chain rule" context);
+//   * predicate q given p with a first-to-second-argument join: rank of q
+//     among predicates q such that p(x,y) ∧ q(y,z) has matches;
+//   * predicate q given p with a subject join (closed shapes): rank among
+//     predicates sharing subjects with p;
+//   * entity I given a path p0 ∧ p1: rank of I among the bindings of z in
+//     p0(x,y) ∧ p1(y,z).
+//
+// Rankings are computed lazily per context and cached; each conditional
+// entity ranking also carries its Eq. 1 power-law fit (alpha, beta, R²) so
+// the cost model can run in "fitted" mode, reproducing the paper's
+// compressed-ranking implementation (§3.5.3).
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "complexity/prominence.h"
+#include "kb/knowledge_base.h"
+#include "util/lru_cache.h"
+#include "util/powerlaw.h"
+
+namespace remi {
+
+/// \brief One materialized prominence ranking over terms.
+struct ConditionalRanking {
+  /// 1-based rank per ranked term.
+  std::unordered_map<TermId, size_t> rank;
+  /// Ranking scores in rank order (index i = rank i+1); conditional
+  /// frequency in fr mode, prominence score in pr mode.
+  std::vector<double> sorted_scores;
+  /// Smallest positive score (used to scale scores for the log-log fit).
+  double min_score = 1.0;
+  /// Eq. 1 fit of log2(rank) against log2(score / min_score).
+  PowerLawCoefficients fit;
+
+  size_t size() const { return sorted_scores.size(); }
+
+  /// 1-based rank of `t`, or 0 when unranked.
+  size_t RankOf(TermId t) const {
+    auto it = rank.find(t);
+    return it == rank.end() ? 0 : it->second;
+  }
+
+  /// Eq. 1 estimate of the code length for a term with ranking score
+  /// `score` in this context.
+  double FittedBits(double score) const {
+    return fit.EstimateBits(score / min_score);
+  }
+};
+
+/// \brief Lazily computed, cached rankings over a KB.
+///
+/// Thread-safe: lazy construction is mutex-guarded and rankings are shared
+/// immutable snapshots.
+class RankingService {
+ public:
+  /// \param kb the KB (not owned)
+  /// \param prominence entity prominence metric (not owned); predicates
+  ///        always rank by frequency.
+  RankingService(const KnowledgeBase* kb,
+                 const ProminenceProvider* prominence);
+
+  /// 1-based global rank of predicate `p` by fact count; 0 if unknown.
+  size_t PredicateRank(TermId p) const;
+
+  size_t NumPredicates() const { return predicate_ranking_.size(); }
+
+  /// Ranking of the objects of `p` (context of an atom's constant).
+  std::shared_ptr<const ConditionalRanking> ObjectsOfPredicate(
+      TermId p) const;
+
+  /// Ranking of the subjects of `p` (context of a subject constant, used
+  /// by the AMIE baseline whose atoms may bind either argument).
+  std::shared_ptr<const ConditionalRanking> SubjectsOfPredicate(
+      TermId p) const;
+
+  /// Ranking of predicates q joinable as p(x,y) ∧ q(y,z).
+  std::shared_ptr<const ConditionalRanking> ObjectJoinPredicates(
+      TermId p) const;
+
+  /// Ranking of predicates q sharing subjects with p (closed shapes).
+  std::shared_ptr<const ConditionalRanking> SubjectJoinPredicates(
+      TermId p) const;
+
+  /// Ranking of the bindings of z in p0(x,y) ∧ p1(y,z).
+  std::shared_ptr<const ConditionalRanking> PathObjects(TermId p0,
+                                                        TermId p1) const;
+
+  const ProminenceProvider& prominence() const { return *prominence_; }
+  const KnowledgeBase& kb() const { return *kb_; }
+
+  /// Number of conditional rankings materialized so far (for the storage
+  /// accounting of bench/fit_r2).
+  size_t NumMaterializedRankings() const;
+
+ private:
+  /// Turns (term, conditional frequency) pairs into a ranking ordered by
+  /// the active prominence metric.
+  std::shared_ptr<const ConditionalRanking> BuildEntityRanking(
+      std::unordered_map<TermId, uint64_t> cond_freq) const;
+
+  /// Turns (predicate, conditional count) pairs into a frequency ranking.
+  std::shared_ptr<const ConditionalRanking> BuildPredicateRanking(
+      std::unordered_map<TermId, uint64_t> counts) const;
+
+  /// Distinct objects of predicate p.
+  std::vector<TermId> DistinctObjects(TermId p) const;
+  /// Distinct subjects of predicate p.
+  std::vector<TermId> DistinctSubjects(TermId p) const;
+
+  const KnowledgeBase* kb_;
+  const ProminenceProvider* prominence_;
+
+  // Global predicate ranking, built eagerly.
+  std::unordered_map<TermId, size_t> predicate_ranking_;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<TermId, std::shared_ptr<const ConditionalRanking>>
+      objects_of_predicate_;
+  mutable std::unordered_map<TermId, std::shared_ptr<const ConditionalRanking>>
+      subjects_of_predicate_;
+  mutable std::unordered_map<TermId, std::shared_ptr<const ConditionalRanking>>
+      object_join_predicates_;
+  mutable std::unordered_map<TermId, std::shared_ptr<const ConditionalRanking>>
+      subject_join_predicates_;
+  mutable LruCache<uint64_t, std::shared_ptr<const ConditionalRanking>>
+      path_objects_;
+};
+
+}  // namespace remi

@@ -1,0 +1,203 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+namespace remi {
+
+namespace {
+
+/// Suffix appended to a predicate IRI to name its materialized inverse
+/// (paper §2.1: p⁻¹ holds p⁻¹(o, s) iff p(s, o) ∈ K).
+constexpr const char* kInverseSuffix = "#_inverse";
+
+}  // namespace
+
+KnowledgeBase KnowledgeBase::Build(Dictionary dict,
+                                   std::vector<Triple> triples,
+                                   const KbOptions& options) {
+  KnowledgeBase kb;
+  kb.options_ = options;
+  // Deduplicate up front: RDF is a *set* of triples, and duplicated input
+  // facts must not double-count frequencies or the base-fact tally.
+  std::sort(triples.begin(), triples.end(), OrderSpo());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  kb.num_base_facts_ = triples.size();
+  kb.type_predicate_ = dict.InternIri(options.type_predicate_iri);
+  kb.label_predicate_ = dict.InternIri(options.label_predicate_iri);
+
+  // Pass 1: predicate set and base entity frequencies. Frequencies follow
+  // the paper's fr: "the number of facts where a concept occurs in the KB",
+  // counted on base facts so inverse materialization does not double-count.
+  for (const Triple& t : triples) {
+    kb.predicate_set_.insert(t.p);
+  }
+  for (const Triple& t : triples) {
+    if (!kb.predicate_set_.count(t.s)) ++kb.entity_frequency_[t.s];
+    const TermKind ok = dict.kind(t.o);
+    if ((ok == TermKind::kIri || ok == TermKind::kBlank) &&
+        !kb.predicate_set_.count(t.o)) {
+      ++kb.entity_frequency_[t.o];
+    }
+  }
+
+  // Global prominence ranking (fr descending, ties by id for determinism).
+  kb.entities_by_prominence_.reserve(kb.entity_frequency_.size());
+  for (const auto& [id, freq] : kb.entity_frequency_) {
+    (void)freq;
+    kb.entities_by_prominence_.push_back(id);
+  }
+  std::sort(kb.entities_by_prominence_.begin(),
+            kb.entities_by_prominence_.end(),
+            [&kb, &dict](TermId a, TermId b) {
+              const uint64_t fa = kb.entity_frequency_.at(a);
+              const uint64_t fb = kb.entity_frequency_.at(b);
+              if (fa != fb) return fa > fb;
+              // Lexical tie-break: interning order depends on the input
+              // serialization, the lexical form does not.
+              return dict.lexical(a) < dict.lexical(b);
+            });
+  kb.entity_rank_.reserve(kb.entities_by_prominence_.size());
+  for (size_t i = 0; i < kb.entities_by_prominence_.size(); ++i) {
+    kb.entity_rank_[kb.entities_by_prominence_[i]] = i + 1;
+  }
+
+  // Inverse materialization for objects in the top fraction (paper §4:
+  // top 1% most frequent entities); p⁻¹ only for o ∈ I ∪ B.
+  if (options.inverse_top_fraction > 0 &&
+      !kb.entities_by_prominence_.empty()) {
+    const size_t cutoff = static_cast<size_t>(
+        options.inverse_top_fraction *
+        static_cast<double>(kb.entities_by_prominence_.size()));
+    const size_t top_n = cutoff == 0 ? 1 : cutoff;
+    std::unordered_set<TermId> top_objects;
+    for (size_t i = 0; i < top_n && i < kb.entities_by_prominence_.size();
+         ++i) {
+      top_objects.insert(kb.entities_by_prominence_[i]);
+    }
+    std::vector<Triple> inverse_facts;
+    for (const Triple& t : triples) {
+      const TermKind ok = dict.kind(t.o);
+      if (ok != TermKind::kIri && ok != TermKind::kBlank) continue;
+      if (!top_objects.count(t.o)) continue;
+      if (t.p == kb.type_predicate_ || t.p == kb.label_predicate_) continue;
+      auto [it, inserted] = kb.base_to_inverse_.try_emplace(t.p, kNullTerm);
+      if (inserted) {
+        const TermId inv =
+            dict.InternIri(dict.lexical(t.p) + kInverseSuffix);
+        it->second = inv;
+        kb.inverse_to_base_[inv] = t.p;
+        kb.predicate_set_.insert(inv);
+      }
+      inverse_facts.push_back(Triple{t.o, it->second, t.s});
+    }
+    triples.insert(triples.end(), inverse_facts.begin(),
+                   inverse_facts.end());
+  }
+
+  kb.store_ = TripleStore::Build(std::move(triples));
+  kb.dict_ = std::move(dict);
+
+  // Class index.
+  for (const Triple& t : kb.store_.ByPredicate(kb.type_predicate_)) {
+    kb.class_members_[t.o].push_back(t.s);
+  }
+  for (auto& [cls, members] : kb.class_members_) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    kb.classes_.push_back(cls);
+  }
+  std::sort(kb.classes_.begin(), kb.classes_.end());
+  return kb;
+}
+
+bool KnowledgeBase::IsEntity(TermId t) const {
+  if (t >= dict_.size()) return false;
+  const TermKind k = dict_.kind(t);
+  if (k != TermKind::kIri && k != TermKind::kBlank) return false;
+  return !IsPredicateTerm(t);
+}
+
+TermId KnowledgeBase::InverseOf(TermId p) const {
+  auto it = base_to_inverse_.find(p);
+  if (it != base_to_inverse_.end()) return it->second;
+  auto rit = inverse_to_base_.find(p);
+  if (rit != inverse_to_base_.end()) return rit->second;
+  return kNullTerm;
+}
+
+TermId KnowledgeBase::BasePredicateOf(TermId p) const {
+  auto it = inverse_to_base_.find(p);
+  return it == inverse_to_base_.end() ? p : it->second;
+}
+
+uint64_t KnowledgeBase::EntityFrequency(TermId t) const {
+  auto it = entity_frequency_.find(t);
+  return it == entity_frequency_.end() ? 0 : it->second;
+}
+
+uint64_t KnowledgeBase::PredicateFrequency(TermId p) const {
+  return store_.CountPredicate(p);
+}
+
+size_t KnowledgeBase::EntityProminenceRank(TermId t) const {
+  auto it = entity_rank_.find(t);
+  return it == entity_rank_.end() ? 0 : it->second;
+}
+
+bool KnowledgeBase::IsTopProminentEntity(TermId t, double fraction) const {
+  const size_t rank = EntityProminenceRank(t);
+  if (rank == 0) return false;
+  const size_t cutoff = static_cast<size_t>(
+      fraction * static_cast<double>(entities_by_prominence_.size()));
+  return rank <= (cutoff == 0 ? 1 : cutoff);
+}
+
+std::span<const TermId> KnowledgeBase::EntitiesOfClass(TermId cls) const {
+  auto it = class_members_.find(cls);
+  if (it == class_members_.end()) return {};
+  return it->second;
+}
+
+std::vector<TermId> KnowledgeBase::ClassesOf(TermId entity) const {
+  std::vector<TermId> out;
+  for (const Triple& t : store_.ByPredicateSubject(type_predicate_, entity)) {
+    out.push_back(t.o);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string KnowledgeBase::Label(TermId t) const {
+  if (t >= dict_.size()) return "?";
+  for (const Triple& f :
+       store_.ByPredicateSubject(label_predicate_, t)) {
+    if (dict_.kind(f.o) != TermKind::kLiteral) continue;
+    const std::string& lex = dict_.lexical(f.o);
+    // Canonical literal form: "body" + suffix.
+    const size_t last_quote = lex.rfind('"');
+    if (!lex.empty() && lex[0] == '"' && last_quote != std::string::npos &&
+        last_quote >= 1) {
+      return lex.substr(1, last_quote - 1);
+    }
+    return lex;
+  }
+  const Term& term = dict_.term(t);
+  if (term.kind == TermKind::kIri) {
+    size_t cut = term.lexical.find_last_of("/#");
+    std::string local = cut == std::string::npos
+                            ? term.lexical
+                            : term.lexical.substr(cut + 1);
+    std::replace(local.begin(), local.end(), '_', ' ');
+    return local.empty() ? term.lexical : local;
+  }
+  if (term.kind == TermKind::kBlank) return "_:" + term.lexical;
+  const size_t last_quote = term.lexical.rfind('"');
+  if (!term.lexical.empty() && term.lexical[0] == '"' &&
+      last_quote != std::string::npos && last_quote >= 1) {
+    return term.lexical.substr(1, last_quote - 1);
+  }
+  return term.lexical;
+}
+
+}  // namespace remi

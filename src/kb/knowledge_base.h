@@ -1,0 +1,151 @@
+// The KnowledgeBase facade: an immutable RDF KB plus the derived artifacts
+// REMI needs (paper §2.1, §3.5, §4):
+//
+//  * inverse-predicate materialization: p⁻¹(o, s) facts are added for every
+//    base fact whose object is among the top `inverse_top_fraction` most
+//    frequent entities (paper §4: top 1%), with p⁻¹ RDF-compliant (only for
+//    o ∈ I ∪ B);
+//  * term frequencies ("fr" prominence, §3.1) and the global entity
+//    prominence ranking used by the enumerator's top-5% pruning rule;
+//  * the rdf:type class index and rdfs:label store used by workloads,
+//    the verbalizer, and the user-study harnesses.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// Well-known IRIs (DBpedia-style defaults).
+inline constexpr const char* kRdfTypeIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr const char* kRdfsLabelIri =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// Construction options for a KnowledgeBase.
+struct KbOptions {
+  /// IRI of the instance-class predicate.
+  std::string type_predicate_iri = kRdfTypeIri;
+  /// IRI of the human-readable label predicate.
+  std::string label_predicate_iri = kRdfsLabelIri;
+  /// Materialize p⁻¹(o, s) for objects in the top fraction of the entity
+  /// frequency ranking (paper §4 uses 0.01). Set to 0 to disable.
+  double inverse_top_fraction = 0.01;
+};
+
+/// \brief Immutable knowledge base with statistics and derived indexes.
+///
+/// Thread-safe for concurrent reads after construction.
+class KnowledgeBase {
+ public:
+  /// Builds a KB from a dictionary and base triples. The dictionary is
+  /// moved in; inverse predicates intern new terms into it.
+  static KnowledgeBase Build(Dictionary dict, std::vector<Triple> triples,
+                             const KbOptions& options = KbOptions());
+
+  const Dictionary& dict() const { return dict_; }
+  const TripleStore& store() const { return store_; }
+  const KbOptions& options() const { return options_; }
+
+  /// Total facts including materialized inverses.
+  size_t NumFacts() const { return store_.size(); }
+  /// Facts before inverse materialization.
+  size_t NumBaseFacts() const { return num_base_facts_; }
+  /// Distinct predicates including inverse predicates.
+  size_t NumPredicates() const { return store_.predicates().size(); }
+  /// Distinct entities (IRIs/blank nodes that are not predicates).
+  size_t NumEntities() const { return entities_by_prominence_.size(); }
+
+  // --- term classification -------------------------------------------------
+
+  /// True if `t` occurs in predicate position (including inverses).
+  bool IsPredicateTerm(TermId t) const { return predicate_set_.count(t) > 0; }
+
+  /// True if `t` is an entity: an IRI or blank node not used as predicate.
+  bool IsEntity(TermId t) const;
+
+  // --- inverse predicates ----------------------------------------------------
+
+  /// True if `p` is a materialized inverse predicate.
+  bool IsInversePredicate(TermId p) const {
+    return inverse_to_base_.count(p) > 0;
+  }
+
+  /// The inverse id of a base predicate (kNullTerm if none materialized),
+  /// or the base id of an inverse predicate.
+  TermId InverseOf(TermId p) const;
+
+  /// For an inverse predicate returns its base; otherwise returns `p`.
+  TermId BasePredicateOf(TermId p) const;
+
+  // --- prominence (fr) -------------------------------------------------------
+
+  /// Number of base facts where `t` occurs as subject or object.
+  uint64_t EntityFrequency(TermId t) const;
+
+  /// Number of facts (incl. inverses) with predicate `p`.
+  uint64_t PredicateFrequency(TermId p) const;
+
+  /// 1-based rank of `t` in the entity frequency ranking; 0 if `t` is not
+  /// a ranked entity.
+  size_t EntityProminenceRank(TermId t) const;
+
+  /// Entities sorted by descending frequency (ties by id).
+  const std::vector<TermId>& EntitiesByProminence() const {
+    return entities_by_prominence_;
+  }
+
+  /// True if `t` ranks within the top `fraction` of entities (paper's 5%
+  /// rule in §3.5.2 and 1% inverse rule in §4).
+  bool IsTopProminentEntity(TermId t, double fraction) const;
+
+  // --- classes ---------------------------------------------------------------
+
+  TermId type_predicate() const { return type_predicate_; }
+  TermId label_predicate() const { return label_predicate_; }
+
+  /// Entities declared `rdf:type cls`, ascending by id.
+  std::span<const TermId> EntitiesOfClass(TermId cls) const;
+
+  /// Classes of an entity (ascending by id).
+  std::vector<TermId> ClassesOf(TermId entity) const;
+
+  /// All classes that have at least one instance, ascending by id.
+  const std::vector<TermId>& classes() const { return classes_; }
+
+  // --- labels ----------------------------------------------------------------
+
+  /// Human-readable label: the rdfs:label literal body if present, else a
+  /// prettified IRI local name ('_' -> ' '), else the lexical form.
+  std::string Label(TermId t) const;
+
+ private:
+  Dictionary dict_;
+  TripleStore store_;
+  KbOptions options_;
+  size_t num_base_facts_ = 0;
+
+  TermId type_predicate_ = kNullTerm;
+  TermId label_predicate_ = kNullTerm;
+
+  std::unordered_set<TermId> predicate_set_;
+  std::unordered_map<TermId, TermId> base_to_inverse_;
+  std::unordered_map<TermId, TermId> inverse_to_base_;
+
+  std::unordered_map<TermId, uint64_t> entity_frequency_;
+  std::unordered_map<TermId, size_t> entity_rank_;  // 1-based
+  std::vector<TermId> entities_by_prominence_;
+
+  std::unordered_map<TermId, std::vector<TermId>> class_members_;
+  std::vector<TermId> classes_;
+};
+
+}  // namespace remi

@@ -1,0 +1,417 @@
+#include "kbgen/curated.h"
+
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+
+namespace {
+
+// Cities with their country, for background volume.
+struct CityRow {
+  const char* name;
+  const char* country;
+};
+
+constexpr CityRow kCities[] = {
+    {"Paris", "France"},        {"Rennes", "France"},
+    {"Nantes", "France"},       {"Brest", "France"},
+    {"Lyon", "France"},         {"Marseille", "France"},
+    {"Berlin", "Germany"},      {"Munich", "Germany"},
+    {"Hamburg", "Germany"},     {"Rome", "Italy"},
+    {"Pisa", "Italy"},          {"Milan", "Italy"},
+    {"Madrid", "Spain"},        {"Barcelona", "Spain"},
+    {"London", "United_Kingdom"}, {"Manchester", "United_Kingdom"},
+    {"Amsterdam", "Netherlands"}, {"Prague", "Czech_Republic"},
+    {"Vienna", "Austria"},      {"Bern", "Switzerland"},
+    {"Zurich", "Switzerland"},  {"Wellington", "New_Zealand"},
+    {"Auckland", "New_Zealand"}, {"Georgetown", "Guyana"},
+    {"Paramaribo", "Suriname"}, {"Lima", "Peru"},
+    {"Quito", "Ecuador"},       {"Brasilia", "Brazil"},
+    {"Buenos_Aires", "Argentina"}, {"Santiago", "Chile"},
+    {"Bogota", "Colombia"},     {"Caracas", "Venezuela"},
+    {"La_Paz", "Bolivia"},      {"Asuncion", "Paraguay"},
+    {"Montevideo", "Uruguay"},
+};
+
+// Country -> (continent, official language).
+struct CountryRow {
+  const char* name;
+  const char* continent;
+  const char* language;
+};
+
+constexpr CountryRow kCountries[] = {
+    {"France", "Europe", "French"},
+    {"Germany", "Europe", "German"},
+    {"Italy", "Europe", "Italian"},
+    {"Spain", "Europe", "Spanish"},
+    {"United_Kingdom", "Europe", "English"},
+    {"Netherlands", "Europe", "Dutch"},
+    {"Czech_Republic", "Europe", "Czech"},
+    {"Austria", "Europe", "German"},
+    {"New_Zealand", "Oceania", "English"},
+    // South America: Romance everywhere except Guyana and Suriname
+    // (paper §2.2.2: the Germanic-language RE for these two).
+    {"Guyana", "South_America", "English"},
+    {"Suriname", "South_America", "Dutch"},
+    {"Brazil", "South_America", "Portuguese"},
+    {"Argentina", "South_America", "Spanish"},
+    {"Chile", "South_America", "Spanish"},
+    {"Peru", "South_America", "Spanish"},
+    {"Ecuador", "South_America", "Spanish"},
+    {"Colombia", "South_America", "Spanish"},
+    {"Venezuela", "South_America", "Spanish"},
+    {"Bolivia", "South_America", "Spanish"},
+    {"Paraguay", "South_America", "Spanish"},
+    {"Uruguay", "South_America", "Spanish"},
+};
+
+struct LanguageRow {
+  const char* name;
+  const char* family;
+};
+
+constexpr LanguageRow kLanguages[] = {
+    {"French", "Romance"},    {"Italian", "Romance"},
+    {"Spanish", "Romance"},   {"Portuguese", "Romance"},
+    {"Romansh", "Romance"},   {"German", "Germanic"},
+    {"English", "Germanic"},  {"Dutch", "Germanic"},
+    {"Czech", "Slavic"},
+};
+
+}  // namespace
+
+KbOptions CuratedKbOptions() {
+  KbOptions options;
+  // The curated KB has ~200 entities; the paper's 1% rule would materialize
+  // inverses for a single entity, so use 15% to cover the main hubs
+  // (including the Kingdom-of-France noise twin).
+  options.inverse_top_fraction = 0.15;
+  return options;
+}
+
+KnowledgeBase BuildCuratedKb(const KbOptions& options) {
+  KbBuilder b;
+
+  // --- geography -----------------------------------------------------------
+  for (const auto& city : kCities) {
+    b.Type(city.name, "City");
+    b.Fact(city.name, "cityIn", city.country);
+    std::string label(city.name);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(city.name, label);
+  }
+  for (const auto& country : kCountries) {
+    b.Type(country.name, "Country");
+    b.Fact(country.name, "in", country.continent);
+    b.Fact(country.name, "officialLanguage", country.language);
+    std::string label(country.name);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(country.name, label);
+  }
+  for (const auto& lang : kLanguages) {
+    b.Type(lang.name, "Language");
+    b.Fact(lang.name, "langFamily", lang.family);
+    b.Label(lang.name, lang.name);
+  }
+  for (const char* family : {"Romance", "Germanic", "Slavic"}) {
+    b.Type(family, "LanguageFamily");
+    b.Label(family, family);
+  }
+  for (const char* cont : {"Europe", "South_America", "Oceania"}) {
+    b.Type(cont, "Continent");
+  }
+  b.Label("South_America", "South America");
+  // Switzerland: four official languages (§3.1 multiplicity remark).
+  b.Type("Switzerland", "Country");
+  b.Fact("Switzerland", "in", "Europe");
+  b.Label("Switzerland", "Switzerland");
+  for (const char* lang : {"Italian", "German", "French", "Romansh"}) {
+    b.Fact("Switzerland", "officialLanguage", lang);
+  }
+
+  // --- Paris (§1, §4.1.3) ----------------------------------------------------
+  b.Fact("Paris", "capitalOf", "France");
+  // DBpedia noise: Paris is also the capital of the Kingdom of France, so
+  // capitalOf⁻¹(x, Paris) is NOT an RE for France (§4.1.3). The historical
+  // kingdom is a rich DBpedia page, so it gets enough facts to be
+  // prominent (and hence to receive materialized inverse facts).
+  b.Type("Kingdom_of_France", "Country");
+  b.Label("Kingdom_of_France", "Kingdom of France");
+  b.Fact("Paris", "capitalOf", "Kingdom_of_France");
+  b.Fact("Kingdom_of_France", "in", "Europe");
+  b.Fact("Kingdom_of_France", "officialLanguage", "French");
+  b.Fact("France", "successorOf", "Kingdom_of_France");
+  b.Type("French_Revolution", "Event");
+  b.Label("French_Revolution", "French Revolution");
+  b.Fact("Kingdom_of_France", "hadEvent", "French_Revolution");
+  b.Type("Hundred_Years_War", "Event");
+  b.Fact("Kingdom_of_France", "hadEvent", "Hundred_Years_War");
+  b.Type("Louis_XIV", "Person");
+  b.Label("Louis_XIV", "Louis XIV");
+  b.Fact("Louis_XIV", "ruled", "Kingdom_of_France");
+  b.Type("Versailles", "City");
+  b.Label("Versailles", "Versailles");
+  b.Fact("Versailles", "cityIn", "Kingdom_of_France");
+  b.Fact("Berlin", "capitalOf", "Germany");
+  b.Fact("Rome", "capitalOf", "Italy");
+  b.Fact("Madrid", "capitalOf", "Spain");
+  b.Fact("London", "capitalOf", "United_Kingdom");
+  b.Fact("Amsterdam", "capitalOf", "Netherlands");
+  b.Fact("Prague", "capitalOf", "Czech_Republic");
+  b.Fact("Vienna", "capitalOf", "Austria");
+  b.Fact("Bern", "capitalOf", "Switzerland");
+  b.Fact("Wellington", "capitalOf", "New_Zealand");
+  b.Fact("Georgetown", "capitalOf", "Guyana");
+  b.Fact("Paramaribo", "capitalOf", "Suriname");
+  b.Fact("Lima", "capitalOf", "Peru");
+  b.Fact("Quito", "capitalOf", "Ecuador");
+
+  b.Type("Eiffel_Tower", "Monument");
+  b.Label("Eiffel_Tower", "Eiffel Tower");
+  b.Fact("Eiffel_Tower", "locatedIn", "Paris");
+  b.Type("Victor_Hugo", "Person");
+  b.Label("Victor_Hugo", "Victor Hugo");
+  b.Fact("Victor_Hugo", "restingPlace", "Paris");
+  b.Type("Voltaire", "Person");
+  b.Label("Voltaire", "Voltaire");
+  b.Fact("Voltaire", "bornIn", "Paris");
+
+  // --- Figure 1: Rennes & Nantes ------------------------------------------
+  b.Type("Brittany", "Region");
+  b.Label("Brittany", "Brittany");
+  b.Fact("Rennes", "belongedTo", "Brittany");
+  b.Fact("Nantes", "belongedTo", "Brittany");
+  b.Fact("Brest", "belongedTo", "Brittany");
+
+  b.Type("Socialist_Party", "Party");
+  b.Label("Socialist_Party", "Socialist Party");
+  b.Type("Green_Party", "Party");
+  b.Label("Green_Party", "Green Party");
+  b.Type("Liberal_Party", "Party");
+  b.Label("Liberal_Party", "Liberal Party");
+
+  const struct {
+    const char* city;
+    const char* mayor;
+    const char* party;
+  } kMayors[] = {
+      {"Rennes", "Nathalie_Appere", "Socialist_Party"},
+      {"Nantes", "Johanna_Rolland", "Socialist_Party"},
+      {"Paris", "Anne_Hidalgo", "Socialist_Party"},
+      {"Marseille", "Benoit_Payan", "Socialist_Party"},
+      {"Brest", "Francois_Cuillandre", "Liberal_Party"},
+      {"Lyon", "Gregory_Doucet", "Green_Party"},
+      {"Pisa", "Michele_Conti", "Liberal_Party"},
+  };
+  for (const auto& row : kMayors) {
+    b.Type(row.mayor, "Person");
+    std::string label(row.mayor);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(row.mayor, label);
+    b.Fact(row.city, "mayor", row.mayor);
+    b.Fact(row.mayor, "party", row.party);
+  }
+
+  b.Type("Epitech", "University");
+  b.Label("Epitech", "Epitech");
+  b.Fact("Rennes", "placeOf", "Epitech");
+  b.Fact("Nantes", "placeOf", "Epitech");
+  b.Fact("Paris", "placeOf", "Epitech");
+  b.Type("Sorbonne", "University");
+  b.Label("Sorbonne", "Sorbonne");
+  b.Fact("Paris", "placeOf", "Sorbonne");
+
+  // --- the Einstein supervisor chain (§1, §3.2) -----------------------------
+  for (const char* person :
+       {"Johann_J_Mueller", "Alfred_Kleiner", "Albert_Einstein",
+        "Heinrich_Burkhardt", "Hermann_Minkowski"}) {
+    b.Type(person, "Person");
+    std::string label(person);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(person, label);
+  }
+  b.Fact("Johann_J_Mueller", "supervisorOf", "Alfred_Kleiner");
+  b.Fact("Alfred_Kleiner", "supervisorOf", "Albert_Einstein");
+  b.Fact("Heinrich_Burkhardt", "supervisorOf", "Hermann_Minkowski");
+  // Einstein is a hub: many facts mention him, making him prominent.
+  b.Fact("Albert_Einstein", "bornIn", "Munich");
+  b.Fact("Albert_Einstein", "citizenOf", "Switzerland");
+  b.Fact("Albert_Einstein", "citizenOf", "Germany");
+  b.Fact("Albert_Einstein", "fieldOf", "Physics");
+  b.Type("Physics", "Discipline");
+  b.Type("Nobel_Prize", "Award");
+  b.Label("Nobel_Prize", "Nobel Prize");
+  b.Fact("Albert_Einstein", "won", "Nobel_Prize");
+
+  // --- §4.1.3 anecdotes -----------------------------------------------------
+  b.Type("Marie_Curie", "Person");
+  b.Label("Marie_Curie", "Marie Curie");
+  b.Type("Aplastic_Anemia", "Disease");
+  b.Label("Aplastic_Anemia", "aplastic anemia");
+  b.Fact("Marie_Curie", "diedOf", "Aplastic_Anemia");
+  b.Fact("Marie_Curie", "won", "Nobel_Prize");
+  b.Fact("Marie_Curie", "fieldOf", "Physics");
+  b.Type("Heart_Failure", "Disease");
+  b.Fact("Victor_Hugo", "diedOf", "Heart_Failure");
+
+  b.Type("Neil_Armstrong", "Person");
+  b.Label("Neil_Armstrong", "Neil Armstrong");
+  b.Type("Atlantic_Ocean", "Ocean");
+  b.Label("Atlantic_Ocean", "Atlantic Ocean");
+  b.Type("Earth", "Planet");
+  b.Label("Earth", "Earth");
+  b.Fact("Neil_Armstrong", "restingPlace", "Atlantic_Ocean");
+  b.Fact("Atlantic_Ocean", "partOf", "Earth");
+  b.Fact("Neil_Armstrong", "memberOf", "Apollo_11");
+  b.Type("Apollo_11", "SpaceMission");
+  b.Label("Apollo_11", "Apollo 11");
+
+  b.Type("Agrofert", "Company");
+  b.Label("Agrofert", "Agrofert");
+  b.Type("Andrej_Babis", "Person");
+  b.Label("Andrej_Babis", "Andrej Babis");
+  b.Fact("Agrofert", "ceo", "Andrej_Babis");
+  b.Fact("Andrej_Babis", "primeMinisterOf", "Czech_Republic");
+  b.Type("Skoda", "Company");
+  b.Label("Skoda", "Skoda");
+  b.Fact("Skoda", "ceo", "Klaus_Zellmer");
+  b.Type("Klaus_Zellmer", "Person");
+
+  b.Type("Inca_Civil_War", "Event");
+  b.Label("Inca_Civil_War", "Inca Civil War");
+  b.Fact("Ecuador", "hadEvent", "Inca_Civil_War");
+  b.Fact("Peru", "hadEvent", "Inca_Civil_War");
+  b.Type("Falklands_War", "Event");
+  b.Fact("Argentina", "hadEvent", "Falklands_War");
+
+  // --- movies (§4.1.3) ------------------------------------------------------
+  const struct {
+    const char* film;
+    const char* country;
+    const char* actor;
+  } kFilms[] = {
+      {"The_Hobbit_1", "New_Zealand", "Christopher_Lee"},
+      {"The_Hobbit_2", "New_Zealand", "Christopher_Lee"},
+      {"The_Piano", "New_Zealand", "Holly_Hunter"},
+      {"Whale_Rider", "New_Zealand", "Keisha_Castle_Hughes"},
+      {"Altri_Templi", "Italy", "Michele_Conti"},
+      {"La_Dolce_Vita", "Italy", "Marcello_Mastroianni"},
+      {"Amelie", "France", "Audrey_Tautou"},
+  };
+  for (const auto& row : kFilms) {
+    b.Type(row.film, "Film");
+    std::string label(row.film);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(row.film, label);
+    b.Fact(row.film, "country", row.country);
+    b.Fact(row.film, "actor", row.actor);
+    b.Type(row.actor, "Person");
+    std::string actor_label(row.actor);
+    for (auto& c : actor_label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(row.actor, actor_label);
+  }
+  b.Type("Buddhism", "Religion");
+  b.Label("Buddhism", "Buddhism");
+  b.Fact("Christopher_Lee", "religion", "Buddhism");
+  // The mayor of Pisa acts in "Altri templi": actor(x,y) ∧ leaderOf(y,
+  // Pisa) becomes the "narratively interesting" RE of §4.1.3.
+  b.Fact("Michele_Conti", "leaderOf", "Pisa");
+
+  // Background volume so prominence rankings are non-trivial: France and a
+  // few hubs get extra mentions.
+  const struct {
+    const char* subject;
+    const char* pred;
+    const char* object;
+  } kExtra[] = {
+      {"France", "memberOf", "European_Union"},
+      {"Germany", "memberOf", "European_Union"},
+      {"Italy", "memberOf", "European_Union"},
+      {"Spain", "memberOf", "European_Union"},
+      {"Netherlands", "memberOf", "European_Union"},
+      {"Austria", "memberOf", "European_Union"},
+      {"Czech_Republic", "memberOf", "European_Union"},
+      {"Eiffel_Tower", "visitedBy", "Millions"},
+      {"France", "borders", "Germany"},
+      {"France", "borders", "Italy"},
+      {"France", "borders", "Spain"},
+      {"France", "borders", "Switzerland"},
+      {"Germany", "borders", "Austria"},
+      {"Germany", "borders", "Netherlands"},
+      {"Germany", "borders", "Czech_Republic"},
+      {"Peru", "borders", "Ecuador"},
+      {"Peru", "borders", "Chile"},
+      {"Peru", "borders", "Bolivia"},
+      {"Brazil", "borders", "Argentina"},
+      {"Brazil", "borders", "Peru"},
+      {"Guyana", "borders", "Suriname"},
+      {"Guyana", "borders", "Brazil"},
+      {"Suriname", "borders", "Brazil"},
+  };
+  for (const auto& row : kExtra) {
+    b.Fact(row.subject, row.pred, row.object);
+    if (std::string(row.pred) == "borders") {
+      // Borders are symmetric in the world (and in DBpedia, which lists
+      // both directions); without this, "borders(x, Brazil)" would be a
+      // spurious two-country RE.
+      b.Fact(row.object, row.pred, row.subject);
+    }
+  }
+  // Chile completes the Brazil ring so borders(x, Brazil) stays ambiguous
+  // even among non-targets of common queries.
+  b.Type("Chile", "Country");
+
+  // A supervision "tail": advisor -> student pairs whose students are
+  // documented people (label, birthplace, citizenship). Their global
+  // prominence pushes Alfred Kleiner deep in the supervisorOf object
+  // ranking, so the chain through the famous Einstein becomes the cheaper
+  // description of Müller (§3.2's argument for the extended bias).
+  const struct {
+    const char* advisor;
+    const char* student;
+    const char* born;
+    const char* citizen;
+  } kSupervision[] = {
+      {"Prof_Weber", "Student_Meier", "Zurich", "Switzerland"},
+      {"Prof_Huber", "Student_Frei", "Bern", "Switzerland"},
+      {"Prof_Graf", "Student_Keller", "Munich", "Germany"},
+      {"Prof_Moser", "Student_Roth", "Berlin", "Germany"},
+      {"Prof_Vogel", "Student_Gerber", "Vienna", "Austria"},
+      {"Prof_Frey", "Student_Brunner", "Hamburg", "Germany"},
+      {"Prof_Zimmer", "Student_Suter", "Zurich", "Switzerland"},
+      {"Prof_Baumann", "Student_Wyss", "Bern", "Switzerland"},
+      {"Prof_Egger", "Student_Schmid", "Munich", "Germany"},
+      {"Prof_Koch", "Student_Bucher", "Vienna", "Austria"},
+  };
+  for (const auto& row : kSupervision) {
+    b.Type(row.advisor, "Person");
+    b.Type(row.student, "Person");
+    b.Fact(row.advisor, "supervisorOf", row.student);
+    std::string label(row.student);
+    for (auto& c : label) {
+      if (c == '_') c = ' ';
+    }
+    b.Label(row.student, label);
+    b.Fact(row.student, "bornIn", row.born);
+    b.Fact(row.student, "citizenOf", row.citizen);
+  }
+  b.Type("European_Union", "Organization");
+  b.Label("European_Union", "European Union");
+
+  return std::move(b).Build(options);
+}
+
+}  // namespace remi

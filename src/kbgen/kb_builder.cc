@@ -1,0 +1,50 @@
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+
+TermId KbBuilder::Iri(std::string_view local_name) {
+  return dict_.InternIri(base_iri_ + std::string(local_name));
+}
+
+TermId KbBuilder::Literal(std::string_view value) {
+  return dict_.Intern(TermKind::kLiteral,
+                      "\"" + std::string(value) + "\"");
+}
+
+TermId KbBuilder::Blank(std::string_view label) {
+  return dict_.Intern(TermKind::kBlank, label);
+}
+
+void KbBuilder::Add(TermId s, TermId p, TermId o) {
+  triples_.push_back(Triple{s, p, o});
+}
+
+void KbBuilder::Fact(std::string_view s, std::string_view p,
+                     std::string_view o) {
+  Add(Iri(s), Iri(p), Iri(o));
+}
+
+void KbBuilder::LiteralFact(std::string_view s, std::string_view p,
+                            std::string_view value) {
+  Add(Iri(s), Iri(p), Literal(value));
+}
+
+void KbBuilder::Type(std::string_view s, std::string_view cls) {
+  Add(Iri(s), dict_.InternIri(kRdfTypeIri), Iri(cls));
+}
+
+void KbBuilder::Label(std::string_view s, std::string_view text) {
+  Add(Iri(s), dict_.InternIri(kRdfsLabelIri), Literal(text));
+}
+
+KnowledgeBase KbBuilder::Build(const KbOptions& options) && {
+  return KnowledgeBase::Build(std::move(dict_), std::move(triples_), options);
+}
+
+Result<TermId> FindEntity(const KnowledgeBase& kb, std::string_view local_name,
+                          std::string_view base_iri) {
+  return kb.dict().Lookup(TermKind::kIri,
+                          std::string(base_iri) + std::string(local_name));
+}
+
+}  // namespace remi

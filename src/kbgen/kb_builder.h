@@ -1,0 +1,67 @@
+// A convenience assembler for building KBs programmatically (used by the
+// curated mini-KB, the synthetic generators, and many tests).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace remi {
+
+/// \brief Accumulates triples against a dictionary with IRI shorthands.
+///
+/// Local names are expanded against a base IRI ("http://remi.example/
+/// by default): Ent("Paris") interns <http://remi.example/Paris>.
+class KbBuilder {
+ public:
+  explicit KbBuilder(std::string base_iri = "http://remi.example/")
+      : base_iri_(std::move(base_iri)) {}
+
+  /// Interns an entity/predicate IRI from a local name.
+  TermId Iri(std::string_view local_name);
+
+  /// Interns a plain string literal (canonical quoted form).
+  TermId Literal(std::string_view value);
+
+  /// Interns a blank node.
+  TermId Blank(std::string_view label);
+
+  /// Adds a fact from interned ids.
+  void Add(TermId s, TermId p, TermId o);
+
+  /// Adds a fact from local names (object is an IRI).
+  void Fact(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Adds a fact whose object is a string literal.
+  void LiteralFact(std::string_view s, std::string_view p,
+                   std::string_view value);
+
+  /// Adds rdf:type.
+  void Type(std::string_view s, std::string_view cls);
+
+  /// Adds rdfs:label.
+  void Label(std::string_view s, std::string_view text);
+
+  size_t size() const { return triples_.size(); }
+  Dictionary& dict() { return dict_; }
+  std::vector<Triple>& triples() { return triples_; }
+
+  /// Consumes the builder and produces a KnowledgeBase.
+  KnowledgeBase Build(const KbOptions& options = KbOptions()) &&;
+
+ private:
+  std::string base_iri_;
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+/// Looks up the entity interned for `local_name` under `base_iri`.
+Result<TermId> FindEntity(const KnowledgeBase& kb, std::string_view local_name,
+                          std::string_view base_iri = "http://remi.example/");
+
+}  // namespace remi

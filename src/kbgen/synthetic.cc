@@ -1,0 +1,218 @@
+#include "kbgen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "kbgen/kb_builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace remi {
+
+namespace {
+
+/// An affine index permutation idx -> (a * idx + c) mod m with gcd(a,m)=1,
+/// used to give every predicate its own notion of "popular" subjects and
+/// objects without storing a full permutation.
+class AffinePermutation {
+ public:
+  AffinePermutation(size_t m, Rng* rng) : m_(m == 0 ? 1 : m) {
+    do {
+      a_ = rng->NextBounded(m_) | 1;  // odd helps but is not sufficient
+    } while (std::gcd(a_, m_) != 1);
+    c_ = rng->NextBounded(m_);
+  }
+
+  size_t Apply(size_t idx) const { return (a_ * (idx % m_) + c_) % m_; }
+
+ private:
+  uint64_t m_;
+  uint64_t a_ = 1;
+  uint64_t c_ = 0;
+};
+
+/// Caches ZipfSampler instances by (n, s); the generator reuses a handful
+/// of (class size, exponent) combinations thousands of times.
+class SamplerCache {
+ public:
+  const ZipfSampler& Get(size_t n, double s) {
+    const auto key = std::make_pair(n, s);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(key, std::make_unique<ZipfSampler>(n == 0 ? 1 : n, s))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  std::map<std::pair<size_t, double>, std::unique_ptr<ZipfSampler>> cache_;
+};
+
+}  // namespace
+
+SyntheticKbConfig SyntheticKbConfig::DBpediaLike(double scale) {
+  SyntheticKbConfig config;
+  config.seed = 20161001;
+  config.num_entities = static_cast<size_t>(40000 * scale);
+  config.num_predicates = static_cast<size_t>(400 * scale > 1951
+                                                  ? 1951
+                                                  : 400 * scale);
+  config.num_classes = 48;
+  config.num_facts = static_cast<size_t>(400000 * scale);
+  config.literal_predicate_fraction = 0.25;
+  config.base_iri = "http://synth.remi.example/dbpedia/";
+  return config;
+}
+
+SyntheticKbConfig SyntheticKbConfig::WikidataLike(double scale) {
+  SyntheticKbConfig config;
+  config.seed = 15900000;
+  config.num_entities = static_cast<size_t>(25000 * scale);
+  config.num_predicates =
+      static_cast<size_t>(150 * scale > 752 ? 752 : 150 * scale);
+  config.num_classes = 32;
+  config.num_facts = static_cast<size_t>(180000 * scale);
+  config.literal_predicate_fraction = 0.15;
+  config.subject_zipf = 0.9;
+  config.base_iri = "http://synth.remi.example/wikidata/";
+  return config;
+}
+
+KnowledgeBase BuildSyntheticKb(const SyntheticKbConfig& config,
+                               const KbOptions& kb_options) {
+  REMI_CHECK(config.num_entities > 0);
+  REMI_CHECK(config.num_predicates > 0);
+  REMI_CHECK(config.num_classes > 0);
+
+  Rng rng(config.seed);
+  SamplerCache samplers;
+  KbBuilder builder(config.base_iri);
+
+  // --- entities and classes --------------------------------------------------
+  std::vector<TermId> entity_ids(config.num_entities);
+  for (size_t i = 0; i < config.num_entities; ++i) {
+    entity_ids[i] = builder.Iri("E" + std::to_string(i));
+  }
+  std::vector<TermId> class_ids(config.num_classes);
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    class_ids[c] = builder.Iri("Class" + std::to_string(c));
+  }
+  const TermId type_pred = builder.dict().InternIri(kRdfTypeIri);
+  const TermId label_pred = builder.dict().InternIri(kRdfsLabelIri);
+
+  // Assign each entity to a Zipf-sampled class; remember class members.
+  const ZipfSampler& class_sampler =
+      samplers.Get(config.num_classes, config.class_zipf);
+  std::vector<std::vector<size_t>> class_members(config.num_classes);
+  for (size_t i = 0; i < config.num_entities; ++i) {
+    const size_t cls = class_sampler.Sample(&rng) - 1;
+    class_members[cls].push_back(i);
+    builder.Add(entity_ids[i], type_pred, class_ids[cls]);
+    if (config.add_labels) {
+      builder.Add(entity_ids[i], label_pred,
+                  builder.Literal("Entity " + std::to_string(i)));
+    }
+  }
+
+  // --- predicate schemas -----------------------------------------------------
+  struct PredicateSchema {
+    TermId id;
+    size_t domain_class;
+    size_t range_class;   // ignored when literal_range
+    bool literal_range;
+    size_t budget;
+    AffinePermutation subject_perm;
+    AffinePermutation object_perm;
+    std::vector<TermId> literal_pool;
+  };
+
+  // Per-predicate fact budgets follow a Zipf law over predicate rank.
+  std::vector<double> weights(config.num_predicates);
+  double weight_sum = 0;
+  for (size_t r = 0; r < config.num_predicates; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -config.predicate_zipf);
+    weight_sum += weights[r];
+  }
+
+  std::vector<PredicateSchema> schemas;
+  schemas.reserve(config.num_predicates);
+  for (size_t r = 0; r < config.num_predicates; ++r) {
+    size_t domain = class_sampler.Sample(&rng) - 1;
+    if (class_members[domain].empty()) domain = 0;
+    size_t range = class_sampler.Sample(&rng) - 1;
+    if (class_members[range].empty()) range = 0;
+    const bool literal_range =
+        rng.NextDouble() < config.literal_predicate_fraction;
+    const size_t budget = static_cast<size_t>(
+        static_cast<double>(config.num_facts) * weights[r] / weight_sum);
+    PredicateSchema schema{
+        builder.Iri("p" + std::to_string(r)),
+        domain,
+        range,
+        literal_range,
+        budget,
+        AffinePermutation(std::max<size_t>(class_members[domain].size(), 1),
+                          &rng),
+        AffinePermutation(std::max<size_t>(class_members[range].size(), 1),
+                          &rng),
+        {}};
+    if (literal_range) {
+      // Literal pool of sub-linear size: frequent predicates reuse values,
+      // giving literals a conditional frequency distribution too.
+      const size_t pool = std::max<size_t>(
+          4, static_cast<size_t>(std::pow(static_cast<double>(budget), 0.6)));
+      schema.literal_pool.reserve(pool);
+      for (size_t v = 0; v < pool; ++v) {
+        schema.literal_pool.push_back(builder.Literal(
+            "p" + std::to_string(r) + "_v" + std::to_string(v)));
+      }
+    }
+    schemas.push_back(std::move(schema));
+  }
+
+  // --- facts -------------------------------------------------------------------
+  size_t blank_counter = 0;
+  for (const PredicateSchema& schema : schemas) {
+    const auto& domain = class_members[schema.domain_class];
+    const auto& range = class_members[schema.range_class];
+    if (domain.empty()) continue;
+    const ZipfSampler& subject_sampler =
+        samplers.Get(domain.size(), config.subject_zipf);
+    const ZipfSampler& object_sampler = samplers.Get(
+        schema.literal_range ? schema.literal_pool.size() : range.size(),
+        config.object_zipf);
+    for (size_t i = 0; i < schema.budget; ++i) {
+      const size_t subject_rank = subject_sampler.Sample(&rng) - 1;
+      const TermId subject =
+          entity_ids[domain[schema.subject_perm.Apply(subject_rank)]];
+      if (schema.literal_range) {
+        const size_t v = object_sampler.Sample(&rng) - 1;
+        builder.Add(subject, schema.id, schema.literal_pool[v]);
+        continue;
+      }
+      if (range.empty()) continue;
+      const size_t object_rank = object_sampler.Sample(&rng) - 1;
+      const TermId object =
+          entity_ids[range[schema.object_perm.Apply(object_rank)]];
+      if (rng.NextDouble() < config.blank_node_fraction) {
+        // Route through a fresh blank node: subject -p-> _:b -p-> object.
+        const TermId blank =
+            builder.Blank("b" + std::to_string(blank_counter++));
+        builder.Add(subject, schema.id, blank);
+        builder.Add(blank, schema.id, object);
+      } else {
+        builder.Add(subject, schema.id, object);
+      }
+    }
+  }
+
+  return std::move(builder).Build(kb_options);
+}
+
+}  // namespace remi

@@ -1,0 +1,67 @@
+// Synthetic Zipfian knowledge bases.
+//
+// The paper evaluates on DBpedia 2016-10 (42.07M facts, 1951 predicates)
+// and a Wikidata dump (15.9M facts, 752 predicates). Neither dump is
+// available offline, so experiments run on seeded synthetic KBs that
+// reproduce the distributional properties REMI's behaviour depends on
+// (DESIGN.md §5):
+//
+//   * Zipfian predicate usage and entity popularity — the very premise of
+//     the paper's Eq. 1 power-law compression;
+//   * a class system (rdf:type) with skewed class sizes, since workloads
+//     sample entity sets per class;
+//   * predicate domain/range classes, so multi-hop joins (paths, stars)
+//     exist and conditional rankings are non-trivial;
+//   * literal-valued predicates and occasional blank nodes, exercising the
+//     enumerator's blank-node and literal rules.
+//
+// Presets DBpediaLike() and WikidataLike() mirror the two evaluation KBs
+// at laptop scale (the `scale` knob grows them toward the originals).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace remi {
+
+/// Parameters of the synthetic world generator.
+struct SyntheticKbConfig {
+  uint64_t seed = 42;
+  size_t num_entities = 40000;
+  size_t num_predicates = 400;
+  size_t num_classes = 48;
+  /// Content facts (type and label facts are added on top).
+  size_t num_facts = 400000;
+
+  /// Zipf exponent of the per-predicate fact budget.
+  double predicate_zipf = 1.05;
+  /// Zipf exponent of subject popularity within a class.
+  double subject_zipf = 0.85;
+  /// Zipf exponent of object popularity within a range class.
+  double object_zipf = 1.0;
+  /// Zipf exponent of class sizes.
+  double class_zipf = 0.9;
+
+  /// Fraction of predicates whose range is a literal pool.
+  double literal_predicate_fraction = 0.2;
+  /// Probability that an entity-ranged fact routes through a fresh blank
+  /// node (the blank then links onward to the sampled entity).
+  double blank_node_fraction = 0.01;
+
+  bool add_labels = true;
+  std::string base_iri = "http://synth.remi.example/";
+
+  /// DBpedia-flavoured preset: more predicates, denser graph.
+  static SyntheticKbConfig DBpediaLike(double scale = 1.0);
+  /// Wikidata-flavoured preset: fewer predicates, sparser graph.
+  static SyntheticKbConfig WikidataLike(double scale = 1.0);
+};
+
+/// Generates the synthetic KB. Deterministic in `config.seed`.
+KnowledgeBase BuildSyntheticKb(const SyntheticKbConfig& config,
+                               const KbOptions& kb_options = KbOptions());
+
+}  // namespace remi

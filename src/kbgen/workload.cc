@@ -1,0 +1,93 @@
+#include "kbgen/workload.h"
+
+#include <algorithm>
+
+namespace remi {
+
+std::vector<TermId> ClassMembersByProminence(const KnowledgeBase& kb,
+                                             TermId cls) {
+  const auto members = kb.EntitiesOfClass(cls);
+  std::vector<TermId> out(members.begin(), members.end());
+  std::sort(out.begin(), out.end(), [&kb](TermId a, TermId b) {
+    const uint64_t fa = kb.EntityFrequency(a);
+    const uint64_t fb = kb.EntityFrequency(b);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+  return out;
+}
+
+std::vector<TermId> LargestClasses(const KnowledgeBase& kb, size_t count,
+                                   size_t min_members) {
+  std::vector<TermId> classes = kb.classes();
+  std::sort(classes.begin(), classes.end(), [&kb](TermId a, TermId b) {
+    const size_t sa = kb.EntitiesOfClass(a).size();
+    const size_t sb = kb.EntitiesOfClass(b).size();
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<TermId> out;
+  for (const TermId cls : classes) {
+    if (out.size() >= count) break;
+    if (kb.EntitiesOfClass(cls).size() < min_members) continue;
+    out.push_back(cls);
+  }
+  return out;
+}
+
+std::vector<EntitySet> SampleEntitySets(const KnowledgeBase& kb,
+                                        const std::vector<TermId>& classes,
+                                        const WorkloadConfig& config,
+                                        Rng* rng) {
+  std::vector<EntitySet> sets;
+  if (classes.empty() || config.num_sets == 0) return sets;
+
+  // Candidate pools per class (top fraction by prominence).
+  std::vector<std::vector<TermId>> pools;
+  pools.reserve(classes.size());
+  for (const TermId cls : classes) {
+    std::vector<TermId> members = ClassMembersByProminence(kb, cls);
+    if (config.top_fraction < 1.0) {
+      const size_t keep = std::max<size_t>(
+          3, static_cast<size_t>(config.top_fraction *
+                                 static_cast<double>(members.size())));
+      if (members.size() > keep) members.resize(keep);
+    }
+    pools.push_back(std::move(members));
+  }
+
+  // Set-size schedule honouring the requested proportions.
+  const double total =
+      config.frac_size1 + config.frac_size2 + config.frac_size3;
+  const size_t n1 = static_cast<size_t>(
+      config.frac_size1 / total * static_cast<double>(config.num_sets));
+  const size_t n2 = static_cast<size_t>(
+      config.frac_size2 / total * static_cast<double>(config.num_sets));
+  std::vector<size_t> sizes;
+  sizes.reserve(config.num_sets);
+  for (size_t i = 0; i < config.num_sets; ++i) {
+    sizes.push_back(i < n1 ? 1 : (i < n1 + n2 ? 2 : 3));
+  }
+  rng->Shuffle(&sizes);
+
+  for (size_t i = 0; i < config.num_sets; ++i) {
+    const size_t set_size = sizes[i];
+    // Round-robin over classes, skipping pools that are too small.
+    EntitySet set;
+    for (size_t attempt = 0; attempt < classes.size(); ++attempt) {
+      const size_t c = (i + attempt) % classes.size();
+      if (pools[c].size() < set_size) continue;
+      set.cls = classes[c];
+      for (const size_t idx :
+           rng->SampleWithoutReplacement(pools[c].size(), set_size)) {
+        set.entities.push_back(pools[c][idx]);
+      }
+      std::sort(set.entities.begin(), set.entities.end());
+      break;
+    }
+    if (!set.entities.empty()) sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace remi

@@ -1,0 +1,54 @@
+// Workload sampling for the paper's experiments.
+//
+// §4.2.2: "We tested the systems on 100 sets of DBpedia and Wikidata
+// entities ... randomly chosen so that they consist of 1, 2, and 3 entities
+// of the same class in proportions of 50%, 30%, and 20%."
+// §4.1.1: entity sets "randomly sampled from the 5% most frequent entities
+// in four classes".
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "util/random.h"
+
+namespace remi {
+
+/// One sampled target set (all entities share `cls`).
+struct EntitySet {
+  std::vector<TermId> entities;
+  TermId cls = kNullTerm;
+};
+
+/// Sampling parameters.
+struct WorkloadConfig {
+  size_t num_sets = 100;
+  /// Proportions of set sizes 1 / 2 / 3 (normalized internally).
+  double frac_size1 = 0.5;
+  double frac_size2 = 0.3;
+  double frac_size3 = 0.2;
+  /// Restrict candidates to the top fraction of each class's members by
+  /// global prominence (1.0 = whole class, §4.1.1 uses 0.05).
+  double top_fraction = 1.0;
+};
+
+/// Returns the members of `cls` ordered by descending global prominence.
+std::vector<TermId> ClassMembersByProminence(const KnowledgeBase& kb,
+                                             TermId cls);
+
+/// The `count` largest classes of the KB by member count (descending),
+/// excluding classes with fewer than `min_members` members. Stand-ins for
+/// the paper's Person / Settlement / Album ∪ Film / Organization picks.
+std::vector<TermId> LargestClasses(const KnowledgeBase& kb, size_t count,
+                                   size_t min_members = 4);
+
+/// Samples entity sets per the workload configuration; classes are drawn
+/// round-robin from `classes`. Deterministic in `*rng`.
+std::vector<EntitySet> SampleEntitySets(const KnowledgeBase& kb,
+                                        const std::vector<TermId>& classes,
+                                        const WorkloadConfig& config,
+                                        Rng* rng);
+
+}  // namespace remi

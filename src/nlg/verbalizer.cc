@@ -1,0 +1,61 @@
+#include "nlg/verbalizer.h"
+
+namespace remi {
+
+Verbalizer::Verbalizer(const KnowledgeBase* kb,
+                       const VerbalizerOptions& options)
+    : kb_(kb), options_(options) {}
+
+std::string Verbalizer::Label(TermId t) const { return kb_->Label(t); }
+
+std::string Verbalizer::PredicateLabel(TermId p) const {
+  if (kb_->IsInversePredicate(p)) {
+    return Label(kb_->BasePredicateOf(p)) + " of";
+  }
+  return Label(p);
+}
+
+std::string Verbalizer::Clause(const SubgraphExpression& rho) const {
+  const std::string& subj = options_.subject;
+  // English possessive: "it" -> "its", everything else -> "<subj>'s".
+  const std::string poss = subj == "it" ? "its" : subj + "'s";
+  switch (rho.shape) {
+    case SubgraphShape::kAtom: {
+      if (rho.p0 == kb_->type_predicate()) {
+        return subj + " is a " + Label(rho.c1);
+      }
+      return poss + " " + PredicateLabel(rho.p0) + " is " + Label(rho.c1);
+    }
+    case SubgraphShape::kPath:
+      return subj + " has a " + PredicateLabel(rho.p0) + " whose " +
+             PredicateLabel(rho.p1) + " is " + Label(rho.c1);
+    case SubgraphShape::kPathStar:
+      return subj + " has a " + PredicateLabel(rho.p0) + " whose " +
+             PredicateLabel(rho.p1) + " is " + Label(rho.c1) +
+             " and whose " + PredicateLabel(rho.p2) + " is " + Label(rho.c2);
+    case SubgraphShape::kTwinPair:
+      return poss + " " + PredicateLabel(rho.p0) + " and " +
+             PredicateLabel(rho.p1) + " are the same";
+    case SubgraphShape::kTwinTriple:
+      return poss + " " + PredicateLabel(rho.p0) + ", " +
+             PredicateLabel(rho.p1) + " and " + PredicateLabel(rho.p2) +
+             " are all the same";
+  }
+  return "?";
+}
+
+std::string Verbalizer::Sentence(const Expression& e) const {
+  if (e.IsTop()) return "anything.";
+  std::string out;
+  for (size_t i = 0; i < e.parts.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += Clause(e.parts[i]);
+  }
+  if (options_.capitalize && !out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace remi

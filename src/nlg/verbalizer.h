@@ -1,0 +1,53 @@
+// A template-based verbalizer: expressions -> English-ish sentences.
+//
+// The paper's motivating application is natural language generation; the
+// user studies "manually translated the subgraph expressions to natural
+// language statements in the shortest possible way by using the textual
+// descriptions (predicate rdfs:label) of the concepts". This module does
+// that mechanically: per-shape templates filled with rdfs:label text
+// (falling back to prettified IRI local names).
+
+#pragma once
+
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "query/expression.h"
+
+namespace remi {
+
+/// Verbalization options.
+struct VerbalizerOptions {
+  /// Subject placeholder, e.g. "it" or "x".
+  std::string subject = "it";
+  /// Capitalize the first letter of the sentence.
+  bool capitalize = true;
+};
+
+/// \brief Renders expressions as English-ish text.
+class Verbalizer {
+ public:
+  explicit Verbalizer(const KnowledgeBase* kb,
+                      const VerbalizerOptions& options = {});
+
+  /// One clause for a subgraph expression, e.g.
+  /// "its capital of is France" -> "its capitalOf is France";
+  /// paths read "it has a mayor whose party is Socialist Party".
+  std::string Clause(const SubgraphExpression& rho) const;
+
+  /// A full sentence for an expression: clauses joined with "and",
+  /// terminated with a period.
+  std::string Sentence(const Expression& e) const;
+
+  /// Label of a term (rdfs:label or prettified local name).
+  std::string Label(TermId t) const;
+
+ private:
+  /// Predicate label with inverse predicates rendered as "<base> of".
+  std::string PredicateLabel(TermId p) const;
+
+  const KnowledgeBase* kb_;
+  VerbalizerOptions options_;
+};
+
+}  // namespace remi

@@ -1,0 +1,94 @@
+// Expression evaluation over a KnowledgeBase.
+//
+// This is the query layer the paper delegates to HDT + Jena (§3.5.1/2):
+// atom-level bindings come from the triple store's indexed ranges and the
+// joins of REMI's five shapes are executed here. Match sets of subgraph
+// expressions are memoized in an LRU cache ("query results are cached in a
+// least-recently-used fashion", §3.5.2) because the DFS re-evaluates the
+// same building blocks constantly.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "query/expression.h"
+#include "util/lru_cache.h"
+
+namespace remi {
+
+/// Sorted, deduplicated set of root-variable bindings.
+using MatchSet = std::vector<TermId>;
+
+/// Snapshot of cumulative evaluation statistics.
+struct EvaluatorStats {
+  uint64_t subgraph_evaluations = 0;  ///< full match-set computations
+  uint64_t membership_tests = 0;      ///< single-entity Matches() calls
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// \brief Evaluates subgraph expressions and conjunctions on a KB.
+///
+/// Thread-safe: the cache and stats are mutex-guarded, and match sets are
+/// returned as shared_ptr so entries may be evicted while in use (needed by
+/// P-REMI, §3.4).
+class Evaluator {
+ public:
+  /// \param kb the knowledge base (not owned; must outlive the evaluator)
+  /// \param cache_capacity LRU capacity in entries; 0 disables caching.
+  explicit Evaluator(const KnowledgeBase* kb, size_t cache_capacity = 65536);
+
+  /// Sorted distinct x-bindings of one subgraph expression.
+  std::shared_ptr<const MatchSet> Match(const SubgraphExpression& rho);
+
+  /// Does entity `e` satisfy `rho`? Short-circuits without computing the
+  /// full match set.
+  bool Matches(TermId e, const SubgraphExpression& rho) const;
+
+  /// Does entity `e` satisfy all parts of `expr`?
+  bool Matches(TermId e, const Expression& expr) const;
+
+  /// Match set of a conjunction (intersection of part match sets; empty
+  /// expression matches nothing by convention — ⊤ is never evaluated).
+  MatchSet Evaluate(const Expression& expr);
+
+  /// RE test (paper §2.2.2): matches(expr) == targets. `targets` must be
+  /// sorted and deduplicated. Early-exits as soon as a non-target match or
+  /// a missing target is detected.
+  bool IsReferringExpression(const Expression& expr,
+                             const MatchSet& targets);
+
+  const KnowledgeBase& kb() const { return *kb_; }
+
+  EvaluatorStats stats() const;
+  void ResetStats();
+
+ private:
+  std::shared_ptr<const MatchSet> ComputeMatch(
+      const SubgraphExpression& rho) const;
+
+  const KnowledgeBase* kb_;
+  mutable std::mutex mu_;  // guards cache_
+  mutable LruCache<SubgraphExpression, std::shared_ptr<const MatchSet>,
+                   SubgraphExpressionHash>
+      cache_;
+  mutable std::atomic<uint64_t> subgraph_evaluations_{0};
+  mutable std::atomic<uint64_t> membership_tests_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
+};
+
+/// Intersects two sorted vectors.
+MatchSet IntersectSorted(const MatchSet& a, const MatchSet& b);
+
+/// True if sorted `a` equals sorted `b`.
+bool SortedEquals(const MatchSet& a, const MatchSet& b);
+
+/// True if sorted `needle` is a subset of sorted `haystack`.
+bool SortedSubset(const MatchSet& needle, const MatchSet& haystack);
+
+}  // namespace remi

@@ -1,0 +1,269 @@
+#include "query/expression.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace remi {
+
+namespace {
+
+std::string ShortName(const Dictionary& dict, TermId t) {
+  if (t == kNullTerm) return "?";
+  const Term& term = dict.term(t);
+  if (term.kind == TermKind::kIri) {
+    const size_t cut = term.lexical.find_last_of("/#");
+    return cut == std::string::npos ? term.lexical
+                                    : term.lexical.substr(cut + 1);
+  }
+  if (term.kind == TermKind::kBlank) return "_:" + term.lexical;
+  return term.lexical;
+}
+
+std::tuple<uint8_t, TermId, TermId, TermId, TermId, TermId> Key(
+    const SubgraphExpression& e) {
+  return {static_cast<uint8_t>(e.shape), e.p0, e.p1, e.p2, e.c1, e.c2};
+}
+
+}  // namespace
+
+const char* SubgraphShapeToString(SubgraphShape shape) {
+  switch (shape) {
+    case SubgraphShape::kAtom:
+      return "atom";
+    case SubgraphShape::kPath:
+      return "path";
+    case SubgraphShape::kPathStar:
+      return "path+star";
+    case SubgraphShape::kTwinPair:
+      return "2-closed";
+    case SubgraphShape::kTwinTriple:
+      return "3-closed";
+  }
+  return "unknown";
+}
+
+SubgraphExpression SubgraphExpression::Atom(TermId p, TermId constant) {
+  SubgraphExpression e;
+  e.shape = SubgraphShape::kAtom;
+  e.p0 = p;
+  e.c1 = constant;
+  return e;
+}
+
+SubgraphExpression SubgraphExpression::Path(TermId p0, TermId p1,
+                                            TermId constant) {
+  SubgraphExpression e;
+  e.shape = SubgraphShape::kPath;
+  e.p0 = p0;
+  e.p1 = p1;
+  e.c1 = constant;
+  return e;
+}
+
+SubgraphExpression SubgraphExpression::PathStar(TermId p0, TermId p1,
+                                                TermId c1, TermId p2,
+                                                TermId c2) {
+  SubgraphExpression e;
+  e.shape = SubgraphShape::kPathStar;
+  e.p0 = p0;
+  e.p1 = p1;
+  e.c1 = c1;
+  e.p2 = p2;
+  e.c2 = c2;
+  e.Normalize();
+  return e;
+}
+
+SubgraphExpression SubgraphExpression::TwinPair(TermId p0, TermId p1) {
+  SubgraphExpression e;
+  e.shape = SubgraphShape::kTwinPair;
+  e.p0 = p0;
+  e.p1 = p1;
+  e.Normalize();
+  return e;
+}
+
+SubgraphExpression SubgraphExpression::TwinTriple(TermId p0, TermId p1,
+                                                  TermId p2) {
+  SubgraphExpression e;
+  e.shape = SubgraphShape::kTwinTriple;
+  e.p0 = p0;
+  e.p1 = p1;
+  e.p2 = p2;
+  e.Normalize();
+  return e;
+}
+
+int SubgraphExpression::num_atoms() const {
+  switch (shape) {
+    case SubgraphShape::kAtom:
+      return 1;
+    case SubgraphShape::kPath:
+    case SubgraphShape::kTwinPair:
+      return 2;
+    case SubgraphShape::kPathStar:
+    case SubgraphShape::kTwinTriple:
+      return 3;
+  }
+  return 0;
+}
+
+void SubgraphExpression::Normalize() {
+  switch (shape) {
+    case SubgraphShape::kAtom:
+    case SubgraphShape::kPath:
+      break;
+    case SubgraphShape::kPathStar: {
+      if (std::tie(p2, c2) < std::tie(p1, c1)) {
+        std::swap(p1, p2);
+        std::swap(c1, c2);
+      }
+      break;
+    }
+    case SubgraphShape::kTwinPair: {
+      if (p1 < p0) std::swap(p0, p1);
+      break;
+    }
+    case SubgraphShape::kTwinTriple: {
+      if (p1 < p0) std::swap(p0, p1);
+      if (p2 < p1) std::swap(p1, p2);
+      if (p1 < p0) std::swap(p0, p1);
+      break;
+    }
+  }
+}
+
+bool SubgraphExpression::operator==(const SubgraphExpression& other) const {
+  return Key(*this) == Key(other);
+}
+
+bool SubgraphExpression::operator<(const SubgraphExpression& other) const {
+  return Key(*this) < Key(other);
+}
+
+std::string SubgraphExpression::ToString(const Dictionary& dict) const {
+  const auto p = [&](TermId t) { return ShortName(dict, t); };
+  switch (shape) {
+    case SubgraphShape::kAtom:
+      return p(p0) + "(x, " + p(c1) + ")";
+    case SubgraphShape::kPath:
+      return p(p0) + "(x, y) ∧ " + p(p1) + "(y, " + p(c1) + ")";
+    case SubgraphShape::kPathStar:
+      return p(p0) + "(x, y) ∧ " + p(p1) + "(y, " + p(c1) + ") ∧ " + p(p2) +
+             "(y, " + p(c2) + ")";
+    case SubgraphShape::kTwinPair:
+      return p(p0) + "(x, y) ∧ " + p(p1) + "(x, y)";
+    case SubgraphShape::kTwinTriple:
+      return p(p0) + "(x, y) ∧ " + p(p1) + "(x, y) ∧ " + p(p2) + "(x, y)";
+  }
+  return "?";
+}
+
+size_t SubgraphExpressionHash::operator()(const SubgraphExpression& e) const {
+  // FNV-1a over the field tuple.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(e.shape));
+  mix(e.p0);
+  mix(e.p1);
+  mix(e.p2);
+  mix(e.c1);
+  mix(e.c2);
+  return static_cast<size_t>(h);
+}
+
+Expression Expression::Conjoin(const SubgraphExpression& rho) const {
+  Expression out = *this;
+  auto it = std::lower_bound(out.parts.begin(), out.parts.end(), rho);
+  if (it == out.parts.end() || !(*it == rho)) {
+    out.parts.insert(it, rho);
+  }
+  return out;
+}
+
+int Expression::num_atoms() const {
+  int n = 0;
+  for (const auto& part : parts) n += part.num_atoms();
+  return n;
+}
+
+std::string Expression::ToString(const Dictionary& dict) const {
+  if (parts.empty()) return "⊤";
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += parts[i].ToString(dict);
+  }
+  return out;
+}
+
+std::vector<AtomView> ToAtoms(const SubgraphExpression& rho, int y_var) {
+  std::vector<AtomView> atoms;
+  const auto x_to_const = [&](TermId pred, TermId constant) {
+    AtomView a;
+    a.predicate = pred;
+    a.subject_is_var = true;
+    a.subject_var = 0;
+    a.object_is_var = false;
+    a.object_const = constant;
+    return a;
+  };
+  const auto x_to_y = [&](TermId pred) {
+    AtomView a;
+    a.predicate = pred;
+    a.subject_is_var = true;
+    a.subject_var = 0;
+    a.object_is_var = true;
+    a.object_var = y_var;
+    return a;
+  };
+  const auto y_to_const = [&](TermId pred, TermId constant) {
+    AtomView a;
+    a.predicate = pred;
+    a.subject_is_var = true;
+    a.subject_var = y_var;
+    a.object_is_var = false;
+    a.object_const = constant;
+    return a;
+  };
+  switch (rho.shape) {
+    case SubgraphShape::kAtom:
+      atoms.push_back(x_to_const(rho.p0, rho.c1));
+      break;
+    case SubgraphShape::kPath:
+      atoms.push_back(x_to_y(rho.p0));
+      atoms.push_back(y_to_const(rho.p1, rho.c1));
+      break;
+    case SubgraphShape::kPathStar:
+      atoms.push_back(x_to_y(rho.p0));
+      atoms.push_back(y_to_const(rho.p1, rho.c1));
+      atoms.push_back(y_to_const(rho.p2, rho.c2));
+      break;
+    case SubgraphShape::kTwinPair:
+      atoms.push_back(x_to_y(rho.p0));
+      atoms.push_back(x_to_y(rho.p1));
+      break;
+    case SubgraphShape::kTwinTriple:
+      atoms.push_back(x_to_y(rho.p0));
+      atoms.push_back(x_to_y(rho.p1));
+      atoms.push_back(x_to_y(rho.p2));
+      break;
+  }
+  return atoms;
+}
+
+std::vector<AtomView> ToAtoms(const Expression& e) {
+  std::vector<AtomView> atoms;
+  int next_var = 1;
+  for (const auto& part : e.parts) {
+    const int y = part.has_existential_variable() ? next_var++ : 0;
+    auto part_atoms = ToAtoms(part, y);
+    atoms.insert(atoms.end(), part_atoms.begin(), part_atoms.end());
+  }
+  return atoms;
+}
+
+}  // namespace remi

@@ -1,0 +1,135 @@
+// REMI's expression language (paper §2.2 and Table 1).
+//
+// A *subgraph expression* is rooted at the variable x and has one of five
+// shapes, with at most one additional existentially quantified variable y
+// and at most three atoms (the paper's language bias, §3.2):
+//
+//   kAtom       p0(x, C1)
+//   kPath       p0(x, y) ∧ p1(y, C1)
+//   kPathStar   p0(x, y) ∧ p1(y, C1) ∧ p2(y, C2)
+//   kTwinPair   p0(x, y) ∧ p1(x, y)
+//   kTwinTriple p0(x, y) ∧ p1(x, y) ∧ p2(x, y)
+//
+// (The paper's Table 1 names: "1 atom", "Path", "Path + star", "2 closed
+// atoms", "3 closed atoms".) A *referring-expression candidate* Expression
+// is a conjunction of subgraph expressions sharing only x (§2.2.2).
+//
+// The *standard* (state-of-the-art) language bias is the kAtom-only subset.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace remi {
+
+/// The five shapes of Table 1.
+enum class SubgraphShape : uint8_t {
+  kAtom = 0,
+  kPath = 1,
+  kPathStar = 2,
+  kTwinPair = 3,
+  kTwinTriple = 4,
+};
+
+const char* SubgraphShapeToString(SubgraphShape shape);
+
+/// \brief One subgraph expression (Table 1 instance).
+///
+/// Field usage per shape (unused fields hold kNullTerm):
+///   kAtom:       p0, c1 = C1
+///   kPath:       p0, p1, c1 = C1
+///   kPathStar:   p0, (p1, c1), (p2, c2) with (p1,c1) <= (p2,c2)
+///   kTwinPair:   p0 < p1
+///   kTwinTriple: p0 < p1 < p2
+struct SubgraphExpression {
+  SubgraphShape shape = SubgraphShape::kAtom;
+  TermId p0 = kNullTerm;
+  TermId p1 = kNullTerm;
+  TermId p2 = kNullTerm;
+  TermId c1 = kNullTerm;
+  TermId c2 = kNullTerm;
+
+  static SubgraphExpression Atom(TermId p, TermId constant);
+  static SubgraphExpression Path(TermId p0, TermId p1, TermId constant);
+  static SubgraphExpression PathStar(TermId p0, TermId p1, TermId c1,
+                                     TermId p2, TermId c2);
+  static SubgraphExpression TwinPair(TermId p0, TermId p1);
+  static SubgraphExpression TwinTriple(TermId p0, TermId p1, TermId p2);
+
+  int num_atoms() const;
+  /// True for every shape except kAtom (they bind an extra variable y).
+  bool has_existential_variable() const {
+    return shape != SubgraphShape::kAtom;
+  }
+
+  /// Rewrites the expression into its canonical form: the star legs of
+  /// kPathStar and the predicates of the closed shapes are sorted so that
+  /// syntactically equal expressions compare equal.
+  void Normalize();
+
+  bool operator==(const SubgraphExpression& other) const;
+  /// Deterministic total order (shape, then fields); used for tie-breaking
+  /// and canonical Expression form, not for cost.
+  bool operator<(const SubgraphExpression& other) const;
+
+  /// Debug/NLG-independent rendering, e.g. "p0(x,y) ∧ p1(y,I1)" with IRIs
+  /// shortened to local names.
+  std::string ToString(const Dictionary& dict) const;
+};
+
+/// Hash functor for SubgraphExpression (for caches and sets).
+struct SubgraphExpressionHash {
+  size_t operator()(const SubgraphExpression& e) const;
+};
+
+/// \brief A candidate referring expression: conjunction of subgraph
+/// expressions rooted at the same x (paper §2.2.2).
+///
+/// `parts` is kept sorted by operator< so equal conjunctions have equal
+/// representations. An empty conjunction is the paper's ⊤ (matches
+/// everything, cost ∞).
+struct Expression {
+  std::vector<SubgraphExpression> parts;
+
+  static Expression Top() { return Expression{}; }
+  bool IsTop() const { return parts.empty(); }
+
+  /// Returns a new expression with `rho` conjoined (sorted insert).
+  Expression Conjoin(const SubgraphExpression& rho) const;
+
+  int num_atoms() const;
+  bool operator==(const Expression& other) const {
+    return parts == other.parts;
+  }
+
+  std::string ToString(const Dictionary& dict) const;
+};
+
+/// \brief Generic atom view p(arg0, arg1) used by the verbalizer and the
+/// AMIE baseline bridge.
+///
+/// Variables are numbered: 0 is the root x, 1+ are existential variables.
+struct AtomView {
+  TermId predicate = kNullTerm;
+  bool subject_is_var = true;
+  int subject_var = 0;
+  TermId subject_const = kNullTerm;
+  bool object_is_var = false;
+  int object_var = 0;
+  TermId object_const = kNullTerm;
+};
+
+/// Flattens an expression into atoms, assigning each subgraph expression's
+/// existential variable a fresh index (1, 2, ...).
+std::vector<AtomView> ToAtoms(const Expression& e);
+
+/// Flattens one subgraph expression with existential variable index
+/// `y_var`.
+std::vector<AtomView> ToAtoms(const SubgraphExpression& rho, int y_var);
+
+}  // namespace remi

@@ -1,0 +1,36 @@
+#include "rdf/dictionary.h"
+
+#include "util/logging.h"
+
+namespace remi {
+
+std::string Dictionary::MakeKey(TermKind kind, std::string_view lexical) {
+  std::string key;
+  key.reserve(lexical.size() + 1);
+  key.push_back(static_cast<char>('0' + static_cast<int>(kind)));
+  key.append(lexical);
+  return key;
+}
+
+TermId Dictionary::Intern(TermKind kind, std::string_view lexical) {
+  std::string key = MakeKey(kind, lexical);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  REMI_CHECK(terms_.size() < kNullTerm);
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(Term{kind, std::string(lexical)});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<TermId> Dictionary::Lookup(TermKind kind,
+                                  std::string_view lexical) const {
+  auto it = index_.find(MakeKey(kind, lexical));
+  if (it == index_.end()) {
+    return Status::NotFound("term not in dictionary: " +
+                            std::string(lexical));
+  }
+  return it->second;
+}
+
+}  // namespace remi

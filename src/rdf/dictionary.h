@@ -1,0 +1,56 @@
+// Dictionary encoding of RDF terms: string <-> dense TermId.
+//
+// This is the first half of the paper's HDT storage layer (§3.5.1): HDT
+// dictionary-encodes all terms and stores triples as id tuples. Interning
+// is idempotent; ids are stable for the lifetime of the dictionary.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief Append-only term dictionary.
+///
+/// Not thread-safe for interning; concurrent read-only lookup is safe after
+/// construction completes.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of (kind, lexical), interning it if new.
+  TermId Intern(TermKind kind, std::string_view lexical);
+
+  /// Convenience for IRIs.
+  TermId InternIri(std::string_view iri) {
+    return Intern(TermKind::kIri, iri);
+  }
+
+  /// Id of an existing term, or NotFound.
+  Result<TermId> Lookup(TermKind kind, std::string_view lexical) const;
+
+  /// The decoded term for an id. Id must be < size().
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  TermKind kind(TermId id) const { return terms_[id].kind; }
+  const std::string& lexical(TermId id) const { return terms_[id].lexical; }
+  bool IsIri(TermId id) const { return kind(id) == TermKind::kIri; }
+  bool IsLiteral(TermId id) const { return kind(id) == TermKind::kLiteral; }
+  bool IsBlank(TermId id) const { return kind(id) == TermKind::kBlank; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  static std::string MakeKey(TermKind kind, std::string_view lexical);
+
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace remi

@@ -1,0 +1,341 @@
+#include "rdf/ntriples.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace remi {
+
+namespace {
+
+bool IsWs(char c) { return c == ' ' || c == '\t'; }
+
+void SkipWs(std::string_view s, size_t* pos) {
+  while (*pos < s.size() && IsWs(s[*pos])) ++(*pos);
+}
+
+// Appends the UTF-8 encoding of a code point.
+Status AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp <= 0x7f) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7ff) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0xffff) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0x10ffff) {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    return Status::ParseError("code point out of range");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ParseHex(std::string_view s, size_t pos, size_t len) {
+  if (pos + len > s.size()) {
+    return Status::ParseError("truncated \\u escape");
+  }
+  uint32_t value = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const char c = s[pos + i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return Status::ParseError("bad hex digit in escape");
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+bool IsBlankNodeChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+}
+
+bool IsLangChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-';
+}
+
+}  // namespace
+
+Result<std::string> DecodeEscapes(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '\\') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    if (i + 1 >= raw.size()) {
+      return Status::ParseError("dangling backslash");
+    }
+    const char c = raw[++i];
+    switch (c) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case '"':
+        out.push_back('"');
+        break;
+      case '\'':
+        out.push_back('\'');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'u': {
+        auto cp = ParseHex(raw, i + 1, 4);
+        if (!cp.ok()) return cp.status();
+        REMI_RETURN_NOT_OK(AppendUtf8(*cp, &out));
+        i += 4;
+        break;
+      }
+      case 'U': {
+        auto cp = ParseHex(raw, i + 1, 8);
+        if (!cp.ok()) return cp.status();
+        REMI_RETURN_NOT_OK(AppendUtf8(*cp, &out));
+        i += 8;
+        break;
+      }
+      default:
+        return Status::ParseError(std::string("unknown escape \\") + c);
+    }
+  }
+  return out;
+}
+
+std::string EncodeEscapes(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Status NTriplesParser::Error(const std::string& message) const {
+  return Status::ParseError("line " + std::to_string(line_number_) + ": " +
+                            message);
+}
+
+Result<TermId> NTriplesParser::ParseTerm(std::string_view line, size_t* pos,
+                                         bool allow_literal) {
+  SkipWs(line, pos);
+  if (*pos >= line.size()) return Error("unexpected end of line");
+  const char first = line[*pos];
+  if (first == '<') {
+    const size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) return Error("unterminated IRI");
+    std::string_view iri = line.substr(*pos + 1, end - *pos - 1);
+    *pos = end + 1;
+    if (iri.empty()) return Error("empty IRI");
+    return dict_->Intern(TermKind::kIri, iri);
+  }
+  if (first == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      return Error("malformed blank node");
+    }
+    size_t end = *pos + 2;
+    while (end < line.size() && IsBlankNodeChar(line[end])) ++end;
+    if (end == *pos + 2) return Error("empty blank node label");
+    std::string_view label = line.substr(*pos + 2, end - *pos - 2);
+    *pos = end;
+    return dict_->Intern(TermKind::kBlank, label);
+  }
+  if (first == '"') {
+    if (!allow_literal) return Error("literal not allowed here");
+    // Scan to the closing unescaped quote.
+    size_t i = *pos + 1;
+    while (i < line.size()) {
+      if (line[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"') break;
+      ++i;
+    }
+    if (i >= line.size()) return Error("unterminated literal");
+    auto body = DecodeEscapes(line.substr(*pos + 1, i - *pos - 1));
+    if (!body.ok()) return Error(body.status().message());
+    size_t after = i + 1;
+    std::string suffix;
+    if (after < line.size() && line[after] == '@') {
+      size_t end = after + 1;
+      while (end < line.size() && IsLangChar(line[end])) ++end;
+      if (end == after + 1) return Error("empty language tag");
+      suffix = std::string(line.substr(after, end - after));
+      after = end;
+    } else if (after + 1 < line.size() && line[after] == '^' &&
+               line[after + 1] == '^') {
+      if (after + 2 >= line.size() || line[after + 2] != '<') {
+        return Error("malformed datatype IRI");
+      }
+      const size_t end = line.find('>', after + 3);
+      if (end == std::string_view::npos) {
+        return Error("unterminated datatype IRI");
+      }
+      suffix = std::string(line.substr(after, end - after + 1));
+      after = end + 1;
+    }
+    *pos = after;
+    // Canonical internal form: quoted decoded body plus raw suffix.
+    std::string lexical = "\"" + *body + "\"" + suffix;
+    return dict_->Intern(TermKind::kLiteral, lexical);
+  }
+  return Error(std::string("unexpected character '") + first + "'");
+}
+
+Result<bool> NTriplesParser::ParseLine(std::string_view line, Triple* out) {
+  ++line_number_;
+  ++stats_.lines;
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty()) return false;
+  if (trimmed[0] == '#') {
+    ++stats_.comments;
+    return false;
+  }
+  size_t pos = 0;
+  auto s = ParseTerm(trimmed, &pos, /*allow_literal=*/false);
+  if (!s.ok()) return s.status();
+  auto p = ParseTerm(trimmed, &pos, /*allow_literal=*/false);
+  if (!p.ok()) return p.status();
+  if (dict_->kind(*p) != TermKind::kIri) {
+    return Error("predicate must be an IRI");
+  }
+  auto o = ParseTerm(trimmed, &pos, /*allow_literal=*/true);
+  if (!o.ok()) return o.status();
+  SkipWs(trimmed, &pos);
+  if (pos >= trimmed.size() || trimmed[pos] != '.') {
+    return Error("missing terminating '.'");
+  }
+  ++pos;
+  SkipWs(trimmed, &pos);
+  if (pos < trimmed.size() && trimmed[pos] != '#') {
+    return Error("trailing characters after '.'");
+  }
+  out->s = *s;
+  out->p = *p;
+  out->o = *o;
+  ++stats_.triples;
+  return true;
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseString(
+    std::string_view text) {
+  std::vector<Triple> triples;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    Triple t;
+    auto r = ParseLine(line, &t);
+    if (!r.ok()) {
+      if (!lenient_) return r.status();
+      ++skipped_;
+    } else if (*r) {
+      triples.push_back(t);
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return triples;
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return ParseString(buf.str());
+}
+
+std::string TermToNTriples(const Term& term) {
+  switch (term.kind) {
+    case TermKind::kIri:
+      return "<" + term.lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + term.lexical;
+    case TermKind::kLiteral: {
+      // Internal form: "decoded body" + suffix; split at the last quote.
+      const size_t last_quote = term.lexical.rfind('"');
+      if (last_quote == std::string::npos || term.lexical.empty() ||
+          term.lexical[0] != '"') {
+        // Not in canonical form; emit as a plain quoted literal.
+        return "\"" + EncodeEscapes(term.lexical) + "\"";
+      }
+      const std::string body = term.lexical.substr(1, last_quote - 1);
+      const std::string suffix = term.lexical.substr(last_quote + 1);
+      return "\"" + EncodeEscapes(body) + "\"" + suffix;
+    }
+  }
+  return "";
+}
+
+std::string WriteNTriples(const Dictionary& dict,
+                          const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += TermToNTriples(dict.term(t.s));
+    out += " ";
+    out += TermToNTriples(dict.term(t.p));
+    out += " ";
+    out += TermToNTriples(dict.term(t.o));
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace remi

@@ -1,0 +1,80 @@
+// N-Triples parsing and serialization.
+//
+// The paper loads DBpedia / Wikidata dump files; this module provides the
+// corresponding parsing infrastructure. The grammar covered is the W3C
+// N-Triples core: one triple per line,
+//   <subject-iri> <predicate-iri> (<iri> | "literal"[@lang|^^<dt>] | _:bnode) .
+// plus '#' comment lines and blank lines. Literal escape sequences
+// (\t \b \n \r \f \" \\ \uXXXX \UXXXXXXXX) are decoded and re-encoded on
+// output, so parse -> serialize round-trips.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// Parse statistics returned alongside the triples.
+struct NTriplesStats {
+  size_t lines = 0;
+  size_t triples = 0;
+  size_t comments = 0;
+};
+
+/// \brief Streaming N-Triples reader that interns terms into `dict`.
+///
+/// Errors carry 1-based line numbers. Parsing stops at the first malformed
+/// line (strict mode, default) or skips it (lenient mode).
+class NTriplesParser {
+ public:
+  /// \param dict target dictionary (not owned; must outlive the parser)
+  /// \param lenient if true, malformed lines are counted and skipped.
+  explicit NTriplesParser(Dictionary* dict, bool lenient = false)
+      : dict_(dict), lenient_(lenient) {}
+
+  /// Parses an entire document held in memory.
+  Result<std::vector<Triple>> ParseString(std::string_view text);
+
+  /// Parses a file from disk.
+  Result<std::vector<Triple>> ParseFile(const std::string& path);
+
+  /// Parses one line; returns true and fills *out if it held a triple,
+  /// false for blank/comment lines.
+  Result<bool> ParseLine(std::string_view line, Triple* out);
+
+  const NTriplesStats& stats() const { return stats_; }
+  size_t skipped_lines() const { return skipped_; }
+
+ private:
+  Result<TermId> ParseTerm(std::string_view line, size_t* pos,
+                           bool allow_literal);
+  Status Error(const std::string& message) const;
+
+  Dictionary* dict_;
+  bool lenient_;
+  NTriplesStats stats_;
+  size_t skipped_ = 0;
+  size_t line_number_ = 0;
+};
+
+/// Serializes one term in N-Triples syntax.
+std::string TermToNTriples(const Term& term);
+
+/// Serializes triples (SPO order of the input vector) as an N-Triples
+/// document.
+std::string WriteNTriples(const Dictionary& dict,
+                          const std::vector<Triple>& triples);
+
+/// Decodes N-Triples string escapes inside a literal body.
+Result<std::string> DecodeEscapes(std::string_view raw);
+
+/// Encodes the characters that N-Triples requires to be escaped.
+std::string EncodeEscapes(std::string_view raw);
+
+}  // namespace remi

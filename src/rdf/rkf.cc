@@ -1,0 +1,195 @@
+#include "rdf/rkf.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace remi {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'K', 'F', '1'};
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+Result<uint64_t> GetFixed64(const std::string& data, size_t* offset) {
+  if (*offset + 8 > data.size()) {
+    return Status::Corruption("truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeRkf(const Dictionary& dict,
+                         std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end(), OrderPso());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+
+  std::string out(kMagic, sizeof(kMagic));
+
+  // Dictionary section: front-coded terms in id order.
+  PutVarint64(&out, dict.size());
+  std::string prev;
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const Term& term = dict.term(id);
+    out.push_back(static_cast<char>(term.kind));
+    const size_t shared = CommonPrefixLength(prev, term.lexical);
+    PutVarint64(&out, shared);
+    PutLengthPrefixed(&out, term.lexical.substr(shared));
+    prev = term.lexical;
+  }
+
+  // Triple section: PSO order, delta-coded.
+  PutVarint64(&out, triples.size());
+  TermId prev_p = 0, prev_s = 0, prev_o = 0;
+  for (const Triple& t : triples) {
+    const uint32_t p_delta = t.p - prev_p;
+    PutVarint32(&out, p_delta);
+    if (p_delta > 0) {
+      PutVarint32(&out, t.s);
+      PutVarint32(&out, t.o);
+    } else {
+      const uint32_t s_delta = t.s - prev_s;
+      PutVarint32(&out, s_delta);
+      if (s_delta > 0) {
+        PutVarint32(&out, t.o);
+      } else {
+        // Same p and s: o strictly increases after dedup.
+        PutVarint32(&out, t.o - prev_o);
+      }
+    }
+    prev_p = t.p;
+    prev_s = t.s;
+    prev_o = t.o;
+  }
+
+  PutFixed64(&out, Fnv1a64(out));
+  return out;
+}
+
+Result<RkfData> DeserializeRkf(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 8) {
+    return Status::Corruption("RKF: file too short");
+  }
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("RKF: bad magic");
+  }
+  const std::string_view body(bytes.data(), bytes.size() - 8);
+  size_t footer_pos = bytes.size() - 8;
+  auto checksum = GetFixed64(bytes, &footer_pos);
+  if (!checksum.ok()) return checksum.status();
+  if (*checksum != Fnv1a64(body)) {
+    return Status::Corruption("RKF: checksum mismatch");
+  }
+
+  RkfData data;
+  size_t pos = sizeof(kMagic);
+
+  auto num_terms = GetVarint64(bytes, &pos);
+  if (!num_terms.ok()) return num_terms.status();
+  std::string prev;
+  for (uint64_t i = 0; i < *num_terms; ++i) {
+    if (pos >= body.size()) return Status::Corruption("RKF: truncated term");
+    const auto kind_raw = static_cast<uint8_t>(bytes[pos++]);
+    if (kind_raw > static_cast<uint8_t>(TermKind::kBlank)) {
+      return Status::Corruption("RKF: bad term kind");
+    }
+    auto shared = GetVarint64(bytes, &pos);
+    if (!shared.ok()) return shared.status();
+    if (*shared > prev.size()) {
+      return Status::Corruption("RKF: shared prefix exceeds previous term");
+    }
+    auto suffix = GetLengthPrefixed(bytes, &pos);
+    if (!suffix.ok()) return suffix.status();
+    std::string lexical = prev.substr(0, *shared) + *suffix;
+    const TermId id =
+        data.dict.Intern(static_cast<TermKind>(kind_raw), lexical);
+    if (id != i) {
+      return Status::Corruption("RKF: duplicate term in dictionary");
+    }
+    prev = std::move(lexical);
+  }
+
+  auto num_triples = GetVarint64(bytes, &pos);
+  if (!num_triples.ok()) return num_triples.status();
+  data.triples.reserve(*num_triples);
+  TermId prev_p = 0, prev_s = 0, prev_o = 0;
+  for (uint64_t i = 0; i < *num_triples; ++i) {
+    auto p_delta = GetVarint32(bytes, &pos);
+    if (!p_delta.ok()) return p_delta.status();
+    Triple t;
+    t.p = prev_p + *p_delta;
+    if (*p_delta > 0) {
+      auto s = GetVarint32(bytes, &pos);
+      if (!s.ok()) return s.status();
+      auto o = GetVarint32(bytes, &pos);
+      if (!o.ok()) return o.status();
+      t.s = *s;
+      t.o = *o;
+    } else {
+      auto s_delta = GetVarint32(bytes, &pos);
+      if (!s_delta.ok()) return s_delta.status();
+      t.s = prev_s + *s_delta;
+      auto o = GetVarint32(bytes, &pos);
+      if (!o.ok()) return o.status();
+      t.o = *s_delta > 0 ? *o : prev_o + *o;
+    }
+    const auto limit = static_cast<uint64_t>(data.dict.size());
+    if (t.s >= limit || t.p >= limit || t.o >= limit) {
+      return Status::Corruption("RKF: triple references unknown term");
+    }
+    prev_p = t.p;
+    prev_s = t.s;
+    prev_o = t.o;
+    data.triples.push_back(t);
+  }
+  if (pos != bytes.size() - 8) {
+    return Status::Corruption("RKF: trailing bytes");
+  }
+  return data;
+}
+
+Status WriteRkfFile(const Dictionary& dict, std::vector<Triple> triples,
+                    const std::string& path) {
+  const std::string bytes = SerializeRkf(dict, std::move(triples));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<RkfData> ReadRkfFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return DeserializeRkf(buf.str());
+}
+
+}  // namespace remi

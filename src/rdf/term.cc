@@ -1,0 +1,17 @@
+#include "rdf/term.h"
+
+namespace remi {
+
+const char* TermKindToString(TermKind kind) {
+  switch (kind) {
+    case TermKind::kIri:
+      return "IRI";
+    case TermKind::kLiteral:
+      return "Literal";
+    case TermKind::kBlank:
+      return "Blank";
+  }
+  return "Unknown";
+}
+
+}  // namespace remi

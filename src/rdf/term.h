@@ -1,0 +1,47 @@
+// RDF term model (paper §2.1).
+//
+// A KB is a set of triples p(s, o) with s in I ∪ B and o in I ∪ L ∪ B,
+// where I are IRIs (entities and predicates), L literals, and B blank
+// nodes. Terms are dictionary-encoded to dense 32-bit ids; all algorithms
+// operate on ids and only translate back to strings at the edges (parsing,
+// serialization, verbalization).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace remi {
+
+/// Dense dictionary id of a term. Ids are assigned in interning order.
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kNullTerm = std::numeric_limits<TermId>::max();
+
+/// The three RDF term kinds.
+enum class TermKind : uint8_t {
+  kIri = 0,      ///< named entity or predicate, e.g. <http://db/Paris>
+  kLiteral = 1,  ///< string/number literal, e.g. "1889"^^xsd:integer
+  kBlank = 2,    ///< anonymous node, e.g. _:b42
+};
+
+const char* TermKindToString(TermKind kind);
+
+/// \brief A decoded term: kind plus lexical form.
+///
+/// For IRIs the lexical form is the IRI without angle brackets; for blank
+/// nodes it is the label without the "_:" prefix; for literals it is the
+/// full N-Triples literal including quotes and any datatype/lang suffix
+/// (kept verbatim so round-tripping is lossless).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical;
+  }
+};
+
+}  // namespace remi

@@ -1,0 +1,43 @@
+// Id-encoded RDF triple and its index orderings.
+
+#pragma once
+
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace remi {
+
+/// \brief A fact p(s, o), stored as three dictionary ids.
+struct Triple {
+  TermId s = kNullTerm;
+  TermId p = kNullTerm;
+  TermId o = kNullTerm;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// Ordering for the SPO index.
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+
+/// Ordering for the PSO index.
+struct OrderPso {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.s, a.o) < std::tie(b.p, b.s, b.o);
+  }
+};
+
+/// Ordering for the POS index.
+struct OrderPos {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+
+}  // namespace remi

@@ -1,0 +1,94 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace remi {
+
+namespace {
+
+// Returns the subrange of `v` matching the partial key via the given
+// heterogeneous comparators (lo: element < key, hi: key < element).
+template <typename Lo, typename Hi>
+std::span<const Triple> Range(const std::vector<Triple>& v, Lo lo, Hi hi) {
+  auto b = std::lower_bound(v.begin(), v.end(), 0, lo);
+  auto e = std::upper_bound(b, v.end(), 0, hi);
+  if (b == e) return {};
+  return {v.data() + (b - v.begin()), static_cast<size_t>(e - b)};
+}
+
+}  // namespace
+
+TripleStore TripleStore::Build(std::vector<Triple> triples) {
+  TripleStore store;
+  std::sort(triples.begin(), triples.end(), OrderSpo());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  store.spo_ = std::move(triples);
+  store.pso_ = store.spo_;
+  std::sort(store.pso_.begin(), store.pso_.end(), OrderPso());
+  store.pos_ = store.spo_;
+  std::sort(store.pos_.begin(), store.pos_.end(), OrderPos());
+
+  for (const Triple& t : store.pso_) {
+    if (store.predicates_.empty() || store.predicates_.back() != t.p) {
+      store.predicates_.push_back(t.p);
+    }
+  }
+  for (const Triple& t : store.spo_) {
+    if (store.subjects_.empty() || store.subjects_.back() != t.s) {
+      store.subjects_.push_back(t.s);
+    }
+  }
+  return store;
+}
+
+std::span<const Triple> TripleStore::BySubject(TermId s) const {
+  if (spo_.empty()) return {};
+  auto lo = [s](const Triple& t, int) { return t.s < s; };
+  auto hi = [s](int, const Triple& t) { return s < t.s; };
+  return Range(spo_, lo, hi);
+}
+
+std::span<const Triple> TripleStore::ByPredicate(TermId p) const {
+  if (pso_.empty()) return {};
+  auto lo = [p](const Triple& t, int) { return t.p < p; };
+  auto hi = [p](int, const Triple& t) { return p < t.p; };
+  return Range(pso_, lo, hi);
+}
+
+std::span<const Triple> TripleStore::ByPredicateObjectOrder(TermId p) const {
+  if (pos_.empty()) return {};
+  auto lo = [p](const Triple& t, int) { return t.p < p; };
+  auto hi = [p](int, const Triple& t) { return p < t.p; };
+  return Range(pos_, lo, hi);
+}
+
+std::span<const Triple> TripleStore::ByPredicateSubject(TermId p,
+                                                        TermId s) const {
+  if (pso_.empty()) return {};
+  auto lo = [p, s](const Triple& t, int) {
+    return t.p < p || (t.p == p && t.s < s);
+  };
+  auto hi = [p, s](int, const Triple& t) {
+    return p < t.p || (p == t.p && s < t.s);
+  };
+  return Range(pso_, lo, hi);
+}
+
+std::span<const Triple> TripleStore::ByPredicateObject(TermId p,
+                                                       TermId o) const {
+  if (pos_.empty()) return {};
+  auto lo = [p, o](const Triple& t, int) {
+    return t.p < p || (t.p == p && t.o < o);
+  };
+  auto hi = [p, o](int, const Triple& t) {
+    return p < t.p || (p == t.p && o < t.o);
+  };
+  return Range(pos_, lo, hi);
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  const Triple key{s, p, o};
+  return std::binary_search(spo_.begin(), spo_.end(), key, OrderSpo());
+}
+
+}  // namespace remi

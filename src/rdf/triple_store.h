@@ -1,0 +1,86 @@
+// An immutable in-memory triple store with three sorted indexes.
+//
+// This replaces the paper's HDT + Apache Jena access layer (§3.5.1/3.5.2):
+// HDT exposes pattern-level retrieval ("bindings for atoms p(X, Y)") and
+// leaves joins to upper layers; TripleStore offers the same contract via
+// binary-searched ranges over SPO / PSO / POS orderings. All heavy REMI
+// operations reduce to the range lookups below.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief Immutable, fully indexed triple set.
+///
+/// Construction: collect triples (any order, duplicates allowed) and call
+/// TripleStore::Build. Thread-safe for concurrent reads.
+class TripleStore {
+ public:
+  /// Builds the store: sorts, deduplicates, and materializes the three
+  /// index orderings.
+  static TripleStore Build(std::vector<Triple> triples);
+
+  TripleStore() = default;
+
+  size_t size() const { return spo_.size(); }
+  bool empty() const { return spo_.empty(); }
+
+  /// All facts with subject `s`, grouped by predicate (SPO order).
+  std::span<const Triple> BySubject(TermId s) const;
+
+  /// All facts with predicate `p` (PSO order).
+  std::span<const Triple> ByPredicate(TermId p) const;
+
+  /// All facts with predicate `p` (POS order: grouped by object).
+  std::span<const Triple> ByPredicateObjectOrder(TermId p) const;
+
+  /// Facts p(s, *): objects of `s` under `p`.
+  std::span<const Triple> ByPredicateSubject(TermId p, TermId s) const;
+
+  /// Facts p(*, o): subjects with object `o` under `p`.
+  std::span<const Triple> ByPredicateObject(TermId p, TermId o) const;
+
+  /// Membership test for a fully bound fact.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// Number of facts with predicate `p`.
+  size_t CountPredicate(TermId p) const { return ByPredicate(p).size(); }
+
+  /// Number of facts p(s, *).
+  size_t CountPredicateSubject(TermId p, TermId s) const {
+    return ByPredicateSubject(p, s).size();
+  }
+
+  /// Number of facts p(*, o).
+  size_t CountPredicateObject(TermId p, TermId o) const {
+    return ByPredicateObject(p, o).size();
+  }
+
+  /// Distinct predicates present, ascending.
+  const std::vector<TermId>& predicates() const { return predicates_; }
+
+  /// Distinct subjects present, ascending.
+  const std::vector<TermId>& subjects() const { return subjects_; }
+
+  /// The SPO-ordered triple list (for full scans / serialization).
+  const std::vector<Triple>& spo() const { return spo_; }
+
+  /// The PSO-ordered triple list.
+  const std::vector<Triple>& pso() const { return pso_; }
+
+ private:
+  std::vector<Triple> spo_;
+  std::vector<Triple> pso_;
+  std::vector<Triple> pos_;
+  std::vector<TermId> predicates_;
+  std::vector<TermId> subjects_;
+};
+
+}  // namespace remi

@@ -1,0 +1,344 @@
+#include "rdf/turtle_lite.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "rdf/ntriples.h"
+#include "util/string_util.h"
+
+namespace remi {
+
+namespace {
+
+constexpr const char* kRdfTypeFullIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+bool IsWs(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == '%';
+}
+
+}  // namespace
+
+Status TurtleLiteParser::Error(size_t line,
+                               const std::string& message) const {
+  return Status::ParseError("line " + std::to_string(line) + ": " + message);
+}
+
+Result<std::vector<TurtleLiteParser::Token>> TurtleLiteParser::Tokenize(
+    std::string_view text) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (IsWs(c)) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '.') {
+      // Distinguish statement dot from a dot inside a prefixed name; a
+      // statement dot is followed by whitespace/EOF/comment.
+      tokens.push_back({Token::Kind::kDot, ".", line});
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      tokens.push_back({Token::Kind::kSemicolon, ";", line});
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({Token::Kind::kComma, ",", line});
+      ++i;
+      continue;
+    }
+    if (c == '<') {
+      const size_t end = text.find('>', i + 1);
+      if (end == std::string_view::npos) {
+        return Error(line, "unterminated IRI");
+      }
+      tokens.push_back(
+          {Token::Kind::kIriRef, std::string(text.substr(i + 1, end - i - 1)),
+           line});
+      i = end + 1;
+      continue;
+    }
+    if (c == '"') {
+      // Reuse the N-Triples literal scanner: find closing quote honouring
+      // escapes, then the optional @lang / ^^<iri> suffix.
+      if (i + 2 < text.size() && text[i + 1] == '"' && text[i + 2] == '"') {
+        return Error(line, "multi-line \"\"\"literals\"\"\" not supported");
+      }
+      size_t j = i + 1;
+      while (j < text.size()) {
+        if (text[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (text[j] == '"') break;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      if (j >= text.size()) return Error(line, "unterminated literal");
+      auto body = DecodeEscapes(text.substr(i + 1, j - i - 1));
+      if (!body.ok()) return Error(line, body.status().message());
+      size_t after = j + 1;
+      std::string suffix;
+      if (after < text.size() && text[after] == '@') {
+        size_t end = after + 1;
+        while (end < text.size() &&
+               ((text[end] >= 'a' && text[end] <= 'z') ||
+                (text[end] >= 'A' && text[end] <= 'Z') ||
+                (text[end] >= '0' && text[end] <= '9') || text[end] == '-')) {
+          ++end;
+        }
+        suffix = std::string(text.substr(after, end - after));
+        after = end;
+      } else if (after + 1 < text.size() && text[after] == '^' &&
+                 text[after + 1] == '^') {
+        if (after + 2 >= text.size() || text[after + 2] != '<') {
+          return Error(line, "expected <iri> after ^^");
+        }
+        const size_t end = text.find('>', after + 3);
+        if (end == std::string_view::npos) {
+          return Error(line, "unterminated datatype IRI");
+        }
+        suffix = std::string(text.substr(after, end - after + 1));
+        after = end + 1;
+      }
+      tokens.push_back(
+          {Token::Kind::kLiteral, "\"" + *body + "\"" + suffix, line});
+      i = after;
+      continue;
+    }
+    if (c == '_' && i + 1 < text.size() && text[i + 1] == ':') {
+      size_t end = i + 2;
+      while (end < text.size() && IsNameChar(text[end])) ++end;
+      tokens.push_back(
+          {Token::Kind::kBlankNode, std::string(text.substr(i + 2, end - i - 2)),
+           line});
+      i = end;
+      continue;
+    }
+    if (c == '@') {
+      size_t end = i + 1;
+      while (end < text.size() && !IsWs(text[end])) ++end;
+      const std::string keyword =
+          AsciiToLower(text.substr(i + 1, end - i - 1));
+      if (keyword == "prefix") {
+        tokens.push_back({Token::Kind::kAtPrefix, "@prefix", line});
+      } else if (keyword == "base") {
+        tokens.push_back({Token::Kind::kAtBase, "@base", line});
+      } else {
+        return Error(line, "unknown directive @" + keyword);
+      }
+      i = end;
+      continue;
+    }
+    if (c == '[' || c == '(') {
+      return Error(line, std::string("unsupported Turtle construct '") + c +
+                             "' (anonymous nodes/collections)");
+    }
+    // Bare word: 'a', PREFIX/BASE (SPARQL style), or a prefixed name.
+    {
+      size_t end = i;
+      while (end < text.size() && !IsWs(text[end]) && text[end] != ';' &&
+             text[end] != ',' && text[end] != '#') {
+        ++end;
+      }
+      std::string word(text.substr(i, end - i));
+      // A trailing '.' terminates the statement unless it is inside the
+      // local name followed by more name chars (rare); treat trailing '.'
+      // as the statement dot.
+      bool trailing_dot = false;
+      while (!word.empty() && word.back() == '.') {
+        word.pop_back();
+        trailing_dot = true;
+        --end;
+      }
+      if (word == "a") {
+        tokens.push_back({Token::Kind::kA, "a", line});
+      } else if (AsciiToLower(word) == "prefix") {
+        tokens.push_back({Token::Kind::kAtPrefix, "PREFIX", line});
+      } else if (AsciiToLower(word) == "base") {
+        tokens.push_back({Token::Kind::kAtBase, "BASE", line});
+      } else if (word.find(':') != std::string::npos) {
+        tokens.push_back({Token::Kind::kPrefixedName, word, line});
+      } else if (!word.empty()) {
+        return Error(line, "unexpected token '" + word + "'");
+      }
+      (void)trailing_dot;
+      i = end;
+      continue;
+    }
+  }
+  return tokens;
+}
+
+Result<TermId> TurtleLiteParser::ResolveTerm(const Token& token,
+                                             bool allow_literal) {
+  switch (token.kind) {
+    case Token::Kind::kIriRef: {
+      // Resolve against @base for relative IRIs (no scheme).
+      const std::string& iri = token.text;
+      if (!base_.empty() && iri.find("://") == std::string::npos &&
+          !StartsWith(iri, "urn:") && !StartsWith(iri, "mailto:")) {
+        return dict_->InternIri(base_ + iri);
+      }
+      return dict_->InternIri(iri);
+    }
+    case Token::Kind::kPrefixedName: {
+      const size_t colon = token.text.find(':');
+      const std::string prefix = token.text.substr(0, colon);
+      const std::string local = token.text.substr(colon + 1);
+      auto it = prefixes_.find(prefix);
+      if (it == prefixes_.end()) {
+        return Error(token.line, "undeclared prefix '" + prefix + ":'");
+      }
+      return dict_->InternIri(it->second + local);
+    }
+    case Token::Kind::kLiteral:
+      if (!allow_literal) {
+        return Error(token.line, "literal not allowed here");
+      }
+      return dict_->Intern(TermKind::kLiteral, token.text);
+    case Token::Kind::kBlankNode:
+      return dict_->Intern(TermKind::kBlank, token.text);
+    case Token::Kind::kA:
+      return dict_->InternIri(kRdfTypeFullIri);
+    default:
+      return Error(token.line, "expected a term");
+  }
+}
+
+Status TurtleLiteParser::ParseStatement(const std::vector<Token>& tokens,
+                                        size_t* pos,
+                                        std::vector<Triple>* out) {
+  const Token& first = tokens[*pos];
+
+  // Directives.
+  if (first.kind == Token::Kind::kAtPrefix) {
+    if (*pos + 2 >= tokens.size() ||
+        tokens[*pos + 1].kind != Token::Kind::kPrefixedName ||
+        tokens[*pos + 2].kind != Token::Kind::kIriRef) {
+      return Error(first.line, "malformed @prefix directive");
+    }
+    const std::string& decl = tokens[*pos + 1].text;
+    const size_t colon = decl.find(':');
+    if (colon == std::string::npos || colon != decl.size() - 1) {
+      return Error(first.line, "prefix declaration must end with ':'");
+    }
+    prefixes_[decl.substr(0, colon)] = tokens[*pos + 2].text;
+    *pos += 3;
+    // @prefix ends with '.'; SPARQL-style PREFIX does not.
+    if (*pos < tokens.size() && tokens[*pos].kind == Token::Kind::kDot) {
+      ++*pos;
+    }
+    return Status::OK();
+  }
+  if (first.kind == Token::Kind::kAtBase) {
+    if (*pos + 1 >= tokens.size() ||
+        tokens[*pos + 1].kind != Token::Kind::kIriRef) {
+      return Error(first.line, "malformed @base directive");
+    }
+    base_ = tokens[*pos + 1].text;
+    *pos += 2;
+    if (*pos < tokens.size() && tokens[*pos].kind == Token::Kind::kDot) {
+      ++*pos;
+    }
+    return Status::OK();
+  }
+
+  // Triple statement: subject (predicate objectList)+ '.'
+  auto subject = ResolveTerm(first, /*allow_literal=*/false);
+  if (!subject.ok()) return subject.status();
+  ++*pos;
+
+  for (;;) {
+    if (*pos >= tokens.size()) {
+      return Error(first.line, "statement missing '.'");
+    }
+    auto predicate = ResolveTerm(tokens[*pos], /*allow_literal=*/false);
+    if (!predicate.ok()) return predicate.status();
+    if (dict_->kind(*predicate) != TermKind::kIri) {
+      return Error(tokens[*pos].line, "predicate must be an IRI");
+    }
+    ++*pos;
+
+    for (;;) {
+      if (*pos >= tokens.size()) {
+        return Error(first.line, "object expected before end of input");
+      }
+      auto object = ResolveTerm(tokens[*pos], /*allow_literal=*/true);
+      if (!object.ok()) return object.status();
+      ++*pos;
+      out->push_back(Triple{*subject, *predicate, *object});
+      if (*pos < tokens.size() && tokens[*pos].kind == Token::Kind::kComma) {
+        ++*pos;  // another object for the same predicate
+        continue;
+      }
+      break;
+    }
+
+    if (*pos < tokens.size() &&
+        tokens[*pos].kind == Token::Kind::kSemicolon) {
+      ++*pos;  // another predicate for the same subject
+      // Permit a trailing ';' before '.', as Turtle does.
+      if (*pos < tokens.size() && tokens[*pos].kind == Token::Kind::kDot) {
+        ++*pos;
+        return Status::OK();
+      }
+      continue;
+    }
+    if (*pos < tokens.size() && tokens[*pos].kind == Token::Kind::kDot) {
+      ++*pos;
+      return Status::OK();
+    }
+    return Error(first.line, "expected ';', ',' or '.' in statement");
+  }
+}
+
+Result<std::vector<Triple>> TurtleLiteParser::ParseString(
+    std::string_view text) {
+  // Default well-known prefixes.
+  prefixes_.try_emplace("rdf",
+                        "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+  prefixes_.try_emplace("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+  prefixes_.try_emplace("xsd", "http://www.w3.org/2001/XMLSchema#");
+
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  std::vector<Triple> out;
+  size_t pos = 0;
+  while (pos < tokens->size()) {
+    REMI_RETURN_NOT_OK(ParseStatement(*tokens, &pos, &out));
+  }
+  return out;
+}
+
+Result<std::vector<Triple>> TurtleLiteParser::ParseFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return ParseString(buf.str());
+}
+
+}  // namespace remi

@@ -1,0 +1,77 @@
+// Turtle-lite: a pragmatic subset of W3C Turtle on top of the N-Triples
+// core, covering what public KB dumps actually use:
+//
+//   @prefix dbr: <http://dbpedia.org/resource/> .      (and SPARQL PREFIX)
+//   @base <http://dbpedia.org/> .
+//   dbr:Paris dbo:capitalOf dbr:France ;               (predicate lists)
+//             rdfs:label "Paris"@fr , "Paris"@en .     (object lists)
+//   <relative> a dbo:City .                            ('a' = rdf:type)
+//
+// Not covered (rejected with ParseError): collections "(...)", anonymous
+// blank nodes "[...]", numeric/boolean literal abbreviations, and
+// multi-line """literals""".
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief Parser for the Turtle subset described above.
+///
+/// Statement-oriented: the document is tokenized into '.'-terminated
+/// statements; prefixes apply from their point of declaration onward.
+class TurtleLiteParser {
+ public:
+  /// \param dict target dictionary (not owned).
+  explicit TurtleLiteParser(Dictionary* dict) : dict_(dict) {}
+
+  /// Parses a whole document.
+  Result<std::vector<Triple>> ParseString(std::string_view text);
+
+  /// Parses a file from disk.
+  Result<std::vector<Triple>> ParseFile(const std::string& path);
+
+  /// Declared prefixes after parsing (includes defaults like rdf:).
+  const std::unordered_map<std::string, std::string>& prefixes() const {
+    return prefixes_;
+  }
+
+ private:
+  struct Token {
+    enum class Kind {
+      kIriRef,      // <...>
+      kPrefixedName,  // ex:Paris or :Paris
+      kLiteral,     // "..."[@lang|^^iri] (already canonicalized)
+      kBlankNode,   // _:b1
+      kA,           // the keyword 'a'
+      kDot,
+      kSemicolon,
+      kComma,
+      kAtPrefix,    // @prefix / PREFIX
+      kAtBase,      // @base / BASE
+    };
+    Kind kind;
+    std::string text;
+    size_t line;
+  };
+
+  Result<std::vector<Token>> Tokenize(std::string_view text);
+  Status ParseStatement(const std::vector<Token>& tokens, size_t* pos,
+                        std::vector<Triple>* out);
+  Result<TermId> ResolveTerm(const Token& token, bool allow_literal);
+  Status Error(size_t line, const std::string& message) const;
+
+  Dictionary* dict_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace remi

@@ -1,0 +1,226 @@
+#include "remi/enumerator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace remi {
+
+namespace {
+
+using ExpressionSet =
+    std::unordered_set<SubgraphExpression, SubgraphExpressionHash>;
+
+}  // namespace
+
+SubgraphEnumerator::SubgraphEnumerator(Evaluator* evaluator,
+                                       const EnumeratorOptions& options)
+    : evaluator_(evaluator), kb_(&evaluator->kb()), options_(options) {}
+
+bool SubgraphEnumerator::PredicateAllowed(TermId p) const {
+  if (p == kb_->label_predicate()) return false;
+  if (!options_.include_type_atoms && p == kb_->type_predicate()) {
+    return false;
+  }
+  if (!options_.include_inverse_predicates && kb_->IsInversePredicate(p)) {
+    return false;
+  }
+  return true;
+}
+
+bool SubgraphEnumerator::ExpandableObject(TermId o) const {
+  const TermKind kind = kb_->dict().kind(o);
+  if (kind == TermKind::kLiteral) return false;  // no joins through literals
+  if (kind == TermKind::kBlank) return true;     // always hide blank nodes
+  if (options_.prune_prominent_expansion &&
+      kb_->IsTopProminentEntity(o, options_.prominent_object_fraction)) {
+    return false;  // §3.5.2: a prominent constant beats extra atoms
+  }
+  return true;
+}
+
+std::vector<SubgraphExpression> SubgraphEnumerator::EnumerateFor(
+    TermId t) const {
+  ExpressionSet out;
+  const TripleStore& store = kb_->store();
+  const auto facts = store.BySubject(t);
+  const bool capped = options_.max_subgraphs > 0;
+  const auto full = [&] {
+    return capped && out.size() >= options_.max_subgraphs;
+  };
+
+  // Atoms p0(x, I0) and, from expandable objects, paths and path+stars.
+  for (const Triple& fact : facts) {
+    if (full()) break;
+    if (!PredicateAllowed(fact.p)) continue;
+    const TermKind object_kind = kb_->dict().kind(fact.o);
+    const bool blank_object = object_kind == TermKind::kBlank;
+    if (!blank_object || !options_.skip_blank_atoms) {
+      out.insert(SubgraphExpression::Atom(fact.p, fact.o));
+    }
+    if (!options_.extended_language) continue;
+    if (!ExpandableObject(fact.o)) continue;
+
+    // Collect the admissible second-hop legs (p1, I1) of this y = fact.o.
+    std::vector<std::pair<TermId, TermId>> legs;
+    for (const Triple& hop : store.BySubject(fact.o)) {
+      if (!PredicateAllowed(hop.p)) continue;
+      if (kb_->dict().kind(hop.o) == TermKind::kBlank) continue;
+      if (hop.o == t) continue;  // would describe t via itself
+      legs.emplace_back(hop.p, hop.o);
+    }
+    std::sort(legs.begin(), legs.end());
+    legs.erase(std::unique(legs.begin(), legs.end()), legs.end());
+
+    for (size_t i = 0; i < legs.size() && !full(); ++i) {
+      out.insert(
+          SubgraphExpression::Path(fact.p, legs[i].first, legs[i].second));
+      for (size_t j = i + 1; j < legs.size() && !full(); ++j) {
+        out.insert(SubgraphExpression::PathStar(fact.p, legs[i].first,
+                                                legs[i].second, legs[j].first,
+                                                legs[j].second));
+      }
+    }
+  }
+
+  // Closed shapes: predicates grouped by shared object.
+  if (options_.extended_language && !full()) {
+    // Group t's facts by object; objects are *not* constants here, so
+    // blank and prominent objects participate (the closed shapes have no
+    // constant to pay for).
+    std::vector<std::pair<TermId, TermId>> by_object;  // (object, predicate)
+    for (const Triple& fact : facts) {
+      if (!PredicateAllowed(fact.p)) continue;
+      if (fact.p == kb_->type_predicate()) continue;  // type is not a link
+      if (kb_->dict().kind(fact.o) == TermKind::kLiteral) continue;
+      by_object.emplace_back(fact.o, fact.p);
+    }
+    std::sort(by_object.begin(), by_object.end());
+    by_object.erase(std::unique(by_object.begin(), by_object.end()),
+                    by_object.end());
+    size_t i = 0;
+    while (i < by_object.size() && !full()) {
+      size_t j = i;
+      while (j < by_object.size() && by_object[j].first == by_object[i].first) {
+        ++j;
+      }
+      for (size_t a = i; a < j && !full(); ++a) {
+        for (size_t b = a + 1; b < j && !full(); ++b) {
+          out.insert(SubgraphExpression::TwinPair(by_object[a].second,
+                                                  by_object[b].second));
+          for (size_t c = b + 1; c < j && !full(); ++c) {
+            out.insert(SubgraphExpression::TwinTriple(by_object[a].second,
+                                                      by_object[b].second,
+                                                      by_object[c].second));
+          }
+        }
+      }
+      i = j;
+    }
+  }
+
+  std::vector<SubgraphExpression> result(out.begin(), out.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<SubgraphExpression> SubgraphEnumerator::CommonSubgraphs(
+    const std::vector<TermId>& targets) const {
+  if (targets.empty()) return {};
+
+  // Enumerate from the target with the smallest neighbourhood; the result
+  // is the same as intersecting per-target enumerations because every
+  // expression matched by a target appears in its enumeration.
+  TermId seed = targets[0];
+  size_t seed_degree = kb_->store().BySubject(seed).size();
+  for (const TermId t : targets) {
+    const size_t deg = kb_->store().BySubject(t).size();
+    if (deg < seed_degree) {
+      seed = t;
+      seed_degree = deg;
+    }
+  }
+
+  std::unordered_set<TermId> target_set(targets.begin(), targets.end());
+  std::vector<SubgraphExpression> common;
+  for (const SubgraphExpression& rho : EnumerateFor(seed)) {
+    // An entity must not be described via a constant inside the set.
+    if (rho.c1 != kNullTerm && target_set.count(rho.c1)) continue;
+    if (rho.c2 != kNullTerm && target_set.count(rho.c2)) continue;
+    bool shared = true;
+    for (const TermId t : targets) {
+      if (t == seed) continue;
+      if (!evaluator_->Matches(t, rho)) {
+        shared = false;
+        break;
+      }
+    }
+    if (shared) common.push_back(rho);
+  }
+  return common;
+}
+
+ShapeCounts SubgraphEnumerator::CountSubgraphs(TermId t,
+                                               int max_extra_vars) const {
+  ShapeCounts counts;
+  for (const SubgraphExpression& rho : EnumerateFor(t)) {
+    switch (rho.shape) {
+      case SubgraphShape::kAtom:
+        ++counts.atoms;
+        break;
+      case SubgraphShape::kPath:
+        ++counts.paths;
+        break;
+      case SubgraphShape::kPathStar:
+        ++counts.path_stars;
+        break;
+      case SubgraphShape::kTwinPair:
+        ++counts.twin_pairs;
+        break;
+      case SubgraphShape::kTwinTriple:
+        ++counts.twin_triples;
+        break;
+    }
+  }
+  if (max_extra_vars < 2) return counts;
+
+  // Count the 3-atom chains p0(x,y) ∧ p1(y,z) ∧ p2(z, I) that a second
+  // existential variable would admit (deduplicated on (p0,p1,p2,I)).
+  const TripleStore& store = kb_->store();
+  struct ChainKey {
+    TermId p0, p1, p2, c;
+    bool operator==(const ChainKey& o) const {
+      return p0 == o.p0 && p1 == o.p1 && p2 == o.p2 && c == o.c;
+    }
+  };
+  struct ChainHash {
+    size_t operator()(const ChainKey& k) const {
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (uint64_t v : {static_cast<uint64_t>(k.p0),
+                         static_cast<uint64_t>(k.p1),
+                         static_cast<uint64_t>(k.p2),
+                         static_cast<uint64_t>(k.c)}) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_set<ChainKey, ChainHash> chains;
+  for (const Triple& f0 : store.BySubject(t)) {
+    if (!PredicateAllowed(f0.p) || !ExpandableObject(f0.o)) continue;
+    for (const Triple& f1 : store.BySubject(f0.o)) {
+      if (!PredicateAllowed(f1.p) || !ExpandableObject(f1.o)) continue;
+      if (f1.o == t) continue;
+      for (const Triple& f2 : store.BySubject(f1.o)) {
+        if (!PredicateAllowed(f2.p)) continue;
+        if (kb_->dict().kind(f2.o) == TermKind::kBlank) continue;
+        if (f2.o == t) continue;
+        chains.insert(ChainKey{f0.p, f1.p, f2.p, f2.o});
+      }
+    }
+  }
+  counts.chains_two_vars = chains.size();
+  return counts;
+}
+
+}  // namespace remi

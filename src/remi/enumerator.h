@@ -1,0 +1,105 @@
+// Subgraph-expression enumeration (paper §3.3 routine subgraphs-expressions
+// and the pruning heuristics of §3.5.2).
+//
+// For a target entity t, a breadth-first pass derives every Table 1 shape
+// matched by t: atoms p0(t, I0) seed paths p0(x,y) ∧ p1(y,I1), paths seed
+// path+star, and object groups of t's facts seed the closed shapes. The
+// paper's heuristics are applied here:
+//   * atoms p(x, B) with a blank-node object are skipped, but paths that
+//     "hide" the blank node are always derived;
+//   * atoms whose object is among the top-5% most prominent entities are
+//     not expanded into multi-atom shapes (their constant is already
+//     cheap to encode);
+//   * the label predicate is never used (an entity's name is not a
+//     description), and rdf:type / inverse predicates can be toggled for
+//     experiments that need the restricted language (e.g. Table 3).
+//
+// Alg. 1 line 1 (G := ⋂ subgraph-expressions(t)) is implemented by
+// enumerating from the target with the smallest neighbourhood and keeping
+// the expressions every other target satisfies.
+
+#pragma once
+
+#include <vector>
+
+#include "query/evaluator.h"
+
+namespace remi {
+
+/// Language-bias and pruning configuration for enumeration.
+struct EnumeratorOptions {
+  /// REMI's extended language (all Table 1 shapes). When false only atoms
+  /// are produced: the state-of-the-art ("standard") language bias.
+  bool extended_language = true;
+
+  /// Skip atoms with blank-node objects (§3.5.2).
+  bool skip_blank_atoms = true;
+
+  /// Do not derive multi-atom expressions from atoms whose object ranks in
+  /// the top `prominent_object_fraction` of entities (§3.5.2, 5% rule).
+  bool prune_prominent_expansion = true;
+  double prominent_object_fraction = 0.05;
+
+  /// Allow rdf:type atoms (Table 3 disables them).
+  bool include_type_atoms = true;
+
+  /// Allow materialized inverse predicates (Table 3 disables them).
+  bool include_inverse_predicates = true;
+
+  /// Hard cap on produced expressions per entity; 0 = unlimited.
+  size_t max_subgraphs = 0;
+};
+
+/// Per-shape enumeration counts (for the §3.2 language-bias experiments).
+struct ShapeCounts {
+  uint64_t atoms = 0;
+  uint64_t paths = 0;
+  uint64_t path_stars = 0;
+  uint64_t twin_pairs = 0;
+  uint64_t twin_triples = 0;
+  /// Two-extra-variable chains p0(x,y) ∧ p1(y,z) ∧ p2(z,I); not part of
+  /// REMI's bias, counted only for the +270% measurement.
+  uint64_t chains_two_vars = 0;
+
+  uint64_t TotalOneVar() const {
+    return atoms + paths + path_stars + twin_pairs + twin_triples;
+  }
+  uint64_t TotalTwoAtomsOneVar() const { return atoms + paths + twin_pairs; }
+};
+
+/// \brief Enumerates the subgraph expressions of entities.
+class SubgraphEnumerator {
+ public:
+  /// \param evaluator query layer (not owned); also provides the KB.
+  SubgraphEnumerator(Evaluator* evaluator,
+                     const EnumeratorOptions& options = {});
+
+  /// All subgraph expressions of `t` in the configured language bias,
+  /// deduplicated, in deterministic order.
+  std::vector<SubgraphExpression> EnumerateFor(TermId t) const;
+
+  /// Subgraph expressions common to all `targets` (paper Alg. 1 line 1),
+  /// excluding expressions whose constant is itself a target (an entity
+  /// must not be described in terms of itself).
+  std::vector<SubgraphExpression> CommonSubgraphs(
+      const std::vector<TermId>& targets) const;
+
+  /// Counts expressions per shape for `t` under a widened bias
+  /// (up to `max_extra_vars` existential variables); used to reproduce the
+  /// §3.2 search-space-growth numbers.
+  ShapeCounts CountSubgraphs(TermId t, int max_extra_vars) const;
+
+  const EnumeratorOptions& options() const { return options_; }
+
+ private:
+  /// True if predicate `p` may appear in expressions.
+  bool PredicateAllowed(TermId p) const;
+  /// True if the object of an atom may seed multi-atom shapes.
+  bool ExpandableObject(TermId o) const;
+
+  Evaluator* evaluator_;
+  const KnowledgeBase* kb_;
+  EnumeratorOptions options_;
+};
+
+}  // namespace remi

@@ -1,0 +1,353 @@
+#include "remi/remi.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace remi {
+
+struct RemiMiner::SearchShared {
+  const std::vector<RankedSubgraph>* queue = nullptr;
+  const MatchSet* targets = nullptr;
+  /// Acceptance threshold: |T| for strict REs, |T| + k with exceptions.
+  size_t max_matches = 0;
+  Deadline deadline;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> timed_out{false};
+
+  // Authoritative best under mutex; relaxed mirror for cheap bound reads.
+  std::mutex best_mu;
+  Expression best_expr;
+  MatchSet best_matches;
+  double best_cost = CostModel::kInfiniteCost;
+  std::atomic<double> best_cost_relaxed{CostModel::kInfiniteCost};
+
+  std::atomic<uint64_t> nodes{0};
+  std::atomic<uint64_t> depth_prunes{0};
+  std::atomic<uint64_t> side_prunes{0};
+  std::atomic<uint64_t> bound_prunes{0};
+  std::atomic<uint64_t> redundant_prunes{0};
+
+  bool HasSolution() const {
+    return best_cost_relaxed.load(std::memory_order_relaxed) <
+           CostModel::kInfiniteCost;
+  }
+
+  /// Records a found RE; ties in cost break on the deterministic
+  /// expression order so REMI and P-REMI agree.
+  void UpdateBest(const Expression& expr, double cost,
+                  const MatchSet& matches) {
+    std::lock_guard<std::mutex> lock(best_mu);
+    const bool better =
+        cost < best_cost ||
+        (cost == best_cost && !best_expr.IsTop() &&
+         std::lexicographical_compare(expr.parts.begin(), expr.parts.end(),
+                                      best_expr.parts.begin(),
+                                      best_expr.parts.end()));
+    if (better) {
+      best_expr = expr;
+      best_matches = matches;
+      best_cost = cost;
+      best_cost_relaxed.store(cost, std::memory_order_relaxed);
+    }
+  }
+
+  bool CheckDeadline() {
+    if (deadline.Expired()) {
+      timed_out.store(true, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options)
+    : kb_(kb),
+      options_(options),
+      evaluator_(std::make_unique<Evaluator>(kb, options.eval_cache_capacity)),
+      cost_model_(std::make_unique<CostModel>(kb, options.cost)),
+      enumerator_(
+          std::make_unique<SubgraphEnumerator>(evaluator_.get(),
+                                               options.enumerator)) {}
+
+Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
+    const std::vector<TermId>& targets) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("target set is empty");
+  }
+  std::vector<SubgraphExpression> common =
+      enumerator_->CommonSubgraphs(targets);
+
+  std::vector<RankedSubgraph> ranked(common.size());
+  if (options_.num_threads > 1 && common.size() > 64) {
+    // Paper §3.5.2: the construction and sorting of the queue is
+    // parallelized (Ĉ evaluation dominates this phase).
+    ThreadPool pool(static_cast<size_t>(options_.num_threads));
+    const size_t chunk = (common.size() + pool.num_threads() - 1) /
+                         pool.num_threads();
+    for (size_t begin = 0; begin < common.size(); begin += chunk) {
+      const size_t end = std::min(begin + chunk, common.size());
+      pool.Submit([this, &common, &ranked, begin, end] {
+        for (size_t i = begin; i < end; ++i) {
+          ranked[i] = RankedSubgraph{common[i],
+                                     cost_model_->SubgraphCost(common[i])};
+        }
+      });
+    }
+    pool.Wait();
+  } else {
+    for (size_t i = 0; i < common.size(); ++i) {
+      ranked[i] =
+          RankedSubgraph{common[i], cost_model_->SubgraphCost(common[i])};
+    }
+  }
+
+  // Drop unusable entries (no finite code length) and sort ascending by
+  // (Ĉ, expression order) for a deterministic queue.
+  ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
+                              [](const RankedSubgraph& r) {
+                                return r.cost == CostModel::kInfiniteCost;
+                              }),
+               ranked.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedSubgraph& a, const RankedSubgraph& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.expression < b.expression;
+            });
+  return ranked;
+}
+
+void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
+                    double prefix_cost, size_t next_index,
+                    SearchShared* shared, int depth) const {
+  const auto& queue = *shared->queue;
+  for (size_t j = next_index; j < queue.size(); ++j) {
+    if (shared->stop.load(std::memory_order_relaxed)) return;
+    if (shared->CheckDeadline()) return;
+
+    const double cost = prefix_cost + queue[j].cost;
+    if (shared->HasSolution() &&
+        cost >= shared->best_cost_relaxed.load(std::memory_order_relaxed)) {
+      shared->bound_prunes.fetch_add(1, std::memory_order_relaxed);
+      if (options_.best_bound_pruning) {
+        // The queue is cost-sorted: every later sibling (and its subtree)
+        // costs at least this much (Alg. 3 line 6).
+        return;
+      }
+    }
+
+    MatchSet matches = IntersectSorted(
+        prefix_matches, *evaluator_->Match(queue[j].expression));
+    shared->nodes.fetch_add(1, std::memory_order_relaxed);
+    if (matches.size() == prefix_matches.size()) {
+      // ρj did not shrink the match set, so for every extension X,
+      // prefix ∧ ρj ∧ X matches exactly what prefix ∧ X matches but costs
+      // strictly more: the whole subtree is dominated. This keeps the
+      // no-solution and near-fixpoint regions of the search polynomial
+      // instead of exponential (see DESIGN.md §4).
+      shared->redundant_prunes.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // G holds only common subgraphs, so T ⊆ matches is invariant and the
+    // accepting test reduces to a cardinality check (== |T| for strict
+    // REs, <= |T| + k with exceptions).
+    const bool is_re = matches.size() <= shared->max_matches;
+    const Expression node = prefix.Conjoin(queue[j].expression);
+
+    if (is_re) {
+      shared->UpdateBest(node, cost, matches);
+      if (options_.depth_pruning) {
+        shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        Dfs(node, matches, cost, j + 1, shared, depth + 1);
+      }
+      if (options_.side_pruning) {
+        shared->side_prunes.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    } else {
+      Dfs(node, matches, cost, j + 1, shared, depth + 1);
+    }
+  }
+}
+
+bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared) const {
+  if (shared->stop.load(std::memory_order_relaxed)) return false;
+  const auto& queue = *shared->queue;
+  const RankedSubgraph& rho = queue[root];
+
+  if (shared->HasSolution() &&
+      rho.cost >= shared->best_cost_relaxed.load(std::memory_order_relaxed)) {
+    shared->bound_prunes.fetch_add(1, std::memory_order_relaxed);
+    return true;  // nothing cheaper can exist below this root
+  }
+
+  std::shared_ptr<const MatchSet> matches = evaluator_->Match(rho.expression);
+  shared->nodes.fetch_add(1, std::memory_order_relaxed);
+  const Expression expr = Expression::Top().Conjoin(rho.expression);
+  if (matches->size() <= shared->max_matches) {
+    shared->UpdateBest(expr, rho.cost, *matches);
+    shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Dfs(expr, *matches, rho.cost, root + 1, shared, 1);
+  }
+  return !shared->timed_out.load(std::memory_order_relaxed);
+}
+
+Result<RemiResult> RemiMiner::MineRe(
+    const std::vector<TermId>& targets) const {
+  return MineReWithExceptions(targets, 0);
+}
+
+Result<RemiResult> RemiMiner::MineReWithExceptions(
+    const std::vector<TermId>& targets, size_t max_exceptions) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("target set is empty");
+  }
+  MatchSet sorted_targets(targets.begin(), targets.end());
+  std::sort(sorted_targets.begin(), sorted_targets.end());
+  sorted_targets.erase(
+      std::unique(sorted_targets.begin(), sorted_targets.end()),
+      sorted_targets.end());
+
+  RemiResult result;
+  const EvaluatorStats eval_before = evaluator_->stats();
+
+  Timer build_timer;
+  auto ranked = RankedCommonSubgraphs(sorted_targets);
+  if (!ranked.ok()) return ranked.status();
+  result.stats.num_common_subgraphs = ranked->size();
+  result.stats.queue_build_seconds = build_timer.ElapsedSeconds();
+
+  SearchShared shared;
+  shared.queue = &*ranked;
+  shared.targets = &sorted_targets;
+  shared.max_matches = sorted_targets.size() + max_exceptions;
+  if (options_.timeout_seconds > 0) {
+    const double remaining =
+        options_.timeout_seconds - result.stats.queue_build_seconds;
+    shared.deadline = Deadline::AfterSeconds(remaining > 0 ? remaining : 0);
+  }
+
+  Timer search_timer;
+  const size_t n = ranked->size();
+
+  // Proactive Alg. 1 line 8: the conjunction of *all* common subgraph
+  // expressions is the most specific expression in the search space. If
+  // even that matches more than |T| + k entities, no accepting expression
+  // exists and the (worst-case exponential) exhaustive exploration of the
+  // first root can be skipped entirely.
+  if (n > 0) {
+    MatchSet everything = *evaluator_->Match((*ranked)[0].expression);
+    for (size_t i = 1;
+         i < n && everything.size() > shared.max_matches &&
+         !shared.CheckDeadline();
+         ++i) {
+      everything =
+          IntersectSorted(everything, *evaluator_->Match((*ranked)[i].expression));
+    }
+    if (everything.size() > shared.max_matches &&
+        !shared.timed_out.load(std::memory_order_relaxed)) {
+      result.stats.search_seconds = search_timer.ElapsedSeconds();
+      result.found = false;
+      result.timed_out = false;
+      const EvaluatorStats eval_now = evaluator_->stats();
+      result.stats.eval.subgraph_evaluations =
+          eval_now.subgraph_evaluations - eval_before.subgraph_evaluations;
+      result.stats.eval.membership_tests =
+          eval_now.membership_tests - eval_before.membership_tests;
+      result.stats.eval.cache_hits =
+          eval_now.cache_hits - eval_before.cache_hits;
+      result.stats.eval.cache_misses =
+          eval_now.cache_misses - eval_before.cache_misses;
+      return result;
+    }
+  }
+
+  if (options_.num_threads <= 1) {
+    // Alg. 1: dequeue roots in ascending Ĉ order.
+    for (size_t i = 0; i < n; ++i) {
+      if (shared.stop.load(std::memory_order_relaxed)) break;
+      if (shared.HasSolution() &&
+          (*ranked)[i].cost >=
+              shared.best_cost_relaxed.load(std::memory_order_relaxed)) {
+        break;  // all remaining roots are at least as expensive
+      }
+      const bool fully_explored = ExploreRoot(i, &shared);
+      if (fully_explored && !shared.HasSolution()) {
+        // Alg. 1 line 8: the exhausted subtree contained the most specific
+        // conjunction reachable from here; no RE exists.
+        break;
+      }
+    }
+  } else {
+    // P-REMI (§3.4): threads concurrently dequeue roots.
+    std::atomic<size_t> next_root{0};
+    ThreadPool pool(static_cast<size_t>(options_.num_threads));
+    for (size_t w = 0; w < pool.num_threads(); ++w) {
+      pool.Submit([this, &shared, &next_root, n] {
+        for (;;) {
+          const size_t i =
+              next_root.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          if (shared.stop.load(std::memory_order_relaxed)) return;
+          if (shared.HasSolution() &&
+              (*shared.queue)[i].cost >=
+                  shared.best_cost_relaxed.load(std::memory_order_relaxed)) {
+            return;  // ascending costs: no later root can win
+          }
+          const bool fully_explored = ExploreRoot(i, &shared);
+          if (fully_explored && !shared.HasSolution()) {
+            // §3.4 difference #2: signal the other threads that no RE
+            // exists anywhere.
+            shared.stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  result.stats.search_seconds = search_timer.ElapsedSeconds();
+
+  {
+    std::lock_guard<std::mutex> lock(shared.best_mu);
+    result.expression = shared.best_expr;
+    result.cost = shared.best_cost;
+    // Exceptions: the matched non-targets of the winning expression.
+    for (const TermId m : shared.best_matches) {
+      if (!std::binary_search(sorted_targets.begin(), sorted_targets.end(),
+                              m)) {
+        result.exceptions.push_back(m);
+      }
+    }
+  }
+  result.found = result.cost < CostModel::kInfiniteCost;
+  result.timed_out = shared.timed_out.load(std::memory_order_relaxed);
+  result.stats.nodes_visited = shared.nodes.load(std::memory_order_relaxed);
+  result.stats.depth_prunes =
+      shared.depth_prunes.load(std::memory_order_relaxed);
+  result.stats.side_prunes =
+      shared.side_prunes.load(std::memory_order_relaxed);
+  result.stats.bound_prunes =
+      shared.bound_prunes.load(std::memory_order_relaxed);
+  result.stats.redundant_prunes =
+      shared.redundant_prunes.load(std::memory_order_relaxed);
+
+  const EvaluatorStats eval_after = evaluator_->stats();
+  result.stats.eval.subgraph_evaluations =
+      eval_after.subgraph_evaluations - eval_before.subgraph_evaluations;
+  result.stats.eval.membership_tests =
+      eval_after.membership_tests - eval_before.membership_tests;
+  result.stats.eval.cache_hits = eval_after.cache_hits - eval_before.cache_hits;
+  result.stats.eval.cache_misses =
+      eval_after.cache_misses - eval_before.cache_misses;
+  return result;
+}
+
+}  // namespace remi

@@ -1,0 +1,143 @@
+// REMI and P-REMI: cost-ordered DFS for minimal-Ĉ referring expressions
+// (paper §3.3 Alg. 1 + 2, §3.4 Alg. 3).
+//
+// Search space: conjunctions of the subgraph expressions common to the
+// targets, ordered by ascending Ĉ. The DFS applies the paper's prunings:
+//   * depth pruning  — an RE's descendants are REs of strictly higher Ĉ,
+//     so the subtree below a found RE is abandoned;
+//   * side pruning   — siblings following a found RE (and their subtrees)
+//     cost at least as much, so they are skipped;
+//   * best-bound     — any node with Ĉ ≥ Ĉ(best) is cut (Alg. 3 line 6;
+//     sound for the sequential search as well since Ĉ is monotone);
+//   * no-solution    — if the subtree rooted at the cheapest expression is
+//     exhausted with no RE found, the full conjunction is not an RE and no
+//     RE exists (Alg. 1 line 8).
+//
+// P-REMI runs the per-root subtrees on a thread pool with a shared,
+// mutex-guarded best solution and a shared stop signal; a thread that
+// exhausts its root without any global solution signals all others to stop
+// (paper §3.4, difference #2).
+//
+// Because G contains only *common* subgraph expressions, every conjunction
+// of them matches every target; the DFS therefore maintains the exact match
+// set incrementally and an RE test is a size comparison.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "complexity/cost_model.h"
+#include "query/evaluator.h"
+#include "remi/enumerator.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace remi {
+
+/// Full configuration of a mining run.
+struct RemiOptions {
+  CostModelOptions cost;
+  EnumeratorOptions enumerator;
+
+  /// Worker threads; 1 = sequential REMI, >1 = P-REMI.
+  int num_threads = 1;
+
+  /// Per-call timeout in seconds; 0 disables (paper §4.2 uses 2h).
+  double timeout_seconds = 0.0;
+
+  /// Ablation switches (all on = the paper's algorithm).
+  bool depth_pruning = true;
+  bool side_pruning = true;
+  bool best_bound_pruning = true;
+
+  /// LRU capacity of the evaluator's match-set cache (§3.5.2); 0 disables.
+  size_t eval_cache_capacity = 65536;
+};
+
+/// Counters describing one mining run.
+struct RemiStats {
+  size_t num_common_subgraphs = 0;  ///< |G| after Alg. 1 line 1
+  uint64_t nodes_visited = 0;       ///< search-tree nodes (RE tests)
+  uint64_t depth_prunes = 0;
+  uint64_t side_prunes = 0;
+  uint64_t bound_prunes = 0;
+  /// Conjuncts skipped because they did not shrink the match set (their
+  /// subtrees are dominated by cheaper equivalents).
+  uint64_t redundant_prunes = 0;
+  double queue_build_seconds = 0.0;  ///< Alg. 1 lines 1-2
+  double search_seconds = 0.0;       ///< Alg. 1 lines 4-8
+  EvaluatorStats eval;
+};
+
+/// Outcome of one mining run.
+struct RemiResult {
+  /// The minimal-Ĉ referring expression; Top() when none exists.
+  Expression expression;
+  double cost = CostModel::kInfiniteCost;
+  bool found = false;
+  bool timed_out = false;
+  /// Non-target entities matched by the expression. Empty for strict REs;
+  /// at most `max_exceptions` entries for MineReWithExceptions.
+  std::vector<TermId> exceptions;
+  RemiStats stats;
+};
+
+/// A subgraph expression with its Ĉ (the priority-queue element).
+struct RankedSubgraph {
+  SubgraphExpression expression;
+  double cost = 0.0;
+};
+
+/// \brief The REMI miner. Reusable across many target sets; the cost
+/// model's rankings and the evaluator's cache warm up across calls.
+class RemiMiner {
+ public:
+  /// \param kb the KB (not owned; must outlive the miner)
+  RemiMiner(const KnowledgeBase* kb, const RemiOptions& options = {});
+
+  /// Mines the most intuitive RE for `targets` (Alg. 1).
+  /// Fails with InvalidArgument on an empty target set.
+  Result<RemiResult> MineRe(const std::vector<TermId>& targets) const;
+
+  /// §6 future work ("relax the unambiguity constraint to mine REs with
+  /// exceptions"): mines the cheapest expression that matches every
+  /// target plus at most `max_exceptions` other entities. The exceptions
+  /// are reported in RemiResult::exceptions. With max_exceptions = 0 this
+  /// is exactly MineRe. All prunings stay sound because conjoining only
+  /// shrinks match sets, so an accepting node's descendants are accepting
+  /// but more complex.
+  Result<RemiResult> MineReWithExceptions(const std::vector<TermId>& targets,
+                                          size_t max_exceptions) const;
+
+  /// The priority queue of Alg. 1 line 2: common subgraph expressions
+  /// sorted by ascending Ĉ (ties broken deterministically). Used directly
+  /// by the Table 2 / Table 3 harnesses.
+  Result<std::vector<RankedSubgraph>> RankedCommonSubgraphs(
+      const std::vector<TermId>& targets) const;
+
+  const CostModel& cost_model() const { return *cost_model_; }
+  Evaluator* evaluator() const { return evaluator_.get(); }
+  const RemiOptions& options() const { return options_; }
+  const KnowledgeBase& kb() const { return *kb_; }
+
+ private:
+  struct SearchShared;
+
+  /// Explores the subtree rooted at queue index `root` (DFS-REMI /
+  /// P-DFS-REMI). Returns true if the subtree was fully explored (i.e. not
+  /// cut by the timeout).
+  bool ExploreRoot(size_t root, SearchShared* shared) const;
+
+  void Dfs(const Expression& prefix, const MatchSet& prefix_matches,
+           double prefix_cost, size_t next_index, SearchShared* shared,
+           int depth) const;
+
+  const KnowledgeBase* kb_;
+  RemiOptions options_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<SubgraphEnumerator> enumerator_;
+};
+
+}  // namespace remi

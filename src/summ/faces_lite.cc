@@ -1,0 +1,74 @@
+#include "summ/faces_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace remi {
+
+Summary FacesSummarize(const KnowledgeBase& kb, TermId entity, size_t k) {
+  const Summary candidates = CandidateFacts(kb, entity);
+  if (candidates.empty() || k == 0) return {};
+
+  // Group facts by the conceptual type of their object.
+  // Entity objects group by their first class; literals by predicate.
+  std::map<TermId, std::vector<SummaryItem>> clusters;
+  for (const SummaryItem& item : candidates) {
+    TermId cluster_key;
+    if (kb.dict().IsLiteral(item.object)) {
+      cluster_key = item.predicate;
+    } else {
+      const auto classes = kb.ClassesOf(item.object);
+      cluster_key = classes.empty() ? item.predicate : classes.front();
+    }
+    clusters[cluster_key].push_back(item);
+  }
+
+  // Rank each cluster by popularity x informativeness.
+  const double total_facts =
+      static_cast<double>(kb.NumFacts() == 0 ? 1 : kb.NumFacts());
+  const auto fact_score = [&](const SummaryItem& item) {
+    const double popularity =
+        std::log2(1.0 + static_cast<double>(kb.EntityFrequency(item.object)));
+    const double fact_freq = static_cast<double>(
+        kb.store().CountPredicateObject(item.predicate, item.object));
+    const double informativeness =
+        std::log2(total_facts / std::max(1.0, fact_freq));
+    return popularity * informativeness;
+  };
+  std::vector<std::vector<SummaryItem>> ranked_clusters;
+  for (auto& [key, members] : clusters) {
+    (void)key;
+    std::sort(members.begin(), members.end(),
+              [&](const SummaryItem& a, const SummaryItem& b) {
+                const double sa = fact_score(a);
+                const double sb = fact_score(b);
+                if (sa != sb) return sa > sb;
+                return a < b;
+              });
+    ranked_clusters.push_back(std::move(members));
+  }
+  // Most promising cluster first (by its best member's score).
+  std::sort(ranked_clusters.begin(), ranked_clusters.end(),
+            [&](const auto& a, const auto& b) {
+              return fact_score(a.front()) > fact_score(b.front());
+            });
+
+  // Round-robin fill: one fact per cluster per round (FACES' diversity).
+  Summary out;
+  for (size_t round = 0; out.size() < k; ++round) {
+    bool any = false;
+    for (const auto& cluster : ranked_clusters) {
+      if (round < cluster.size()) {
+        out.push_back(cluster[round]);
+        any = true;
+        if (out.size() >= k) break;
+      }
+    }
+    if (!any) break;
+  }
+  return out;
+}
+
+}  // namespace remi

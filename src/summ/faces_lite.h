@@ -1,0 +1,24 @@
+// FACES-lite: diversity-aware entity summarization (Gunaratna et al.,
+// AAAI'15), reimplemented at its algorithmic core for the Table 3
+// comparison.
+//
+// FACES partitions an entity's facts into conceptually similar groups
+// (via Cobweb hierarchical clustering over wordnet-expanded feature sets)
+// and ranks facts within each group by a tf-idf-style popularity, then
+// fills the summary round-robin across groups — diversity first. The lite
+// version keeps that structure with an offline-friendly grouping: facts
+// cluster by the class of their object (literal facts cluster by
+// predicate), and in-cluster ranking is popularity × informativeness
+// (log-inverse fact frequency).
+
+#pragma once
+
+#include "kb/knowledge_base.h"
+#include "summ/quality.h"
+
+namespace remi {
+
+/// Summarizes `entity` with at most `k` facts.
+Summary FacesSummarize(const KnowledgeBase& kb, TermId entity, size_t k);
+
+}  // namespace remi

@@ -1,0 +1,93 @@
+#include "summ/gold_standard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace remi {
+
+namespace {
+
+/// Deterministic per-(expert, entity, fact) noise seed.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (uint64_t v : {a, b, c}) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+ExpertSummaries BuildGoldStandard(const KnowledgeBase& kb, TermId entity,
+                                  const GoldStandardConfig& config) {
+  const Summary candidates = CandidateFacts(kb, entity);
+  ExpertSummaries out;
+  if (candidates.empty()) {
+    out.top5.resize(config.num_experts);
+    out.top10.resize(config.num_experts);
+    return out;
+  }
+
+  // Shared (noise-free) part of each fact's appeal.
+  const double num_entities =
+      static_cast<double>(kb.NumEntities() == 0 ? 1 : kb.NumEntities());
+  std::vector<double> base_scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const SummaryItem& item = candidates[i];
+    // Prominence: log-scaled frequency of the object.
+    const double prom =
+        std::log2(1.0 + static_cast<double>(kb.EntityFrequency(item.object)));
+    const double prom_norm =
+        prom / std::log2(num_entities + 2.0);  // roughly [0, 1]
+    // Uniqueness: how few other entities share this exact fact.
+    const double sharers = static_cast<double>(
+        kb.store().CountPredicateObject(item.predicate, item.object));
+    const double uniq = 1.0 / std::max(1.0, sharers);
+    base_scores[i] = config.prominence_weight * prom_norm +
+                     config.uniqueness_weight * uniq;
+  }
+
+  for (size_t expert = 0; expert < config.num_experts; ++expert) {
+    // Expert's personal noisy view of the candidates.
+    std::vector<double> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      Rng noise(MixSeed(config.seed, expert, entity,
+                        (static_cast<uint64_t>(candidates[i].predicate)
+                         << 32) |
+                            candidates[i].object));
+      scores[i] = base_scores[i] + config.noise_sigma * noise.NextGaussian();
+    }
+
+    // Greedy diversity-aware selection of up to 10 facts.
+    Summary picked;
+    std::vector<bool> used(candidates.size(), false);
+    std::unordered_map<TermId, int> predicate_uses;
+    while (picked.size() < 10 && picked.size() < candidates.size()) {
+      int best = -1;
+      double best_score = 0.0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (used[i]) continue;
+        const int uses = predicate_uses[candidates[i].predicate];
+        const double discounted =
+            scores[i] * std::pow(config.diversity_discount, uses);
+        if (best < 0 || discounted > best_score) {
+          best = static_cast<int>(i);
+          best_score = discounted;
+        }
+      }
+      if (best < 0) break;
+      used[static_cast<size_t>(best)] = true;
+      ++predicate_uses[candidates[static_cast<size_t>(best)].predicate];
+      picked.push_back(candidates[static_cast<size_t>(best)]);
+    }
+
+    Summary top5(picked.begin(),
+                 picked.begin() + std::min<size_t>(5, picked.size()));
+    out.top5.push_back(std::move(top5));
+    out.top10.push_back(std::move(picked));
+  }
+  return out;
+}
+
+}  // namespace remi

@@ -1,0 +1,82 @@
+#include "summ/linksum_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace remi {
+
+Summary LinkSumSummarize(const KnowledgeBase& kb,
+                         const std::unordered_map<TermId, double>& pagerank,
+                         TermId entity, size_t k,
+                         const LinkSumConfig& config) {
+  const Summary candidates = CandidateFacts(kb, entity);
+  if (candidates.empty() || k == 0) return {};
+
+  // Stage 1: resource selection. Group candidate facts by object and
+  // score each object by PageRank + Backlink.
+  struct Resource {
+    TermId object;
+    double score;
+    std::vector<TermId> predicates;
+  };
+  std::vector<Resource> resources;
+  double max_pr = 0.0;
+  for (const auto& [id, score] : pagerank) {
+    (void)id;
+    max_pr = std::max(max_pr, score);
+  }
+  if (max_pr <= 0) max_pr = 1.0;
+  for (const SummaryItem& item : candidates) {
+    auto it = std::find_if(resources.begin(), resources.end(),
+                           [&](const Resource& r) {
+                             return r.object == item.object;
+                           });
+    if (it == resources.end()) {
+      Resource r;
+      r.object = item.object;
+      const auto pr = pagerank.find(item.object);
+      const double pr_norm =
+          pr == pagerank.end() ? 0.0 : pr->second / max_pr;
+      // Backlink: does the object link back to the entity?
+      bool backlink = false;
+      for (const Triple& t : kb.store().BySubject(item.object)) {
+        if (t.o == entity && !kb.IsInversePredicate(t.p)) {
+          backlink = true;
+          break;
+        }
+      }
+      r.score = config.pagerank_weight * pr_norm +
+                (1.0 - config.pagerank_weight) * (backlink ? 1.0 : 0.0);
+      resources.push_back(std::move(r));
+      it = resources.end() - 1;
+    }
+    it->predicates.push_back(item.predicate);
+  }
+  std::sort(resources.begin(), resources.end(),
+            [](const Resource& a, const Resource& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+
+  // Stage 2: predicate selection. For each chosen resource pick the most
+  // frequent connecting predicate (LinkSUM's "FRQ" strategy).
+  Summary out;
+  for (const Resource& r : resources) {
+    if (out.size() >= k) break;
+    TermId best_pred = kNullTerm;
+    size_t best_freq = 0;
+    for (const TermId p : r.predicates) {
+      const size_t freq = kb.store().CountPredicate(p);
+      if (best_pred == kNullTerm || freq > best_freq ||
+          (freq == best_freq && p < best_pred)) {
+        best_pred = p;
+        best_freq = freq;
+      }
+    }
+    out.push_back(SummaryItem{best_pred, r.object});
+  }
+  return out;
+}
+
+}  // namespace remi

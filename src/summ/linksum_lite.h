@@ -1,0 +1,33 @@
+// LinkSUM-lite: link-analysis entity summarization (Thalhammer et al.,
+// ICWE'16), reimplemented at its algorithmic core for the Table 3
+// comparison.
+//
+// LinkSUM scores candidate resources connected to the entity by a mix of
+// PageRank and Backlink (whether the resource links back to the entity),
+// then selects, for each top resource, the best predicate connecting the
+// entity to it. The lite version runs the same two stages with PageRank
+// computed on the KB's own entity graph.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "kb/knowledge_base.h"
+#include "summ/quality.h"
+
+namespace remi {
+
+/// LinkSUM parameters.
+struct LinkSumConfig {
+  /// Weight of PageRank vs Backlink in resource selection.
+  double pagerank_weight = 0.85;
+};
+
+/// Summarizes `entity` with at most `k` facts, using precomputed
+/// `pagerank` scores (see ComputePageRank).
+Summary LinkSumSummarize(const KnowledgeBase& kb,
+                         const std::unordered_map<TermId, double>& pagerank,
+                         TermId entity, size_t k,
+                         const LinkSumConfig& config = {});
+
+}  // namespace remi

@@ -1,0 +1,83 @@
+#include "summ/quality.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace remi {
+
+Summary CandidateFacts(const KnowledgeBase& kb, TermId entity) {
+  Summary out;
+  for (const Triple& t : kb.store().BySubject(entity)) {
+    if (t.p == kb.type_predicate() || t.p == kb.label_predicate()) continue;
+    if (kb.IsInversePredicate(t.p)) continue;
+    out.push_back(SummaryItem{t.p, t.o});
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double QualityPo(const Summary& summary,
+                 const std::vector<Summary>& references) {
+  if (references.empty()) return 0.0;
+  double total = 0.0;
+  for (const Summary& ref : references) {
+    size_t overlap = 0;
+    for (const SummaryItem& item : summary) {
+      if (std::find(ref.begin(), ref.end(), item) != ref.end()) ++overlap;
+    }
+    total += static_cast<double>(overlap);
+  }
+  return total / static_cast<double>(references.size());
+}
+
+double QualityO(const Summary& summary,
+                const std::vector<Summary>& references) {
+  if (references.empty()) return 0.0;
+  std::unordered_set<TermId> summary_objects;
+  for (const SummaryItem& item : summary) summary_objects.insert(item.object);
+  double total = 0.0;
+  for (const Summary& ref : references) {
+    std::unordered_set<TermId> ref_objects;
+    for (const SummaryItem& item : ref) ref_objects.insert(item.object);
+    size_t overlap = 0;
+    for (const TermId o : summary_objects) {
+      if (ref_objects.count(o)) ++overlap;
+    }
+    total += static_cast<double>(overlap);
+  }
+  return total / static_cast<double>(references.size());
+}
+
+MergedPrecision PrecisionVsMergedGold(
+    const Summary& summary, const std::vector<Summary>& references) {
+  MergedPrecision out;
+  if (summary.empty()) return out;
+  std::unordered_set<TermId> gold_predicates;
+  std::unordered_set<TermId> gold_objects;
+  std::unordered_set<uint64_t> gold_pairs;
+  for (const Summary& ref : references) {
+    for (const SummaryItem& item : ref) {
+      gold_predicates.insert(item.predicate);
+      gold_objects.insert(item.object);
+      gold_pairs.insert((static_cast<uint64_t>(item.predicate) << 32) |
+                        item.object);
+    }
+  }
+  size_t p_hits = 0, o_hits = 0, po_hits = 0;
+  for (const SummaryItem& item : summary) {
+    if (gold_predicates.count(item.predicate)) ++p_hits;
+    if (gold_objects.count(item.object)) ++o_hits;
+    if (gold_pairs.count((static_cast<uint64_t>(item.predicate) << 32) |
+                         item.object)) {
+      ++po_hits;
+    }
+  }
+  const double n = static_cast<double>(summary.size());
+  out.predicates = static_cast<double>(p_hits) / n;
+  out.objects = static_cast<double>(o_hits) / n;
+  out.pairs = static_cast<double>(po_hits) / n;
+  return out;
+}
+
+}  // namespace remi

@@ -1,0 +1,56 @@
+// Entity-summarization types and quality metrics (paper §4.1.4, Table 3).
+//
+// A summary is a list of predicate-object pairs describing one entity in
+// the standard language bias, excluding rdf:type and inverse predicates
+// (the paper's Table 3 protocol). Quality follows FACES [8]: the average
+// overlap between a reported summary and each expert's reference summary,
+// computed on predicate-object pairs (PO) or objects only (O). §4.1.4 also
+// reports precision against the union of all expert summaries (P / O / PO).
+
+#pragma once
+
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace remi {
+
+/// One summary entry: a fact's predicate and object.
+struct SummaryItem {
+  TermId predicate = kNullTerm;
+  TermId object = kNullTerm;
+
+  bool operator==(const SummaryItem& other) const {
+    return predicate == other.predicate && object == other.object;
+  }
+  bool operator<(const SummaryItem& other) const {
+    if (predicate != other.predicate) return predicate < other.predicate;
+    return object < other.object;
+  }
+};
+
+using Summary = std::vector<SummaryItem>;
+
+/// The candidate facts of `entity` for summarization: its outgoing facts
+/// minus rdf:type, rdfs:label, and materialized inverse predicates.
+Summary CandidateFacts(const KnowledgeBase& kb, TermId entity);
+
+/// Average |summary ∩ reference_i| over references (PO-level overlap);
+/// FACES' "quality".
+double QualityPo(const Summary& summary,
+                 const std::vector<Summary>& references);
+
+/// Average object-level overlap.
+double QualityO(const Summary& summary,
+                const std::vector<Summary>& references);
+
+/// Precision of the summary against the union of all references.
+struct MergedPrecision {
+  double predicates = 0.0;  ///< fraction of summary predicates in the union
+  double objects = 0.0;     ///< fraction of summary objects in the union
+  double pairs = 0.0;       ///< fraction of summary PO pairs in the union
+};
+MergedPrecision PrecisionVsMergedGold(const Summary& summary,
+                                      const std::vector<Summary>& references);
+
+}  // namespace remi

@@ -1,0 +1,26 @@
+#include "summ/remi_summarizer.h"
+
+namespace remi {
+
+Summary RemiSummarize(const RemiMiner& miner, TermId entity, size_t k) {
+  auto ranked = miner.RankedCommonSubgraphs({entity});
+  if (!ranked.ok()) return {};
+  Summary out;
+  for (const RankedSubgraph& r : *ranked) {
+    if (out.size() >= k) break;
+    if (r.expression.shape != SubgraphShape::kAtom) continue;
+    out.push_back(SummaryItem{r.expression.p0, r.expression.c1});
+  }
+  return out;
+}
+
+RemiOptions MakeTable3RemiOptions(ProminenceMetric metric) {
+  RemiOptions options;
+  options.cost.metric = metric;
+  options.enumerator.extended_language = false;
+  options.enumerator.include_type_atoms = false;
+  options.enumerator.include_inverse_predicates = false;
+  return options;
+}
+
+}  // namespace remi

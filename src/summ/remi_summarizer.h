@@ -1,0 +1,22 @@
+// REMI as an entity summarizer (Table 3 protocol): the top-k most
+// intuitive single-atom subgraph expressions by Ĉ, with rdf:type and
+// inverse predicates excluded so the output is comparable to the gold
+// standard's language.
+
+#pragma once
+
+#include "remi/remi.h"
+#include "summ/quality.h"
+
+namespace remi {
+
+/// Summarizes `entity` with the `k` least complex atoms according to the
+/// miner's cost model. The miner must be configured with the standard
+/// language bias and type/inverse exclusion (see MakeTable3RemiOptions).
+Summary RemiSummarize(const RemiMiner& miner, TermId entity, size_t k);
+
+/// The miner configuration of the paper's Table 3 runs: standard language
+/// bias, no rdf:type atoms, no inverse predicates.
+RemiOptions MakeTable3RemiOptions(ProminenceMetric metric);
+
+}  // namespace remi

@@ -1,0 +1,48 @@
+#include "userstudy/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remi {
+
+double PrecisionAtK(const std::vector<size_t>& model_order,
+                    const std::vector<size_t>& user_order, size_t k) {
+  if (k == 0) return 0.0;
+  const size_t mk = std::min(k, model_order.size());
+  const size_t uk = std::min(k, user_order.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < mk; ++i) {
+    for (size_t j = 0; j < uk; ++j) {
+      if (model_order[i] == user_order[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionSingleRelevant(size_t relevant_candidate,
+                                      const std::vector<size_t>& user_order) {
+  for (size_t pos = 0; pos < user_order.size(); ++pos) {
+    if (user_order[pos] == relevant_candidate) {
+      return 1.0 / static_cast<double>(pos + 1);
+    }
+  }
+  return 0.0;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  out.n = values.size();
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace remi

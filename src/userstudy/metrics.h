@@ -1,0 +1,30 @@
+// Evaluation metrics of the qualitative studies (paper §4.1).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remi {
+
+/// precision@k between two rankings (index permutations of the same
+/// candidate list): |top-k(model) ∩ top-k(user)| / k (paper Table 2).
+double PrecisionAtK(const std::vector<size_t>& model_order,
+                    const std::vector<size_t>& user_order, size_t k);
+
+/// Average precision when a single item (identified by candidate index)
+/// is relevant: 1 / (1 + position of the item in the user's ranking).
+/// §4.1.2 computes MAP "when we assume REMI's solution as the only
+/// relevant answer".
+double AveragePrecisionSingleRelevant(size_t relevant_candidate,
+                                      const std::vector<size_t>& user_order);
+
+/// Mean and (population) standard deviation.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t n = 0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace remi

@@ -1,0 +1,79 @@
+#include "userstudy/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace remi {
+
+SimulatedUserPanel::SimulatedUserPanel(const KnowledgeBase* kb,
+                                       const CostModel* model,
+                                       const UserModelConfig& config)
+    : kb_(kb), model_(model), config_(config) {}
+
+double SimulatedUserPanel::Noise(size_t user, const Expression& e) const {
+  // Deterministic per (seed, user, expression).
+  uint64_t h = config_.seed ^ (0x9e3779b97f4a7c15ULL * (user + 1));
+  SubgraphExpressionHash hasher;
+  for (const auto& part : e.parts) {
+    h ^= hasher(part) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  Rng rng(h);
+  return config_.noise_sigma * rng.NextGaussian();
+}
+
+double SimulatedUserPanel::PerceivedComplexity(size_t user,
+                                               const Expression& e) const {
+  double bits = model_->Cost(e);
+  if (bits == CostModel::kInfiniteCost) return bits;
+  int atoms = 0;
+  int existentials = 0;
+  for (const auto& part : e.parts) {
+    atoms += part.num_atoms();
+    if (part.has_existential_variable()) ++existentials;
+    if (part.shape == SubgraphShape::kAtom &&
+        part.p0 == kb_->type_predicate()) {
+      bits -= config_.type_preference_bonus;
+    }
+  }
+  if (atoms > 1) {
+    bits += config_.atom_penalty * static_cast<double>(atoms - 1);
+  }
+  bits += config_.existential_penalty * static_cast<double>(existentials);
+  return bits + Noise(user, e);
+}
+
+std::vector<size_t> SimulatedUserPanel::RankBySimplicity(
+    size_t user, const std::vector<Expression>& candidates) const {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scored.emplace_back(PerceivedComplexity(user, candidates[i]), i);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<size_t> order;
+  order.reserve(scored.size());
+  for (const auto& [score, idx] : scored) {
+    (void)score;
+    order.push_back(idx);
+  }
+  return order;
+}
+
+size_t SimulatedUserPanel::PreferBetween(size_t user, const Expression& a,
+                                         const Expression& b) const {
+  return PerceivedComplexity(user, a) <= PerceivedComplexity(user, b) ? 0 : 1;
+}
+
+int SimulatedUserPanel::InterestingnessScore(size_t user,
+                                             const Expression& e) const {
+  const double bits = PerceivedComplexity(user, e);
+  // Map perceived bits to a 1..5 Likert grade: expressions around a few
+  // bits are fascinating shortcuts, >20 bits read as opaque trivia.
+  if (bits == CostModel::kInfiniteCost) return 1;
+  const double grade = 5.0 - 4.0 * std::clamp(bits / 20.0, 0.0, 1.0);
+  return static_cast<int>(std::lround(std::clamp(grade, 1.0, 5.0)));
+}
+
+}  // namespace remi

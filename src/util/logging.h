@@ -1,0 +1,48 @@
+// Lightweight assertion and logging macros.
+//
+// REMI_CHECK* abort the process with a diagnostic; they guard invariants
+// whose violation indicates a programming error, never data-dependent
+// failures (those return Status).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace remi {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "REMI_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOkFailed(const char* file, int line,
+                                       const Status& st) {
+  std::fprintf(stderr, "REMI_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace remi
+
+#define REMI_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::remi::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+#define REMI_CHECK_OK(expr)                                      \
+  do {                                                           \
+    ::remi::Status _st = (expr);                                 \
+    if (!_st.ok()) {                                             \
+      ::remi::internal::CheckOkFailed(__FILE__, __LINE__, _st);  \
+    }                                                            \
+  } while (0)
+
+#define REMI_DCHECK(expr) REMI_CHECK(expr)

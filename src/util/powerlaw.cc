@@ -1,0 +1,82 @@
+#include "util/powerlaw.h"
+
+#include <cmath>
+
+namespace remi {
+
+Result<LinearFit> FitLinear(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitLinear: size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("FitLinear: need at least 2 points");
+  }
+  const size_t n = x.size();
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  LinearFit fit;
+  fit.n = n;
+  if (sxx == 0.0) {
+    // Vertical data: fall back to the mean as a constant predictor.
+    fit.slope = 0.0;
+    fit.intercept = my;
+  } else {
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+  }
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r2 = ss_tot == 0.0 ? (ss_res == 0.0 ? 1.0 : 0.0) : 1.0 - ss_res / ss_tot;
+  if (fit.r2 < 0.0) fit.r2 = 0.0;
+  return fit;
+}
+
+double PowerLawCoefficients::EstimateBits(double freq) const {
+  if (freq < 1.0) freq = 1.0;
+  const double bits = -alpha * std::log2(freq) + beta;
+  return bits < 0.0 ? 0.0 : bits;
+}
+
+PowerLawCoefficients FitPowerLaw(const std::vector<double>& frequencies) {
+  PowerLawCoefficients coeff;
+  coeff.n = frequencies.size();
+  if (frequencies.size() < 2) {
+    coeff.r2 = 1.0;
+    return coeff;
+  }
+  std::vector<double> log_freq, log_rank;
+  log_freq.reserve(frequencies.size());
+  log_rank.reserve(frequencies.size());
+  for (size_t i = 0; i < frequencies.size(); ++i) {
+    const double f = frequencies[i] < 1.0 ? 1.0 : frequencies[i];
+    log_freq.push_back(std::log2(f));
+    log_rank.push_back(std::log2(static_cast<double>(i + 1)));
+  }
+  auto fit = FitLinear(log_freq, log_rank);
+  if (!fit.ok()) {
+    coeff.r2 = 1.0;
+    return coeff;
+  }
+  // Eq. 1: log2(rank) = -alpha * log2(freq) + beta, so slope = -alpha.
+  coeff.alpha = -fit->slope;
+  coeff.beta = fit->intercept;
+  coeff.r2 = fit->r2;
+  return coeff;
+}
+
+}  // namespace remi

@@ -1,0 +1,83 @@
+// Deterministic random number generation and samplers.
+//
+// All stochastic components of the reproduction (synthetic KB generation,
+// simulated user panels, workload sampling) draw from Rng so that every
+// experiment is reproducible from a seed.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace remi {
+
+/// \brief xoshiro256** PRNG seeded via SplitMix64.
+///
+/// Fast, high-quality, and fully deterministic across platforms (unlike
+/// std::mt19937 + std::distributions, whose outputs are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Uniformly shuffles `v` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// \brief Zipf(s) sampler over ranks {1, ..., n}.
+///
+/// P(rank = k) proportional to k^-s. Implemented via the cumulative table
+/// (O(log n) per draw), which is exact and fast for the n <= ~10^7 used by
+/// the synthetic KB generator. The power-law premise is central to the
+/// paper's Eq. 1.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (>= 1)
+  /// \param s exponent (> 0); s ~ 1 mirrors natural-language corpora.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [1, n].
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Probability mass of rank k (1-based).
+  double Pmf(size_t k) const;
+
+ private:
+  double s_;
+  double norm_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace remi

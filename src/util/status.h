@@ -1,0 +1,174 @@
+// Status / Result error model for the REMI library.
+//
+// Library code never throws: every fallible operation returns a Status or a
+// Result<T> (a Status-or-value, in the spirit of arrow::Result and
+// rocksdb::Status). Benchmarks and examples may abort on error via
+// REMI_CHECK_OK.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace remi {
+
+/// Canonical error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kParseError = 5,
+  kIoError = 6,
+  kCorruption = 7,
+  kTimeout = 8,
+  kUnimplemented = 9,
+  kInternal = 10,
+  kCancelled = 11,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation); error statuses carry a
+/// heap-allocated message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<int> r = ParseCount(s);
+///   if (!r.ok()) return r.status();
+///   int n = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a bug and is normalized to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates a non-OK status to the caller.
+#define REMI_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::remi::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Evaluates a Result expression, assigning the value to `lhs` or returning
+/// the error. `lhs` may be a declaration, e.g.
+/// REMI_ASSIGN_OR_RETURN(auto kb, LoadKb(path));
+#define REMI_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  REMI_ASSIGN_OR_RETURN_IMPL_(                             \
+      REMI_STATUS_CONCAT_(_remi_result_, __LINE__), lhs, rexpr)
+
+#define REMI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define REMI_STATUS_CONCAT_(a, b) REMI_STATUS_CONCAT_IMPL_(a, b)
+#define REMI_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace remi

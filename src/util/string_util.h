@@ -1,0 +1,37 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remi {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string AsciiToLower(std::string_view s);
+
+/// Formats a double with `digits` decimals (printf "%.*f").
+std::string FormatDouble(double value, int digits);
+
+/// Formats seconds compactly, e.g. "12.3ms", "4.56s", "1.2ks".
+std::string FormatSeconds(double seconds);
+
+/// Longest common prefix length of two strings (used by the front-coded
+/// dictionary in the RKF format).
+size_t CommonPrefixLength(std::string_view a, std::string_view b);
+
+}  // namespace remi

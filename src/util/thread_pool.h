@@ -1,0 +1,52 @@
+// A fixed-size thread pool used by P-REMI (paper §3.4) and by the parallel
+// construction of the subgraph-expression priority queue (paper §3.5.2).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace remi {
+
+/// \brief Fixed-size pool executing std::function<void()> tasks FIFO.
+///
+/// Submit() after Shutdown() is ignored. The destructor drains queued tasks
+/// before joining workers; use Cancel() to drop pending tasks instead.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished executing.
+  void Wait();
+
+  /// Drops all queued (not yet started) tasks.
+  void Cancel();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace remi

@@ -1,0 +1,64 @@
+// Wall-clock timing and a cooperative deadline used to implement the
+// per-entity-set timeouts of the paper's runtime evaluation (§4.2.2:
+// "For each group of entities, we set a timeout of 2 hours").
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace remi {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief A deadline that long-running searches poll cooperatively.
+///
+/// A default-constructed Deadline never expires. Polling is cheap (one
+/// clock read), and callers typically poll every few hundred search nodes.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : has_deadline_(false) {}
+
+  /// Expires `seconds` from now.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace remi

@@ -1,0 +1,59 @@
+#include "util/varint.h"
+
+namespace remi {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Result<uint64_t> GetVarint64(const std::string& data, size_t* offset) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (pos < data.size()) {
+    const uint8_t byte = static_cast<uint8_t>(data[pos++]);
+    if (shift >= 64 || (shift == 63 && (byte & 0x7f) > 1)) {
+      return Status::Corruption("varint64 overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = pos;
+      return value;
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint64");
+}
+
+Result<uint32_t> GetVarint32(const std::string& data, size_t* offset) {
+  size_t pos = *offset;
+  auto v = GetVarint64(data, &pos);
+  if (!v.ok()) return v.status();
+  if (*v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *offset = pos;
+  return static_cast<uint32_t>(*v);
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& value) {
+  PutVarint64(out, value.size());
+  out->append(value);
+}
+
+Result<std::string> GetLengthPrefixed(const std::string& data,
+                                      size_t* offset) {
+  size_t pos = *offset;
+  auto len = GetVarint64(data, &pos);
+  if (!len.ok()) return len.status();
+  if (pos + *len > data.size()) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  std::string out = data.substr(pos, *len);
+  *offset = pos + *len;
+  return out;
+}
+
+}  // namespace remi

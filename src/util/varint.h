@@ -1,0 +1,35 @@
+// LEB128-style variable-length integer codec for the RKF binary KB format
+// (the HDT-inspired single-file storage of paper §3.5.1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace remi {
+
+/// Appends the unsigned LEB128 encoding of `value` to `out` (1-10 bytes).
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Appends a 32-bit varint.
+inline void PutVarint32(std::string* out, uint32_t value) {
+  PutVarint64(out, value);
+}
+
+/// Decodes a varint from data[*offset...]; advances *offset past it.
+/// Fails with Corruption on truncated or oversized input.
+Result<uint64_t> GetVarint64(const std::string& data, size_t* offset);
+
+/// Decodes a 32-bit varint; fails if the decoded value exceeds UINT32_MAX.
+Result<uint32_t> GetVarint32(const std::string& data, size_t* offset);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* out, const std::string& value);
+
+/// Decodes a length-prefixed string written by PutLengthPrefixed.
+Result<std::string> GetLengthPrefixed(const std::string& data,
+                                      size_t* offset);
+
+}  // namespace remi

@@ -1,0 +1,201 @@
+#include "complexity/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    model_ = new CostModel(kb_, CostModelOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete kb_;
+    model_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static KnowledgeBase* kb_;
+  static CostModel* model_;
+};
+
+KnowledgeBase* CostModelTest::kb_ = nullptr;
+CostModel* CostModelTest::model_ = nullptr;
+
+TEST_F(CostModelTest, AtomCostIsPredicatePlusObjectBits) {
+  const auto rho = SubgraphExpression::Atom(Id("capitalOf"), Id("France"));
+  const double expected = model_->PredicateBits(Id("capitalOf")) +
+                          model_->ObjectBits(Id("France"), Id("capitalOf"));
+  EXPECT_DOUBLE_EQ(model_->SubgraphCost(rho), expected);
+  EXPECT_TRUE(std::isfinite(model_->SubgraphCost(rho)));
+}
+
+TEST_F(CostModelTest, RankOneConceptsCostZeroBits) {
+  // log2(1) = 0: the top-ranked predicate contributes nothing, exactly as
+  // the paper's code-length scheme defines.
+  EXPECT_DOUBLE_EQ(model_->PredicateBits(kb_->type_predicate()), 0.0);
+}
+
+TEST_F(CostModelTest, ProminentObjectIsCheaperThanRareObject) {
+  // Among officialLanguage objects, Spanish (10x) beats Romansh (1x).
+  const double spanish = model_->ObjectBits(Id("Spanish"),
+                                            Id("officialLanguage"));
+  const double romansh = model_->ObjectBits(Id("Romansh"),
+                                            Id("officialLanguage"));
+  EXPECT_LT(spanish, romansh);
+}
+
+TEST_F(CostModelTest, PathCostUsesChainRule) {
+  const auto rho = SubgraphExpression::Path(Id("mayor"), Id("party"),
+                                            Id("Socialist_Party"));
+  const double expected =
+      model_->PredicateBits(Id("mayor")) +
+      model_->ObjectJoinPredicateBits(Id("party"), Id("mayor")) +
+      model_->PathObjectBits(Id("Socialist_Party"), Id("mayor"),
+                             Id("party"));
+  EXPECT_DOUBLE_EQ(model_->SubgraphCost(rho), expected);
+}
+
+TEST_F(CostModelTest, PathStarNeverCheaperThanItsPath) {
+  // The extra leg adds l(p2 | p0) + l(I2 | p0 ∧ p2) >= 0; a rank-1 leg
+  // (e.g. type(y, Person) on mayors) is free, so >= rather than >.
+  const auto path = SubgraphExpression::Path(Id("mayor"), Id("party"),
+                                             Id("Socialist_Party"));
+  const auto star = SubgraphExpression::PathStar(
+      Id("mayor"), Id("party"), Id("Socialist_Party"), kb_->type_predicate(),
+      Id("Person"));
+  EXPECT_GE(model_->SubgraphCost(star), model_->SubgraphCost(path));
+
+  // A rare second leg is strictly more expensive.
+  const auto rare_star = SubgraphExpression::PathStar(
+      Id("mayor"), Id("party"), Id("Socialist_Party"), Id("party"),
+      Id("Green_Party"));
+  EXPECT_GT(model_->SubgraphCost(rare_star), model_->SubgraphCost(path));
+}
+
+TEST_F(CostModelTest, TwinCostsHaveNoConstantTerm) {
+  const auto twin =
+      SubgraphExpression::TwinPair(Id("cityIn"), Id("capitalOf"));
+  const double expected =
+      model_->PredicateBits(Id("cityIn")) +
+      model_->SubjectJoinPredicateBits(Id("capitalOf"), Id("cityIn"));
+  EXPECT_DOUBLE_EQ(model_->SubgraphCost(twin), expected);
+}
+
+TEST_F(CostModelTest, ExpressionCostIsSumOfParts) {
+  const auto a = SubgraphExpression::Atom(Id("in"), Id("South_America"));
+  const auto b = SubgraphExpression::Path(Id("officialLanguage"),
+                                          Id("langFamily"), Id("Germanic"));
+  Expression e = Expression::Top().Conjoin(a).Conjoin(b);
+  EXPECT_DOUBLE_EQ(model_->Cost(e),
+                   model_->SubgraphCost(a) + model_->SubgraphCost(b));
+}
+
+TEST_F(CostModelTest, TopCostsInfinity) {
+  EXPECT_EQ(model_->Cost(Expression::Top()), CostModel::kInfiniteCost);
+}
+
+TEST_F(CostModelTest, UnrankedConceptsCostInfinity) {
+  // Paris is not an object of officialLanguage.
+  EXPECT_EQ(model_->ObjectBits(Id("Paris"), Id("officialLanguage")),
+            CostModel::kInfiniteCost);
+  const auto rho =
+      SubgraphExpression::Atom(Id("officialLanguage"), Id("Paris"));
+  EXPECT_EQ(model_->SubgraphCost(rho), CostModel::kInfiniteCost);
+}
+
+TEST_F(CostModelTest, CostsAreCachedAndStable) {
+  const auto rho = SubgraphExpression::Atom(Id("capitalOf"), Id("France"));
+  const double first = model_->SubgraphCost(rho);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(model_->SubgraphCost(rho), first);
+  }
+}
+
+TEST_F(CostModelTest, MonotoneUnderConjunction) {
+  // Adding any part never lowers the cost (the property depth pruning
+  // relies on).
+  const auto a = SubgraphExpression::Atom(Id("in"), Id("South_America"));
+  const auto b = SubgraphExpression::Path(Id("officialLanguage"),
+                                          Id("langFamily"), Id("Germanic"));
+  Expression e1 = Expression::Top().Conjoin(a);
+  Expression e2 = e1.Conjoin(b);
+  EXPECT_GE(model_->Cost(e2), model_->Cost(e1));
+}
+
+TEST(CostModelModesTest, GlobalPredicateRanksModeDiffers) {
+  KnowledgeBase kb = BuildCuratedKb();
+  CostModelOptions join_opts;
+  join_opts.use_join_predicate_ranks = true;
+  CostModelOptions global_opts;
+  global_opts.use_join_predicate_ranks = false;
+  CostModel join_model(&kb, join_opts);
+  CostModel global_model(&kb, global_opts);
+
+  const TermId mayor = *FindEntity(kb, "mayor");
+  const TermId party = *FindEntity(kb, "party");
+  // In the join context party ranks among few predicates; globally it
+  // competes with every predicate: global bits >= join bits here.
+  EXPECT_LE(join_model.ObjectJoinPredicateBits(party, mayor),
+            global_model.ObjectJoinPredicateBits(party, mayor) + 1e-9);
+}
+
+TEST(CostModelModesTest, FittedModeApproximatesExactBits) {
+  KnowledgeBase kb = BuildCuratedKb();
+  CostModelOptions exact_opts;
+  CostModelOptions fitted_opts;
+  fitted_opts.use_fitted_entity_ranks = true;
+  CostModel exact(&kb, exact_opts);
+  CostModel fitted(&kb, fitted_opts);
+
+  const TermId lang_pred = *FindEntity(kb, "officialLanguage");
+  const TermId spanish = *FindEntity(kb, "Spanish");
+  const TermId romansh = *FindEntity(kb, "Romansh");
+  // The fitted estimate must preserve the ordering of clearly separated
+  // concepts even if absolute values drift.
+  EXPECT_LT(fitted.ObjectBits(spanish, lang_pred),
+            fitted.ObjectBits(romansh, lang_pred));
+  EXPECT_LT(exact.ObjectBits(spanish, lang_pred),
+            exact.ObjectBits(romansh, lang_pred));
+}
+
+TEST(CostModelPrTest, PageRankVariantProducesFiniteCosts) {
+  KnowledgeBase kb = BuildCuratedKb();
+  CostModelOptions options;
+  options.metric = ProminenceMetric::kPageRank;
+  CostModel model(&kb, options);
+  const auto rho = SubgraphExpression::Atom(*FindEntity(kb, "capitalOf"),
+                                            *FindEntity(kb, "France"));
+  EXPECT_TRUE(std::isfinite(model.SubgraphCost(rho)));
+}
+
+TEST(CostModelPrTest, FrAndPrCanDisagree) {
+  KnowledgeBase kb = BuildCuratedKb();
+  CostModel fr(&kb, CostModelOptions{});
+  CostModelOptions pr_opts;
+  pr_opts.metric = ProminenceMetric::kPageRank;
+  CostModel pr(&kb, pr_opts);
+  // Both are valid cost models; they need not agree on every expression.
+  // Sanity: both rank the very same top concept of a ranking at 0 bits.
+  const TermId cityin = *FindEntity(kb, "cityIn");
+  double fr_min = 1e300, pr_min = 1e300;
+  for (const Triple& t : kb.store().ByPredicate(cityin)) {
+    fr_min = std::min(fr_min, fr.ObjectBits(t.o, cityin));
+    pr_min = std::min(pr_min, pr.ObjectBits(t.o, cityin));
+  }
+  EXPECT_DOUBLE_EQ(fr_min, 0.0);
+  EXPECT_DOUBLE_EQ(pr_min, 0.0);
+}
+
+}  // namespace
+}  // namespace remi

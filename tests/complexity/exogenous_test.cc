@@ -1,0 +1,112 @@
+#include "complexity/exogenous.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "complexity/cost_model.h"
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class ExogenousTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+  static KnowledgeBase* kb_;
+};
+
+KnowledgeBase* ExogenousTest::kb_ = nullptr;
+
+TEST_F(ExogenousTest, ParsesTsvAndServesScores) {
+  const std::string tsv =
+      "# search-engine hit counts\n"
+      "http://remi.example/France\t120000\n"
+      "http://remi.example/Paris\t98000\n"
+      "\n"
+      "http://remi.example/Epitech\t450\n";
+  auto provider = ExogenousProminence::FromTsv(*kb_, tsv);
+  ASSERT_TRUE(provider.ok());
+  EXPECT_EQ(provider->size(), 3u);
+  EXPECT_TRUE(provider->Defined(Id("France")));
+  EXPECT_DOUBLE_EQ(provider->Score(Id("France")), 120000.0);
+  EXPECT_FALSE(provider->Defined(Id("Rennes")));
+  EXPECT_DOUBLE_EQ(provider->Score(Id("Rennes")), 0.0);
+}
+
+TEST_F(ExogenousTest, UnknownIrisAreIgnored) {
+  auto provider =
+      ExogenousProminence::FromTsv(*kb_, "http://nowhere/x\t5\n");
+  ASSERT_TRUE(provider.ok());
+  EXPECT_EQ(provider->size(), 0u);
+}
+
+TEST_F(ExogenousTest, MalformedLinesAreParseErrors) {
+  EXPECT_TRUE(ExogenousProminence::FromTsv(*kb_, "no-tab-here\n")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ExogenousProminence::FromTsv(
+                  *kb_, "http://remi.example/France\tnot-a-number\n")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ExogenousProminence::FromTsv(
+                  *kb_, "http://remi.example/France\t-3\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(ExogenousTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ExogenousProminence::FromTsvFile(*kb_, "/nonexistent/x.tsv")
+                  .status()
+                  .IsIoError());
+}
+
+TEST_F(ExogenousTest, DrivesTheCostModel) {
+  // An external source that declares Kingdom_of_France globally famous
+  // flips the capitalOf object ranking relative to fr.
+  const std::string tsv =
+      "http://remi.example/Kingdom_of_France\t1000000\n"
+      "http://remi.example/France\t10\n";
+  auto provider = ExogenousProminence::FromTsv(*kb_, tsv);
+  ASSERT_TRUE(provider.ok());
+  CostModel exo_model(
+      kb_, CostModelOptions{},
+      std::make_unique<ExogenousProminence>(std::move(*provider)));
+  CostModel fr_model(kb_, CostModelOptions{});
+
+  const TermId capital_of = Id("capitalOf");
+  // Under fr, France is the cheaper capitalOf object; under the injected
+  // scores the kingdom is.
+  EXPECT_LT(fr_model.ObjectBits(Id("France"), capital_of),
+            fr_model.ObjectBits(Id("Kingdom_of_France"), capital_of));
+  EXPECT_LT(exo_model.ObjectBits(Id("Kingdom_of_France"), capital_of),
+            exo_model.ObjectBits(Id("France"), capital_of));
+}
+
+TEST_F(ExogenousTest, FallsBackToFrequencyForUndefinedTerms) {
+  // Only one officialLanguage object is scored; the others must still be
+  // ranked (by conditional frequency) below it.
+  const std::string tsv = "http://remi.example/Romansh\t999999\n";
+  auto provider = ExogenousProminence::FromTsv(*kb_, tsv);
+  ASSERT_TRUE(provider.ok());
+  CostModel model(
+      kb_, CostModelOptions{},
+      std::make_unique<ExogenousProminence>(std::move(*provider)));
+  // Romansh (scored) outranks even Spanish (unscored, high frequency).
+  EXPECT_LT(model.ObjectBits(Id("Romansh"), Id("officialLanguage")),
+            model.ObjectBits(Id("Spanish"), Id("officialLanguage")));
+  // Unscored languages still get finite bits.
+  EXPECT_TRUE(std::isfinite(
+      model.ObjectBits(Id("Spanish"), Id("officialLanguage"))));
+}
+
+}  // namespace
+}  // namespace remi

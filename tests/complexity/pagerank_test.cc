@@ -1,0 +1,117 @@
+#include "complexity/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+KnowledgeBase StarKb() {
+  // hub <- a, b, c; chain c -> d.
+  KbBuilder b;
+  b.Fact("a", "links", "hub");
+  b.Fact("b", "links", "hub");
+  b.Fact("c", "links", "hub");
+  b.Fact("c", "links", "d");
+  KbOptions options;
+  options.inverse_top_fraction = 0;
+  return std::move(b).Build(options);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  KnowledgeBase kb = StarKb();
+  auto pr = ComputePageRank(kb);
+  double sum = 0;
+  for (const auto& [id, score] : pr) {
+    (void)id;
+    sum += score;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  KnowledgeBase kb = StarKb();
+  auto pr = ComputePageRank(kb);
+  const double hub = pr.at(*FindEntity(kb, "hub"));
+  for (const char* leaf : {"a", "b", "c", "d"}) {
+    EXPECT_GT(hub, pr.at(*FindEntity(kb, leaf))) << leaf;
+  }
+}
+
+TEST(PageRankTest, AllEntitiesScored) {
+  KnowledgeBase kb = StarKb();
+  auto pr = ComputePageRank(kb);
+  EXPECT_EQ(pr.size(), kb.NumEntities());
+}
+
+TEST(PageRankTest, DanglingMassIsRedistributed) {
+  // Two nodes, one edge a->b; b is dangling.
+  KbBuilder builder;
+  builder.Fact("a", "links", "b");
+  KbOptions options;
+  options.inverse_top_fraction = 0;
+  KnowledgeBase kb = std::move(builder).Build(options);
+  auto pr = ComputePageRank(kb);
+  double sum = 0;
+  for (const auto& [id, score] : pr) {
+    (void)id;
+    sum += score;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(pr.at(*FindEntity(kb, "b")), pr.at(*FindEntity(kb, "a")));
+}
+
+TEST(PageRankTest, EmptyKbYieldsEmptyScores) {
+  Dictionary dict;
+  KnowledgeBase kb = KnowledgeBase::Build(std::move(dict), {}, KbOptions());
+  EXPECT_TRUE(ComputePageRank(kb).empty());
+}
+
+TEST(PageRankTest, InverseEdgesAreSkippedByDefault) {
+  KbBuilder b1;
+  b1.Fact("a", "links", "hub");
+  b1.Fact("b", "links", "hub");
+  b1.Fact("c", "links", "hub");
+  KbOptions with_inv;
+  with_inv.inverse_top_fraction = 0.3;  // materializes hub inverses
+  KnowledgeBase kb = std::move(b1).Build(with_inv);
+  ASSERT_GT(kb.NumFacts(), kb.NumBaseFacts());
+
+  PageRankOptions skip;
+  skip.skip_inverse_predicates = true;
+  PageRankOptions keep;
+  keep.skip_inverse_predicates = false;
+  auto pr_skip = ComputePageRank(kb, skip);
+  auto pr_keep = ComputePageRank(kb, keep);
+  const TermId hub = *FindEntity(kb, "hub");
+  // With inverse edges the hub links back out, lowering its relative rank.
+  EXPECT_GT(pr_skip.at(hub), pr_keep.at(hub));
+}
+
+TEST(PageRankTest, CuratedKbHubsAreProminent) {
+  KnowledgeBase kb = BuildCuratedKb();
+  auto pr = ComputePageRank(kb);
+  const double france = pr.at(*FindEntity(kb, "France"));
+  const double mueller = pr.at(*FindEntity(kb, "Johann_J_Mueller"));
+  EXPECT_GT(france, mueller);
+}
+
+TEST(PageRankTest, ConvergesWithTightTolerance) {
+  KnowledgeBase kb = StarKb();
+  PageRankOptions few;
+  few.max_iterations = 100;
+  few.tolerance = 1e-14;
+  PageRankOptions many;
+  many.max_iterations = 500;
+  many.tolerance = 1e-14;
+  auto a = ComputePageRank(kb, few);
+  auto b = ComputePageRank(kb, many);
+  for (const auto& [id, score] : a) {
+    EXPECT_NEAR(score, b.at(id), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace remi

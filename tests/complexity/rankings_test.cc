@@ -1,0 +1,152 @@
+#include "complexity/rankings.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class RankingsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    prominence_ = new FrequencyProminence(kb_);
+    rankings_ = new RankingService(kb_, prominence_);
+  }
+  static void TearDownTestSuite() {
+    delete rankings_;
+    delete prominence_;
+    delete kb_;
+    rankings_ = nullptr;
+    prominence_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static KnowledgeBase* kb_;
+  static FrequencyProminence* prominence_;
+  static RankingService* rankings_;
+};
+
+KnowledgeBase* RankingsTest::kb_ = nullptr;
+FrequencyProminence* RankingsTest::prominence_ = nullptr;
+RankingService* RankingsTest::rankings_ = nullptr;
+
+TEST_F(RankingsTest, PredicateRanksAreDenseAndFrequencyOrdered) {
+  const auto& preds = kb_->store().predicates();
+  std::vector<size_t> seen;
+  for (const TermId p : preds) {
+    const size_t rank = rankings_->PredicateRank(p);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, preds.size());
+    seen.push_back(rank);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+
+  // rdf:type is by far the most frequent predicate of the curated KB.
+  EXPECT_EQ(rankings_->PredicateRank(kb_->type_predicate()), 1u);
+}
+
+TEST_F(RankingsTest, UnknownPredicateHasRankZero) {
+  EXPECT_EQ(rankings_->PredicateRank(kNullTerm), 0u);
+}
+
+TEST_F(RankingsTest, ObjectRankingOrderedByConditionalFrequency) {
+  // Objects of officialLanguage: Spanish (10 countries) must outrank
+  // Romansh (only Switzerland).
+  auto ranking = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  const size_t spanish = ranking->RankOf(Id("Spanish"));
+  const size_t romansh = ranking->RankOf(Id("Romansh"));
+  ASSERT_GE(spanish, 1u);
+  ASSERT_GE(romansh, 1u);
+  EXPECT_LT(spanish, romansh);
+  EXPECT_EQ(spanish, 1u);
+}
+
+TEST_F(RankingsTest, ObjectRankingScoresAreDescending) {
+  auto ranking = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  for (size_t i = 1; i < ranking->sorted_scores.size(); ++i) {
+    EXPECT_GE(ranking->sorted_scores[i - 1], ranking->sorted_scores[i]);
+  }
+}
+
+TEST_F(RankingsTest, UnrankedObjectIsZero) {
+  auto ranking = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  EXPECT_EQ(ranking->RankOf(Id("Paris")), 0u);
+}
+
+TEST_F(RankingsTest, RankingsAreCachedAndShared) {
+  auto a = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  auto b = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(rankings_->NumMaterializedRankings(), 1u);
+}
+
+TEST_F(RankingsTest, ObjectJoinPredicatesContainActualJoins) {
+  // mayor(x, y) joins y with party(y, z) in the curated KB.
+  auto joins = rankings_->ObjectJoinPredicates(Id("mayor"));
+  EXPECT_GE(joins->RankOf(Id("party")), 1u);
+  // capitalOf's subjects are cities, objects countries; countries do not
+  // "mayor" anything, so mayor is not joinable after capitalOf.
+  auto joins2 = rankings_->ObjectJoinPredicates(Id("capitalOf"));
+  EXPECT_EQ(joins2->RankOf(Id("mayor")), 0u);
+}
+
+TEST_F(RankingsTest, SubjectJoinPredicatesShareSubjects) {
+  // Cities have both cityIn and mayor facts.
+  auto joins = rankings_->SubjectJoinPredicates(Id("cityIn"));
+  EXPECT_GE(joins->RankOf(Id("mayor")), 1u);
+  EXPECT_GE(joins->RankOf(Id("capitalOf")), 1u);
+}
+
+TEST_F(RankingsTest, PathObjectsRankingMatchesPaperExample) {
+  // Bindings of z in mayor(x,y) ∧ party(y,z): the parties of mayors.
+  auto ranking = rankings_->PathObjects(Id("mayor"), Id("party"));
+  const size_t socialist = ranking->RankOf(Id("Socialist_Party"));
+  ASSERT_GE(socialist, 1u);
+  // 3 socialist mayors vs 1 green: Socialist ranks first.
+  EXPECT_EQ(socialist, 1u);
+  EXPECT_GT(ranking->RankOf(Id("Green_Party")), socialist);
+  // Countries are not parties of mayors.
+  EXPECT_EQ(ranking->RankOf(Id("France")), 0u);
+}
+
+TEST_F(RankingsTest, FitCoefficientsAreFinite) {
+  auto ranking = rankings_->ObjectsOfPredicate(Id("officialLanguage"));
+  EXPECT_TRUE(std::isfinite(ranking->fit.alpha));
+  EXPECT_TRUE(std::isfinite(ranking->fit.beta));
+  EXPECT_GE(ranking->fit.r2, 0.0);
+  EXPECT_LE(ranking->fit.r2, 1.0);
+}
+
+TEST_F(RankingsTest, FittedBitsRoughlyTrackExactBits) {
+  auto ranking = rankings_->ObjectsOfPredicate(kb_->type_predicate());
+  ASSERT_GE(ranking->size(), 5u);
+  // The most frequent class must cost (almost) fewer bits than the rarest.
+  const double top = ranking->FittedBits(ranking->sorted_scores.front());
+  const double bottom = ranking->FittedBits(ranking->sorted_scores.back());
+  EXPECT_LT(top, bottom + 1e-9);
+}
+
+TEST(RankingsPageRankTest, PrModeRanksByPageRankWithFrFallback) {
+  KnowledgeBase kb = BuildCuratedKb();
+  PageRankProminence pr(&kb);
+  RankingService rankings(&kb, &pr);
+  auto cityin = FindEntity(kb, "cityIn");
+  ASSERT_TRUE(cityin.ok());
+  auto ranking = rankings.ObjectsOfPredicate(*cityin);
+  ASSERT_GE(ranking->size(), 5u);
+  // France hosts the most cities and is a hub: it must rank near the top.
+  const size_t france = ranking->RankOf(*FindEntity(kb, "France"));
+  ASSERT_GE(france, 1u);
+  EXPECT_LE(france, 5u);
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,159 @@
+// Regression tests pinning the paper's showcase behaviours on the curated
+// KB. These are deliberately end-to-end: if a cost-model or enumerator
+// change flips one of the stories the paper tells, a test here fails.
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "nlg/verbalizer.h"
+#include "remi/remi.h"
+
+namespace remi {
+namespace {
+
+class ShowcaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    miner_ = new RemiMiner(kb_, RemiOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete miner_;
+    delete kb_;
+    miner_ = nullptr;
+    kb_ = nullptr;
+  }
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  bool HasPart(const Expression& e, const SubgraphExpression& part) {
+    return std::find(e.parts.begin(), e.parts.end(), part) != e.parts.end();
+  }
+
+  static KnowledgeBase* kb_;
+  static RemiMiner* miner_;
+};
+
+KnowledgeBase* ShowcaseTest::kb_ = nullptr;
+RemiMiner* ShowcaseTest::miner_ = nullptr;
+
+TEST_F(ShowcaseTest, ParisAnswerContainsCapitalOfFrance) {
+  auto result = miner_->MineRe({Id("Paris")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  EXPECT_TRUE(HasPart(result->expression,
+                      SubgraphExpression::Atom(Id("capitalOf"),
+                                               Id("France"))))
+      << result->expression.ToString(kb_->dict());
+}
+
+TEST_F(ShowcaseTest, MuellerPrefersTheEinsteinChain) {
+  // §3.2's motivating case: "supervisor of the supervisor of Albert
+  // Einstein" must beat "supervisor of Alfred Kleiner" because Kleiner is
+  // globally obscure while Einstein is a hub, and the supervision tail
+  // pushes Kleiner's conditional rank down.
+  auto result = miner_->MineRe({Id("Johann_J_Mueller")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  const auto chain = SubgraphExpression::Path(
+      Id("supervisorOf"), Id("supervisorOf"), Id("Albert_Einstein"));
+  EXPECT_TRUE(HasPart(result->expression, chain))
+      << result->expression.ToString(kb_->dict());
+  // And the chain is strictly cheaper than the Kleiner atom.
+  const auto kleiner_atom =
+      SubgraphExpression::Atom(Id("supervisorOf"), Id("Alfred_Kleiner"));
+  EXPECT_LT(miner_->cost_model().SubgraphCost(chain),
+            miner_->cost_model().SubgraphCost(kleiner_atom));
+}
+
+TEST_F(ShowcaseTest, GuyanaSurinameNeedsAConjunction) {
+  // With symmetric borders, no single cheap atom separates the two
+  // Germanic-language countries of South America.
+  auto result = miner_->MineRe({Id("Guyana"), Id("Suriname")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  MatchSet targets{Id("Guyana"), Id("Suriname")};
+  std::sort(targets.begin(), targets.end());
+  EXPECT_TRUE(miner_->evaluator()->IsReferringExpression(result->expression,
+                                                         targets));
+  // borders(x, Brazil) alone must NOT be an RE (Peru/Argentina share it).
+  Expression borders_brazil = Expression::Top().Conjoin(
+      SubgraphExpression::Atom(Id("borders"), Id("Brazil")));
+  EXPECT_FALSE(miner_->evaluator()->IsReferringExpression(borders_brazil,
+                                                          targets));
+}
+
+TEST_F(ShowcaseTest, FranceIsNotTheCountryWithCapitalParis) {
+  // §4.1.3's noise anecdote, end to end: the inverse atom matches both
+  // France and the Kingdom of France, so REMI must answer with something
+  // else (and its answer must still be a strict RE).
+  const TermId inv = kb_->InverseOf(Id("capitalOf"));
+  ASSERT_NE(inv, kNullTerm);
+  auto result = miner_->MineRe({Id("France")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  EXPECT_FALSE(HasPart(result->expression,
+                       SubgraphExpression::Atom(inv, Id("Paris"))))
+      << result->expression.ToString(kb_->dict());
+}
+
+TEST_F(ShowcaseTest, AgrofertDescribedViaItsCeo) {
+  // §4.1.3's well-scored description: "the CEO is Andrej Babiš ...".
+  auto result = miner_->MineRe({Id("Agrofert")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  bool uses_ceo = false;
+  for (const auto& part : result->expression.parts) {
+    uses_ceo |= part.p0 == Id("ceo");
+  }
+  EXPECT_TRUE(uses_ceo) << result->expression.ToString(kb_->dict());
+}
+
+TEST_F(ShowcaseTest, MarieCurieDiedOfAplasticAnemia) {
+  auto result = miner_->MineRe({Id("Marie_Curie")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  Verbalizer verbalizer(kb_);
+  const std::string sentence = verbalizer.Sentence(result->expression);
+  // The unique cheap fact about Curie in the curated KB is her cause of
+  // death (the Nobel prize and physics are shared with Einstein).
+  EXPECT_NE(sentence.find("aplastic anemia"), std::string::npos) << sentence;
+}
+
+TEST_F(ShowcaseTest, EcuadorPeruViaTheIncaCivilWar) {
+  auto result = miner_->MineRe({Id("Ecuador"), Id("Peru")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  EXPECT_TRUE(HasPart(result->expression,
+                      SubgraphExpression::Atom(Id("hadEvent"),
+                                               Id("Inca_Civil_War"))))
+      << result->expression.ToString(kb_->dict());
+}
+
+TEST_F(ShowcaseTest, HobbitsViaChristopherLee) {
+  // §4.1.3: 95% preferred country + actor(x, C. Lee) — at minimum the
+  // answer must be an RE and mention Christopher Lee or New Zealand.
+  auto result = miner_->MineRe({Id("The_Hobbit_1"), Id("The_Hobbit_2")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  bool mentions = false;
+  for (const auto& part : result->expression.parts) {
+    mentions |= part.c1 == Id("Christopher_Lee") ||
+                part.c1 == Id("New_Zealand") ||
+                part.c2 == Id("Christopher_Lee");
+  }
+  EXPECT_TRUE(mentions) << result->expression.ToString(kb_->dict());
+}
+
+TEST_F(ShowcaseTest, SwitzerlandViaItsLanguages) {
+  // Switzerland is the only country with four official languages; any
+  // strict RE works, but it must be found and verbalizable.
+  auto result = miner_->MineRe({Id("Switzerland")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  Verbalizer verbalizer(kb_);
+  EXPECT_FALSE(verbalizer.Sentence(result->expression).empty());
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,97 @@
+// KbOptions behaviours: custom schema predicates (Wikidata-style IRIs)
+// and inverse-materialization fractions.
+
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "rdf/dictionary.h"
+
+namespace remi {
+namespace {
+
+// A Wikidata-flavoured mini KB: P31 = instance-of, custom label property.
+constexpr const char* kInstanceOf =
+    "http://www.wikidata.org/prop/direct/P31";
+constexpr const char* kWdLabel = "http://schema.org/name";
+
+KnowledgeBase BuildWikidataStyleKb(double inverse_fraction) {
+  Dictionary dict;
+  std::vector<Triple> triples;
+  const auto iri = [&dict](const std::string& local) {
+    return dict.InternIri("http://www.wikidata.org/entity/" + local);
+  };
+  const TermId p31 = dict.InternIri(kInstanceOf);
+  const TermId name = dict.InternIri(kWdLabel);
+  const TermId p361 =
+      dict.InternIri("http://www.wikidata.org/prop/direct/P361");
+  const TermId q_paris = iri("Q90");
+  const TermId q_france = iri("Q142");
+  const TermId q_city = iri("Q515");
+  triples.push_back({q_paris, p31, q_city});
+  triples.push_back({q_paris, p361, q_france});
+  triples.push_back({q_paris, name,
+                     dict.Intern(TermKind::kLiteral, "\"Paris\"@fr")});
+  triples.push_back({iri("Q456"), p31, q_city});   // Lyon
+  triples.push_back({iri("Q456"), p361, q_france});
+
+  KbOptions options;
+  options.type_predicate_iri = kInstanceOf;
+  options.label_predicate_iri = kWdLabel;
+  options.inverse_top_fraction = inverse_fraction;
+  return KnowledgeBase::Build(std::move(dict), std::move(triples), options);
+}
+
+TEST(KbOptionsTest, CustomTypePredicateDrivesClassIndex) {
+  KnowledgeBase kb = BuildWikidataStyleKb(0.0);
+  auto city = kb.dict().Lookup(TermKind::kIri,
+                               "http://www.wikidata.org/entity/Q515");
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(kb.EntitiesOfClass(*city).size(), 2u);
+  EXPECT_EQ(kb.classes().size(), 1u);
+}
+
+TEST(KbOptionsTest, CustomLabelPredicateDrivesLabels) {
+  KnowledgeBase kb = BuildWikidataStyleKb(0.0);
+  auto paris = kb.dict().Lookup(TermKind::kIri,
+                                "http://www.wikidata.org/entity/Q90");
+  ASSERT_TRUE(paris.ok());
+  EXPECT_EQ(kb.Label(*paris), "Paris");
+}
+
+TEST(KbOptionsTest, LabelFallsBackToQidLocalName) {
+  KnowledgeBase kb = BuildWikidataStyleKb(0.0);
+  auto lyon = kb.dict().Lookup(TermKind::kIri,
+                               "http://www.wikidata.org/entity/Q456");
+  ASSERT_TRUE(lyon.ok());
+  EXPECT_EQ(kb.Label(*lyon), "Q456");
+}
+
+TEST(KbOptionsTest, ZeroFractionDisablesInverses) {
+  KnowledgeBase kb = BuildWikidataStyleKb(0.0);
+  EXPECT_EQ(kb.NumFacts(), kb.NumBaseFacts());
+}
+
+TEST(KbOptionsTest, FullFractionMaterializesAllEntityObjects) {
+  KnowledgeBase kb = BuildWikidataStyleKb(1.0);
+  // All non-type/label facts with entity objects get inverses: the two
+  // P361 facts (P31 never gets an inverse).
+  EXPECT_EQ(kb.NumFacts(), kb.NumBaseFacts() + 2);
+  auto p361 = kb.dict().Lookup(TermKind::kIri,
+                               "http://www.wikidata.org/prop/direct/P361");
+  ASSERT_TRUE(p361.ok());
+  EXPECT_NE(kb.InverseOf(*p361), kNullTerm);
+}
+
+TEST(KbOptionsTest, LiteralObjectsNeverGetInverseFacts) {
+  KnowledgeBase kb = BuildWikidataStyleKb(1.0);
+  // The schema.org/name literal fact must not be inverted (p⁻¹ is only
+  // defined for o ∈ I ∪ B).
+  for (const Triple& t : kb.store().spo()) {
+    if (kb.IsInversePredicate(t.p)) {
+      EXPECT_NE(kb.dict().kind(t.s), TermKind::kLiteral);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,181 @@
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+// A tiny hand-built KB:
+//   a --likes--> b   (x3 objects: b, c, d)
+//   everyone likes d (d is the hub)
+KnowledgeBase MakeTinyKb(double inverse_fraction = 0.34) {
+  KbBuilder b;
+  b.Fact("a", "likes", "b");
+  b.Fact("a", "likes", "c");
+  b.Fact("a", "likes", "d");
+  b.Fact("b", "likes", "d");
+  b.Fact("c", "likes", "d");
+  b.Fact("e", "knows", "d");
+  b.Type("a", "Person");
+  b.Type("b", "Person");
+  b.Type("c", "Robot");
+  b.Label("a", "Alice");
+  KbOptions options;
+  options.inverse_top_fraction = inverse_fraction;
+  return std::move(b).Build(options);
+}
+
+TEST(KnowledgeBaseTest, CountsBaseAndTotalFacts) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  EXPECT_EQ(kb.NumBaseFacts(), 10u);
+  EXPECT_EQ(kb.NumFacts(), 10u);  // no inverses materialized
+}
+
+TEST(KnowledgeBaseTest, EntityFrequencyCountsSubjectAndObjectMentions) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  auto d = FindEntity(kb, "d");
+  ASSERT_TRUE(d.ok());
+  // d: object of 4 facts, subject of none.
+  EXPECT_EQ(kb.EntityFrequency(*d), 4u);
+  auto a = FindEntity(kb, "a");
+  ASSERT_TRUE(a.ok());
+  // a: subject of 3 likes + 1 type + 1 label.
+  EXPECT_EQ(kb.EntityFrequency(*a), 5u);
+}
+
+TEST(KnowledgeBaseTest, PredicatesAreNotEntities) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  auto likes = kb.dict().Lookup(TermKind::kIri, "http://remi.example/likes");
+  ASSERT_TRUE(likes.ok());
+  EXPECT_TRUE(kb.IsPredicateTerm(*likes));
+  EXPECT_FALSE(kb.IsEntity(*likes));
+  auto d = FindEntity(kb, "d");
+  EXPECT_TRUE(kb.IsEntity(*d));
+}
+
+TEST(KnowledgeBaseTest, ProminenceRankingIsDescendingByFrequency) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  const auto& order = kb.EntitiesByProminence();
+  ASSERT_GT(order.size(), 2u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(kb.EntityFrequency(order[i - 1]),
+              kb.EntityFrequency(order[i]));
+  }
+  EXPECT_EQ(kb.EntityProminenceRank(order[0]), 1u);
+}
+
+TEST(KnowledgeBaseTest, TopProminentEntityRespectsFraction) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  const auto& order = kb.EntitiesByProminence();
+  EXPECT_TRUE(kb.IsTopProminentEntity(order[0], 0.05));
+  EXPECT_FALSE(kb.IsTopProminentEntity(order.back(), 0.05));
+  // Rank 0 (unknown term) is never prominent.
+  EXPECT_FALSE(kb.IsTopProminentEntity(kNullTerm, 0.5));
+}
+
+TEST(KnowledgeBaseTest, InverseMaterializationForTopObjects) {
+  // 34% of ~10 entities: the top hub d gets inverse facts.
+  KnowledgeBase kb = MakeTinyKb(0.34);
+  EXPECT_GT(kb.NumFacts(), kb.NumBaseFacts());
+  auto likes = kb.dict().Lookup(TermKind::kIri, "http://remi.example/likes");
+  ASSERT_TRUE(likes.ok());
+  const TermId inv = kb.InverseOf(*likes);
+  ASSERT_NE(inv, kNullTerm);
+  EXPECT_TRUE(kb.IsInversePredicate(inv));
+  EXPECT_FALSE(kb.IsInversePredicate(*likes));
+  EXPECT_EQ(kb.BasePredicateOf(inv), *likes);
+  EXPECT_EQ(kb.InverseOf(inv), *likes);
+
+  // likes⁻¹(d, a) must exist because likes(a, d) exists and d is top.
+  auto a = FindEntity(kb, "a");
+  auto d = FindEntity(kb, "d");
+  EXPECT_TRUE(kb.store().Contains(*d, inv, *a));
+}
+
+TEST(KnowledgeBaseTest, InversesAreNotMaterializedForRareObjects) {
+  // Top 30% of 7 entities = {a (freq 5), d (freq 4)}; b stays out.
+  KnowledgeBase kb = MakeTinyKb(0.3);
+  auto likes = kb.dict().Lookup(TermKind::kIri, "http://remi.example/likes");
+  const TermId inv = kb.InverseOf(*likes);
+  ASSERT_NE(inv, kNullTerm);
+  auto a = FindEntity(kb, "a");
+  auto b = FindEntity(kb, "b");
+  auto d = FindEntity(kb, "d");
+  EXPECT_TRUE(kb.store().Contains(*d, inv, *a));
+  // likes(a, b) exists but b is not in the top 30%, so no inverse fact.
+  EXPECT_FALSE(kb.store().Contains(*b, inv, *a));
+}
+
+TEST(KnowledgeBaseTest, TypeAndLabelPredicatesGetNoInverses) {
+  KnowledgeBase kb = MakeTinyKb(1.0);  // everything is "top"
+  EXPECT_EQ(kb.InverseOf(kb.type_predicate()), kNullTerm);
+  EXPECT_EQ(kb.InverseOf(kb.label_predicate()), kNullTerm);
+}
+
+TEST(KnowledgeBaseTest, ClassIndex) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  auto person = FindEntity(kb, "Person");
+  ASSERT_TRUE(person.ok());
+  const auto members = kb.EntitiesOfClass(*person);
+  EXPECT_EQ(members.size(), 2u);
+  auto a = FindEntity(kb, "a");
+  EXPECT_EQ(kb.ClassesOf(*a), std::vector<TermId>{*person});
+  EXPECT_TRUE(kb.ClassesOf(*FindEntity(kb, "d")).empty());
+  EXPECT_EQ(kb.classes().size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, LabelPrefersRdfsLabel) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  auto a = FindEntity(kb, "a");
+  EXPECT_EQ(kb.Label(*a), "Alice");
+}
+
+TEST(KnowledgeBaseTest, LabelFallsBackToLocalName) {
+  KnowledgeBase kb = MakeTinyKb(0.0);
+  auto b = FindEntity(kb, "b");
+  EXPECT_EQ(kb.Label(*b), "b");
+}
+
+TEST(KnowledgeBaseTest, CuratedKbSmoke) {
+  KnowledgeBase kb = BuildCuratedKb();
+  EXPECT_GT(kb.NumBaseFacts(), 400u);
+  EXPECT_GT(kb.NumFacts(), kb.NumBaseFacts());  // inverses materialized
+  EXPECT_GT(kb.NumEntities(), 100u);
+
+  auto paris = FindEntity(kb, "Paris");
+  ASSERT_TRUE(paris.ok());
+  EXPECT_EQ(kb.Label(*paris), "Paris");
+  // Paris is one of the most frequent entities of the curated world.
+  EXPECT_TRUE(kb.IsTopProminentEntity(*paris, 0.2));
+
+  auto city = FindEntity(kb, "City");
+  ASSERT_TRUE(city.ok());
+  EXPECT_GE(kb.EntitiesOfClass(*city).size(), 30u);
+}
+
+TEST(KnowledgeBaseTest, CuratedKbHasPaperFacts) {
+  KnowledgeBase kb = BuildCuratedKb();
+  const auto id = [&](const char* name) { return *FindEntity(kb, name); };
+  const auto pred = [&](const char* name) {
+    return *kb.dict().Lookup(TermKind::kIri,
+                             std::string("http://remi.example/") + name);
+  };
+  EXPECT_TRUE(kb.store().Contains(id("Paris"), pred("capitalOf"),
+                                  id("France")));
+  EXPECT_TRUE(kb.store().Contains(id("Paris"), pred("capitalOf"),
+                                  id("Kingdom_of_France")));
+  EXPECT_TRUE(kb.store().Contains(id("Johann_J_Mueller"),
+                                  pred("supervisorOf"), id("Alfred_Kleiner")));
+  EXPECT_TRUE(kb.store().Contains(id("Alfred_Kleiner"), pred("supervisorOf"),
+                                  id("Albert_Einstein")));
+  EXPECT_TRUE(kb.store().Contains(id("Rennes"), pred("belongedTo"),
+                                  id("Brittany")));
+  EXPECT_TRUE(kb.store().Contains(id("Marie_Curie"), pred("diedOf"),
+                                  id("Aplastic_Anemia")));
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,145 @@
+#include "kbgen/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/powerlaw.h"
+
+namespace remi {
+namespace {
+
+SyntheticKbConfig SmallConfig(uint64_t seed = 7) {
+  SyntheticKbConfig config;
+  config.seed = seed;
+  config.num_entities = 2000;
+  config.num_predicates = 40;
+  config.num_classes = 12;
+  config.num_facts = 20000;
+  return config;
+}
+
+TEST(SyntheticKbTest, GeneratesRequestedScale) {
+  KnowledgeBase kb = BuildSyntheticKb(SmallConfig());
+  // type + label facts are added on top of the 20k content facts, but the
+  // KB is a triple *set*: Zipf-head duplicates collapse on dedup, so the
+  // distinct count lands somewhat below generated + type + label.
+  EXPECT_GT(kb.NumBaseFacts(), 18000u);
+  EXPECT_GT(kb.NumEntities(), 1500u);
+  EXPECT_GT(kb.NumPredicates(), 30u);
+}
+
+TEST(SyntheticKbTest, DeterministicForSameSeed) {
+  KnowledgeBase a = BuildSyntheticKb(SmallConfig(5));
+  KnowledgeBase b = BuildSyntheticKb(SmallConfig(5));
+  EXPECT_EQ(a.NumBaseFacts(), b.NumBaseFacts());
+  EXPECT_EQ(a.NumFacts(), b.NumFacts());
+  EXPECT_EQ(a.dict().size(), b.dict().size());
+  // Spot-check identical triples.
+  for (size_t i = 0; i < a.store().spo().size(); i += 997) {
+    EXPECT_EQ(a.store().spo()[i], b.store().spo()[i]);
+  }
+}
+
+TEST(SyntheticKbTest, DifferentSeedsDiffer) {
+  KnowledgeBase a = BuildSyntheticKb(SmallConfig(5));
+  KnowledgeBase b = BuildSyntheticKb(SmallConfig(6));
+  EXPECT_NE(a.NumBaseFacts(), b.NumBaseFacts());
+}
+
+TEST(SyntheticKbTest, EveryEntityHasTypeAndLabel) {
+  KnowledgeBase kb = BuildSyntheticKb(SmallConfig());
+  size_t typed = 0;
+  for (const TermId cls : kb.classes()) {
+    typed += kb.EntitiesOfClass(cls).size();
+  }
+  // Every generated entity got exactly one type fact (classes partition
+  // entities; blank nodes and literals are not typed).
+  EXPECT_GE(typed, 2000u);
+}
+
+TEST(SyntheticKbTest, PredicateFrequenciesFollowPowerLaw) {
+  KnowledgeBase kb = BuildSyntheticKb(SmallConfig());
+  std::vector<double> freqs;
+  for (const TermId p : kb.store().predicates()) {
+    if (p == kb.type_predicate() || p == kb.label_predicate()) continue;
+    if (kb.IsInversePredicate(p)) continue;
+    freqs.push_back(static_cast<double>(kb.store().CountPredicate(p)));
+  }
+  std::sort(freqs.rbegin(), freqs.rend());
+  auto fit = FitPowerLaw(freqs);
+  // The generator samples budgets from an exact Zipf law; the log-log fit
+  // must be strong (this mirrors the paper's §3.5.3 premise).
+  EXPECT_GT(fit.r2, 0.8);
+}
+
+TEST(SyntheticKbTest, ConditionalObjectFrequenciesAreSkewed) {
+  KnowledgeBase kb = BuildSyntheticKb(SmallConfig());
+  // Pick the busiest content predicate and check its object distribution
+  // is head-heavy: the top object accounts for >2% of facts.
+  TermId best = kNullTerm;
+  size_t best_count = 0;
+  for (const TermId p : kb.store().predicates()) {
+    if (p == kb.type_predicate() || p == kb.label_predicate()) continue;
+    if (kb.IsInversePredicate(p)) continue;
+    const size_t count = kb.store().CountPredicate(p);
+    if (count > best_count) {
+      best = p;
+      best_count = count;
+    }
+  }
+  ASSERT_NE(best, kNullTerm);
+  size_t max_group = 0;
+  size_t current = 0;
+  TermId current_o = kNullTerm;
+  for (const Triple& t : kb.store().ByPredicateObjectOrder(best)) {
+    if (t.o != current_o) {
+      current_o = t.o;
+      current = 0;
+    }
+    ++current;
+    max_group = std::max(max_group, current);
+  }
+  EXPECT_GT(static_cast<double>(max_group),
+            0.02 * static_cast<double>(best_count));
+}
+
+TEST(SyntheticKbTest, BlankNodesExist) {
+  SyntheticKbConfig config = SmallConfig();
+  config.blank_node_fraction = 0.05;
+  KnowledgeBase kb = BuildSyntheticKb(config);
+  size_t blanks = 0;
+  for (const Triple& t : kb.store().spo()) {
+    if (kb.dict().kind(t.o) == TermKind::kBlank) ++blanks;
+  }
+  EXPECT_GT(blanks, 0u);
+}
+
+TEST(SyntheticKbTest, LiteralPredicatesProduceLiteralObjects) {
+  KnowledgeBase kb = BuildSyntheticKb(SmallConfig());
+  size_t literal_facts = 0;
+  for (const Triple& t : kb.store().spo()) {
+    if (t.p == kb.label_predicate()) continue;
+    if (kb.dict().kind(t.o) == TermKind::kLiteral) ++literal_facts;
+  }
+  EXPECT_GT(literal_facts, 100u);
+}
+
+TEST(SyntheticKbTest, PresetsHaveDistinctShapes) {
+  auto db = SyntheticKbConfig::DBpediaLike(0.05);
+  auto wd = SyntheticKbConfig::WikidataLike(0.05);
+  EXPECT_GT(db.num_predicates, wd.num_predicates);
+  EXPECT_GT(db.num_facts, wd.num_facts);
+  EXPECT_NE(db.base_iri, wd.base_iri);
+}
+
+TEST(SyntheticKbTest, ScaleGrowsTheKb) {
+  auto small = SyntheticKbConfig::DBpediaLike(0.02);
+  auto large = SyntheticKbConfig::DBpediaLike(0.04);
+  KnowledgeBase a = BuildSyntheticKb(small);
+  KnowledgeBase c = BuildSyntheticKb(large);
+  EXPECT_GT(c.NumBaseFacts(), a.NumBaseFacts());
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,152 @@
+#include "kbgen/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/synthetic.h"
+
+namespace remi {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+  static KnowledgeBase* kb_;
+};
+
+KnowledgeBase* WorkloadTest::kb_ = nullptr;
+
+TEST_F(WorkloadTest, LargestClassesAreSortedBySize) {
+  auto classes = LargestClasses(*kb_, 4);
+  ASSERT_GE(classes.size(), 2u);
+  for (size_t i = 1; i < classes.size(); ++i) {
+    EXPECT_GE(kb_->EntitiesOfClass(classes[i - 1]).size(),
+              kb_->EntitiesOfClass(classes[i]).size());
+  }
+}
+
+TEST_F(WorkloadTest, LargestClassesHonoursMinMembers) {
+  auto classes = LargestClasses(*kb_, 100, /*min_members=*/5);
+  for (const TermId cls : classes) {
+    EXPECT_GE(kb_->EntitiesOfClass(cls).size(), 5u);
+  }
+}
+
+TEST_F(WorkloadTest, ClassMembersOrderedByProminence) {
+  auto classes = LargestClasses(*kb_, 1);
+  ASSERT_FALSE(classes.empty());
+  auto members = ClassMembersByProminence(*kb_, classes[0]);
+  for (size_t i = 1; i < members.size(); ++i) {
+    EXPECT_GE(kb_->EntityFrequency(members[i - 1]),
+              kb_->EntityFrequency(members[i]));
+  }
+}
+
+TEST_F(WorkloadTest, SampleRespectsSizeProportions) {
+  Rng rng(1);
+  WorkloadConfig config;
+  config.num_sets = 100;
+  auto classes = LargestClasses(*kb_, 4);
+  auto sets = SampleEntitySets(*kb_, classes, config, &rng);
+  ASSERT_EQ(sets.size(), 100u);
+  size_t by_size[4] = {0, 0, 0, 0};
+  for (const auto& set : sets) {
+    ASSERT_GE(set.entities.size(), 1u);
+    ASSERT_LE(set.entities.size(), 3u);
+    ++by_size[set.entities.size()];
+  }
+  // Paper proportions: 50% / 30% / 20%.
+  EXPECT_EQ(by_size[1], 50u);
+  EXPECT_EQ(by_size[2], 30u);
+  EXPECT_EQ(by_size[3], 20u);
+}
+
+TEST_F(WorkloadTest, SetMembersShareTheClass) {
+  Rng rng(2);
+  WorkloadConfig config;
+  config.num_sets = 40;
+  auto classes = LargestClasses(*kb_, 4);
+  for (const auto& set : SampleEntitySets(*kb_, classes, config, &rng)) {
+    const auto members = kb_->EntitiesOfClass(set.cls);
+    for (const TermId e : set.entities) {
+      EXPECT_TRUE(std::find(members.begin(), members.end(), e) !=
+                  members.end());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, SetMembersAreDistinct) {
+  Rng rng(3);
+  WorkloadConfig config;
+  config.num_sets = 60;
+  auto classes = LargestClasses(*kb_, 4);
+  for (const auto& set : SampleEntitySets(*kb_, classes, config, &rng)) {
+    std::set<TermId> unique(set.entities.begin(), set.entities.end());
+    EXPECT_EQ(unique.size(), set.entities.size());
+  }
+}
+
+TEST_F(WorkloadTest, TopFractionRestrictsToProminentEntities) {
+  Rng rng(4);
+  WorkloadConfig config;
+  config.num_sets = 30;
+  config.top_fraction = 0.05;
+  auto classes = LargestClasses(*kb_, 2);
+  auto sets = SampleEntitySets(*kb_, classes, config, &rng);
+  ASSERT_FALSE(sets.empty());
+  for (const auto& set : sets) {
+    auto members = ClassMembersByProminence(*kb_, set.cls);
+    const size_t cutoff = std::max<size_t>(
+        3, static_cast<size_t>(0.05 * static_cast<double>(members.size())));
+    for (const TermId e : set.entities) {
+      const auto pos = std::find(members.begin(), members.end(), e);
+      ASSERT_NE(pos, members.end());
+      EXPECT_LT(static_cast<size_t>(pos - members.begin()), cutoff);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadConfig config;
+  config.num_sets = 20;
+  auto classes = LargestClasses(*kb_, 4);
+  Rng rng1(9), rng2(9);
+  auto a = SampleEntitySets(*kb_, classes, config, &rng1);
+  auto b = SampleEntitySets(*kb_, classes, config, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].entities, b[i].entities);
+    EXPECT_EQ(a[i].cls, b[i].cls);
+  }
+}
+
+TEST_F(WorkloadTest, EmptyClassListYieldsNoSets) {
+  Rng rng(5);
+  EXPECT_TRUE(SampleEntitySets(*kb_, {}, WorkloadConfig{}, &rng).empty());
+}
+
+TEST_F(WorkloadTest, WorksOnSyntheticKb) {
+  SyntheticKbConfig config;
+  config.num_entities = 1000;
+  config.num_predicates = 20;
+  config.num_classes = 8;
+  config.num_facts = 8000;
+  KnowledgeBase kb = BuildSyntheticKb(config);
+  Rng rng(6);
+  WorkloadConfig wconfig;
+  wconfig.num_sets = 50;
+  auto classes = LargestClasses(kb, 4);
+  auto sets = SampleEntitySets(kb, classes, wconfig, &rng);
+  EXPECT_EQ(sets.size(), 50u);
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,108 @@
+#include "nlg/verbalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class VerbalizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    verbalizer_ = new Verbalizer(kb_);
+  }
+  static void TearDownTestSuite() {
+    delete verbalizer_;
+    delete kb_;
+    verbalizer_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static KnowledgeBase* kb_;
+  static Verbalizer* verbalizer_;
+};
+
+KnowledgeBase* VerbalizerTest::kb_ = nullptr;
+Verbalizer* VerbalizerTest::verbalizer_ = nullptr;
+
+TEST_F(VerbalizerTest, AtomClause) {
+  const auto rho = SubgraphExpression::Atom(Id("capitalOf"), Id("France"));
+  EXPECT_EQ(verbalizer_->Clause(rho), "its capitalOf is France");
+}
+
+TEST_F(VerbalizerTest, TypeAtomReadsAsIsA) {
+  const auto rho =
+      SubgraphExpression::Atom(kb_->type_predicate(), Id("City"));
+  EXPECT_EQ(verbalizer_->Clause(rho), "it is a City");
+}
+
+TEST_F(VerbalizerTest, PathClause) {
+  const auto rho = SubgraphExpression::Path(Id("mayor"), Id("party"),
+                                            Id("Socialist_Party"));
+  EXPECT_EQ(verbalizer_->Clause(rho),
+            "it has a mayor whose party is Socialist Party");
+}
+
+TEST_F(VerbalizerTest, PathStarClause) {
+  const auto rho = SubgraphExpression::PathStar(
+      Id("mayor"), Id("party"), Id("Socialist_Party"), kb_->type_predicate(),
+      Id("Person"));
+  const std::string clause = verbalizer_->Clause(rho);
+  EXPECT_NE(clause.find("whose"), std::string::npos);
+  EXPECT_NE(clause.find("and whose"), std::string::npos);
+}
+
+TEST_F(VerbalizerTest, TwinClauses) {
+  // TwinPair normalizes predicate order by id (cityIn interns first).
+  EXPECT_EQ(verbalizer_->Clause(
+                SubgraphExpression::TwinPair(Id("capitalOf"), Id("cityIn"))),
+            "its cityIn and capitalOf are the same");
+  const std::string triple = verbalizer_->Clause(SubgraphExpression::TwinTriple(
+      Id("capitalOf"), Id("cityIn"), Id("belongedTo")));
+  EXPECT_NE(triple.find("are all the same"), std::string::npos);
+}
+
+TEST_F(VerbalizerTest, InversePredicateReadsAsOf) {
+  const TermId inv = kb_->InverseOf(Id("capitalOf"));
+  ASSERT_NE(inv, kNullTerm);
+  const auto rho = SubgraphExpression::Atom(inv, Id("Paris"));
+  EXPECT_EQ(verbalizer_->Clause(rho), "its capitalOf of is Paris");
+}
+
+TEST_F(VerbalizerTest, SentenceJoinsAndCapitalizes) {
+  Expression e = Expression::Top()
+                     .Conjoin(SubgraphExpression::Atom(Id("belongedTo"),
+                                                       Id("Brittany")))
+                     .Conjoin(SubgraphExpression::Path(
+                         Id("mayor"), Id("party"), Id("Socialist_Party")));
+  const std::string sentence = verbalizer_->Sentence(e);
+  EXPECT_EQ(sentence.front(), 'I');  // "It..."
+  EXPECT_EQ(sentence.back(), '.');
+  EXPECT_NE(sentence.find(" and "), std::string::npos);
+}
+
+TEST_F(VerbalizerTest, TopSentence) {
+  EXPECT_EQ(verbalizer_->Sentence(Expression::Top()), "anything.");
+}
+
+TEST_F(VerbalizerTest, CustomSubjectPlaceholder) {
+  VerbalizerOptions options;
+  options.subject = "the city";
+  options.capitalize = false;
+  Verbalizer v(kb_, options);
+  const auto rho = SubgraphExpression::Atom(Id("capitalOf"), Id("France"));
+  EXPECT_EQ(v.Clause(rho), "the city's capitalOf is France");
+}
+
+TEST_F(VerbalizerTest, LabelsPreferRdfsLabel) {
+  EXPECT_EQ(verbalizer_->Label(Id("Socialist_Party")), "Socialist Party");
+  EXPECT_EQ(verbalizer_->Label(Id("Eiffel_Tower")), "Eiffel Tower");
+}
+
+}  // namespace
+}  // namespace remi

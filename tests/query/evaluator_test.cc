@@ -1,0 +1,226 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const {
+    auto r = FindEntity(*kb_, name);
+    EXPECT_TRUE(r.ok()) << name;
+    return *r;
+  }
+  TermId Pred(const char* name) const { return Id(name); }
+
+  static KnowledgeBase* kb_;
+};
+
+KnowledgeBase* EvaluatorTest::kb_ = nullptr;
+
+TEST_F(EvaluatorTest, AtomMatchesSubjects) {
+  Evaluator eval(kb_);
+  // capitalOf(x, France) — only Paris.
+  auto m = eval.Match(SubgraphExpression::Atom(Pred("capitalOf"),
+                                               Id("France")));
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0], Id("Paris"));
+}
+
+TEST_F(EvaluatorTest, AtomWithNoMatches) {
+  Evaluator eval(kb_);
+  auto m = eval.Match(SubgraphExpression::Atom(Pred("capitalOf"),
+                                               Id("Brittany")));
+  EXPECT_TRUE(m->empty());
+}
+
+TEST_F(EvaluatorTest, PathMatches) {
+  Evaluator eval(kb_);
+  // officialLanguage(x, y) ∧ langFamily(y, Germanic): UK, NL, Germany,
+  // Austria, NZ, Guyana, Suriname, Switzerland (German).
+  auto m = eval.Match(SubgraphExpression::Path(
+      Pred("officialLanguage"), Pred("langFamily"), Id("Germanic")));
+  EXPECT_EQ(m->size(), 8u);
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Guyana")));
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Suriname")));
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Switzerland")));
+  EXPECT_FALSE(std::binary_search(m->begin(), m->end(), Id("Brazil")));
+}
+
+TEST_F(EvaluatorTest, PathStarMatches) {
+  Evaluator eval(kb_);
+  // mayor(x,y) ∧ party(y, Socialist_Party) ∧ type(y, Person)
+  auto m = eval.Match(SubgraphExpression::PathStar(
+      Pred("mayor"), Pred("party"), Id("Socialist_Party"),
+      kb_->type_predicate(), Id("Person")));
+  ASSERT_EQ(m->size(), 4u);  // Rennes, Nantes, Paris, Marseille
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Rennes")));
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Nantes")));
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Paris")));
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Marseille")));
+}
+
+TEST_F(EvaluatorTest, TwinPairMatches) {
+  Evaluator eval(kb_);
+  // cityIn(x,y) ∧ capitalOf(x,y): capitals in their own country.
+  auto m = eval.Match(
+      SubgraphExpression::TwinPair(Pred("cityIn"), Pred("capitalOf")));
+  EXPECT_GE(m->size(), 10u);
+  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Paris")));
+  EXPECT_FALSE(std::binary_search(m->begin(), m->end(), Id("Pisa")));
+}
+
+TEST_F(EvaluatorTest, MembershipAgreesWithMatchSets) {
+  Evaluator eval(kb_);
+  const SubgraphExpression exprs[] = {
+      SubgraphExpression::Atom(Pred("capitalOf"), Id("France")),
+      SubgraphExpression::Path(Pred("officialLanguage"), Pred("langFamily"),
+                               Id("Germanic")),
+      SubgraphExpression::PathStar(Pred("mayor"), Pred("party"),
+                                   Id("Socialist_Party"),
+                                   kb_->type_predicate(), Id("Person")),
+      SubgraphExpression::TwinPair(Pred("cityIn"), Pred("capitalOf")),
+  };
+  const TermId probes[] = {Id("Paris"),  Id("Rennes"), Id("Guyana"),
+                           Id("Brazil"), Id("Pisa"),   Id("France")};
+  for (const auto& rho : exprs) {
+    auto m = eval.Match(rho);
+    for (const TermId e : probes) {
+      EXPECT_EQ(eval.Matches(e, rho),
+                std::binary_search(m->begin(), m->end(), e))
+          << rho.ToString(kb_->dict()) << " / " << kb_->Label(e);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, EvaluateIntersectsParts) {
+  Evaluator eval(kb_);
+  Expression e = Expression::Top()
+                     .Conjoin(SubgraphExpression::Atom(Pred("in"),
+                                                       Id("South_America")))
+                     .Conjoin(SubgraphExpression::Path(
+                         Pred("officialLanguage"), Pred("langFamily"),
+                         Id("Germanic")));
+  auto matches = eval.Evaluate(e);
+  ASSERT_EQ(matches.size(), 2u);  // the paper's Guyana + Suriname example
+  EXPECT_EQ(matches[0], std::min(Id("Guyana"), Id("Suriname")));
+  EXPECT_EQ(matches[1], std::max(Id("Guyana"), Id("Suriname")));
+}
+
+TEST_F(EvaluatorTest, IsReferringExpressionPositive) {
+  Evaluator eval(kb_);
+  Expression e = Expression::Top()
+                     .Conjoin(SubgraphExpression::Atom(Pred("in"),
+                                                       Id("South_America")))
+                     .Conjoin(SubgraphExpression::Path(
+                         Pred("officialLanguage"), Pred("langFamily"),
+                         Id("Germanic")));
+  MatchSet targets{Id("Guyana"), Id("Suriname")};
+  std::sort(targets.begin(), targets.end());
+  EXPECT_TRUE(eval.IsReferringExpression(e, targets));
+}
+
+TEST_F(EvaluatorTest, IsReferringExpressionRejectsSupersetMatch) {
+  Evaluator eval(kb_);
+  // in(x, South_America) matches 12 countries, not just 2.
+  Expression e = Expression::Top().Conjoin(
+      SubgraphExpression::Atom(Pred("in"), Id("South_America")));
+  MatchSet targets{Id("Guyana"), Id("Suriname")};
+  std::sort(targets.begin(), targets.end());
+  EXPECT_FALSE(eval.IsReferringExpression(e, targets));
+}
+
+TEST_F(EvaluatorTest, IsReferringExpressionRejectsNonMatchingTarget) {
+  Evaluator eval(kb_);
+  Expression e = Expression::Top().Conjoin(
+      SubgraphExpression::Atom(Pred("capitalOf"), Id("France")));
+  MatchSet targets{Id("Paris"), Id("Lyon")};
+  std::sort(targets.begin(), targets.end());
+  EXPECT_FALSE(eval.IsReferringExpression(e, targets));
+}
+
+TEST_F(EvaluatorTest, PaperNoiseExample) {
+  // §4.1.3: France cannot be described as "the country whose capital is
+  // Paris" because Paris is also the capital of the Kingdom of France.
+  Evaluator eval(kb_);
+  auto capital_of = Pred("capitalOf");
+  const TermId inv = kb_->InverseOf(capital_of);
+  ASSERT_NE(inv, kNullTerm) << "capitalOf inverse should be materialized";
+  Expression e = Expression::Top().Conjoin(
+      SubgraphExpression::Atom(inv, Id("Paris")));
+  MatchSet targets{Id("France")};
+  EXPECT_FALSE(eval.IsReferringExpression(e, targets));
+  auto m = eval.Match(SubgraphExpression::Atom(inv, Id("Paris")));
+  EXPECT_EQ(m->size(), 2u);  // France and the Kingdom of France
+}
+
+TEST_F(EvaluatorTest, TopIsNeverAnRe) {
+  Evaluator eval(kb_);
+  MatchSet targets{Id("Paris")};
+  EXPECT_FALSE(eval.IsReferringExpression(Expression::Top(), targets));
+  EXPECT_TRUE(eval.Evaluate(Expression::Top()).empty());
+}
+
+TEST_F(EvaluatorTest, EmptyTargetsNeverReferred) {
+  Evaluator eval(kb_);
+  Expression e = Expression::Top().Conjoin(
+      SubgraphExpression::Atom(Pred("capitalOf"), Id("France")));
+  EXPECT_FALSE(eval.IsReferringExpression(e, {}));
+}
+
+TEST_F(EvaluatorTest, CacheHitsOnRepeatedQueries) {
+  Evaluator eval(kb_, /*cache_capacity=*/16);
+  const auto rho = SubgraphExpression::Atom(Pred("capitalOf"), Id("France"));
+  (void)eval.Match(rho);
+  (void)eval.Match(rho);
+  (void)eval.Match(rho);
+  EXPECT_EQ(eval.stats().cache_misses, 1u);
+  EXPECT_EQ(eval.stats().cache_hits, 2u);
+  EXPECT_EQ(eval.stats().subgraph_evaluations, 1u);
+}
+
+TEST_F(EvaluatorTest, ZeroCapacityCacheRecomputes) {
+  Evaluator eval(kb_, /*cache_capacity=*/0);
+  const auto rho = SubgraphExpression::Atom(Pred("capitalOf"), Id("France"));
+  (void)eval.Match(rho);
+  (void)eval.Match(rho);
+  EXPECT_EQ(eval.stats().subgraph_evaluations, 2u);
+}
+
+TEST_F(EvaluatorTest, ResetStatsZeroesCounters) {
+  Evaluator eval(kb_);
+  (void)eval.Match(SubgraphExpression::Atom(Pred("capitalOf"), Id("France")));
+  eval.ResetStats();
+  const auto s = eval.stats();
+  EXPECT_EQ(s.subgraph_evaluations + s.membership_tests + s.cache_hits +
+                s.cache_misses,
+            0u);
+}
+
+TEST(SortedSetOpsTest, IntersectSorted) {
+  EXPECT_EQ(IntersectSorted({1, 3, 5, 7}, {3, 4, 5}), (MatchSet{3, 5}));
+  EXPECT_EQ(IntersectSorted({}, {1, 2}), MatchSet{});
+  EXPECT_EQ(IntersectSorted({1, 2}, {3, 4}), MatchSet{});
+}
+
+TEST(SortedSetOpsTest, SortedSubset) {
+  EXPECT_TRUE(SortedSubset({2, 4}, {1, 2, 3, 4}));
+  EXPECT_FALSE(SortedSubset({2, 5}, {1, 2, 3, 4}));
+  EXPECT_TRUE(SortedSubset({}, {1}));
+  EXPECT_FALSE(SortedSubset({1}, {}));
+}
+
+}  // namespace
+}  // namespace remi

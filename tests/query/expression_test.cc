@@ -1,0 +1,173 @@
+#include "query/expression.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(SubgraphExpressionTest, AtomBasics) {
+  auto e = SubgraphExpression::Atom(10, 20);
+  EXPECT_EQ(e.shape, SubgraphShape::kAtom);
+  EXPECT_EQ(e.num_atoms(), 1);
+  EXPECT_FALSE(e.has_existential_variable());
+}
+
+TEST(SubgraphExpressionTest, PathBasics) {
+  auto e = SubgraphExpression::Path(10, 11, 20);
+  EXPECT_EQ(e.num_atoms(), 2);
+  EXPECT_TRUE(e.has_existential_variable());
+}
+
+TEST(SubgraphExpressionTest, PathStarNormalizesLegOrder) {
+  auto a = SubgraphExpression::PathStar(1, 5, 50, 3, 30);
+  auto b = SubgraphExpression::PathStar(1, 3, 30, 5, 50);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.p1, 3u);
+  EXPECT_EQ(a.c1, 30u);
+}
+
+TEST(SubgraphExpressionTest, TwinPairNormalizesPredicateOrder) {
+  EXPECT_EQ(SubgraphExpression::TwinPair(7, 2),
+            SubgraphExpression::TwinPair(2, 7));
+}
+
+TEST(SubgraphExpressionTest, TwinTripleNormalizesAllOrders) {
+  auto expected = SubgraphExpression::TwinTriple(1, 2, 3);
+  EXPECT_EQ(SubgraphExpression::TwinTriple(3, 2, 1), expected);
+  EXPECT_EQ(SubgraphExpression::TwinTriple(2, 3, 1), expected);
+  EXPECT_EQ(SubgraphExpression::TwinTriple(1, 3, 2), expected);
+  EXPECT_EQ(expected.p0, 1u);
+  EXPECT_EQ(expected.p2, 3u);
+}
+
+TEST(SubgraphExpressionTest, NumAtomsPerShape) {
+  EXPECT_EQ(SubgraphExpression::Atom(1, 2).num_atoms(), 1);
+  EXPECT_EQ(SubgraphExpression::Path(1, 2, 3).num_atoms(), 2);
+  EXPECT_EQ(SubgraphExpression::PathStar(1, 2, 3, 4, 5).num_atoms(), 3);
+  EXPECT_EQ(SubgraphExpression::TwinPair(1, 2).num_atoms(), 2);
+  EXPECT_EQ(SubgraphExpression::TwinTriple(1, 2, 3).num_atoms(), 3);
+}
+
+TEST(SubgraphExpressionTest, OrderingIsTotalAndConsistentWithEquality) {
+  std::vector<SubgraphExpression> exprs = {
+      SubgraphExpression::Atom(1, 2),
+      SubgraphExpression::Atom(1, 3),
+      SubgraphExpression::Path(1, 2, 3),
+      SubgraphExpression::TwinPair(1, 2),
+  };
+  for (const auto& a : exprs) {
+    EXPECT_FALSE(a < a);
+    for (const auto& b : exprs) {
+      if (a == b) {
+        EXPECT_FALSE(a < b);
+        EXPECT_FALSE(b < a);
+      } else {
+        EXPECT_TRUE((a < b) != (b < a));
+      }
+    }
+  }
+}
+
+TEST(SubgraphExpressionTest, HashConsistentWithEquality) {
+  SubgraphExpressionHash hash;
+  auto a = SubgraphExpression::PathStar(1, 5, 50, 3, 30);
+  auto b = SubgraphExpression::PathStar(1, 3, 30, 5, 50);
+  EXPECT_EQ(hash(a), hash(b));
+  std::unordered_set<SubgraphExpression, SubgraphExpressionHash> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(SubgraphExpressionTest, ToStringRendersShapes) {
+  Dictionary dict;
+  const TermId in = dict.InternIri("http://x/in");
+  const TermId lang = dict.InternIri("http://x/officialLanguage");
+  const TermId sa = dict.InternIri("http://x/South_America");
+  auto atom = SubgraphExpression::Atom(in, sa);
+  EXPECT_EQ(atom.ToString(dict), "in(x, South_America)");
+  auto path = SubgraphExpression::Path(lang, in, sa);
+  EXPECT_EQ(path.ToString(dict),
+            "officialLanguage(x, y) ∧ in(y, South_America)");
+}
+
+TEST(ExpressionTest, TopProperties) {
+  Expression top = Expression::Top();
+  EXPECT_TRUE(top.IsTop());
+  EXPECT_EQ(top.num_atoms(), 0);
+  Dictionary dict;
+  EXPECT_EQ(top.ToString(dict), "⊤");
+}
+
+TEST(ExpressionTest, ConjoinKeepsPartsSortedAndUnique) {
+  auto a = SubgraphExpression::Atom(1, 2);
+  auto b = SubgraphExpression::Atom(1, 1);
+  Expression e = Expression::Top().Conjoin(a).Conjoin(b).Conjoin(a);
+  ASSERT_EQ(e.parts.size(), 2u);
+  EXPECT_TRUE(e.parts[0] < e.parts[1]);
+}
+
+TEST(ExpressionTest, ConjoinOrderIndependentEquality) {
+  auto a = SubgraphExpression::Atom(1, 2);
+  auto b = SubgraphExpression::Path(3, 4, 5);
+  EXPECT_EQ(Expression::Top().Conjoin(a).Conjoin(b),
+            Expression::Top().Conjoin(b).Conjoin(a));
+}
+
+TEST(ExpressionTest, NumAtomsSumsParts) {
+  Expression e = Expression::Top()
+                     .Conjoin(SubgraphExpression::Atom(1, 2))
+                     .Conjoin(SubgraphExpression::PathStar(3, 4, 5, 6, 7));
+  EXPECT_EQ(e.num_atoms(), 4);
+}
+
+TEST(ToAtomsTest, AtomHasRootVariableSubject) {
+  auto atoms = ToAtoms(SubgraphExpression::Atom(9, 42), 1);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(atoms[0].subject_is_var);
+  EXPECT_EQ(atoms[0].subject_var, 0);
+  EXPECT_FALSE(atoms[0].object_is_var);
+  EXPECT_EQ(atoms[0].object_const, 42u);
+}
+
+TEST(ToAtomsTest, PathLinksThroughExistentialVariable) {
+  auto atoms = ToAtoms(SubgraphExpression::Path(9, 8, 42), 3);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0].object_var, 3);
+  EXPECT_EQ(atoms[1].subject_var, 3);
+  EXPECT_EQ(atoms[1].object_const, 42u);
+}
+
+TEST(ToAtomsTest, ExpressionAssignsFreshVariables) {
+  Expression e = Expression::Top()
+                     .Conjoin(SubgraphExpression::Path(1, 2, 3))
+                     .Conjoin(SubgraphExpression::Path(4, 5, 6));
+  auto atoms = ToAtoms(e);
+  ASSERT_EQ(atoms.size(), 4u);
+  // Two distinct existential variables.
+  EXPECT_NE(atoms[0].object_var, atoms[2].object_var);
+}
+
+TEST(ToAtomsTest, TwinShapesShareBothVariables) {
+  auto atoms = ToAtoms(SubgraphExpression::TwinTriple(1, 2, 3), 1);
+  ASSERT_EQ(atoms.size(), 3u);
+  for (const auto& a : atoms) {
+    EXPECT_EQ(a.subject_var, 0);
+    EXPECT_TRUE(a.object_is_var);
+    EXPECT_EQ(a.object_var, 1);
+  }
+}
+
+TEST(ShapeNamesTest, AllShapesNamed) {
+  EXPECT_STREQ(SubgraphShapeToString(SubgraphShape::kAtom), "atom");
+  EXPECT_STREQ(SubgraphShapeToString(SubgraphShape::kPath), "path");
+  EXPECT_STREQ(SubgraphShapeToString(SubgraphShape::kPathStar), "path+star");
+  EXPECT_STREQ(SubgraphShapeToString(SubgraphShape::kTwinPair), "2-closed");
+  EXPECT_STREQ(SubgraphShapeToString(SubgraphShape::kTwinTriple),
+               "3-closed");
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,89 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(DictionaryTest, InternAssignsSequentialIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.InternIri("http://x/a"), 0u);
+  EXPECT_EQ(dict.InternIri("http://x/b"), 1u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.InternIri("http://x/a");
+  EXPECT_EQ(dict.InternIri("http://x/a"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, KindsAreDistinctNamespaces) {
+  Dictionary dict;
+  const TermId iri = dict.Intern(TermKind::kIri, "same");
+  const TermId lit = dict.Intern(TermKind::kLiteral, "same");
+  const TermId blank = dict.Intern(TermKind::kBlank, "same");
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(lit, blank);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, LookupFindsInternedTerm) {
+  Dictionary dict;
+  const TermId a = dict.Intern(TermKind::kLiteral, "\"42\"");
+  auto found = dict.Lookup(TermKind::kLiteral, "\"42\"");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, a);
+}
+
+TEST(DictionaryTest, LookupMissingIsNotFound) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.Lookup(TermKind::kIri, "http://x/a").status().IsNotFound());
+}
+
+TEST(DictionaryTest, LookupRespectsKind) {
+  Dictionary dict;
+  dict.Intern(TermKind::kIri, "x");
+  EXPECT_TRUE(dict.Lookup(TermKind::kBlank, "x").status().IsNotFound());
+}
+
+TEST(DictionaryTest, TermAccessorsRoundTrip) {
+  Dictionary dict;
+  const TermId id = dict.Intern(TermKind::kBlank, "b0");
+  EXPECT_EQ(dict.kind(id), TermKind::kBlank);
+  EXPECT_EQ(dict.lexical(id), "b0");
+  EXPECT_TRUE(dict.IsBlank(id));
+  EXPECT_FALSE(dict.IsIri(id));
+  EXPECT_FALSE(dict.IsLiteral(id));
+  EXPECT_EQ(dict.term(id), (Term{TermKind::kBlank, "b0"}));
+}
+
+TEST(DictionaryTest, EmptyLexicalFormsAreValidTerms) {
+  Dictionary dict;
+  const TermId a = dict.Intern(TermKind::kLiteral, "");
+  auto found = dict.Lookup(TermKind::kLiteral, "");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, a);
+}
+
+TEST(DictionaryTest, ManyTermsKeepStableIds) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.InternIri("http://x/e" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.InternIri("http://x/e" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(TermKindTest, Names) {
+  EXPECT_STREQ(TermKindToString(TermKind::kIri), "IRI");
+  EXPECT_STREQ(TermKindToString(TermKind::kLiteral), "Literal");
+  EXPECT_STREQ(TermKindToString(TermKind::kBlank), "Blank");
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,163 @@
+#include "rdf/turtle_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "rdf/ntriples.h"
+
+namespace remi {
+namespace {
+
+class TurtleLiteTest : public ::testing::Test {
+ protected:
+  Result<std::vector<Triple>> Parse(const std::string& doc) {
+    TurtleLiteParser parser(&dict_);
+    return parser.ParseString(doc);
+  }
+  std::string Lex(TermId id) { return dict_.lexical(id); }
+  Dictionary dict_;
+};
+
+TEST_F(TurtleLiteTest, PrefixedNamesExpand) {
+  auto triples = Parse(
+      "@prefix dbr: <http://dbpedia.org/resource/> .\n"
+      "@prefix dbo: <http://dbpedia.org/ontology/> .\n"
+      "dbr:Paris dbo:capitalOf dbr:France .\n");
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 1u);
+  EXPECT_EQ(Lex((*triples)[0].s), "http://dbpedia.org/resource/Paris");
+  EXPECT_EQ(Lex((*triples)[0].p), "http://dbpedia.org/ontology/capitalOf");
+}
+
+TEST_F(TurtleLiteTest, SparqlStylePrefix) {
+  auto triples = Parse(
+      "PREFIX ex: <http://ex/>\n"
+      "ex:a ex:p ex:b .\n");
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  EXPECT_EQ(triples->size(), 1u);
+}
+
+TEST_F(TurtleLiteTest, AKeywordIsRdfType) {
+  auto triples = Parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:Paris a ex:City .\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(Lex((*triples)[0].p), kRdfTypeIri);
+}
+
+TEST_F(TurtleLiteTest, PredicateAndObjectLists) {
+  auto triples = Parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:Paris ex:cityIn ex:France ;\n"
+      "         ex:label \"Paris\"@fr , \"Paris\"@en ;\n"
+      "         a ex:City .\n");
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 4u);
+  // All four share the subject.
+  for (const Triple& t : *triples) {
+    EXPECT_EQ(Lex(t.s), "http://ex/Paris");
+  }
+  EXPECT_EQ(Lex((*triples)[1].o), "\"Paris\"@fr");
+  EXPECT_EQ(Lex((*triples)[2].o), "\"Paris\"@en");
+}
+
+TEST_F(TurtleLiteTest, BaseResolvesRelativeIris) {
+  auto triples = Parse(
+      "@base <http://ex/kb/> .\n"
+      "<Paris> <capitalOf> <France> .\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(Lex((*triples)[0].s), "http://ex/kb/Paris");
+  EXPECT_EQ(Lex((*triples)[0].o), "http://ex/kb/France");
+}
+
+TEST_F(TurtleLiteTest, AbsoluteIrisIgnoreBase) {
+  auto triples = Parse(
+      "@base <http://ex/kb/> .\n"
+      "<http://other/x> <p> <y> .\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(Lex((*triples)[0].s), "http://other/x");
+}
+
+TEST_F(TurtleLiteTest, DefaultPrefixesAvailable) {
+  auto triples = Parse("<http://ex/a> rdf:type <http://ex/T> .\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(Lex((*triples)[0].p), kRdfTypeIri);
+}
+
+TEST_F(TurtleLiteTest, BlankNodesAndLiterals) {
+  auto triples = Parse(
+      "@prefix ex: <http://ex/> .\n"
+      "_:b1 ex:p \"v\\n\"^^<http://ex/dt> .\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(dict_.kind((*triples)[0].s), TermKind::kBlank);
+  EXPECT_EQ(Lex((*triples)[0].o), "\"v\n\"^^<http://ex/dt>");
+}
+
+TEST_F(TurtleLiteTest, CommentsAreSkipped) {
+  auto triples = Parse(
+      "# header\n"
+      "@prefix ex: <http://ex/> . # trailing\n"
+      "ex:a ex:p ex:b . # done\n");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(triples->size(), 1u);
+}
+
+TEST_F(TurtleLiteTest, UndeclaredPrefixFails) {
+  auto triples = Parse("nope:a nope:p nope:b .\n");
+  ASSERT_FALSE(triples.ok());
+  EXPECT_NE(triples.status().message().find("undeclared prefix"),
+            std::string::npos);
+}
+
+TEST_F(TurtleLiteTest, MissingDotFails) {
+  EXPECT_FALSE(Parse("@prefix ex: <http://ex/> .\nex:a ex:p ex:b\n").ok());
+}
+
+TEST_F(TurtleLiteTest, LiteralSubjectFails) {
+  EXPECT_FALSE(Parse("\"lit\" <http://ex/p> <http://ex/b> .\n").ok());
+}
+
+TEST_F(TurtleLiteTest, LiteralPredicateFails) {
+  EXPECT_FALSE(
+      Parse("<http://ex/a> \"lit\" <http://ex/b> .\n").ok());
+}
+
+TEST_F(TurtleLiteTest, UnsupportedConstructsAreExplicitErrors) {
+  EXPECT_FALSE(Parse("<http://ex/a> <http://ex/p> [ ] .\n").ok());
+  EXPECT_FALSE(Parse("<http://ex/a> <http://ex/p> ( 1 2 ) .\n").ok());
+  EXPECT_FALSE(
+      Parse("<http://ex/a> <http://ex/p> \"\"\"multi\"\"\" .\n").ok());
+}
+
+TEST_F(TurtleLiteTest, ErrorsCarryLineNumbers) {
+  auto triples = Parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:a ex:p ex:b .\n"
+      "nope:x ex:p ex:b .\n");
+  ASSERT_FALSE(triples.ok());
+  EXPECT_NE(triples.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(TurtleLiteTest, EquivalentToNTriplesForSharedSubset) {
+  // The same facts in both syntaxes must intern identical terms.
+  TurtleLiteParser turtle(&dict_);
+  auto from_turtle = turtle.ParseString(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:Paris ex:capitalOf ex:France ; a ex:City .\n");
+  ASSERT_TRUE(from_turtle.ok());
+
+  NTriplesParser nt(&dict_);
+  auto from_nt = nt.ParseString(
+      "<http://ex/Paris> <http://ex/capitalOf> <http://ex/France> .\n"
+      "<http://ex/Paris> "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/City> "
+      ".\n");
+  ASSERT_TRUE(from_nt.ok());
+  ASSERT_EQ(from_turtle->size(), from_nt->size());
+  for (size_t i = 0; i < from_nt->size(); ++i) {
+    EXPECT_EQ((*from_turtle)[i], (*from_nt)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace remi

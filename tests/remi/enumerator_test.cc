@@ -1,0 +1,278 @@
+#include "remi/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+
+namespace remi {
+namespace {
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    eval_ = new Evaluator(kb_);
+  }
+  static void TearDownTestSuite() {
+    delete eval_;
+    delete kb_;
+    eval_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static bool Contains(const std::vector<SubgraphExpression>& v,
+                       const SubgraphExpression& e) {
+    return std::find(v.begin(), v.end(), e) != v.end();
+  }
+
+  static KnowledgeBase* kb_;
+  static Evaluator* eval_;
+};
+
+KnowledgeBase* EnumeratorTest::kb_ = nullptr;
+Evaluator* EnumeratorTest::eval_ = nullptr;
+
+TEST_F(EnumeratorTest, EveryEnumeratedExpressionMatchesTheEntity) {
+  SubgraphEnumerator enumerator(eval_);
+  for (const char* name : {"Rennes", "Guyana", "Marie_Curie", "Agrofert"}) {
+    const TermId t = Id(name);
+    for (const auto& rho : enumerator.EnumerateFor(t)) {
+      EXPECT_TRUE(eval_->Matches(t, rho))
+          << name << " does not match " << rho.ToString(kb_->dict());
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, ProducesAtomForDirectFact) {
+  SubgraphEnumerator enumerator(eval_);
+  auto exprs = enumerator.EnumerateFor(Id("Paris"));
+  EXPECT_TRUE(Contains(
+      exprs, SubgraphExpression::Atom(Id("capitalOf"), Id("France"))));
+}
+
+TEST_F(EnumeratorTest, ProducesPathThroughNonProminentEntity) {
+  SubgraphEnumerator enumerator(eval_);
+  // Müller: supervisorOf(x, y) ∧ supervisorOf(y, Einstein) via the
+  // non-prominent Kleiner.
+  auto exprs = enumerator.EnumerateFor(Id("Johann_J_Mueller"));
+  EXPECT_TRUE(Contains(exprs, SubgraphExpression::Path(
+                                  Id("supervisorOf"), Id("supervisorOf"),
+                                  Id("Albert_Einstein"))));
+}
+
+TEST_F(EnumeratorTest, ProducesClosedShapes) {
+  SubgraphEnumerator enumerator(eval_);
+  // Paris: cityIn(x,y) ∧ capitalOf(x,y) share object France.
+  auto exprs = enumerator.EnumerateFor(Id("Paris"));
+  EXPECT_TRUE(Contains(
+      exprs, SubgraphExpression::TwinPair(Id("cityIn"), Id("capitalOf"))));
+}
+
+TEST_F(EnumeratorTest, StandardLanguageOnlyAtoms) {
+  EnumeratorOptions options;
+  options.extended_language = false;
+  SubgraphEnumerator enumerator(eval_, options);
+  auto exprs = enumerator.EnumerateFor(Id("Paris"));
+  ASSERT_FALSE(exprs.empty());
+  for (const auto& rho : exprs) {
+    EXPECT_EQ(rho.shape, SubgraphShape::kAtom);
+  }
+}
+
+TEST_F(EnumeratorTest, ExtendedLanguageIsStrictlyLarger) {
+  EnumeratorOptions standard;
+  standard.extended_language = false;
+  SubgraphEnumerator std_enum(eval_, standard);
+  SubgraphEnumerator ext_enum(eval_);
+  for (const char* name : {"Paris", "Rennes", "Guyana"}) {
+    EXPECT_LT(std_enum.EnumerateFor(Id(name)).size(),
+              ext_enum.EnumerateFor(Id(name)).size())
+        << name;
+  }
+}
+
+TEST_F(EnumeratorTest, LabelPredicateNeverAppears) {
+  SubgraphEnumerator enumerator(eval_);
+  for (const auto& rho : enumerator.EnumerateFor(Id("Paris"))) {
+    EXPECT_NE(rho.p0, kb_->label_predicate());
+    EXPECT_NE(rho.p1, kb_->label_predicate());
+    EXPECT_NE(rho.p2, kb_->label_predicate());
+  }
+}
+
+TEST_F(EnumeratorTest, TypeAtomsCanBeDisabled) {
+  EnumeratorOptions options;
+  options.include_type_atoms = false;
+  SubgraphEnumerator enumerator(eval_, options);
+  for (const auto& rho : enumerator.EnumerateFor(Id("Paris"))) {
+    EXPECT_NE(rho.p0, kb_->type_predicate());
+  }
+}
+
+TEST_F(EnumeratorTest, InversePredicatesCanBeDisabled) {
+  EnumeratorOptions options;
+  options.include_inverse_predicates = false;
+  SubgraphEnumerator enumerator(eval_, options);
+  for (const auto& rho : enumerator.EnumerateFor(Id("France"))) {
+    EXPECT_FALSE(kb_->IsInversePredicate(rho.p0));
+    if (rho.p1 != kNullTerm) {
+      EXPECT_FALSE(kb_->IsInversePredicate(rho.p1));
+    }
+    if (rho.p2 != kNullTerm) {
+      EXPECT_FALSE(kb_->IsInversePredicate(rho.p2));
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, ProminentObjectsAreNotExpanded) {
+  // Controlled KB: t's only entity-valued fact points at a hub that is
+  // top-prominent, so no multi-atom shapes may be derived from it.
+  KbBuilder builder;
+  builder.Fact("t", "p", "hub");
+  builder.Fact("hub", "q", "elsewhere");
+  for (int i = 0; i < 20; ++i) {
+    // Make hub by far the most frequent entity.
+    builder.Fact("filler" + std::to_string(i), "p", "hub");
+  }
+  KbOptions kb_options;
+  kb_options.inverse_top_fraction = 0;
+  KnowledgeBase kb = std::move(builder).Build(kb_options);
+  Evaluator eval(&kb);
+  EnumeratorOptions options;
+  options.prominent_object_fraction = 0.05;
+  SubgraphEnumerator enumerator(&eval, options);
+  const TermId hub = *FindEntity(kb, "hub");
+  ASSERT_TRUE(kb.IsTopProminentEntity(hub, 0.05));
+  auto exprs = enumerator.EnumerateFor(*FindEntity(kb, "t"));
+  ASSERT_FALSE(exprs.empty());
+  for (const auto& rho : exprs) {
+    EXPECT_NE(rho.shape, SubgraphShape::kPath)
+        << "prominent hub was expanded: " << rho.ToString(kb.dict());
+    EXPECT_NE(rho.shape, SubgraphShape::kPathStar);
+  }
+}
+
+TEST_F(EnumeratorTest, DisablingProminencePruningAddsExpressions) {
+  EnumeratorOptions pruned;
+  EnumeratorOptions unpruned;
+  unpruned.prune_prominent_expansion = false;
+  SubgraphEnumerator a(eval_, pruned);
+  SubgraphEnumerator b(eval_, unpruned);
+  EXPECT_LT(a.EnumerateFor(Id("Paris")).size(),
+            b.EnumerateFor(Id("Paris")).size());
+}
+
+TEST_F(EnumeratorTest, MaxSubgraphsCapsOutput) {
+  EnumeratorOptions options;
+  options.max_subgraphs = 5;
+  SubgraphEnumerator enumerator(eval_, options);
+  EXPECT_LE(enumerator.EnumerateFor(Id("Paris")).size(), 5u);
+}
+
+TEST_F(EnumeratorTest, UnknownEntityYieldsNothing) {
+  SubgraphEnumerator enumerator(eval_);
+  // A class IRI has no outgoing facts other than... none as subject.
+  const TermId fresh = 999999;
+  EXPECT_TRUE(enumerator.EnumerateFor(fresh).empty());
+}
+
+TEST_F(EnumeratorTest, CommonSubgraphsAreSatisfiedByAllTargets) {
+  SubgraphEnumerator enumerator(eval_);
+  const std::vector<TermId> targets{Id("Rennes"), Id("Nantes")};
+  auto common = enumerator.CommonSubgraphs(targets);
+  ASSERT_FALSE(common.empty());
+  for (const auto& rho : common) {
+    for (const TermId t : targets) {
+      EXPECT_TRUE(eval_->Matches(t, rho)) << rho.ToString(kb_->dict());
+    }
+  }
+  // The Figure 1 building blocks are present.
+  EXPECT_TRUE(Contains(common, SubgraphExpression::Atom(Id("belongedTo"),
+                                                        Id("Brittany"))));
+  EXPECT_TRUE(Contains(
+      common, SubgraphExpression::Atom(Id("placeOf"), Id("Epitech"))));
+  EXPECT_TRUE(Contains(common, SubgraphExpression::Path(
+                                   Id("mayor"), Id("party"),
+                                   Id("Socialist_Party"))));
+}
+
+TEST_F(EnumeratorTest, CommonSubgraphsExcludeTargetConstants) {
+  SubgraphEnumerator enumerator(eval_);
+  // Guyana borders Suriname: when describing the pair, neither may appear
+  // as a constant.
+  const std::vector<TermId> targets{Id("Guyana"), Id("Suriname")};
+  for (const auto& rho : enumerator.CommonSubgraphs(targets)) {
+    EXPECT_NE(rho.c1, Id("Guyana"));
+    EXPECT_NE(rho.c1, Id("Suriname"));
+    EXPECT_NE(rho.c2, Id("Guyana"));
+    EXPECT_NE(rho.c2, Id("Suriname"));
+  }
+}
+
+TEST_F(EnumeratorTest, CommonSubgraphsOfSingleton) {
+  SubgraphEnumerator enumerator(eval_);
+  const std::vector<TermId> targets{Id("Marie_Curie")};
+  auto common = enumerator.CommonSubgraphs(targets);
+  EXPECT_TRUE(Contains(common, SubgraphExpression::Atom(
+                                   Id("diedOf"), Id("Aplastic_Anemia"))));
+}
+
+TEST_F(EnumeratorTest, CommonSubgraphsEmptyTargets) {
+  SubgraphEnumerator enumerator(eval_);
+  EXPECT_TRUE(enumerator.CommonSubgraphs({}).empty());
+}
+
+TEST_F(EnumeratorTest, CountSubgraphsMatchesEnumeration) {
+  SubgraphEnumerator enumerator(eval_);
+  const TermId t = Id("Rennes");
+  const auto counts = enumerator.CountSubgraphs(t, 1);
+  EXPECT_EQ(counts.TotalOneVar(), enumerator.EnumerateFor(t).size());
+  EXPECT_EQ(counts.chains_two_vars, 0u);
+}
+
+TEST_F(EnumeratorTest, SecondVariableAddsChains) {
+  SubgraphEnumerator enumerator(eval_);
+  const auto counts = enumerator.CountSubgraphs(Id("Rennes"), 2);
+  EXPECT_GT(counts.chains_two_vars, 0u);
+}
+
+TEST_F(EnumeratorTest, BlankNodeAtomsSkippedButPathsDerived) {
+  // Build a KB where t's only interesting fact goes through a blank node.
+  KbBuilder b;
+  b.Fact("t", "p", "other");
+  const TermId t_id = b.Iri("t");
+  const TermId p_id = b.Iri("p");
+  const TermId q_id = b.Iri("q");
+  const TermId blank = b.Blank("hidden");
+  const TermId target = b.Iri("I");
+  b.Add(t_id, p_id, blank);
+  b.Add(blank, q_id, target);
+  KbOptions kb_options;
+  kb_options.inverse_top_fraction = 0;
+  KnowledgeBase kb = std::move(b).Build(kb_options);
+  Evaluator eval(&kb);
+  SubgraphEnumerator enumerator(&eval);
+  auto t = FindEntity(kb, "t");
+  ASSERT_TRUE(t.ok());
+  auto exprs = enumerator.EnumerateFor(*t);
+  const TermId p = *kb.dict().Lookup(TermKind::kIri, "http://remi.example/p");
+  const TermId q = *kb.dict().Lookup(TermKind::kIri, "http://remi.example/q");
+  const TermId i = *kb.dict().Lookup(TermKind::kIri, "http://remi.example/I");
+  bool has_blank_atom = false;
+  bool has_hidden_path = false;
+  for (const auto& rho : exprs) {
+    if (rho.shape == SubgraphShape::kAtom && rho.p0 == p &&
+        kb.dict().kind(rho.c1) == TermKind::kBlank) {
+      has_blank_atom = true;
+    }
+    if (rho == SubgraphExpression::Path(p, q, i)) has_hidden_path = true;
+  }
+  EXPECT_FALSE(has_blank_atom) << "atoms with blank objects must be skipped";
+  EXPECT_TRUE(has_hidden_path) << "paths hiding blanks must be derived";
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,150 @@
+// P-REMI (§3.4): the parallel variant must agree with sequential REMI on
+// every target set — same found/not-found outcome and same minimal cost.
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "kbgen/workload.h"
+#include "remi/remi.h"
+
+namespace remi {
+namespace {
+
+class PremiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+  }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static KnowledgeBase* kb_;
+};
+
+KnowledgeBase* PremiTest::kb_ = nullptr;
+
+TEST_F(PremiTest, AgreesWithSequentialOnSingleton) {
+  RemiOptions seq;
+  RemiOptions par;
+  par.num_threads = 4;
+  RemiMiner seq_miner(kb_, seq);
+  RemiMiner par_miner(kb_, par);
+  for (const char* name : {"Paris", "Marie_Curie", "Agrofert", "Guyana"}) {
+    auto a = seq_miner.MineRe({Id(name)});
+    auto b = par_miner.MineRe({Id(name)});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->found, b->found) << name;
+    if (a->found) {
+      EXPECT_NEAR(a->cost, b->cost, 1e-9) << name;
+      // Deterministic tie-breaking: identical expressions too.
+      EXPECT_EQ(a->expression, b->expression) << name;
+    }
+  }
+}
+
+TEST_F(PremiTest, AgreesWithSequentialOnPairs) {
+  RemiOptions par;
+  par.num_threads = 3;
+  RemiMiner seq_miner(kb_, RemiOptions{});
+  RemiMiner par_miner(kb_, par);
+  const std::vector<std::vector<TermId>> target_sets = {
+      {Id("Rennes"), Id("Nantes")},
+      {Id("Guyana"), Id("Suriname")},
+      {Id("Ecuador"), Id("Peru")},
+      {Id("The_Hobbit_1"), Id("The_Hobbit_2")},
+  };
+  for (const auto& targets : target_sets) {
+    auto a = seq_miner.MineRe(targets);
+    auto b = par_miner.MineRe(targets);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->found, b->found);
+    if (a->found) {
+      EXPECT_NEAR(a->cost, b->cost, 1e-9);
+      EXPECT_EQ(a->expression, b->expression);
+    }
+  }
+}
+
+TEST_F(PremiTest, NoSolutionSignalTerminatesAllThreads) {
+  KbBuilder b;
+  b.Fact("twin1", "p", "v");
+  b.Fact("twin2", "p", "v");
+  b.Fact("twin1", "q", "w");
+  b.Fact("twin2", "q", "w");
+  KbOptions kb_options;
+  kb_options.inverse_top_fraction = 0;
+  KnowledgeBase kb = std::move(b).Build(kb_options);
+  RemiOptions options;
+  options.num_threads = 4;
+  RemiMiner miner(&kb, options);
+  auto result = miner.MineRe({*FindEntity(kb, "twin1")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found);
+}
+
+TEST_F(PremiTest, ManyThreadsMoreThanRoots) {
+  RemiOptions options;
+  options.num_threads = 32;  // far more threads than queue entries
+  RemiMiner miner(kb_, options);
+  auto result = miner.MineRe({Id("Paris")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+}
+
+TEST_F(PremiTest, RepeatedRunsAreDeterministic) {
+  RemiOptions options;
+  options.num_threads = 4;
+  RemiMiner miner(kb_, options);
+  auto first = miner.MineRe({Id("Rennes"), Id("Nantes")});
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto again = miner.MineRe({Id("Rennes"), Id("Nantes")});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->expression, first->expression);
+    EXPECT_NEAR(again->cost, first->cost, 1e-12);
+  }
+}
+
+// Property sweep: across a sampled workload, parallel and sequential REMI
+// must agree on cost for every set (the expressions may differ only if
+// there are cost ties, which the deterministic tie-break also removes).
+class PremiWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PremiWorkloadTest, ParallelMatchesSequentialOnWorkload) {
+  KnowledgeBase kb = BuildCuratedKb();
+  Rng rng(GetParam());
+  WorkloadConfig config;
+  config.num_sets = 12;
+  auto classes = LargestClasses(kb, 4);
+  ASSERT_FALSE(classes.empty());
+  auto sets = SampleEntitySets(kb, classes, config, &rng);
+  ASSERT_FALSE(sets.empty());
+
+  RemiOptions par;
+  par.num_threads = 4;
+  RemiMiner seq_miner(&kb, RemiOptions{});
+  RemiMiner par_miner(&kb, par);
+  for (const auto& set : sets) {
+    auto a = seq_miner.MineRe(set.entities);
+    auto b = par_miner.MineRe(set.entities);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->found, b->found);
+    if (a->found) {
+      EXPECT_NEAR(a->cost, b->cost, 1e-9);
+      EXPECT_EQ(a->expression, b->expression);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PremiWorkloadTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace remi

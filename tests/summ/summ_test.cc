@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "complexity/pagerank.h"
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "summ/faces_lite.h"
+#include "summ/gold_standard.h"
+#include "summ/linksum_lite.h"
+#include "summ/quality.h"
+#include "summ/remi_summarizer.h"
+
+namespace remi {
+namespace {
+
+class SummTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    pagerank_ = new std::unordered_map<TermId, double>(ComputePageRank(*kb_));
+  }
+  static void TearDownTestSuite() {
+    delete pagerank_;
+    delete kb_;
+    pagerank_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  static KnowledgeBase* kb_;
+  static std::unordered_map<TermId, double>* pagerank_;
+};
+
+KnowledgeBase* SummTest::kb_ = nullptr;
+std::unordered_map<TermId, double>* SummTest::pagerank_ = nullptr;
+
+TEST_F(SummTest, CandidateFactsExcludeTypeLabelAndInverses) {
+  const Summary facts = CandidateFacts(*kb_, Id("Paris"));
+  ASSERT_FALSE(facts.empty());
+  for (const SummaryItem& item : facts) {
+    EXPECT_NE(item.predicate, kb_->type_predicate());
+    EXPECT_NE(item.predicate, kb_->label_predicate());
+    EXPECT_FALSE(kb_->IsInversePredicate(item.predicate));
+  }
+}
+
+TEST_F(SummTest, CandidateFactsAreSortedUnique) {
+  const Summary facts = CandidateFacts(*kb_, Id("France"));
+  EXPECT_TRUE(std::is_sorted(facts.begin(), facts.end()));
+  EXPECT_EQ(std::adjacent_find(facts.begin(), facts.end()), facts.end());
+}
+
+TEST_F(SummTest, QualityPoCountsExactPairOverlap) {
+  Summary s{{1, 10}, {2, 20}};
+  std::vector<Summary> refs{{{1, 10}, {3, 30}}, {{1, 10}, {2, 20}}};
+  // Overlaps: 1 and 2 -> average 1.5.
+  EXPECT_DOUBLE_EQ(QualityPo(s, refs), 1.5);
+}
+
+TEST_F(SummTest, QualityOIgnoresPredicates) {
+  Summary s{{1, 10}};
+  std::vector<Summary> refs{{{9, 10}}};  // same object, other predicate
+  EXPECT_DOUBLE_EQ(QualityO(s, refs), 1.0);
+  EXPECT_DOUBLE_EQ(QualityPo(s, refs), 0.0);
+}
+
+TEST_F(SummTest, QualityEmptyReferences) {
+  EXPECT_DOUBLE_EQ(QualityPo({{1, 10}}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(QualityO({{1, 10}}, {}), 0.0);
+}
+
+TEST_F(SummTest, MergedPrecisionBasics) {
+  Summary s{{1, 10}, {2, 20}};
+  std::vector<Summary> refs{{{1, 10}}, {{3, 20}}};
+  const auto prec = PrecisionVsMergedGold(s, refs);
+  EXPECT_DOUBLE_EQ(prec.pairs, 0.5);       // only (1,10) in union
+  EXPECT_DOUBLE_EQ(prec.objects, 1.0);     // 10 and 20 both appear
+  EXPECT_DOUBLE_EQ(prec.predicates, 0.5);  // 1 yes, 2 no
+}
+
+TEST_F(SummTest, MergedPrecisionEmptySummary) {
+  const auto prec = PrecisionVsMergedGold({}, {{{1, 10}}});
+  EXPECT_DOUBLE_EQ(prec.pairs, 0.0);
+}
+
+TEST_F(SummTest, GoldStandardProducesSevenExperts) {
+  const auto gold = BuildGoldStandard(*kb_, Id("Paris"), {});
+  EXPECT_EQ(gold.top5.size(), 7u);
+  EXPECT_EQ(gold.top10.size(), 7u);
+  for (const Summary& s : gold.top5) EXPECT_LE(s.size(), 5u);
+  for (const Summary& s : gold.top10) EXPECT_LE(s.size(), 10u);
+}
+
+TEST_F(SummTest, GoldStandardTop5IsPrefixOfTop10) {
+  const auto gold = BuildGoldStandard(*kb_, Id("France"), {});
+  for (size_t e = 0; e < gold.top5.size(); ++e) {
+    for (size_t i = 0; i < gold.top5[e].size(); ++i) {
+      EXPECT_EQ(gold.top5[e][i], gold.top10[e][i]);
+    }
+  }
+}
+
+TEST_F(SummTest, GoldStandardIsDeterministic) {
+  const auto a = BuildGoldStandard(*kb_, Id("Paris"), {});
+  const auto b = BuildGoldStandard(*kb_, Id("Paris"), {});
+  for (size_t e = 0; e < a.top10.size(); ++e) {
+    EXPECT_EQ(a.top10[e], b.top10[e]);
+  }
+}
+
+TEST_F(SummTest, GoldStandardExpertsDisagreeSomewhat) {
+  const auto gold = BuildGoldStandard(*kb_, Id("France"), {});
+  bool any_difference = false;
+  for (size_t e = 1; e < gold.top10.size(); ++e) {
+    if (!(gold.top10[e] == gold.top10[0])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "experts should not be clones";
+}
+
+TEST_F(SummTest, GoldStandardPrefersDiversePredicates) {
+  GoldStandardConfig config;
+  config.noise_sigma = 0.0;  // isolate the diversity mechanism
+  const auto gold = BuildGoldStandard(*kb_, Id("Switzerland"), config);
+  // Switzerland has 4 officialLanguage facts; a diversity-aware expert
+  // must not fill the top-5 with them alone.
+  const Summary& top5 = gold.top5[0];
+  size_t official = 0;
+  for (const SummaryItem& item : top5) {
+    if (item.predicate == Id("officialLanguage")) ++official;
+  }
+  EXPECT_LT(official, top5.size());
+}
+
+TEST_F(SummTest, GoldStandardOnEntityWithoutFacts) {
+  const auto gold = BuildGoldStandard(*kb_, Id("Romance"), {});
+  EXPECT_EQ(gold.top5.size(), 7u);  // empty summaries, not a crash
+}
+
+TEST_F(SummTest, FacesRespectsK) {
+  for (size_t k : {1u, 3u, 5u, 10u}) {
+    EXPECT_LE(FacesSummarize(*kb_, Id("France"), k).size(), k);
+  }
+  EXPECT_TRUE(FacesSummarize(*kb_, Id("France"), 0).empty());
+}
+
+TEST_F(SummTest, FacesItemsAreRealFacts) {
+  const Summary s = FacesSummarize(*kb_, Id("France"), 10);
+  ASSERT_FALSE(s.empty());
+  for (const SummaryItem& item : s) {
+    EXPECT_TRUE(kb_->store().Contains(Id("France"), item.predicate,
+                                      item.object));
+  }
+}
+
+TEST_F(SummTest, FacesIsDiversityAware) {
+  // Switzerland: 4 officialLanguage facts but also in/borders facts; the
+  // round-robin must mix clusters in the top 3.
+  const Summary s = FacesSummarize(*kb_, Id("Switzerland"), 3);
+  ASSERT_EQ(s.size(), 3u);
+  size_t official = 0;
+  for (const SummaryItem& item : s) {
+    if (item.predicate == Id("officialLanguage")) ++official;
+  }
+  EXPECT_LE(official, 2u);
+}
+
+TEST_F(SummTest, LinkSumRespectsK) {
+  for (size_t k : {1u, 5u, 10u}) {
+    EXPECT_LE(LinkSumSummarize(*kb_, *pagerank_, Id("France"), k).size(), k);
+  }
+}
+
+TEST_F(SummTest, LinkSumItemsAreRealFacts) {
+  const Summary s = LinkSumSummarize(*kb_, *pagerank_, Id("France"), 10);
+  ASSERT_FALSE(s.empty());
+  for (const SummaryItem& item : s) {
+    EXPECT_TRUE(kb_->store().Contains(Id("France"), item.predicate,
+                                      item.object));
+  }
+}
+
+TEST_F(SummTest, LinkSumPicksOnePredicatePerResource) {
+  const Summary s = LinkSumSummarize(*kb_, *pagerank_, Id("Paris"), 10);
+  std::vector<TermId> objects;
+  for (const SummaryItem& item : s) objects.push_back(item.object);
+  std::sort(objects.begin(), objects.end());
+  EXPECT_EQ(std::adjacent_find(objects.begin(), objects.end()),
+            objects.end());
+}
+
+TEST_F(SummTest, RemiSummarizerUsesStandardLanguage) {
+  RemiMiner miner(kb_, MakeTable3RemiOptions(ProminenceMetric::kFrequency));
+  const Summary s = RemiSummarize(miner, Id("France"), 10);
+  ASSERT_FALSE(s.empty());
+  for (const SummaryItem& item : s) {
+    EXPECT_NE(item.predicate, kb_->type_predicate());
+    EXPECT_FALSE(kb_->IsInversePredicate(item.predicate));
+    EXPECT_TRUE(kb_->store().Contains(Id("France"), item.predicate,
+                                      item.object));
+  }
+}
+
+TEST_F(SummTest, RemiSummaryOrderedByCost) {
+  RemiMiner miner(kb_, MakeTable3RemiOptions(ProminenceMetric::kFrequency));
+  const Summary s = RemiSummarize(miner, Id("France"), 10);
+  const CostModel& model = miner.cost_model();
+  for (size_t i = 1; i < s.size(); ++i) {
+    const double prev = model.SubgraphCost(
+        SubgraphExpression::Atom(s[i - 1].predicate, s[i - 1].object));
+    const double cur = model.SubgraphCost(
+        SubgraphExpression::Atom(s[i].predicate, s[i].object));
+    EXPECT_LE(prev, cur + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,209 @@
+#include "userstudy/user_model.h"
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "userstudy/metrics.h"
+
+namespace remi {
+namespace {
+
+class UserModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kb_ = new KnowledgeBase(BuildCuratedKb());
+    model_ = new CostModel(kb_, CostModelOptions{});
+    panel_ = new SimulatedUserPanel(kb_, model_, UserModelConfig{});
+  }
+  static void TearDownTestSuite() {
+    delete panel_;
+    delete model_;
+    delete kb_;
+    panel_ = nullptr;
+    model_ = nullptr;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+  Expression Atom(const char* p, const char* o) const {
+    return Expression::Top().Conjoin(SubgraphExpression::Atom(Id(p), Id(o)));
+  }
+
+  static KnowledgeBase* kb_;
+  static CostModel* model_;
+  static SimulatedUserPanel* panel_;
+};
+
+KnowledgeBase* UserModelTest::kb_ = nullptr;
+CostModel* UserModelTest::model_ = nullptr;
+SimulatedUserPanel* UserModelTest::panel_ = nullptr;
+
+TEST_F(UserModelTest, PerceptionIsDeterministicPerUser) {
+  const Expression e = Atom("capitalOf", "France");
+  EXPECT_DOUBLE_EQ(panel_->PerceivedComplexity(3, e),
+                   panel_->PerceivedComplexity(3, e));
+}
+
+TEST_F(UserModelTest, UsersDiffer) {
+  const Expression e = Atom("capitalOf", "France");
+  EXPECT_NE(panel_->PerceivedComplexity(0, e),
+            panel_->PerceivedComplexity(1, e));
+}
+
+TEST_F(UserModelTest, TypeAtomsGetPreferentialTreatment) {
+  // Averaged over the panel, a type atom must be perceived simpler than
+  // its Ĉ suggests relative to a non-type atom of equal model cost.
+  UserModelConfig no_noise;
+  no_noise.noise_sigma = 0.0;
+  SimulatedUserPanel quiet(kb_, model_, no_noise);
+  Expression type_expr = Expression::Top().Conjoin(SubgraphExpression::Atom(
+      kb_->type_predicate(), Id("City")));
+  const double perceived = quiet.PerceivedComplexity(0, type_expr);
+  const double model_cost = model_->Cost(type_expr);
+  EXPECT_LT(perceived, model_cost + 1e-9);
+}
+
+TEST_F(UserModelTest, LongerExpressionsReadHarder) {
+  UserModelConfig no_noise;
+  no_noise.noise_sigma = 0.0;
+  no_noise.type_preference_bonus = 0.0;
+  SimulatedUserPanel quiet(kb_, model_, no_noise);
+  const Expression short_e = Atom("capitalOf", "France");
+  const Expression long_e =
+      short_e.Conjoin(SubgraphExpression::Atom(Id("cityIn"), Id("France")));
+  // The model cost of the conjunction is higher already; the panel adds a
+  // further per-atom penalty on top.
+  const double gap_model = model_->Cost(long_e) - model_->Cost(short_e);
+  const double gap_user = quiet.PerceivedComplexity(0, long_e) -
+                          quiet.PerceivedComplexity(0, short_e);
+  EXPECT_GT(gap_user, gap_model);
+}
+
+TEST_F(UserModelTest, ExistentialVariablesReadHarder) {
+  UserModelConfig no_noise;
+  no_noise.noise_sigma = 0.0;
+  no_noise.type_preference_bonus = 0.0;
+  no_noise.atom_penalty = 0.0;
+  SimulatedUserPanel quiet(kb_, model_, no_noise);
+  Expression path = Expression::Top().Conjoin(SubgraphExpression::Path(
+      Id("mayor"), Id("party"), Id("Socialist_Party")));
+  const double gap = quiet.PerceivedComplexity(0, path) - model_->Cost(path);
+  EXPECT_NEAR(gap, no_noise.existential_penalty, 1e-9);
+}
+
+TEST_F(UserModelTest, RankBySimplicityIsAPermutation) {
+  std::vector<Expression> candidates{
+      Atom("capitalOf", "France"),
+      Atom("placeOf", "Epitech"),
+      Atom("cityIn", "France"),
+  };
+  const auto order = panel_->RankBySimplicity(0, candidates);
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST_F(UserModelTest, RankingFollowsPerceivedComplexity) {
+  std::vector<Expression> candidates{
+      Atom("capitalOf", "France"),
+      Atom("placeOf", "Epitech"),
+      Atom("mayor", "Anne_Hidalgo"),
+  };
+  const auto order = panel_->RankBySimplicity(5, candidates);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(panel_->PerceivedComplexity(5, candidates[order[i - 1]]),
+              panel_->PerceivedComplexity(5, candidates[order[i]]));
+  }
+}
+
+TEST_F(UserModelTest, PreferBetweenMatchesComplexities) {
+  const Expression a = Atom("capitalOf", "France");
+  const Expression b = Atom("mayor", "Anne_Hidalgo");
+  const size_t pick = panel_->PreferBetween(2, a, b);
+  const bool a_simpler = panel_->PerceivedComplexity(2, a) <=
+                         panel_->PerceivedComplexity(2, b);
+  EXPECT_EQ(pick, a_simpler ? 0u : 1u);
+}
+
+TEST_F(UserModelTest, InterestingnessWithinLikertRange) {
+  const Expression exprs[] = {
+      Atom("capitalOf", "France"),
+      Atom("mayor", "Anne_Hidalgo"),
+      Atom("diedOf", "Aplastic_Anemia"),
+  };
+  for (size_t u = 0; u < panel_->num_users(); ++u) {
+    for (const auto& e : exprs) {
+      const int score = panel_->InterestingnessScore(u, e);
+      EXPECT_GE(score, 1);
+      EXPECT_LE(score, 5);
+    }
+  }
+}
+
+TEST_F(UserModelTest, CheapExpressionsScoreHigherOnAverage) {
+  UserModelConfig config;
+  config.noise_sigma = 0.5;
+  SimulatedUserPanel panel(kb_, model_, config);
+  const Expression cheap = Atom("capitalOf", "France");
+  // An expensive unique-literal-ish expression: a rare inverse atom.
+  const TermId resting_inv = kb_->InverseOf(Id("restingPlace"));
+  double cheap_sum = 0, costly_sum = 0;
+  int costly_count = 0;
+  for (size_t u = 0; u < panel.num_users(); ++u) {
+    cheap_sum += panel.InterestingnessScore(u, cheap);
+    if (resting_inv != kNullTerm) {
+      Expression costly = Expression::Top().Conjoin(
+          SubgraphExpression::Atom(resting_inv, Id("Victor_Hugo")));
+      costly_sum += panel.InterestingnessScore(u, costly);
+      ++costly_count;
+    }
+  }
+  if (costly_count > 0) {
+    EXPECT_GT(cheap_sum / static_cast<double>(panel.num_users()),
+              costly_sum / static_cast<double>(costly_count));
+  }
+}
+
+TEST(MetricsTest, PrecisionAtKBasics) {
+  std::vector<size_t> model{0, 1, 2, 3};
+  std::vector<size_t> user{1, 0, 3, 2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(model, user, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(model, user, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(model, user, 4), 1.0);
+}
+
+TEST(MetricsTest, PrecisionAtKPartialOverlap) {
+  std::vector<size_t> model{0, 1, 2};
+  std::vector<size_t> user{0, 3, 4};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(model, user, 3), 1.0 / 3.0);
+}
+
+TEST(MetricsTest, PrecisionAtKZeroK) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0}, {0}, 0), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionSingleRelevant) {
+  std::vector<size_t> user{7, 3, 9};
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingleRelevant(7, user), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingleRelevant(3, user), 0.5);
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingleRelevant(9, user), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingleRelevant(42, user), 0.0);
+}
+
+TEST(MetricsTest, MeanStdBasics) {
+  const auto ms = ComputeMeanStd({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);
+  EXPECT_EQ(ms.n, 8u);
+}
+
+TEST(MetricsTest, MeanStdEmpty) {
+  const auto ms = ComputeMeanStd({});
+  EXPECT_EQ(ms.n, 0u);
+  EXPECT_DOUBLE_EQ(ms.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace remi

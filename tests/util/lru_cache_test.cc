@@ -1,0 +1,99 @@
+#include "util/lru_cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(LruCacheTest, GetMissOnEmpty) {
+  LruCache<int, int> cache(4);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCacheTest, OverwriteUpdatesValue) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Put(1, 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get(1), 20);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(3, 3);  // evicts 1
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 becomes most recent
+  cache.Put(3, 3);                        // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, OverwriteRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(1, 11);  // 1 most recent
+  cache.Put(3, 3);   // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(LruCacheTest, ClearResetsEverything) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  (void)cache.Get(1);
+  (void)cache.Get(2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(LruCacheTest, ContainsDoesNotRefreshRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_TRUE(cache.Contains(1));  // must NOT refresh
+  cache.Put(3, 3);                 // evicts 1 (still least recent)
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(LruCacheTest, StressAgainstCapacityInvariant) {
+  LruCache<int, int> cache(16);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put(i % 37, i);
+    EXPECT_LE(cache.size(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,99 @@
+#include "util/powerlaw.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 2x + 1
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, SizeMismatchFails) {
+  EXPECT_FALSE(FitLinear({1, 2}, {1}).ok());
+}
+
+TEST(FitLinearTest, TooFewPointsFails) {
+  EXPECT_FALSE(FitLinear({1}, {1}).ok());
+}
+
+TEST(FitLinearTest, ConstantYHasPerfectFit) {
+  auto fit = FitLinear({1, 2, 3}, {5, 5, 5});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, ConstantXFallsBackToMean) {
+  auto fit = FitLinear({2, 2, 2}, {1, 2, 3});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 2.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyDataR2Below1) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 1.0 : -1.0) * 5.0);
+  }
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->r2, 0.5);
+  EXPECT_LT(fit->r2, 1.0);
+}
+
+// A perfect Zipf ranking: freq(k) = C * k^-alpha. Eq. 1 must recover alpha
+// with R^2 = 1.
+TEST(FitPowerLawTest, ExactZipfRecoversAlpha) {
+  const double alpha = 1.3;
+  std::vector<double> freqs;
+  for (size_t k = 1; k <= 200; ++k) {
+    freqs.push_back(1e6 * std::pow(static_cast<double>(k), -alpha));
+  }
+  auto coeff = FitPowerLaw(freqs);
+  // log2(rank) = -(1/alpha) log2(freq) + const, so fitted alpha = 1/1.3.
+  EXPECT_NEAR(coeff.alpha, 1.0 / alpha, 1e-6);
+  EXPECT_NEAR(coeff.r2, 1.0, 1e-9);
+}
+
+TEST(FitPowerLawTest, EstimateBitsDecreasesWithFrequency) {
+  std::vector<double> freqs;
+  for (size_t k = 1; k <= 100; ++k) {
+    freqs.push_back(1000.0 / static_cast<double>(k));
+  }
+  auto coeff = FitPowerLaw(freqs);
+  EXPECT_LT(coeff.EstimateBits(1000.0), coeff.EstimateBits(10.0));
+  EXPECT_LT(coeff.EstimateBits(10.0), coeff.EstimateBits(1.0));
+}
+
+TEST(FitPowerLawTest, EstimateBitsNeverNegative) {
+  std::vector<double> freqs{1e9, 1e6, 1e3, 10, 1};
+  auto coeff = FitPowerLaw(freqs);
+  EXPECT_GE(coeff.EstimateBits(1e12), 0.0);
+  EXPECT_GE(coeff.EstimateBits(0.5), 0.0);  // clamped below freq 1
+}
+
+TEST(FitPowerLawTest, SingletonRankingCostsZeroBits) {
+  auto coeff = FitPowerLaw({42.0});
+  EXPECT_EQ(coeff.alpha, 0.0);
+  EXPECT_EQ(coeff.EstimateBits(42.0), 0.0);
+  EXPECT_EQ(coeff.r2, 1.0);
+}
+
+TEST(FitPowerLawTest, EmptyRankingIsBenign) {
+  auto coeff = FitPowerLaw({});
+  EXPECT_EQ(coeff.n, 0u);
+  EXPECT_EQ(coeff.EstimateBits(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,149 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(5);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextBoolFrequencyMatchesP) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(8);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double sum = 0;
+  for (size_t k = 1; k <= 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 0.9);
+  for (size_t k = 2; k <= 50; ++k) {
+    EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfSamplerTest, SamplesInRange) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const size_t k = zipf.Sample(&rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 20u);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesTrackPmf) {
+  const size_t n = 10;
+  ZipfSampler zipf(n, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(n + 1, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, zipf.Pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, SingleRank) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(12);
+  EXPECT_EQ(zipf.Sample(&rng), 1u);
+  EXPECT_NEAR(zipf.Pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,57 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(TimerTest, ElapsedIncreasesMonotonically) {
+  Timer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleeps) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, ZeroSecondsExpiresImmediately) {
+  Deadline deadline = Deadline::AfterSeconds(0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline deadline = Deadline::AfterSeconds(60);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterItsDuration) {
+  Deadline deadline = Deadline::AfterSeconds(0.02);
+  EXPECT_FALSE(deadline.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(deadline.Expired());
+}
+
+}  // namespace
+}  // namespace remi

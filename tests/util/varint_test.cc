@@ -1,0 +1,110 @@
+#include "util/varint.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(VarintTest, RoundTripSmallValues) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 255ull, 300ull, 16383ull,
+                     16384ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    auto decoded = GetVarint64(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripMaxValue) {
+  std::string buf;
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+  size_t pos = 0;
+  auto decoded = GetVarint64(buf, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(VarintTest, EncodingLengths) {
+  const struct {
+    uint64_t value;
+    size_t length;
+  } kCases[] = {{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}};
+  for (const auto& c : kCases) {
+    std::string buf;
+    PutVarint64(&buf, c.value);
+    EXPECT_EQ(buf.size(), c.length) << c.value;
+  }
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  buf.pop_back();
+  size_t pos = 0;
+  auto decoded = GetVarint64(buf, &pos);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(VarintTest, OverlongInputIsCorruption) {
+  std::string buf(11, static_cast<char>(0x80));
+  size_t pos = 0;
+  auto decoded = GetVarint64(buf, &pos);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(VarintTest, SequentialDecoding) {
+  std::string buf;
+  PutVarint64(&buf, 7);
+  PutVarint64(&buf, 70000);
+  PutVarint64(&buf, 3);
+  size_t pos = 0;
+  EXPECT_EQ(*GetVarint64(buf, &pos), 7u);
+  EXPECT_EQ(*GetVarint64(buf, &pos), 70000u);
+  EXPECT_EQ(*GetVarint64(buf, &pos), 3u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint32Test, RejectsValuesAbove32Bits) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  size_t pos = 0;
+  auto decoded = GetVarint32(buf, &pos);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+  EXPECT_EQ(pos, 0u);  // offset untouched on failure
+}
+
+TEST(Varint32Test, RoundTrip) {
+  std::string buf;
+  PutVarint32(&buf, 4294967295u);
+  size_t pos = 0;
+  EXPECT_EQ(*GetVarint32(buf, &pos), 4294967295u);
+}
+
+TEST(LengthPrefixedTest, RoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string("a\0b", 3));
+  size_t pos = 0;
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), "hello");
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), "");
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), std::string("a\0b", 3));
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadIsCorruption) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  size_t pos = 0;
+  EXPECT_TRUE(GetLengthPrefixed(buf, &pos).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace remi

@@ -1,0 +1,244 @@
+// remi — command-line front end to the library.
+//
+// Subcommands:
+//   remi stats <kb>                          KB statistics
+//   remi convert <in> <out>                  N-Triples <-> RKF conversion
+//   remi mine <kb> --targets <iri[,iri...]>  mine the most intuitive RE
+//   remi summarize <kb> --entity <iri>       top-k intuitive atoms
+//
+// <kb> is an N-Triples file (.nt) or an RKF file (.rkf); targets accept
+// full IRIs or unique IRI suffixes (e.g. "Paris" matches
+// <http://dbpedia.org/resource/Paris> if unambiguous).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "nlg/verbalizer.h"
+#include "rdf/ntriples.h"
+#include "rdf/rkf.h"
+#include "remi/remi.h"
+#include "summ/remi_summarizer.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using remi::Result;
+using remi::Status;
+
+Result<remi::KnowledgeBase> LoadKb(const std::string& path,
+                                   double inverse_fraction) {
+  remi::KbOptions options;
+  options.inverse_top_fraction = inverse_fraction;
+  if (remi::EndsWith(path, ".rkf")) {
+    auto data = remi::ReadRkfFile(path);
+    if (!data.ok()) return data.status();
+    return remi::KnowledgeBase::Build(std::move(data->dict),
+                                      std::move(data->triples), options);
+  }
+  remi::Dictionary dict;
+  remi::NTriplesParser parser(&dict, /*lenient=*/true);
+  auto triples = parser.ParseFile(path);
+  if (!triples.ok()) return triples.status();
+  if (parser.skipped_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 parser.skipped_lines());
+  }
+  return remi::KnowledgeBase::Build(std::move(dict), std::move(*triples),
+                                    options);
+}
+
+/// Resolves a full IRI or an unambiguous IRI suffix to an entity id.
+Result<remi::TermId> ResolveEntity(const remi::KnowledgeBase& kb,
+                                   const std::string& name) {
+  auto exact = kb.dict().Lookup(remi::TermKind::kIri, name);
+  if (exact.ok()) return *exact;
+  remi::TermId match = remi::kNullTerm;
+  size_t hits = 0;
+  for (remi::TermId id = 0; id < kb.dict().size(); ++id) {
+    if (kb.dict().kind(id) != remi::TermKind::kIri) continue;
+    if (!kb.IsEntity(id)) continue;
+    const std::string& lex = kb.dict().lexical(id);
+    if (remi::EndsWith(lex, name) &&
+        (lex.size() == name.size() ||
+         lex[lex.size() - name.size() - 1] == '/' ||
+         lex[lex.size() - name.size() - 1] == '#')) {
+      match = id;
+      ++hits;
+    }
+  }
+  if (hits == 1) return match;
+  if (hits == 0) return Status::NotFound("no entity matches '" + name + "'");
+  return Status::InvalidArgument("'" + name + "' is ambiguous (" +
+                                 std::to_string(hits) + " matches)");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdStats(const std::string& path, const remi::Flags& flags) {
+  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  if (!kb.ok()) return Fail(kb.status());
+  std::printf("facts        : %zu (%zu base + %zu inverse)\n",
+              kb->NumFacts(), kb->NumBaseFacts(),
+              kb->NumFacts() - kb->NumBaseFacts());
+  std::printf("entities     : %zu\n", kb->NumEntities());
+  std::printf("predicates   : %zu\n", kb->NumPredicates());
+  std::printf("classes      : %zu\n", kb->classes().size());
+  std::printf("dictionary   : %zu terms\n", kb->dict().size());
+  std::printf("top entities :");
+  const auto& order = kb->EntitiesByProminence();
+  for (size_t i = 0; i < order.size() && i < 5; ++i) {
+    std::printf(" %s(%llu)", kb->Label(order[i]).c_str(),
+                static_cast<unsigned long long>(
+                    kb->EntityFrequency(order[i])));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdConvert(const std::string& in_path, const std::string& out_path) {
+  remi::Dictionary dict;
+  std::vector<remi::Triple> triples;
+  if (remi::EndsWith(in_path, ".rkf")) {
+    auto data = remi::ReadRkfFile(in_path);
+    if (!data.ok()) return Fail(data.status());
+    dict = std::move(data->dict);
+    triples = std::move(data->triples);
+  } else {
+    remi::NTriplesParser parser(&dict, /*lenient=*/true);
+    auto parsed = parser.ParseFile(in_path);
+    if (!parsed.ok()) return Fail(parsed.status());
+    triples = std::move(*parsed);
+  }
+  if (remi::EndsWith(out_path, ".rkf")) {
+    auto status = remi::WriteRkfFile(dict, std::move(triples), out_path);
+    if (!status.ok()) return Fail(status);
+  } else {
+    const std::string doc = remi::WriteNTriples(dict, triples);
+    FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) return Fail(Status::IoError("cannot open " + out_path));
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+  }
+  std::printf("wrote %s (%zu triples)\n", out_path.c_str(), triples.size());
+  return 0;
+}
+
+int CmdMine(const std::string& path, const remi::Flags& flags) {
+  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  if (!kb.ok()) return Fail(kb.status());
+
+  std::vector<remi::TermId> targets;
+  for (const std::string& name :
+       remi::SplitString(flags.GetString("targets"), ',')) {
+    if (name.empty()) continue;
+    auto id = ResolveEntity(*kb, name);
+    if (!id.ok()) return Fail(id.status());
+    targets.push_back(*id);
+  }
+  if (targets.empty()) {
+    return Fail(Status::InvalidArgument("--targets is required"));
+  }
+
+  remi::RemiOptions options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.timeout_seconds = flags.GetDouble("timeout");
+  options.cost.metric = flags.GetString("metric") == "pr"
+                            ? remi::ProminenceMetric::kPageRank
+                            : remi::ProminenceMetric::kFrequency;
+  options.enumerator.extended_language = !flags.GetBool("standard");
+  remi::RemiMiner miner(&*kb, options);
+
+  remi::Timer timer;
+  auto result = miner.MineReWithExceptions(
+      targets, static_cast<size_t>(flags.GetInt("exceptions")));
+  if (!result.ok()) return Fail(result.status());
+  if (!result->found) {
+    std::printf("no referring expression exists for this set%s\n",
+                result->timed_out ? " (timed out)" : "");
+    return 2;
+  }
+  remi::Verbalizer verbalizer(&*kb);
+  std::printf("expression : %s\n",
+              result->expression.ToString(kb->dict()).c_str());
+  std::printf("complexity : %.3f bits (Ĉ%s)\n", result->cost,
+              flags.GetString("metric").c_str());
+  std::printf("verbalized : %s\n",
+              verbalizer.Sentence(result->expression).c_str());
+  if (!result->exceptions.empty()) {
+    std::printf("exceptions :");
+    for (const remi::TermId e : result->exceptions) {
+      std::printf(" %s", kb->Label(e).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("search     : |G|=%zu, %llu nodes, %s\n",
+              result->stats.num_common_subgraphs,
+              static_cast<unsigned long long>(result->stats.nodes_visited),
+              remi::FormatSeconds(timer.ElapsedSeconds()).c_str());
+  return 0;
+}
+
+int CmdSummarize(const std::string& path, const remi::Flags& flags) {
+  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  if (!kb.ok()) return Fail(kb.status());
+  auto entity = ResolveEntity(*kb, flags.GetString("entity"));
+  if (!entity.ok()) return Fail(entity.status());
+
+  remi::RemiMiner miner(
+      &*kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kFrequency));
+  const auto summary = remi::RemiSummarize(
+      miner, *entity, static_cast<size_t>(flags.GetInt("k")));
+  std::printf("summary of %s:\n", kb->Label(*entity).c_str());
+  for (const auto& item : summary) {
+    std::printf("  %s = %s\n", kb->Label(item.predicate).c_str(),
+                kb->Label(item.object).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineString("targets", "", "comma-separated entities (mine)");
+  flags.DefineString("entity", "", "entity to summarize (summarize)");
+  flags.DefineString("metric", "fr", "prominence metric: fr | pr");
+  flags.DefineInt("threads", 1, "worker threads (>1 = P-REMI)");
+  flags.DefineInt("k", 5, "summary size (summarize)");
+  flags.DefineInt("exceptions", 0, "allowed non-target matches (mine)");
+  flags.DefineDouble("timeout", 0.0, "mining timeout in seconds");
+  flags.DefineDouble("inverse-fraction", 0.01,
+                     "inverse materialization fraction (paper: 0.01)");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  const auto& args = flags.positional();
+  if (args.empty()) {
+    std::printf(
+        "usage: remi <stats|convert|mine|summarize> <kb> [args]\n\n%s",
+        flags.Help().c_str());
+    return 1;
+  }
+  const std::string& command = args[0];
+  if (command == "stats" && args.size() == 2) {
+    return CmdStats(args[1], flags);
+  }
+  if (command == "convert" && args.size() == 3) {
+    return CmdConvert(args[1], args[2]);
+  }
+  if (command == "mine" && args.size() == 2) {
+    return CmdMine(args[1], flags);
+  }
+  if (command == "summarize" && args.size() == 2) {
+    return CmdSummarize(args[1], flags);
+  }
+  std::fprintf(stderr, "unknown or malformed command\n");
+  return 1;
+}
