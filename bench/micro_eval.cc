@@ -79,6 +79,26 @@ void BM_EvalCached(benchmark::State& state) {
 }
 BENCHMARK(BM_EvalCached);
 
+void BM_EvalConjunction(benchmark::State& state) {
+  // Two-part conjunction: exercises EntitySet intersection of cached
+  // match sets, the DFS's hot operation.
+  const KnowledgeBase& kb = Curated();
+  Evaluator eval(&kb, 1024);
+  const Expression expr =
+      Expression::Top()
+          .Conjoin(SubgraphExpression::Atom(Id(kb, "in"),
+                                            Id(kb, "South_America")))
+          .Conjoin(SubgraphExpression::Path(Id(kb, "officialLanguage"),
+                                            Id(kb, "langFamily"),
+                                            Id(kb, "Germanic")));
+  (void)eval.Evaluate(expr);  // warm the part cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(expr).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalConjunction);
+
 void BM_MembershipTest(benchmark::State& state) {
   const KnowledgeBase& kb = Curated();
   Evaluator eval(&kb, 0);

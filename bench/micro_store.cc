@@ -1,9 +1,16 @@
-// Microbenchmarks of the storage substrate: dictionary interning, triple
-// store lookups, N-Triples parsing, and the RKF codec.
+// Microbenchmarks of the storage substrate: dictionary interning, CSR
+// triple store lookups, EntitySet intersections, N-Triples parsing, and
+// the RKF codec.
+//
+// The lookup and intersection numbers feed BENCH_store.json (see
+// README.md): run with
+//   bench_micro_store --benchmark_out=BENCH_store.json \
+//                     --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
 #include "kbgen/synthetic.h"
+#include "query/entity_set.h"
 #include "rdf/ntriples.h"
 #include "rdf/rkf.h"
 #include "util/random.h"
@@ -81,6 +88,104 @@ void BM_StoreByPredicateObject(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StoreByPredicateObject);
+
+void BM_StoreByPredicateSubject(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const auto& pso = kb.store().pso();
+  Rng rng(9);
+  std::vector<Triple> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(pso[rng.NextBounded(pso.size())]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& probe = probes[i++ % probes.size()];
+    benchmark::DoNotOptimize(
+        kb.store().ByPredicateSubject(probe.p, probe.s).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreByPredicateSubject);
+
+void BM_StoreSubjectDegree(benchmark::State& state) {
+  const KnowledgeBase& kb = SmallKb();
+  const auto& subjects = kb.store().subjects();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kb.store().SubjectDegree(subjects[i++ % subjects.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreSubjectDegree);
+
+// --- EntitySet intersection throughput -------------------------------------
+
+// Builds the match set of one predicate's subjects, as the evaluator would.
+EntitySet SubjectsOf(const KnowledgeBase& kb, TermId p) {
+  std::vector<TermId> ids;
+  for (const TermId s : kb.store().DistinctSubjectsOf(p)) ids.push_back(s);
+  return EntitySet::FromSorted(std::move(ids), kb.dict().size());
+}
+
+void BM_EntitySetIntersectSparse(benchmark::State& state) {
+  // Two sparse sets: sorted-vector representations, merge/gallop path.
+  const KnowledgeBase& kb = SmallKb();
+  Rng rng(11);
+  std::vector<TermId> a_ids, b_ids;
+  const auto& subjects = kb.store().subjects();
+  for (int i = 0; i < 64; ++i) {
+    a_ids.push_back(subjects[rng.NextBounded(subjects.size())]);
+    b_ids.push_back(subjects[rng.NextBounded(subjects.size())]);
+  }
+  const EntitySet a = EntitySet::FromUnsorted(a_ids, kb.dict().size());
+  const EntitySet b = EntitySet::FromUnsorted(b_ids, kb.dict().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_EntitySetIntersectSparse);
+
+void BM_EntitySetIntersectDense(benchmark::State& state) {
+  // The two most frequent predicates' subject sets: bitmap AND path.
+  const KnowledgeBase& kb = SmallKb();
+  std::vector<TermId> preds = kb.store().predicates();
+  std::sort(preds.begin(), preds.end(), [&kb](TermId x, TermId y) {
+    return kb.store().CountPredicate(x) > kb.store().CountPredicate(y);
+  });
+  const EntitySet a = SubjectsOf(kb, preds[0]);
+  const EntitySet b = SubjectsOf(kb, preds[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_EntitySetIntersectDense);
+
+void BM_EntitySetIntersectSkewed(benchmark::State& state) {
+  // A tiny set against the densest subject set: gallop / bitmap filter.
+  const KnowledgeBase& kb = SmallKb();
+  std::vector<TermId> preds = kb.store().predicates();
+  std::sort(preds.begin(), preds.end(), [&kb](TermId x, TermId y) {
+    return kb.store().CountPredicate(x) > kb.store().CountPredicate(y);
+  });
+  const EntitySet big = SubjectsOf(kb, preds[0]);
+  Rng rng(13);
+  std::vector<TermId> small_ids;
+  const auto& subjects = kb.store().subjects();
+  for (int i = 0; i < 4; ++i) {
+    small_ids.push_back(subjects[rng.NextBounded(subjects.size())]);
+  }
+  const EntitySet small = EntitySet::FromUnsorted(small_ids, kb.dict().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Intersect(big).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EntitySetIntersectSkewed);
 
 void BM_StoreContains(benchmark::State& state) {
   const KnowledgeBase& kb = SmallKb();

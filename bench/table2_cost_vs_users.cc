@@ -166,7 +166,6 @@ int main(int argc, char** argv) {
       if (!ranked.ok()) continue;
       std::vector<remi::Expression> candidates{result->expression};
       remi::MatchSet targets(set.entities.begin(), set.entities.end());
-      std::sort(targets.begin(), targets.end());
       for (size_t i = 0; i < ranked->size() && candidates.size() < 5; ++i) {
         remi::Expression candidate =
             remi::Expression::Top().Conjoin((*ranked)[i].expression);

@@ -82,7 +82,6 @@ int main(int argc, char** argv) {
   const std::vector<remi::TermId> targets_vec{
       *remi::FindEntity(kb, "Rennes"), *remi::FindEntity(kb, "Nantes")};
   remi::MatchSet targets(targets_vec.begin(), targets_vec.end());
-  std::sort(targets.begin(), targets.end());
 
   auto ranked = miner.RankedCommonSubgraphs(targets_vec);
   REMI_CHECK_OK(ranked.status());

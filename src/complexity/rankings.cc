@@ -118,22 +118,6 @@ RankingService::BuildPredicateRanking(
   return ranking;
 }
 
-std::vector<TermId> RankingService::DistinctObjects(TermId p) const {
-  std::vector<TermId> out;
-  for (const Triple& t : kb_->store().ByPredicateObjectOrder(p)) {
-    if (out.empty() || out.back() != t.o) out.push_back(t.o);
-  }
-  return out;
-}
-
-std::vector<TermId> RankingService::DistinctSubjects(TermId p) const {
-  std::vector<TermId> out;
-  for (const Triple& t : kb_->store().ByPredicate(p)) {
-    if (out.empty() || out.back() != t.s) out.push_back(t.s);
-  }
-  return out;
-}
-
 std::shared_ptr<const ConditionalRanking> RankingService::ObjectsOfPredicate(
     TermId p) const {
   {
@@ -141,10 +125,12 @@ std::shared_ptr<const ConditionalRanking> RankingService::ObjectsOfPredicate(
     auto it = objects_of_predicate_.find(p);
     if (it != objects_of_predicate_.end()) return it->second;
   }
-  // Conditional frequency fr(I|p): number of facts p(s, I).
+  // Conditional frequency fr(I|p): number of facts p(s, I), read straight
+  // off the per-predicate CSR degree table.
+  const TripleStore& store = kb_->store();
   std::unordered_map<TermId, uint64_t> cond_freq;
-  for (const Triple& t : kb_->store().ByPredicateObjectOrder(p)) {
-    ++cond_freq[t.o];
+  for (const TermId o : store.DistinctObjectsOf(p)) {
+    cond_freq[o] = store.CountPredicateObject(p, o);
   }
   auto ranking = BuildEntityRanking(std::move(cond_freq));
   std::lock_guard<std::mutex> lock(mu_);
@@ -159,9 +145,10 @@ std::shared_ptr<const ConditionalRanking> RankingService::SubjectsOfPredicate(
     auto it = subjects_of_predicate_.find(p);
     if (it != subjects_of_predicate_.end()) return it->second;
   }
+  const TripleStore& store = kb_->store();
   std::unordered_map<TermId, uint64_t> cond_freq;
-  for (const Triple& t : kb_->store().ByPredicate(p)) {
-    ++cond_freq[t.s];
+  for (const TermId s : store.DistinctSubjectsOf(p)) {
+    cond_freq[s] = store.CountPredicateSubject(p, s);
   }
   auto ranking = BuildEntityRanking(std::move(cond_freq));
   std::lock_guard<std::mutex> lock(mu_);
@@ -178,7 +165,7 @@ RankingService::ObjectJoinPredicates(TermId p) const {
   }
   // Count facts q(y, ·) whose subject y is an object of p.
   std::unordered_map<TermId, uint64_t> counts;
-  for (const TermId y : DistinctObjects(p)) {
+  for (const TermId y : kb_->store().DistinctObjectsOf(p)) {
     for (const Triple& t : kb_->store().BySubject(y)) {
       ++counts[t.p];
     }
@@ -198,7 +185,7 @@ RankingService::SubjectJoinPredicates(TermId p) const {
   }
   // Count facts q(s, ·) whose subject s is also a subject of p.
   std::unordered_map<TermId, uint64_t> counts;
-  for (const TermId s : DistinctSubjects(p)) {
+  for (const TermId s : kb_->store().DistinctSubjectsOf(p)) {
     for (const Triple& t : kb_->store().BySubject(s)) {
       ++counts[t.p];
     }
@@ -218,7 +205,7 @@ std::shared_ptr<const ConditionalRanking> RankingService::PathObjects(
   }
   // Bindings of z in p0(x,y) ∧ p1(y,z), weighted by (y,z) pair counts.
   std::unordered_map<TermId, uint64_t> cond_freq;
-  for (const TermId y : DistinctObjects(p0)) {
+  for (const TermId y : kb_->store().DistinctObjectsOf(p0)) {
     for (const Triple& t : kb_->store().ByPredicateSubject(p1, y)) {
       ++cond_freq[t.o];
     }

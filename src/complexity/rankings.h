@@ -114,11 +114,6 @@ class RankingService {
   std::shared_ptr<const ConditionalRanking> BuildPredicateRanking(
       std::unordered_map<TermId, uint64_t> counts) const;
 
-  /// Distinct objects of predicate p.
-  std::vector<TermId> DistinctObjects(TermId p) const;
-  /// Distinct subjects of predicate p.
-  std::vector<TermId> DistinctSubjects(TermId p) const;
-
   const KnowledgeBase* kb_;
   const ProminenceProvider* prominence_;
 

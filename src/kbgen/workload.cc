@@ -35,11 +35,11 @@ std::vector<TermId> LargestClasses(const KnowledgeBase& kb, size_t count,
   return out;
 }
 
-std::vector<EntitySet> SampleEntitySets(const KnowledgeBase& kb,
+std::vector<TargetSet> SampleEntitySets(const KnowledgeBase& kb,
                                         const std::vector<TermId>& classes,
                                         const WorkloadConfig& config,
                                         Rng* rng) {
-  std::vector<EntitySet> sets;
+  std::vector<TargetSet> sets;
   if (classes.empty() || config.num_sets == 0) return sets;
 
   // Candidate pools per class (top fraction by prominence).
@@ -73,7 +73,7 @@ std::vector<EntitySet> SampleEntitySets(const KnowledgeBase& kb,
   for (size_t i = 0; i < config.num_sets; ++i) {
     const size_t set_size = sizes[i];
     // Round-robin over classes, skipping pools that are too small.
-    EntitySet set;
+    TargetSet set;
     for (size_t attempt = 0; attempt < classes.size(); ++attempt) {
       const size_t c = (i + attempt) % classes.size();
       if (pools[c].size() < set_size) continue;

@@ -16,8 +16,9 @@
 
 namespace remi {
 
-/// One sampled target set (all entities share `cls`).
-struct EntitySet {
+/// One sampled target set (all entities share `cls`). Named TargetSet to
+/// keep it distinct from query::EntitySet, the match-set representation.
+struct TargetSet {
   std::vector<TermId> entities;
   TermId cls = kNullTerm;
 };
@@ -46,7 +47,7 @@ std::vector<TermId> LargestClasses(const KnowledgeBase& kb, size_t count,
 
 /// Samples entity sets per the workload configuration; classes are drawn
 /// round-robin from `classes`. Deterministic in `*rng`.
-std::vector<EntitySet> SampleEntitySets(const KnowledgeBase& kb,
+std::vector<TargetSet> SampleEntitySets(const KnowledgeBase& kb,
                                         const std::vector<TermId>& classes,
                                         const WorkloadConfig& config,
                                         Rng* rng);

@@ -1,0 +1,228 @@
+#include "query/entity_set.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace remi {
+
+namespace {
+
+/// Galloping pays once one side is an order of magnitude smaller.
+constexpr size_t kGallopRatio = 16;
+
+std::vector<TermId> IntersectVectors(const std::vector<TermId>& a,
+                                     const std::vector<TermId>& b) {
+  const std::vector<TermId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<TermId>& large = a.size() <= b.size() ? b : a;
+  std::vector<TermId> out;
+  out.reserve(small.size());
+  if (small.size() * kGallopRatio < large.size()) {
+    // Galloping: binary-search each element of the small side in the
+    // not-yet-consumed suffix of the large side.
+    auto it = large.begin();
+    for (const TermId id : small) {
+      it = std::lower_bound(it, large.end(), id);
+      if (it == large.end()) break;
+      if (*it == id) out.push_back(id);
+    }
+  } else {
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+}  // namespace
+
+EntitySet::EntitySet(std::initializer_list<TermId> ids)
+    : EntitySet(FromUnsorted(std::vector<TermId>(ids), 0)) {}
+
+EntitySet EntitySet::FromSorted(std::vector<TermId> sorted_unique,
+                                size_t universe) {
+  EntitySet set;
+  set.ids_ = std::move(sorted_unique);
+  set.size_ = set.ids_.size();
+  set.universe_ = universe;
+  if (!set.ids_.empty() && set.ids_.back() >= set.universe_) {
+    set.universe_ = static_cast<size_t>(set.ids_.back()) + 1;
+  }
+  set.Adapt();
+  return set;
+}
+
+EntitySet EntitySet::FromUnsorted(std::vector<TermId> ids, size_t universe) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return FromSorted(std::move(ids), universe);
+}
+
+void EntitySet::Adapt() {
+  if (is_bitmap_) {
+    if (!ShouldUseBitmap(size_, universe_)) ToVectorRep();
+  } else {
+    if (ShouldUseBitmap(size_, universe_)) ToBitmapRep();
+  }
+}
+
+void EntitySet::ToBitmapRep() {
+  words_.assign((universe_ + 63) / 64, 0);
+  for (const TermId id : ids_) {
+    words_[id >> 6] |= uint64_t{1} << (id & 63);
+  }
+  ids_.clear();
+  ids_.shrink_to_fit();
+  is_bitmap_ = true;
+}
+
+void EntitySet::ToVectorRep() {
+  ids_.clear();
+  ids_.reserve(size_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      ids_.push_back(static_cast<TermId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  words_.clear();
+  words_.shrink_to_fit();
+  is_bitmap_ = false;
+}
+
+bool EntitySet::Contains(TermId id) const {
+  if (is_bitmap_) {
+    if (id >= universe_) return false;
+    return (words_[id >> 6] >> (id & 63)) & 1;
+  }
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+EntitySet EntitySet::Intersect(const EntitySet& other) const {
+  const size_t universe = std::max(universe_, other.universe_);
+  if (is_bitmap_ && other.is_bitmap_) {
+    EntitySet out;
+    out.is_bitmap_ = true;
+    out.universe_ = universe;
+    const size_t common = std::min(words_.size(), other.words_.size());
+    out.words_.assign((universe + 63) / 64, 0);
+    size_t count = 0;
+    for (size_t w = 0; w < common; ++w) {
+      const uint64_t word = words_[w] & other.words_[w];
+      out.words_[w] = word;
+      count += static_cast<size_t>(std::popcount(word));
+    }
+    out.size_ = count;
+    out.Adapt();
+    return out;
+  }
+  if (is_bitmap_ != other.is_bitmap_) {
+    // Filter the vector side through the bitmap side.
+    const EntitySet& vec = is_bitmap_ ? other : *this;
+    const EntitySet& map = is_bitmap_ ? *this : other;
+    std::vector<TermId> out;
+    out.reserve(std::min(vec.size_, map.size_));
+    for (const TermId id : vec.ids_) {
+      if (map.Contains(id)) out.push_back(id);
+    }
+    return FromSorted(std::move(out), universe);
+  }
+  return FromSorted(IntersectVectors(ids_, other.ids_), universe);
+}
+
+bool EntitySet::SubsetOf(const EntitySet& other) const {
+  if (size_ > other.size_) return false;
+  if (is_bitmap_ && other.is_bitmap_) {
+    const size_t common = std::min(words_.size(), other.words_.size());
+    for (size_t w = 0; w < common; ++w) {
+      if ((words_[w] & ~other.words_[w]) != 0) return false;
+    }
+    for (size_t w = common; w < words_.size(); ++w) {
+      if (words_[w] != 0) return false;
+    }
+    return true;
+  }
+  if (!is_bitmap_ && !other.is_bitmap_) {
+    return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                         ids_.end());
+  }
+  for (const TermId id : *this) {
+    if (!other.Contains(id)) return false;
+  }
+  return true;
+}
+
+bool EntitySet::operator==(const EntitySet& other) const {
+  if (size_ != other.size_) return false;
+  if (!is_bitmap_ && !other.is_bitmap_) return ids_ == other.ids_;
+  if (is_bitmap_ && other.is_bitmap_) {
+    const size_t common = std::min(words_.size(), other.words_.size());
+    if (!std::equal(words_.begin(), words_.begin() + common,
+                    other.words_.begin())) {
+      return false;
+    }
+    // Sizes match, so any surplus words are zero-filled on both sides.
+    return true;
+  }
+  return std::equal(begin(), end(), other.begin());
+}
+
+std::vector<TermId> EntitySet::ToVector() const {
+  if (!is_bitmap_) return ids_;
+  std::vector<TermId> out;
+  out.reserve(size_);
+  for (const TermId id : *this) out.push_back(id);
+  return out;
+}
+
+TermId EntitySet::NextBit(TermId from) const {
+  size_t w = from >> 6;
+  if (w >= words_.size()) return kNullTerm;
+  uint64_t word = words_[w] & (~uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= words_.size()) return kNullTerm;
+    word = words_[w];
+  }
+  return static_cast<TermId>(w * 64 + std::countr_zero(word));
+}
+
+EntitySet::const_iterator::const_iterator(const EntitySet* set, size_t pos)
+    : set_(set), pos_(pos) {
+  if (pos_ >= set_->size_) return;
+  current_ = set_->is_bitmap_ ? set_->NextBit(0) : set_->ids_[pos_];
+}
+
+EntitySet::const_iterator& EntitySet::const_iterator::operator++() {
+  ++pos_;
+  if (pos_ >= set_->size_) return *this;
+  current_ = set_->is_bitmap_ ? set_->NextBit(current_ + 1)
+                              : set_->ids_[pos_];
+  return *this;
+}
+
+EntitySet IntersectSorted(const EntitySet& a, const EntitySet& b) {
+  return a.Intersect(b);
+}
+
+bool SortedEquals(const EntitySet& a, const EntitySet& b) { return a == b; }
+
+bool SortedSubset(const EntitySet& needle, const EntitySet& haystack) {
+  return needle.SubsetOf(haystack);
+}
+
+std::ostream& operator<<(std::ostream& os, const EntitySet& set) {
+  os << "{";
+  size_t shown = 0;
+  for (const TermId id : set) {
+    if (shown > 0) os << ", ";
+    if (++shown > 32) {
+      os << "... (" << set.size() << " total)";
+      break;
+    }
+    os << id;
+  }
+  return os << "}";
+}
+
+}  // namespace remi

@@ -1,0 +1,149 @@
+// Density-adaptive entity sets for the query/mining data path.
+//
+// Match sets in REMI (paper §3.3/§3.5.2) range from a handful of entities
+// (deep in the DFS, close to the target set) to sizeable fractions of the
+// KB (atoms over frequent predicates). A single representation is wrong at
+// one of the two ends, so EntitySet stores either
+//
+//   * a sorted, deduplicated vector of TermIds (sparse sets), or
+//   * a fixed-size bitmap over the dictionary universe (dense sets),
+//
+// and switches automatically at a density boundary. Intersection — the hot
+// operation of the DFS — is a galloping merge (vector x vector, skewed), a
+// linear merge (vector x vector, balanced), a filter (vector x bitmap), or
+// a word-wise AND (bitmap x bitmap). Membership, subset, and equality pick
+// the cheapest path for the operand representations.
+//
+// Sets are immutable after construction, mirroring the evaluator's cached
+// match sets which are shared across threads (§3.4).
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <iterator>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace remi {
+
+/// \brief Immutable set of TermIds with an adaptive representation.
+class EntitySet {
+ public:
+  /// Bitmap when size >= universe / kDensityDivisor. At 32, the bitmap
+  /// (universe bits) is no larger than the vector it replaces (32 bits per
+  /// element) and membership drops from a binary search to one load.
+  static constexpr size_t kDensityDivisor = 32;
+  /// Never use a bitmap for tiny universes; the vector fits in a cache
+  /// line anyway.
+  static constexpr size_t kMinBitmapUniverse = 256;
+
+  /// Empty set, vector representation.
+  EntitySet() = default;
+
+  /// From unsorted ids (sorted and deduplicated; unknown universe).
+  EntitySet(std::initializer_list<TermId> ids);
+
+  /// From an unsorted id range (sorted and deduplicated; unknown universe).
+  template <typename It>
+  EntitySet(It first, It last)
+      : EntitySet(FromUnsorted(std::vector<TermId>(first, last), 0)) {}
+
+  /// From a sorted, deduplicated vector. `universe` is one past the largest
+  /// possible id (dictionary size); when the ids exceed it (including the
+  /// 0 = unknown case) the universe grows to max id + 1, so a dense low-id
+  /// set may still adopt the bitmap representation.
+  static EntitySet FromSorted(std::vector<TermId> sorted_unique,
+                              size_t universe);
+
+  /// From arbitrary ids: sorts, deduplicates, then adapts.
+  static EntitySet FromUnsorted(std::vector<TermId> ids, size_t universe);
+
+  /// True if (size, universe) lands in the bitmap regime.
+  static bool ShouldUseBitmap(size_t size, size_t universe) {
+    return universe >= kMinBitmapUniverse &&
+           size * kDensityDivisor >= universe;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t universe() const { return universe_; }
+  bool is_bitmap() const { return is_bitmap_; }
+
+  /// O(1) on the bitmap representation, binary search on the vector one.
+  bool Contains(TermId id) const;
+
+  /// Set intersection; the result re-adapts its representation.
+  EntitySet Intersect(const EntitySet& other) const;
+
+  /// True if *this ⊆ other.
+  bool SubsetOf(const EntitySet& other) const;
+
+  bool operator==(const EntitySet& other) const;
+  bool operator!=(const EntitySet& other) const { return !(*this == other); }
+
+  /// The elements as a sorted vector (copies on the bitmap rep).
+  std::vector<TermId> ToVector() const;
+
+  /// Forward iteration in ascending id order over either representation.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TermId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TermId*;
+    using reference = TermId;
+
+    const_iterator() = default;
+    TermId operator*() const { return current_; }
+    const_iterator& operator++();
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    friend class EntitySet;
+    const_iterator(const EntitySet* set, size_t pos);
+
+    const EntitySet* set_ = nullptr;
+    size_t pos_ = 0;  ///< element index in [0, set_->size()]
+    TermId current_ = kNullTerm;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  /// Converts to whichever representation ShouldUseBitmap picks.
+  void Adapt();
+  void ToBitmapRep();
+  void ToVectorRep();
+  /// First set bit at or after `from`; kNullTerm when exhausted.
+  TermId NextBit(TermId from) const;
+
+  bool is_bitmap_ = false;
+  size_t size_ = 0;
+  size_t universe_ = 0;
+  std::vector<TermId> ids_;      ///< vector rep: sorted, deduplicated
+  std::vector<uint64_t> words_;  ///< bitmap rep: universe bits
+};
+
+/// Intersection as a free function (kept for the pre-EntitySet call sites).
+EntitySet IntersectSorted(const EntitySet& a, const EntitySet& b);
+
+/// True if `a` and `b` hold the same elements.
+bool SortedEquals(const EntitySet& a, const EntitySet& b);
+
+/// True if `needle` ⊆ `haystack`.
+bool SortedSubset(const EntitySet& needle, const EntitySet& haystack);
+
+/// gtest-friendly rendering: "{1, 2, 3}" (truncated for large sets).
+std::ostream& operator<<(std::ostream& os, const EntitySet& set);
+
+}  // namespace remi

@@ -39,21 +39,6 @@ bool ThreeSpansIntersect(std::span<const Triple> a, std::span<const Triple> b,
 
 }  // namespace
 
-MatchSet IntersectSorted(const MatchSet& a, const MatchSet& b) {
-  MatchSet out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-bool SortedEquals(const MatchSet& a, const MatchSet& b) { return a == b; }
-
-bool SortedSubset(const MatchSet& needle, const MatchSet& haystack) {
-  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
-                       needle.end());
-}
-
 Evaluator::Evaluator(const KnowledgeBase* kb, size_t cache_capacity)
     : kb_(kb), cache_(cache_capacity) {}
 
@@ -79,37 +64,42 @@ std::shared_ptr<const MatchSet> Evaluator::ComputeMatch(
     const SubgraphExpression& rho) const {
   subgraph_evaluations_.fetch_add(1, std::memory_order_relaxed);
   const TripleStore& store = kb_->store();
-  auto out = std::make_shared<MatchSet>();
+  // Bindings are collected as a sorted vector, then wrapped into an
+  // EntitySet that may promote itself to a bitmap when dense.
+  std::vector<TermId> out;
   switch (rho.shape) {
     case SubgraphShape::kAtom: {
       const auto range = store.ByPredicateObject(rho.p0, rho.c1);
-      out->reserve(range.size());
-      for (const Triple& t : range) out->push_back(t.s);  // sorted by s
+      out.reserve(range.size());
+      for (const Triple& t : range) out.push_back(t.s);  // sorted by s
       break;
     }
     case SubgraphShape::kPath:
     case SubgraphShape::kPathStar: {
       // Y = bindings of the existential variable.
-      MatchSet ys;
+      std::vector<TermId> ys;
       {
         const auto range = store.ByPredicateObject(rho.p1, rho.c1);
         ys.reserve(range.size());
         for (const Triple& t : range) ys.push_back(t.s);
       }
       if (rho.shape == SubgraphShape::kPathStar) {
-        MatchSet ys2;
+        std::vector<TermId> ys2;
         const auto range = store.ByPredicateObject(rho.p2, rho.c2);
         ys2.reserve(range.size());
         for (const Triple& t : range) ys2.push_back(t.s);
-        ys = IntersectSorted(ys, ys2);
+        std::vector<TermId> both;
+        std::set_intersection(ys.begin(), ys.end(), ys2.begin(), ys2.end(),
+                              std::back_inserter(both));
+        ys = std::move(both);
       }
       for (const TermId y : ys) {
         for (const Triple& t : store.ByPredicateObject(rho.p0, y)) {
-          out->push_back(t.s);
+          out.push_back(t.s);
         }
       }
-      std::sort(out->begin(), out->end());
-      out->erase(std::unique(out->begin(), out->end()), out->end());
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
       break;
     }
     case SubgraphShape::kTwinPair:
@@ -145,13 +135,14 @@ std::shared_ptr<const MatchSet> Evaluator::ComputeMatch(
           const auto c = store.ByPredicateSubject(others.second, s);
           hit = ThreeSpansIntersect(a, b, c);
         }
-        if (hit) out->push_back(s);
+        if (hit) out.push_back(s);
         i = j;
       }
       break;
     }
   }
-  return out;
+  return std::make_shared<MatchSet>(
+      EntitySet::FromSorted(std::move(out), kb_->dict().size()));
 }
 
 bool Evaluator::Matches(TermId e, const SubgraphExpression& rho) const {
@@ -197,7 +188,7 @@ MatchSet Evaluator::Evaluate(const Expression& expr) {
   if (expr.IsTop()) return {};
   MatchSet current = *Match(expr.parts[0]);
   for (size_t i = 1; i < expr.parts.size() && !current.empty(); ++i) {
-    current = IntersectSorted(current, *Match(expr.parts[i]));
+    current = current.Intersect(*Match(expr.parts[i]));
   }
   return current;
 }
@@ -217,7 +208,7 @@ bool Evaluator::IsReferringExpression(const Expression& expr,
       // Already minimal; targets ⊆ current was verified above.
       break;
     }
-    current = IntersectSorted(current, *Match(expr.parts[i]));
+    current = current.Intersect(*Match(expr.parts[i]));
     if (current.size() < targets.size()) return false;
   }
   return current == targets;

@@ -15,13 +15,14 @@
 #include <vector>
 
 #include "kb/knowledge_base.h"
+#include "query/entity_set.h"
 #include "query/expression.h"
 #include "util/lru_cache.h"
 
 namespace remi {
 
-/// Sorted, deduplicated set of root-variable bindings.
-using MatchSet = std::vector<TermId>;
+/// Set of root-variable bindings (hybrid sorted-vector / bitmap).
+using MatchSet = EntitySet;
 
 /// Snapshot of cumulative evaluation statistics.
 struct EvaluatorStats {
@@ -56,9 +57,8 @@ class Evaluator {
   /// expression matches nothing by convention — ⊤ is never evaluated).
   MatchSet Evaluate(const Expression& expr);
 
-  /// RE test (paper §2.2.2): matches(expr) == targets. `targets` must be
-  /// sorted and deduplicated. Early-exits as soon as a non-target match or
-  /// a missing target is detected.
+  /// RE test (paper §2.2.2): matches(expr) == targets. Early-exits as soon
+  /// as a non-target match or a missing target is detected.
   bool IsReferringExpression(const Expression& expr,
                              const MatchSet& targets);
 
@@ -81,14 +81,5 @@ class Evaluator {
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
 };
-
-/// Intersects two sorted vectors.
-MatchSet IntersectSorted(const MatchSet& a, const MatchSet& b);
-
-/// True if sorted `a` equals sorted `b`.
-bool SortedEquals(const MatchSet& a, const MatchSet& b);
-
-/// True if sorted `needle` is a subset of sorted `haystack`.
-bool SortedSubset(const MatchSet& needle, const MatchSet& haystack);
 
 }  // namespace remi

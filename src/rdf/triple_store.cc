@@ -4,20 +4,6 @@
 
 namespace remi {
 
-namespace {
-
-// Returns the subrange of `v` matching the partial key via the given
-// heterogeneous comparators (lo: element < key, hi: key < element).
-template <typename Lo, typename Hi>
-std::span<const Triple> Range(const std::vector<Triple>& v, Lo lo, Hi hi) {
-  auto b = std::lower_bound(v.begin(), v.end(), 0, lo);
-  auto e = std::upper_bound(b, v.end(), 0, hi);
-  if (b == e) return {};
-  return {v.data() + (b - v.begin()), static_cast<size_t>(e - b)};
-}
-
-}  // namespace
-
 TripleStore TripleStore::Build(std::vector<Triple> triples) {
   TripleStore store;
   std::sort(triples.begin(), triples.end(), OrderSpo());
@@ -28,67 +14,154 @@ TripleStore TripleStore::Build(std::vector<Triple> triples) {
   store.pos_ = store.spo_;
   std::sort(store.pos_.begin(), store.pos_.end(), OrderPos());
 
-  for (const Triple& t : store.pso_) {
-    if (store.predicates_.empty() || store.predicates_.back() != t.p) {
-      store.predicates_.push_back(t.p);
-    }
+  TermId max_id = 0;
+  for (const Triple& t : store.spo_) {
+    max_id = std::max({max_id, t.s, t.p, t.o});
+  }
+  store.num_terms_ = store.spo_.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+
+  // Global subject CSR over the SPO ordering.
+  store.subject_offsets_.assign(store.num_terms_ + 1, 0);
+  for (const Triple& t : store.spo_) {
+    ++store.subject_offsets_[t.s + 1];
+  }
+  for (size_t i = 1; i < store.subject_offsets_.size(); ++i) {
+    store.subject_offsets_[i] += store.subject_offsets_[i - 1];
   }
   for (const Triple& t : store.spo_) {
     if (store.subjects_.empty() || store.subjects_.back() != t.s) {
       store.subjects_.push_back(t.s);
     }
   }
+
+  // Per-predicate adjacency. pso_ and pos_ hold each predicate's facts
+  // contiguously; one pass over each ordering fills the offset tables.
+  store.pred_slot_.assign(store.num_terms_, kNoSlot);
+  for (size_t i = 0; i < store.pso_.size();) {
+    const TermId p = store.pso_[i].p;
+    size_t j = i;
+    while (j < store.pso_.size() && store.pso_[j].p == p) ++j;
+
+    PredicateIndex index;
+    index.pso_begin = static_cast<uint32_t>(i);
+    index.pso_end = static_cast<uint32_t>(j);
+    index.s_base = store.pso_[i].s;
+    const TermId s_max = store.pso_[j - 1].s;
+    index.subj_offsets.assign(s_max - index.s_base + 2, 0);
+    for (size_t k = i; k < j; ++k) {
+      ++index.subj_offsets[store.pso_[k].s - index.s_base + 1];
+      if (index.distinct_subjects.empty() ||
+          index.distinct_subjects.back() != store.pso_[k].s) {
+        index.distinct_subjects.push_back(store.pso_[k].s);
+      }
+    }
+    uint32_t running = index.pso_begin;
+    for (size_t k = 0; k < index.subj_offsets.size(); ++k) {
+      running += index.subj_offsets[k];
+      index.subj_offsets[k] = running;
+    }
+
+    store.predicates_.push_back(p);
+    store.pred_slot_[p] = static_cast<uint32_t>(store.pred_index_.size());
+    store.pred_index_.push_back(std::move(index));
+    i = j;
+  }
+  for (size_t i = 0; i < store.pos_.size();) {
+    const TermId p = store.pos_[i].p;
+    size_t j = i;
+    while (j < store.pos_.size() && store.pos_[j].p == p) ++j;
+
+    PredicateIndex& index = store.pred_index_[store.pred_slot_[p]];
+    index.pos_begin = static_cast<uint32_t>(i);
+    index.pos_end = static_cast<uint32_t>(j);
+    index.o_base = store.pos_[i].o;
+    const TermId o_max = store.pos_[j - 1].o;
+    index.obj_offsets.assign(o_max - index.o_base + 2, 0);
+    for (size_t k = i; k < j; ++k) {
+      ++index.obj_offsets[store.pos_[k].o - index.o_base + 1];
+      if (index.distinct_objects.empty() ||
+          index.distinct_objects.back() != store.pos_[k].o) {
+        index.distinct_objects.push_back(store.pos_[k].o);
+      }
+    }
+    uint32_t running = index.pos_begin;
+    for (size_t k = 0; k < index.obj_offsets.size(); ++k) {
+      running += index.obj_offsets[k];
+      index.obj_offsets[k] = running;
+    }
+    i = j;
+  }
   return store;
 }
 
 std::span<const Triple> TripleStore::BySubject(TermId s) const {
-  if (spo_.empty()) return {};
-  auto lo = [s](const Triple& t, int) { return t.s < s; };
-  auto hi = [s](int, const Triple& t) { return s < t.s; };
-  return Range(spo_, lo, hi);
+  if (s >= num_terms_) return {};
+  const uint32_t b = subject_offsets_[s];
+  const uint32_t e = subject_offsets_[s + 1];
+  return {spo_.data() + b, static_cast<size_t>(e - b)};
+}
+
+size_t TripleStore::SubjectDegree(TermId s) const {
+  if (s >= num_terms_) return 0;
+  return subject_offsets_[s + 1] - subject_offsets_[s];
 }
 
 std::span<const Triple> TripleStore::ByPredicate(TermId p) const {
-  if (pso_.empty()) return {};
-  auto lo = [p](const Triple& t, int) { return t.p < p; };
-  auto hi = [p](int, const Triple& t) { return p < t.p; };
-  return Range(pso_, lo, hi);
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr) return {};
+  return {pso_.data() + index->pso_begin,
+          static_cast<size_t>(index->pso_end - index->pso_begin)};
 }
 
 std::span<const Triple> TripleStore::ByPredicateObjectOrder(TermId p) const {
-  if (pos_.empty()) return {};
-  auto lo = [p](const Triple& t, int) { return t.p < p; };
-  auto hi = [p](int, const Triple& t) { return p < t.p; };
-  return Range(pos_, lo, hi);
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr) return {};
+  return {pos_.data() + index->pos_begin,
+          static_cast<size_t>(index->pos_end - index->pos_begin)};
 }
 
 std::span<const Triple> TripleStore::ByPredicateSubject(TermId p,
                                                         TermId s) const {
-  if (pso_.empty()) return {};
-  auto lo = [p, s](const Triple& t, int) {
-    return t.p < p || (t.p == p && t.s < s);
-  };
-  auto hi = [p, s](int, const Triple& t) {
-    return p < t.p || (p == t.p && s < t.s);
-  };
-  return Range(pso_, lo, hi);
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr || s < index->s_base ||
+      s - index->s_base + 1 >= index->subj_offsets.size()) {
+    return {};
+  }
+  const uint32_t b = index->subj_offsets[s - index->s_base];
+  const uint32_t e = index->subj_offsets[s - index->s_base + 1];
+  return {pso_.data() + b, static_cast<size_t>(e - b)};
 }
 
 std::span<const Triple> TripleStore::ByPredicateObject(TermId p,
                                                        TermId o) const {
-  if (pos_.empty()) return {};
-  auto lo = [p, o](const Triple& t, int) {
-    return t.p < p || (t.p == p && t.o < o);
-  };
-  auto hi = [p, o](int, const Triple& t) {
-    return p < t.p || (p == t.p && o < t.o);
-  };
-  return Range(pos_, lo, hi);
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr || o < index->o_base ||
+      o - index->o_base + 1 >= index->obj_offsets.size()) {
+    return {};
+  }
+  const uint32_t b = index->obj_offsets[o - index->o_base];
+  const uint32_t e = index->obj_offsets[o - index->o_base + 1];
+  return {pos_.data() + b, static_cast<size_t>(e - b)};
+}
+
+std::span<const TermId> TripleStore::DistinctSubjectsOf(TermId p) const {
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr) return {};
+  return index->distinct_subjects;
+}
+
+std::span<const TermId> TripleStore::DistinctObjectsOf(TermId p) const {
+  const PredicateIndex* index = FindPredicate(p);
+  if (index == nullptr) return {};
+  return index->distinct_objects;
 }
 
 bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
-  const Triple key{s, p, o};
-  return std::binary_search(spo_.begin(), spo_.end(), key, OrderSpo());
+  const auto range = ByPredicateSubject(p, s);  // sorted by object
+  auto it = std::lower_bound(
+      range.begin(), range.end(), o,
+      [](const Triple& t, TermId key) { return t.o < key; });
+  return it != range.end() && it->o == o;
 }
 
 }  // namespace remi

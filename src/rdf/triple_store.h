@@ -1,10 +1,21 @@
-// An immutable in-memory triple store with three sorted indexes.
+// An immutable in-memory triple store with CSR-style adjacency indexes.
 //
 // This replaces the paper's HDT + Apache Jena access layer (§3.5.1/3.5.2):
 // HDT exposes pattern-level retrieval ("bindings for atoms p(X, Y)") and
 // leaves joins to upper layers; TripleStore offers the same contract via
-// binary-searched ranges over SPO / PSO / POS orderings. All heavy REMI
-// operations reduce to the range lookups below.
+// spans over SPO / PSO / POS orderings. Internally the hot lookups are
+// backed by offset tables keyed by the dictionary's dense TermIds:
+//
+//   * a global subject offset array over the SPO ordering makes
+//     BySubject(s) a single array index;
+//   * each predicate owns offset tables over its PSO range (keyed by
+//     subject) and its POS range (keyed by object), so the DFS's dominant
+//     lookups ByPredicateSubject / ByPredicateObject are O(1) + span,
+//     with per-key degrees available for free as offset differences.
+//
+// Per-predicate offset tables span [min_key, max_key] of the keys that
+// actually occur under that predicate, so memory stays proportional to the
+// occupied id range rather than the whole dictionary.
 
 #pragma once
 
@@ -24,7 +35,7 @@ namespace remi {
 class TripleStore {
  public:
   /// Builds the store: sorts, deduplicates, and materializes the three
-  /// index orderings.
+  /// index orderings plus the CSR offset tables.
   static TripleStore Build(std::vector<Triple> triples);
 
   TripleStore() = default;
@@ -63,6 +74,21 @@ class TripleStore {
     return ByPredicateObject(p, o).size();
   }
 
+  // --- degree / adjacency statistics (CSR offset differences) --------------
+
+  /// Number of facts with subject `s` (any predicate).
+  size_t SubjectDegree(TermId s) const;
+
+  /// Distinct subjects occurring under predicate `p`, ascending.
+  std::span<const TermId> DistinctSubjectsOf(TermId p) const;
+
+  /// Distinct objects occurring under predicate `p`, ascending.
+  std::span<const TermId> DistinctObjectsOf(TermId p) const;
+
+  /// One past the largest TermId present in any triple (0 when empty).
+  /// EntitySet uses this as the default bitmap universe.
+  size_t num_terms() const { return num_terms_; }
+
   /// Distinct predicates present, ascending.
   const std::vector<TermId>& predicates() const { return predicates_; }
 
@@ -76,11 +102,43 @@ class TripleStore {
   const std::vector<Triple>& pso() const { return pso_; }
 
  private:
+  /// Per-predicate adjacency: its contiguous ranges in pso_/pos_ plus
+  /// offset tables keyed by (subject - s_base) and (object - o_base).
+  struct PredicateIndex {
+    uint32_t pso_begin = 0;
+    uint32_t pso_end = 0;
+    uint32_t pos_begin = 0;
+    uint32_t pos_end = 0;
+    TermId s_base = 0;
+    TermId o_base = 0;
+    /// Absolute offsets into pso_; size = (max subject - s_base) + 2.
+    std::vector<uint32_t> subj_offsets;
+    /// Absolute offsets into pos_; size = (max object - o_base) + 2.
+    std::vector<uint32_t> obj_offsets;
+    std::vector<TermId> distinct_subjects;
+    std::vector<TermId> distinct_objects;
+  };
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  const PredicateIndex* FindPredicate(TermId p) const {
+    if (p >= pred_slot_.size() || pred_slot_[p] == kNoSlot) return nullptr;
+    return &pred_index_[pred_slot_[p]];
+  }
+
   std::vector<Triple> spo_;
   std::vector<Triple> pso_;
   std::vector<Triple> pos_;
   std::vector<TermId> predicates_;
   std::vector<TermId> subjects_;
+
+  size_t num_terms_ = 0;
+  /// CSR over spo_: facts of subject s live at [subject_offsets_[s],
+  /// subject_offsets_[s + 1]).
+  std::vector<uint32_t> subject_offsets_;
+  /// TermId -> slot in pred_index_ (kNoSlot for non-predicates).
+  std::vector<uint32_t> pred_slot_;
+  std::vector<PredicateIndex> pred_index_;
 };
 
 }  // namespace remi

@@ -124,28 +124,27 @@ std::vector<SubgraphExpression> SubgraphEnumerator::EnumerateFor(
 }
 
 std::vector<SubgraphExpression> SubgraphEnumerator::CommonSubgraphs(
-    const std::vector<TermId>& targets) const {
+    const EntitySet& targets) const {
   if (targets.empty()) return {};
 
   // Enumerate from the target with the smallest neighbourhood; the result
   // is the same as intersecting per-target enumerations because every
   // expression matched by a target appears in its enumeration.
-  TermId seed = targets[0];
-  size_t seed_degree = kb_->store().BySubject(seed).size();
+  TermId seed = kNullTerm;
+  size_t seed_degree = SIZE_MAX;
   for (const TermId t : targets) {
-    const size_t deg = kb_->store().BySubject(t).size();
+    const size_t deg = kb_->store().SubjectDegree(t);
     if (deg < seed_degree) {
       seed = t;
       seed_degree = deg;
     }
   }
 
-  std::unordered_set<TermId> target_set(targets.begin(), targets.end());
   std::vector<SubgraphExpression> common;
   for (const SubgraphExpression& rho : EnumerateFor(seed)) {
     // An entity must not be described via a constant inside the set.
-    if (rho.c1 != kNullTerm && target_set.count(rho.c1)) continue;
-    if (rho.c2 != kNullTerm && target_set.count(rho.c2)) continue;
+    if (rho.c1 != kNullTerm && targets.Contains(rho.c1)) continue;
+    if (rho.c2 != kNullTerm && targets.Contains(rho.c2)) continue;
     bool shared = true;
     for (const TermId t : targets) {
       if (t == seed) continue;
@@ -157,6 +156,11 @@ std::vector<SubgraphExpression> SubgraphEnumerator::CommonSubgraphs(
     if (shared) common.push_back(rho);
   }
   return common;
+}
+
+std::vector<SubgraphExpression> SubgraphEnumerator::CommonSubgraphs(
+    const std::vector<TermId>& targets) const {
+  return CommonSubgraphs(EntitySet(targets.begin(), targets.end()));
 }
 
 ShapeCounts SubgraphEnumerator::CountSubgraphs(TermId t,

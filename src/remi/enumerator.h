@@ -82,6 +82,10 @@ class SubgraphEnumerator {
   /// excluding expressions whose constant is itself a target (an entity
   /// must not be described in terms of itself).
   std::vector<SubgraphExpression> CommonSubgraphs(
+      const EntitySet& targets) const;
+
+  /// Convenience overload; duplicates in `targets` are ignored.
+  std::vector<SubgraphExpression> CommonSubgraphs(
       const std::vector<TermId>& targets) const;
 
   /// Counts expressions per shape for `t` under a widened bias

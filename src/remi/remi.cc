@@ -77,6 +77,11 @@ RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options)
 
 Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
     const std::vector<TermId>& targets) const {
+  return RankedCommonSubgraphs(MatchSet(targets.begin(), targets.end()));
+}
+
+Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
+    const MatchSet& targets) const {
   if (targets.empty()) {
     return Status::InvalidArgument("target set is empty");
   }
@@ -141,8 +146,8 @@ void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
       }
     }
 
-    MatchSet matches = IntersectSorted(
-        prefix_matches, *evaluator_->Match(queue[j].expression));
+    MatchSet matches =
+        prefix_matches.Intersect(*evaluator_->Match(queue[j].expression));
     shared->nodes.fetch_add(1, std::memory_order_relaxed);
     if (matches.size() == prefix_matches.size()) {
       // ρj did not shrink the match set, so for every extension X,
@@ -209,11 +214,8 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
   if (targets.empty()) {
     return Status::InvalidArgument("target set is empty");
   }
-  MatchSet sorted_targets(targets.begin(), targets.end());
-  std::sort(sorted_targets.begin(), sorted_targets.end());
-  sorted_targets.erase(
-      std::unique(sorted_targets.begin(), sorted_targets.end()),
-      sorted_targets.end());
+  // The EntitySet range constructor sorts and deduplicates.
+  const MatchSet sorted_targets(targets.begin(), targets.end());
 
   RemiResult result;
   const EvaluatorStats eval_before = evaluator_->stats();
@@ -249,7 +251,7 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
          !shared.CheckDeadline();
          ++i) {
       everything =
-          IntersectSorted(everything, *evaluator_->Match((*ranked)[i].expression));
+          everything.Intersect(*evaluator_->Match((*ranked)[i].expression));
     }
     if (everything.size() > shared.max_matches &&
         !shared.timed_out.load(std::memory_order_relaxed)) {
@@ -321,10 +323,7 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
     result.cost = shared.best_cost;
     // Exceptions: the matched non-targets of the winning expression.
     for (const TermId m : shared.best_matches) {
-      if (!std::binary_search(sorted_targets.begin(), sorted_targets.end(),
-                              m)) {
-        result.exceptions.push_back(m);
-      }
+      if (!sorted_targets.Contains(m)) result.exceptions.push_back(m);
     }
   }
   result.found = result.cost < CostModel::kInfiniteCost;

@@ -114,6 +114,10 @@ class RemiMiner {
   /// sorted by ascending Ĉ (ties broken deterministically). Used directly
   /// by the Table 2 / Table 3 harnesses.
   Result<std::vector<RankedSubgraph>> RankedCommonSubgraphs(
+      const MatchSet& targets) const;
+
+  /// Convenience overload; duplicates in `targets` are ignored.
+  Result<std::vector<RankedSubgraph>> RankedCommonSubgraphs(
       const std::vector<TermId>& targets) const;
 
   const CostModel& cost_model() const { return *cost_model_; }

@@ -3,7 +3,7 @@
 namespace remi {
 
 Summary RemiSummarize(const RemiMiner& miner, TermId entity, size_t k) {
-  auto ranked = miner.RankedCommonSubgraphs({entity});
+  auto ranked = miner.RankedCommonSubgraphs(MatchSet{entity});
   if (!ranked.ok()) return {};
   Summary out;
   for (const RankedSubgraph& r : *ranked) {

@@ -110,19 +110,20 @@ TEST_P(MatchConsistencyTest, MatchSetsAgreeWithMembership) {
       if (++checked > 40) break;  // bound the quadratic work
       auto matches = evaluator.Match(rho);
       // Brute force over all entities.
-      MatchSet expected;
+      std::vector<TermId> expected;
       for (const TermId e : kb.EntitiesByProminence()) {
         if (evaluator.Matches(e, rho)) expected.push_back(e);
       }
-      std::sort(expected.begin(), expected.end());
       // Match sets may include blank nodes / literals as x only if they
       // are subjects; EntitiesByProminence excludes predicates, so filter
       // the evaluator output the same way for comparison.
-      MatchSet actual;
+      std::vector<TermId> actual;
       for (const TermId e : *matches) {
         if (kb.IsEntity(e)) actual.push_back(e);
       }
-      EXPECT_EQ(actual, expected) << rho.ToString(kb.dict());
+      EXPECT_EQ(MatchSet(actual.begin(), actual.end()),
+                MatchSet(expected.begin(), expected.end()))
+          << rho.ToString(kb.dict());
     }
   }
 }
@@ -158,7 +159,6 @@ TEST_P(OptimalityTest, RemiBeatsBruteForceSmallConjunctions) {
     if (ranked->size() > 24) continue;  // keep the brute force bounded
 
     MatchSet targets(set.entities.begin(), set.entities.end());
-    std::sort(targets.begin(), targets.end());
 
     double best_bf = CostModel::kInfiniteCost;
     const size_t n = ranked->size();

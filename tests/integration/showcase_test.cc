@@ -73,7 +73,6 @@ TEST_F(ShowcaseTest, GuyanaSurinameNeedsAConjunction) {
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->found);
   MatchSet targets{Id("Guyana"), Id("Suriname")};
-  std::sort(targets.begin(), targets.end());
   EXPECT_TRUE(miner_->evaluator()->IsReferringExpression(result->expression,
                                                          targets));
   // borders(x, Brazil) alone must NOT be an RE (Peru/Argentina share it).

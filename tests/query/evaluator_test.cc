@@ -36,7 +36,7 @@ TEST_F(EvaluatorTest, AtomMatchesSubjects) {
   auto m = eval.Match(SubgraphExpression::Atom(Pred("capitalOf"),
                                                Id("France")));
   ASSERT_EQ(m->size(), 1u);
-  EXPECT_EQ((*m)[0], Id("Paris"));
+  EXPECT_TRUE(m->Contains(Id("Paris")));
 }
 
 TEST_F(EvaluatorTest, AtomWithNoMatches) {
@@ -53,10 +53,10 @@ TEST_F(EvaluatorTest, PathMatches) {
   auto m = eval.Match(SubgraphExpression::Path(
       Pred("officialLanguage"), Pred("langFamily"), Id("Germanic")));
   EXPECT_EQ(m->size(), 8u);
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Guyana")));
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Suriname")));
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Switzerland")));
-  EXPECT_FALSE(std::binary_search(m->begin(), m->end(), Id("Brazil")));
+  EXPECT_TRUE(m->Contains(Id("Guyana")));
+  EXPECT_TRUE(m->Contains(Id("Suriname")));
+  EXPECT_TRUE(m->Contains(Id("Switzerland")));
+  EXPECT_FALSE(m->Contains(Id("Brazil")));
 }
 
 TEST_F(EvaluatorTest, PathStarMatches) {
@@ -66,10 +66,10 @@ TEST_F(EvaluatorTest, PathStarMatches) {
       Pred("mayor"), Pred("party"), Id("Socialist_Party"),
       kb_->type_predicate(), Id("Person")));
   ASSERT_EQ(m->size(), 4u);  // Rennes, Nantes, Paris, Marseille
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Rennes")));
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Nantes")));
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Paris")));
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Marseille")));
+  EXPECT_TRUE(m->Contains(Id("Rennes")));
+  EXPECT_TRUE(m->Contains(Id("Nantes")));
+  EXPECT_TRUE(m->Contains(Id("Paris")));
+  EXPECT_TRUE(m->Contains(Id("Marseille")));
 }
 
 TEST_F(EvaluatorTest, TwinPairMatches) {
@@ -78,8 +78,8 @@ TEST_F(EvaluatorTest, TwinPairMatches) {
   auto m = eval.Match(
       SubgraphExpression::TwinPair(Pred("cityIn"), Pred("capitalOf")));
   EXPECT_GE(m->size(), 10u);
-  EXPECT_TRUE(std::binary_search(m->begin(), m->end(), Id("Paris")));
-  EXPECT_FALSE(std::binary_search(m->begin(), m->end(), Id("Pisa")));
+  EXPECT_TRUE(m->Contains(Id("Paris")));
+  EXPECT_FALSE(m->Contains(Id("Pisa")));
 }
 
 TEST_F(EvaluatorTest, MembershipAgreesWithMatchSets) {
@@ -99,7 +99,7 @@ TEST_F(EvaluatorTest, MembershipAgreesWithMatchSets) {
     auto m = eval.Match(rho);
     for (const TermId e : probes) {
       EXPECT_EQ(eval.Matches(e, rho),
-                std::binary_search(m->begin(), m->end(), e))
+                m->Contains(e))
           << rho.ToString(kb_->dict()) << " / " << kb_->Label(e);
     }
   }
@@ -115,8 +115,8 @@ TEST_F(EvaluatorTest, EvaluateIntersectsParts) {
                          Id("Germanic")));
   auto matches = eval.Evaluate(e);
   ASSERT_EQ(matches.size(), 2u);  // the paper's Guyana + Suriname example
-  EXPECT_EQ(matches[0], std::min(Id("Guyana"), Id("Suriname")));
-  EXPECT_EQ(matches[1], std::max(Id("Guyana"), Id("Suriname")));
+  EXPECT_TRUE(matches.Contains(Id("Guyana")));
+  EXPECT_TRUE(matches.Contains(Id("Suriname")));
 }
 
 TEST_F(EvaluatorTest, IsReferringExpressionPositive) {
@@ -128,7 +128,6 @@ TEST_F(EvaluatorTest, IsReferringExpressionPositive) {
                          Pred("officialLanguage"), Pred("langFamily"),
                          Id("Germanic")));
   MatchSet targets{Id("Guyana"), Id("Suriname")};
-  std::sort(targets.begin(), targets.end());
   EXPECT_TRUE(eval.IsReferringExpression(e, targets));
 }
 
@@ -138,7 +137,6 @@ TEST_F(EvaluatorTest, IsReferringExpressionRejectsSupersetMatch) {
   Expression e = Expression::Top().Conjoin(
       SubgraphExpression::Atom(Pred("in"), Id("South_America")));
   MatchSet targets{Id("Guyana"), Id("Suriname")};
-  std::sort(targets.begin(), targets.end());
   EXPECT_FALSE(eval.IsReferringExpression(e, targets));
 }
 
@@ -147,7 +145,6 @@ TEST_F(EvaluatorTest, IsReferringExpressionRejectsNonMatchingTarget) {
   Expression e = Expression::Top().Conjoin(
       SubgraphExpression::Atom(Pred("capitalOf"), Id("France")));
   MatchSet targets{Id("Paris"), Id("Lyon")};
-  std::sort(targets.begin(), targets.end());
   EXPECT_FALSE(eval.IsReferringExpression(e, targets));
 }
 

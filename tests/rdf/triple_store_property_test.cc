@@ -1,0 +1,188 @@
+// Property test: every TripleStore lookup must agree with a naive
+// full-scan oracle on randomized KBs. This pins the CSR offset tables to
+// the semantics of the original binary-searched implementation.
+
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace remi {
+namespace {
+
+struct RandomKbShape {
+  uint64_t seed;
+  size_t num_triples;
+  TermId max_subject;
+  TermId max_predicate;
+  TermId max_object;
+};
+
+class StoreOracleTest : public ::testing::TestWithParam<RandomKbShape> {};
+
+std::vector<Triple> MakeRandomTriples(const RandomKbShape& shape) {
+  Rng rng(shape.seed);
+  std::vector<Triple> triples;
+  triples.reserve(shape.num_triples);
+  for (size_t i = 0; i < shape.num_triples; ++i) {
+    triples.push_back(Triple{
+        static_cast<TermId>(rng.NextBounded(shape.max_subject + 1)),
+        static_cast<TermId>(rng.NextBounded(shape.max_predicate + 1)),
+        static_cast<TermId>(rng.NextBounded(shape.max_object + 1))});
+  }
+  return triples;
+}
+
+// The oracle: deduplicated triples with no index at all.
+std::vector<Triple> Dedup(std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end(), OrderSpo());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  return triples;
+}
+
+std::vector<TermId> SortedUnique(std::vector<TermId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+TEST_P(StoreOracleTest, LookupsAgreeWithFullScan) {
+  const RandomKbShape& shape = GetParam();
+  const std::vector<Triple> facts = Dedup(MakeRandomTriples(shape));
+  const TripleStore store = TripleStore::Build(MakeRandomTriples(shape));
+  ASSERT_EQ(store.size(), facts.size());
+
+  // Probe every id in a window slightly beyond the generated ranges so
+  // absent keys are exercised too.
+  const TermId s_probe_end = shape.max_subject + 3;
+  const TermId p_probe_end = shape.max_predicate + 3;
+  const TermId o_probe_end = shape.max_object + 3;
+
+  for (TermId s = 0; s <= s_probe_end; ++s) {
+    std::vector<Triple> expected;
+    for (const Triple& t : facts) {
+      if (t.s == s) expected.push_back(t);
+    }
+    const auto span = store.BySubject(s);
+    ASSERT_EQ(span.size(), expected.size()) << "s=" << s;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin()));
+    EXPECT_EQ(store.SubjectDegree(s), expected.size());
+  }
+
+  for (TermId p = 0; p <= p_probe_end; ++p) {
+    std::vector<Triple> expected;
+    std::vector<TermId> exp_subjects, exp_objects;
+    for (const Triple& t : facts) {
+      if (t.p == p) {
+        expected.push_back(t);
+        exp_subjects.push_back(t.s);
+        exp_objects.push_back(t.o);
+      }
+    }
+    EXPECT_EQ(store.CountPredicate(p), expected.size()) << "p=" << p;
+    EXPECT_EQ(store.ByPredicateObjectOrder(p).size(), expected.size());
+
+    const auto subjects = store.DistinctSubjectsOf(p);
+    const auto exp_s = SortedUnique(exp_subjects);
+    EXPECT_TRUE(std::equal(subjects.begin(), subjects.end(), exp_s.begin(),
+                           exp_s.end()))
+        << "p=" << p;
+    const auto objects = store.DistinctObjectsOf(p);
+    const auto exp_o = SortedUnique(exp_objects);
+    EXPECT_TRUE(std::equal(objects.begin(), objects.end(), exp_o.begin(),
+                           exp_o.end()))
+        << "p=" << p;
+
+    for (TermId s = 0; s <= s_probe_end; ++s) {
+      size_t count = 0;
+      for (const Triple& t : facts) {
+        if (t.p == p && t.s == s) ++count;
+      }
+      const auto span = store.ByPredicateSubject(p, s);
+      ASSERT_EQ(span.size(), count) << "p=" << p << " s=" << s;
+      for (const Triple& t : span) {
+        EXPECT_EQ(t.p, p);
+        EXPECT_EQ(t.s, s);
+      }
+      // Spans from the PSO ordering are sorted by object.
+      EXPECT_TRUE(std::is_sorted(
+          span.begin(), span.end(),
+          [](const Triple& a, const Triple& b) { return a.o < b.o; }));
+    }
+    for (TermId o = 0; o <= o_probe_end; ++o) {
+      size_t count = 0;
+      for (const Triple& t : facts) {
+        if (t.p == p && t.o == o) ++count;
+      }
+      const auto span = store.ByPredicateObject(p, o);
+      ASSERT_EQ(span.size(), count) << "p=" << p << " o=" << o;
+      for (const Triple& t : span) {
+        EXPECT_EQ(t.p, p);
+        EXPECT_EQ(t.o, o);
+      }
+      // Spans from the POS ordering are sorted by subject.
+      EXPECT_TRUE(std::is_sorted(
+          span.begin(), span.end(),
+          [](const Triple& a, const Triple& b) { return a.s < b.s; }));
+    }
+  }
+
+  // Contains: every present fact, plus random absent probes.
+  for (const Triple& t : facts) {
+    EXPECT_TRUE(store.Contains(t.s, t.p, t.o));
+  }
+  Rng probe_rng(shape.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < 500; ++i) {
+    const Triple t{
+        static_cast<TermId>(probe_rng.NextBounded(s_probe_end + 1)),
+        static_cast<TermId>(probe_rng.NextBounded(p_probe_end + 1)),
+        static_cast<TermId>(probe_rng.NextBounded(o_probe_end + 1))};
+    const bool expected = std::binary_search(facts.begin(), facts.end(), t,
+                                             OrderSpo());
+    EXPECT_EQ(store.Contains(t.s, t.p, t.o), expected);
+  }
+
+  // Distinct subject / predicate lists.
+  std::vector<TermId> exp_subjects, exp_predicates;
+  for (const Triple& t : facts) {
+    exp_subjects.push_back(t.s);
+    exp_predicates.push_back(t.p);
+  }
+  EXPECT_EQ(store.subjects(), SortedUnique(exp_subjects));
+  EXPECT_EQ(store.predicates(), SortedUnique(exp_predicates));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StoreOracleTest,
+    ::testing::Values(
+        // Dense little KB: many duplicate patterns.
+        RandomKbShape{1, 600, 20, 5, 20},
+        // Sparse ids: exercises the clamped per-predicate key ranges.
+        RandomKbShape{2, 400, 300, 12, 300},
+        // Skewed: few predicates, many objects.
+        RandomKbShape{3, 800, 40, 2, 500},
+        // Tiny.
+        RandomKbShape{4, 5, 3, 1, 3},
+        // Single predicate, single subject.
+        RandomKbShape{5, 50, 0, 0, 30}));
+
+TEST(StoreOracleTest, EmptyStoreHasNoMatches) {
+  const TripleStore store = TripleStore::Build({});
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.num_terms(), 0u);
+  EXPECT_TRUE(store.BySubject(7).empty());
+  EXPECT_TRUE(store.ByPredicate(7).empty());
+  EXPECT_TRUE(store.ByPredicateSubject(1, 2).empty());
+  EXPECT_TRUE(store.ByPredicateObject(1, 2).empty());
+  EXPECT_TRUE(store.DistinctSubjectsOf(1).empty());
+  EXPECT_TRUE(store.DistinctObjectsOf(1).empty());
+  EXPECT_EQ(store.SubjectDegree(3), 0u);
+  EXPECT_FALSE(store.Contains(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace remi

@@ -222,7 +222,7 @@ TEST_F(EnumeratorTest, CommonSubgraphsOfSingleton) {
 
 TEST_F(EnumeratorTest, CommonSubgraphsEmptyTargets) {
   SubgraphEnumerator enumerator(eval_);
-  EXPECT_TRUE(enumerator.CommonSubgraphs({}).empty());
+  EXPECT_TRUE(enumerator.CommonSubgraphs(EntitySet{}).empty());
 }
 
 TEST_F(EnumeratorTest, CountSubgraphsMatchesEnumeration) {

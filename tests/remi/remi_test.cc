@@ -24,12 +24,11 @@ class RemiTest : public ::testing::Test {
   TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
 
   // Checks the REMI postcondition: the result is an actual RE for T.
-  void ExpectIsRe(const RemiResult& result, std::vector<TermId> targets) {
+  void ExpectIsRe(const RemiResult& result,
+                  const std::vector<TermId>& targets) {
     ASSERT_TRUE(result.found);
-    std::sort(targets.begin(), targets.end());
-    EXPECT_TRUE(
-        miner_->evaluator()->IsReferringExpression(result.expression,
-                                                   targets))
+    EXPECT_TRUE(miner_->evaluator()->IsReferringExpression(
+        result.expression, MatchSet(targets.begin(), targets.end())))
         << result.expression.ToString(kb_->dict());
   }
 
@@ -42,7 +41,7 @@ RemiMiner* RemiTest::miner_ = nullptr;
 
 TEST_F(RemiTest, EmptyTargetsIsInvalidArgument) {
   EXPECT_TRUE(miner_->MineRe({}).status().IsInvalidArgument());
-  EXPECT_TRUE(miner_->RankedCommonSubgraphs({}).status().IsInvalidArgument());
+  EXPECT_TRUE(miner_->RankedCommonSubgraphs(MatchSet{}).status().IsInvalidArgument());
 }
 
 TEST_F(RemiTest, ParisIsTheCapitalOfFrance) {
@@ -163,7 +162,7 @@ TEST_F(RemiTest, DuplicateTargetsAreDeduplicated) {
 }
 
 TEST_F(RemiTest, RankedQueueIsSortedByCost) {
-  auto ranked = miner_->RankedCommonSubgraphs({Id("Rennes")});
+  auto ranked = miner_->RankedCommonSubgraphs(MatchSet{Id("Rennes")});
   ASSERT_TRUE(ranked.ok());
   ASSERT_GT(ranked->size(), 3u);
   for (size_t i = 1; i < ranked->size(); ++i) {

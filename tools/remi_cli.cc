@@ -116,6 +116,7 @@ int CmdConvert(const std::string& in_path, const std::string& out_path) {
     if (!parsed.ok()) return Fail(parsed.status());
     triples = std::move(*parsed);
   }
+  const size_t num_triples = triples.size();
   if (remi::EndsWith(out_path, ".rkf")) {
     auto status = remi::WriteRkfFile(dict, std::move(triples), out_path);
     if (!status.ok()) return Fail(status);
@@ -126,7 +127,7 @@ int CmdConvert(const std::string& in_path, const std::string& out_path) {
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
   }
-  std::printf("wrote %s (%zu triples)\n", out_path.c_str(), triples.size());
+  std::printf("wrote %s (%zu triples)\n", out_path.c_str(), num_triples);
   return 0;
 }
 
@@ -213,6 +214,8 @@ int main(int argc, char** argv) {
   flags.DefineInt("threads", 1, "worker threads (>1 = P-REMI)");
   flags.DefineInt("k", 5, "summary size (summarize)");
   flags.DefineInt("exceptions", 0, "allowed non-target matches (mine)");
+  flags.DefineBool("standard", false,
+                   "restrict mining to the standard (atom-only) language");
   flags.DefineDouble("timeout", 0.0, "mining timeout in seconds");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
