@@ -1,0 +1,84 @@
+#include "query/eval_cache.h"
+
+namespace remi {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(size_t capacity, size_t num_shards) : capacity_(capacity) {
+  if (num_shards == 0) num_shards = kDefaultShards;
+  num_shards = RoundUpToPowerOfTwo(num_shards);
+  // Don't spread a tiny budget so thin that shards round down to zero
+  // entries (which would silently disable caching).
+  while (num_shards > 1 && capacity_ > 0 && capacity_ / num_shards == 0) {
+    num_shards >>= 1;
+  }
+  shard_mask_ = num_shards - 1;
+  const size_t per_shard =
+      capacity_ == 0 ? 0 : (capacity_ + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+EvalCache::Shard& EvalCache::ShardFor(const SubgraphExpression& rho) {
+  // The per-shard unordered_map consumes the hash mostly via its low bits;
+  // mix before selecting a shard so both uses stay decorrelated.
+  const size_t h = SubgraphExpressionHash{}(rho);
+  const uint64_t mixed = static_cast<uint64_t>(h) * 0x9E3779B97F4A7C15ull;
+  return *shards_[(mixed >> 32) & shard_mask_];
+}
+
+const EvalCache::Shard& EvalCache::ShardFor(
+    const SubgraphExpression& rho) const {
+  return const_cast<EvalCache*>(this)->ShardFor(rho);
+}
+
+std::shared_ptr<const EntitySet> EvalCache::Get(const SubgraphExpression& rho) {
+  Shard& shard = ShardFor(rho);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto hit = shard.lru.Get(rho)) return *hit;
+  return nullptr;
+}
+
+void EvalCache::Put(const SubgraphExpression& rho,
+                    std::shared_ptr<const EntitySet> value) {
+  Shard& shard = ShardFor(rho);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lru.Put(rho, std::move(value));
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->lru.hits();
+    total.misses += shard->lru.misses();
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+void EvalCache::ResetCounters() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.ResetCounters();
+  }
+}
+
+void EvalCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.Clear();
+  }
+}
+
+}  // namespace remi

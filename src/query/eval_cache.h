@@ -1,0 +1,89 @@
+// Lock-striped sharded match-set cache for the query layer.
+//
+// The paper memoizes subgraph-expression match sets in an LRU cache
+// (§3.5.2); P-REMI (§3.4) and batch mining hit that cache from many
+// threads at once. A single mutex-guarded LRU serializes even cache
+// *hits* (every Get mutates the recency list), so the cache is split
+// into N independent shards: each shard owns a util/lru_cache.h LRU,
+// its own mutex and its own hit/miss counters. Expressions are routed
+// to shards by SubgraphExpressionHash, so concurrent lookups of
+// different expressions almost never contend; stats are aggregated
+// across shards on read.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "query/entity_set.h"
+#include "query/expression.h"
+#include "util/lru_cache.h"
+
+namespace remi {
+
+/// Aggregated counters of a sharded cache (sum over shards).
+struct EvalCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;
+};
+
+/// \brief Sharded LRU cache from SubgraphExpression to its match set.
+///
+/// Thread-safe. Each shard serializes its own operations; operations on
+/// different shards proceed fully in parallel. Values are shared_ptr so a
+/// match set may be evicted from its shard while another thread still
+/// holds it (needed by P-REMI).
+class EvalCache {
+ public:
+  /// Default shard count; a modest power of two keeps per-shard LRUs large
+  /// enough to stay effective while making cross-thread contention rare.
+  static constexpr size_t kDefaultShards = 16;
+
+  /// \param capacity total entry budget, split evenly across shards;
+  ///        0 disables caching (every Get misses, Put is a no-op).
+  /// \param num_shards rounded up to a power of two; 0 = kDefaultShards.
+  explicit EvalCache(size_t capacity, size_t num_shards = 0);
+
+  /// Returns the cached match set (marking it most-recently-used in its
+  /// shard) or nullptr on a miss.
+  std::shared_ptr<const EntitySet> Get(const SubgraphExpression& rho);
+
+  /// Inserts or overwrites; evicts the shard's LRU entry when full.
+  void Put(const SubgraphExpression& rho,
+           std::shared_ptr<const EntitySet> value);
+
+  /// Sums shard counters. Takes each shard mutex briefly; the result is a
+  /// consistent-per-shard (not globally atomic) snapshot.
+  EvalCacheStats stats() const;
+
+  /// Zeroes the hit/miss counters without dropping cached entries.
+  void ResetCounters();
+
+  /// Drops all entries and counters.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t shard_capacity) : lru(shard_capacity) {}
+    std::mutex mu;
+    LruCache<SubgraphExpression, std::shared_ptr<const EntitySet>,
+             SubgraphExpressionHash>
+        lru;
+  };
+
+  Shard& ShardFor(const SubgraphExpression& rho);
+  const Shard& ShardFor(const SubgraphExpression& rho) const;
+
+  size_t capacity_;
+  size_t shard_mask_;  // shards_.size() - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace remi

@@ -39,24 +39,17 @@ bool ThreeSpansIntersect(std::span<const Triple> a, std::span<const Triple> b,
 
 }  // namespace
 
-Evaluator::Evaluator(const KnowledgeBase* kb, size_t cache_capacity)
-    : kb_(kb), cache_(cache_capacity) {}
+Evaluator::Evaluator(const KnowledgeBase* kb, size_t cache_capacity,
+                     size_t cache_shards)
+    : kb_(kb), cache_(cache_capacity, cache_shards) {}
 
 std::shared_ptr<const MatchSet> Evaluator::Match(
     const SubgraphExpression& rho) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto hit = cache_.Get(rho)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return *hit;
-    }
-  }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (auto hit = cache_.Get(rho)) return hit;
+  // Concurrent misses of the same expression may compute it twice; both
+  // results are identical and the duplicate Put just refreshes recency.
   auto computed = ComputeMatch(rho);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_.Put(rho, computed);
-  }
+  cache_.Put(rho, computed);
   return computed;
 }
 
@@ -219,16 +212,16 @@ EvaluatorStats Evaluator::stats() const {
   s.subgraph_evaluations =
       subgraph_evaluations_.load(std::memory_order_relaxed);
   s.membership_tests = membership_tests_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  const EvalCacheStats cache_stats = cache_.stats();
+  s.cache_hits = cache_stats.hits;
+  s.cache_misses = cache_stats.misses;
   return s;
 }
 
 void Evaluator::ResetStats() {
   subgraph_evaluations_.store(0, std::memory_order_relaxed);
   membership_tests_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  cache_misses_.store(0, std::memory_order_relaxed);
+  cache_.ResetCounters();
 }
 
 }  // namespace remi

@@ -3,21 +3,22 @@
 // This is the query layer the paper delegates to HDT + Jena (§3.5.1/2):
 // atom-level bindings come from the triple store's indexed ranges and the
 // joins of REMI's five shapes are executed here. Match sets of subgraph
-// expressions are memoized in an LRU cache ("query results are cached in a
-// least-recently-used fashion", §3.5.2) because the DFS re-evaluates the
-// same building blocks constantly.
+// expressions are memoized in a sharded LRU cache ("query results are
+// cached in a least-recently-used fashion", §3.5.2) because the DFS
+// re-evaluates the same building blocks constantly; the sharding (see
+// query/eval_cache.h) lets P-REMI workers and concurrent batch-mining
+// runs hit the cache without serializing on one mutex.
 
 #pragma once
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "kb/knowledge_base.h"
 #include "query/entity_set.h"
+#include "query/eval_cache.h"
 #include "query/expression.h"
-#include "util/lru_cache.h"
 
 namespace remi {
 
@@ -34,14 +35,19 @@ struct EvaluatorStats {
 
 /// \brief Evaluates subgraph expressions and conjunctions on a KB.
 ///
-/// Thread-safe: the cache and stats are mutex-guarded, and match sets are
-/// returned as shared_ptr so entries may be evicted while in use (needed by
-/// P-REMI, §3.4).
+/// Thread-safe: the cache is lock-striped (per-shard mutexes, see
+/// EvalCache), stats are atomics, and match sets are returned as
+/// shared_ptr so entries may be evicted while in use (needed by P-REMI,
+/// §3.4, and by MineBatch).
 class Evaluator {
  public:
   /// \param kb the knowledge base (not owned; must outlive the evaluator)
-  /// \param cache_capacity LRU capacity in entries; 0 disables caching.
-  explicit Evaluator(const KnowledgeBase* kb, size_t cache_capacity = 65536);
+  /// \param cache_capacity total LRU capacity in entries, split across
+  ///        shards; 0 disables caching.
+  /// \param cache_shards shard count (rounded up to a power of two);
+  ///        0 = EvalCache::kDefaultShards.
+  explicit Evaluator(const KnowledgeBase* kb, size_t cache_capacity = 65536,
+                     size_t cache_shards = 0);
 
   /// Sorted distinct x-bindings of one subgraph expression.
   std::shared_ptr<const MatchSet> Match(const SubgraphExpression& rho);
@@ -72,14 +78,9 @@ class Evaluator {
       const SubgraphExpression& rho) const;
 
   const KnowledgeBase* kb_;
-  mutable std::mutex mu_;  // guards cache_
-  mutable LruCache<SubgraphExpression, std::shared_ptr<const MatchSet>,
-                   SubgraphExpressionHash>
-      cache_;
+  mutable EvalCache cache_;
   mutable std::atomic<uint64_t> subgraph_evaluations_{0};
   mutable std::atomic<uint64_t> membership_tests_{0};
-  mutable std::atomic<uint64_t> cache_hits_{0};
-  mutable std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace remi

@@ -5,9 +5,17 @@
 #include <mutex>
 
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace remi {
+
+namespace {
+
+/// Sibling ranges shorter than this are never split off as pool tasks:
+/// the Expression/MatchSet copies a spill captures would outweigh the
+/// parallelism.
+constexpr size_t kSpillMinRange = 16;
+
+}  // namespace
 
 struct RemiMiner::SearchShared {
   const std::vector<RankedSubgraph>* queue = nullptr;
@@ -16,6 +24,21 @@ struct RemiMiner::SearchShared {
   size_t max_matches = 0;
   Deadline deadline;
 
+  /// Non-null only for the pool-driving P-REMI search (batch items run
+  /// sequentially inside their own pool task and leave these null).
+  ThreadPool* pool = nullptr;
+  TaskGroup* group = nullptr;
+  int spill_depth = 0;
+
+  /// Sequential REMI prunes nodes with cost >= best: among equal-cost REs
+  /// the DFS-preorder-first one wins because its rivals are never visited.
+  /// P-REMI visits nodes out of order, so it must keep exploring
+  /// equal-cost nodes (strict > prune) and break ties explicitly — by the
+  /// search path, i.e. the queue-index sequence of the node, whose
+  /// lexicographic order IS preorder. Both searches therefore return the
+  /// identical expression without changing sequential behaviour at all.
+  bool strict_bound = false;
+
   std::atomic<bool> stop{false};
   std::atomic<bool> timed_out{false};
 
@@ -23,6 +46,7 @@ struct RemiMiner::SearchShared {
   std::mutex best_mu;
   Expression best_expr;
   MatchSet best_matches;
+  std::vector<size_t> best_path;  // queue indices of the winning node
   double best_cost = CostModel::kInfiniteCost;
   std::atomic<double> best_cost_relaxed{CostModel::kInfiniteCost};
 
@@ -37,20 +61,29 @@ struct RemiMiner::SearchShared {
            CostModel::kInfiniteCost;
   }
 
-  /// Records a found RE; ties in cost break on the deterministic
-  /// expression order so REMI and P-REMI agree.
+  /// True when the best-bound cut applies to a node of this cost. The
+  /// counter-visible semantics (>= vs >) follow strict_bound; callers
+  /// still honour the best_bound_pruning ablation switch themselves.
+  bool BoundHit(double cost) const {
+    if (!HasSolution()) return false;
+    const double best = best_cost_relaxed.load(std::memory_order_relaxed);
+    return strict_bound ? cost > best : cost >= best;
+  }
+
+  /// Records a found RE; ties in cost break on the DFS-preorder order of
+  /// the search paths so REMI and P-REMI return the identical expression.
   void UpdateBest(const Expression& expr, double cost,
-                  const MatchSet& matches) {
+                  const MatchSet& matches, const std::vector<size_t>& path) {
     std::lock_guard<std::mutex> lock(best_mu);
     const bool better =
         cost < best_cost ||
         (cost == best_cost && !best_expr.IsTop() &&
-         std::lexicographical_compare(expr.parts.begin(), expr.parts.end(),
-                                      best_expr.parts.begin(),
-                                      best_expr.parts.end()));
+         std::lexicographical_compare(path.begin(), path.end(),
+                                      best_path.begin(), best_path.end()));
     if (better) {
       best_expr = expr;
       best_matches = matches;
+      best_path = path;
       best_cost = cost;
       best_cost_relaxed.store(cost, std::memory_order_relaxed);
     }
@@ -66,14 +99,27 @@ struct RemiMiner::SearchShared {
   }
 };
 
+struct RemiMiner::RootTracker {
+  size_t root = 0;
+  /// Inline exploration counts as one task; each spilled sub-range adds
+  /// one. Whoever decrements to zero owns the fully-explored event.
+  std::atomic<size_t> outstanding{1};
+};
+
 RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options)
     : kb_(kb),
       options_(options),
-      evaluator_(std::make_unique<Evaluator>(kb, options.eval_cache_capacity)),
+      evaluator_(std::make_unique<Evaluator>(kb, options.eval_cache_capacity,
+                                             options.eval_cache_shards)),
       cost_model_(std::make_unique<CostModel>(kb, options.cost)),
       enumerator_(
           std::make_unique<SubgraphEnumerator>(evaluator_.get(),
-                                               options.enumerator)) {}
+                                               options.enumerator)) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+  }
+}
 
 Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
     const std::vector<TermId>& targets) const {
@@ -89,22 +135,25 @@ Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
       enumerator_->CommonSubgraphs(targets);
 
   std::vector<RankedSubgraph> ranked(common.size());
-  if (options_.num_threads > 1 && common.size() > 64) {
+  ThreadPool* pool = pool_.get();
+  if (pool != nullptr && !pool->OnWorkerThread() && common.size() > 64) {
     // Paper §3.5.2: the construction and sorting of the queue is
-    // parallelized (Ĉ evaluation dominates this phase).
-    ThreadPool pool(static_cast<size_t>(options_.num_threads));
-    const size_t chunk = (common.size() + pool.num_threads() - 1) /
-                         pool.num_threads();
+    // parallelized (Ĉ evaluation dominates this phase). On a worker
+    // thread (a MineBatch item) the chunks are computed inline instead:
+    // batch items parallelize across sets, not within one.
+    TaskGroup group;
+    const size_t chunk = (common.size() + pool->num_threads() - 1) /
+                         pool->num_threads();
     for (size_t begin = 0; begin < common.size(); begin += chunk) {
       const size_t end = std::min(begin + chunk, common.size());
-      pool.Submit([this, &common, &ranked, begin, end] {
+      pool->Submit(&group, [this, &common, &ranked, begin, end] {
         for (size_t i = begin; i < end; ++i) {
           ranked[i] = RankedSubgraph{common[i],
                                      cost_model_->SubgraphCost(common[i])};
         }
       });
     }
-    pool.Wait();
+    group.Wait();
   } else {
     for (size_t i = 0; i < common.size(); ++i) {
       ranked[i] =
@@ -127,17 +176,65 @@ Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
   return ranked;
 }
 
+void RemiMiner::FinishRootTask(const std::shared_ptr<RootTracker>& tracker,
+                               SearchShared* shared) const {
+  if (tracker->outstanding.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  // The root's subtree is now fully explored. Only the *cheapest* root
+  // supports the no-solution conclusion (Alg. 1 line 8): conjoining the
+  // cheapest common subgraph to any RE yields an RE inside that root's
+  // subtree, so an exhausted first subtree means no RE exists anywhere.
+  // A later root's exhaustion proves only that no RE avoids every earlier
+  // subgraph — stopping on it could abort a sibling about to succeed.
+  if (tracker->root == 0 &&
+      !shared->timed_out.load(std::memory_order_relaxed) &&
+      !shared->stop.load(std::memory_order_relaxed) &&
+      !shared->HasSolution()) {
+    shared->stop.store(true, std::memory_order_relaxed);
+  }
+}
+
 void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
-                    double prefix_cost, size_t next_index,
-                    SearchShared* shared, int depth) const {
+                    double prefix_cost, size_t next_index, size_t level_end,
+                    SearchShared* shared, int depth,
+                    const std::shared_ptr<RootTracker>& tracker,
+                    std::vector<size_t>* path) const {
   const auto& queue = *shared->queue;
-  for (size_t j = next_index; j < queue.size(); ++j) {
+  size_t end = level_end;
+
+  // Lazy binary splitting (P-REMI only): while some worker is idle, hand
+  // the upper half of this level's unexplored sibling range to the pool.
+  // The spilled task re-enters Dfs with the same prefix, so it covers
+  // exactly the level-children [mid, end) and their subtrees; children of
+  // the inline half still recurse over the full remaining queue.
+  if (shared->pool != nullptr && tracker != nullptr &&
+      depth <= shared->spill_depth) {
+    while (end - next_index >= kSpillMinRange &&
+           shared->pool->HasIdleWorker() &&
+           !shared->stop.load(std::memory_order_relaxed)) {
+      const size_t mid = next_index + (end - next_index) / 2;
+      tracker->outstanding.fetch_add(1, std::memory_order_relaxed);
+      std::vector<size_t> spilled_path = *path;
+      shared->pool->Submit(
+          shared->group,
+          [this, prefix, prefix_matches, prefix_cost, mid, end, shared, depth,
+           tracker, spilled_path] {
+            std::vector<size_t> task_path = spilled_path;
+            Dfs(prefix, prefix_matches, prefix_cost, mid, end, shared, depth,
+                tracker, &task_path);
+            FinishRootTask(tracker, shared);
+          });
+      end = mid;
+    }
+  }
+
+  for (size_t j = next_index; j < end; ++j) {
     if (shared->stop.load(std::memory_order_relaxed)) return;
     if (shared->CheckDeadline()) return;
 
     const double cost = prefix_cost + queue[j].cost;
-    if (shared->HasSolution() &&
-        cost >= shared->best_cost_relaxed.load(std::memory_order_relaxed)) {
+    if (shared->BoundHit(cost)) {
       shared->bound_prunes.fetch_add(1, std::memory_order_relaxed);
       if (options_.best_bound_pruning) {
         // The queue is cost-sorted: every later sibling (and its subtree)
@@ -164,30 +261,36 @@ void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
     const bool is_re = matches.size() <= shared->max_matches;
     const Expression node = prefix.Conjoin(queue[j].expression);
 
+    path->push_back(j);
     if (is_re) {
-      shared->UpdateBest(node, cost, matches);
+      shared->UpdateBest(node, cost, matches, *path);
       if (options_.depth_pruning) {
         shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
       } else {
-        Dfs(node, matches, cost, j + 1, shared, depth + 1);
+        Dfs(node, matches, cost, j + 1, queue.size(), shared, depth + 1,
+            tracker, path);
       }
       if (options_.side_pruning) {
         shared->side_prunes.fetch_add(1, std::memory_order_relaxed);
+        path->pop_back();
         return;
       }
     } else {
-      Dfs(node, matches, cost, j + 1, shared, depth + 1);
+      Dfs(node, matches, cost, j + 1, queue.size(), shared, depth + 1,
+          tracker, path);
     }
+    path->pop_back();
   }
 }
 
-bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared) const {
+bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared,
+                            const std::shared_ptr<RootTracker>& tracker)
+    const {
   if (shared->stop.load(std::memory_order_relaxed)) return false;
   const auto& queue = *shared->queue;
   const RankedSubgraph& rho = queue[root];
 
-  if (shared->HasSolution() &&
-      rho.cost >= shared->best_cost_relaxed.load(std::memory_order_relaxed)) {
+  if (shared->BoundHit(rho.cost)) {
     shared->bound_prunes.fetch_add(1, std::memory_order_relaxed);
     return true;  // nothing cheaper can exist below this root
   }
@@ -195,11 +298,13 @@ bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared) const {
   std::shared_ptr<const MatchSet> matches = evaluator_->Match(rho.expression);
   shared->nodes.fetch_add(1, std::memory_order_relaxed);
   const Expression expr = Expression::Top().Conjoin(rho.expression);
+  std::vector<size_t> path{root};
   if (matches->size() <= shared->max_matches) {
-    shared->UpdateBest(expr, rho.cost, *matches);
+    shared->UpdateBest(expr, rho.cost, *matches, path);
     shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
   } else {
-    Dfs(expr, *matches, rho.cost, root + 1, shared, 1);
+    Dfs(expr, *matches, rho.cost, root + 1, queue.size(), shared, 1, tracker,
+        &path);
   }
   return !shared->timed_out.load(std::memory_order_relaxed);
 }
@@ -216,7 +321,51 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
   }
   // The EntitySet range constructor sorts and deduplicates.
   const MatchSet sorted_targets(targets.begin(), targets.end());
+  return MineCore(sorted_targets, max_exceptions, pool_.get());
+}
 
+Result<std::vector<RemiResult>> RemiMiner::MineBatch(
+    const std::vector<std::vector<TermId>>& target_sets,
+    size_t max_exceptions) const {
+  for (size_t i = 0; i < target_sets.size(); ++i) {
+    if (target_sets[i].empty()) {
+      return Status::InvalidArgument("target set #" + std::to_string(i) +
+                                     " is empty");
+    }
+  }
+  std::vector<RemiResult> results(target_sets.size());
+  ThreadPool* pool = pool_.get();
+  if (pool != nullptr && !pool->OnWorkerThread() && target_sets.size() > 1) {
+    // One task per set; each runs the sequential algorithm against the
+    // shared warm cache while the pool parallelizes across sets.
+    TaskGroup group;
+    for (size_t i = 0; i < target_sets.size(); ++i) {
+      pool->Submit(&group, [this, &results, &target_sets, i,
+                            max_exceptions] {
+        const MatchSet sorted(target_sets[i].begin(), target_sets[i].end());
+        auto mined = MineCore(sorted, max_exceptions, nullptr);
+        // MineCore cannot fail on a non-empty target set; a default
+        // (not-found) result stands in if that invariant ever breaks.
+        if (mined.ok()) results[i] = std::move(*mined);
+      });
+    }
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < target_sets.size(); ++i) {
+      const MatchSet sorted(target_sets[i].begin(), target_sets[i].end());
+      auto mined = MineCore(
+          sorted, max_exceptions,
+          (pool != nullptr && !pool->OnWorkerThread()) ? pool : nullptr);
+      if (!mined.ok()) return mined.status();
+      results[i] = std::move(*mined);
+    }
+  }
+  return results;
+}
+
+Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
+                                       size_t max_exceptions,
+                                       ThreadPool* pool) const {
   RemiResult result;
   const EvaluatorStats eval_before = evaluator_->stats();
 
@@ -271,7 +420,7 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
     }
   }
 
-  if (options_.num_threads <= 1) {
+  if (pool == nullptr) {
     // Alg. 1: dequeue roots in ascending Ĉ order.
     for (size_t i = 0; i < n; ++i) {
       if (shared.stop.load(std::memory_order_relaxed)) break;
@@ -280,7 +429,7 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
               shared.best_cost_relaxed.load(std::memory_order_relaxed)) {
         break;  // all remaining roots are at least as expensive
       }
-      const bool fully_explored = ExploreRoot(i, &shared);
+      const bool fully_explored = ExploreRoot(i, &shared, nullptr);
       if (fully_explored && !shared.HasSolution()) {
         // Alg. 1 line 8: the exhausted subtree contained the most specific
         // conjunction reachable from here; no RE exists.
@@ -288,32 +437,38 @@ Result<RemiResult> RemiMiner::MineReWithExceptions(
       }
     }
   } else {
-    // P-REMI (§3.4): threads concurrently dequeue roots.
+    // P-REMI (§3.4): workers concurrently dequeue roots in ascending-Ĉ
+    // order, and skewed subtrees additionally spill sibling sub-ranges to
+    // idle workers (see Dfs). All tasks of this run are tracked by one
+    // TaskGroup so concurrent runs can share the pool.
+    shared.pool = pool;
+    shared.spill_depth = options_.spill_depth;
+    shared.strict_bound = true;
+    TaskGroup group;
+    shared.group = &group;
     std::atomic<size_t> next_root{0};
-    ThreadPool pool(static_cast<size_t>(options_.num_threads));
-    for (size_t w = 0; w < pool.num_threads(); ++w) {
-      pool.Submit([this, &shared, &next_root, n] {
+    const size_t num_workers = pool->num_threads();
+    for (size_t w = 0; w < num_workers && w < n; ++w) {
+      pool->Submit(&group, [this, &shared, &next_root, n] {
         for (;;) {
           const size_t i =
               next_root.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           if (shared.stop.load(std::memory_order_relaxed)) return;
-          if (shared.HasSolution() &&
-              (*shared.queue)[i].cost >=
-                  shared.best_cost_relaxed.load(std::memory_order_relaxed)) {
-            return;  // ascending costs: no later root can win
+          if (shared.BoundHit((*shared.queue)[i].cost)) {
+            return;  // ascending costs: no later root can win a tie-break
           }
-          const bool fully_explored = ExploreRoot(i, &shared);
-          if (fully_explored && !shared.HasSolution()) {
-            // §3.4 difference #2: signal the other threads that no RE
-            // exists anywhere.
-            shared.stop.store(true, std::memory_order_relaxed);
-            return;
-          }
+          auto tracker = std::make_shared<RootTracker>();
+          tracker->root = i;
+          ExploreRoot(i, &shared, tracker);
+          // The inline share of the root is done; spilled sub-ranges (if
+          // any) finish on their own and the last one signals
+          // no-solution for the cheapest root.
+          FinishRootTask(tracker, &shared);
         }
       });
     }
-    pool.Wait();
+    group.Wait();
   }
   result.stats.search_seconds = search_timer.ElapsedSeconds();
 

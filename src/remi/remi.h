@@ -13,10 +13,20 @@
 //     exhausted with no RE found, the full conjunction is not an RE and no
 //     RE exists (Alg. 1 line 8).
 //
-// P-REMI runs the per-root subtrees on a thread pool with a shared,
-// mutex-guarded best solution and a shared stop signal; a thread that
-// exhausts its root without any global solution signals all others to stop
-// (paper §3.4, difference #2).
+// P-REMI runs the per-root subtrees on a long-lived work-stealing thread
+// pool with a shared, mutex-guarded best solution and a shared stop
+// signal. Workers dequeue roots in ascending-Ĉ order, and additionally
+// spill sibling sub-ranges of the DFS to the pool while other workers are
+// idle (lazy binary splitting), so one skewed subtree no longer stalls the
+// whole run. When the *cheapest* root's subtree is exhausted without any
+// global solution, no RE exists at all (conjoining the cheapest common
+// subgraph to any RE yields an RE inside that subtree), and all workers
+// are signalled to stop (paper §3.4, difference #2).
+//
+// MineBatch schedules many independent target sets on the same pool with
+// the shared warm evaluator cache — the paper's cost-vs-users scenario
+// (Table 2) where one KB serves many concurrent referring-expression
+// queries.
 //
 // Because G contains only *common* subgraph expressions, every conjunction
 // of them matches every target; the DFS therefore maintains the exact match
@@ -31,6 +41,7 @@
 #include "query/evaluator.h"
 #include "remi/enumerator.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace remi {
@@ -40,8 +51,15 @@ struct RemiOptions {
   CostModelOptions cost;
   EnumeratorOptions enumerator;
 
-  /// Worker threads; 1 = sequential REMI, >1 = P-REMI.
+  /// Worker threads; 1 = sequential REMI, >1 = P-REMI. The miner owns one
+  /// long-lived work-stealing pool of this size, reused across MineRe and
+  /// MineBatch calls.
   int num_threads = 1;
+
+  /// P-REMI only: DFS levels at depth <= spill_depth may hand the upper
+  /// half of their unexplored sibling range to the pool when workers are
+  /// idle. 0 disables spilling (per-root parallelism only).
+  int spill_depth = 2;
 
   /// Per-call timeout in seconds; 0 disables (paper §4.2 uses 2h).
   double timeout_seconds = 0.0;
@@ -53,6 +71,10 @@ struct RemiOptions {
 
   /// LRU capacity of the evaluator's match-set cache (§3.5.2); 0 disables.
   size_t eval_cache_capacity = 65536;
+
+  /// Shard count of the match-set cache (lock striping for concurrent
+  /// Match() calls); 0 = EvalCache::kDefaultShards.
+  size_t eval_cache_shards = 0;
 };
 
 /// Counters describing one mining run.
@@ -110,6 +132,18 @@ class RemiMiner {
   Result<RemiResult> MineReWithExceptions(const std::vector<TermId>& targets,
                                           size_t max_exceptions) const;
 
+  /// Mines every target set of a batch, scheduling the independent runs
+  /// on the miner's pool (one run per worker at a time) with the shared
+  /// warm match-set cache — the "many concurrent users, one KB" workload
+  /// of the paper's runtime study. With num_threads <= 1 the sets are
+  /// mined sequentially, producing byte-identical results to per-set
+  /// MineRe calls. Fails if any set is empty. Note: when runs execute
+  /// concurrently, the per-result `stats.eval` deltas may include sibling
+  /// runs' evaluator activity.
+  Result<std::vector<RemiResult>> MineBatch(
+      const std::vector<std::vector<TermId>>& target_sets,
+      size_t max_exceptions = 0) const;
+
   /// The priority queue of Alg. 1 line 2: common subgraph expressions
   /// sorted by ascending Ĉ (ties broken deterministically). Used directly
   /// by the Table 2 / Table 3 harnesses.
@@ -127,21 +161,48 @@ class RemiMiner {
 
  private:
   struct SearchShared;
+  /// Tracks the outstanding DFS tasks (inline exploration + spilled
+  /// sub-ranges) of one root's subtree, so P-REMI knows when the subtree
+  /// is *fully* explored even though its work is spread across tasks.
+  struct RootTracker;
+
+  /// One mining run over an already-sorted target set. `pool` non-null
+  /// runs P-REMI on it; null runs the sequential algorithm (also used for
+  /// batch items, which parallelize across sets instead of within one).
+  Result<RemiResult> MineCore(const MatchSet& sorted_targets,
+                              size_t max_exceptions, ThreadPool* pool) const;
 
   /// Explores the subtree rooted at queue index `root` (DFS-REMI /
   /// P-DFS-REMI). Returns true if the subtree was fully explored (i.e. not
   /// cut by the timeout).
-  bool ExploreRoot(size_t root, SearchShared* shared) const;
+  bool ExploreRoot(size_t root, SearchShared* shared,
+                   const std::shared_ptr<RootTracker>& tracker) const;
 
+  /// DFS over the sibling range [next_index, level_end) extending
+  /// `prefix`. Children recurse over the full remaining queue; level_end
+  /// only bounds this level, so a spilled upper half covers exactly the
+  /// subtrees the spiller skips. `path` holds the queue indices of the
+  /// prefix (mutated push/pop along the recursion) and feeds the
+  /// preorder tie-break in UpdateBest.
   void Dfs(const Expression& prefix, const MatchSet& prefix_matches,
-           double prefix_cost, size_t next_index, SearchShared* shared,
-           int depth) const;
+           double prefix_cost, size_t next_index, size_t level_end,
+           SearchShared* shared, int depth,
+           const std::shared_ptr<RootTracker>& tracker,
+           std::vector<size_t>* path) const;
+
+  /// Marks one of `tracker`'s tasks finished; the last task out signals
+  /// the no-solution stop if the exhausted root was the cheapest one.
+  void FinishRootTask(const std::shared_ptr<RootTracker>& tracker,
+                      SearchShared* shared) const;
 
   const KnowledgeBase* kb_;
   RemiOptions options_;
   std::unique_ptr<Evaluator> evaluator_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<SubgraphEnumerator> enumerator_;
+  /// Long-lived work-stealing pool (created iff num_threads > 1), shared
+  /// by P-REMI subtree tasks, queue construction and MineBatch runs.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace remi

@@ -2,8 +2,9 @@
 //
 // REMI evaluates the same subgraph-expression queries many times during its
 // DFS (paper §3.5.2: "query results are cached in a least-recently-used
-// fashion"); this cache backs the query layer. Not thread-safe by itself;
-// P-REMI wraps it with a mutex (see query/eval_cache.h).
+// fashion"); this cache backs the query layer. Not thread-safe by itself:
+// it is the per-shard building block of the lock-striped EvalCache in
+// query/eval_cache.h, which P-REMI and batch mining hit concurrently.
 
 #pragma once
 
@@ -59,9 +60,16 @@ class LruCache {
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
 
-  /// Cache statistics, cumulative since construction or last Clear().
+  /// Cache statistics, cumulative since construction or last Clear() /
+  /// ResetCounters().
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+
+  /// Zeroes the hit/miss counters without dropping entries.
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
 
   void Clear() {
     entries_.clear();

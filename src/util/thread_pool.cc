@@ -2,64 +2,193 @@
 
 namespace remi {
 
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// Submit() can route a worker's tasks to its own deque and OnWorkerThread()
+// can detect nested use.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+}  // namespace
+
+void TaskGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += n;
+}
+
+void TaskGroup::Done(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ -= n;
+  if (pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
-  workers_.reserve(num_threads);
+  queues_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
   {
+    // Empty critical section: a worker between its predicate check and its
+    // cv wait holds mu_, so acquiring it here orders the store before the
+    // notification it is about to wait for.
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
   }
   task_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(nullptr, std::move(task));
+}
+
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
+  if (shutdown_.load(std::memory_order_relaxed)) return;
+  if (group != nullptr) group->Add(1);
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+
+  // A worker submits to its own deque (back = run next, depth-first);
+  // external threads append to the FIFO inbox so unrelated submissions
+  // run in roughly arrival order.
+  if (OnWorkerThread()) {
+    Worker& w = *queues_[tls_worker_index];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.tasks.push_back(Task{std::move(task), group});
+  } else {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(Task{std::move(task), group});
+  }
+  queued_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
-    tasks_.push(std::move(task));
+    std::lock_guard<std::mutex> lock(mu_);  // pair with sleeper's check
   }
   task_cv_.notify_one();
 }
 
+bool ThreadPool::FindTask(size_t self, Task* out) {
+  {
+    Worker& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    if (!inbox_.empty()) {
+      *out = std::move(inbox_.front());
+      inbox_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    Worker& victim = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task task) {
+  task.fn();
+  if (task.group != nullptr) task.group->Done(1);
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    Task task;
+    if (FindTask(index, &task)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.fetch_add(1, std::memory_order_relaxed);
+    task_cv_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    idle_.fetch_sub(1, std::memory_order_relaxed);
+    if (shutdown_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      // Destructor semantics: drain every queued task before exiting.
+      return;
+    }
+  }
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  idle_cv_.wait(lock,
+                [this] { return unfinished_.load(std::memory_order_acquire) ==
+                                0; });
 }
 
 void ThreadPool::Cancel() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::queue<std::function<void()>> empty;
-  tasks_.swap(empty);
-}
-
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
+  size_t dropped = 0;
+  std::deque<Task> victims;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    victims.swap(inbox_);
+  }
+  for (Task& task : victims) {
+    if (task.group != nullptr) task.group->Done(1);
+    ++dropped;
+  }
+  for (auto& worker : queues_) {
+    std::deque<Task> worker_victims;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
-      ++active_;
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker_victims.swap(worker->tasks);
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    for (Task& task : worker_victims) {
+      if (task.group != nullptr) task.group->Done(1);
+      ++dropped;
     }
   }
+  if (dropped > 0) {
+    queued_.fetch_sub(dropped, std::memory_order_relaxed);
+    unfinished_.fetch_sub(dropped, std::memory_order_relaxed);
+  }
+  // Wake Wait()ers unconditionally: if the drop emptied the pool while no
+  // task was active, nobody else will ever notify them (this was a hang:
+  // Cancel() used to clear the queue without signalling idle_cv_).
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_cv_.notify_all();
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_pool == this; }
+
+bool ThreadPool::HasIdleWorker() const {
+  return idle_.load(std::memory_order_relaxed) > 0;
 }
 
 }  // namespace remi

@@ -1,22 +1,68 @@
-// A fixed-size thread pool used by P-REMI (paper §3.4) and by the parallel
-// construction of the subgraph-expression priority queue (paper §3.5.2).
+// A work-stealing thread pool used by P-REMI (paper §3.4), by the parallel
+// construction of the subgraph-expression priority queue (paper §3.5.2),
+// and by RemiMiner::MineBatch.
+//
+// External submissions enter a global FIFO inbox and run in roughly
+// submission order. Submissions from a worker thread go to that worker's
+// own deque, where the owner pushes and pops at the back (LIFO,
+// depth-first locality for spilled search subtrees) while idle workers
+// steal from the front (FIFO, oldest-first = closest to the root of the
+// spawning task's subtree). The pool is designed to be long-lived and
+// reused across many mining calls: per-call completion is tracked by
+// TaskGroup rather than by draining the whole pool.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace remi {
 
-/// \brief Fixed-size pool executing std::function<void()> tasks FIFO.
+class ThreadPool;
+
+/// \brief Completion tracker for a related set of tasks.
 ///
-/// Submit() after Shutdown() is ignored. The destructor drains queued tasks
-/// before joining workers; use Cancel() to drop pending tasks instead.
+/// Submit tasks with ThreadPool::Submit(&group, ...) and call Wait() to
+/// block until all of them (including tasks they submit into the same
+/// group) have finished. Unlike ThreadPool::Wait(), this lets independent
+/// callers share one pool without waiting on each other's work.
+///
+/// Wait() must not be called from a worker of the pool the group's tasks
+/// run on: the worker would block a slot its own group may need.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until every task submitted with this group has finished or
+  /// been cancelled.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  void Add(size_t n);
+  void Done(size_t n);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+/// \brief Fixed-size work-stealing pool executing std::function<void()>
+/// tasks.
+///
+/// Submit() after Shutdown() is ignored. The destructor drains queued
+/// tasks before joining workers; use Cancel() to drop pending tasks
+/// instead.
 class ThreadPool {
  public:
   /// \param num_threads worker count; 0 is clamped to 1.
@@ -29,24 +75,59 @@ class ThreadPool {
   /// Enqueues a task. Thread-safe.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a task tracked by `group` (which must outlive the task).
+  void Submit(TaskGroup* group, std::function<void()> task);
+
   /// Blocks until all submitted tasks have finished executing.
   void Wait();
 
-  /// Drops all queued (not yet started) tasks.
+  /// Drops all queued (not yet started) tasks and wakes Wait()ers /
+  /// TaskGroup waiters whose work was dropped.
   void Cancel();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// True if the calling thread is one of this pool's workers. Used to
+  /// avoid nested-wait deadlocks (a worker must not block on work that
+  /// only the pool itself can execute).
+  bool OnWorkerThread() const;
+
+  /// True if at least one worker is currently sleeping (best-effort,
+  /// relaxed read). Cheap hint for lazy task spilling: splitting work is
+  /// only worth the copy when somebody is free to steal it.
+  bool HasIdleWorker() const;
+
+  size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> tasks;  // owner: back; thieves: front
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops from the caller's own deque back, else takes the oldest inbox
+  /// task, else steals from another worker's front. Returns false when
+  /// every queue is empty.
+  bool FindTask(size_t self, Task* out);
+  void RunTask(Task task);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inbox_mu_;
+  std::deque<Task> inbox_;  // external submissions, FIFO
+
+  std::mutex mu_;  // sleep/wake bookkeeping
   std::condition_variable task_cv_;   // signals workers
   std::condition_variable idle_cv_;   // signals Wait()
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  std::atomic<size_t> queued_{0};      // tasks in the inbox + deques
+  std::atomic<size_t> unfinished_{0};  // queued + running
+  std::atomic<size_t> idle_{0};        // workers blocked in task_cv_ wait
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace remi

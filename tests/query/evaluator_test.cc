@@ -1,5 +1,9 @@
 #include "query/evaluator.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "kbgen/curated.h"
@@ -204,6 +208,41 @@ TEST_F(EvaluatorTest, ResetStatsZeroesCounters) {
   EXPECT_EQ(s.subgraph_evaluations + s.membership_tests + s.cache_hits +
                 s.cache_misses,
             0u);
+}
+
+TEST_F(EvaluatorTest, ConcurrentMatchesAreConsistent) {
+  // Many threads hammer one evaluator with overlapping Match() calls; the
+  // sharded cache must serve every caller the correct match set, with or
+  // without caching (capacity 0 exercises the all-miss path).
+  for (const size_t capacity : {size_t{0}, size_t{64}}) {
+    Evaluator eval(kb_, capacity);
+    const std::vector<SubgraphExpression> queries = {
+        SubgraphExpression::Atom(Pred("capitalOf"), Id("France")),
+        SubgraphExpression::Atom(kb_->type_predicate(), Id("City")),
+        SubgraphExpression::Path(Pred("officialLanguage"),
+                                 Pred("langFamily"), Id("Germanic")),
+        SubgraphExpression::PathStar(Pred("mayor"), Pred("party"),
+                                     Id("Socialist_Party"),
+                                     kb_->type_predicate(), Id("Person")),
+    };
+    std::vector<size_t> expected;
+    for (const auto& rho : queries) expected.push_back(eval.Match(rho)->size());
+
+    std::atomic<uint64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = 0; i < 500; ++i) {
+          const size_t q = (i + t) % queries.size();
+          if (eval.Match(queries[q])->size() != expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0u) << "capacity=" << capacity;
+  }
 }
 
 TEST(SortedSetOpsTest, IntersectSorted) {

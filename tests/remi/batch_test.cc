@@ -1,0 +1,170 @@
+// RemiMiner::MineBatch: batch results must equal per-set MineRe results
+// whether the batch runs sequentially or across the miner's pool, and the
+// shared warm cache must not leak state between sets.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kbgen/curated.h"
+#include "kbgen/kb_builder.h"
+#include "kbgen/workload.h"
+#include "remi/remi.h"
+
+namespace remi {
+namespace {
+
+class MineBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { kb_ = new KnowledgeBase(BuildCuratedKb()); }
+  static void TearDownTestSuite() {
+    delete kb_;
+    kb_ = nullptr;
+  }
+
+  TermId Id(const char* name) const { return *FindEntity(*kb_, name); }
+
+  std::vector<std::vector<TermId>> SampleBatch() const {
+    return {
+        {Id("Paris")},
+        {Id("Marie_Curie")},
+        {Id("Rennes"), Id("Nantes")},
+        {Id("Guyana"), Id("Suriname")},
+        {Id("Ecuador"), Id("Peru")},
+        {Id("The_Hobbit_1"), Id("The_Hobbit_2")},
+        {Id("Agrofert")},
+    };
+  }
+
+  static KnowledgeBase* kb_;
+};
+
+KnowledgeBase* MineBatchTest::kb_ = nullptr;
+
+void ExpectSameResults(const RemiMiner& reference_miner,
+                       const std::vector<std::vector<TermId>>& sets,
+                       const std::vector<RemiResult>& batch) {
+  ASSERT_EQ(batch.size(), sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    auto individual = reference_miner.MineRe(sets[i]);
+    ASSERT_TRUE(individual.ok());
+    EXPECT_EQ(batch[i].found, individual->found) << "set " << i;
+    if (individual->found) {
+      EXPECT_NEAR(batch[i].cost, individual->cost, 1e-9) << "set " << i;
+      EXPECT_EQ(batch[i].expression, individual->expression) << "set " << i;
+    }
+  }
+}
+
+TEST_F(MineBatchTest, SequentialBatchMatchesIndividualRuns) {
+  RemiMiner miner(kb_, RemiOptions{});
+  const auto sets = SampleBatch();
+  auto batch = miner.MineBatch(sets);
+  ASSERT_TRUE(batch.ok());
+  ExpectSameResults(miner, sets, *batch);
+}
+
+TEST_F(MineBatchTest, ParallelBatchMatchesSequentialResults) {
+  RemiOptions par;
+  par.num_threads = 4;
+  RemiMiner par_miner(kb_, par);
+  RemiMiner seq_miner(kb_, RemiOptions{});
+  const auto sets = SampleBatch();
+  auto batch = par_miner.MineBatch(sets);
+  ASSERT_TRUE(batch.ok());
+  ExpectSameResults(seq_miner, sets, *batch);
+}
+
+TEST_F(MineBatchTest, RepeatedParallelBatchesAreDeterministic) {
+  RemiOptions par;
+  par.num_threads = 4;
+  RemiMiner miner(kb_, par);
+  const auto sets = SampleBatch();
+  auto first = miner.MineBatch(sets);
+  ASSERT_TRUE(first.ok());
+  for (int round = 0; round < 3; ++round) {
+    // Later rounds hit the warm cache; results must not change.
+    auto again = miner.MineBatch(sets);
+    ASSERT_TRUE(again.ok());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_EQ((*again)[i].found, (*first)[i].found);
+      EXPECT_EQ((*again)[i].expression, (*first)[i].expression);
+      EXPECT_NEAR((*again)[i].cost, (*first)[i].cost, 1e-12);
+    }
+  }
+}
+
+TEST_F(MineBatchTest, EmptyBatchYieldsEmptyResults) {
+  RemiMiner miner(kb_, RemiOptions{});
+  auto batch = miner.MineBatch({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST_F(MineBatchTest, EmptyTargetSetIsRejected) {
+  RemiMiner miner(kb_, RemiOptions{});
+  auto batch = miner.MineBatch({{Id("Paris")}, {}});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST_F(MineBatchTest, BatchWithExceptionsMatchesIndividualRuns) {
+  RemiOptions par;
+  par.num_threads = 3;
+  RemiMiner par_miner(kb_, par);
+  RemiMiner seq_miner(kb_, RemiOptions{});
+  const auto sets = SampleBatch();
+  auto batch = par_miner.MineBatch(sets, /*max_exceptions=*/1);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    auto individual = seq_miner.MineReWithExceptions(sets[i], 1);
+    ASSERT_TRUE(individual.ok());
+    EXPECT_EQ((*batch)[i].found, individual->found) << "set " << i;
+    if (individual->found) {
+      EXPECT_NEAR((*batch)[i].cost, individual->cost, 1e-9) << "set " << i;
+      EXPECT_EQ((*batch)[i].expression, individual->expression)
+          << "set " << i;
+      EXPECT_EQ((*batch)[i].exceptions, individual->exceptions)
+          << "set " << i;
+    }
+  }
+}
+
+TEST_F(MineBatchTest, ManyThreadsFewSets) {
+  RemiOptions par;
+  par.num_threads = 16;
+  RemiMiner miner(kb_, par);
+  const std::vector<std::vector<TermId>> sets = {{Id("Paris")},
+                                                 {Id("Marie_Curie")}};
+  auto batch = miner.MineBatch(sets);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE((*batch)[0].found);
+  EXPECT_TRUE((*batch)[1].found);
+}
+
+// Concurrent MineBatch + MineRe calls from multiple external threads
+// share one miner (and one pool); everything must stay consistent.
+TEST_F(MineBatchTest, ConcurrentCallersShareOneMiner) {
+  RemiOptions par;
+  par.num_threads = 4;
+  RemiMiner miner(kb_, par);
+  RemiMiner reference(kb_, RemiOptions{});
+  const auto sets = SampleBatch();
+
+  std::vector<std::thread> callers;
+  std::vector<Result<std::vector<RemiResult>>> outcomes(
+      3, Result<std::vector<RemiResult>>(std::vector<RemiResult>{}));
+  for (size_t t = 0; t < outcomes.size(); ++t) {
+    callers.emplace_back(
+        [&, t] { outcomes[t] = miner.MineBatch(sets); });
+  }
+  for (auto& caller : callers) caller.join();
+  for (auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok());
+    ExpectSameResults(reference, sets, *outcome);
+  }
+}
+
+}  // namespace
+}  // namespace remi

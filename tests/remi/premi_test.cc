@@ -5,6 +5,7 @@
 
 #include "kbgen/curated.h"
 #include "kbgen/kb_builder.h"
+#include "kbgen/synthetic.h"
 #include "kbgen/workload.h"
 #include "remi/remi.h"
 
@@ -145,6 +146,73 @@ TEST_P(PremiWorkloadTest, ParallelMatchesSequentialOnWorkload) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PremiWorkloadTest, ::testing::Values(1, 2, 3));
+
+// Property: on randomized synthetic KBs, P-REMI at 2, 4 and 8 threads
+// returns the same cost — and, under the deterministic tie-break, the
+// same expression — as sequential REMI, for every sampled target set.
+// The 8-thread runs exercise subtree spilling (more workers than roots
+// in flight means idle workers to steal spilled ranges).
+class PremiSyntheticPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PremiSyntheticPropertyTest, ThreadCountsAgreeWithSequential) {
+  SyntheticKbConfig config;
+  config.seed = static_cast<uint64_t>(GetParam()) * 977 + 11;
+  config.num_entities = 700;
+  config.num_predicates = 48;
+  config.num_classes = 10;
+  config.num_facts = 5200;
+  KnowledgeBase kb = BuildSyntheticKb(config);
+
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  WorkloadConfig wconfig;
+  wconfig.num_sets = 10;
+  auto classes = LargestClasses(kb, 4);
+  ASSERT_FALSE(classes.empty());
+  auto sets = SampleEntitySets(kb, classes, wconfig, &rng);
+  ASSERT_FALSE(sets.empty());
+
+  RemiMiner seq_miner(&kb, RemiOptions{});
+  for (const int threads : {2, 4, 8}) {
+    RemiOptions par;
+    par.num_threads = threads;
+    RemiMiner par_miner(&kb, par);
+    for (const auto& set : sets) {
+      auto a = seq_miner.MineRe(set.entities);
+      auto b = par_miner.MineRe(set.entities);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->found, b->found) << "threads=" << threads;
+      if (a->found) {
+        EXPECT_NEAR(a->cost, b->cost, 1e-9) << "threads=" << threads;
+        EXPECT_EQ(a->expression, b->expression) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PremiSyntheticPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+// Aggressive spilling (spill_depth deep enough to cover the whole search
+// tree) must not change results either.
+TEST_F(PremiTest, DeepSpillDepthAgreesWithSequential) {
+  RemiOptions par;
+  par.num_threads = 4;
+  par.spill_depth = 64;
+  RemiMiner seq_miner(kb_, RemiOptions{});
+  RemiMiner par_miner(kb_, par);
+  for (const char* name : {"Paris", "Marie_Curie", "Rennes"}) {
+    auto a = seq_miner.MineRe({Id(name)});
+    auto b = par_miner.MineRe({Id(name)});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->found, b->found) << name;
+    if (a->found) {
+      EXPECT_NEAR(a->cost, b->cost, 1e-9) << name;
+      EXPECT_EQ(a->expression, b->expression) << name;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace remi

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +83,138 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     }
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, CancelWakesWaiter) {
+  // Regression: Cancel() used to clear the queue without notifying
+  // idle_cv_, so a Wait()er could hang if the drop emptied the pool.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  std::atomic<bool> wait_returned{false};
+  std::thread waiter([&] {
+    pool.Wait();
+    wait_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.Cancel();
+  release.store(true);
+  waiter.join();
+  EXPECT_TRUE(wait_returned.load());
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, TaskGroupWaitsOnlyForItsOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<bool> release_other{false};
+  // An unrelated long-running task must not block the group's Wait().
+  pool.Submit([&] {
+    while (!release_other.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(&group, [&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 16);
+  release_other.store(true);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, TaskGroupTracksNestedSubmissions) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  pool.Submit(&group, [&] {
+    counter.fetch_add(1);
+    pool.Submit(&group, [&counter] { counter.fetch_add(10); });
+  });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, CancelReleasesTaskGroupWaiters) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  TaskGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&group, [&counter] { counter.fetch_add(1); });
+  }
+  pool.Cancel();  // drops the queued group tasks -> group must unblock
+  group.Wait();
+  EXPECT_EQ(counter.load(), 0);
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealNestedTasks) {
+  // A worker submits subtasks to its own deque, then blocks until one of
+  // them has run. Only another worker stealing from the blocked worker's
+  // deque can make progress, so completion proves work stealing.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  pool.Submit(&group, [&] {
+    for (int i = 0; i < 3; ++i) {
+      pool.Submit(&group, [&ran] { ran.fetch_add(1); });
+    }
+    while (ran.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<int> inside{-1};
+  std::atomic<int> inside_other{-1};
+  pool.Submit([&] {
+    inside.store(pool.OnWorkerThread() ? 1 : 0);
+    inside_other.store(other.OnWorkerThread() ? 1 : 0);
+  });
+  pool.Wait();
+  EXPECT_EQ(inside.load(), 1);
+  EXPECT_EQ(inside_other.load(), 0);
+}
+
+TEST(ThreadPoolTest, ManyGroupsInterleave) {
+  ThreadPool pool(4);
+  constexpr int kGroups = 8;
+  constexpr int kTasksPerGroup = 64;
+  std::vector<std::unique_ptr<TaskGroup>> groups;
+  std::atomic<int> counters[kGroups] = {};
+  for (int g = 0; g < kGroups; ++g) {
+    groups.push_back(std::make_unique<TaskGroup>());
+    for (int i = 0; i < kTasksPerGroup; ++i) {
+      pool.Submit(groups.back().get(),
+                  [&counters, g] { counters[g].fetch_add(1); });
+    }
+  }
+  for (int g = 0; g < kGroups; ++g) {
+    groups[g]->Wait();
+    EXPECT_EQ(counters[g].load(), kTasksPerGroup);
+  }
 }
 
 TEST(ThreadPoolTest, NestedSubmitFromWorker) {

@@ -4,13 +4,17 @@
 //   remi stats <kb>                          KB statistics
 //   remi convert <in> <out>                  N-Triples <-> RKF conversion
 //   remi mine <kb> --targets <iri[,iri...]>  mine the most intuitive RE
+//   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
 //
 // <kb> is an N-Triples file (.nt) or an RKF file (.rkf); targets accept
 // full IRIs or unique IRI suffixes (e.g. "Paris" matches
-// <http://dbpedia.org/resource/Paris> if unambiguous).
+// <http://dbpedia.org/resource/Paris> if unambiguous). A --batch file
+// holds one comma-separated target set per line ('#' starts a comment);
+// with --threads N the sets are mined concurrently on one warm miner.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -131,9 +135,97 @@ int CmdConvert(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+/// Parses a batch file: one comma-separated target set per line; empty
+/// lines and lines starting with '#' are skipped. Returns the resolved
+/// sets plus the original line text for reporting.
+Result<std::vector<std::pair<std::string, std::vector<remi::TermId>>>>
+LoadBatchFile(const remi::KnowledgeBase& kb, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open batch file " + path);
+  std::vector<std::pair<std::string, std::vector<remi::TermId>>> sets;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed(remi::TrimWhitespace(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<remi::TermId> targets;
+    for (const std::string& name : remi::SplitString(trimmed, ',')) {
+      const std::string entity(remi::TrimWhitespace(name));
+      if (entity.empty()) continue;
+      auto id = ResolveEntity(kb, entity);
+      if (!id.ok()) {
+        return Status(id.status().code(),
+                      "line " + std::to_string(line_no) + ": " +
+                          id.status().message());
+      }
+      targets.push_back(*id);
+    }
+    if (targets.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": no targets");
+    }
+    sets.emplace_back(trimmed, std::move(targets));
+  }
+  return sets;
+}
+
+int CmdMineBatch(const remi::KnowledgeBase& kb, const remi::RemiOptions& opts,
+                 const remi::Flags& flags) {
+  auto batch = LoadBatchFile(kb, flags.GetString("batch"));
+  if (!batch.ok()) return Fail(batch.status());
+  if (batch->empty()) {
+    return Fail(Status::InvalidArgument("batch file contains no target sets"));
+  }
+  std::vector<std::vector<remi::TermId>> sets;
+  sets.reserve(batch->size());
+  for (const auto& [line, targets] : *batch) sets.push_back(targets);
+
+  remi::RemiMiner miner(&kb, opts);
+  remi::Timer timer;
+  auto results = miner.MineBatch(
+      sets, static_cast<size_t>(flags.GetInt("exceptions")));
+  if (!results.ok()) return Fail(results.status());
+  const double elapsed = timer.ElapsedSeconds();
+
+  size_t found = 0;
+  for (size_t i = 0; i < results->size(); ++i) {
+    const remi::RemiResult& r = (*results)[i];
+    if (r.found) {
+      ++found;
+      std::printf("%-40s %.3f bits  %s\n", (*batch)[i].first.c_str(), r.cost,
+                  r.expression.ToString(kb.dict()).c_str());
+    } else {
+      std::printf("%-40s %s\n", (*batch)[i].first.c_str(),
+                  r.timed_out ? "timed out" : "no referring expression");
+    }
+  }
+  std::printf("batch      : %zu/%zu sets with an RE, %d thread(s), %s "
+              "(%.1f sets/s)\n",
+              found, results->size(), opts.num_threads,
+              remi::FormatSeconds(elapsed).c_str(),
+              elapsed > 0 ? static_cast<double>(results->size()) / elapsed
+                          : 0.0);
+  // Same convention as single-set mine: exit 2 when no referring
+  // expression was found (here: for any set in the batch).
+  return found > 0 ? 0 : 2;
+}
+
 int CmdMine(const std::string& path, const remi::Flags& flags) {
   auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
   if (!kb.ok()) return Fail(kb.status());
+
+  remi::RemiOptions options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.timeout_seconds = flags.GetDouble("timeout");
+  options.cost.metric = flags.GetString("metric") == "pr"
+                            ? remi::ProminenceMetric::kPageRank
+                            : remi::ProminenceMetric::kFrequency;
+  options.enumerator.extended_language = !flags.GetBool("standard");
+
+  if (!flags.GetString("batch").empty()) {
+    return CmdMineBatch(*kb, options, flags);
+  }
 
   std::vector<remi::TermId> targets;
   for (const std::string& name :
@@ -147,13 +239,6 @@ int CmdMine(const std::string& path, const remi::Flags& flags) {
     return Fail(Status::InvalidArgument("--targets is required"));
   }
 
-  remi::RemiOptions options;
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  options.timeout_seconds = flags.GetDouble("timeout");
-  options.cost.metric = flags.GetString("metric") == "pr"
-                            ? remi::ProminenceMetric::kPageRank
-                            : remi::ProminenceMetric::kFrequency;
-  options.enumerator.extended_language = !flags.GetBool("standard");
   remi::RemiMiner miner(&*kb, options);
 
   remi::Timer timer;
@@ -209,6 +294,8 @@ int CmdSummarize(const std::string& path, const remi::Flags& flags) {
 int main(int argc, char** argv) {
   remi::Flags flags;
   flags.DefineString("targets", "", "comma-separated entities (mine)");
+  flags.DefineString("batch", "",
+                     "file with one target set per line (mine)");
   flags.DefineString("entity", "", "entity to summarize (summarize)");
   flags.DefineString("metric", "fr", "prominence metric: fr | pr");
   flags.DefineInt("threads", 1, "worker threads (>1 = P-REMI)");
