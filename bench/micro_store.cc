@@ -206,7 +206,8 @@ BENCHMARK(BM_StoreContains);
 
 void BM_TripleStoreBuild(benchmark::State& state) {
   const KnowledgeBase& kb = SmallKb();
-  std::vector<Triple> triples = kb.store().spo();
+  const auto spo = kb.store().spo();
+  std::vector<Triple> triples(spo.begin(), spo.end());
   for (auto _ : state) {
     TripleStore store = TripleStore::Build(triples);
     benchmark::DoNotOptimize(store.size());

@@ -91,9 +91,9 @@ bool RuleAtom::operator==(const RuleAtom& other) const {
 
 std::string Rule::ToString(const Dictionary& dict) const {
   const auto short_name = [&dict](TermId t) {
-    const std::string& lex = dict.lexical(t);
+    const std::string_view lex = dict.lexical(t);
     const size_t cut = lex.find_last_of("/#");
-    return cut == std::string::npos ? lex : lex.substr(cut + 1);
+    return std::string(cut == std::string::npos ? lex : lex.substr(cut + 1));
   };
   const auto side = [&](bool is_var, int var, TermId constant) {
     if (is_var) return var == 0 ? std::string("x") : "z" + std::to_string(var);

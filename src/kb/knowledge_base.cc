@@ -1,6 +1,8 @@
 #include "kb/knowledge_base.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace remi {
 
@@ -28,51 +30,48 @@ KnowledgeBase KnowledgeBase::Build(Dictionary dict,
   // Pass 1: predicate set and base entity frequencies. Frequencies follow
   // the paper's fr: "the number of facts where a concept occurs in the KB",
   // counted on base facts so inverse materialization does not double-count.
+  std::unordered_set<TermId> predicate_set;
+  std::unordered_map<TermId, uint64_t> entity_frequency;
   for (const Triple& t : triples) {
-    kb.predicate_set_.insert(t.p);
+    predicate_set.insert(t.p);
   }
   for (const Triple& t : triples) {
-    if (!kb.predicate_set_.count(t.s)) ++kb.entity_frequency_[t.s];
+    if (!predicate_set.count(t.s)) ++entity_frequency[t.s];
     const TermKind ok = dict.kind(t.o);
     if ((ok == TermKind::kIri || ok == TermKind::kBlank) &&
-        !kb.predicate_set_.count(t.o)) {
-      ++kb.entity_frequency_[t.o];
+        !predicate_set.count(t.o)) {
+      ++entity_frequency[t.o];
     }
   }
 
-  // Global prominence ranking (fr descending, ties by id for determinism).
-  kb.entities_by_prominence_.reserve(kb.entity_frequency_.size());
-  for (const auto& [id, freq] : kb.entity_frequency_) {
+  // Global prominence ranking (fr descending, ties by lexical form for
+  // determinism independent of interning order).
+  std::vector<TermId> by_prominence;
+  by_prominence.reserve(entity_frequency.size());
+  for (const auto& [id, freq] : entity_frequency) {
     (void)freq;
-    kb.entities_by_prominence_.push_back(id);
+    by_prominence.push_back(id);
   }
-  std::sort(kb.entities_by_prominence_.begin(),
-            kb.entities_by_prominence_.end(),
-            [&kb, &dict](TermId a, TermId b) {
-              const uint64_t fa = kb.entity_frequency_.at(a);
-              const uint64_t fb = kb.entity_frequency_.at(b);
+  std::sort(by_prominence.begin(), by_prominence.end(),
+            [&entity_frequency, &dict](TermId a, TermId b) {
+              const uint64_t fa = entity_frequency.at(a);
+              const uint64_t fb = entity_frequency.at(b);
               if (fa != fb) return fa > fb;
               // Lexical tie-break: interning order depends on the input
               // serialization, the lexical form does not.
               return dict.lexical(a) < dict.lexical(b);
             });
-  kb.entity_rank_.reserve(kb.entities_by_prominence_.size());
-  for (size_t i = 0; i < kb.entities_by_prominence_.size(); ++i) {
-    kb.entity_rank_[kb.entities_by_prominence_[i]] = i + 1;
-  }
 
   // Inverse materialization for objects in the top fraction (paper §4:
   // top 1% most frequent entities); p⁻¹ only for o ∈ I ∪ B.
-  if (options.inverse_top_fraction > 0 &&
-      !kb.entities_by_prominence_.empty()) {
+  if (options.inverse_top_fraction > 0 && !by_prominence.empty()) {
     const size_t cutoff = static_cast<size_t>(
         options.inverse_top_fraction *
-        static_cast<double>(kb.entities_by_prominence_.size()));
+        static_cast<double>(by_prominence.size()));
     const size_t top_n = cutoff == 0 ? 1 : cutoff;
     std::unordered_set<TermId> top_objects;
-    for (size_t i = 0; i < top_n && i < kb.entities_by_prominence_.size();
-         ++i) {
-      top_objects.insert(kb.entities_by_prominence_[i]);
+    for (size_t i = 0; i < top_n && i < by_prominence.size(); ++i) {
+      top_objects.insert(by_prominence[i]);
     }
     std::vector<Triple> inverse_facts;
     for (const Triple& t : triples) {
@@ -82,11 +81,10 @@ KnowledgeBase KnowledgeBase::Build(Dictionary dict,
       if (t.p == kb.type_predicate_ || t.p == kb.label_predicate_) continue;
       auto [it, inserted] = kb.base_to_inverse_.try_emplace(t.p, kNullTerm);
       if (inserted) {
-        const TermId inv =
-            dict.InternIri(dict.lexical(t.p) + kInverseSuffix);
+        const TermId inv = dict.InternIri(std::string(dict.lexical(t.p)) +
+                                          kInverseSuffix);
         it->second = inv;
         kb.inverse_to_base_[inv] = t.p;
-        kb.predicate_set_.insert(inv);
       }
       inverse_facts.push_back(Triple{t.o, it->second, t.s});
     }
@@ -97,17 +95,42 @@ KnowledgeBase KnowledgeBase::Build(Dictionary dict,
   kb.store_ = TripleStore::Build(std::move(triples));
   kb.dict_ = std::move(dict);
 
-  // Class index.
-  for (const Triple& t : kb.store_.ByPredicate(kb.type_predicate_)) {
-    kb.class_members_[t.o].push_back(t.s);
+  // Flatten the prominence ranking into snapshot-friendly dense arrays.
+  std::vector<uint64_t> freq_by_rank(by_prominence.size());
+  std::vector<uint32_t> rank_by_term(kb.dict_.size(), 0);
+  for (size_t i = 0; i < by_prominence.size(); ++i) {
+    freq_by_rank[i] = entity_frequency.at(by_prominence[i]);
+    rank_by_term[by_prominence[i]] = static_cast<uint32_t>(i + 1);
   }
-  for (auto& [cls, members] : kb.class_members_) {
-    std::sort(members.begin(), members.end());
-    members.erase(std::unique(members.begin(), members.end()),
-                  members.end());
+  kb.entities_by_prominence_ = std::move(by_prominence);
+  kb.freq_by_rank_ = std::move(freq_by_rank);
+  kb.rank_by_term_ = std::move(rank_by_term);
+
+  // Class index: sorted classes with members pooled in one flat array.
+  std::unordered_map<TermId, std::vector<TermId>> class_members;
+  for (const Triple& t : kb.store_.ByPredicate(kb.type_predicate_)) {
+    class_members[t.o].push_back(t.s);
+  }
+  kb.classes_.reserve(class_members.size());
+  for (const auto& [cls, members] : class_members) {
+    (void)members;
     kb.classes_.push_back(cls);
   }
   std::sort(kb.classes_.begin(), kb.classes_.end());
+  std::vector<uint32_t> class_offsets;
+  class_offsets.reserve(kb.classes_.size() + 1);
+  class_offsets.push_back(0);
+  std::vector<TermId> member_pool;
+  for (const TermId cls : kb.classes_) {
+    std::vector<TermId>& members = class_members[cls];
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    member_pool.insert(member_pool.end(), members.begin(), members.end());
+    class_offsets.push_back(static_cast<uint32_t>(member_pool.size()));
+  }
+  kb.class_offsets_ = std::move(class_offsets);
+  kb.class_members_ = std::move(member_pool);
   return kb;
 }
 
@@ -132,17 +155,12 @@ TermId KnowledgeBase::BasePredicateOf(TermId p) const {
 }
 
 uint64_t KnowledgeBase::EntityFrequency(TermId t) const {
-  auto it = entity_frequency_.find(t);
-  return it == entity_frequency_.end() ? 0 : it->second;
+  const size_t rank = EntityProminenceRank(t);
+  return rank == 0 ? 0 : freq_by_rank_[rank - 1];
 }
 
 uint64_t KnowledgeBase::PredicateFrequency(TermId p) const {
   return store_.CountPredicate(p);
-}
-
-size_t KnowledgeBase::EntityProminenceRank(TermId t) const {
-  auto it = entity_rank_.find(t);
-  return it == entity_rank_.end() ? 0 : it->second;
 }
 
 bool KnowledgeBase::IsTopProminentEntity(TermId t, double fraction) const {
@@ -154,9 +172,11 @@ bool KnowledgeBase::IsTopProminentEntity(TermId t, double fraction) const {
 }
 
 std::span<const TermId> KnowledgeBase::EntitiesOfClass(TermId cls) const {
-  auto it = class_members_.find(cls);
-  if (it == class_members_.end()) return {};
-  return it->second;
+  const auto it = std::lower_bound(classes_.begin(), classes_.end(), cls);
+  if (it == classes_.end() || *it != cls) return {};
+  const size_t slot = static_cast<size_t>(it - classes_.begin());
+  return {class_members_.data() + class_offsets_[slot],
+          class_offsets_[slot + 1] - class_offsets_[slot]};
 }
 
 std::vector<TermId> KnowledgeBase::ClassesOf(TermId entity) const {
@@ -173,31 +193,31 @@ std::string KnowledgeBase::Label(TermId t) const {
   for (const Triple& f :
        store_.ByPredicateSubject(label_predicate_, t)) {
     if (dict_.kind(f.o) != TermKind::kLiteral) continue;
-    const std::string& lex = dict_.lexical(f.o);
+    const std::string_view lex = dict_.lexical(f.o);
     // Canonical literal form: "body" + suffix.
     const size_t last_quote = lex.rfind('"');
     if (!lex.empty() && lex[0] == '"' && last_quote != std::string::npos &&
         last_quote >= 1) {
-      return lex.substr(1, last_quote - 1);
+      return std::string(lex.substr(1, last_quote - 1));
     }
-    return lex;
+    return std::string(lex);
   }
-  const Term& term = dict_.term(t);
-  if (term.kind == TermKind::kIri) {
-    size_t cut = term.lexical.find_last_of("/#");
-    std::string local = cut == std::string::npos
-                            ? term.lexical
-                            : term.lexical.substr(cut + 1);
+  const TermKind kind = dict_.kind(t);
+  const std::string_view lexical = dict_.lexical(t);
+  if (kind == TermKind::kIri) {
+    const size_t cut = lexical.find_last_of("/#");
+    std::string local(cut == std::string::npos ? lexical
+                                               : lexical.substr(cut + 1));
     std::replace(local.begin(), local.end(), '_', ' ');
-    return local.empty() ? term.lexical : local;
+    return local.empty() ? std::string(lexical) : local;
   }
-  if (term.kind == TermKind::kBlank) return "_:" + term.lexical;
-  const size_t last_quote = term.lexical.rfind('"');
-  if (!term.lexical.empty() && term.lexical[0] == '"' &&
+  if (kind == TermKind::kBlank) return "_:" + std::string(lexical);
+  const size_t last_quote = lexical.rfind('"');
+  if (!lexical.empty() && lexical[0] == '"' &&
       last_quote != std::string::npos && last_quote >= 1) {
-    return term.lexical.substr(1, last_quote - 1);
+    return std::string(lexical.substr(1, last_quote - 1));
   }
-  return term.lexical;
+  return std::string(lexical);
 }
 
 }  // namespace remi

@@ -9,17 +9,25 @@
 //    prominence ranking used by the enumerator's top-5% pruning rule;
 //  * the rdf:type class index and rdfs:label store used by workloads,
 //    the verbalizer, and the user-study harnesses.
+//
+// A built KB can be persisted as an RKF2 snapshot (SaveSnapshot) and later
+// reopened with OpenSnapshot, which adopts the fully built indexes straight
+// out of the (mmap'ed) image instead of re-running Build — the cold-start
+// path goes from parse+sort+index to a page fault. All derived indexes are
+// therefore stored as flat arrays (ArrayRef) rather than hash maps.
 
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
+#include "util/array_ref.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace remi {
@@ -51,6 +59,26 @@ class KnowledgeBase {
   static KnowledgeBase Build(Dictionary dict, std::vector<Triple> triples,
                              const KbOptions& options = KbOptions());
 
+  // --- snapshots (RKF2) ------------------------------------------------------
+
+  /// Serializes the fully built KB (dictionary, CSR indexes, inverse map,
+  /// rankings, options) into an RKF2 image. Deterministic: equal KBs
+  /// produce byte-identical images.
+  std::string SerializeSnapshot() const;
+
+  /// Writes SerializeSnapshot() to `path`.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Opens an RKF2 snapshot without rebuilding anything: the file is
+  /// mmap'ed (with a read-into-buffer fallback) and the index sections are
+  /// adopted in place. Fails with Corruption on any structural or
+  /// invariant violation.
+  static Result<KnowledgeBase> OpenSnapshot(const std::string& path);
+
+  /// Like OpenSnapshot, but from an in-memory image (copied into an
+  /// aligned buffer). Useful for tests and fuzzing.
+  static Result<KnowledgeBase> OpenSnapshotBuffer(std::string_view bytes);
+
   const Dictionary& dict() const { return dict_; }
   const TripleStore& store() const { return store_; }
   const KbOptions& options() const { return options_; }
@@ -67,7 +95,7 @@ class KnowledgeBase {
   // --- term classification -------------------------------------------------
 
   /// True if `t` occurs in predicate position (including inverses).
-  bool IsPredicateTerm(TermId t) const { return predicate_set_.count(t) > 0; }
+  bool IsPredicateTerm(TermId t) const { return store_.HasPredicate(t); }
 
   /// True if `t` is an entity: an IRI or blank node not used as predicate.
   bool IsEntity(TermId t) const;
@@ -96,10 +124,12 @@ class KnowledgeBase {
 
   /// 1-based rank of `t` in the entity frequency ranking; 0 if `t` is not
   /// a ranked entity.
-  size_t EntityProminenceRank(TermId t) const;
+  size_t EntityProminenceRank(TermId t) const {
+    return t < rank_by_term_.size() ? rank_by_term_[t] : 0;
+  }
 
-  /// Entities sorted by descending frequency (ties by id).
-  const std::vector<TermId>& EntitiesByProminence() const {
+  /// Entities sorted by descending frequency (ties by lexical form).
+  std::span<const TermId> EntitiesByProminence() const {
     return entities_by_prominence_;
   }
 
@@ -128,6 +158,10 @@ class KnowledgeBase {
   std::string Label(TermId t) const;
 
  private:
+  /// The RKF2 snapshot codec (src/kb/snapshot.cc) reads and reconstitutes
+  /// the raw arrays.
+  friend struct SnapshotCodec;
+
   Dictionary dict_;
   TripleStore store_;
   KbOptions options_;
@@ -136,16 +170,24 @@ class KnowledgeBase {
   TermId type_predicate_ = kNullTerm;
   TermId label_predicate_ = kNullTerm;
 
-  std::unordered_set<TermId> predicate_set_;
   std::unordered_map<TermId, TermId> base_to_inverse_;
   std::unordered_map<TermId, TermId> inverse_to_base_;
 
-  std::unordered_map<TermId, uint64_t> entity_frequency_;
-  std::unordered_map<TermId, size_t> entity_rank_;  // 1-based
-  std::vector<TermId> entities_by_prominence_;
+  /// Entities sorted by descending frequency; rank r (1-based) has id
+  /// entities_by_prominence_[r - 1] and frequency freq_by_rank_[r - 1].
+  ArrayRef<TermId> entities_by_prominence_;
+  ArrayRef<uint64_t> freq_by_rank_;
+  /// Dense TermId -> 1-based rank (0 = not a ranked entity).
+  ArrayRef<uint32_t> rank_by_term_;
 
-  std::unordered_map<TermId, std::vector<TermId>> class_members_;
+  /// Class index: classes_ ascending; members of classes_[i] are
+  /// class_members_[class_offsets_[i], class_offsets_[i + 1]).
   std::vector<TermId> classes_;
+  ArrayRef<uint32_t> class_offsets_;
+  ArrayRef<TermId> class_members_;
+
+  /// Keeps the snapshot image alive for view-mode dict/store/indexes.
+  std::shared_ptr<MmapFile> backing_;
 };
 
 }  // namespace remi

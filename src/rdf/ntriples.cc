@@ -302,37 +302,54 @@ Result<std::vector<Triple>> NTriplesParser::ParseFile(
   return ParseString(buf.str());
 }
 
-std::string TermToNTriples(const Term& term) {
-  switch (term.kind) {
-    case TermKind::kIri:
-      return "<" + term.lexical + ">";
-    case TermKind::kBlank:
-      return "_:" + term.lexical;
+std::string TermToNTriples(TermKind kind, std::string_view lexical) {
+  switch (kind) {
+    case TermKind::kIri: {
+      std::string out = "<";
+      out += lexical;
+      out += '>';
+      return out;
+    }
+    case TermKind::kBlank: {
+      std::string out = "_:";
+      out += lexical;
+      return out;
+    }
     case TermKind::kLiteral: {
       // Internal form: "decoded body" + suffix; split at the last quote.
-      const size_t last_quote = term.lexical.rfind('"');
-      if (last_quote == std::string::npos || term.lexical.empty() ||
-          term.lexical[0] != '"') {
+      const size_t last_quote = lexical.rfind('"');
+      if (last_quote == std::string::npos || lexical.empty() ||
+          lexical[0] != '"') {
         // Not in canonical form; emit as a plain quoted literal.
-        return "\"" + EncodeEscapes(term.lexical) + "\"";
+        std::string out = "\"";
+        out += EncodeEscapes(lexical);
+        out += '"';
+        return out;
       }
-      const std::string body = term.lexical.substr(1, last_quote - 1);
-      const std::string suffix = term.lexical.substr(last_quote + 1);
-      return "\"" + EncodeEscapes(body) + "\"" + suffix;
+      std::string out = "\"";
+      out += EncodeEscapes(lexical.substr(1, last_quote - 1));
+      out += '"';
+      out += lexical.substr(last_quote + 1);
+      return out;
     }
   }
   return "";
+}
+
+std::string TermToNTriples(const Term& term) {
+  return TermToNTriples(term.kind, term.lexical);
 }
 
 std::string WriteNTriples(const Dictionary& dict,
                           const std::vector<Triple>& triples) {
   std::string out;
   for (const Triple& t : triples) {
-    out += TermToNTriples(dict.term(t.s));
+    // kind()/lexical() views avoid materializing three Terms per triple.
+    out += TermToNTriples(dict.kind(t.s), dict.lexical(t.s));
     out += " ";
-    out += TermToNTriples(dict.term(t.p));
+    out += TermToNTriples(dict.kind(t.p), dict.lexical(t.p));
     out += " ";
-    out += TermToNTriples(dict.term(t.o));
+    out += TermToNTriples(dict.kind(t.o), dict.lexical(t.o));
     out += " .\n";
   }
   return out;

@@ -64,6 +64,7 @@ class NTriplesParser {
 };
 
 /// Serializes one term in N-Triples syntax.
+std::string TermToNTriples(TermKind kind, std::string_view lexical);
 std::string TermToNTriples(const Term& term);
 
 /// Serializes triples (SPO order of the input vector) as an N-Triples

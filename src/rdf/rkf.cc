@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fnv.h"
 #include "util/string_util.h"
 #include "util/varint.h"
 
@@ -13,32 +14,11 @@ namespace {
 
 constexpr char kMagic[4] = {'R', 'K', 'F', '1'};
 
-uint64_t Fnv1a64(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-void PutFixed64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-Result<uint64_t> GetFixed64(const std::string& data, size_t* offset) {
-  if (*offset + 8 > data.size()) {
-    return Status::Corruption("truncated fixed64");
-  }
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
-         << (8 * i);
-  }
-  *offset += 8;
-  return v;
+/// Corruption status carrying the byte offset where decoding failed, so
+/// the CLI can report "<file>: RKF: ... at byte N".
+Status CorruptAt(size_t offset, const std::string& what) {
+  return Status::Corruption("RKF: " + what + " at byte " +
+                            std::to_string(offset));
 }
 
 }  // namespace
@@ -52,14 +32,14 @@ std::string SerializeRkf(const Dictionary& dict,
 
   // Dictionary section: front-coded terms in id order.
   PutVarint64(&out, dict.size());
-  std::string prev;
+  std::string_view prev;
   for (TermId id = 0; id < dict.size(); ++id) {
-    const Term& term = dict.term(id);
-    out.push_back(static_cast<char>(term.kind));
-    const size_t shared = CommonPrefixLength(prev, term.lexical);
+    const std::string_view lexical = dict.lexical(id);
+    out.push_back(static_cast<char>(dict.kind(id)));
+    const size_t shared = CommonPrefixLength(prev, lexical);
     PutVarint64(&out, shared);
-    PutLengthPrefixed(&out, term.lexical.substr(shared));
-    prev = term.lexical;
+    PutLengthPrefixed(&out, lexical.substr(shared));
+    prev = lexical;
   }
 
   // Triple section: PSO order, delta-coded.
@@ -92,17 +72,14 @@ std::string SerializeRkf(const Dictionary& dict,
 
 Result<RkfData> DeserializeRkf(const std::string& bytes) {
   if (bytes.size() < sizeof(kMagic) + 8) {
-    return Status::Corruption("RKF: file too short");
+    return CorruptAt(bytes.size(), "file too short");
   }
   if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("RKF: bad magic");
+    return CorruptAt(0, "bad magic");
   }
   const std::string_view body(bytes.data(), bytes.size() - 8);
-  size_t footer_pos = bytes.size() - 8;
-  auto checksum = GetFixed64(bytes, &footer_pos);
-  if (!checksum.ok()) return checksum.status();
-  if (*checksum != Fnv1a64(body)) {
-    return Status::Corruption("RKF: checksum mismatch");
+  if (GetFixed64(bytes, bytes.size() - 8) != Fnv1a64(body)) {
+    return CorruptAt(bytes.size() - 8, "checksum mismatch");
   }
 
   RkfData data;
@@ -110,17 +87,29 @@ Result<RkfData> DeserializeRkf(const std::string& bytes) {
 
   auto num_terms = GetVarint64(bytes, &pos);
   if (!num_terms.ok()) return num_terms.status();
+  // Varint/length-prefixed reads bound against the *full* buffer, so pos
+  // may legally reach into the checksum footer; reject before it can make
+  // the body-remainder arithmetic below wrap.
+  if (pos > body.size()) {
+    return CorruptAt(pos, "header overlaps checksum footer");
+  }
+  // Every term costs at least 3 body bytes (kind + shared + length), so a
+  // count beyond that bound is a lie; reject before looping (or letting
+  // anyone reserve memory proportional to the claimed count).
+  if (*num_terms > (body.size() - pos) / 3) {
+    return CorruptAt(pos, "term count exceeds file size");
+  }
   std::string prev;
   for (uint64_t i = 0; i < *num_terms; ++i) {
-    if (pos >= body.size()) return Status::Corruption("RKF: truncated term");
+    if (pos >= body.size()) return CorruptAt(pos, "truncated term");
     const auto kind_raw = static_cast<uint8_t>(bytes[pos++]);
     if (kind_raw > static_cast<uint8_t>(TermKind::kBlank)) {
-      return Status::Corruption("RKF: bad term kind");
+      return CorruptAt(pos - 1, "bad term kind");
     }
     auto shared = GetVarint64(bytes, &pos);
     if (!shared.ok()) return shared.status();
     if (*shared > prev.size()) {
-      return Status::Corruption("RKF: shared prefix exceeds previous term");
+      return CorruptAt(pos, "shared prefix exceeds previous term");
     }
     auto suffix = GetLengthPrefixed(bytes, &pos);
     if (!suffix.ok()) return suffix.status();
@@ -128,13 +117,21 @@ Result<RkfData> DeserializeRkf(const std::string& bytes) {
     const TermId id =
         data.dict.Intern(static_cast<TermKind>(kind_raw), lexical);
     if (id != i) {
-      return Status::Corruption("RKF: duplicate term in dictionary");
+      return CorruptAt(pos, "duplicate term in dictionary");
     }
     prev = std::move(lexical);
   }
 
   auto num_triples = GetVarint64(bytes, &pos);
   if (!num_triples.ok()) return num_triples.status();
+  if (pos > body.size()) {
+    return CorruptAt(pos, "term data overlaps checksum footer");
+  }
+  // Each triple costs at least 2 body bytes (p delta + one more varint);
+  // reject lying counts before the reserve below can balloon.
+  if (*num_triples > (body.size() - pos) / 2) {
+    return CorruptAt(pos, "triple count exceeds file size");
+  }
   data.triples.reserve(*num_triples);
   TermId prev_p = 0, prev_s = 0, prev_o = 0;
   for (uint64_t i = 0; i < *num_triples; ++i) {
@@ -159,7 +156,10 @@ Result<RkfData> DeserializeRkf(const std::string& bytes) {
     }
     const auto limit = static_cast<uint64_t>(data.dict.size());
     if (t.s >= limit || t.p >= limit || t.o >= limit) {
-      return Status::Corruption("RKF: triple references unknown term");
+      return CorruptAt(pos, "triple references unknown term");
+    }
+    if (i > 0 && !OrderPso()(Triple{prev_s, prev_p, prev_o}, t)) {
+      return CorruptAt(pos, "triples out of PSO order");
     }
     prev_p = t.p;
     prev_s = t.s;
@@ -167,7 +167,7 @@ Result<RkfData> DeserializeRkf(const std::string& bytes) {
     data.triples.push_back(t);
   }
   if (pos != bytes.size() - 8) {
-    return Status::Corruption("RKF: trailing bytes");
+    return CorruptAt(pos, "trailing bytes");
   }
   return data;
 }
@@ -181,6 +181,12 @@ Status WriteRkfFile(const Dictionary& dict, std::vector<Triple> triples,
   out.flush();
   if (!out) return Status::IoError("write failure on " + path);
   return Status::OK();
+}
+
+Status WriteRkfFile(const Dictionary& dict, std::span<const Triple> triples,
+                    const std::string& path) {
+  return WriteRkfFile(
+      dict, std::vector<Triple>(triples.begin(), triples.end()), path);
 }
 
 Result<RkfData> ReadRkfFile(const std::string& path) {

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,15 +33,24 @@ struct RkfData {
 };
 
 /// Serializes a dictionary + triple set to the RKF byte format.
-/// The triples may be in any order; they are sorted and deduplicated.
+/// The triples may be in any order; they are sorted and deduplicated in
+/// place. The span overload copies first — pass (or move) a vector from
+/// call sites that own one.
 std::string SerializeRkf(const Dictionary& dict, std::vector<Triple> triples);
+inline std::string SerializeRkf(const Dictionary& dict,
+                                std::span<const Triple> triples) {
+  return SerializeRkf(dict,
+                      std::vector<Triple>(triples.begin(), triples.end()));
+}
 
-/// Parses an RKF byte string. Fails with Corruption on malformed input or
-/// checksum mismatch.
+/// Parses an RKF byte string. Fails with Corruption (with a byte-offset
+/// context in the message) on malformed input or checksum mismatch.
 Result<RkfData> DeserializeRkf(const std::string& bytes);
 
 /// Writes an RKF file to disk.
 Status WriteRkfFile(const Dictionary& dict, std::vector<Triple> triples,
+                    const std::string& path);
+Status WriteRkfFile(const Dictionary& dict, std::span<const Triple> triples,
                     const std::string& path);
 
 /// Reads an RKF file from disk.

@@ -1,0 +1,140 @@
+#include "rdf/rkf2.h"
+
+#include <algorithm>
+
+#include "util/fnv.h"
+#include "util/varint.h"
+
+namespace remi {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::Corruption("RKF2: " + what);
+}
+
+}  // namespace
+
+void Rkf2Writer::AddSection(uint32_t id, std::string_view payload) {
+  sections_.push_back(Section{id, payload});
+}
+
+std::string Rkf2Writer::Finish() const {
+  const size_t table_end =
+      kRkf2HeaderSize + sections_.size() * kRkf2TableEntrySize;
+
+  // Lay out payloads on 8-byte boundaries.
+  std::vector<uint64_t> offsets(sections_.size());
+  size_t cursor = table_end;
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    cursor = (cursor + 7) & ~size_t{7};
+    offsets[i] = cursor;
+    cursor += sections_[i].payload.size();
+  }
+  const size_t total = ((cursor + 7) & ~size_t{7}) + kRkf2FooterSize;
+
+  std::string out;
+  out.reserve(total);
+  out.append(kRkf2Magic, sizeof(kRkf2Magic));
+  PutFixed32(&out, kRkf2Version);
+  PutFixed32(&out, kRkf2EndianMarker);
+  PutFixed32(&out, static_cast<uint32_t>(sections_.size()));
+  PutFixed32(&out, 0);  // reserved
+  PutFixed32(&out, 0);  // reserved
+  PutFixed64(&out, total);
+
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    PutFixed32(&out, sections_[i].id);
+    PutFixed32(&out, 0);  // reserved
+    PutFixed64(&out, offsets[i]);
+    PutFixed64(&out, sections_[i].payload.size());
+    PutFixed64(&out, Fnv1a64Wide(sections_[i].payload));
+  }
+
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    out.append(offsets[i] - out.size(), '\0');  // alignment padding
+    out.append(sections_[i].payload);
+  }
+  out.append(total - kRkf2FooterSize - out.size(), '\0');
+  PutFixed64(&out, Fnv1a64Wide(std::string_view(out.data(), table_end)));
+  return out;
+}
+
+Result<Rkf2Image> Rkf2Image::Parse(std::string_view file) {
+  if (file.size() < kRkf2HeaderSize + kRkf2FooterSize) {
+    return Corrupt("file too short (" + std::to_string(file.size()) +
+                   " bytes)");
+  }
+  if (file.compare(0, sizeof(kRkf2Magic),
+                   std::string_view(kRkf2Magic, sizeof(kRkf2Magic))) != 0) {
+    return Corrupt("bad magic");
+  }
+  const uint32_t version = GetFixed32(file, 4);
+  if (version != kRkf2Version) {
+    return Corrupt("unsupported container version " + std::to_string(version));
+  }
+  if (GetFixed32(file, 8) != kRkf2EndianMarker) {
+    return Corrupt("endianness mismatch");
+  }
+  const uint32_t count = GetFixed32(file, 12);
+  if (count > kRkf2MaxSections) {
+    return Corrupt("section count " + std::to_string(count) +
+                   " exceeds limit");
+  }
+  const uint64_t declared_size = GetFixed64(file, 24);
+  if (declared_size != file.size()) {
+    return Corrupt("declared size " + std::to_string(declared_size) +
+                   " != actual size " + std::to_string(file.size()));
+  }
+  const uint64_t table_end =
+      kRkf2HeaderSize + static_cast<uint64_t>(count) * kRkf2TableEntrySize;
+  if (table_end + kRkf2FooterSize > file.size()) {
+    return Corrupt("section table exceeds file size");
+  }
+
+  const uint64_t footer =
+      GetFixed64(file, file.size() - kRkf2FooterSize);
+  if (footer != Fnv1a64Wide(file.substr(0, table_end))) {
+    return Corrupt("header/table checksum mismatch");
+  }
+
+  Rkf2Image image;
+  image.entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = kRkf2HeaderSize + i * kRkf2TableEntrySize;
+    const uint32_t id = GetFixed32(file, entry);
+    const uint64_t offset = GetFixed64(file, entry + 8);
+    const uint64_t length = GetFixed64(file, entry + 16);
+    const uint64_t checksum = GetFixed64(file, entry + 24);
+    const std::string ctx = "section " + std::to_string(id);
+    if (offset % 8 != 0) return Corrupt(ctx + ": unaligned offset");
+    if (offset < table_end || offset > file.size() - kRkf2FooterSize ||
+        length > file.size() - kRkf2FooterSize - offset) {
+      return Corrupt(ctx + ": payload [" + std::to_string(offset) + ", +" +
+                     std::to_string(length) + ") out of bounds");
+    }
+    for (const Entry& seen : image.entries_) {
+      if (seen.id == id) return Corrupt(ctx + ": duplicate section id");
+    }
+    const std::string_view payload = file.substr(offset, length);
+    if (checksum != Fnv1a64Wide(payload)) {
+      return Corrupt(ctx + ": payload checksum mismatch");
+    }
+    image.entries_.push_back(Entry{id, payload});
+  }
+  return image;
+}
+
+bool Rkf2Image::Has(uint32_t id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const Entry& e) { return e.id == id; });
+}
+
+Result<std::string_view> Rkf2Image::Section(uint32_t id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return e.payload;
+  }
+  return Corrupt("missing section " + std::to_string(id));
+}
+
+}  // namespace remi

@@ -2,95 +2,136 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace remi {
 
 TripleStore TripleStore::Build(std::vector<Triple> triples) {
   TripleStore store;
   std::sort(triples.begin(), triples.end(), OrderSpo());
   triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
-  store.spo_ = std::move(triples);
-  store.pso_ = store.spo_;
-  std::sort(store.pso_.begin(), store.pso_.end(), OrderPso());
-  store.pos_ = store.spo_;
-  std::sort(store.pos_.begin(), store.pos_.end(), OrderPos());
+  std::vector<Triple> pso = triples;
+  std::sort(pso.begin(), pso.end(), OrderPso());
+  std::vector<Triple> pos = triples;
+  std::sort(pos.begin(), pos.end(), OrderPos());
 
   TermId max_id = 0;
-  for (const Triple& t : store.spo_) {
+  for (const Triple& t : triples) {
     max_id = std::max({max_id, t.s, t.p, t.o});
   }
-  store.num_terms_ = store.spo_.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+  store.num_terms_ = triples.empty() ? 0 : static_cast<size_t>(max_id) + 1;
 
   // Global subject CSR over the SPO ordering.
-  store.subject_offsets_.assign(store.num_terms_ + 1, 0);
-  for (const Triple& t : store.spo_) {
-    ++store.subject_offsets_[t.s + 1];
+  std::vector<uint32_t> subject_offsets(store.num_terms_ + 1, 0);
+  for (const Triple& t : triples) {
+    ++subject_offsets[t.s + 1];
   }
-  for (size_t i = 1; i < store.subject_offsets_.size(); ++i) {
-    store.subject_offsets_[i] += store.subject_offsets_[i - 1];
+  for (size_t i = 1; i < subject_offsets.size(); ++i) {
+    subject_offsets[i] += subject_offsets[i - 1];
   }
-  for (const Triple& t : store.spo_) {
+  for (const Triple& t : triples) {
     if (store.subjects_.empty() || store.subjects_.back() != t.s) {
       store.subjects_.push_back(t.s);
     }
   }
 
-  // Per-predicate adjacency. pso_ and pos_ hold each predicate's facts
+  // Per-predicate adjacency. pso and pos hold each predicate's facts
   // contiguously; one pass over each ordering fills the offset tables.
-  store.pred_slot_.assign(store.num_terms_, kNoSlot);
-  for (size_t i = 0; i < store.pso_.size();) {
-    const TermId p = store.pso_[i].p;
+  // All per-predicate arrays are slices of four shared pools so the
+  // whole index round-trips through snapshots as a handful of flat
+  // arrays (and Build does O(#predicates) fewer allocations).
+  std::vector<uint32_t> pred_slot(store.num_terms_, kNoSlot);
+  std::vector<PredicateIndex> pred_index;
+  std::vector<uint32_t> subj_offset_pool;
+  std::vector<uint32_t> obj_offset_pool;
+  std::vector<TermId> distinct_subject_pool;
+  std::vector<TermId> distinct_object_pool;
+
+  for (size_t i = 0; i < pso.size();) {
+    const TermId p = pso[i].p;
     size_t j = i;
-    while (j < store.pso_.size() && store.pso_[j].p == p) ++j;
+    while (j < pso.size() && pso[j].p == p) ++j;
 
     PredicateIndex index;
     index.pso_begin = static_cast<uint32_t>(i);
     index.pso_end = static_cast<uint32_t>(j);
-    index.s_base = store.pso_[i].s;
-    const TermId s_max = store.pso_[j - 1].s;
-    index.subj_offsets.assign(s_max - index.s_base + 2, 0);
+    index.s_base = pso[i].s;
+    const TermId s_max = pso[j - 1].s;
+
+    index.subj_off_begin = static_cast<uint32_t>(subj_offset_pool.size());
+    subj_offset_pool.resize(subj_offset_pool.size() +
+                                (s_max - index.s_base) + 2,
+                            0);
+    // The pool sums key ranges over all predicates, which is NOT bounded
+    // by the triple count; past 2^32 entries the uint32 slice indexes in
+    // PredicateIndex would silently wrap and alias other predicates.
+    REMI_CHECK(subj_offset_pool.size() <= UINT32_MAX);
+    index.subj_off_end = static_cast<uint32_t>(subj_offset_pool.size());
+    uint32_t* counts = subj_offset_pool.data() + index.subj_off_begin;
+    index.ds_begin = static_cast<uint32_t>(distinct_subject_pool.size());
     for (size_t k = i; k < j; ++k) {
-      ++index.subj_offsets[store.pso_[k].s - index.s_base + 1];
-      if (index.distinct_subjects.empty() ||
-          index.distinct_subjects.back() != store.pso_[k].s) {
-        index.distinct_subjects.push_back(store.pso_[k].s);
+      ++counts[pso[k].s - index.s_base + 1];
+      if (distinct_subject_pool.size() == index.ds_begin ||
+          distinct_subject_pool.back() != pso[k].s) {
+        distinct_subject_pool.push_back(pso[k].s);
       }
     }
+    index.ds_end = static_cast<uint32_t>(distinct_subject_pool.size());
     uint32_t running = index.pso_begin;
-    for (size_t k = 0; k < index.subj_offsets.size(); ++k) {
-      running += index.subj_offsets[k];
-      index.subj_offsets[k] = running;
+    for (uint32_t k = index.subj_off_begin; k < index.subj_off_end; ++k) {
+      running += subj_offset_pool[k];
+      subj_offset_pool[k] = running;
     }
 
     store.predicates_.push_back(p);
-    store.pred_slot_[p] = static_cast<uint32_t>(store.pred_index_.size());
-    store.pred_index_.push_back(std::move(index));
+    pred_slot[p] = static_cast<uint32_t>(pred_index.size());
+    pred_index.push_back(index);
     i = j;
   }
-  for (size_t i = 0; i < store.pos_.size();) {
-    const TermId p = store.pos_[i].p;
+  for (size_t i = 0; i < pos.size();) {
+    const TermId p = pos[i].p;
     size_t j = i;
-    while (j < store.pos_.size() && store.pos_[j].p == p) ++j;
+    while (j < pos.size() && pos[j].p == p) ++j;
 
-    PredicateIndex& index = store.pred_index_[store.pred_slot_[p]];
+    PredicateIndex& index = pred_index[pred_slot[p]];
     index.pos_begin = static_cast<uint32_t>(i);
     index.pos_end = static_cast<uint32_t>(j);
-    index.o_base = store.pos_[i].o;
-    const TermId o_max = store.pos_[j - 1].o;
-    index.obj_offsets.assign(o_max - index.o_base + 2, 0);
+    index.o_base = pos[i].o;
+    const TermId o_max = pos[j - 1].o;
+
+    index.obj_off_begin = static_cast<uint32_t>(obj_offset_pool.size());
+    obj_offset_pool.resize(obj_offset_pool.size() + (o_max - index.o_base) + 2,
+                           0);
+    REMI_CHECK(obj_offset_pool.size() <= UINT32_MAX);
+    index.obj_off_end = static_cast<uint32_t>(obj_offset_pool.size());
+    uint32_t* counts = obj_offset_pool.data() + index.obj_off_begin;
+    index.do_begin = static_cast<uint32_t>(distinct_object_pool.size());
     for (size_t k = i; k < j; ++k) {
-      ++index.obj_offsets[store.pos_[k].o - index.o_base + 1];
-      if (index.distinct_objects.empty() ||
-          index.distinct_objects.back() != store.pos_[k].o) {
-        index.distinct_objects.push_back(store.pos_[k].o);
+      ++counts[pos[k].o - index.o_base + 1];
+      if (distinct_object_pool.size() == index.do_begin ||
+          distinct_object_pool.back() != pos[k].o) {
+        distinct_object_pool.push_back(pos[k].o);
       }
     }
+    index.do_end = static_cast<uint32_t>(distinct_object_pool.size());
     uint32_t running = index.pos_begin;
-    for (size_t k = 0; k < index.obj_offsets.size(); ++k) {
-      running += index.obj_offsets[k];
-      index.obj_offsets[k] = running;
+    for (uint32_t k = index.obj_off_begin; k < index.obj_off_end; ++k) {
+      running += obj_offset_pool[k];
+      obj_offset_pool[k] = running;
     }
     i = j;
   }
+
+  store.spo_ = std::move(triples);
+  store.pso_ = std::move(pso);
+  store.pos_ = std::move(pos);
+  store.subject_offsets_ = std::move(subject_offsets);
+  store.pred_slot_ = std::move(pred_slot);
+  store.pred_index_ = std::move(pred_index);
+  store.subj_offset_pool_ = std::move(subj_offset_pool);
+  store.obj_offset_pool_ = std::move(obj_offset_pool);
+  store.distinct_subject_pool_ = std::move(distinct_subject_pool);
+  store.distinct_object_pool_ = std::move(distinct_object_pool);
   return store;
 }
 
@@ -123,37 +164,39 @@ std::span<const Triple> TripleStore::ByPredicateObjectOrder(TermId p) const {
 std::span<const Triple> TripleStore::ByPredicateSubject(TermId p,
                                                         TermId s) const {
   const PredicateIndex* index = FindPredicate(p);
-  if (index == nullptr || s < index->s_base ||
-      s - index->s_base + 1 >= index->subj_offsets.size()) {
-    return {};
-  }
-  const uint32_t b = index->subj_offsets[s - index->s_base];
-  const uint32_t e = index->subj_offsets[s - index->s_base + 1];
-  return {pso_.data() + b, static_cast<size_t>(e - b)};
+  if (index == nullptr || s < index->s_base) return {};
+  const uint64_t rel = static_cast<uint64_t>(s) - index->s_base;
+  if (rel + 1 >= index->subj_off_end - index->subj_off_begin) return {};
+  const uint32_t* offsets =
+      subj_offset_pool_.data() + index->subj_off_begin + rel;
+  return {pso_.data() + offsets[0],
+          static_cast<size_t>(offsets[1] - offsets[0])};
 }
 
 std::span<const Triple> TripleStore::ByPredicateObject(TermId p,
                                                        TermId o) const {
   const PredicateIndex* index = FindPredicate(p);
-  if (index == nullptr || o < index->o_base ||
-      o - index->o_base + 1 >= index->obj_offsets.size()) {
-    return {};
-  }
-  const uint32_t b = index->obj_offsets[o - index->o_base];
-  const uint32_t e = index->obj_offsets[o - index->o_base + 1];
-  return {pos_.data() + b, static_cast<size_t>(e - b)};
+  if (index == nullptr || o < index->o_base) return {};
+  const uint64_t rel = static_cast<uint64_t>(o) - index->o_base;
+  if (rel + 1 >= index->obj_off_end - index->obj_off_begin) return {};
+  const uint32_t* offsets =
+      obj_offset_pool_.data() + index->obj_off_begin + rel;
+  return {pos_.data() + offsets[0],
+          static_cast<size_t>(offsets[1] - offsets[0])};
 }
 
 std::span<const TermId> TripleStore::DistinctSubjectsOf(TermId p) const {
   const PredicateIndex* index = FindPredicate(p);
   if (index == nullptr) return {};
-  return index->distinct_subjects;
+  return {distinct_subject_pool_.data() + index->ds_begin,
+          static_cast<size_t>(index->ds_end - index->ds_begin)};
 }
 
 std::span<const TermId> TripleStore::DistinctObjectsOf(TermId p) const {
   const PredicateIndex* index = FindPredicate(p);
   if (index == nullptr) return {};
-  return index->distinct_objects;
+  return {distinct_object_pool_.data() + index->do_begin,
+          static_cast<size_t>(index->do_end - index->do_begin)};
 }
 
 bool TripleStore::Contains(TermId s, TermId p, TermId o) const {

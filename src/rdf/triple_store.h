@@ -16,14 +16,22 @@
 // Per-predicate offset tables span [min_key, max_key] of the keys that
 // actually occur under that predicate, so memory stays proportional to the
 // occupied id range rather than the whole dictionary.
+//
+// Storage comes in two modes sharing this one read path: Build constructs
+// owning arrays in memory; an RKF2 snapshot load adopts the same arrays as
+// views over the mapped file (see ArrayRef). To keep that possible, every
+// per-predicate offset/distinct list lives in four flat pools indexed by a
+// fixed-layout PredicateIndex record rather than in per-predicate vectors.
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/array_ref.h"
 #include "util/status.h"
 
 namespace remi {
@@ -31,7 +39,8 @@ namespace remi {
 /// \brief Immutable, fully indexed triple set.
 ///
 /// Construction: collect triples (any order, duplicates allowed) and call
-/// TripleStore::Build. Thread-safe for concurrent reads.
+/// TripleStore::Build, or adopt a snapshot via the RKF2 loader.
+/// Thread-safe for concurrent reads.
 class TripleStore {
  public:
   /// Builds the store: sorts, deduplicates, and materializes the three
@@ -60,6 +69,9 @@ class TripleStore {
 
   /// Membership test for a fully bound fact.
   bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// True if at least one fact uses predicate `p`.
+  bool HasPredicate(TermId p) const { return FindPredicate(p) != nullptr; }
 
   /// Number of facts with predicate `p`.
   size_t CountPredicate(TermId p) const { return ByPredicate(p).size(); }
@@ -96,14 +108,16 @@ class TripleStore {
   const std::vector<TermId>& subjects() const { return subjects_; }
 
   /// The SPO-ordered triple list (for full scans / serialization).
-  const std::vector<Triple>& spo() const { return spo_; }
+  std::span<const Triple> spo() const { return spo_; }
 
   /// The PSO-ordered triple list.
-  const std::vector<Triple>& pso() const { return pso_; }
+  std::span<const Triple> pso() const { return pso_; }
 
  private:
-  /// Per-predicate adjacency: its contiguous ranges in pso_/pos_ plus
-  /// offset tables keyed by (subject - s_base) and (object - o_base).
+  /// Per-predicate adjacency record: the predicate's contiguous ranges in
+  /// pso_/pos_ plus its slices of the four flat pools. Fixed-layout POD so
+  /// the whole pred_index_ array round-trips through RKF2 snapshots
+  /// verbatim; every field is an absolute index into its pool/ordering.
   struct PredicateIndex {
     uint32_t pso_begin = 0;
     uint32_t pso_end = 0;
@@ -111,13 +125,22 @@ class TripleStore {
     uint32_t pos_end = 0;
     TermId s_base = 0;
     TermId o_base = 0;
-    /// Absolute offsets into pso_; size = (max subject - s_base) + 2.
-    std::vector<uint32_t> subj_offsets;
-    /// Absolute offsets into pos_; size = (max object - o_base) + 2.
-    std::vector<uint32_t> obj_offsets;
-    std::vector<TermId> distinct_subjects;
-    std::vector<TermId> distinct_objects;
+    /// Slice of subj_offset_pool_; values are absolute offsets into pso_.
+    /// Length = (max subject - s_base) + 2.
+    uint32_t subj_off_begin = 0;
+    uint32_t subj_off_end = 0;
+    /// Slice of obj_offset_pool_; values are absolute offsets into pos_.
+    uint32_t obj_off_begin = 0;
+    uint32_t obj_off_end = 0;
+    /// Slices of the distinct subject/object pools.
+    uint32_t ds_begin = 0;
+    uint32_t ds_end = 0;
+    uint32_t do_begin = 0;
+    uint32_t do_end = 0;
   };
+  static_assert(std::is_trivially_copyable_v<PredicateIndex> &&
+                    sizeof(PredicateIndex) == 56,
+                "PredicateIndex is serialized verbatim in RKF2 snapshots");
 
   static constexpr uint32_t kNoSlot = UINT32_MAX;
 
@@ -126,19 +149,27 @@ class TripleStore {
     return &pred_index_[pred_slot_[p]];
   }
 
-  std::vector<Triple> spo_;
-  std::vector<Triple> pso_;
-  std::vector<Triple> pos_;
+  /// The RKF2 snapshot codec serializes and reconstitutes the raw arrays.
+  friend struct SnapshotCodec;
+
+  ArrayRef<Triple> spo_;
+  ArrayRef<Triple> pso_;
+  ArrayRef<Triple> pos_;
   std::vector<TermId> predicates_;
   std::vector<TermId> subjects_;
 
   size_t num_terms_ = 0;
   /// CSR over spo_: facts of subject s live at [subject_offsets_[s],
   /// subject_offsets_[s + 1]).
-  std::vector<uint32_t> subject_offsets_;
+  ArrayRef<uint32_t> subject_offsets_;
   /// TermId -> slot in pred_index_ (kNoSlot for non-predicates).
-  std::vector<uint32_t> pred_slot_;
-  std::vector<PredicateIndex> pred_index_;
+  ArrayRef<uint32_t> pred_slot_;
+  ArrayRef<PredicateIndex> pred_index_;
+  /// Flat pools backing the per-predicate slices in pred_index_.
+  ArrayRef<uint32_t> subj_offset_pool_;
+  ArrayRef<uint32_t> obj_offset_pool_;
+  ArrayRef<TermId> distinct_subject_pool_;
+  ArrayRef<TermId> distinct_object_pool_;
 };
 
 }  // namespace remi

@@ -1,0 +1,91 @@
+// ArrayRef<T>: an immutable array that either owns its storage (a
+// std::vector built in memory) or is a non-owning view over external
+// buffers (e.g. a section of an mmap'ed RKF2 snapshot).
+//
+// The RKF2 zero-copy load path adopts snapshot sections in place instead of
+// copying them into vectors; every index structure that participates in a
+// snapshot stores its arrays as ArrayRef so the owning (Build) and
+// non-owning (OpenSnapshot) representations share one read path. Views do
+// not manage lifetime: whoever creates a view must keep the backing buffer
+// alive (KnowledgeBase retains the snapshot's MmapFile).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace remi {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning mode: adopts the vector.
+  ArrayRef(std::vector<T> owned)  // NOLINT(runtime/explicit)
+      : owned_(std::move(owned)), data_(owned_.data()), size_(owned_.size()) {}
+
+  /// Non-owning view over `size` elements at `data`. The backing memory
+  /// must outlive this ArrayRef and every copy of it.
+  static ArrayRef View(const T* data, size_t size) {
+    ArrayRef ref;
+    ref.data_ = data;
+    ref.size_ = size;
+    return ref;
+  }
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    if (other.owns()) {
+      data_ = owned_.data();
+      size_ = owned_.size();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    const bool was_owned = other.owns();
+    owned_ = std::move(other.owned_);
+    if (was_owned) {
+      data_ = owned_.data();
+      size_ = owned_.size();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+    }
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::span<const T> span() const { return {data_, size_}; }
+  operator std::span<const T>() const { return span(); }  // NOLINT
+
+  /// True when this ArrayRef owns its storage (vs viewing external memory).
+  bool owns() const { return !owned_.empty(); }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace remi

@@ -71,6 +71,7 @@ Status Flags::SetValue(const std::string& name, const std::string& value) {
       break;
   }
   info.value = value;
+  info.set = true;
   return Status::OK();
 }
 
@@ -91,12 +92,14 @@ Status Flags::Parse(int argc, char** argv) {
     auto it = flags_.find(arg);
     if (it != flags_.end() && it->second.type == Type::kBool) {
       it->second.value = "true";
+      it->second.set = true;
       continue;
     }
     if (StartsWith(arg, "no-")) {
       auto neg = flags_.find(arg.substr(3));
       if (neg != flags_.end() && neg->second.type == Type::kBool) {
         neg->second.value = "false";
+        neg->second.set = true;
         continue;
       }
     }
@@ -127,6 +130,12 @@ double Flags::GetDouble(const std::string& name) const {
   auto it = flags_.find(name);
   REMI_CHECK(it != flags_.end());
   return strtod(it->second.value.c_str(), nullptr);
+}
+
+bool Flags::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  REMI_CHECK(it != flags_.end());
+  return it->second.set;
 }
 
 bool Flags::GetBool(const std::string& name) const {

@@ -37,6 +37,10 @@ class Flags {
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 
+  /// True if the flag was explicitly set on the command line (as opposed
+  /// to carrying its default value).
+  bool WasSet(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Formatted help text listing all registered flags.
@@ -49,6 +53,7 @@ class Flags {
     std::string value;  // current value, textual
     std::string default_value;
     std::string help;
+    bool set = false;  // explicitly set via Parse
   };
   Status SetValue(const std::string& name, const std::string& value);
 

@@ -1,0 +1,58 @@
+// Read-only memory-mapped file with a graceful read-into-buffer fallback.
+//
+// The RKF2 snapshot loader adopts index sections directly out of the
+// mapped image (zero copy, pages fault in lazily). When mmap is
+// unavailable — non-POSIX platform, exotic filesystem, or an empty file —
+// Open falls back to reading the whole file into an 8-byte-aligned heap
+// buffer, so callers can pointer-cast sections either way.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief An immutable byte buffer backed by an mmap'ed file or an aligned
+/// heap allocation. Move-only; unmaps/frees on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Opens `path` read-only. Prefers mmap; falls back to reading the file
+  /// into an aligned buffer. Fails with IoError if the file cannot be read.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// Copies `bytes` into an 8-byte-aligned heap buffer (no file involved).
+  /// Useful for loading snapshots from in-memory images (tests, fuzzing).
+  static MmapFile FromBytes(std::string_view bytes);
+
+  /// The file contents. data().data() is at least 8-byte aligned.
+  std::string_view data() const {
+    return {static_cast<const char*>(base_), size_};
+  }
+
+  /// True when backed by an actual memory mapping (vs a heap buffer).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const void* base_ = "";  // non-null even when empty
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint64_t> heap_;  // fallback storage, 8-byte aligned
+
+  void Reset();
+};
+
+}  // namespace remi

@@ -38,7 +38,37 @@ Result<uint32_t> GetVarint32(const std::string& data, size_t* offset) {
   return static_cast<uint32_t>(*v);
 }
 
-void PutLengthPrefixed(std::string* out, const std::string& value) {
+void PutFixed32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetFixed32(std::string_view data, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetFixed64(std::string_view data, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view value) {
   PutVarint64(out, value.size());
   out->append(value);
 }

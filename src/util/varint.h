@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
@@ -26,7 +27,15 @@ Result<uint64_t> GetVarint64(const std::string& data, size_t* offset);
 Result<uint32_t> GetVarint32(const std::string& data, size_t* offset);
 
 /// Appends a length-prefixed string.
-void PutLengthPrefixed(std::string* out, const std::string& value);
+void PutLengthPrefixed(std::string* out, std::string_view value);
+
+// Little-endian fixed-width integers, shared by the RKF/RKF2 on-disk
+// formats (one codec, so the formats cannot drift apart). The Get variants
+// do not bounds-check: the caller must ensure offset + width <= size.
+void PutFixed32(std::string* out, uint32_t value);
+void PutFixed64(std::string* out, uint64_t value);
+uint32_t GetFixed32(std::string_view data, size_t offset);
+uint64_t GetFixed64(std::string_view data, size_t offset);
 
 /// Decodes a length-prefixed string written by PutLengthPrefixed.
 Result<std::string> GetLengthPrefixed(const std::string& data,

@@ -1,0 +1,112 @@
+#include "rdf/rkf2.h"
+
+#include <gtest/gtest.h>
+
+#include "util/fnv.h"
+
+namespace remi {
+namespace {
+
+std::string TwoSectionImage() {
+  Rkf2Writer writer;
+  // Payloads must outlive Finish(): AddSection stores views, not copies.
+  const std::string binary("\x01\x02\x03\x00\x04", 5);
+  writer.AddSection(7, "hello");
+  writer.AddSection(9, binary);
+  return writer.Finish();
+}
+
+TEST(Rkf2Test, WriteParseRoundTrip) {
+  const std::string image = TwoSectionImage();
+  auto parsed = Rkf2Image::Parse(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_sections(), 2u);
+  EXPECT_TRUE(parsed->Has(7));
+  EXPECT_TRUE(parsed->Has(9));
+  EXPECT_FALSE(parsed->Has(8));
+  auto s7 = parsed->Section(7);
+  ASSERT_TRUE(s7.ok());
+  EXPECT_EQ(*s7, "hello");
+  auto s9 = parsed->Section(9);
+  ASSERT_TRUE(s9.ok());
+  EXPECT_EQ(s9->size(), 5u);
+  EXPECT_TRUE(parsed->Section(8).status().IsCorruption());
+}
+
+TEST(Rkf2Test, EmptyImageParses) {
+  Rkf2Writer writer;
+  const std::string image = writer.Finish();
+  auto parsed = Rkf2Image::Parse(image);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_sections(), 0u);
+}
+
+TEST(Rkf2Test, SectionsAreAligned) {
+  const std::string image = TwoSectionImage();
+  auto parsed = Rkf2Image::Parse(image);
+  ASSERT_TRUE(parsed.ok());
+  for (const uint32_t id : {7u, 9u}) {
+    auto payload = parsed->Section(id);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ((payload->data() - image.data()) % 8, 0) << "section " << id;
+  }
+}
+
+TEST(Rkf2Test, BadMagicIsCorruption) {
+  std::string image = TwoSectionImage();
+  image[0] = 'X';
+  EXPECT_TRUE(Rkf2Image::Parse(image).status().IsCorruption());
+}
+
+TEST(Rkf2Test, WrongVersionIsCorruption) {
+  std::string image = TwoSectionImage();
+  image[4] = static_cast<char>(kRkf2Version + 1);
+  EXPECT_TRUE(Rkf2Image::Parse(image).status().IsCorruption());
+}
+
+TEST(Rkf2Test, TruncationIsCorruption) {
+  const std::string image = TwoSectionImage();
+  for (size_t keep : {size_t{0}, size_t{16}, size_t{40}, image.size() - 1}) {
+    EXPECT_TRUE(Rkf2Image::Parse(image.substr(0, keep))
+                    .status()
+                    .IsCorruption())
+        << "keep=" << keep;
+  }
+}
+
+TEST(Rkf2Test, FlippedPayloadByteIsCorruption) {
+  std::string image = TwoSectionImage();
+  // Flip one byte inside the first payload (after header + table).
+  image[kRkf2HeaderSize + 2 * kRkf2TableEntrySize + 1] ^= 0x20;
+  EXPECT_TRUE(Rkf2Image::Parse(image).status().IsCorruption());
+}
+
+TEST(Rkf2Test, DuplicateSectionIdIsCorruption) {
+  Rkf2Writer writer;
+  writer.AddSection(7, "a");
+  writer.AddSection(7, "b");
+  EXPECT_TRUE(Rkf2Image::Parse(writer.Finish()).status().IsCorruption());
+}
+
+// Patches a section-table length field and recomputes the header/table
+// footer checksum, so only the structural bounds check can catch the lie.
+TEST(Rkf2Test, SectionLengthLieIsCorruption) {
+  std::string image = TwoSectionImage();
+  const size_t entry = kRkf2HeaderSize;  // first section's table entry
+  const size_t length_at = entry + 16;
+  uint64_t lie = image.size();  // extends past the footer
+  for (int i = 0; i < 8; ++i) {
+    image[length_at + i] = static_cast<char>((lie >> (8 * i)) & 0xff);
+  }
+  const size_t table_end = kRkf2HeaderSize + 2 * kRkf2TableEntrySize;
+  const uint64_t footer =
+      Fnv1a64Wide(std::string_view(image.data(), table_end));
+  for (int i = 0; i < 8; ++i) {
+    image[image.size() - 8 + i] =
+        static_cast<char>((footer >> (8 * i)) & 0xff);
+  }
+  EXPECT_TRUE(Rkf2Image::Parse(image).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace remi

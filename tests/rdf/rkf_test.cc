@@ -54,7 +54,7 @@ TEST(RkfTest, DeduplicatesTriples) {
 
 TEST(RkfTest, EmptyKb) {
   Dictionary dict;
-  auto data = DeserializeRkf(SerializeRkf(dict, {}));
+  auto data = DeserializeRkf(SerializeRkf(dict, std::vector<Triple>{}));
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(data->dict.size(), 0u);
   EXPECT_TRUE(data->triples.empty());

@@ -14,7 +14,7 @@ class TurtleLiteTest : public ::testing::Test {
     TurtleLiteParser parser(&dict_);
     return parser.ParseString(doc);
   }
-  std::string Lex(TermId id) { return dict_.lexical(id); }
+  std::string Lex(TermId id) { return std::string(dict_.lexical(id)); }
   Dictionary dict_;
 };
 

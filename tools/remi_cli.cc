@@ -2,16 +2,18 @@
 //
 // Subcommands:
 //   remi stats <kb>                          KB statistics
-//   remi convert <in> <out>                  N-Triples <-> RKF conversion
+//   remi convert <in> <out>                  N-Triples / RKF / RKF2 conversion
+//   remi snapshot <in> <out.rkf2>            build a KB, save an RKF2 snapshot
 //   remi mine <kb> --targets <iri[,iri...]>  mine the most intuitive RE
 //   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
 //
-// <kb> is an N-Triples file (.nt) or an RKF file (.rkf); targets accept
-// full IRIs or unique IRI suffixes (e.g. "Paris" matches
-// <http://dbpedia.org/resource/Paris> if unambiguous). A --batch file
-// holds one comma-separated target set per line ('#' starts a comment);
-// with --threads N the sets are mined concurrently on one warm miner.
+// <kb> is an N-Triples file (.nt), an RKF file (.rkf), or an RKF2 snapshot
+// (.rkf2; opened zero-copy, no rebuild). Targets accept full IRIs or unique
+// IRI suffixes (e.g. "Paris" matches <http://dbpedia.org/resource/Paris> if
+// unambiguous). A --batch file holds one comma-separated target set per
+// line ('#' starts a comment); with --threads N the sets are mined
+// concurrently on one warm miner.
 
 #include <cstdio>
 #include <fstream>
@@ -33,20 +35,40 @@ namespace {
 using remi::Result;
 using remi::Status;
 
+/// Prefixes an error status with the file it came from, so corrupt inputs
+/// report "<path>: RKF: ... at byte N" instead of a bare status.
+Status WithFileContext(const Status& status, const std::string& path) {
+  if (status.ok()) return status;
+  return Status(status.code(), path + ": " + status.message());
+}
+
 Result<remi::KnowledgeBase> LoadKb(const std::string& path,
-                                   double inverse_fraction) {
+                                   const remi::Flags& flags) {
+  const double inverse_fraction = flags.GetDouble("inverse-fraction");
   remi::KbOptions options;
   options.inverse_top_fraction = inverse_fraction;
+  if (remi::EndsWith(path, ".rkf2")) {
+    auto kb = remi::KnowledgeBase::OpenSnapshot(path);
+    if (!kb.ok()) return WithFileContext(kb.status(), path);
+    if (flags.WasSet("inverse-fraction") &&
+        kb->options().inverse_top_fraction != inverse_fraction) {
+      std::fprintf(stderr,
+                   "note: snapshot was built with --inverse-fraction %g; "
+                   "the flag is ignored for .rkf2 inputs\n",
+                   kb->options().inverse_top_fraction);
+    }
+    return kb;
+  }
   if (remi::EndsWith(path, ".rkf")) {
     auto data = remi::ReadRkfFile(path);
-    if (!data.ok()) return data.status();
+    if (!data.ok()) return WithFileContext(data.status(), path);
     return remi::KnowledgeBase::Build(std::move(data->dict),
                                       std::move(data->triples), options);
   }
   remi::Dictionary dict;
   remi::NTriplesParser parser(&dict, /*lenient=*/true);
   auto triples = parser.ParseFile(path);
-  if (!triples.ok()) return triples.status();
+  if (!triples.ok()) return WithFileContext(triples.status(), path);
   if (parser.skipped_lines() > 0) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
                  parser.skipped_lines());
@@ -65,7 +87,7 @@ Result<remi::TermId> ResolveEntity(const remi::KnowledgeBase& kb,
   for (remi::TermId id = 0; id < kb.dict().size(); ++id) {
     if (kb.dict().kind(id) != remi::TermKind::kIri) continue;
     if (!kb.IsEntity(id)) continue;
-    const std::string& lex = kb.dict().lexical(id);
+    const std::string_view lex = kb.dict().lexical(id);
     if (remi::EndsWith(lex, name) &&
         (lex.size() == name.size() ||
          lex[lex.size() - name.size() - 1] == '/' ||
@@ -86,7 +108,7 @@ int Fail(const Status& status) {
 }
 
 int CmdStats(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  auto kb = LoadKb(path, flags);
   if (!kb.ok()) return Fail(kb.status());
   std::printf("facts        : %zu (%zu base + %zu inverse)\n",
               kb->NumFacts(), kb->NumBaseFacts(),
@@ -106,24 +128,54 @@ int CmdStats(const std::string& path, const remi::Flags& flags) {
   return 0;
 }
 
-int CmdConvert(const std::string& in_path, const std::string& out_path) {
+/// Builds a KB from `in_path` and writes it as an RKF2 snapshot.
+int CmdSnapshot(const std::string& in_path, const std::string& out_path,
+                const remi::Flags& flags) {
+  auto kb = LoadKb(in_path, flags);
+  if (!kb.ok()) return Fail(kb.status());
+  remi::Timer timer;
+  if (auto status = kb->SaveSnapshot(out_path); !status.ok()) {
+    return Fail(WithFileContext(status, out_path));
+  }
+  std::printf("wrote %s (%zu facts, %zu entities, %s)\n", out_path.c_str(),
+              kb->NumFacts(), kb->NumEntities(),
+              remi::FormatSeconds(timer.ElapsedSeconds()).c_str());
+  return 0;
+}
+
+int CmdConvert(const std::string& in_path, const std::string& out_path,
+               const remi::Flags& flags) {
+  if (remi::EndsWith(out_path, ".rkf2")) {
+    return CmdSnapshot(in_path, out_path, flags);
+  }
   remi::Dictionary dict;
   std::vector<remi::Triple> triples;
-  if (remi::EndsWith(in_path, ".rkf")) {
+  if (remi::EndsWith(in_path, ".rkf2")) {
+    // A snapshot stores the *built* KB; recover the base facts by
+    // dropping the materialized inverse-predicate triples.
+    auto kb = remi::KnowledgeBase::OpenSnapshot(in_path);
+    if (!kb.ok()) return Fail(WithFileContext(kb.status(), in_path));
+    // Deep-copy: the snapshot's dictionary is a view into the mapped
+    // file, which dies with `kb` at the end of this block.
+    dict = kb->dict().OwnedCopy();
+    for (const remi::Triple& t : kb->store().spo()) {
+      if (!kb->IsInversePredicate(t.p)) triples.push_back(t);
+    }
+  } else if (remi::EndsWith(in_path, ".rkf")) {
     auto data = remi::ReadRkfFile(in_path);
-    if (!data.ok()) return Fail(data.status());
+    if (!data.ok()) return Fail(WithFileContext(data.status(), in_path));
     dict = std::move(data->dict);
     triples = std::move(data->triples);
   } else {
     remi::NTriplesParser parser(&dict, /*lenient=*/true);
     auto parsed = parser.ParseFile(in_path);
-    if (!parsed.ok()) return Fail(parsed.status());
+    if (!parsed.ok()) return Fail(WithFileContext(parsed.status(), in_path));
     triples = std::move(*parsed);
   }
   const size_t num_triples = triples.size();
   if (remi::EndsWith(out_path, ".rkf")) {
     auto status = remi::WriteRkfFile(dict, std::move(triples), out_path);
-    if (!status.ok()) return Fail(status);
+    if (!status.ok()) return Fail(WithFileContext(status, out_path));
   } else {
     const std::string doc = remi::WriteNTriples(dict, triples);
     FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -212,7 +264,7 @@ int CmdMineBatch(const remi::KnowledgeBase& kb, const remi::RemiOptions& opts,
 }
 
 int CmdMine(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  auto kb = LoadKb(path, flags);
   if (!kb.ok()) return Fail(kb.status());
 
   remi::RemiOptions options;
@@ -272,7 +324,7 @@ int CmdMine(const std::string& path, const remi::Flags& flags) {
 }
 
 int CmdSummarize(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags.GetDouble("inverse-fraction"));
+  auto kb = LoadKb(path, flags);
   if (!kb.ok()) return Fail(kb.status());
   auto entity = ResolveEntity(*kb, flags.GetString("entity"));
   if (!entity.ok()) return Fail(entity.status());
@@ -312,7 +364,8 @@ int main(int argc, char** argv) {
   const auto& args = flags.positional();
   if (args.empty()) {
     std::printf(
-        "usage: remi <stats|convert|mine|summarize> <kb> [args]\n\n%s",
+        "usage: remi <stats|convert|snapshot|mine|summarize> <kb> "
+        "[args]\n\n%s",
         flags.Help().c_str());
     return 1;
   }
@@ -321,7 +374,10 @@ int main(int argc, char** argv) {
     return CmdStats(args[1], flags);
   }
   if (command == "convert" && args.size() == 3) {
-    return CmdConvert(args[1], args[2]);
+    return CmdConvert(args[1], args[2], flags);
+  }
+  if (command == "snapshot" && args.size() == 3) {
+    return CmdSnapshot(args[1], args[2], flags);
   }
   if (command == "mine" && args.size() == 2) {
     return CmdMine(args[1], flags);
