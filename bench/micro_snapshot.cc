@@ -173,9 +173,21 @@ int main(int argc, char** argv) {
               kb.NumFacts(), kb.NumEntities(), kb.NumPredicates());
 
   // Persist the three representations. RKF1 and N-Triples store base
-  // facts (they rebuild); RKF2 stores the built KB.
-  const std::string dir = "bench_snapshot_tmp";
+  // facts (they rebuild); RKF2 stores the built KB. Everything goes into
+  // a per-process temp directory, removed on exit, so repeated runs never
+  // litter the working tree.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("remi_bench_snapshot_" + std::to_string(getpid())))
+          .string();
   std::filesystem::create_directories(dir);
+  struct TempDirCleanup {
+    std::string path;
+    ~TempDirCleanup() {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  } cleanup{dir};
   std::vector<remi::Triple> base_facts;
   for (const remi::Triple& t : kb.store().spo()) {
     if (!kb.IsInversePredicate(t.p)) base_facts.push_back(t);

@@ -1,5 +1,9 @@
 // Tables 2 + the §4.1.2/§4.1.3 user-study numbers, re-run against the
-// simulated user panel (DESIGN.md §5).
+// simulated user panel (DESIGN.md §5), with all mining served through
+// remi::Service — the single-KB many-requests deployment the study
+// models. Candidate queues come from Service::Candidates, REs from
+// Service::Mine / Service::BatchMine with per-request cost overrides
+// (Ĉfr vs Ĉpr share one service, one pool, one warm match-set cache).
 //
 // Study 1 (Table 2): 24 entity sets (sizes 1-3) sampled from the top-5%
 // most frequent entities of the four largest classes. Candidates per set:
@@ -19,9 +23,9 @@
 //   ./table2_cost_vs_users [--scale 0.05] [--users 44] [--seed 7]
 //                          [--threads 1]
 //
-// --threads > 1 mines Study 2's candidate REs via RemiMiner::MineBatch on
-// a shared pool (the paper's many-users serving scenario); results are
-// identical to the sequential run, only faster on multicore hosts.
+// --threads > 1 sizes the service's shared pool: Study 2's batches then
+// mine concurrently (the paper's many-users serving scenario); results
+// are identical to the sequential run, only faster on multicore hosts.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,7 +33,8 @@
 
 #include "bench_common.h"
 #include "kbgen/workload.h"
-#include "remi/remi.h"
+#include "query/evaluator.h"
+#include "service/service.h"
 #include "userstudy/metrics.h"
 #include "userstudy/user_model.h"
 #include "util/flags.h"
@@ -43,6 +48,12 @@ using remi::bench::MeanStdToString;
 
 remi::Expression Single(const remi::SubgraphExpression& rho) {
   return remi::Expression::Top().Conjoin(rho);
+}
+
+remi::CostModelOptions CostFor(remi::ProminenceMetric metric) {
+  remi::CostModelOptions cost;
+  cost.metric = metric;
+  return cost;
 }
 
 }  // namespace
@@ -61,7 +72,12 @@ int main(int argc, char** argv) {
   CsvWriter csv("table2_cost_vs_users");
   csv.Header({"study", "metric", "statistic", "mean", "stddev"});
 
-  remi::KnowledgeBase kb = remi::bench::BuildDbpediaLike(scale);
+  remi::ServiceOptions service_options;
+  service_options.mining.num_threads = threads;
+  service_options.max_in_flight = 0;  // harness: no admission limits
+  auto service = remi::Service::Create(
+      remi::bench::BuildDbpediaLike(scale), service_options);
+  const remi::KnowledgeBase& kb = service->kb();
   std::printf("Table 2 reproduction — DBpedia-like KB (%zu facts), panel "
               "of %zu users\n",
               kb.NumFacts(), users);
@@ -90,33 +106,32 @@ int main(int argc, char** argv) {
   remi::bench::Banner("Study 1 (Table 2): p@k of Ĉ vs simulated users");
   for (const auto metric : {remi::ProminenceMetric::kFrequency,
                             remi::ProminenceMetric::kPageRank}) {
-    remi::RemiOptions options;
-    options.cost.metric = metric;
-    remi::RemiMiner miner(&kb, options);
-
     std::vector<double> p1, p2, p3;
     size_t responses = 0;
     for (const auto& set : sets) {
-      auto ranked = miner.RankedCommonSubgraphs(set.entities);
+      remi::CandidatesRequest request;
+      request.targets.ids = set.entities;
+      request.cost = CostFor(metric);
+      auto ranked = service->Candidates(request);
       if (!ranked.ok() || ranked->size() < 5) continue;
       // Candidates: Ĉ's top 3, the worst-ranked, and a random middle one.
-      std::vector<remi::SubgraphExpression> chosen;
-      chosen.push_back((*ranked)[0].expression);
-      chosen.push_back((*ranked)[1].expression);
-      chosen.push_back((*ranked)[2].expression);
-      chosen.push_back(ranked->back().expression);
+      std::vector<remi::RankedSubgraph> chosen;
+      chosen.push_back((*ranked)[0]);
+      chosen.push_back((*ranked)[1]);
+      chosen.push_back((*ranked)[2]);
+      chosen.push_back(ranked->back());
       const size_t middle =
           3 + rng.NextBounded(ranked->size() > 4 ? ranked->size() - 4 : 1);
-      chosen.push_back((*ranked)[middle].expression);
+      chosen.push_back((*ranked)[middle]);
 
       std::vector<remi::Expression> candidates;
-      for (const auto& rho : chosen) candidates.push_back(Single(rho));
-      // Model ranking: by Ĉ of this metric.
+      for (const auto& r : chosen) candidates.push_back(Single(r.expression));
+      // Model ranking: by Ĉ of this metric (a single-subgraph conjunction
+      // costs exactly its ranked queue entry).
       std::vector<size_t> model_order{0, 1, 2, 3, 4};
       std::sort(model_order.begin(), model_order.end(),
                 [&](size_t a, size_t b) {
-                  return miner.cost_model().Cost(candidates[a]) <
-                         miner.cost_model().Cost(candidates[b]);
+                  return chosen[a].cost < chosen[b].cost;
                 });
       for (size_t u = 0; u < users / 2; ++u) {
         const auto user_order = panel.RankBySimplicity(u, candidates);
@@ -151,45 +166,51 @@ int main(int argc, char** argv) {
   // ---- Study 2: ranking whole REs; MAP + fr-vs-pr preference ---------------
   remi::bench::Banner("Study 2 (§4.1.2): MAP and Ĉfr-vs-Ĉpr preference");
   {
-    remi::RemiOptions fr_options;
-    fr_options.num_threads = threads;
-    remi::RemiMiner fr_miner(&kb, fr_options);
-    remi::RemiOptions pr_options;
-    pr_options.cost.metric = remi::ProminenceMetric::kPageRank;
-    pr_options.num_threads = threads;
-    remi::RemiMiner pr_miner(&kb, pr_options);
-
     remi::WorkloadConfig wconfig2;
     wconfig2.num_sets = 20;  // paper: 20 hand-picked sets
     wconfig2.top_fraction = 0.05;
     remi::Rng rng2(static_cast<uint64_t>(flags.GetInt("seed")) + 1);
     const auto sets2 = remi::SampleEntitySets(kb, classes, wconfig2, &rng2);
 
-    // All of Study 2's mining runs are independent: batch them onto the
-    // miners' shared pools (with --threads 1 this degenerates to the
-    // sequential per-set loop and produces identical results).
-    std::vector<std::vector<remi::TermId>> batch_targets;
-    batch_targets.reserve(sets2.size());
-    for (const auto& set : sets2) batch_targets.push_back(set.entities);
+    // All of Study 2's mining runs are independent: two BatchMine
+    // requests (one per metric) onto the shared service. With
+    // --threads 1 this degenerates to the sequential per-set loop and
+    // produces identical results.
+    remi::BatchMineRequest batch;
+    for (const auto& set : sets2) {
+      remi::TargetSpec spec;
+      spec.ids = set.entities;
+      batch.target_sets.push_back(std::move(spec));
+    }
     remi::Timer batch_timer;
-    auto fr_results = fr_miner.MineBatch(batch_targets);
-    auto pr_results = pr_miner.MineBatch(batch_targets);
-    REMI_CHECK_OK(fr_results.status());
-    REMI_CHECK_OK(pr_results.status());
+    batch.cost = CostFor(remi::ProminenceMetric::kFrequency);
+    auto fr_response = service->BatchMine(batch);
+    batch.cost = CostFor(remi::ProminenceMetric::kPageRank);
+    auto pr_response = service->BatchMine(batch);
+    REMI_CHECK_OK(fr_response.status());
+    REMI_CHECK_OK(pr_response.status());
     std::printf("  mined 2x%zu sets with %d thread(s) in %s\n",
-                batch_targets.size(), threads,
+                batch.target_sets.size(), threads,
                 remi::FormatSeconds(batch_timer.ElapsedSeconds()).c_str());
+
+    // The candidate harvesting below re-evaluates search-tree REs; a
+    // local evaluator over the service's KB stands in for a user
+    // re-checking answers.
+    remi::Evaluator evaluator(&kb);
 
     std::vector<double> ap_values;
     size_t fr_votes = 0, votes = 0, same_solution = 0, cases = 0;
     for (size_t set_index = 0; set_index < sets2.size(); ++set_index) {
       const auto& set = sets2[set_index];
-      const remi::RemiResult& mined = (*fr_results)[set_index];
+      const remi::MineResponse& mined = fr_response->results[set_index];
       if (!mined.found) continue;
       // Candidate REs: REMI's answer + other REs discovered by conjoining
       // queue prefixes (the paper used REs "encountered during search
       // space traversal").
-      auto ranked = fr_miner.RankedCommonSubgraphs(set.entities);
+      remi::CandidatesRequest request;
+      request.targets.ids = set.entities;
+      request.cost = CostFor(remi::ProminenceMetric::kFrequency);
+      auto ranked = service->Candidates(request);
       if (!ranked.ok()) continue;
       std::vector<remi::Expression> candidates{mined.expression};
       remi::MatchSet targets(set.entities.begin(), set.entities.end());
@@ -197,13 +218,12 @@ int main(int argc, char** argv) {
         remi::Expression candidate =
             remi::Expression::Top().Conjoin((*ranked)[i].expression);
         for (size_t j = i + 1; j < ranked->size(); ++j) {
-          if (fr_miner.evaluator()->IsReferringExpression(candidate,
-                                                          targets)) {
+          if (evaluator.IsReferringExpression(candidate, targets)) {
             break;
           }
           candidate = candidate.Conjoin((*ranked)[j].expression);
         }
-        if (fr_miner.evaluator()->IsReferringExpression(candidate, targets) &&
+        if (evaluator.IsReferringExpression(candidate, targets) &&
             std::find(candidates.begin(), candidates.end(), candidate) ==
                 candidates.end()) {
           candidates.push_back(candidate);
@@ -217,7 +237,7 @@ int main(int argc, char** argv) {
             remi::AveragePrecisionSingleRelevant(0, order));
       }
       // fr-vs-pr preference.
-      const remi::RemiResult& pr_mined = (*pr_results)[set_index];
+      const remi::MineResponse& pr_mined = pr_response->results[set_index];
       if (pr_mined.found) {
         if (pr_mined.expression == mined.expression) {
           ++same_solution;
@@ -250,10 +270,11 @@ int main(int argc, char** argv) {
   // ---- Study 3: interestingness grades on the Wikidata-like KB -------------
   remi::bench::Banner("Study 3 (§4.1.3): interestingness 1-5");
   {
-    remi::KnowledgeBase wd = remi::bench::BuildWikidataLike(scale);
+    auto wd_service =
+        remi::Service::Create(remi::bench::BuildWikidataLike(scale));
+    const remi::KnowledgeBase& wd = wd_service->kb();
     remi::CostModel wd_hidden(&wd, remi::CostModelOptions{});
     remi::SimulatedUserPanel wd_panel(&wd, &wd_hidden, user_config);
-    remi::RemiMiner miner(&wd, remi::RemiOptions{});
 
     const auto wd_classes = remi::LargestClasses(wd, 5);  // paper: 5 classes
     std::vector<double> scores;
@@ -262,7 +283,9 @@ int main(int argc, char** argv) {
       auto members = remi::ClassMembersByProminence(wd, cls);
       // paper: top 7 of the frequency ranking per class
       for (size_t i = 0; i < members.size() && i < 7; ++i) {
-        auto result = miner.MineRe({members[i]});
+        remi::MineRequest request;
+        request.targets.ids = {members[i]};
+        auto result = wd_service->Mine(request);
         if (!result.ok() || !result->found) continue;
         ++described;
         for (size_t u = 0; u < users / 2; ++u) {

@@ -1,6 +1,9 @@
 // Entity summarization side-by-side (Table 3's systems on real entities):
-// REMI's top-k most intuitive atoms vs FACES-lite vs LinkSUM-lite vs the
-// simulated expert gold standard.
+// REMI's top-k most intuitive atoms — served by remi::Service, which
+// applies the Table 3 protocol (standard language, no rdf:type, no
+// inverses) behind SummarizeRequest — vs FACES-lite vs LinkSUM-lite vs
+// the simulated expert gold standard. The baselines read the service's KB
+// directly: they are comparison systems, not part of the serving surface.
 //
 //   ./entity_summaries [--k 5] [--entities France,Paris,Albert_Einstein]
 
@@ -10,11 +13,10 @@
 
 #include "complexity/pagerank.h"
 #include "kbgen/curated.h"
-#include "kbgen/kb_builder.h"
+#include "service/service.h"
 #include "summ/faces_lite.h"
 #include "summ/gold_standard.h"
 #include "summ/linksum_lite.h"
-#include "summ/remi_summarizer.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -44,24 +46,26 @@ int main(int argc, char** argv) {
   REMI_CHECK_OK(flags.Parse(argc, argv));
   const size_t k = static_cast<size_t>(flags.GetInt("k"));
 
-  remi::KnowledgeBase kb = remi::BuildCuratedKb();
+  auto service = remi::Service::Create(remi::BuildCuratedKb());
+  const remi::KnowledgeBase& kb = service->kb();
   const auto pagerank = remi::ComputePageRank(kb);
-  remi::RemiMiner miner(
-      &kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kFrequency));
 
   for (const std::string& name :
        remi::SplitString(flags.GetString("entities"), ',')) {
-    auto id = remi::FindEntity(kb, name);
-    if (!id.ok()) {
+    remi::SummarizeRequest request;
+    request.entity.names.push_back(name);
+    request.k = k;
+    auto response = service->Summarize(request);
+    if (!response.ok()) {
       std::printf("unknown entity '%s'\n", name.c_str());
       continue;
     }
-    std::printf("=== %s (top %zu) ===\n", kb.Label(*id).c_str(), k);
-    PrintSummary(kb, "REMI", remi::RemiSummarize(miner, *id, k));
-    PrintSummary(kb, "FACES", remi::FacesSummarize(kb, *id, k));
+    std::printf("=== %s (top %zu) ===\n", response->entity_label.c_str(), k);
+    PrintSummary(kb, "REMI", response->items);
+    PrintSummary(kb, "FACES", remi::FacesSummarize(kb, response->entity, k));
     PrintSummary(kb, "LinkSUM",
-                 remi::LinkSumSummarize(kb, pagerank, *id, k));
-    const auto gold = remi::BuildGoldStandard(kb, *id, {});
+                 remi::LinkSumSummarize(kb, pagerank, response->entity, k));
+    const auto gold = remi::BuildGoldStandard(kb, response->entity, {});
     PrintSummary(kb, "expert#1", gold.top5.empty() ? remi::Summary{}
                                                    : gold.top5[0]);
     std::printf("\n");

@@ -1,7 +1,10 @@
-// The paper's geography walkthrough (§1, §2.2.2) on the curated world KB:
-// mines REs for the running examples — {Guyana, Suriname}, Paris, the
-// Johann J. Müller supervisor chain, {Ecuador, Peru} — under both cost
-// variants (Ĉfr and Ĉpr) and prints the ranked candidate queue.
+// The paper's geography walkthrough (§1, §2.2.2) on the curated world KB,
+// served through remi::Service: mines REs for the running examples —
+// {Guyana, Suriname}, Paris, the Johann J. Müller supervisor chain,
+// {Ecuador, Peru} — under both cost variants (Ĉfr and Ĉpr) and prints the
+// ranked candidate queue. One service instance answers all of it: the
+// metric is a *per-request* cost override, so both variants share the KB,
+// the pool, and the warm match-set cache.
 //
 //   ./geo_describe [--show-queue 5]
 
@@ -10,40 +13,43 @@
 #include <vector>
 
 #include "kbgen/curated.h"
-#include "kbgen/kb_builder.h"
-#include "nlg/verbalizer.h"
-#include "remi/remi.h"
+#include "service/service.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
 namespace {
 
-void Describe(const remi::KnowledgeBase& kb, const remi::RemiMiner& miner,
+void Describe(remi::Service* service, remi::ProminenceMetric metric,
               const std::vector<std::string>& names, int show_queue) {
-  std::vector<remi::TermId> targets;
+  remi::MineRequest request;
+  request.targets.names = names;
+  request.verbalize = true;
+  remi::CostModelOptions cost;
+  cost.metric = metric;
+  request.cost = cost;
+
+  auto response = service->Mine(request);
+  REMI_CHECK_OK(response.status());
+
   std::string title;
-  for (const auto& name : names) {
-    auto id = remi::FindEntity(kb, name);
-    REMI_CHECK_OK(id.status());
-    targets.push_back(*id);
+  for (const remi::TermId t : response->targets) {
     if (!title.empty()) title += ", ";
-    title += kb.Label(*id);
+    title += service->kb().Label(t);
   }
   std::printf("--- {%s} ---\n", title.c_str());
-
-  auto result = miner.MineRe(targets);
-  REMI_CHECK_OK(result.status());
-  remi::Verbalizer verbalizer(&kb);
-  if (!result->found) {
+  if (!response->found) {
     std::printf("  no RE found\n");
     return;
   }
-  std::printf("  RE (%.2f bits): %s\n", result->cost,
-              result->expression.ToString(kb.dict()).c_str());
-  std::printf("  \"%s\"\n", verbalizer.Sentence(result->expression).c_str());
+  std::printf("  RE (%.2f bits): %s\n", response->cost,
+              response->expression_text.c_str());
+  std::printf("  \"%s\"\n", response->verbalization.c_str());
 
   if (show_queue > 0) {
-    auto ranked = miner.RankedCommonSubgraphs(targets);
+    remi::CandidatesRequest candidates;
+    candidates.targets.names = names;
+    candidates.cost = cost;
+    auto ranked = service->Candidates(candidates);
     REMI_CHECK_OK(ranked.status());
     std::printf("  candidate queue (top %d of %zu):\n", show_queue,
                 ranked->size());
@@ -51,7 +57,7 @@ void Describe(const remi::KnowledgeBase& kb, const remi::RemiMiner& miner,
     for (const auto& r : *ranked) {
       if (shown++ >= show_queue) break;
       std::printf("    %6.2f  %s\n", r.cost,
-                  r.expression.ToString(kb.dict()).c_str());
+                  r.expression.ToString(service->kb().dict()).c_str());
     }
   }
 }
@@ -65,26 +71,22 @@ int main(int argc, char** argv) {
   REMI_CHECK_OK(flags.Parse(argc, argv));
   const int show_queue = static_cast<int>(flags.GetInt("show-queue"));
 
-  remi::KnowledgeBase kb = remi::BuildCuratedKb();
-  std::printf("curated KB: %zu facts, %zu entities\n\n", kb.NumFacts(),
-              kb.NumEntities());
+  auto service = remi::Service::Create(remi::BuildCuratedKb());
+  std::printf("curated KB: %zu facts, %zu entities\n\n",
+              service->kb().NumFacts(), service->kb().NumEntities());
 
   for (const auto metric : {remi::ProminenceMetric::kFrequency,
                             remi::ProminenceMetric::kPageRank}) {
     std::printf("=============== Ĉ%s ===============\n",
                 remi::ProminenceMetricToString(metric));
-    remi::RemiOptions options;
-    options.cost.metric = metric;
-    remi::RemiMiner miner(&kb, options);
-
     // §2.2.2: the Germanic-language countries of South America.
-    Describe(kb, miner, {"Guyana", "Suriname"}, show_queue);
+    Describe(service.get(), metric, {"Guyana", "Suriname"}, show_queue);
     // §1: Paris, "the capital of France".
-    Describe(kb, miner, {"Paris"}, show_queue);
+    Describe(service.get(), metric, {"Paris"}, show_queue);
     // §1/§3.2: the supervisor of the supervisor of Albert Einstein.
-    Describe(kb, miner, {"Johann_J_Mueller"}, show_queue);
+    Describe(service.get(), metric, {"Johann_J_Mueller"}, show_queue);
     // §4.1.3: "they were both places of the Inca Civil War".
-    Describe(kb, miner, {"Ecuador", "Peru"}, show_queue);
+    Describe(service.get(), metric, {"Ecuador", "Peru"}, show_queue);
     std::printf("\n");
   }
   return 0;

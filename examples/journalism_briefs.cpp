@@ -1,7 +1,8 @@
 // Algorithmic journalism (one of the paper's §1 use cases): generate
 // one-line "who is this?" briefs for people, companies, and films by
-// mining the most intuitive RE for each and verbalizing it. Runs P-REMI
-// when --threads > 1.
+// asking a remi::Service for the most intuitive RE of each, verbalized.
+// The newsroom pattern is exactly the serving story: one long-lived
+// service, many small requests, each with its own deadline.
 //
 //   ./journalism_briefs [--threads 2] [--metric fr|pr]
 
@@ -10,9 +11,7 @@
 #include <vector>
 
 #include "kbgen/curated.h"
-#include "kbgen/kb_builder.h"
-#include "nlg/verbalizer.h"
-#include "remi/remi.h"
+#include "service/service.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -23,15 +22,12 @@ int main(int argc, char** argv) {
   flags.DefineString("metric", "fr", "prominence metric: fr or pr");
   REMI_CHECK_OK(flags.Parse(argc, argv));
 
-  remi::KnowledgeBase kb = remi::BuildCuratedKb();
-
-  remi::RemiOptions options;
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  options.cost.metric = flags.GetString("metric") == "pr"
-                            ? remi::ProminenceMetric::kPageRank
-                            : remi::ProminenceMetric::kFrequency;
-  remi::RemiMiner miner(&kb, options);
-  remi::Verbalizer verbalizer(&kb);
+  remi::ServiceOptions options;
+  options.mining.num_threads = static_cast<int>(flags.GetInt("threads"));
+  if (flags.GetString("metric") == "pr") {
+    options.mining.cost.metric = remi::ProminenceMetric::kPageRank;
+  }
+  auto service = remi::Service::Create(remi::BuildCuratedKb(), options);
 
   // The §4.1.3 newsroom: companies, scientists, movies, disputed places.
   const std::vector<std::vector<std::string>> stories = {
@@ -46,25 +42,29 @@ int main(int argc, char** argv) {
 
   remi::Timer total;
   for (const auto& story : stories) {
-    std::vector<remi::TermId> targets;
-    std::string who;
-    for (const auto& name : story) {
-      auto id = remi::FindEntity(kb, name);
-      REMI_CHECK_OK(id.status());
-      targets.push_back(*id);
-      if (!who.empty()) who += " & ";
-      who += kb.Label(*id);
-    }
+    remi::MineRequest request;
+    request.targets.names = story;
+    request.verbalize = true;
+    request.control.deadline_seconds = 10.0;  // briefs must never stall
+
     remi::Timer t;
-    auto result = miner.MineRe(targets);
-    REMI_CHECK_OK(result.status());
-    if (result->found) {
+    auto response = service->Mine(request);
+    REMI_CHECK_OK(response.status());
+
+    std::string who;
+    for (const remi::TermId target : response->targets) {
+      if (!who.empty()) who += " & ";
+      who += service->kb().Label(target);
+    }
+    if (response->found) {
       std::printf("%-28s %s  [%.1fms, Ĉ=%.1f]\n", (who + ":").c_str(),
-                  verbalizer.Sentence(result->expression).c_str(),
-                  t.ElapsedSeconds() * 1e3, result->cost);
+                  response->verbalization.c_str(),
+                  t.ElapsedSeconds() * 1e3, response->cost);
     } else {
-      std::printf("%-28s (no unambiguous description found)\n",
-                  (who + ":").c_str());
+      std::printf("%-28s (no unambiguous description found%s)\n",
+                  (who + ":").c_str(),
+                  response->status.IsDeadlineExceeded() ? "; timed out"
+                                                        : "");
     }
   }
   std::printf("\n%zu briefs in %.1fms with %d thread(s), metric Ĉ%s\n",

@@ -1,18 +1,20 @@
-// Quickstart: parse an N-Triples document, build a KnowledgeBase, mine the
-// most intuitive referring expression for an entity, and verbalize it.
+// Quickstart: stand up a remi::Service and mine the most intuitive
+// referring expression for an entity through the request/response API.
 //
 //   ./quickstart [--targets Paris,Berlin] [--threads 2]
+//   ./quickstart --kb tests/data/smoke.nt --targets Berlin
 //
-// Also demonstrates the RKF binary format round-trip (save + reload).
+// Without --kb, an inline N-Triples document is parsed and the built KB is
+// adopted with Service::Create; with --kb, Service::Open sniffs the format
+// (.nt / .ttl / .rkf / .rkf2) and loads the file. Either way the Service
+// owns the KB, the thread pool, and the match-set cache — consumers only
+// fill in MineRequest and read MineResponse.
 
 #include <cstdio>
 #include <string>
 
-#include "kb/knowledge_base.h"
-#include "nlg/verbalizer.h"
 #include "rdf/ntriples.h"
-#include "rdf/rkf.h"
-#include "remi/remi.h"
+#include "service/service.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -43,63 +45,75 @@ constexpr const char* kDocument = R"(
 
 int main(int argc, char** argv) {
   remi::Flags flags;
+  flags.DefineString("kb", "",
+                     "KB file to serve (.nt/.ttl/.rkf/.rkf2); empty = the "
+                     "inline capitals document");
   flags.DefineString("targets", "Paris",
-                     "comma-separated entity local names to describe");
+                     "comma-separated entity names to describe");
   flags.DefineInt("threads", 1, "1 = REMI, >1 = P-REMI");
   REMI_CHECK_OK(flags.Parse(argc, argv));
 
-  // 1. Parse.
-  remi::Dictionary dict;
-  remi::NTriplesParser parser(&dict);
-  auto triples = parser.ParseString(kDocument);
-  REMI_CHECK_OK(triples.status());
-  std::printf("parsed %zu triples\n", triples->size());
+  // 1. Start the service. ServiceOptions.mining carries the RemiOptions
+  // defaults; every request may override the cost model / language bias.
+  remi::ServiceOptions options;
+  options.mining.num_threads = static_cast<int>(flags.GetInt("threads"));
 
-  // 2. RKF round-trip (the single-file compressed storage of §3.5.1).
-  const std::string bytes = remi::SerializeRkf(dict, *triples);
-  auto reloaded = remi::DeserializeRkf(bytes);
-  REMI_CHECK_OK(reloaded.status());
-  std::printf("RKF: %zu bytes for %zu terms + %zu triples\n", bytes.size(),
-              reloaded->dict.size(), reloaded->triples.size());
+  std::unique_ptr<remi::Service> service;
+  if (!flags.GetString("kb").empty()) {
+    remi::KbSpec spec;
+    spec.path = flags.GetString("kb");
+    auto opened = remi::Service::Open(spec, options);
+    REMI_CHECK_OK(opened.status());
+    service = std::move(*opened);
+  } else {
+    remi::Dictionary dict;
+    remi::NTriplesParser parser(&dict);
+    auto triples = parser.ParseString(kDocument);
+    REMI_CHECK_OK(triples.status());
+    remi::KbOptions kb_options;
+    kb_options.inverse_top_fraction = 0.1;
+    service = remi::Service::Create(
+        remi::KnowledgeBase::Build(std::move(dict), std::move(*triples),
+                                   kb_options),
+        options);
+  }
+  std::printf("KB: %zu facts, %zu entities, %zu predicates\n",
+              service->kb().NumFacts(), service->kb().NumEntities(),
+              service->kb().NumPredicates());
 
-  // 3. Build the knowledge base (inverse materialization included).
-  remi::KbOptions kb_options;
-  kb_options.inverse_top_fraction = 0.1;
-  remi::KnowledgeBase kb = remi::KnowledgeBase::Build(
-      std::move(reloaded->dict), std::move(reloaded->triples), kb_options);
-  std::printf("KB: %zu facts (%zu base), %zu entities, %zu predicates\n",
-              kb.NumFacts(), kb.NumBaseFacts(), kb.NumEntities(),
-              kb.NumPredicates());
-
-  // 4. Mine.
-  remi::RemiOptions options;
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  remi::RemiMiner miner(&kb, options);
-  remi::Verbalizer verbalizer(&kb);
-
-  std::vector<remi::TermId> targets;
+  // 2. Fill in the request: lexical targets (full IRIs or unambiguous
+  // suffixes), verbalization on, a 5-second deadline so the call can
+  // never run unbounded.
+  remi::MineRequest request;
   for (const std::string& name :
        remi::SplitString(flags.GetString("targets"), ',')) {
-    auto id = kb.dict().Lookup(remi::TermKind::kIri, "http://ex/" + name);
-    if (!id.ok()) {
-      std::printf("unknown entity '%s'\n", name.c_str());
-      return 1;
-    }
-    targets.push_back(*id);
+    if (!name.empty()) request.targets.names.push_back(name);
   }
+  request.verbalize = true;
+  request.control.deadline_seconds = 5.0;
 
-  auto result = miner.MineRe(targets);
-  REMI_CHECK_OK(result.status());
-  if (!result->found) {
+  // 3. Mine. Request-level problems (unknown target, capacity) are the
+  // error side of the Result; execution outcomes (OK / DeadlineExceeded /
+  // Cancelled) come back in response.status with partial stats.
+  auto response = service->Mine(request);
+  REMI_CHECK_OK(response.status());
+  if (!response->status.ok()) {
+    std::printf("request interrupted: %s\n",
+                response->status.ToString().c_str());
+    return 1;
+  }
+  if (!response->found) {
     std::printf("no referring expression exists for this set\n");
     return 0;
   }
-  std::printf("RE  : %s\n", result->expression.ToString(kb.dict()).c_str());
-  std::printf("Ĉ   : %.3f bits\n", result->cost);
-  std::printf("NLG : %s\n",
-              verbalizer.Sentence(result->expression).c_str());
-  std::printf("search: %zu common subgraphs, %llu nodes visited\n",
-              result->stats.num_common_subgraphs,
-              static_cast<unsigned long long>(result->stats.nodes_visited));
+  std::printf("RE  : %s\n", response->expression_text.c_str());
+  std::printf("Ĉ   : %.3f bits\n", response->cost);
+  std::printf("NLG : %s\n", response->verbalization.c_str());
+  std::printf("search: %zu common subgraphs, %llu nodes visited, "
+              "%.1fms mining\n",
+              response->stats.num_common_subgraphs,
+              static_cast<unsigned long long>(
+                  response->stats.nodes_visited),
+              response->service.mine_seconds * 1e3);
   return 0;
 }

@@ -1,9 +1,13 @@
 // Figure 1 replication: the DFS search space for {Rennes, Nantes}.
 //
-// Prints the cost-ordered queue of common subgraph expressions (Alg. 1
-// line 2) and then walks the conjunction tree exactly like DFS-REMI,
-// narrating every visit, RE hit, and pruning decision (depth / side /
-// best-bound) — the textual version of the paper's Figure 1.
+// The serving surface supplies the ingredients — service->Candidates()
+// returns the cost-ordered queue of common subgraph expressions (Alg. 1
+// line 2) and service->Mine() the reference answer — and this demo then
+// walks the conjunction tree exactly like DFS-REMI, narrating every
+// visit, RE hit, and pruning decision (depth / side / best-bound): the
+// textual version of the paper's Figure 1. The walk itself deliberately
+// uses a raw Evaluator over the service's KB; it is a didactic
+// re-implementation of the miner's internals, not a serving pattern.
 //
 //   ./search_tree_demo [--max-queue 6]
 
@@ -12,9 +16,8 @@
 #include <vector>
 
 #include "kbgen/curated.h"
-#include "kbgen/kb_builder.h"
 #include "query/evaluator.h"
-#include "remi/remi.h"
+#include "service/service.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -77,14 +80,19 @@ int main(int argc, char** argv) {
                   "explore only the cheapest N subgraph expressions");
   REMI_CHECK_OK(flags.Parse(argc, argv));
 
-  remi::KnowledgeBase kb = remi::BuildCuratedKb();
-  remi::RemiMiner miner(&kb, remi::RemiOptions{});
-  const std::vector<remi::TermId> targets_vec{
-      *remi::FindEntity(kb, "Rennes"), *remi::FindEntity(kb, "Nantes")};
-  remi::MatchSet targets(targets_vec.begin(), targets_vec.end());
+  auto service = remi::Service::Create(remi::BuildCuratedKb());
+  const remi::KnowledgeBase& kb = service->kb();
 
-  auto ranked = miner.RankedCommonSubgraphs(targets_vec);
+  const std::vector<std::string> names{"Rennes", "Nantes"};
+  remi::CandidatesRequest candidates;
+  candidates.targets.names = names;
+  auto ranked = service->Candidates(candidates);
   REMI_CHECK_OK(ranked.status());
+
+  auto targets_result = service->ResolveTargets(candidates.targets);
+  REMI_CHECK_OK(targets_result.status());
+  remi::MatchSet targets(targets_result->begin(), targets_result->end());
+
   const size_t keep = std::min<size_t>(
       static_cast<size_t>(flags.GetInt("max-queue")), ranked->size());
   std::vector<remi::RankedSubgraph> queue(ranked->begin(),
@@ -136,11 +144,12 @@ int main(int argc, char** argv) {
   std::printf("\nresult after %d visited nodes: %s  (Ĉ=%.2f)\n", st.visits,
               st.best.ToString(kb.dict()).c_str(), st.best_cost);
 
-  // Cross-check against the real miner.
-  auto reference = miner.MineRe(targets_vec);
+  // Cross-check against the real miner, through the serving surface.
+  remi::MineRequest reference_request;
+  reference_request.targets.names = names;
+  auto reference = service->Mine(reference_request);
   REMI_CHECK_OK(reference.status());
-  std::printf("RemiMiner reference:      %s  (Ĉ=%.2f)\n",
-              reference->expression.ToString(kb.dict()).c_str(),
-              reference->cost);
+  std::printf("Service reference answer: %s  (Ĉ=%.2f)\n",
+              reference->expression_text.c_str(), reference->cost);
   return 0;
 }

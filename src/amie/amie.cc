@@ -17,12 +17,17 @@ constexpr size_t kMaxVarValues = 512;
 
 std::string AtomKey(const RuleAtom& atom,
                     const std::unordered_map<int, int>& renumber) {
+  // Built with += rather than `"v" + std::to_string(...)`: GCC 12's
+  // -Wrestrict misfires on the rvalue operator+ overload (PR105329).
   const auto side = [&renumber](bool is_var, int var, TermId constant) {
+    std::string out(is_var ? "v" : "c");
     if (is_var) {
       auto it = renumber.find(var);
-      return "v" + std::to_string(it == renumber.end() ? -1 : it->second);
+      out += std::to_string(it == renumber.end() ? -1 : it->second);
+    } else {
+      out += std::to_string(constant);
     }
-    return "c" + std::to_string(constant);
+    return out;
   };
   return std::to_string(atom.predicate) + "(" +
          side(atom.subject_is_var(), atom.subject_var, atom.subject_const) +
@@ -96,8 +101,11 @@ std::string Rule::ToString(const Dictionary& dict) const {
     return std::string(cut == std::string::npos ? lex : lex.substr(cut + 1));
   };
   const auto side = [&](bool is_var, int var, TermId constant) {
-    if (is_var) return var == 0 ? std::string("x") : "z" + std::to_string(var);
-    return short_name(constant);
+    if (!is_var) return short_name(constant);
+    if (var == 0) return std::string("x");
+    std::string out = "z";
+    out += std::to_string(var);
+    return out;
   };
   std::string out = "psi(x, True) <= ";
   for (size_t i = 0; i < body.size(); ++i) {

@@ -7,8 +7,14 @@ TermId KbBuilder::Iri(std::string_view local_name) {
 }
 
 TermId KbBuilder::Literal(std::string_view value) {
-  return dict_.Intern(TermKind::kLiteral,
-                      "\"" + std::string(value) + "\"");
+  // Built with += rather than `"\"" + std::string(value) + "\""`: GCC
+  // 12's -Wrestrict misfires on the rvalue operator+ overload (PR105329).
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += value;
+  quoted += '"';
+  return dict_.Intern(TermKind::kLiteral, quoted);
 }
 
 TermId KbBuilder::Blank(std::string_view label) {

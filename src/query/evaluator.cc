@@ -41,15 +41,19 @@ bool ThreeSpansIntersect(std::span<const Triple> a, std::span<const Triple> b,
 
 Evaluator::Evaluator(const KnowledgeBase* kb, size_t cache_capacity,
                      size_t cache_shards)
-    : kb_(kb), cache_(cache_capacity, cache_shards) {}
+    : kb_(kb),
+      cache_(std::make_shared<EvalCache>(cache_capacity, cache_shards)) {}
+
+Evaluator::Evaluator(const KnowledgeBase* kb, std::shared_ptr<EvalCache> cache)
+    : kb_(kb), cache_(std::move(cache)) {}
 
 std::shared_ptr<const MatchSet> Evaluator::Match(
     const SubgraphExpression& rho) {
-  if (auto hit = cache_.Get(rho)) return hit;
+  if (auto hit = cache_->Get(rho)) return hit;
   // Concurrent misses of the same expression may compute it twice; both
   // results are identical and the duplicate Put just refreshes recency.
   auto computed = ComputeMatch(rho);
-  cache_.Put(rho, computed);
+  cache_->Put(rho, computed);
   return computed;
 }
 
@@ -212,7 +216,7 @@ EvaluatorStats Evaluator::stats() const {
   s.subgraph_evaluations =
       subgraph_evaluations_.load(std::memory_order_relaxed);
   s.membership_tests = membership_tests_.load(std::memory_order_relaxed);
-  const EvalCacheStats cache_stats = cache_.stats();
+  const EvalCacheStats cache_stats = cache_->stats();
   s.cache_hits = cache_stats.hits;
   s.cache_misses = cache_stats.misses;
   return s;
@@ -221,7 +225,7 @@ EvaluatorStats Evaluator::stats() const {
 void Evaluator::ResetStats() {
   subgraph_evaluations_.store(0, std::memory_order_relaxed);
   membership_tests_.store(0, std::memory_order_relaxed);
-  cache_.ResetCounters();
+  cache_->ResetCounters();
 }
 
 }  // namespace remi

@@ -49,6 +49,12 @@ class Evaluator {
   explicit Evaluator(const KnowledgeBase* kb, size_t cache_capacity = 65536,
                      size_t cache_shards = 0);
 
+  /// Variant sharing an externally owned cache: several evaluators over
+  /// the *same* KB (e.g. the Service's per-cost-variant miners) reuse one
+  /// warm match-set store, since match sets depend only on the KB. The
+  /// cache must not be shared across different KBs.
+  Evaluator(const KnowledgeBase* kb, std::shared_ptr<EvalCache> cache);
+
   /// Sorted distinct x-bindings of one subgraph expression.
   std::shared_ptr<const MatchSet> Match(const SubgraphExpression& rho);
 
@@ -78,7 +84,7 @@ class Evaluator {
       const SubgraphExpression& rho) const;
 
   const KnowledgeBase* kb_;
-  mutable EvalCache cache_;
+  std::shared_ptr<EvalCache> cache_;
   mutable std::atomic<uint64_t> subgraph_evaluations_{0};
   mutable std::atomic<uint64_t> membership_tests_{0};
 };

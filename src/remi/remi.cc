@@ -23,6 +23,7 @@ struct RemiMiner::SearchShared {
   /// Acceptance threshold: |T| for strict REs, |T| + k with exceptions.
   size_t max_matches = 0;
   Deadline deadline;
+  CancellationToken cancel;
 
   /// Non-null only for the pool-driving P-REMI search (batch items run
   /// sequentially inside their own pool task and leave these null).
@@ -41,6 +42,7 @@ struct RemiMiner::SearchShared {
 
   std::atomic<bool> stop{false};
   std::atomic<bool> timed_out{false};
+  std::atomic<bool> cancelled{false};
 
   // Authoritative best under mutex; relaxed mirror for cheap bound reads.
   std::mutex best_mu;
@@ -89,13 +91,26 @@ struct RemiMiner::SearchShared {
     }
   }
 
+  /// Polls the deadline and the cancellation token; both are checkpointed
+  /// at every DFS node (inline and in spilled subtree tasks). Returns true
+  /// when the run must stop.
   bool CheckDeadline() {
     if (deadline.Expired()) {
       timed_out.store(true, std::memory_order_relaxed);
       stop.store(true, std::memory_order_relaxed);
       return true;
     }
+    if (cancel.CancellationRequested()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
     return false;
+  }
+
+  bool Interrupted() const {
+    return timed_out.load(std::memory_order_relaxed) ||
+           cancelled.load(std::memory_order_relaxed);
   }
 };
 
@@ -107,35 +122,67 @@ struct RemiMiner::RootTracker {
 };
 
 RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options)
+    : RemiMiner(kb, options, nullptr, nullptr) {}
+
+RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options,
+                     ThreadPool* shared_pool,
+                     std::shared_ptr<EvalCache> shared_cache)
     : kb_(kb),
       options_(options),
-      evaluator_(std::make_unique<Evaluator>(kb, options.eval_cache_capacity,
-                                             options.eval_cache_shards)),
+      evaluator_(shared_cache != nullptr
+                     ? std::make_unique<Evaluator>(kb, std::move(shared_cache))
+                     : std::make_unique<Evaluator>(
+                           kb, options.eval_cache_capacity,
+                           options.eval_cache_shards)),
       cost_model_(std::make_unique<CostModel>(kb, options.cost)),
       enumerator_(
           std::make_unique<SubgraphEnumerator>(evaluator_.get(),
                                                options.enumerator)) {
   if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(
-        static_cast<size_t>(options_.num_threads));
+    if (shared_pool != nullptr) {
+      pool_ = shared_pool;
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(
+          static_cast<size_t>(options_.num_threads));
+      pool_ = owned_pool_.get();
+    }
   }
 }
 
 Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
-    const std::vector<TermId>& targets) const {
-  return RankedCommonSubgraphs(MatchSet(targets.begin(), targets.end()));
+    const std::vector<TermId>& targets, const MineControl& control) const {
+  return RankedCommonSubgraphs(MatchSet(targets.begin(), targets.end()),
+                               control);
 }
 
+namespace {
+
+/// Maps an interrupt observed during queue costing to the status the
+/// caller reports; OK when the control has not fired.
+Status CostingInterruptStatus(const MineControl& control) {
+  if (control.cancel.CancellationRequested()) {
+    return Status::Cancelled("cancelled during queue costing");
+  }
+  if (control.deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired during queue costing");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
-    const MatchSet& targets) const {
+    const MatchSet& targets, const MineControl& control) const {
   if (targets.empty()) {
     return Status::InvalidArgument("target set is empty");
   }
   std::vector<SubgraphExpression> common =
       enumerator_->CommonSubgraphs(targets);
+  REMI_RETURN_NOT_OK(CostingInterruptStatus(control));
 
   std::vector<RankedSubgraph> ranked(common.size());
-  ThreadPool* pool = pool_.get();
+  std::atomic<bool> interrupted{false};
+  ThreadPool* pool = pool_;
   if (pool != nullptr && !pool->OnWorkerThread() && common.size() > 64) {
     // Paper §3.5.2: the construction and sorting of the queue is
     // parallelized (Ĉ evaluation dominates this phase). On a worker
@@ -146,8 +193,13 @@ Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
                          pool->num_threads();
     for (size_t begin = 0; begin < common.size(); begin += chunk) {
       const size_t end = std::min(begin + chunk, common.size());
-      pool->Submit(&group, [this, &common, &ranked, begin, end] {
+      pool->Submit(&group, [this, &common, &ranked, begin, end, &control,
+                            &interrupted] {
         for (size_t i = begin; i < end; ++i) {
+          if ((i & 63u) == 0 && !CostingInterruptStatus(control).ok()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            return;
+          }
           ranked[i] = RankedSubgraph{common[i],
                                      cost_model_->SubgraphCost(common[i])};
         }
@@ -156,9 +208,16 @@ Result<std::vector<RankedSubgraph>> RemiMiner::RankedCommonSubgraphs(
     group.Wait();
   } else {
     for (size_t i = 0; i < common.size(); ++i) {
+      if ((i & 63u) == 0 && !CostingInterruptStatus(control).ok()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
       ranked[i] =
           RankedSubgraph{common[i], cost_model_->SubgraphCost(common[i])};
     }
+  }
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return CostingInterruptStatus(control);
   }
 
   // Drop unusable entries (no finite code length) and sort ascending by
@@ -306,27 +365,28 @@ bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared,
     Dfs(expr, *matches, rho.cost, root + 1, queue.size(), shared, 1, tracker,
         &path);
   }
-  return !shared->timed_out.load(std::memory_order_relaxed);
+  return !shared->Interrupted();
 }
 
-Result<RemiResult> RemiMiner::MineRe(
-    const std::vector<TermId>& targets) const {
-  return MineReWithExceptions(targets, 0);
+Result<RemiResult> RemiMiner::MineRe(const std::vector<TermId>& targets,
+                                     const MineControl& control) const {
+  return MineReWithExceptions(targets, 0, control);
 }
 
 Result<RemiResult> RemiMiner::MineReWithExceptions(
-    const std::vector<TermId>& targets, size_t max_exceptions) const {
+    const std::vector<TermId>& targets, size_t max_exceptions,
+    const MineControl& control) const {
   if (targets.empty()) {
     return Status::InvalidArgument("target set is empty");
   }
   // The EntitySet range constructor sorts and deduplicates.
   const MatchSet sorted_targets(targets.begin(), targets.end());
-  return MineCore(sorted_targets, max_exceptions, pool_.get());
+  return MineCore(sorted_targets, max_exceptions, pool_, control);
 }
 
 Result<std::vector<RemiResult>> RemiMiner::MineBatch(
     const std::vector<std::vector<TermId>>& target_sets,
-    size_t max_exceptions) const {
+    size_t max_exceptions, const MineControl& control) const {
   for (size_t i = 0; i < target_sets.size(); ++i) {
     if (target_sets[i].empty()) {
       return Status::InvalidArgument("target set #" + std::to_string(i) +
@@ -334,16 +394,16 @@ Result<std::vector<RemiResult>> RemiMiner::MineBatch(
     }
   }
   std::vector<RemiResult> results(target_sets.size());
-  ThreadPool* pool = pool_.get();
+  ThreadPool* pool = pool_;
   if (pool != nullptr && !pool->OnWorkerThread() && target_sets.size() > 1) {
     // One task per set; each runs the sequential algorithm against the
     // shared warm cache while the pool parallelizes across sets.
     TaskGroup group;
     for (size_t i = 0; i < target_sets.size(); ++i) {
-      pool->Submit(&group, [this, &results, &target_sets, i,
-                            max_exceptions] {
+      pool->Submit(&group, [this, &results, &target_sets, i, max_exceptions,
+                            control] {
         const MatchSet sorted(target_sets[i].begin(), target_sets[i].end());
-        auto mined = MineCore(sorted, max_exceptions, nullptr);
+        auto mined = MineCore(sorted, max_exceptions, nullptr, control);
         // MineCore cannot fail on a non-empty target set; a default
         // (not-found) result stands in if that invariant ever breaks.
         if (mined.ok()) results[i] = std::move(*mined);
@@ -355,7 +415,8 @@ Result<std::vector<RemiResult>> RemiMiner::MineBatch(
       const MatchSet sorted(target_sets[i].begin(), target_sets[i].end());
       auto mined = MineCore(
           sorted, max_exceptions,
-          (pool != nullptr && !pool->OnWorkerThread()) ? pool : nullptr);
+          (pool != nullptr && !pool->OnWorkerThread()) ? pool : nullptr,
+          control);
       if (!mined.ok()) return mined.status();
       results[i] = std::move(*mined);
     }
@@ -365,48 +426,21 @@ Result<std::vector<RemiResult>> RemiMiner::MineBatch(
 
 Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
                                        size_t max_exceptions,
-                                       ThreadPool* pool) const {
+                                       ThreadPool* pool,
+                                       const MineControl& control) const {
   RemiResult result;
   const EvaluatorStats eval_before = evaluator_->stats();
 
   Timer build_timer;
-  auto ranked = RankedCommonSubgraphs(sorted_targets);
-  if (!ranked.ok()) return ranked.status();
-  result.stats.num_common_subgraphs = ranked->size();
-  result.stats.queue_build_seconds = build_timer.ElapsedSeconds();
-
-  SearchShared shared;
-  shared.queue = &*ranked;
-  shared.targets = &sorted_targets;
-  shared.max_matches = sorted_targets.size() + max_exceptions;
-  if (options_.timeout_seconds > 0) {
-    const double remaining =
-        options_.timeout_seconds - result.stats.queue_build_seconds;
-    shared.deadline = Deadline::AfterSeconds(remaining > 0 ? remaining : 0);
-  }
-
-  Timer search_timer;
-  const size_t n = ranked->size();
-
-  // Proactive Alg. 1 line 8: the conjunction of *all* common subgraph
-  // expressions is the most specific expression in the search space. If
-  // even that matches more than |T| + k entities, no accepting expression
-  // exists and the (worst-case exponential) exhaustive exploration of the
-  // first root can be skipped entirely.
-  if (n > 0) {
-    MatchSet everything = *evaluator_->Match((*ranked)[0].expression);
-    for (size_t i = 1;
-         i < n && everything.size() > shared.max_matches &&
-         !shared.CheckDeadline();
-         ++i) {
-      everything =
-          everything.Intersect(*evaluator_->Match((*ranked)[i].expression));
-    }
-    if (everything.size() > shared.max_matches &&
-        !shared.timed_out.load(std::memory_order_relaxed)) {
-      result.stats.search_seconds = search_timer.ElapsedSeconds();
-      result.found = false;
-      result.timed_out = false;
+  auto ranked = RankedCommonSubgraphs(sorted_targets, control);
+  if (!ranked.ok()) {
+    // Interrupted during queue costing: an in-band partial result, same
+    // contract as an interrupt during the search.
+    if (ranked.status().IsDeadlineExceeded() ||
+        ranked.status().IsCancelled()) {
+      result.stats.queue_build_seconds = build_timer.ElapsedSeconds();
+      result.timed_out = ranked.status().IsDeadlineExceeded();
+      result.cancelled = ranked.status().IsCancelled();
       const EvaluatorStats eval_now = evaluator_->stats();
       result.stats.eval.subgraph_evaluations =
           eval_now.subgraph_evaluations - eval_before.subgraph_evaluations;
@@ -418,9 +452,55 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
           eval_now.cache_misses - eval_before.cache_misses;
       return result;
     }
+    return ranked.status();
+  }
+  result.stats.num_common_subgraphs = ranked->size();
+  result.stats.queue_build_seconds = build_timer.ElapsedSeconds();
+
+  SearchShared shared;
+  shared.queue = &*ranked;
+  shared.targets = &sorted_targets;
+  shared.max_matches = sorted_targets.size() + max_exceptions;
+  shared.cancel = control.cancel;
+  Deadline deadline = control.deadline;
+  if (options_.timeout_seconds > 0) {
+    const double remaining =
+        options_.timeout_seconds - result.stats.queue_build_seconds;
+    deadline = Deadline::Earliest(
+        deadline,
+        Deadline::AfterSeconds(remaining > 0 ? remaining : 0));
+  }
+  shared.deadline = deadline;
+
+  Timer search_timer;
+  const size_t n = ranked->size();
+
+  // A request whose deadline expired (or that was cancelled) during the
+  // queue build skips the search entirely and reports its partial stats.
+  bool no_solution_proven = false;
+  const bool interrupted_before_search = shared.CheckDeadline();
+
+  // Proactive Alg. 1 line 8: the conjunction of *all* common subgraph
+  // expressions is the most specific expression in the search space. If
+  // even that matches more than |T| + k entities, no accepting expression
+  // exists and the (worst-case exponential) exhaustive exploration of the
+  // first root can be skipped entirely.
+  if (n > 0 && !interrupted_before_search) {
+    MatchSet everything = *evaluator_->Match((*ranked)[0].expression);
+    for (size_t i = 1;
+         i < n && everything.size() > shared.max_matches &&
+         !shared.CheckDeadline();
+         ++i) {
+      everything =
+          everything.Intersect(*evaluator_->Match((*ranked)[i].expression));
+    }
+    no_solution_proven = everything.size() > shared.max_matches &&
+                         !shared.Interrupted();
   }
 
-  if (pool == nullptr) {
+  if (interrupted_before_search || no_solution_proven) {
+    // Fall through to the common result assembly with an empty search.
+  } else if (pool == nullptr) {
     // Alg. 1: dequeue roots in ascending Ĉ order.
     for (size_t i = 0; i < n; ++i) {
       if (shared.stop.load(std::memory_order_relaxed)) break;
@@ -483,6 +563,7 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
   }
   result.found = result.cost < CostModel::kInfiniteCost;
   result.timed_out = shared.timed_out.load(std::memory_order_relaxed);
+  result.cancelled = shared.cancelled.load(std::memory_order_relaxed);
   result.stats.nodes_visited = shared.nodes.load(std::memory_order_relaxed);
   result.stats.depth_prunes =
       shared.depth_prunes.load(std::memory_order_relaxed);

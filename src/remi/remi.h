@@ -40,6 +40,7 @@
 #include "complexity/cost_model.h"
 #include "query/evaluator.h"
 #include "remi/enumerator.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -77,6 +78,21 @@ struct RemiOptions {
   size_t eval_cache_shards = 0;
 };
 
+/// Per-call execution control, carried by Service requests: an absolute
+/// deadline and a cooperative cancellation token. Both are polled at every
+/// search-tree node of the REMI/P-REMI DFS (including spilled subtree
+/// tasks) and periodically during queue costing, so an expired or
+/// cancelled run stops within one node/chunk evaluation and returns its
+/// partial stats. (Subgraph enumeration itself is not checkpointed; it is
+/// polynomial in the target neighbourhood, unlike the DFS.) A
+/// default-constructed MineControl never interrupts anything. The deadline
+/// combines with the miner's RemiOptions::timeout_seconds: whichever
+/// expires first wins.
+struct MineControl {
+  Deadline deadline;
+  CancellationToken cancel;
+};
+
 /// Counters describing one mining run.
 struct RemiStats {
   size_t num_common_subgraphs = 0;  ///< |G| after Alg. 1 line 1
@@ -99,6 +115,8 @@ struct RemiResult {
   double cost = CostModel::kInfiniteCost;
   bool found = false;
   bool timed_out = false;
+  /// The run was stopped by its MineControl cancellation token.
+  bool cancelled = false;
   /// Non-target entities matched by the expression. Empty for strict REs;
   /// at most `max_exceptions` entries for MineReWithExceptions.
   std::vector<TermId> exceptions;
@@ -118,9 +136,18 @@ class RemiMiner {
   /// \param kb the KB (not owned; must outlive the miner)
   RemiMiner(const KnowledgeBase* kb, const RemiOptions& options = {});
 
+  /// Variant for the Service layer: `shared_pool` (not owned, may be
+  /// null) replaces the miner's own pool when options.num_threads > 1,
+  /// and `shared_cache` (may be null) backs the evaluator so several
+  /// miners over the same KB share one warm match-set cache. Both must
+  /// outlive the miner.
+  RemiMiner(const KnowledgeBase* kb, const RemiOptions& options,
+            ThreadPool* shared_pool, std::shared_ptr<EvalCache> shared_cache);
+
   /// Mines the most intuitive RE for `targets` (Alg. 1).
   /// Fails with InvalidArgument on an empty target set.
-  Result<RemiResult> MineRe(const std::vector<TermId>& targets) const;
+  Result<RemiResult> MineRe(const std::vector<TermId>& targets,
+                            const MineControl& control = {}) const;
 
   /// §6 future work ("relax the unambiguity constraint to mine REs with
   /// exceptions"): mines the cheapest expression that matches every
@@ -129,8 +156,9 @@ class RemiMiner {
   /// is exactly MineRe. All prunings stay sound because conjoining only
   /// shrinks match sets, so an accepting node's descendants are accepting
   /// but more complex.
-  Result<RemiResult> MineReWithExceptions(const std::vector<TermId>& targets,
-                                          size_t max_exceptions) const;
+  Result<RemiResult> MineReWithExceptions(
+      const std::vector<TermId>& targets, size_t max_exceptions,
+      const MineControl& control = {}) const;
 
   /// Mines every target set of a batch, scheduling the independent runs
   /// on the miner's pool (one run per worker at a time) with the shared
@@ -142,17 +170,20 @@ class RemiMiner {
   /// runs' evaluator activity.
   Result<std::vector<RemiResult>> MineBatch(
       const std::vector<std::vector<TermId>>& target_sets,
-      size_t max_exceptions = 0) const;
+      size_t max_exceptions = 0, const MineControl& control = {}) const;
 
   /// The priority queue of Alg. 1 line 2: common subgraph expressions
   /// sorted by ascending Ĉ (ties broken deterministically). Used directly
-  /// by the Table 2 / Table 3 harnesses.
+  /// by the Table 2 / Table 3 harnesses. `control` is polled during the
+  /// Ĉ-evaluation loop: an interrupted call fails with DeadlineExceeded /
+  /// Cancelled instead of running the whole costing pass.
   Result<std::vector<RankedSubgraph>> RankedCommonSubgraphs(
-      const MatchSet& targets) const;
+      const MatchSet& targets, const MineControl& control = {}) const;
 
   /// Convenience overload; duplicates in `targets` are ignored.
   Result<std::vector<RankedSubgraph>> RankedCommonSubgraphs(
-      const std::vector<TermId>& targets) const;
+      const std::vector<TermId>& targets,
+      const MineControl& control = {}) const;
 
   const CostModel& cost_model() const { return *cost_model_; }
   Evaluator* evaluator() const { return evaluator_.get(); }
@@ -170,7 +201,8 @@ class RemiMiner {
   /// runs P-REMI on it; null runs the sequential algorithm (also used for
   /// batch items, which parallelize across sets instead of within one).
   Result<RemiResult> MineCore(const MatchSet& sorted_targets,
-                              size_t max_exceptions, ThreadPool* pool) const;
+                              size_t max_exceptions, ThreadPool* pool,
+                              const MineControl& control) const;
 
   /// Explores the subtree rooted at queue index `root` (DFS-REMI /
   /// P-DFS-REMI). Returns true if the subtree was fully explored (i.e. not
@@ -200,9 +232,11 @@ class RemiMiner {
   std::unique_ptr<Evaluator> evaluator_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<SubgraphEnumerator> enumerator_;
-  /// Long-lived work-stealing pool (created iff num_threads > 1), shared
-  /// by P-REMI subtree tasks, queue construction and MineBatch runs.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Long-lived work-stealing pool, shared by P-REMI subtree tasks, queue
+  /// construction and MineBatch runs. Owned unless an external pool was
+  /// injected (Service mode); null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace remi

@@ -1,0 +1,360 @@
+#include "service/json_codec.h"
+
+#include <cmath>
+#include <limits>
+
+namespace remi {
+
+namespace {
+
+/// True iff `d` is a finite integer in [0, max] — the precondition for a
+/// defined-behavior cast to an unsigned integral type. Rejects the
+/// infinities a remote client can smuggle in via 1e999.
+bool IsNonNegativeIntegerUpTo(double d, double max) {
+  return std::isfinite(d) && d >= 0 && d <= max && d == std::floor(d);
+}
+
+/// Reads the wire "deadline_ms" knob into a RequestControl. (The other
+/// shared knobs — metric, language, max_exceptions, verbalize — have
+/// their own Read* helpers below.)
+Status ReadControl(const JsonValue& v, RequestControl* control) {
+  if (const JsonValue* deadline = v.Find("deadline_ms")) {
+    // Bounded above (~31.7 years) so Deadline::AfterSeconds's
+    // duration_cast can never overflow the clock's integral rep —
+    // 1e999 parses to +inf and must be rejected, not cast.
+    constexpr double kMaxDeadlineMs = 1e12;
+    if (!deadline->is_number() || !std::isfinite(deadline->AsNumber()) ||
+        deadline->AsNumber() < 0 ||
+        deadline->AsNumber() > kMaxDeadlineMs) {
+      return Status::InvalidArgument(
+          "deadline_ms must be a finite number in [0, 1e12]");
+    }
+    control->deadline_seconds = deadline->AsNumber() / 1000.0;
+  }
+  return Status::OK();
+}
+
+Status ReadCostOverride(const JsonValue& v,
+                        std::optional<CostModelOptions>* cost) {
+  const JsonValue* metric = v.Find("metric");
+  if (metric == nullptr) return Status::OK();
+  if (!metric->is_string()) {
+    return Status::InvalidArgument("metric must be \"fr\" or \"pr\"");
+  }
+  CostModelOptions options;
+  if (metric->AsString() == "fr") {
+    options.metric = ProminenceMetric::kFrequency;
+  } else if (metric->AsString() == "pr") {
+    options.metric = ProminenceMetric::kPageRank;
+  } else {
+    return Status::InvalidArgument("metric must be \"fr\" or \"pr\"");
+  }
+  *cost = options;
+  return Status::OK();
+}
+
+Status ReadLanguageOverride(const JsonValue& v,
+                            std::optional<EnumeratorOptions>* enumerator) {
+  const JsonValue* language = v.Find("language");
+  if (language == nullptr) return Status::OK();
+  if (!language->is_string()) {
+    return Status::InvalidArgument(
+        "language must be \"extended\" or \"standard\"");
+  }
+  EnumeratorOptions options;
+  if (language->AsString() == "standard") {
+    options.extended_language = false;
+  } else if (language->AsString() != "extended") {
+    return Status::InvalidArgument(
+        "language must be \"extended\" or \"standard\"");
+  }
+  *enumerator = options;
+  return Status::OK();
+}
+
+Status ReadSize(const JsonValue& v, const char* key, size_t* out) {
+  if (const JsonValue* value = v.Find(key)) {
+    if (!value->is_number() ||
+        !IsNonNegativeIntegerUpTo(value->AsNumber(), 9e15)) {
+      return Status::InvalidArgument(std::string(key) +
+                                     " must be a non-negative integer");
+    }
+    *out = static_cast<size_t>(value->AsNumber());
+  }
+  return Status::OK();
+}
+
+Status ReadBool(const JsonValue& v, const char* key, bool* out) {
+  if (const JsonValue* value = v.Find(key)) {
+    if (!value->is_bool()) {
+      return Status::InvalidArgument(std::string(key) + " must be a bool");
+    }
+    *out = value->AsBool();
+  }
+  return Status::OK();
+}
+
+/// One target array: strings are lexical forms, numbers are raw ids.
+Status ReadTargetSpec(const JsonValue& array, TargetSpec* spec) {
+  if (!array.is_array()) {
+    return Status::InvalidArgument("targets must be an array");
+  }
+  for (const JsonValue& item : array.items()) {
+    if (item.is_string()) {
+      spec->names.push_back(item.AsString());
+    } else if (item.is_number() &&
+               IsNonNegativeIntegerUpTo(
+                   item.AsNumber(),
+                   static_cast<double>(
+                       std::numeric_limits<TermId>::max()))) {
+      spec->ids.push_back(static_cast<TermId>(item.AsNumber()));
+    } else {
+      return Status::InvalidArgument(
+          "targets must be strings (lexical forms) or non-negative "
+          "integer ids in the TermId range");
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue StatsToJson(const RemiStats& stats, const ServiceStats& service) {
+  JsonValue out = JsonValue::Object();
+  out.Set("common_subgraphs",
+          JsonValue::Number(static_cast<double>(stats.num_common_subgraphs)));
+  out.Set("nodes_visited",
+          JsonValue::Number(static_cast<double>(stats.nodes_visited)));
+  out.Set("cache_hits",
+          JsonValue::Number(static_cast<double>(stats.eval.cache_hits)));
+  out.Set("queue_wait_seconds",
+          JsonValue::Number(service.queue_wait_seconds));
+  out.Set("mine_seconds", JsonValue::Number(service.mine_seconds));
+  return out;
+}
+
+}  // namespace
+
+Result<MineRequest> MineRequestFromJson(const JsonValue& v) {
+  MineRequest request;
+  const JsonValue* targets = v.Find("targets");
+  if (targets == nullptr) {
+    return Status::InvalidArgument("mine request needs \"targets\"");
+  }
+  REMI_RETURN_NOT_OK(ReadTargetSpec(*targets, &request.targets));
+  REMI_RETURN_NOT_OK(ReadSize(v, "max_exceptions", &request.max_exceptions));
+  REMI_RETURN_NOT_OK(ReadBool(v, "verbalize", &request.verbalize));
+  REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
+  REMI_RETURN_NOT_OK(ReadLanguageOverride(v, &request.enumerator));
+  REMI_RETURN_NOT_OK(ReadControl(v, &request.control));
+  return request;
+}
+
+Result<BatchMineRequest> BatchMineRequestFromJson(const JsonValue& v) {
+  BatchMineRequest request;
+  const JsonValue* sets = v.Find("target_sets");
+  if (sets == nullptr || !sets->is_array()) {
+    return Status::InvalidArgument(
+        "batch_mine request needs \"target_sets\" (array of arrays)");
+  }
+  for (const JsonValue& set : sets->items()) {
+    TargetSpec spec;
+    REMI_RETURN_NOT_OK(ReadTargetSpec(set, &spec));
+    request.target_sets.push_back(std::move(spec));
+  }
+  REMI_RETURN_NOT_OK(ReadSize(v, "max_exceptions", &request.max_exceptions));
+  REMI_RETURN_NOT_OK(ReadBool(v, "verbalize", &request.verbalize));
+  REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
+  REMI_RETURN_NOT_OK(ReadLanguageOverride(v, &request.enumerator));
+  REMI_RETURN_NOT_OK(ReadControl(v, &request.control));
+  return request;
+}
+
+Result<SummarizeRequest> SummarizeRequestFromJson(const JsonValue& v) {
+  SummarizeRequest request;
+  const JsonValue* entity = v.Find("entity");
+  if (entity == nullptr || !entity->is_string()) {
+    return Status::InvalidArgument(
+        "summarize request needs \"entity\" (string)");
+  }
+  request.entity.names.push_back(entity->AsString());
+  REMI_RETURN_NOT_OK(ReadSize(v, "k", &request.k));
+  std::optional<CostModelOptions> cost;
+  REMI_RETURN_NOT_OK(ReadCostOverride(v, &cost));
+  if (cost.has_value()) request.metric = cost->metric;
+  REMI_RETURN_NOT_OK(ReadControl(v, &request.control));
+  return request;
+}
+
+Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v) {
+  CandidatesRequest request;
+  const JsonValue* targets = v.Find("targets");
+  if (targets == nullptr) {
+    return Status::InvalidArgument("candidates request needs \"targets\"");
+  }
+  REMI_RETURN_NOT_OK(ReadTargetSpec(*targets, &request.targets));
+  REMI_RETURN_NOT_OK(ReadSize(v, "limit", &request.limit));
+  REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
+  REMI_RETURN_NOT_OK(ReadLanguageOverride(v, &request.enumerator));
+  REMI_RETURN_NOT_OK(ReadControl(v, &request.control));
+  return request;
+}
+
+JsonValue StatusToJson(const Status& status) {
+  JsonValue out = JsonValue::Object();
+  out.Set("status", JsonValue::String(StatusCodeToString(status.code())));
+  if (!status.message().empty()) {
+    out.Set("message", JsonValue::String(status.message()));
+  }
+  return out;
+}
+
+JsonValue MineResponseToJson(const Service& service,
+                             const MineResponse& response) {
+  JsonValue out = StatusToJson(response.status);
+  out.Set("found", JsonValue::Bool(response.found));
+  JsonValue targets = JsonValue::Array();
+  for (const TermId t : response.targets) {
+    targets.Append(JsonValue::String(service.kb().Label(t)));
+  }
+  out.Set("targets", std::move(targets));
+  if (response.found) {
+    out.Set("cost", JsonValue::Number(response.cost));
+    out.Set("expression", JsonValue::String(response.expression_text));
+    if (!response.verbalization.empty()) {
+      out.Set("verbalization", JsonValue::String(response.verbalization));
+    }
+    if (!response.exception_labels.empty()) {
+      JsonValue exceptions = JsonValue::Array();
+      for (const std::string& e : response.exception_labels) {
+        exceptions.Append(JsonValue::String(e));
+      }
+      out.Set("exceptions", std::move(exceptions));
+    }
+  }
+  out.Set("stats", StatsToJson(response.stats, response.service));
+  return out;
+}
+
+JsonValue BatchMineResponseToJson(const Service& service,
+                                  const BatchMineResponse& response) {
+  JsonValue out = StatusToJson(response.status);
+  JsonValue results = JsonValue::Array();
+  for (const MineResponse& item : response.results) {
+    results.Append(MineResponseToJson(service, item));
+  }
+  out.Set("results", std::move(results));
+  out.Set("queue_wait_seconds",
+          JsonValue::Number(response.service.queue_wait_seconds));
+  out.Set("mine_seconds", JsonValue::Number(response.service.mine_seconds));
+  return out;
+}
+
+JsonValue SummarizeResponseToJson(const SummarizeResponse& response) {
+  JsonValue out = StatusToJson(response.status);
+  out.Set("entity", JsonValue::String(response.entity_label));
+  JsonValue items = JsonValue::Array();
+  for (const std::string& label : response.item_labels) {
+    items.Append(JsonValue::String(label));
+  }
+  out.Set("items", std::move(items));
+  return out;
+}
+
+JsonValue CountersToJson(const Service& service) {
+  const ServiceCounters counters = service.counters();
+  JsonValue out = StatusToJson(Status::OK());
+  out.Set("facts",
+          JsonValue::Number(static_cast<double>(service.kb().NumFacts())));
+  out.Set("entities",
+          JsonValue::Number(static_cast<double>(service.kb().NumEntities())));
+  out.Set("predicates", JsonValue::Number(static_cast<double>(
+                            service.kb().NumPredicates())));
+  out.Set("admitted",
+          JsonValue::Number(static_cast<double>(counters.admitted)));
+  out.Set("completed_ok",
+          JsonValue::Number(static_cast<double>(counters.completed_ok)));
+  out.Set("deadline_exceeded", JsonValue::Number(static_cast<double>(
+                                   counters.deadline_exceeded)));
+  out.Set("cancelled",
+          JsonValue::Number(static_cast<double>(counters.cancelled)));
+  out.Set("rejected",
+          JsonValue::Number(static_cast<double>(counters.rejected)));
+  out.Set("failed",
+          JsonValue::Number(static_cast<double>(counters.failed)));
+  out.Set("in_flight",
+          JsonValue::Number(static_cast<double>(counters.in_flight)));
+  out.Set("peak_in_flight", JsonValue::Number(
+                                static_cast<double>(counters.peak_in_flight)));
+  return out;
+}
+
+std::string HandleRequestLine(Service* service, std::string_view line,
+                              const CancellationToken& cancel) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return StatusToJson(parsed.status()).Dump();
+  if (!parsed->is_object()) {
+    return StatusToJson(
+               Status::InvalidArgument("request must be a JSON object"))
+        .Dump();
+  }
+  const JsonValue* op = parsed->Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return StatusToJson(
+               Status::InvalidArgument("request needs an \"op\" string"))
+        .Dump();
+  }
+
+  if (op->AsString() == "ping") {
+    return StatusToJson(Status::OK()).Dump();
+  }
+  if (op->AsString() == "stats") {
+    return CountersToJson(*service).Dump();
+  }
+  if (op->AsString() == "mine") {
+    auto request = MineRequestFromJson(*parsed);
+    if (!request.ok()) return StatusToJson(request.status()).Dump();
+    request->control.cancel = cancel;
+    auto response = service->Mine(*request);
+    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    return MineResponseToJson(*service, *response).Dump();
+  }
+  if (op->AsString() == "batch_mine") {
+    auto request = BatchMineRequestFromJson(*parsed);
+    if (!request.ok()) return StatusToJson(request.status()).Dump();
+    request->control.cancel = cancel;
+    auto response = service->BatchMine(*request);
+    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    return BatchMineResponseToJson(*service, *response).Dump();
+  }
+  if (op->AsString() == "summarize") {
+    auto request = SummarizeRequestFromJson(*parsed);
+    if (!request.ok()) return StatusToJson(request.status()).Dump();
+    request->control.cancel = cancel;
+    auto response = service->Summarize(*request);
+    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    return SummarizeResponseToJson(*response).Dump();
+  }
+  if (op->AsString() == "candidates") {
+    auto request = CandidatesRequestFromJson(*parsed);
+    if (!request.ok()) return StatusToJson(request.status()).Dump();
+    request->control.cancel = cancel;
+    auto ranked = service->Candidates(*request);
+    if (!ranked.ok()) return StatusToJson(ranked.status()).Dump();
+    JsonValue out = StatusToJson(Status::OK());
+    JsonValue items = JsonValue::Array();
+    for (const RankedSubgraph& r : *ranked) {
+      JsonValue item = JsonValue::Object();
+      item.Set("cost", JsonValue::Number(r.cost));
+      item.Set("expression",
+               JsonValue::String(r.expression.ToString(
+                   service->kb().dict())));
+      items.Append(std::move(item));
+    }
+    out.Set("candidates", std::move(items));
+    return out.Dump();
+  }
+  return StatusToJson(Status::InvalidArgument("unknown op '" +
+                                              op->AsString() + "'"))
+      .Dump();
+}
+
+}  // namespace remi

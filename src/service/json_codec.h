@@ -1,0 +1,64 @@
+// JSON mapping of the Service request/response contracts — the wire half
+// of the newline-delimited-JSON line protocol served by LineServer
+// (tools/remi_server). Requests map 1:1 onto the structs in service.h; the
+// codec only translates, the Service enforces the contracts.
+//
+// Request lines (one JSON object per line):
+//
+//   {"op":"mine","targets":["Berlin","Hamburg"],"max_exceptions":0,
+//    "verbalize":true,"deadline_ms":500,"metric":"pr","language":"standard"}
+//   {"op":"batch_mine","target_sets":[["Berlin"],["Hamburg","Munich"]],...}
+//   {"op":"summarize","entity":"Berlin","k":5,"metric":"fr"}
+//   {"op":"candidates","targets":["Berlin"],"limit":10}
+//   {"op":"stats"}
+//   {"op":"ping"}
+//
+// Shared optional knobs: "deadline_ms" (number) → RequestControl,
+// "metric" ("fr"|"pr") → CostModelOptions override, "language"
+// ("extended"|"standard") → EnumeratorOptions override (other bias knobs
+// at their defaults). Targets are lexical forms (full IRIs or unambiguous
+// suffixes); numeric entries are taken as dictionary ids.
+//
+// Every response is one JSON object with at least {"status": "<Code>"}
+// ("OK" for success) and, for non-OK statuses, a "message". Execution
+// outcomes (DeadlineExceeded, Cancelled) come back with the partial stats
+// the run accumulated, mirroring MineResponse::status.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "service/service.h"
+#include "util/json.h"
+
+namespace remi {
+
+// --- request parsing (JSON -> contract structs) ------------------------------
+
+Result<MineRequest> MineRequestFromJson(const JsonValue& v);
+Result<BatchMineRequest> BatchMineRequestFromJson(const JsonValue& v);
+Result<SummarizeRequest> SummarizeRequestFromJson(const JsonValue& v);
+Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v);
+
+// --- response serialization (contract structs -> JSON) -----------------------
+
+JsonValue MineResponseToJson(const Service& service,
+                             const MineResponse& response);
+JsonValue BatchMineResponseToJson(const Service& service,
+                                  const BatchMineResponse& response);
+JsonValue SummarizeResponseToJson(const SummarizeResponse& response);
+JsonValue CountersToJson(const Service& service);
+/// {"status": "<Code>", "message": "..."} (message omitted when empty).
+JsonValue StatusToJson(const Status& status);
+
+/// Parses one request line, dispatches it to `service`, and serializes
+/// the response. Never fails: malformed input comes back as an
+/// InvalidArgument/ParseError status object. The returned string has no
+/// trailing newline (the transport adds it). `cancel` is attached to
+/// every dispatched request — the transport's server-wide cancellation
+/// token, so shutdown can interrupt deadline-less in-flight work.
+std::string HandleRequestLine(Service* service, std::string_view line,
+                              const CancellationToken& cancel = {});
+
+}  // namespace remi

@@ -1,0 +1,220 @@
+#include "service/line_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "service/json_codec.h"
+
+namespace remi {
+
+namespace {
+
+/// Sends the whole buffer; false on a broken connection. MSG_NOSIGNAL
+/// turns a peer hangup into EPIPE instead of killing the process.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+LineServer::LineServer(Service* service, const LineServerOptions& options)
+    : service_(service), options_(options) {}
+
+LineServer::~LineServer() { Stop(); }
+
+Status LineServer::Start() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LineServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Bound the shutdown: every request dispatched over the wire carries
+  // this token, so a deadline-less mining run returns Cancelled within
+  // one DFS node instead of pinning a connection thread for hours.
+  cancel_source_.RequestCancellation();
+  if (listen_fd_ >= 0) {
+    // Unblocks accept(2); the loop then exits on the stopping_ flag. The
+    // fd is closed only after the accept thread joins, so the loop never
+    // touches a closed (and possibly recycled) descriptor.
+    shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      if (connection->fd >= 0) shutdown(connection->fd, SHUT_RDWR);
+    }
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void LineServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void LineServer::AcceptLoop() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (fd >= 0) close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion (e.g. a connection burst used up
+        // the fd table): back off and keep listening instead of silently
+        // turning into a zombie server.
+        std::fprintf(stderr, "line_server: accept: %s; retrying\n",
+                     std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      return;  // listener gone (EBADF/EINVAL after shutdown)
+    }
+    // Join threads of connections that already hung up, so a long-running
+    // server holds resources proportional to *open* connections only.
+    ReapFinishedConnections();
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->fd = fd;
+    connection->thread =
+        std::thread([this, connection] { ServeConnection(connection); });
+  }
+}
+
+void LineServer::ServeConnection(Connection* connection) {
+  const int fd = connection->fd;
+  const CancellationToken cancel = cancel_source_.token();
+  std::string buffer;
+  char chunk[4096];
+  bool poisoned = false;
+  while (!poisoned) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or connection reset
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    size_t start = 0;
+    for (;;) {
+      const size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string_view line(buffer.data() + start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      const std::string response = HandleRequestLine(service_, line, cancel);
+      if (!SendAll(fd, response) || !SendAll(fd, "\n")) {
+        poisoned = true;
+        break;
+      }
+      start = newline + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      SendAll(fd,
+              StatusToJson(Status::InvalidArgument(
+                               "request line exceeds " +
+                               std::to_string(options_.max_line_bytes) +
+                               " bytes"))
+                      .Dump() +
+                  "\n");
+      poisoned = true;
+    }
+  }
+  // Mark the fd closed before closing it so Stop() can never shut down a
+  // recycled fd number belonging to someone else, then publish `done` for
+  // the accept loop's reaper.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connection->fd = -1;
+  }
+  close(fd);
+  connection->done.store(true, std::memory_order_release);
+}
+
+}  // namespace remi

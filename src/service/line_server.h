@@ -1,0 +1,97 @@
+// A newline-delimited-JSON-over-TCP front end for remi::Service.
+//
+// Transport: clients connect over TCP (IPv4), send one JSON request per
+// line, and receive one JSON response per line, in order. The protocol is
+// the json_codec mapping of the Service contracts; concurrency and
+// back-pressure come from the Service's admission control (each connection
+// is served by its own thread, so slow mining on one connection never
+// stalls another's reads).
+//
+// The server is embeddable: tests start it in-process on an ephemeral
+// loopback port (port 0) and connect through a socket, which is exactly
+// what tools/remi_server.cc does minus the flag parsing.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace remi {
+
+struct LineServerOptions {
+  /// IPv4 address to bind; loopback by default (the server has no auth).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 16;
+  /// Requests longer than this many bytes poison the connection (one
+  /// error response, then close). Guards the line buffer.
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// \brief Accepts connections and serves the line protocol until Stop().
+///
+/// One-shot: a stopped server cannot be restarted (Stop() fires the
+/// server-wide cancellation token that bounds in-flight work).
+class LineServer {
+ public:
+  /// \param service the request handler (not owned; must outlive the
+  ///        server).
+  explicit LineServer(Service* service,
+                      const LineServerOptions& options = {});
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. IoError on bind/listen
+  /// failure; InvalidArgument on a bad bind address.
+  Status Start();
+
+  /// Shuts the listener and every open connection down, cancels in-flight
+  /// requests (wire requests all carry the server's cancellation token,
+  /// so a deadline-less mining run cannot block shutdown), and joins all
+  /// serving threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (after Start); useful with port 0.
+  int port() const { return port_; }
+
+ private:
+  /// One accepted connection: its socket, its serving thread, and a
+  /// completion flag the accept loop uses to reap finished threads (so a
+  /// long-running server does not accumulate one zombie thread per
+  /// connection ever served).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins and drops finished connections. Called from the accept loop.
+  void ReapFinishedConnections();
+
+  Service* service_;
+  LineServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  /// Cancels every request this server ever dispatched; fired by Stop().
+  CancellationSource cancel_source_;
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace remi

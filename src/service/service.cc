@@ -1,0 +1,527 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "nlg/verbalizer.h"
+#include "rdf/ntriples.h"
+#include "rdf/rkf.h"
+#include "rdf/turtle_lite.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace remi {
+
+namespace {
+
+/// First bytes of the file, for magic-based format sniffing. Missing or
+/// short files return an empty string (the open path reports the error).
+std::string ReadMagic(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  char buf[4];
+  const size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  return std::string(buf, got);
+}
+
+/// Deterministic cache key of a miner variant: the cost-model and
+/// language-bias knobs a request may override.
+std::string VariantKey(const CostModelOptions& cost,
+                       const EnumeratorOptions& enumerator) {
+  std::string key;
+  key += 'c';
+  key += std::to_string(static_cast<int>(cost.metric));
+  key += cost.use_fitted_entity_ranks ? 'f' : '-';
+  key += cost.use_join_predicate_ranks ? 'j' : '-';
+  key += 'e';
+  key += enumerator.extended_language ? 'x' : '-';
+  key += enumerator.skip_blank_atoms ? 'b' : '-';
+  key += enumerator.prune_prominent_expansion ? 'p' : '-';
+  key += std::to_string(enumerator.prominent_object_fraction);
+  key += enumerator.include_type_atoms ? 't' : '-';
+  key += enumerator.include_inverse_predicates ? 'i' : '-';
+  key += std::to_string(enumerator.max_subgraphs);
+  return key;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Service>> Service::Open(const KbSpec& spec,
+                                               const ServiceOptions& options) {
+  const std::string magic = ReadMagic(spec.path);
+  if (magic == std::string("RKF2", 4)) {
+    auto kb = KnowledgeBase::OpenSnapshot(spec.path);
+    if (!kb.ok()) return WithMessagePrefix(kb.status(), spec.path);
+    return std::unique_ptr<Service>(
+        new Service(std::move(*kb), options));
+  }
+  if (magic == std::string("RKF1", 4)) {
+    auto data = ReadRkfFile(spec.path);
+    if (!data.ok()) return WithMessagePrefix(data.status(), spec.path);
+    return std::unique_ptr<Service>(new Service(
+        KnowledgeBase::Build(std::move(data->dict), std::move(data->triples),
+                             spec.kb),
+        options));
+  }
+  Dictionary dict;
+  Result<std::vector<Triple>> triples = Status::Internal("unreachable");
+  size_t skipped_lines = 0;
+  if (EndsWith(spec.path, ".ttl") || EndsWith(spec.path, ".turtle")) {
+    TurtleLiteParser parser(&dict);
+    triples = parser.ParseFile(spec.path);
+  } else {
+    NTriplesParser parser(&dict, spec.lenient_parse);
+    triples = parser.ParseFile(spec.path);
+    skipped_lines = parser.skipped_lines();
+  }
+  if (!triples.ok()) return WithMessagePrefix(triples.status(), spec.path);
+  auto service = std::unique_ptr<Service>(new Service(
+      KnowledgeBase::Build(std::move(dict), std::move(*triples), spec.kb),
+      options));
+  service->parse_skipped_lines_ = skipped_lines;
+  return service;
+}
+
+std::unique_ptr<Service> Service::Create(KnowledgeBase kb,
+                                         const ServiceOptions& options) {
+  return std::unique_ptr<Service>(new Service(std::move(kb), options));
+}
+
+Service::Service(KnowledgeBase kb, const ServiceOptions& options)
+    : kb_(std::move(kb)),
+      options_(options),
+      eval_cache_(std::make_shared<EvalCache>(
+          options.mining.eval_cache_capacity,
+          options.mining.eval_cache_shards)) {
+  if (options_.mining.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.mining.num_threads));
+  }
+}
+
+Service::~Service() = default;
+
+RemiMiner* Service::MinerFor(const std::optional<CostModelOptions>& cost,
+                             const std::optional<EnumeratorOptions>&
+                                 enumerator) {
+  RemiOptions variant = options_.mining;
+  if (cost.has_value()) variant.cost = *cost;
+  if (enumerator.has_value()) variant.enumerator = *enumerator;
+  const std::string key = VariantKey(variant.cost, variant.enumerator);
+
+  {
+    std::lock_guard<std::mutex> lock(miners_mu_);
+    auto it = miners_.find(key);
+    if (it != miners_.end()) return it->second.get();
+  }
+  // Build outside the lock: a first Ĉpr request runs a full PageRank
+  // pass, which must not stall concurrent requests for other (or
+  // already-built) variants. Two racing builders of the same variant
+  // just discard one result.
+  auto built =
+      std::make_unique<RemiMiner>(&kb_, variant, pool_.get(), eval_cache_);
+  std::lock_guard<std::mutex> lock(miners_mu_);
+  auto [it, inserted] = miners_.emplace(key, std::move(built));
+  return it->second.get();
+}
+
+// --- admission control -------------------------------------------------------
+
+Status Service::Admit(const Deadline& deadline,
+                      const CancellationToken& cancel,
+                      double* queue_wait_seconds) {
+  Timer timer;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
+    if (queued_ >= options_.max_queued) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          std::to_string(in_flight_) + " requests in flight and " +
+          std::to_string(queued_) + " queued (limits: " +
+          std::to_string(options_.max_in_flight) + " in flight, " +
+          std::to_string(options_.max_queued) + " queued)");
+    }
+    ++queued_;
+    // Queued callers poll deadline + cancellation: a request abandoned by
+    // its client must not occupy a queue slot forever.
+    while (in_flight_ >= options_.max_in_flight) {
+      // A queued request that gives up still counts as admitted (it was
+      // accepted, not rejected), so the counter identity
+      // admitted == ok + deadline_exceeded + cancelled + failed holds.
+      if (deadline.Expired()) {
+        --queued_;
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        *queue_wait_seconds = timer.ElapsedSeconds();
+        return Status::DeadlineExceeded("deadline expired while queued");
+      }
+      if (cancel.CancellationRequested()) {
+        --queued_;
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        *queue_wait_seconds = timer.ElapsedSeconds();
+        return Status::Cancelled("cancelled while queued");
+      }
+      admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    --queued_;
+  }
+  ++in_flight_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  *queue_wait_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+void Service::Release() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
+Deadline Service::DeadlineFor(const RequestControl& control) const {
+  if (control.deadline_seconds > 0) {
+    return Deadline::AfterSeconds(control.deadline_seconds);
+  }
+  return Deadline();
+}
+
+void Service::CountOutcome(const Status& status) {
+  if (status.ok()) {
+    completed_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ServiceCounters Service::counters() const {
+  ServiceCounters c;
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  c.in_flight = in_flight_;
+  c.peak_in_flight = peak_in_flight_;
+  return c;
+}
+
+// --- target resolution -------------------------------------------------------
+
+void Service::EnsureLocalNameIndex() const {
+  std::call_once(local_name_index_once_, [this] {
+    local_name_index_.reserve(kb_.NumEntities());
+    for (TermId id = 0; id < kb_.dict().size(); ++id) {
+      if (kb_.dict().kind(id) != TermKind::kIri) continue;
+      if (!kb_.IsEntity(id)) continue;
+      const std::string_view lex = kb_.dict().lexical(id);
+      const size_t cut = lex.find_last_of("/#");
+      const std::string_view local =
+          cut == std::string_view::npos ? lex : lex.substr(cut + 1);
+      auto [it, inserted] =
+          local_name_index_.emplace(local, std::make_pair(id, 1u));
+      if (!inserted) ++it->second.second;
+    }
+  });
+}
+
+Result<TermId> Service::ResolveTarget(const std::string& name) const {
+  // The exact-IRI path enforces the same entity contract as the suffix
+  // paths: a predicate or class IRI is not a mining target.
+  auto exact = kb_.dict().Lookup(TermKind::kIri, name);
+  if (exact.ok() && kb_.IsEntity(*exact)) return *exact;
+  size_t hits = 0;
+  TermId match = kNullTerm;
+  if (name.find_first_of("/#") == std::string::npos) {
+    // A separator-free name can only match as a whole IRI local name:
+    // answered by the O(1) index instead of a dictionary scan.
+    EnsureLocalNameIndex();
+    const auto it = local_name_index_.find(name);
+    if (it != local_name_index_.end()) {
+      match = it->second.first;
+      hits = it->second.second;
+    }
+  } else {
+    // Multi-segment suffixes ("resource/Paris") are rare: fall back to
+    // the boundary-checked scan.
+    for (TermId id = 0; id < kb_.dict().size(); ++id) {
+      if (kb_.dict().kind(id) != TermKind::kIri) continue;
+      if (!kb_.IsEntity(id)) continue;
+      const std::string_view lex = kb_.dict().lexical(id);
+      if (EndsWith(lex, name) &&
+          (lex.size() == name.size() ||
+           lex[lex.size() - name.size() - 1] == '/' ||
+           lex[lex.size() - name.size() - 1] == '#')) {
+        match = id;
+        ++hits;
+      }
+    }
+  }
+  if (hits == 1) return match;
+  if (hits == 0) return Status::NotFound("no entity matches '" + name + "'");
+  return Status::InvalidArgument("'" + name + "' is ambiguous (" +
+                                 std::to_string(hits) + " matches)");
+}
+
+Result<std::vector<TermId>> Service::ResolveTargets(
+    const TargetSpec& spec) const {
+  std::vector<TermId> out;
+  out.reserve(spec.ids.size() + spec.names.size());
+  for (const TermId id : spec.ids) {
+    if (id >= kb_.dict().size()) {
+      return Status::InvalidArgument("target id " + std::to_string(id) +
+                                     " is outside the dictionary");
+    }
+    // Same entity contract as the lexical paths: predicates, classes and
+    // literals are not mining targets.
+    if (!kb_.IsEntity(id)) {
+      return Status::InvalidArgument("target id " + std::to_string(id) +
+                                     " is not an entity");
+    }
+    out.push_back(id);
+  }
+  for (const std::string& name : spec.names) {
+    if (name.empty()) continue;
+    REMI_ASSIGN_OR_RETURN(const TermId id, ResolveTarget(name));
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.empty()) {
+    return Status::InvalidArgument("request contains no targets");
+  }
+  return out;
+}
+
+// --- request handlers --------------------------------------------------------
+
+MineResponse Service::BuildMineResponse(const RemiResult& mined,
+                                        bool verbalize,
+                                        std::vector<TermId> targets) const {
+  MineResponse response;
+  if (mined.cancelled) {
+    response.status = Status::Cancelled("mining cancelled");
+  } else if (mined.timed_out) {
+    response.status = Status::DeadlineExceeded("mining deadline expired");
+  }
+  response.found = mined.found;
+  response.targets = std::move(targets);
+  response.stats = mined.stats;
+  if (mined.found) {
+    response.cost = mined.cost;
+    response.expression = mined.expression;
+    response.expression_text = mined.expression.ToString(kb_.dict());
+    if (verbalize) {
+      Verbalizer verbalizer(&kb_);
+      response.verbalization = verbalizer.Sentence(mined.expression);
+    }
+    response.exceptions = mined.exceptions;
+    for (const TermId e : mined.exceptions) {
+      response.exception_labels.push_back(kb_.Label(e));
+    }
+  }
+  return response;
+}
+
+Result<MineResponse> Service::Mine(const MineRequest& request) {
+  const Deadline deadline = DeadlineFor(request.control);
+  double queue_wait = 0.0;
+  const Status admitted =
+      Admit(deadline, request.control.cancel, &queue_wait);
+  if (admitted.IsResourceExhausted()) return admitted;
+  if (!admitted.ok()) {
+    // Expired or cancelled while queued: in-band outcome, nothing ran.
+    MineResponse response;
+    response.status = admitted;
+    response.service.queue_wait_seconds = queue_wait;
+    CountOutcome(admitted);
+    return response;
+  }
+
+  auto run = [&]() -> Result<MineResponse> {
+    ServiceStats service_stats;
+    service_stats.queue_wait_seconds = queue_wait;
+
+    Timer resolve_timer;
+    auto targets = ResolveTargets(request.targets);
+    if (!targets.ok()) return targets.status();
+    service_stats.resolve_seconds = resolve_timer.ElapsedSeconds();
+
+    RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+    MineControl control;
+    control.deadline = deadline;
+    control.cancel = request.control.cancel;
+
+    Timer mine_timer;
+    auto mined = miner->MineReWithExceptions(
+        *targets, request.max_exceptions, control);
+    if (!mined.ok()) return mined.status();
+    service_stats.mine_seconds = mine_timer.ElapsedSeconds();
+
+    MineResponse response =
+        BuildMineResponse(*mined, request.verbalize, std::move(*targets));
+    response.service = service_stats;
+    CountOutcome(response.status);
+    return response;
+  };
+  auto result = run();
+  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  Release();
+  return result;
+}
+
+Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
+  if (request.target_sets.empty()) {
+    return Status::InvalidArgument("batch contains no target sets");
+  }
+  const Deadline deadline = DeadlineFor(request.control);
+  double queue_wait = 0.0;
+  const Status admitted =
+      Admit(deadline, request.control.cancel, &queue_wait);
+  if (admitted.IsResourceExhausted()) return admitted;
+  if (!admitted.ok()) {
+    BatchMineResponse response;
+    response.status = admitted;
+    response.service.queue_wait_seconds = queue_wait;
+    CountOutcome(admitted);
+    return response;
+  }
+
+  auto run = [&]() -> Result<BatchMineResponse> {
+    BatchMineResponse response;
+    response.service.queue_wait_seconds = queue_wait;
+
+    Timer resolve_timer;
+    std::vector<std::vector<TermId>> sets;
+    sets.reserve(request.target_sets.size());
+    for (size_t i = 0; i < request.target_sets.size(); ++i) {
+      auto targets = ResolveTargets(request.target_sets[i]);
+      if (!targets.ok()) {
+        return WithMessagePrefix(targets.status(),
+                                 "target set #" + std::to_string(i));
+      }
+      sets.push_back(std::move(*targets));
+    }
+    response.service.resolve_seconds = resolve_timer.ElapsedSeconds();
+
+    RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+    MineControl control;
+    control.deadline = deadline;
+    control.cancel = request.control.cancel;
+
+    Timer mine_timer;
+    auto mined = miner->MineBatch(sets, request.max_exceptions, control);
+    if (!mined.ok()) return mined.status();
+    response.service.mine_seconds = mine_timer.ElapsedSeconds();
+
+    bool any_timed_out = false;
+    bool any_cancelled = false;
+    for (size_t i = 0; i < mined->size(); ++i) {
+      MineResponse item = BuildMineResponse(
+          (*mined)[i], request.verbalize, std::move(sets[i]));
+      any_timed_out |= item.status.IsDeadlineExceeded();
+      any_cancelled |= item.status.IsCancelled();
+      response.results.push_back(std::move(item));
+    }
+    if (any_cancelled) {
+      response.status = Status::Cancelled("batch cancelled");
+    } else if (any_timed_out) {
+      response.status = Status::DeadlineExceeded("batch deadline expired");
+    }
+    CountOutcome(response.status);
+    return response;
+  };
+  auto result = run();
+  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  Release();
+  return result;
+}
+
+Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
+  if (request.k == 0) {
+    return Status::InvalidArgument("summary size k must be positive");
+  }
+  const Deadline deadline = DeadlineFor(request.control);
+  double queue_wait = 0.0;
+  const Status admitted =
+      Admit(deadline, request.control.cancel, &queue_wait);
+  if (admitted.IsResourceExhausted()) return admitted;
+  if (!admitted.ok()) {
+    SummarizeResponse response;
+    response.status = admitted;
+    response.service.queue_wait_seconds = queue_wait;
+    CountOutcome(admitted);
+    return response;
+  }
+
+  auto run = [&]() -> Result<SummarizeResponse> {
+    SummarizeResponse response;
+    response.service.queue_wait_seconds = queue_wait;
+
+    Timer resolve_timer;
+    auto resolved = ResolveTargets(request.entity);
+    if (!resolved.ok()) return resolved.status();
+    if (resolved->size() != 1) {
+      return Status::InvalidArgument(
+          "summarize expects exactly one entity, got " +
+          std::to_string(resolved->size()));
+    }
+    response.service.resolve_seconds = resolve_timer.ElapsedSeconds();
+    response.entity = (*resolved)[0];
+    response.entity_label = kb_.Label(response.entity);
+
+    // Table 3 protocol: standard language, no rdf:type, no inverses.
+    const RemiOptions table3 = MakeTable3RemiOptions(request.metric);
+    RemiMiner* miner = MinerFor(table3.cost, table3.enumerator);
+    MineControl control;
+    control.deadline = deadline;
+    control.cancel = request.control.cancel;
+
+    Timer mine_timer;
+    auto summary = RemiSummarize(*miner, response.entity, request.k, control);
+    response.service.mine_seconds = mine_timer.ElapsedSeconds();
+    if (!summary.ok()) {
+      if (!summary.status().IsDeadlineExceeded() &&
+          !summary.status().IsCancelled()) {
+        return summary.status();
+      }
+      response.status = summary.status();  // in-band interrupt outcome
+    } else {
+      response.items = std::move(*summary);
+      for (const SummaryItem& item : response.items) {
+        response.item_labels.push_back(kb_.Label(item.predicate) + " = " +
+                                       kb_.Label(item.object));
+      }
+    }
+    CountOutcome(response.status);
+    return response;
+  };
+  auto result = run();
+  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  Release();
+  return result;
+}
+
+Result<std::vector<RankedSubgraph>> Service::Candidates(
+    const CandidatesRequest& request) {
+  REMI_ASSIGN_OR_RETURN(const std::vector<TermId> targets,
+                        ResolveTargets(request.targets));
+  RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+  MineControl control;
+  control.deadline = DeadlineFor(request.control);
+  control.cancel = request.control.cancel;
+  REMI_ASSIGN_OR_RETURN(std::vector<RankedSubgraph> ranked,
+                        miner->RankedCommonSubgraphs(targets, control));
+  if (request.limit > 0 && ranked.size() > request.limit) {
+    ranked.resize(request.limit);
+  }
+  return ranked;
+}
+
+}  // namespace remi

@@ -1,0 +1,327 @@
+// remi::Service — the stable serving façade of the library.
+//
+// The paper's cost-vs-users scenario (Table 2) and the entity-summarization
+// application (§5) both presume a single KB instance answering many
+// heterogeneous requests. Service packages that: it owns one KnowledgeBase
+// (opened uniformly from .nt/.ttl/.rkf/.rkf2 via KbSpec, or adopted from
+// memory), one long-lived work-stealing thread pool, and one shared
+// match-set cache, and exposes typed request/response contracts. Consumers
+// (the CLI, the line-protocol server, examples, harnesses) talk to this
+// API only; the layers below (RemiMiner, Evaluator, Verbalizer, the
+// summarizer) are implementation detail they no longer wire up by hand.
+//
+// Contracts:
+//   * Every request carries a RequestControl: a relative deadline and a
+//     cooperative cancellation token. Both are threaded through the
+//     REMI/P-REMI DFS (polled at every search node, including spilled
+//     subtree tasks), so an expired request stops within one node
+//     evaluation instead of running unbounded.
+//   * Request-level failures (bad targets, capacity) are the error side of
+//     the returned Result. Execution outcomes of an *admitted* run —
+//     kOk, kDeadlineExceeded, kCancelled — are reported in-band as
+//     `response.status`, alongside the partial ServiceStats/RemiStats the
+//     run accumulated before it was interrupted.
+//   * Admission control bounds concurrency: at most max_in_flight requests
+//     execute while up to max_queued callers wait; one more caller gets
+//     kResourceExhausted immediately.
+//
+// See README.md "Serving & the Service API" for the full status-code
+// table.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "remi/remi.h"
+#include "summ/remi_summarizer.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace remi {
+
+/// \brief Where and how to open a knowledge base.
+///
+/// The format is sniffed from the file: first by magic bytes (RKF2
+/// snapshots, RKF1 containers), then by extension (.ttl/.turtle parse as
+/// Turtle; everything else as N-Triples). This replaces the per-consumer
+/// format plumbing that used to live in the CLI.
+struct KbSpec {
+  std::string path;
+  /// Build options for text/RKF1 inputs. An .rkf2 snapshot carries its
+  /// own build options and ignores these.
+  KbOptions kb;
+  /// N-Triples only: skip malformed lines instead of failing.
+  bool lenient_parse = true;
+};
+
+/// \brief Server-wide configuration.
+struct ServiceOptions {
+  /// Base mining configuration. `mining.num_threads` sizes the Service's
+  /// shared pool (>1 enables P-REMI and concurrent batch items);
+  /// `mining.eval_cache_capacity/shards` size the shared match-set cache.
+  /// Per-request overrides replace only the cost model / language bias.
+  RemiOptions mining;
+
+  /// Requests executing concurrently before callers queue. 0 = unlimited
+  /// (no admission control; max_queued is then ignored).
+  size_t max_in_flight = 4;
+
+  /// Callers allowed to wait for a slot; the next one is rejected with
+  /// kResourceExhausted.
+  size_t max_queued = 16;
+};
+
+/// \brief Per-request execution control.
+struct RequestControl {
+  /// Wall-clock budget in seconds, measured from admission (queue wait
+  /// counts against it); 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Cooperative cancellation; see util/cancellation.h.
+  CancellationToken cancel;
+};
+
+/// \brief One target set, as dictionary ids and/or lexical forms.
+///
+/// Lexical forms are full IRIs or unambiguous IRI suffixes ("Paris"
+/// resolves to <http://dbpedia.org/resource/Paris> when unique at a '/'
+/// or '#' boundary). Ids and names are merged; duplicates are fine.
+struct TargetSpec {
+  std::vector<TermId> ids;
+  std::vector<std::string> names;
+};
+
+/// \brief Mine the most intuitive referring expression for one target set.
+struct MineRequest {
+  TargetSpec targets;
+  /// Allowed non-target matches (0 = strict RE; paper §6 future work).
+  size_t max_exceptions = 0;
+  /// Also render the result as an English-ish sentence.
+  bool verbalize = false;
+  /// Per-request cost-model override (e.g. Ĉpr instead of the service
+  /// default). Variant miners share the pool and the match-set cache.
+  std::optional<CostModelOptions> cost;
+  /// Per-request language-bias override (e.g. atoms-only).
+  std::optional<EnumeratorOptions> enumerator;
+  RequestControl control;
+};
+
+/// Timing breakdown of one request's trip through the Service.
+struct ServiceStats {
+  double queue_wait_seconds = 0.0;  ///< admission queue
+  double resolve_seconds = 0.0;     ///< lexical target resolution
+  double mine_seconds = 0.0;        ///< time inside the miner
+};
+
+struct MineResponse {
+  /// Execution outcome: OK, DeadlineExceeded, or Cancelled. Interrupted
+  /// runs still carry the partial stats below.
+  Status status;
+  bool found = false;
+  double cost = 0.0;
+  std::vector<TermId> targets;  ///< resolved, sorted, deduplicated
+  Expression expression;
+  std::string expression_text;
+  std::string verbalization;  ///< filled iff request.verbalize
+  std::vector<TermId> exceptions;
+  std::vector<std::string> exception_labels;
+  /// Search counters of this run. Caveat: the eval sub-stats (cache
+  /// hits/misses, evaluations) are deltas over counters shared by all
+  /// concurrent requests on this service, so under concurrency they may
+  /// include sibling requests' evaluator activity (same caveat as
+  /// RemiMiner::MineBatch).
+  RemiStats stats;
+  ServiceStats service;
+};
+
+/// \brief Mine many independent target sets in one request (the paper's
+/// many-users workload). The deadline and the admission slot cover the
+/// whole batch.
+struct BatchMineRequest {
+  std::vector<TargetSpec> target_sets;
+  size_t max_exceptions = 0;
+  bool verbalize = false;
+  std::optional<CostModelOptions> cost;
+  std::optional<EnumeratorOptions> enumerator;
+  RequestControl control;
+};
+
+struct BatchMineResponse {
+  /// OK, or DeadlineExceeded/Cancelled when the batch was interrupted
+  /// (individual results then also carry their own per-run status).
+  Status status;
+  std::vector<MineResponse> results;
+  ServiceStats service;
+};
+
+/// \brief Top-k most intuitive atoms of one entity (Table 3 protocol:
+/// standard language, no rdf:type, no inverse predicates).
+struct SummarizeRequest {
+  TargetSpec entity;  ///< must resolve to exactly one entity
+  size_t k = 5;
+  ProminenceMetric metric = ProminenceMetric::kFrequency;
+  RequestControl control;
+};
+
+struct SummarizeResponse {
+  Status status;
+  TermId entity = kNullTerm;
+  std::string entity_label;
+  Summary items;
+  std::vector<std::string> item_labels;  ///< "predicate = object" per item
+  ServiceStats service;
+};
+
+/// \brief The ranked candidate queue (Alg. 1 line 2) for a target set —
+/// the introspection surface used by demos and the user-study harnesses.
+struct CandidatesRequest {
+  TargetSpec targets;
+  /// Keep only the cheapest `limit` candidates; 0 = all.
+  size_t limit = 0;
+  std::optional<CostModelOptions> cost;
+  std::optional<EnumeratorOptions> enumerator;
+  /// Deadline/cancellation, polled during the Ĉ-costing pass (candidates
+  /// bypass admission control, so this is the only bound on the call).
+  RequestControl control;
+};
+
+/// Service-wide request counters (monotonic since construction). At
+/// quiescence, admitted == completed_ok + deadline_exceeded + cancelled
+/// + failed; rejected requests were never admitted.
+struct ServiceCounters {
+  uint64_t admitted = 0;
+  uint64_t completed_ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t rejected = 0;  ///< kResourceExhausted at admission
+  uint64_t failed = 0;    ///< admitted but invalid (bad targets etc.)
+  size_t in_flight = 0;
+  size_t peak_in_flight = 0;
+};
+
+/// \brief One KB, one pool, one cache — many requests.
+///
+/// Thread-safe: any number of threads may issue requests concurrently;
+/// admission control bounds how many actually execute. The Service owns
+/// its KnowledgeBase; keep it alive as long as responses' Expression
+/// values are in use (their TermIds index the Service's dictionary).
+class Service {
+ public:
+  /// Opens the KB described by `spec` and starts a service on it.
+  static Result<std::unique_ptr<Service>> Open(
+      const KbSpec& spec, const ServiceOptions& options = {});
+
+  /// Adopts an already built KB (synthetic and curated workloads).
+  static std::unique_ptr<Service> Create(KnowledgeBase kb,
+                                         const ServiceOptions& options = {});
+
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // --- request surface -------------------------------------------------------
+
+  /// Result error: InvalidArgument (empty/ambiguous targets, bad ids),
+  /// NotFound (unresolvable name), ResourceExhausted (admission).
+  /// Response status: OK | DeadlineExceeded | Cancelled.
+  Result<MineResponse> Mine(const MineRequest& request);
+
+  /// Same contract as Mine, over many sets sharing one admission slot.
+  Result<BatchMineResponse> BatchMine(const BatchMineRequest& request);
+
+  /// Same contract as Mine: the deadline/cancellation token bound the
+  /// queue wait and the atom-costing pass.
+  Result<SummarizeResponse> Summarize(const SummarizeRequest& request);
+
+  /// Ranked candidate queue; bypasses admission control (introspection),
+  /// but the request's control still bounds the costing pass —
+  /// DeadlineExceeded/Cancelled surface as the Result error here since
+  /// there is no partial payload to return.
+  Result<std::vector<RankedSubgraph>> Candidates(
+      const CandidatesRequest& request);
+
+  // --- resolution & introspection -------------------------------------------
+
+  /// Resolves one lexical form (full IRI or unambiguous suffix) to an
+  /// entity id. NotFound / InvalidArgument on zero / several matches.
+  Result<TermId> ResolveTarget(const std::string& name) const;
+
+  /// Resolves a TargetSpec to a sorted, deduplicated id list; validates
+  /// that explicit ids are in the dictionary range.
+  Result<std::vector<TermId>> ResolveTargets(const TargetSpec& spec) const;
+
+  const KnowledgeBase& kb() const { return kb_; }
+  const ServiceOptions& options() const { return options_; }
+  ServiceCounters counters() const;
+
+  /// Malformed N-Triples lines skipped by a lenient Open (0 for other
+  /// formats). Callers surface this so silent data loss stays visible.
+  size_t parse_skipped_lines() const { return parse_skipped_lines_; }
+
+ private:
+  Service(KnowledgeBase kb, const ServiceOptions& options);
+
+  /// Blocks until an execution slot is free (or the deadline expires /
+  /// the queue overflows). OK = admitted; caller must Release().
+  Status Admit(const Deadline& deadline, const CancellationToken& cancel,
+               double* queue_wait_seconds);
+  void Release();
+
+  /// The miner for a cost/bias variant, created on first use. All variant
+  /// miners share pool_ and eval_cache_.
+  RemiMiner* MinerFor(const std::optional<CostModelOptions>& cost,
+                      const std::optional<EnumeratorOptions>& enumerator);
+
+  /// Maps one RemiResult into a MineResponse (status, text, labels).
+  MineResponse BuildMineResponse(const RemiResult& mined, bool verbalize,
+                                 std::vector<TermId> targets) const;
+
+  Deadline DeadlineFor(const RequestControl& control) const;
+  void CountOutcome(const Status& status);
+
+  /// Built once on first suffix resolution: IRI local name (after the
+  /// last '/' or '#') -> (entity id, number of entities sharing the
+  /// name). Keys are views into the dictionary's stable storage. Makes
+  /// the common "Paris"-style lookup O(1) instead of a full dictionary
+  /// scan per request on the serving path.
+  void EnsureLocalNameIndex() const;
+
+  KnowledgeBase kb_;
+  ServiceOptions options_;
+  size_t parse_skipped_lines_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  ///< iff mining.num_threads > 1
+  std::shared_ptr<EvalCache> eval_cache_;
+
+  std::mutex miners_mu_;
+  std::map<std::string, std::unique_ptr<RemiMiner>> miners_;
+
+  mutable std::once_flag local_name_index_once_;
+  mutable std::unordered_map<std::string_view, std::pair<TermId, uint32_t>>
+      local_name_index_;
+
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ = 0;
+  size_t queued_ = 0;
+  size_t peak_in_flight_ = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+}  // namespace remi

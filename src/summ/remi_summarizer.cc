@@ -3,10 +3,17 @@
 namespace remi {
 
 Summary RemiSummarize(const RemiMiner& miner, TermId entity, size_t k) {
-  auto ranked = miner.RankedCommonSubgraphs(MatchSet{entity});
-  if (!ranked.ok()) return {};
+  auto summary = RemiSummarize(miner, entity, k, MineControl{});
+  return summary.ok() ? *summary : Summary{};
+}
+
+Result<Summary> RemiSummarize(const RemiMiner& miner, TermId entity,
+                              size_t k, const MineControl& control) {
+  REMI_ASSIGN_OR_RETURN(
+      const std::vector<RankedSubgraph> ranked,
+      miner.RankedCommonSubgraphs(MatchSet{entity}, control));
   Summary out;
-  for (const RankedSubgraph& r : *ranked) {
+  for (const RankedSubgraph& r : ranked) {
     if (out.size() >= k) break;
     if (r.expression.shape != SubgraphShape::kAtom) continue;
     out.push_back(SummaryItem{r.expression.p0, r.expression.c1});

@@ -15,6 +15,12 @@ namespace remi {
 /// language bias and type/inverse exclusion (see MakeTable3RemiOptions).
 Summary RemiSummarize(const RemiMiner& miner, TermId entity, size_t k);
 
+/// Interruptible variant for the serving path: `control`'s deadline and
+/// cancellation token are polled during the atom-costing pass, and an
+/// interrupted call fails with DeadlineExceeded / Cancelled.
+Result<Summary> RemiSummarize(const RemiMiner& miner, TermId entity,
+                              size_t k, const MineControl& control);
+
 /// The miner configuration of the paper's Table 3 runs: standard language
 /// bias, no rdf:type atoms, no inverse predicates.
 RemiOptions MakeTable3RemiOptions(ProminenceMetric metric);

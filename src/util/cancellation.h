@@ -1,0 +1,60 @@
+// Cooperative cancellation for long-running operations.
+//
+// A CancellationSource owns a flag; the CancellationToken it hands out is a
+// cheap, copyable view that workers poll at checkpoints (the REMI/P-REMI
+// DFS polls once per search node, the same cadence as its deadline check).
+// Cancellation is advisory and one-way: once requested it stays requested
+// for the lifetime of the source. A default-constructed token can never be
+// cancelled, so APIs can take one by value unconditionally.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace remi {
+
+/// \brief A poll-only view of a cancellation flag. Copyable, thread-safe.
+class CancellationToken {
+ public:
+  /// Never cancelled.
+  CancellationToken() = default;
+
+  bool CancellationRequested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True if this token is connected to a source (i.e. could fire).
+  bool CanBeCancelled() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief Owner side of a cancellation flag.
+///
+/// The source may outlive or predecease its tokens; tokens keep the flag
+/// alive via shared ownership.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  void RequestCancellation() {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool CancellationRequested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace remi

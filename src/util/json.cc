@@ -1,0 +1,384 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace remi {
+
+namespace {
+
+/// Appends a Unicode code point as UTF-8.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp <= 0x7F) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    REMI_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  /// Nesting depth cap: a line-protocol request never needs more, and the
+  /// recursive descent must not be a stack-overflow vector.
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at byte " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view word, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return Expect("null", JsonValue::Null(), out);
+      case 't':
+        return Expect("true", JsonValue::Bool(true), out);
+      case 'f':
+        return Expect("false", JsonValue::Bool(false), out);
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    ++pos_;  // opening quote
+    std::string s;
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        s.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          REMI_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low surrogate must follow.
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired surrogate");
+            }
+            uint32_t low = 0;
+            REMI_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(&s, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = JsonValue::Number(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = std::move(array);
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue item;
+      REMI_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      array.Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) {
+        *out = std::move(array);
+        return Status::OK();
+      }
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = std::move(object);
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      JsonValue key;
+      REMI_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      REMI_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      object.Set(key.AsString(), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        *out = std::move(object);
+        return Status::OK();
+      }
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void DumpTo(const JsonValue& v, std::string* out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      const double d = v.AsNumber();
+      if (!std::isfinite(d)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        *out += "null";
+        return;
+      }
+      if (d == std::floor(d) && std::fabs(d) < 9.2e18) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        *out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      }
+      return;
+    }
+    case JsonValue::Type::kString:
+      *out += JsonEscape(v.AsString());
+      return;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpTo(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        *out += JsonEscape(key);
+        out->push_back(':');
+        DumpTo(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace remi

@@ -1,0 +1,108 @@
+// A minimal JSON value model, parser, and writer for the Service line
+// protocol (tools/remi_server and its codec). Deliberately small: strict
+// RFC 8259 grammar, UTF-8 pass-through, \uXXXX escapes (with surrogate
+// pairs) decoded to UTF-8, no comments, no trailing commas. Numbers are
+// doubles; object member order is preserved so serialized responses are
+// deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace remi {
+
+/// \brief A JSON document node: null, bool, number, string, array, object.
+class JsonValue {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Sets (or overwrites) an object member, preserving insertion order.
+  void Set(std::string key, JsonValue value);
+  /// Member lookup; nullptr when absent or when this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Compact serialization (no whitespace). Numbers with an integral value
+  /// in the int64 range print without a fractional part.
+  std::string Dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (the whole input must be consumed, modulo
+/// whitespace). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` as a JSON string literal including the quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace remi

@@ -28,8 +28,20 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+Status WithMessagePrefix(const Status& status, std::string_view prefix) {
+  if (status.ok()) return status;
+  std::string message(prefix);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
 }
 
 std::string Status::ToString() const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace remi {
@@ -28,10 +29,25 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 9,
   kInternal = 10,
   kCancelled = 11,
+  /// A request-scoped deadline expired before the operation completed.
+  /// Unlike kTimeout (an operation-configured time budget, e.g. the
+  /// miner's RemiOptions::timeout_seconds), this is the caller-supplied
+  /// per-request deadline of the Service API.
+  kDeadlineExceeded = 12,
+  /// The server refused the request because a capacity limit (max
+  /// in-flight requests + bounded admission queue) was reached.
+  kResourceExhausted = 13,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
+
+class Status;
+
+/// Returns `status` with "<prefix>: " prepended to its message, keeping
+/// the code (no-op for OK). Used to add file/context information, e.g.
+/// `WithMessagePrefix(st, path)` -> "IoError: kb.nt: cannot open".
+Status WithMessagePrefix(const Status& status, std::string_view prefix);
 
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
@@ -79,6 +95,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +115,12 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

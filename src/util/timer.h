@@ -55,6 +55,19 @@ class Deadline {
 
   bool has_deadline() const { return has_deadline_; }
 
+  /// The deadline that fires first; never-expiring inputs are ignored.
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    if (!a.has_deadline_) return b;
+    if (!b.has_deadline_) return a;
+    return a.deadline_ <= b.deadline_ ? a : b;
+  }
+
+  /// Seconds until expiry (negative when already expired). Only
+  /// meaningful when has_deadline().
+  double RemainingSeconds() const {
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   bool has_deadline_;

@@ -1,0 +1,201 @@
+// remi_server smoke test: an in-process LineServer on an ephemeral
+// loopback port, driven through a real TCP socket — the same code path
+// tools/remi_server.cc serves, minus the flag parsing.
+
+#include "service/line_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json_codec.h"
+#include "util/json.h"
+
+#ifndef REMI_TESTDATA_DIR
+#define REMI_TESTDATA_DIR "tests/data"
+#endif
+
+namespace remi {
+namespace {
+
+/// A blocking line-oriented client over one TCP connection.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0;
+    EXPECT_TRUE(connected_);
+  }
+  ~LineClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  /// Sends one request line and reads one response line.
+  std::string RoundTrip(const std::string& request) {
+    std::string out = request + "\n";
+    EXPECT_EQ(send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::string line;
+    char c = 0;
+    while (recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+    ADD_FAILURE() << "connection closed before a full response line";
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class LineServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    KbSpec spec;
+    spec.path = std::string(REMI_TESTDATA_DIR) + "/smoke.nt";
+    auto service = Service::Open(spec);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(*service);
+    server_ = std::make_unique<LineServer>(service_.get());
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  JsonValue Request(LineClient* client, const std::string& line) {
+    auto parsed = ParseJson(client->RoundTrip(line));
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return parsed.ok() ? *parsed : JsonValue();
+  }
+
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<LineServer> server_;
+};
+
+TEST_F(LineServerTest, PingMineSummarizeStatsOverOneConnection) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  JsonValue ping = Request(&client, R"({"op":"ping"})");
+  EXPECT_EQ(ping.Find("status")->AsString(), "OK");
+
+  JsonValue mine = Request(
+      &client,
+      R"({"op":"mine","targets":["Berlin"],"verbalize":true})");
+  EXPECT_EQ(mine.Find("status")->AsString(), "OK");
+  EXPECT_TRUE(mine.Find("found")->AsBool());
+  EXPECT_FALSE(mine.Find("expression")->AsString().empty());
+  EXPECT_FALSE(mine.Find("verbalization")->AsString().empty());
+  EXPECT_GT(mine.Find("cost")->AsNumber(), 0.0);
+
+  JsonValue summary = Request(
+      &client, R"({"op":"summarize","entity":"Berlin","k":3})");
+  EXPECT_EQ(summary.Find("status")->AsString(), "OK");
+  EXPECT_EQ(summary.Find("entity")->AsString(), "Berlin");
+  EXPECT_GT(summary.Find("items")->items().size(), 0u);
+
+  JsonValue batch = Request(
+      &client,
+      R"({"op":"batch_mine","target_sets":[["Berlin"],["Hamburg"]]})");
+  EXPECT_EQ(batch.Find("status")->AsString(), "OK");
+  EXPECT_EQ(batch.Find("results")->items().size(), 2u);
+
+  JsonValue candidates = Request(
+      &client, R"({"op":"candidates","targets":["Berlin"],"limit":3})");
+  EXPECT_EQ(candidates.Find("status")->AsString(), "OK");
+  EXPECT_EQ(candidates.Find("candidates")->items().size(), 3u);
+
+  JsonValue stats = Request(&client, R"({"op":"stats"})");
+  EXPECT_EQ(stats.Find("status")->AsString(), "OK");
+  // ping/stats bypass mining; mine + summarize + batch + candidates ran.
+  EXPECT_GE(stats.Find("admitted")->AsNumber(), 3.0);
+  EXPECT_GT(stats.Find("facts")->AsNumber(), 0.0);
+}
+
+TEST_F(LineServerTest, ServesConcurrentConnections) {
+  LineClient a(server_->port());
+  LineClient b(server_->port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  JsonValue ra =
+      Request(&a, R"({"op":"mine","targets":["Berlin"]})");
+  JsonValue rb =
+      Request(&b, R"({"op":"mine","targets":["Hamburg"]})");
+  EXPECT_EQ(ra.Find("status")->AsString(), "OK");
+  EXPECT_EQ(rb.Find("status")->AsString(), "OK");
+}
+
+TEST_F(LineServerTest, ErrorsAreInBandAndConnectionSurvives) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  JsonValue malformed = Request(&client, "{not json");
+  EXPECT_EQ(malformed.Find("status")->AsString(), "ParseError");
+
+  JsonValue unknown_op = Request(&client, R"({"op":"fly"})");
+  EXPECT_EQ(unknown_op.Find("status")->AsString(), "InvalidArgument");
+
+  JsonValue unknown_target = Request(
+      &client, R"({"op":"mine","targets":["Atlantis"]})");
+  EXPECT_EQ(unknown_target.Find("status")->AsString(), "NotFound");
+
+  // The connection still answers after three error responses.
+  JsonValue ping = Request(&client, R"({"op":"ping"})");
+  EXPECT_EQ(ping.Find("status")->AsString(), "OK");
+}
+
+TEST_F(LineServerTest, RejectsOutOfRangeNumbersInsteadOfCasting) {
+  // 1e999 parses to +inf; casting it to size_t/TermId would be UB, so
+  // the codec must reject it as InvalidArgument (covers ReadSize and the
+  // numeric-id path of ReadTargetSpec).
+  for (const char* line :
+       {R"({"op":"mine","targets":["Berlin"],"max_exceptions":1e999})",
+        R"({"op":"mine","targets":[1e999]})",
+        R"({"op":"mine","targets":[1.5]})",
+        R"({"op":"mine","targets":[99999999999]})",
+        R"({"op":"summarize","entity":"Berlin","k":-1})",
+        R"({"op":"mine","targets":["Berlin"],"deadline_ms":1e999})",
+        R"({"op":"mine","targets":["Berlin"],"deadline_ms":1e13})"}) {
+    auto response = ParseJson(HandleRequestLine(service_.get(), line));
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_EQ(response->Find("status")->AsString(), "InvalidArgument")
+        << line;
+  }
+}
+
+TEST_F(LineServerTest, DeadlineTravelsOverTheWire) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // deadline_ms of 0.000001 (sub-microsecond) expires before mining.
+  JsonValue response = Request(
+      &client,
+      R"({"op":"mine","targets":["Berlin"],"deadline_ms":0.000001})");
+  EXPECT_EQ(response.Find("status")->AsString(), "DeadlineExceeded");
+}
+
+TEST_F(LineServerTest, StopUnblocksOpenConnections) {
+  auto client = std::make_unique<LineClient>(server_->port());
+  ASSERT_TRUE(client->connected());
+  JsonValue ping = Request(client.get(), R"({"op":"ping"})");
+  EXPECT_EQ(ping.Find("status")->AsString(), "OK");
+  server_->Stop();  // must join the connection thread without hanging
+}
+
+}  // namespace
+}  // namespace remi

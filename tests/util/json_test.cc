@@ -1,0 +1,97 @@
+// util/json.h: the minimal JSON model behind the Service line protocol.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3")->AsNumber(), -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto v = ParseJson(
+      R"({"op":"mine","targets":["Berlin",7],"opts":{"deadline_ms":50}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("op")->AsString(), "mine");
+  const JsonValue* targets = v->Find("targets");
+  ASSERT_NE(targets, nullptr);
+  ASSERT_EQ(targets->items().size(), 2u);
+  EXPECT_EQ(targets->items()[0].AsString(), "Berlin");
+  EXPECT_DOUBLE_EQ(targets->items()[1].AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(v->Find("opts")->Find("deadline_ms")->AsNumber(), 50.0);
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\n\t\u0041\u00e9")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParseTest, SurrogatePairDecodesToUtf8) {
+  auto v = ParseJson(R"("\ud83d\ude00")");  // 😀 U+1F600
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "\"unterminated", "tru", "01",
+        "1.2.3", "{\"a\" 1}", "[1 2]", "nul", "\"\\u12\"", "\"\\ud800x\"",
+        "{}extra", "\"\x01\""}) {
+    auto v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << "input: " << bad;
+    EXPECT_TRUE(v.status().IsParseError()) << bad;
+    EXPECT_NE(v.status().message().find("at byte"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(JsonParseTest, DeepNestingIsRejectedNotStackOverflow) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  auto v = ParseJson(deep);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(JsonDumpTest, RoundTripsAndIsDeterministic) {
+  const std::string doc =
+      R"({"status":"OK","found":true,"cost":2.5,"n":3,"items":["a","b"],"none":null})";
+  auto v = ParseJson(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Dump(), doc);
+}
+
+TEST(JsonDumpTest, IntegralNumbersPrintWithoutFraction) {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", JsonValue::Number(65536));
+  v.Set("ratio", JsonValue::Number(0.5));
+  EXPECT_EQ(v.Dump(), R"({"count":65536,"ratio":0.5})");
+}
+
+TEST(JsonDumpTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonValue::String("a\"b\n\x01").Dump(), R"("a\"b\n\u0001")");
+}
+
+TEST(JsonDumpTest, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(JsonValue::Number(1.0 / 0.0).Dump(), "null");
+}
+
+TEST(JsonValueTest, SetOverwritesInPlace) {
+  JsonValue v = JsonValue::Object();
+  v.Set("a", JsonValue::Number(1));
+  v.Set("b", JsonValue::Number(2));
+  v.Set("a", JsonValue::Number(3));
+  EXPECT_EQ(v.Dump(), R"({"a":3,"b":2})");
+}
+
+}  // namespace
+}  // namespace remi

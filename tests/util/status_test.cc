@@ -20,6 +20,8 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Timeout("x").IsTimeout());
   EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_EQ(Status::NotFound("missing").message(), "missing");
 }
 
@@ -34,9 +36,22 @@ TEST(StatusTest, EqualityComparesCodesOnly) {
 }
 
 TEST(StatusCodeTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusCodeTest, ServiceCodesAreDistinctFromTimeout) {
+  // The Service's per-request deadline (kDeadlineExceeded) is a separate
+  // condition from an operation-configured time budget (kTimeout); see
+  // the README error-taxonomy table.
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsTimeout());
+  EXPECT_FALSE(Status::Timeout("x").IsDeadlineExceeded());
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
 }
 
 TEST(ResultTest, HoldsValue) {

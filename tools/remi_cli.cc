@@ -1,4 +1,4 @@
-// remi — command-line front end to the library.
+// remi — command-line front end to the library, built on remi::Service.
 //
 // Subcommands:
 //   remi stats <kb>                          KB statistics
@@ -8,24 +8,24 @@
 //   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
 //
-// <kb> is an N-Triples file (.nt), an RKF file (.rkf), or an RKF2 snapshot
-// (.rkf2; opened zero-copy, no rebuild). Targets accept full IRIs or unique
-// IRI suffixes (e.g. "Paris" matches <http://dbpedia.org/resource/Paris> if
-// unambiguous). A --batch file holds one comma-separated target set per
-// line ('#' starts a comment); with --threads N the sets are mined
-// concurrently on one warm miner.
+// <kb> is anything KbSpec understands: N-Triples (.nt), Turtle (.ttl),
+// RKF (.rkf), or an RKF2 snapshot (.rkf2; opened zero-copy, no rebuild) —
+// the format is sniffed by magic bytes and extension inside the Service.
+// Targets accept full IRIs or unique IRI suffixes (e.g. "Paris" matches
+// <http://dbpedia.org/resource/Paris> if unambiguous). A --batch file
+// holds one comma-separated target set per line ('#' starts a comment);
+// with --threads N the sets are mined concurrently on the service's
+// shared pool. --timeout sets the per-request deadline: an expired
+// request reports "timed out" instead of running unbounded.
 
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "kb/knowledge_base.h"
-#include "nlg/verbalizer.h"
 #include "rdf/ntriples.h"
 #include "rdf/rkf.h"
-#include "remi/remi.h"
-#include "summ/remi_summarizer.h"
+#include "service/service.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -35,94 +35,75 @@ namespace {
 using remi::Result;
 using remi::Status;
 
-/// Prefixes an error status with the file it came from, so corrupt inputs
-/// report "<path>: RKF: ... at byte N" instead of a bare status.
-Status WithFileContext(const Status& status, const std::string& path) {
-  if (status.ok()) return status;
-  return Status(status.code(), path + ": " + status.message());
-}
-
-Result<remi::KnowledgeBase> LoadKb(const std::string& path,
-                                   const remi::Flags& flags) {
-  const double inverse_fraction = flags.GetDouble("inverse-fraction");
-  remi::KbOptions options;
-  options.inverse_top_fraction = inverse_fraction;
-  if (remi::EndsWith(path, ".rkf2")) {
-    auto kb = remi::KnowledgeBase::OpenSnapshot(path);
-    if (!kb.ok()) return WithFileContext(kb.status(), path);
-    if (flags.WasSet("inverse-fraction") &&
-        kb->options().inverse_top_fraction != inverse_fraction) {
-      std::fprintf(stderr,
-                   "note: snapshot was built with --inverse-fraction %g; "
-                   "the flag is ignored for .rkf2 inputs\n",
-                   kb->options().inverse_top_fraction);
-    }
-    return kb;
-  }
-  if (remi::EndsWith(path, ".rkf")) {
-    auto data = remi::ReadRkfFile(path);
-    if (!data.ok()) return WithFileContext(data.status(), path);
-    return remi::KnowledgeBase::Build(std::move(data->dict),
-                                      std::move(data->triples), options);
-  }
-  remi::Dictionary dict;
-  remi::NTriplesParser parser(&dict, /*lenient=*/true);
-  auto triples = parser.ParseFile(path);
-  if (!triples.ok()) return WithFileContext(triples.status(), path);
-  if (parser.skipped_lines() > 0) {
-    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
-                 parser.skipped_lines());
-  }
-  return remi::KnowledgeBase::Build(std::move(dict), std::move(*triples),
-                                    options);
-}
-
-/// Resolves a full IRI or an unambiguous IRI suffix to an entity id.
-Result<remi::TermId> ResolveEntity(const remi::KnowledgeBase& kb,
-                                   const std::string& name) {
-  auto exact = kb.dict().Lookup(remi::TermKind::kIri, name);
-  if (exact.ok()) return *exact;
-  remi::TermId match = remi::kNullTerm;
-  size_t hits = 0;
-  for (remi::TermId id = 0; id < kb.dict().size(); ++id) {
-    if (kb.dict().kind(id) != remi::TermKind::kIri) continue;
-    if (!kb.IsEntity(id)) continue;
-    const std::string_view lex = kb.dict().lexical(id);
-    if (remi::EndsWith(lex, name) &&
-        (lex.size() == name.size() ||
-         lex[lex.size() - name.size() - 1] == '/' ||
-         lex[lex.size() - name.size() - 1] == '#')) {
-      match = id;
-      ++hits;
-    }
-  }
-  if (hits == 1) return match;
-  if (hits == 0) return Status::NotFound("no entity matches '" + name + "'");
-  return Status::InvalidArgument("'" + name + "' is ambiguous (" +
-                                 std::to_string(hits) + " matches)");
-}
-
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
 
+/// Opens the serving façade over `path`, applying the CLI's KB and mining
+/// flags. Every subcommand except `convert` goes through this.
+Result<std::unique_ptr<remi::Service>> OpenService(
+    const std::string& path, const remi::Flags& flags) {
+  remi::KbSpec spec;
+  spec.path = path;
+  spec.kb.inverse_top_fraction = flags.GetDouble("inverse-fraction");
+
+  remi::ServiceOptions options;
+  options.mining.num_threads = static_cast<int>(flags.GetInt("threads"));
+  // One caller: no need for an admission queue.
+  options.max_in_flight = 0;
+
+  auto service = remi::Service::Open(spec, options);
+  if (service.ok() && (*service)->parse_skipped_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 (*service)->parse_skipped_lines());
+  }
+  if (service.ok() && remi::EndsWith(path, ".rkf2") &&
+      flags.WasSet("inverse-fraction") &&
+      (*service)->kb().options().inverse_top_fraction !=
+          flags.GetDouble("inverse-fraction")) {
+    std::fprintf(stderr,
+                 "note: snapshot was built with --inverse-fraction %g; "
+                 "the flag is ignored for .rkf2 inputs\n",
+                 (*service)->kb().options().inverse_top_fraction);
+  }
+  return service;
+}
+
+/// Shared request knobs: cost metric, language bias, deadline.
+void ApplyRequestFlags(const remi::Flags& flags,
+                       std::optional<remi::CostModelOptions>* cost,
+                       std::optional<remi::EnumeratorOptions>* enumerator,
+                       remi::RequestControl* control) {
+  if (flags.GetString("metric") == "pr") {
+    remi::CostModelOptions options;
+    options.metric = remi::ProminenceMetric::kPageRank;
+    *cost = options;
+  }
+  if (flags.GetBool("standard")) {
+    remi::EnumeratorOptions options;
+    options.extended_language = false;
+    *enumerator = options;
+  }
+  control->deadline_seconds = flags.GetDouble("timeout");
+}
+
 int CmdStats(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags);
-  if (!kb.ok()) return Fail(kb.status());
-  std::printf("facts        : %zu (%zu base + %zu inverse)\n",
-              kb->NumFacts(), kb->NumBaseFacts(),
-              kb->NumFacts() - kb->NumBaseFacts());
-  std::printf("entities     : %zu\n", kb->NumEntities());
-  std::printf("predicates   : %zu\n", kb->NumPredicates());
-  std::printf("classes      : %zu\n", kb->classes().size());
-  std::printf("dictionary   : %zu terms\n", kb->dict().size());
+  auto service = OpenService(path, flags);
+  if (!service.ok()) return Fail(service.status());
+  const remi::KnowledgeBase& kb = (*service)->kb();
+  std::printf("facts        : %zu (%zu base + %zu inverse)\n", kb.NumFacts(),
+              kb.NumBaseFacts(), kb.NumFacts() - kb.NumBaseFacts());
+  std::printf("entities     : %zu\n", kb.NumEntities());
+  std::printf("predicates   : %zu\n", kb.NumPredicates());
+  std::printf("classes      : %zu\n", kb.classes().size());
+  std::printf("dictionary   : %zu terms\n", kb.dict().size());
   std::printf("top entities :");
-  const auto& order = kb->EntitiesByProminence();
+  const auto& order = kb.EntitiesByProminence();
   for (size_t i = 0; i < order.size() && i < 5; ++i) {
-    std::printf(" %s(%llu)", kb->Label(order[i]).c_str(),
+    std::printf(" %s(%llu)", kb.Label(order[i]).c_str(),
                 static_cast<unsigned long long>(
-                    kb->EntityFrequency(order[i])));
+                    kb.EntityFrequency(order[i])));
   }
   std::printf("\n");
   return 0;
@@ -131,18 +112,21 @@ int CmdStats(const std::string& path, const remi::Flags& flags) {
 /// Builds a KB from `in_path` and writes it as an RKF2 snapshot.
 int CmdSnapshot(const std::string& in_path, const std::string& out_path,
                 const remi::Flags& flags) {
-  auto kb = LoadKb(in_path, flags);
-  if (!kb.ok()) return Fail(kb.status());
+  auto service = OpenService(in_path, flags);
+  if (!service.ok()) return Fail(service.status());
+  const remi::KnowledgeBase& kb = (*service)->kb();
   remi::Timer timer;
-  if (auto status = kb->SaveSnapshot(out_path); !status.ok()) {
-    return Fail(WithFileContext(status, out_path));
+  if (auto status = kb.SaveSnapshot(out_path); !status.ok()) {
+    return Fail(remi::WithMessagePrefix(status, out_path));
   }
   std::printf("wrote %s (%zu facts, %zu entities, %s)\n", out_path.c_str(),
-              kb->NumFacts(), kb->NumEntities(),
+              kb.NumFacts(), kb.NumEntities(),
               remi::FormatSeconds(timer.ElapsedSeconds()).c_str());
   return 0;
 }
 
+/// Format conversion stays below the Service: it moves raw triples
+/// between containers without ever serving requests.
 int CmdConvert(const std::string& in_path, const std::string& out_path,
                const remi::Flags& flags) {
   if (remi::EndsWith(out_path, ".rkf2")) {
@@ -154,7 +138,7 @@ int CmdConvert(const std::string& in_path, const std::string& out_path,
     // A snapshot stores the *built* KB; recover the base facts by
     // dropping the materialized inverse-predicate triples.
     auto kb = remi::KnowledgeBase::OpenSnapshot(in_path);
-    if (!kb.ok()) return Fail(WithFileContext(kb.status(), in_path));
+    if (!kb.ok()) return Fail(remi::WithMessagePrefix(kb.status(), in_path));
     // Deep-copy: the snapshot's dictionary is a view into the mapped
     // file, which dies with `kb` at the end of this block.
     dict = kb->dict().OwnedCopy();
@@ -163,19 +147,19 @@ int CmdConvert(const std::string& in_path, const std::string& out_path,
     }
   } else if (remi::EndsWith(in_path, ".rkf")) {
     auto data = remi::ReadRkfFile(in_path);
-    if (!data.ok()) return Fail(WithFileContext(data.status(), in_path));
+    if (!data.ok()) return Fail(remi::WithMessagePrefix(data.status(), in_path));
     dict = std::move(data->dict);
     triples = std::move(data->triples);
   } else {
     remi::NTriplesParser parser(&dict, /*lenient=*/true);
     auto parsed = parser.ParseFile(in_path);
-    if (!parsed.ok()) return Fail(WithFileContext(parsed.status(), in_path));
+    if (!parsed.ok()) return Fail(remi::WithMessagePrefix(parsed.status(), in_path));
     triples = std::move(*parsed);
   }
   const size_t num_triples = triples.size();
   if (remi::EndsWith(out_path, ".rkf")) {
     auto status = remi::WriteRkfFile(dict, std::move(triples), out_path);
-    if (!status.ok()) return Fail(WithFileContext(status, out_path));
+    if (!status.ok()) return Fail(remi::WithMessagePrefix(status, out_path));
   } else {
     const std::string doc = remi::WriteNTriples(dict, triples);
     FILE* f = std::fopen(out_path.c_str(), "wb");
@@ -187,156 +171,150 @@ int CmdConvert(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
-/// Parses a batch file: one comma-separated target set per line; empty
-/// lines and lines starting with '#' are skipped. Returns the resolved
-/// sets plus the original line text for reporting.
-Result<std::vector<std::pair<std::string, std::vector<remi::TermId>>>>
-LoadBatchFile(const remi::KnowledgeBase& kb, const std::string& path) {
+/// Parses a batch file into TargetSpecs: one comma-separated target set
+/// per line; empty lines and '#' comments are skipped. The original line
+/// text rides along for reporting.
+Result<std::vector<std::pair<std::string, remi::TargetSpec>>> LoadBatchFile(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open batch file " + path);
-  std::vector<std::pair<std::string, std::vector<remi::TermId>>> sets;
+  std::vector<std::pair<std::string, remi::TargetSpec>> sets;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string trimmed(remi::TrimWhitespace(line));
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    std::vector<remi::TermId> targets;
+    remi::TargetSpec spec;
     for (const std::string& name : remi::SplitString(trimmed, ',')) {
       const std::string entity(remi::TrimWhitespace(name));
-      if (entity.empty()) continue;
-      auto id = ResolveEntity(kb, entity);
-      if (!id.ok()) {
-        return Status(id.status().code(),
-                      "line " + std::to_string(line_no) + ": " +
-                          id.status().message());
-      }
-      targets.push_back(*id);
+      if (!entity.empty()) spec.names.push_back(entity);
     }
-    if (targets.empty()) {
+    if (spec.names.empty()) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": no targets");
     }
-    sets.emplace_back(trimmed, std::move(targets));
+    sets.emplace_back(trimmed, std::move(spec));
   }
   return sets;
 }
 
-int CmdMineBatch(const remi::KnowledgeBase& kb, const remi::RemiOptions& opts,
-                 const remi::Flags& flags) {
-  auto batch = LoadBatchFile(kb, flags.GetString("batch"));
+int CmdMineBatch(remi::Service* service, const remi::Flags& flags) {
+  auto batch = LoadBatchFile(flags.GetString("batch"));
   if (!batch.ok()) return Fail(batch.status());
   if (batch->empty()) {
     return Fail(Status::InvalidArgument("batch file contains no target sets"));
   }
-  std::vector<std::vector<remi::TermId>> sets;
-  sets.reserve(batch->size());
-  for (const auto& [line, targets] : *batch) sets.push_back(targets);
 
-  remi::RemiMiner miner(&kb, opts);
+  remi::BatchMineRequest request;
+  for (const auto& [line, spec] : *batch) {
+    request.target_sets.push_back(spec);
+  }
+  request.max_exceptions = static_cast<size_t>(flags.GetInt("exceptions"));
+  ApplyRequestFlags(flags, &request.cost, &request.enumerator,
+                    &request.control);
+
   remi::Timer timer;
-  auto results = miner.MineBatch(
-      sets, static_cast<size_t>(flags.GetInt("exceptions")));
-  if (!results.ok()) return Fail(results.status());
+  auto response = service->BatchMine(request);
+  if (!response.ok()) return Fail(response.status());
   const double elapsed = timer.ElapsedSeconds();
 
   size_t found = 0;
-  for (size_t i = 0; i < results->size(); ++i) {
-    const remi::RemiResult& r = (*results)[i];
+  for (size_t i = 0; i < response->results.size(); ++i) {
+    const remi::MineResponse& r = response->results[i];
     if (r.found) {
       ++found;
       std::printf("%-40s %.3f bits  %s\n", (*batch)[i].first.c_str(), r.cost,
-                  r.expression.ToString(kb.dict()).c_str());
+                  r.expression_text.c_str());
     } else {
       std::printf("%-40s %s\n", (*batch)[i].first.c_str(),
-                  r.timed_out ? "timed out" : "no referring expression");
+                  r.status.IsDeadlineExceeded() ? "timed out"
+                                                : "no referring expression");
     }
   }
-  std::printf("batch      : %zu/%zu sets with an RE, %d thread(s), %s "
+  std::printf("batch      : %zu/%zu sets with an RE, %lld thread(s), %s "
               "(%.1f sets/s)\n",
-              found, results->size(), opts.num_threads,
+              found, response->results.size(),
+              static_cast<long long>(flags.GetInt("threads")),
               remi::FormatSeconds(elapsed).c_str(),
-              elapsed > 0 ? static_cast<double>(results->size()) / elapsed
-                          : 0.0);
+              elapsed > 0
+                  ? static_cast<double>(response->results.size()) / elapsed
+                  : 0.0);
   // Same convention as single-set mine: exit 2 when no referring
   // expression was found (here: for any set in the batch).
   return found > 0 ? 0 : 2;
 }
 
 int CmdMine(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags);
-  if (!kb.ok()) return Fail(kb.status());
-
-  remi::RemiOptions options;
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  options.timeout_seconds = flags.GetDouble("timeout");
-  options.cost.metric = flags.GetString("metric") == "pr"
-                            ? remi::ProminenceMetric::kPageRank
-                            : remi::ProminenceMetric::kFrequency;
-  options.enumerator.extended_language = !flags.GetBool("standard");
+  auto service = OpenService(path, flags);
+  if (!service.ok()) return Fail(service.status());
 
   if (!flags.GetString("batch").empty()) {
-    return CmdMineBatch(*kb, options, flags);
+    return CmdMineBatch(service->get(), flags);
   }
 
-  std::vector<remi::TermId> targets;
+  remi::MineRequest request;
   for (const std::string& name :
        remi::SplitString(flags.GetString("targets"), ',')) {
-    if (name.empty()) continue;
-    auto id = ResolveEntity(*kb, name);
-    if (!id.ok()) return Fail(id.status());
-    targets.push_back(*id);
+    if (!name.empty()) request.targets.names.push_back(name);
   }
-  if (targets.empty()) {
+  if (request.targets.names.empty()) {
     return Fail(Status::InvalidArgument("--targets is required"));
   }
-
-  remi::RemiMiner miner(&*kb, options);
+  request.max_exceptions = static_cast<size_t>(flags.GetInt("exceptions"));
+  request.verbalize = true;
+  ApplyRequestFlags(flags, &request.cost, &request.enumerator,
+                    &request.control);
 
   remi::Timer timer;
-  auto result = miner.MineReWithExceptions(
-      targets, static_cast<size_t>(flags.GetInt("exceptions")));
-  if (!result.ok()) return Fail(result.status());
-  if (!result->found) {
+  auto response = (*service)->Mine(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->found) {
     std::printf("no referring expression exists for this set%s\n",
-                result->timed_out ? " (timed out)" : "");
+                response->status.IsDeadlineExceeded() ? " (timed out)" : "");
     return 2;
   }
-  remi::Verbalizer verbalizer(&*kb);
-  std::printf("expression : %s\n",
-              result->expression.ToString(kb->dict()).c_str());
-  std::printf("complexity : %.3f bits (Ĉ%s)\n", result->cost,
+  std::printf("expression : %s\n", response->expression_text.c_str());
+  std::printf("complexity : %.3f bits (Ĉ%s)\n", response->cost,
               flags.GetString("metric").c_str());
-  std::printf("verbalized : %s\n",
-              verbalizer.Sentence(result->expression).c_str());
-  if (!result->exceptions.empty()) {
+  std::printf("verbalized : %s\n", response->verbalization.c_str());
+  if (!response->exception_labels.empty()) {
     std::printf("exceptions :");
-    for (const remi::TermId e : result->exceptions) {
-      std::printf(" %s", kb->Label(e).c_str());
+    for (const std::string& e : response->exception_labels) {
+      std::printf(" %s", e.c_str());
     }
     std::printf("\n");
   }
   std::printf("search     : |G|=%zu, %llu nodes, %s\n",
-              result->stats.num_common_subgraphs,
-              static_cast<unsigned long long>(result->stats.nodes_visited),
+              response->stats.num_common_subgraphs,
+              static_cast<unsigned long long>(response->stats.nodes_visited),
               remi::FormatSeconds(timer.ElapsedSeconds()).c_str());
   return 0;
 }
 
 int CmdSummarize(const std::string& path, const remi::Flags& flags) {
-  auto kb = LoadKb(path, flags);
-  if (!kb.ok()) return Fail(kb.status());
-  auto entity = ResolveEntity(*kb, flags.GetString("entity"));
-  if (!entity.ok()) return Fail(entity.status());
+  auto service = OpenService(path, flags);
+  if (!service.ok()) return Fail(service.status());
 
-  remi::RemiMiner miner(
-      &*kb, remi::MakeTable3RemiOptions(remi::ProminenceMetric::kFrequency));
-  const auto summary = remi::RemiSummarize(
-      miner, *entity, static_cast<size_t>(flags.GetInt("k")));
-  std::printf("summary of %s:\n", kb->Label(*entity).c_str());
-  for (const auto& item : summary) {
-    std::printf("  %s = %s\n", kb->Label(item.predicate).c_str(),
-                kb->Label(item.object).c_str());
+  remi::SummarizeRequest request;
+  request.entity.names.push_back(flags.GetString("entity"));
+  request.k = static_cast<size_t>(flags.GetInt("k"));
+  request.metric = flags.GetString("metric") == "pr"
+                       ? remi::ProminenceMetric::kPageRank
+                       : remi::ProminenceMetric::kFrequency;
+  request.control.deadline_seconds = flags.GetDouble("timeout");
+
+  auto response = (*service)->Summarize(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->status.ok()) {
+    std::printf("summary of %s interrupted (%s)\n",
+                response->entity_label.c_str(),
+                response->status.ToString().c_str());
+    return 2;
+  }
+  std::printf("summary of %s:\n", response->entity_label.c_str());
+  for (const std::string& item : response->item_labels) {
+    std::printf("  %s\n", item.c_str());
   }
   return 0;
 }
@@ -355,7 +333,7 @@ int main(int argc, char** argv) {
   flags.DefineInt("exceptions", 0, "allowed non-target matches (mine)");
   flags.DefineBool("standard", false,
                    "restrict mining to the standard (atom-only) language");
-  flags.DefineDouble("timeout", 0.0, "mining timeout in seconds");
+  flags.DefineDouble("timeout", 0.0, "per-request deadline in seconds");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {

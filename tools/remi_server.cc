@@ -1,0 +1,99 @@
+// remi_server — the newline-delimited-JSON-over-TCP serving front end.
+//
+//   remi_server <kb> [--port 7411] [--threads N] [--max-inflight 4]
+//               [--max-queued 16] [--inverse-fraction 0.01]
+//
+// <kb> is any format KbSpec understands (.nt / .ttl / .rkf / .rkf2; RKF2
+// snapshots open zero-copy). One request per line, one response per line;
+// see src/service/json_codec.h for the protocol. Example session:
+//
+//   $ remi_server tests/data/smoke.nt --port 7411 &
+//   $ printf '{"op":"mine","targets":["Berlin"]}\n' | nc 127.0.0.1 7411
+//   {"status":"OK","found":true,...}
+//
+// The server runs until SIGINT/SIGTERM, then drains connections and
+// exits cleanly.
+
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "service/line_server.h"
+#include "service/service.h"
+#include "util/flags.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineInt("port", 7411, "TCP port (0 = ephemeral, printed on start)");
+  flags.DefineString("bind", "127.0.0.1", "IPv4 address to bind");
+  flags.DefineInt("threads", 1, "mining threads (>1 = P-REMI)");
+  flags.DefineInt("max-inflight", 4,
+                  "concurrent requests before callers queue (0 = unlimited)");
+  flags.DefineInt("max-queued", 16,
+                  "queued requests before ResourceExhausted");
+  flags.DefineDouble("inverse-fraction", 0.01,
+                     "inverse materialization fraction (paper: 0.01)");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::printf("usage: remi_server <kb> [flags]\n\n%s",
+                flags.Help().c_str());
+    return 1;
+  }
+
+  remi::KbSpec spec;
+  spec.path = flags.positional()[0];
+  spec.kb.inverse_top_fraction = flags.GetDouble("inverse-fraction");
+
+  remi::ServiceOptions options;
+  options.mining.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.max_in_flight = static_cast<size_t>(flags.GetInt("max-inflight"));
+  options.max_queued = static_cast<size_t>(flags.GetInt("max-queued"));
+
+  auto service = remi::Service::Open(spec, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  if ((*service)->parse_skipped_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 (*service)->parse_skipped_lines());
+  }
+  std::printf("loaded %s: %zu facts, %zu entities\n", spec.path.c_str(),
+              (*service)->kb().NumFacts(), (*service)->kb().NumEntities());
+
+  remi::LineServerOptions server_options;
+  server_options.bind_address = flags.GetString("bind");
+  server_options.port = static_cast<int>(flags.GetInt("port"));
+  remi::LineServer server(service->get(), server_options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("remi_server listening on %s:%d\n",
+              server_options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}
