@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/remi_tests[1]_include.cmake")
+add_test([=[cli_smoke_stats]=] "/root/repo/build-review/remi_cli" "stats" "/root/repo/tests/data/smoke.nt")
+set_tests_properties([=[cli_smoke_stats]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[cli_smoke_mine]=] "/root/repo/build-review/remi_cli" "mine" "/root/repo/tests/data/smoke.nt" "--targets" "Berlin")
+set_tests_properties([=[cli_smoke_mine]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;66;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[cli_smoke_mine_set]=] "/root/repo/build-review/remi_cli" "mine" "/root/repo/tests/data/smoke.nt" "--targets" "Berlin,Hamburg")
+set_tests_properties([=[cli_smoke_mine_set]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;70;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[cli_smoke_summarize]=] "/root/repo/build-review/remi_cli" "summarize" "/root/repo/tests/data/smoke.nt" "--entity" "Berlin" "--k" "3")
+set_tests_properties([=[cli_smoke_summarize]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;74;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[cli_smoke_snapshot]=] "/root/repo/build-review/remi_cli" "snapshot" "/root/repo/tests/data/smoke.nt" "smoke_snapshot.rkf2")
+set_tests_properties([=[cli_smoke_snapshot]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[cli_smoke_mine_snapshot]=] "/root/repo/build-review/remi_cli" "mine" "smoke_snapshot.rkf2" "--targets" "Berlin")
+set_tests_properties([=[cli_smoke_mine_snapshot]=] PROPERTIES  DEPENDS "cli_smoke_snapshot" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
