@@ -21,6 +21,37 @@ namespace remi::bench {
 /// for distribution-faithful behaviour at interactive runtimes.
 inline constexpr double kDefaultScale = 0.05;
 
+/// True when this harness binary was compiled with optimizations and
+/// NDEBUG — the only configuration whose numbers are worth committing.
+/// (Google Benchmark's own "library_build_type" JSON field describes the
+/// *system benchmark library*, not this binary; trust kBuildType.)
+inline constexpr bool kReleaseBuild =
+#if defined(NDEBUG) && (defined(__OPTIMIZE__) || defined(_MSC_VER))
+    true;
+#else
+    false;
+#endif
+
+inline constexpr const char* kBuildType = kReleaseBuild ? "release" : "debug";
+
+/// Screams on stderr when a harness runs from a debug/unoptimized build.
+/// Every harness main() calls this before measuring, and every JSON sink
+/// records kBuildType so a committed BENCH_*.json can never silently
+/// carry debug numbers again. Build with:
+///   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+inline void WarnIfNotReleaseBuild() {
+  if (kReleaseBuild) return;
+  std::fprintf(stderr,
+               "\n"
+               "*** WARNING ********************************************\n"
+               "*** This benchmark binary was built WITHOUT Release   ***\n"
+               "*** optimizations (NDEBUG/-O are off). The numbers    ***\n"
+               "*** below are meaningless for comparison — rebuild    ***\n"
+               "*** with -DCMAKE_BUILD_TYPE=Release before recording. ***\n"
+               "*********************************************************\n"
+               "\n");
+}
+
 /// Builds the two evaluation KBs of §4 at the given scale.
 inline KnowledgeBase BuildDbpediaLike(double scale) {
   return BuildSyntheticKb(SyntheticKbConfig::DBpediaLike(scale));

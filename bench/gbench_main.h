@@ -1,0 +1,25 @@
+// Shared main() body for the Google-Benchmark-based harnesses. Records
+// this binary's actual build type in the JSON context (Google Benchmark's
+// "library_build_type" field describes the system library, not us) and
+// warns loudly on debug builds. Only include from translation units that
+// link benchmark::benchmark.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace remi::bench {
+
+inline int RunBenchmarkMain(int argc, char** argv) {
+  WarnIfNotReleaseBuild();
+  benchmark::AddCustomContext("remi_build_type", kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace remi::bench

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include "kbgen/curated.h"
 #include "kbgen/kb_builder.h"
 #include "kbgen/synthetic.h"
@@ -181,4 +183,6 @@ BENCHMARK(BM_MineReSynthetic)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace remi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return remi::bench::RunBenchmarkMain(argc, argv);
+}

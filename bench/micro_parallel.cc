@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   flags.DefineString("threads", "1,2,4,8", "comma-separated thread counts");
   flags.DefineString("out", "BENCH_parallel.json", "JSON output path");
   REMI_CHECK_OK(flags.Parse(argc, argv));
+  remi::bench::WarnIfNotReleaseBuild();
 
   const std::vector<int> thread_counts =
       ParseThreadList(flags.GetString("threads"));
@@ -150,6 +151,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"context\": {\n");
+  std::fprintf(out, "    \"build_type\": \"%s\",\n", remi::bench::kBuildType);
   std::fprintf(out, "    \"workload\": \"dbpedia_like\",\n");
   std::fprintf(out, "    \"scale\": %g,\n", flags.GetDouble("scale"));
   std::fprintf(out, "    \"num_facts\": %zu,\n", kb.NumFacts());

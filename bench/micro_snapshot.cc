@@ -163,6 +163,7 @@ int main(int argc, char** argv) {
   flags.DefineInt("runs", 7, "cold-open repetitions (best is reported)");
   flags.DefineString("out", "BENCH_snapshot.json", "output JSON path");
   REMI_CHECK_OK(flags.Parse(argc, argv));
+  remi::bench::WarnIfNotReleaseBuild();
 
   remi::bench::Banner("micro_snapshot: cold open, parse+build vs RKF2");
   auto config =
@@ -249,6 +250,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"context\": {\n");
+  std::fprintf(out, "    \"build_type\": \"%s\",\n", remi::bench::kBuildType);
   std::fprintf(out, "    \"workload\": \"dbpedia_like\",\n");
   std::fprintf(out, "    \"scale\": %g,\n", flags.GetDouble("scale"));
   std::fprintf(out, "    \"num_facts\": %zu,\n", kb.NumFacts());

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include "kbgen/synthetic.h"
 #include "query/entity_set.h"
 #include "rdf/ntriples.h"
@@ -257,4 +259,6 @@ BENCHMARK(BM_RkfDeserialize);
 }  // namespace
 }  // namespace remi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return remi::bench::RunBenchmarkMain(argc, argv);
+}

@@ -11,12 +11,12 @@ namespace {
 /// Galloping pays once one side is an order of magnitude smaller.
 constexpr size_t kGallopRatio = 16;
 
-std::vector<TermId> IntersectVectors(const std::vector<TermId>& a,
-                                     const std::vector<TermId>& b) {
+void IntersectVectorsInto(const std::vector<TermId>& a,
+                          const std::vector<TermId>& b,
+                          std::vector<TermId>* out) {
   const std::vector<TermId>& small = a.size() <= b.size() ? a : b;
   const std::vector<TermId>& large = a.size() <= b.size() ? b : a;
-  std::vector<TermId> out;
-  out.reserve(small.size());
+  out->reserve(small.size());
   if (small.size() * kGallopRatio < large.size()) {
     // Galloping: binary-search each element of the small side in the
     // not-yet-consumed suffix of the large side.
@@ -24,12 +24,18 @@ std::vector<TermId> IntersectVectors(const std::vector<TermId>& a,
     for (const TermId id : small) {
       it = std::lower_bound(it, large.end(), id);
       if (it == large.end()) break;
-      if (*it == id) out.push_back(id);
+      if (*it == id) out->push_back(id);
     }
   } else {
     std::set_intersection(small.begin(), small.end(), large.begin(),
-                          large.end(), std::back_inserter(out));
+                          large.end(), std::back_inserter(*out));
   }
+}
+
+std::vector<TermId> IntersectVectors(const std::vector<TermId>& a,
+                                     const std::vector<TermId>& b) {
+  std::vector<TermId> out;
+  IntersectVectorsInto(a, b, &out);
   return out;
 }
 
@@ -129,6 +135,125 @@ EntitySet EntitySet::Intersect(const EntitySet& other) const {
     return FromSorted(std::move(out), universe);
   }
   return FromSorted(IntersectVectors(ids_, other.ids_), universe);
+}
+
+size_t EntitySet::IntersectCount(const EntitySet& other, size_t cap) const {
+  if (is_bitmap_ && other.is_bitmap_) {
+    const size_t common = std::min(words_.size(), other.words_.size());
+    size_t count = 0;
+    for (size_t w = 0; w < common; ++w) {
+      count += static_cast<size_t>(
+          std::popcount(words_[w] & other.words_[w]));
+      if (count > cap) return count;
+    }
+    return count;
+  }
+  if (is_bitmap_ != other.is_bitmap_) {
+    const EntitySet& vec = is_bitmap_ ? other : *this;
+    const EntitySet& map = is_bitmap_ ? *this : other;
+    size_t count = 0;
+    for (const TermId id : vec.ids_) {
+      if (map.Contains(id) && ++count > cap) return count;
+    }
+    return count;
+  }
+  const std::vector<TermId>& small = size_ <= other.size_ ? ids_ : other.ids_;
+  const std::vector<TermId>& large = size_ <= other.size_ ? other.ids_ : ids_;
+  size_t count = 0;
+  if (small.size() * kGallopRatio < large.size()) {
+    auto it = large.begin();
+    for (const TermId id : small) {
+      it = std::lower_bound(it, large.end(), id);
+      if (it == large.end()) break;
+      if (*it == id && ++count > cap) return count;
+    }
+  } else {
+    size_t i = 0, j = 0;
+    while (i < small.size() && j < large.size()) {
+      if (small[i] < large[j]) {
+        ++i;
+      } else if (large[j] < small[i]) {
+        ++j;
+      } else {
+        ++i;
+        ++j;
+        if (++count > cap) return count;
+      }
+    }
+  }
+  return count;
+}
+
+void EntitySet::IntersectInto(const EntitySet& a, const EntitySet& b,
+                              EntitySet* out) {
+  const size_t universe = std::max(a.universe_, b.universe_);
+  out->universe_ = universe;
+  if (a.is_bitmap_ && b.is_bitmap_) {
+    const size_t num_words = (universe + 63) / 64;
+    const size_t common = std::min(a.words_.size(), b.words_.size());
+    out->words_.resize(num_words);
+    size_t count = 0;
+    for (size_t w = 0; w < common; ++w) {
+      const uint64_t word = a.words_[w] & b.words_[w];
+      out->words_[w] = word;
+      count += static_cast<size_t>(std::popcount(word));
+    }
+    std::fill(out->words_.begin() + common, out->words_.end(), 0);
+    out->size_ = count;
+    out->is_bitmap_ = true;
+    out->ids_.clear();
+    if (!ShouldUseBitmap(count, universe)) {
+      // Demote to the vector representation without releasing the word
+      // buffer: the frame keeps both buffers at high-water capacity.
+      out->ids_.reserve(count);
+      for (size_t w = 0; w < common; ++w) {
+        uint64_t word = out->words_[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          out->ids_.push_back(static_cast<TermId>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+      out->words_.clear();
+      out->is_bitmap_ = false;
+    }
+    return;
+  }
+  out->ids_.clear();
+  if (a.is_bitmap_ != b.is_bitmap_) {
+    const EntitySet& vec = a.is_bitmap_ ? b : a;
+    const EntitySet& map = a.is_bitmap_ ? a : b;
+    out->ids_.reserve(std::min(vec.size_, map.size_));
+    for (const TermId id : vec.ids_) {
+      if (map.Contains(id)) out->ids_.push_back(id);
+    }
+  } else {
+    IntersectVectorsInto(a.ids_, b.ids_, &out->ids_);
+  }
+  out->size_ = out->ids_.size();
+  out->is_bitmap_ = false;
+  if (ShouldUseBitmap(out->size_, universe)) {
+    out->words_.assign((universe + 63) / 64, 0);
+    for (const TermId id : out->ids_) {
+      out->words_[id >> 6] |= uint64_t{1} << (id & 63);
+    }
+    out->ids_.clear();
+    out->is_bitmap_ = true;
+  } else {
+    out->words_.clear();
+  }
+}
+
+EntitySet EntitySet::ForcedBitmap(size_t min_universe) const {
+  EntitySet out;
+  out.universe_ = std::max(universe_, min_universe);
+  out.size_ = size_;
+  out.is_bitmap_ = true;
+  out.words_.assign((out.universe_ + 63) / 64, 0);
+  for (const TermId id : *this) {
+    out.words_[id >> 6] |= uint64_t{1} << (id & 63);
+  }
+  return out;
 }
 
 bool EntitySet::SubsetOf(const EntitySet& other) const {

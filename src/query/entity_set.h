@@ -78,6 +78,41 @@ class EntitySet {
   /// Set intersection; the result re-adapts its representation.
   EntitySet Intersect(const EntitySet& other) const;
 
+  /// |*this ∩ other| without materializing the intersection, with an early
+  /// exit: a return value <= `cap` is the exact cardinality; a return
+  /// value > `cap` only guarantees that the true cardinality exceeds
+  /// `cap`. This is the count-first half of the search kernel: the DFS
+  /// decides the redundant-subtree prune and the RE-acceptance test from
+  /// the count alone and materializes nothing for those nodes. Bitmap
+  /// pairs count by word-AND popcount, vector pairs by galloping or merge
+  /// counting, mixed pairs by filtering the vector side.
+  size_t IntersectCount(const EntitySet& other, size_t cap) const;
+
+  /// Computes a ∩ b into `*out`, reusing out's existing buffers (both the
+  /// vector and the bitmap buffer are kept at capacity, never shrunk) so a
+  /// frame that is intersected into repeatedly stops allocating once it
+  /// has grown to its high-water mark. The result is element- and
+  /// representation-identical to `a.Intersect(b)`. `out` must not alias
+  /// `a` or `b`.
+  static void IntersectInto(const EntitySet& a, const EntitySet& b,
+                            EntitySet* out);
+
+  /// A bitmap-representation copy of this set, regardless of density, over
+  /// at least `min_universe`. All operations dispatch purely on the stored
+  /// representation, so a forced-bitmap set behaves identically to its
+  /// vector twin — it just answers Contains in one load and intersects by
+  /// word ops. The search kernel pins queue views in this form so sparse
+  /// DFS prefixes intersect by |prefix| bit-tests instead of a merge over
+  /// both sides.
+  EntitySet ForcedBitmap(size_t min_universe) const;
+
+  /// Heap bytes held by the internal buffers (capacity, not size): the
+  /// footprint a pinned or arena-held set keeps resident.
+  size_t MemoryBytes() const {
+    return ids_.capacity() * sizeof(TermId) +
+           words_.capacity() * sizeof(uint64_t);
+  }
+
   /// True if *this ⊆ other.
   bool SubsetOf(const EntitySet& other) const;
 

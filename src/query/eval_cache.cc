@@ -43,6 +43,11 @@ const EvalCache::Shard& EvalCache::ShardFor(
 }
 
 std::shared_ptr<const EntitySet> EvalCache::Get(const SubgraphExpression& rho) {
+  if (capacity_ == 0) {
+    // Disabled cache: every lookup misses; skip the hash and the lock.
+    disabled_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   Shard& shard = ShardFor(rho);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (auto hit = shard.lru.Get(rho)) return *hit;
@@ -51,6 +56,7 @@ std::shared_ptr<const EntitySet> EvalCache::Get(const SubgraphExpression& rho) {
 
 void EvalCache::Put(const SubgraphExpression& rho,
                     std::shared_ptr<const EntitySet> value) {
+  if (capacity_ == 0) return;
   Shard& shard = ShardFor(rho);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.lru.Put(rho, std::move(value));
@@ -58,6 +64,7 @@ void EvalCache::Put(const SubgraphExpression& rho,
 
 EvalCacheStats EvalCache::stats() const {
   EvalCacheStats total;
+  total.misses = disabled_misses_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total.hits += shard->lru.hits();
@@ -68,6 +75,7 @@ EvalCacheStats EvalCache::stats() const {
 }
 
 void EvalCache::ResetCounters() {
+  disabled_misses_.store(0, std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.ResetCounters();
@@ -75,6 +83,7 @@ void EvalCache::ResetCounters() {
 }
 
 void EvalCache::Clear() {
+  disabled_misses_.store(0, std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.Clear();

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -84,6 +85,10 @@ class EvalCache {
   size_t capacity_;
   size_t shard_mask_;  // shards_.size() - 1 (power of two)
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Misses recorded by the capacity-0 fast path, which skips the hash
+  /// and the shard mutex entirely (a disabled cache must not serialize
+  /// concurrent evaluators on locks that guard nothing).
+  std::atomic<uint64_t> disabled_misses_{0};
 };
 
 }  // namespace remi

@@ -73,22 +73,28 @@ std::shared_ptr<const MatchSet> Evaluator::ComputeMatch(
     }
     case SubgraphShape::kPath:
     case SubgraphShape::kPathStar: {
-      // Y = bindings of the existential variable.
-      std::vector<TermId> ys;
+      // Y = bindings of the existential variable. The binding buffers are
+      // per-thread scratch: path-shaped candidates dominate queue costing
+      // and pinning, so per-call vectors would dominate the allocator
+      // profile there.
+      thread_local std::vector<TermId> ys;
+      thread_local std::vector<TermId> ys2;
+      thread_local std::vector<TermId> both;
+      ys.clear();
       {
         const auto range = store.ByPredicateObject(rho.p1, rho.c1);
         ys.reserve(range.size());
         for (const Triple& t : range) ys.push_back(t.s);
       }
       if (rho.shape == SubgraphShape::kPathStar) {
-        std::vector<TermId> ys2;
+        ys2.clear();
         const auto range = store.ByPredicateObject(rho.p2, rho.c2);
         ys2.reserve(range.size());
         for (const Triple& t : range) ys2.push_back(t.s);
-        std::vector<TermId> both;
+        both.clear();
         std::set_intersection(ys.begin(), ys.end(), ys2.begin(), ys2.end(),
                               std::back_inserter(both));
-        ys = std::move(both);
+        ys.swap(both);
       }
       for (const TermId y : ys) {
         for (const Triple& t : store.ByPredicateObject(rho.p0, y)) {
@@ -184,8 +190,12 @@ bool Evaluator::Matches(TermId e, const Expression& expr) const {
 MatchSet Evaluator::Evaluate(const Expression& expr) {
   if (expr.IsTop()) return {};
   MatchSet current = *Match(expr.parts[0]);
+  // Ping-pong between two sets so multi-part conjunctions reuse one
+  // scratch buffer instead of materializing a fresh set per part.
+  MatchSet scratch;
   for (size_t i = 1; i < expr.parts.size() && !current.empty(); ++i) {
-    current = current.Intersect(*Match(expr.parts[i]));
+    EntitySet::IntersectInto(current, *Match(expr.parts[i]), &scratch);
+    std::swap(current, scratch);
   }
   return current;
 }
@@ -200,12 +210,14 @@ bool Evaluator::IsReferringExpression(const Expression& expr,
   // Exact condition: the intersection of the part match sets adds nothing.
   MatchSet current = *Match(expr.parts[0]);
   if (current.size() < targets.size()) return false;
+  MatchSet scratch;
   for (size_t i = 1; i < expr.parts.size(); ++i) {
     if (current.size() == targets.size()) {
       // Already minimal; targets ⊆ current was verified above.
       break;
     }
-    current = current.Intersect(*Match(expr.parts[i]));
+    EntitySet::IntersectInto(current, *Match(expr.parts[i]), &scratch);
+    std::swap(current, scratch);
     if (current.size() < targets.size()) return false;
   }
   return current == targets;

@@ -31,6 +31,11 @@ struct EvaluatorStats {
   uint64_t membership_tests = 0;      ///< single-entity Matches() calls
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+
+  /// Every Match() that reached the cache, hit or miss. The search kernel
+  /// asserts this stays flat across the steady-state DFS (pinned queue
+  /// views replace per-node lookups).
+  uint64_t cache_lookups() const { return cache_hits + cache_misses; }
 };
 
 /// \brief Evaluates subgraph expressions and conjunctions on a KB.

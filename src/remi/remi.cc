@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <mutex>
 
 #include "util/logging.h"
@@ -15,11 +16,28 @@ namespace {
 /// parallelism.
 constexpr size_t kSpillMinRange = 16;
 
+/// Upper bound on the bytes spent pinning forced-bitmap twins of the
+/// queue views (|G| x universe/8). Within budget, every DFS intersection
+/// against a queue entry runs at bit-test/word-AND speed; past it (huge
+/// KBs or huge queues) the kernel falls back to the adaptive vector
+/// paths, which remain correct.
+constexpr size_t kPinnedBitmapBudgetBytes = 64u << 20;
+
 }  // namespace
 
 struct RemiMiner::SearchShared {
   const std::vector<RankedSubgraph>* queue = nullptr;
-  const MatchSet* targets = nullptr;
+  /// Pinned queue views: entry i's match set, resolved once after
+  /// RankedCommonSubgraphs (the owners live in MineCore for the whole
+  /// search, including spilled tasks). The DFS indexes this array instead
+  /// of hashing the EvalCache per node.
+  const std::vector<const MatchSet*>* pinned = nullptr;
+  /// Forced-bitmap twins of the pinned views (same elements, bitmap rep),
+  /// built once per search when the universe fits the byte budget. A
+  /// sparse DFS prefix then intersects by |prefix| bit-tests instead of a
+  /// merge over both sides — the dominant node cost. Empty when disabled;
+  /// entries alias `pinned` where the view is already a bitmap.
+  const std::vector<const MatchSet*>* dense = nullptr;
   /// Acceptance threshold: |T| for strict REs, |T| + k with exceptions.
   size_t max_matches = 0;
   Deadline deadline;
@@ -45,9 +63,11 @@ struct RemiMiner::SearchShared {
   std::atomic<bool> cancelled{false};
 
   // Authoritative best under mutex; relaxed mirror for cheap bound reads.
+  // Nodes are identified by their queue-index path alone — the winning
+  // Expression (and its match set, for exceptions) is rebuilt from
+  // best_path during result assembly, so no DFS node pays a Conjoin copy
+  // or a match-set snapshot on acceptance.
   std::mutex best_mu;
-  Expression best_expr;
-  MatchSet best_matches;
   std::vector<size_t> best_path;  // queue indices of the winning node
   double best_cost = CostModel::kInfiniteCost;
   std::atomic<double> best_cost_relaxed{CostModel::kInfiniteCost};
@@ -57,6 +77,11 @@ struct RemiMiner::SearchShared {
   std::atomic<uint64_t> side_prunes{0};
   std::atomic<uint64_t> bound_prunes{0};
   std::atomic<uint64_t> redundant_prunes{0};
+  // Kernel counters, flushed per worker/task from its SearchArena rather
+  // than incremented per node.
+  std::atomic<uint64_t> count_only_prunes{0};
+  std::atomic<uint64_t> arena_frames_allocated{0};
+  std::atomic<uint64_t> arena_frames_reused{0};
 
   bool HasSolution() const {
     return best_cost_relaxed.load(std::memory_order_relaxed) <
@@ -74,17 +99,14 @@ struct RemiMiner::SearchShared {
 
   /// Records a found RE; ties in cost break on the DFS-preorder order of
   /// the search paths so REMI and P-REMI return the identical expression.
-  void UpdateBest(const Expression& expr, double cost,
-                  const MatchSet& matches, const std::vector<size_t>& path) {
+  void UpdateBest(double cost, const std::vector<size_t>& path) {
     std::lock_guard<std::mutex> lock(best_mu);
     const bool better =
         cost < best_cost ||
-        (cost == best_cost && !best_expr.IsTop() &&
+        (cost == best_cost && !best_path.empty() &&
          std::lexicographical_compare(path.begin(), path.end(),
                                       best_path.begin(), best_path.end()));
     if (better) {
-      best_expr = expr;
-      best_matches = matches;
       best_path = path;
       best_cost = cost;
       best_cost_relaxed.store(cost, std::memory_order_relaxed);
@@ -119,6 +141,42 @@ struct RemiMiner::RootTracker {
   /// Inline exploration counts as one task; each spilled sub-range adds
   /// one. Whoever decrements to zero owns the fully-explored event.
   std::atomic<size_t> outstanding{1};
+};
+
+/// Per-worker pool of reusable per-depth MatchSet frames. The DFS at
+/// depth d intersects into Frame(d); siblings at the same depth overwrite
+/// each other's results (their subtrees are fully explored in between),
+/// so after the first descent to a given depth the steady state performs
+/// zero heap allocations per node — IntersectInto only grows a frame's
+/// buffers to their high-water mark and never shrinks them. Each P-REMI
+/// pool task and each spilled sub-range task owns its own arena (frames
+/// are strictly worker-local; the deque keeps frame addresses stable
+/// across growth). Counters are accumulated locally and flushed to the
+/// shared atomics once per task.
+struct RemiMiner::SearchArena {
+  std::deque<MatchSet> frames;
+  uint64_t allocated = 0;
+  uint64_t reused = 0;
+  uint64_t count_only = 0;
+
+  MatchSet* Frame(size_t depth) {
+    if (depth < frames.size()) {
+      ++reused;
+      return &frames[depth];
+    }
+    while (frames.size() <= depth) frames.emplace_back();
+    ++allocated;
+    return &frames[depth];
+  }
+
+  void Flush(SearchShared* shared) {
+    shared->arena_frames_allocated.fetch_add(allocated,
+                                             std::memory_order_relaxed);
+    shared->arena_frames_reused.fetch_add(reused, std::memory_order_relaxed);
+    shared->count_only_prunes.fetch_add(count_only,
+                                        std::memory_order_relaxed);
+    allocated = reused = count_only = 0;
+  }
 };
 
 RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options)
@@ -254,19 +312,23 @@ void RemiMiner::FinishRootTask(const std::shared_ptr<RootTracker>& tracker,
   }
 }
 
-void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
-                    double prefix_cost, size_t next_index, size_t level_end,
-                    SearchShared* shared, int depth,
-                    const std::shared_ptr<RootTracker>& tracker,
-                    std::vector<size_t>* path) const {
+void RemiMiner::Dfs(const MatchSet& prefix_matches, double prefix_cost,
+                    size_t next_index, size_t level_end, SearchShared* shared,
+                    int depth, const std::shared_ptr<RootTracker>& tracker,
+                    std::vector<size_t>* path, SearchArena* arena) const {
   const auto& queue = *shared->queue;
+  const auto& pinned = *shared->pinned;
+  const std::vector<const MatchSet*>* dense = shared->dense;
   size_t end = level_end;
 
   // Lazy binary splitting (P-REMI only): while some worker is idle, hand
   // the upper half of this level's unexplored sibling range to the pool.
   // The spilled task re-enters Dfs with the same prefix, so it covers
   // exactly the level-children [mid, end) and their subtrees; children of
-  // the inline half still recurse over the full remaining queue.
+  // the inline half still recurse over the full remaining queue. The
+  // prefix match set is snapshotted into the closure because the
+  // spiller's arena frame it may live in is overwritten as the spiller
+  // moves on; the spilled task then runs on its own arena.
   if (shared->pool != nullptr && tracker != nullptr &&
       depth <= shared->spill_depth) {
     while (end - next_index >= kSpillMinRange &&
@@ -277,11 +339,13 @@ void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
       std::vector<size_t> spilled_path = *path;
       shared->pool->Submit(
           shared->group,
-          [this, prefix, prefix_matches, prefix_cost, mid, end, shared, depth,
-           tracker, spilled_path] {
+          [this, spilled_prefix = prefix_matches, prefix_cost, mid, end,
+           shared, depth, tracker, spilled_path] {
             std::vector<size_t> task_path = spilled_path;
-            Dfs(prefix, prefix_matches, prefix_cost, mid, end, shared, depth,
-                tracker, &task_path);
+            SearchArena task_arena;
+            Dfs(spilled_prefix, prefix_cost, mid, end, shared, depth, tracker,
+                &task_path, &task_arena);
+            task_arena.Flush(shared);
             FinishRootTask(tracker, shared);
           });
       end = mid;
@@ -302,32 +366,80 @@ void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
       }
     }
 
-    MatchSet matches =
-        prefix_matches.Intersect(*evaluator_->Match(queue[j].expression));
     shared->nodes.fetch_add(1, std::memory_order_relaxed);
-    if (matches.size() == prefix_matches.size()) {
+    // Node decision, representation-adaptive so neither regime pays for
+    // the other. `rhs` is the queue entry in its fastest pinned form: the
+    // forced-bitmap twin when available (bit-test intersections), else
+    // the original view — except when the original is a vector so much
+    // smaller than the prefix that galloping it through the prefix beats
+    // |prefix| bit-tests.
+    //   * dense prefix (bitmap): count-first. IntersectCount capped at
+    //     max_matches (tiny: |T|+k) decides acceptance by word-AND
+    //     popcount with early exit, and the redundant test is a word-wise
+    //     SubsetOf — both probe 64 elements per op, so the dominant
+    //     pruned nodes never materialize their (large) intersections.
+    //   * sparse prefix (vector): fused. These prefixes average a few
+    //     dozen elements, where a counting probe costs as much as the
+    //     materialization — so the node intersects straight into this
+    //     worker's arena frame (|prefix| bit-tests against the bitmap
+    //     twin) and both tests read frame->size().
+    // Either way the steady state allocates nothing: frames only grow to
+    // their per-depth high-water capacity.
+    const MatchSet* rhs = dense != nullptr ? (*dense)[j] : pinned[j];
+    if (!pinned[j]->is_bitmap() &&
+        pinned[j]->size() * 16 < prefix_matches.size()) {
+      rhs = pinned[j];
+    }
+    size_t count;
+    bool redundant;
+    MatchSet* frame = nullptr;
+    if (prefix_matches.is_bitmap() && rhs->is_bitmap()) {
+      count = prefix_matches.IntersectCount(*rhs, shared->max_matches);
+      // A capped count > max_matches is not exact — but then the node is
+      // not accepting, and redundancy is exactly prefix ⊆ matches(ρj).
+      redundant = count <= shared->max_matches
+                      ? count == prefix_matches.size()
+                      : prefix_matches.SubsetOf(*rhs);
+    } else {
+      frame = arena->Frame(static_cast<size_t>(depth));
+      EntitySet::IntersectInto(prefix_matches, *rhs, frame);
+      count = frame->size();
+      redundant = count == prefix_matches.size();
+    }
+    if (redundant) {
       // ρj did not shrink the match set, so for every extension X,
       // prefix ∧ ρj ∧ X matches exactly what prefix ∧ X matches but costs
       // strictly more: the whole subtree is dominated. This keeps the
       // no-solution and near-fixpoint regions of the search polynomial
-      // instead of exponential (see DESIGN.md §4).
+      // instead of exponential (see DESIGN.md §4). (The redundant test
+      // deliberately precedes acceptance, as in the original kernel.)
       shared->redundant_prunes.fetch_add(1, std::memory_order_relaxed);
+      if (frame == nullptr) ++arena->count_only;
       continue;
     }
     // G holds only common subgraphs, so T ⊆ matches is invariant and the
     // accepting test reduces to a cardinality check (== |T| for strict
     // REs, <= |T| + k with exceptions).
-    const bool is_re = matches.size() <= shared->max_matches;
-    const Expression node = prefix.Conjoin(queue[j].expression);
+    const bool is_re = count <= shared->max_matches;
+    // Materializes the node's match set on first use (the count-first
+    // path defers it until the DFS actually descends).
+    const auto materialized = [&]() -> const MatchSet& {
+      if (frame == nullptr) {
+        frame = arena->Frame(static_cast<size_t>(depth));
+        EntitySet::IntersectInto(prefix_matches, *rhs, frame);
+      }
+      return *frame;
+    };
 
     path->push_back(j);
     if (is_re) {
-      shared->UpdateBest(node, cost, matches, *path);
+      shared->UpdateBest(cost, *path);
       if (options_.depth_pruning) {
         shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
+        if (frame == nullptr) ++arena->count_only;
       } else {
-        Dfs(node, matches, cost, j + 1, queue.size(), shared, depth + 1,
-            tracker, path);
+        Dfs(materialized(), cost, j + 1, queue.size(), shared, depth + 1,
+            tracker, path, arena);
       }
       if (options_.side_pruning) {
         shared->side_prunes.fetch_add(1, std::memory_order_relaxed);
@@ -335,16 +447,16 @@ void RemiMiner::Dfs(const Expression& prefix, const MatchSet& prefix_matches,
         return;
       }
     } else {
-      Dfs(node, matches, cost, j + 1, queue.size(), shared, depth + 1,
-          tracker, path);
+      Dfs(materialized(), cost, j + 1, queue.size(), shared, depth + 1,
+          tracker, path, arena);
     }
     path->pop_back();
   }
 }
 
 bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared,
-                            const std::shared_ptr<RootTracker>& tracker)
-    const {
+                            const std::shared_ptr<RootTracker>& tracker,
+                            SearchArena* arena) const {
   if (shared->stop.load(std::memory_order_relaxed)) return false;
   const auto& queue = *shared->queue;
   const RankedSubgraph& rho = queue[root];
@@ -354,16 +466,17 @@ bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared,
     return true;  // nothing cheaper can exist below this root
   }
 
-  std::shared_ptr<const MatchSet> matches = evaluator_->Match(rho.expression);
+  // The root's match set is a pinned view: no cache lookup, no copy.
+  const MatchSet& matches = *(*shared->pinned)[root];
   shared->nodes.fetch_add(1, std::memory_order_relaxed);
-  const Expression expr = Expression::Top().Conjoin(rho.expression);
   std::vector<size_t> path{root};
-  if (matches->size() <= shared->max_matches) {
-    shared->UpdateBest(expr, rho.cost, *matches, path);
+  if (matches.size() <= shared->max_matches) {
+    shared->UpdateBest(rho.cost, path);
     shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
+    ++arena->count_only;
   } else {
-    Dfs(expr, *matches, rho.cost, root + 1, queue.size(), shared, 1, tracker,
-        &path);
+    Dfs(matches, rho.cost, root + 1, queue.size(), shared, 1, tracker, &path,
+        arena);
   }
   return !shared->Interrupted();
 }
@@ -459,7 +572,6 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
 
   SearchShared shared;
   shared.queue = &*ranked;
-  shared.targets = &sorted_targets;
   shared.max_matches = sorted_targets.size() + max_exceptions;
   shared.cancel = control.cancel;
   Deadline deadline = control.deadline;
@@ -478,21 +590,93 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
   // A request whose deadline expired (or that was cancelled) during the
   // queue build skips the search entirely and reports its partial stats.
   bool no_solution_proven = false;
-  const bool interrupted_before_search = shared.CheckDeadline();
+  bool interrupted_before_search = shared.CheckDeadline();
+
+  // Pin the queue views: resolve every entry's match set once, up front,
+  // so the DFS indexes a flat array instead of hashing the EvalCache per
+  // node. The shared_ptr owners keep the sets alive for the whole search
+  // (including spilled tasks) even if the cache evicts them. The cache
+  // still serves this resolution pass — warm entries from earlier
+  // requests make pinning cheap — it is only the per-node lookup that
+  // the kernel eliminates.
+  std::vector<std::shared_ptr<const MatchSet>> pinned_owners(n);
+  std::vector<const MatchSet*> pinned(n);
+  if (!interrupted_before_search && n > 0) {
+    const auto pin_range = [this, &pinned_owners, &pinned, &shared](
+                               size_t begin, size_t end) {
+      const auto& queue = *shared.queue;
+      for (size_t i = begin; i < end; ++i) {
+        if ((i & 63u) == 0 && shared.CheckDeadline()) return;
+        pinned_owners[i] = evaluator_->Match(queue[i].expression);
+        pinned[i] = pinned_owners[i].get();
+      }
+    };
+    if (pool != nullptr && !pool->OnWorkerThread() && n > 64) {
+      TaskGroup pin_group;
+      const size_t chunk =
+          (n + pool->num_threads() - 1) / pool->num_threads();
+      for (size_t begin = 0; begin < n; begin += chunk) {
+        const size_t end = std::min(begin + chunk, n);
+        pool->Submit(&pin_group,
+                     [&pin_range, begin, end] { pin_range(begin, end); });
+      }
+      pin_group.Wait();
+    } else {
+      pin_range(0, n);
+    }
+    interrupted_before_search = shared.Interrupted();
+    if (!interrupted_before_search) {
+      result.stats.pinned_queue_entries = n;
+      for (const MatchSet* set : pinned) {
+        result.stats.pinned_queue_bytes += set->MemoryBytes();
+      }
+    }
+  }
+  shared.pinned = &pinned;
+
+  // Forced-bitmap twins of the pinned views: within the byte budget,
+  // every sparse queue entry also gets a bitmap copy so DFS prefixes
+  // intersect by bit-tests instead of merges. Entries that are already
+  // bitmaps alias the pinned view directly.
+  std::vector<MatchSet> dense_storage;
+  std::vector<const MatchSet*> dense(n);
+  const size_t universe = kb_->dict().size();
+  const size_t bitmap_bytes = ((universe + 63) / 64) * sizeof(uint64_t);
+  if (!interrupted_before_search && n > 0 &&
+      bitmap_bytes * n <= kPinnedBitmapBudgetBytes) {
+    dense_storage.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]->is_bitmap()) {
+        dense[i] = pinned[i];
+      } else {
+        dense_storage.push_back(pinned[i]->ForcedBitmap(universe));
+        dense[i] = &dense_storage.back();
+        result.stats.pinned_queue_bytes += dense_storage.back().MemoryBytes();
+      }
+    }
+    shared.dense = &dense;
+  }
+
+  // Cache traffic from here on is per-node traffic: the pinning pass
+  // above was the search's last legitimate EvalCache access.
+  const uint64_t cache_lookups_before_search =
+      evaluator_->stats().cache_lookups();
 
   // Proactive Alg. 1 line 8: the conjunction of *all* common subgraph
   // expressions is the most specific expression in the search space. If
   // even that matches more than |T| + k entities, no accepting expression
   // exists and the (worst-case exponential) exhaustive exploration of the
-  // first root can be skipped entirely.
+  // first root can be skipped entirely. The pinned views make this a pure
+  // intersection cascade over two ping-pong buffers.
   if (n > 0 && !interrupted_before_search) {
-    MatchSet everything = *evaluator_->Match((*ranked)[0].expression);
+    MatchSet everything = *pinned[0];
+    MatchSet scratch;
     for (size_t i = 1;
          i < n && everything.size() > shared.max_matches &&
          !shared.CheckDeadline();
          ++i) {
-      everything =
-          everything.Intersect(*evaluator_->Match((*ranked)[i].expression));
+      EntitySet::IntersectInto(everything, *pinned[i], &scratch);
+      std::swap(everything, scratch);
     }
     no_solution_proven = everything.size() > shared.max_matches &&
                          !shared.Interrupted();
@@ -502,6 +686,7 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
     // Fall through to the common result assembly with an empty search.
   } else if (pool == nullptr) {
     // Alg. 1: dequeue roots in ascending Ĉ order.
+    SearchArena arena;
     for (size_t i = 0; i < n; ++i) {
       if (shared.stop.load(std::memory_order_relaxed)) break;
       if (shared.HasSolution() &&
@@ -509,18 +694,20 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
               shared.best_cost_relaxed.load(std::memory_order_relaxed)) {
         break;  // all remaining roots are at least as expensive
       }
-      const bool fully_explored = ExploreRoot(i, &shared, nullptr);
+      const bool fully_explored = ExploreRoot(i, &shared, nullptr, &arena);
       if (fully_explored && !shared.HasSolution()) {
         // Alg. 1 line 8: the exhausted subtree contained the most specific
         // conjunction reachable from here; no RE exists.
         break;
       }
     }
+    arena.Flush(&shared);
   } else {
     // P-REMI (§3.4): workers concurrently dequeue roots in ascending-Ĉ
     // order, and skewed subtrees additionally spill sibling sub-ranges to
     // idle workers (see Dfs). All tasks of this run are tracked by one
-    // TaskGroup so concurrent runs can share the pool.
+    // TaskGroup so concurrent runs can share the pool. Each worker task
+    // owns one arena across all the roots it dequeues.
     shared.pool = pool;
     shared.spill_depth = options_.spill_depth;
     shared.strict_bound = true;
@@ -530,38 +717,58 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
     const size_t num_workers = pool->num_threads();
     for (size_t w = 0; w < num_workers && w < n; ++w) {
       pool->Submit(&group, [this, &shared, &next_root, n] {
+        SearchArena arena;
         for (;;) {
           const size_t i =
               next_root.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          if (shared.stop.load(std::memory_order_relaxed)) return;
+          if (i >= n) break;
+          if (shared.stop.load(std::memory_order_relaxed)) break;
           if (shared.BoundHit((*shared.queue)[i].cost)) {
-            return;  // ascending costs: no later root can win a tie-break
+            break;  // ascending costs: no later root can win a tie-break
           }
           auto tracker = std::make_shared<RootTracker>();
           tracker->root = i;
-          ExploreRoot(i, &shared, tracker);
+          ExploreRoot(i, &shared, tracker, &arena);
           // The inline share of the root is done; spilled sub-ranges (if
           // any) finish on their own and the last one signals
           // no-solution for the cheapest root.
           FinishRootTask(tracker, &shared);
         }
+        arena.Flush(&shared);
       });
     }
     group.Wait();
   }
   result.stats.search_seconds = search_timer.ElapsedSeconds();
+  result.stats.search_cache_lookups =
+      evaluator_->stats().cache_lookups() - cache_lookups_before_search;
 
+  // Deferred materialization: the search recorded only the winning node's
+  // queue-index path; rebuild the Expression (same Conjoin sequence the
+  // old kernel performed at every node) and, for the exceptions report,
+  // its match set from the pinned views.
+  std::vector<size_t> best_path;
   {
     std::lock_guard<std::mutex> lock(shared.best_mu);
-    result.expression = shared.best_expr;
     result.cost = shared.best_cost;
+    best_path = shared.best_path;
+  }
+  result.found = result.cost < CostModel::kInfiniteCost;
+  if (result.found) {
+    for (const size_t idx : best_path) {
+      result.expression = result.expression.Conjoin((*ranked)[idx].expression);
+    }
+    MatchSet matches = *pinned[best_path[0]];
+    MatchSet scratch;
+    for (size_t i = 1; i < best_path.size(); ++i) {
+      EntitySet::IntersectInto(matches, *pinned[best_path[i]], &scratch);
+      std::swap(matches, scratch);
+    }
     // Exceptions: the matched non-targets of the winning expression.
-    for (const TermId m : shared.best_matches) {
+    for (const TermId m : matches) {
       if (!sorted_targets.Contains(m)) result.exceptions.push_back(m);
     }
   }
-  result.found = result.cost < CostModel::kInfiniteCost;
   result.timed_out = shared.timed_out.load(std::memory_order_relaxed);
   result.cancelled = shared.cancelled.load(std::memory_order_relaxed);
   result.stats.nodes_visited = shared.nodes.load(std::memory_order_relaxed);
@@ -573,6 +780,12 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
       shared.bound_prunes.load(std::memory_order_relaxed);
   result.stats.redundant_prunes =
       shared.redundant_prunes.load(std::memory_order_relaxed);
+  result.stats.count_only_prunes =
+      shared.count_only_prunes.load(std::memory_order_relaxed);
+  result.stats.arena_frames_allocated =
+      shared.arena_frames_allocated.load(std::memory_order_relaxed);
+  result.stats.arena_frames_reused =
+      shared.arena_frames_reused.load(std::memory_order_relaxed);
 
   const EvaluatorStats eval_after = evaluator_->stats();
   result.stats.eval.subgraph_evaluations =

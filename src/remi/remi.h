@@ -31,6 +31,15 @@
 // Because G contains only *common* subgraph expressions, every conjunction
 // of them matches every target; the DFS therefore maintains the exact match
 // set incrementally and an RE test is a size comparison.
+//
+// The search inner loop is a zero-allocation kernel: queue match sets are
+// resolved once after RankedCommonSubgraphs and pinned as flat views (no
+// per-node EvalCache lookups), nodes are first decided by a count-only
+// intersection (EntitySet::IntersectCount) and only materialized — into
+// reusable per-depth arena frames via EntitySet::IntersectInto — when the
+// DFS actually descends, and expressions are rebuilt from the winning
+// queue-index path at the end instead of being conjoined per node. The
+// RemiStats arena/pin counters certify the discipline at runtime.
 
 #pragma once
 
@@ -103,8 +112,42 @@ struct RemiStats {
   /// Conjuncts skipped because they did not shrink the match set (their
   /// subtrees are dominated by cheaper equivalents).
   uint64_t redundant_prunes = 0;
+
+  // --- Zero-allocation kernel counters (README "Search kernel & memory
+  // layout"). Together they certify the steady-state discipline: DFS
+  // nodes index the pinned queue views instead of the EvalCache, and
+  // either decide on a count alone or materialize into a reused arena
+  // frame.
+  /// DFS nodes decided by IntersectCount alone (redundant-pruned or
+  /// accepted-and-depth-pruned): no match set was materialized for them.
+  uint64_t count_only_prunes = 0;
+  /// Arena frames created (first descent of a worker/task to a depth).
+  uint64_t arena_frames_allocated = 0;
+  /// Frame acquisitions served by an already-existing frame; every one of
+  /// these is a node materialization with no per-node heap allocation.
+  uint64_t arena_frames_reused = 0;
+  /// Queue entries whose match sets were resolved once and pinned for the
+  /// whole search, and the heap bytes those views keep resident. Pinning
+  /// holds every entry's set alive for the search regardless of the
+  /// EvalCache's LRU capacity, so a request's peak match-set memory is
+  /// bounded by its queue (Σ match-set sizes, observable here), not by
+  /// the cache budget; the forced-bitmap twins additionally respect a
+  /// hard byte budget (see remi.cc).
+  size_t pinned_queue_entries = 0;
+  size_t pinned_queue_bytes = 0;
+  /// EvalCache lookups issued during the DFS itself — 0 in steady state
+  /// (the pinning pass and cross-request reuse still go through the
+  /// cache; only per-node lookups are outlawed). Measured as a delta of
+  /// the evaluator's shared counters over the search phase, so like the
+  /// `eval` fields it can be inflated by *concurrent* runs sharing the
+  /// miner or cache (the DFS itself never touches the cache); it is
+  /// exact for a miner serving one request at a time.
+  uint64_t search_cache_lookups = 0;
+
   double queue_build_seconds = 0.0;  ///< Alg. 1 lines 1-2
-  double search_seconds = 0.0;       ///< Alg. 1 lines 4-8
+  /// Alg. 1 lines 4-8, including the one-time pinning of the queue's
+  /// match-set views (work the previous kernel paid per node instead).
+  double search_seconds = 0.0;
   EvaluatorStats eval;
 };
 
@@ -196,6 +239,8 @@ class RemiMiner {
   /// sub-ranges) of one root's subtree, so P-REMI knows when the subtree
   /// is *fully* explored even though its work is spread across tasks.
   struct RootTracker;
+  /// Per-worker pool of reusable per-depth MatchSet frames; see remi.cc.
+  struct SearchArena;
 
   /// One mining run over an already-sorted target set. `pool` non-null
   /// runs P-REMI on it; null runs the sequential algorithm (also used for
@@ -208,19 +253,23 @@ class RemiMiner {
   /// P-DFS-REMI). Returns true if the subtree was fully explored (i.e. not
   /// cut by the timeout).
   bool ExploreRoot(size_t root, SearchShared* shared,
-                   const std::shared_ptr<RootTracker>& tracker) const;
+                   const std::shared_ptr<RootTracker>& tracker,
+                   SearchArena* arena) const;
 
-  /// DFS over the sibling range [next_index, level_end) extending
-  /// `prefix`. Children recurse over the full remaining queue; level_end
-  /// only bounds this level, so a spilled upper half covers exactly the
-  /// subtrees the spiller skips. `path` holds the queue indices of the
-  /// prefix (mutated push/pop along the recursion) and feeds the
-  /// preorder tie-break in UpdateBest.
-  void Dfs(const Expression& prefix, const MatchSet& prefix_matches,
-           double prefix_cost, size_t next_index, size_t level_end,
-           SearchShared* shared, int depth,
-           const std::shared_ptr<RootTracker>& tracker,
-           std::vector<size_t>* path) const;
+  /// DFS over the sibling range [next_index, level_end) extending the
+  /// prefix whose match set is `prefix_matches`. Children recurse over
+  /// the full remaining queue; level_end only bounds this level, so a
+  /// spilled upper half covers exactly the subtrees the spiller skips.
+  /// `path` holds the queue indices of the prefix (mutated push/pop along
+  /// the recursion); it both feeds the preorder tie-break in UpdateBest
+  /// and *is* the node identity — the winning Expression is only
+  /// materialized from the best path during result assembly, so no node
+  /// pays a Conjoin copy. `arena` supplies the per-depth match-set frames
+  /// this worker/task intersects into.
+  void Dfs(const MatchSet& prefix_matches, double prefix_cost,
+           size_t next_index, size_t level_end, SearchShared* shared,
+           int depth, const std::shared_ptr<RootTracker>& tracker,
+           std::vector<size_t>* path, SearchArena* arena) const;
 
   /// Marks one of `tracker`'s tasks finished; the last task out signals
   /// the no-solution stop if the exhausted root was the cheapest one.

@@ -125,6 +125,16 @@ JsonValue StatsToJson(const RemiStats& stats, const ServiceStats& service) {
           JsonValue::Number(static_cast<double>(stats.nodes_visited)));
   out.Set("cache_hits",
           JsonValue::Number(static_cast<double>(stats.eval.cache_hits)));
+  // Zero-allocation kernel counters (README "Search kernel & memory
+  // layout"): how the search paid for its nodes.
+  out.Set("count_only_prunes",
+          JsonValue::Number(static_cast<double>(stats.count_only_prunes)));
+  out.Set("arena_frames_reused",
+          JsonValue::Number(static_cast<double>(stats.arena_frames_reused)));
+  out.Set("pinned_queue_bytes",
+          JsonValue::Number(static_cast<double>(stats.pinned_queue_bytes)));
+  out.Set("search_cache_lookups",
+          JsonValue::Number(static_cast<double>(stats.search_cache_lookups)));
   out.Set("queue_wait_seconds",
           JsonValue::Number(service.queue_wait_seconds));
   out.Set("mine_seconds", JsonValue::Number(service.mine_seconds));

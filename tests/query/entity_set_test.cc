@@ -167,6 +167,117 @@ TEST(EntitySetTest, GallopingIntersectionMatchesLinear) {
   EXPECT_EQ(tiny.Intersect(big), expected);
 }
 
+TEST(EntitySetTest, IntersectCountExactWhenUnderCap) {
+  EntitySet a{1, 2, 3, 4, 5};
+  EntitySet b{2, 4, 6, 8};
+  // cap >= true count: exact.
+  EXPECT_EQ(a.IntersectCount(b, 100), 2u);
+  EXPECT_EQ(b.IntersectCount(a, 100), 2u);
+  EXPECT_EQ(a.IntersectCount(b, 2), 2u);
+  // cap < true count: only "> cap" is guaranteed.
+  EXPECT_GT(a.IntersectCount(b, 1), 1u);
+  EXPECT_EQ(a.IntersectCount(EntitySet{}, 0), 0u);
+  EXPECT_EQ(EntitySet{}.IntersectCount(a, 0), 0u);
+}
+
+TEST(EntitySetTest, IntersectCountAgreesWithIntersectAcrossReps) {
+  Rng rng(123);
+  for (int round = 0; round < 40; ++round) {
+    // Mix of universes around the bitmap boundary, including tiny ones.
+    const size_t universe = 64 + rng.NextBounded(4096);
+    std::vector<TermId> a_ids, b_ids;
+    const size_t na = rng.NextBounded(universe);
+    const size_t nb = rng.NextBounded(universe / 2 + 1);
+    for (size_t i = 0; i < na; ++i) {
+      a_ids.push_back(static_cast<TermId>(rng.NextBounded(universe)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b_ids.push_back(static_cast<TermId>(rng.NextBounded(universe)));
+    }
+    const EntitySet a = EntitySet::FromUnsorted(a_ids, universe);
+    const EntitySet b = EntitySet::FromUnsorted(b_ids, universe);
+    const size_t expected = a.Intersect(b).size();
+    // Unbounded cap: exact count on every representation pairing.
+    EXPECT_EQ(a.IntersectCount(b, universe), expected)
+        << "a.bitmap=" << a.is_bitmap() << " b.bitmap=" << b.is_bitmap();
+    EXPECT_EQ(b.IntersectCount(a, universe), expected);
+    // Capped: <= cap is exact, > cap only means "exceeds cap".
+    const size_t cap = rng.NextBounded(universe);
+    const size_t counted = a.IntersectCount(b, cap);
+    if (counted <= cap) {
+      EXPECT_EQ(counted, expected);
+    } else {
+      EXPECT_GT(expected, cap);
+    }
+  }
+}
+
+TEST(EntitySetTest, IntersectIntoMatchesIntersectAcrossReps) {
+  Rng rng(321);
+  EntitySet out;  // deliberately reused across all rounds (arena frame)
+  for (int round = 0; round < 40; ++round) {
+    const size_t universe = 64 + rng.NextBounded(4096);
+    std::vector<TermId> a_ids, b_ids;
+    const size_t na = rng.NextBounded(universe);
+    const size_t nb = rng.NextBounded(universe);
+    for (size_t i = 0; i < na; ++i) {
+      a_ids.push_back(static_cast<TermId>(rng.NextBounded(universe)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b_ids.push_back(static_cast<TermId>(rng.NextBounded(universe)));
+    }
+    const EntitySet a = EntitySet::FromUnsorted(a_ids, universe);
+    const EntitySet b = EntitySet::FromUnsorted(b_ids, universe);
+    const EntitySet oracle = a.Intersect(b);
+    EntitySet::IntersectInto(a, b, &out);
+    EXPECT_EQ(out, oracle) << "round " << round << " a.bitmap="
+                           << a.is_bitmap() << " b.bitmap=" << b.is_bitmap();
+    // Representation parity too: the frame must adapt exactly like the
+    // allocating path so downstream operand dispatch is unchanged.
+    EXPECT_EQ(out.is_bitmap(), oracle.is_bitmap()) << "round " << round;
+    EXPECT_EQ(out.size(), oracle.size());
+    EXPECT_EQ(out.universe(), oracle.universe());
+    EXPECT_EQ(out.ToVector(), oracle.ToVector());
+  }
+}
+
+TEST(EntitySetTest, IntersectIntoBoundaryUniverses) {
+  // Empty x empty, empty universe, and sets straddling word boundaries.
+  EntitySet out;
+  EntitySet::IntersectInto(EntitySet{}, EntitySet{}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(out.is_bitmap());
+
+  std::vector<TermId> edges{0, 63, 64, 127, 128, 191, 192, 255};
+  EntitySet a = EntitySet::FromSorted(edges, 256);
+  std::vector<TermId> dense;
+  for (TermId i = 0; i < 256; ++i) dense.push_back(i);
+  EntitySet b = EntitySet::FromSorted(dense, 256);
+  ASSERT_TRUE(b.is_bitmap());
+  EntitySet::IntersectInto(a, b, &out);
+  EXPECT_EQ(out, a);
+  EXPECT_EQ(a.IntersectCount(b, 256), edges.size());
+
+  // Different universes: result adopts the larger one (as Intersect does).
+  EntitySet small = EntitySet::FromSorted({1, 2, 3}, 8);
+  EntitySet large = EntitySet::FromSorted({2, 3, 4}, 4096);
+  EntitySet::IntersectInto(small, large, &out);
+  EXPECT_EQ(out, small.Intersect(large));
+  EXPECT_EQ(out.universe(), small.Intersect(large).universe());
+}
+
+TEST(EntitySetTest, MemoryBytesTracksBufferCapacity) {
+  EntitySet empty;
+  EXPECT_EQ(empty.MemoryBytes(), 0u);
+  EntitySet vec{1, 2, 3};
+  EXPECT_GE(vec.MemoryBytes(), 3 * sizeof(TermId));
+  std::vector<TermId> dense;
+  for (TermId i = 0; i < 512; ++i) dense.push_back(i);
+  EntitySet map = EntitySet::FromSorted(dense, 512);
+  ASSERT_TRUE(map.is_bitmap());
+  EXPECT_GE(map.MemoryBytes(), (512 / 64) * sizeof(uint64_t));
+}
+
 TEST(EntitySetTest, RandomizedIntersectionAgainstOracle) {
   Rng rng(42);
   for (int round = 0; round < 30; ++round) {

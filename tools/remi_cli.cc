@@ -289,6 +289,15 @@ int CmdMine(const std::string& path, const remi::Flags& flags) {
               response->stats.num_common_subgraphs,
               static_cast<unsigned long long>(response->stats.nodes_visited),
               remi::FormatSeconds(timer.ElapsedSeconds()).c_str());
+  std::printf("kernel     : %llu count-only, %llu frame reuses, "
+              "%zu pinned KiB, %llu search cache lookups\n",
+              static_cast<unsigned long long>(
+                  response->stats.count_only_prunes),
+              static_cast<unsigned long long>(
+                  response->stats.arena_frames_reused),
+              response->stats.pinned_queue_bytes / 1024,
+              static_cast<unsigned long long>(
+                  response->stats.search_cache_lookups));
   return 0;
 }
 
