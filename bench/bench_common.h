@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kbgen/synthetic.h"
 #include "userstudy/metrics.h"
+#include "util/cpu_features.h"
 #include "util/string_util.h"
 
 namespace remi::bench {
@@ -50,6 +52,22 @@ inline void WarnIfNotReleaseBuild() {
                "*** with -DCMAKE_BUILD_TYPE=Release before recording. ***\n"
                "*********************************************************\n"
                "\n");
+}
+
+/// Emits the host-honesty fields every BENCH_*.json context carries: the
+/// probed CPU features, the SIMD level the set kernels actually dispatch
+/// to (REMI_SIMD/ForceSimdLevel visible here), and the real core count.
+/// Committed numbers must say what hardware path produced them —
+/// a speedup measured on a 1-core or scalar-dispatch host is a different
+/// claim than the same number from an 8-core AVX-512 box. Emitted with a
+/// trailing comma: callers append their own context fields after.
+inline void WriteHostContextFields(std::FILE* out) {
+  std::fprintf(out, "    \"cpu_features\": \"%s\",\n",
+               DetectCpuFeatures().Describe().c_str());
+  std::fprintf(out, "    \"simd_dispatch\": \"%s\",\n",
+               SimdLevelName(ActiveSimdLevel()));
+  std::fprintf(out, "    \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
 }
 
 /// Builds the two evaluation KBs of §4 at the given scale.

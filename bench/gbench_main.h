@@ -15,6 +15,13 @@ namespace remi::bench {
 inline int RunBenchmarkMain(int argc, char** argv) {
   WarnIfNotReleaseBuild();
   benchmark::AddCustomContext("remi_build_type", kBuildType);
+  benchmark::AddCustomContext("cpu_features",
+                              DetectCpuFeatures().Describe());
+  benchmark::AddCustomContext("simd_dispatch",
+                              SimdLevelName(ActiveSimdLevel()));
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -169,6 +169,7 @@ void BM_MineReSynthetic(benchmark::State& state) {
   const KnowledgeBase& kb = Synthetic();
   RemiOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  options.clamp_threads_to_hardware = false;
   RemiMiner miner(&kb, options);
   const auto classes = LargestClasses(kb, 1);
   const auto members = ClassMembersByProminence(kb, classes[0]);

@@ -164,6 +164,7 @@ int main(int argc, char** argv) {
 
     remi::RemiOptions options;
     options.num_threads = threads;
+    options.clamp_threads_to_hardware = false;
     remi::RemiMiner miner(&kb, options);
 
     ScaleRow row;
@@ -237,14 +238,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"context\": {\n");
   std::fprintf(out, "    \"build_type\": \"%s\",\n", remi::bench::kBuildType);
+  remi::bench::WriteHostContextFields(out);
   std::fprintf(out, "    \"workload\": \"dbpedia_like\",\n");
   std::fprintf(out, "    \"num_target_sets\": %d,\n",
                static_cast<int>(flags.GetInt("sets")));
   std::fprintf(out, "    \"seed\": %d,\n",
                static_cast<int>(flags.GetInt("seed")));
-  std::fprintf(out, "    \"threads\": %d,\n", threads);
-  std::fprintf(out, "    \"hardware_concurrency\": %u\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"threads\": %d\n", threads);
   std::fprintf(out, "  },\n  \"benchmarks\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScaleRow& row = rows[i];

@@ -251,6 +251,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"context\": {\n");
   std::fprintf(out, "    \"build_type\": \"%s\",\n", remi::bench::kBuildType);
+  remi::bench::WriteHostContextFields(out);
   std::fprintf(out, "    \"workload\": \"dbpedia_like\",\n");
   std::fprintf(out, "    \"scale\": %g,\n", flags.GetDouble("scale"));
   std::fprintf(out, "    \"num_facts\": %zu,\n", kb.NumFacts());

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
 
   remi::ServiceOptions service_options;
   service_options.mining.num_threads = threads;
+  service_options.mining.clamp_threads_to_hardware = false;
   service_options.max_in_flight = 0;  // harness: no admission limits
   auto service = remi::Service::Create(
       remi::bench::BuildDbpediaLike(scale), service_options);

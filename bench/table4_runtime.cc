@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
 
       remi::RemiOptions premi_options = remi_options;
       premi_options.num_threads = threads;
+      premi_options.clamp_threads_to_hardware = false;
       remi::RemiMiner premi_miner(&kb, premi_options);
 
       remi::CostModel amie_cost(&kb, remi::CostModelOptions{});

@@ -4,6 +4,8 @@
 #include <bit>
 #include <ostream>
 
+#include "query/simd_kernels.h"
+
 namespace remi {
 
 namespace {
@@ -72,9 +74,11 @@ void EntitySet::Adapt() {
 }
 
 void EntitySet::ToBitmapRep() {
-  words_.assign((universe_ + 63) / 64, 0);
-  for (const TermId id : ids_) {
-    words_[id >> 6] |= uint64_t{1} << (id & 63);
+  const size_t num_words = (universe_ + 63) / 64;
+  words_.resize(num_words);
+  if (num_words > 0) {
+    ActiveSetKernels().build_bitmap(ids_.data(), ids_.size(), words_.data(),
+                                    num_words);
   }
   ids_.clear();
   ids_.shrink_to_fit();
@@ -113,13 +117,10 @@ EntitySet EntitySet::Intersect(const EntitySet& other) const {
     out.universe_ = universe;
     const size_t common = std::min(words_.size(), other.words_.size());
     out.words_.assign((universe + 63) / 64, 0);
-    size_t count = 0;
-    for (size_t w = 0; w < common; ++w) {
-      const uint64_t word = words_[w] & other.words_[w];
-      out.words_[w] = word;
-      count += static_cast<size_t>(std::popcount(word));
-    }
-    out.size_ = count;
+    out.size_ = common == 0 ? 0
+                            : ActiveSetKernels().and_store_popcount(
+                                  words_.data(), other.words_.data(),
+                                  out.words_.data(), common);
     out.Adapt();
     return out;
   }
@@ -140,13 +141,9 @@ EntitySet EntitySet::Intersect(const EntitySet& other) const {
 size_t EntitySet::IntersectCount(const EntitySet& other, size_t cap) const {
   if (is_bitmap_ && other.is_bitmap_) {
     const size_t common = std::min(words_.size(), other.words_.size());
-    size_t count = 0;
-    for (size_t w = 0; w < common; ++w) {
-      count += static_cast<size_t>(
-          std::popcount(words_[w] & other.words_[w]));
-      if (count > cap) return count;
-    }
-    return count;
+    if (common == 0) return 0;
+    return ActiveSetKernels().and_popcount_capped(
+        words_.data(), other.words_.data(), common, cap);
   }
   if (is_bitmap_ != other.is_bitmap_) {
     const EntitySet& vec = is_bitmap_ ? other : *this;
@@ -192,12 +189,11 @@ void EntitySet::IntersectInto(const EntitySet& a, const EntitySet& b,
     const size_t num_words = (universe + 63) / 64;
     const size_t common = std::min(a.words_.size(), b.words_.size());
     out->words_.resize(num_words);
-    size_t count = 0;
-    for (size_t w = 0; w < common; ++w) {
-      const uint64_t word = a.words_[w] & b.words_[w];
-      out->words_[w] = word;
-      count += static_cast<size_t>(std::popcount(word));
-    }
+    const size_t count =
+        common == 0 ? 0
+                    : ActiveSetKernels().and_store_popcount(
+                          a.words_.data(), b.words_.data(),
+                          out->words_.data(), common);
     std::fill(out->words_.begin() + common, out->words_.end(), 0);
     out->size_ = count;
     out->is_bitmap_ = true;
@@ -249,9 +245,17 @@ EntitySet EntitySet::ForcedBitmap(size_t min_universe) const {
   out.universe_ = std::max(universe_, min_universe);
   out.size_ = size_;
   out.is_bitmap_ = true;
-  out.words_.assign((out.universe_ + 63) / 64, 0);
-  for (const TermId id : *this) {
-    out.words_[id >> 6] |= uint64_t{1} << (id & 63);
+  const size_t num_words = (out.universe_ + 63) / 64;
+  if (is_bitmap_) {
+    // Same representation, possibly wider universe: copy + zero-extend.
+    out.words_.assign(words_.begin(), words_.end());
+    out.words_.resize(num_words, 0);
+  } else {
+    out.words_.resize(num_words);
+    if (num_words > 0) {
+      ActiveSetKernels().build_bitmap(ids_.data(), ids_.size(),
+                                      out.words_.data(), num_words);
+    }
   }
   return out;
 }
@@ -260,8 +264,9 @@ bool EntitySet::SubsetOf(const EntitySet& other) const {
   if (size_ > other.size_) return false;
   if (is_bitmap_ && other.is_bitmap_) {
     const size_t common = std::min(words_.size(), other.words_.size());
-    for (size_t w = 0; w < common; ++w) {
-      if ((words_[w] & ~other.words_[w]) != 0) return false;
+    if (common > 0 && !ActiveSetKernels().subset(
+                          words_.data(), other.words_.data(), common)) {
+      return false;
     }
     for (size_t w = common; w < words_.size(); ++w) {
       if (words_[w] != 0) return false;

@@ -27,9 +27,13 @@ namespace remi {
 
 /// Aggregated counters of a sharded cache (sum over shards).
 struct EvalCacheStats {
+  /// All successful lookups, including those served by a thread front.
   uint64_t hits = 0;
   uint64_t misses = 0;
   size_t entries = 0;
+  /// Breakdown of `hits`: lookups answered by the calling thread's
+  /// lock-free front without touching a shard mutex.
+  uint64_t front_hits = 0;
 };
 
 /// \brief Sharded LRU cache from SubgraphExpression to its match set.
@@ -43,6 +47,19 @@ class EvalCache {
   /// Default shard count; a modest power of two keeps per-shard LRUs large
   /// enough to stay effective while making cross-thread contention rare.
   static constexpr size_t kDefaultShards = 16;
+
+  /// Slots of the per-thread front (direct-mapped, lock-free). Each
+  /// worker thread keeps its hottest expressions in thread-local storage
+  /// so repeated lookups — the P-REMI pinning passes and concurrent batch
+  /// runs hammering the same building blocks — stop ping-ponging shard
+  /// mutexes and LRU recency lists between cores. Front entries are
+  /// validated against a per-shard version that every Put bumps, so a
+  /// front can never serve an entry its shard has since evicted or
+  /// replaced; in the steady state (warm cache, no inserts) fronts stay
+  /// valid indefinitely. The front may extend the lifetime of up to this
+  /// many match sets per thread beyond their LRU eviction (they are
+  /// shared_ptr-held and immutable, so stale lifetime is the only cost).
+  static constexpr size_t kFrontSlots = 32;
 
   /// \param capacity total entry budget, split evenly across shards;
   ///        0 disables caching (every Get misses, Put is a no-op).
@@ -77,10 +94,13 @@ class EvalCache {
     LruCache<SubgraphExpression, std::shared_ptr<const EntitySet>,
              SubgraphExpressionHash>
         lru;
+    /// Bumped by every Put: thread fronts holding entries of this shard
+    /// treat any bump as an invalidation (conservative — correctness
+    /// needs only eviction/replacement to invalidate).
+    std::atomic<uint64_t> version{0};
   };
 
-  Shard& ShardFor(const SubgraphExpression& rho);
-  const Shard& ShardFor(const SubgraphExpression& rho) const;
+  size_t ShardIndexForHash(size_t hash) const;
 
   size_t capacity_;
   size_t shard_mask_;  // shards_.size() - 1 (power of two)
@@ -89,6 +109,11 @@ class EvalCache {
   /// and the shard mutex entirely (a disabled cache must not serialize
   /// concurrent evaluators on locks that guard nothing).
   std::atomic<uint64_t> disabled_misses_{0};
+  /// Identity of this cache's current contents for the thread fronts:
+  /// globally unique per instance and re-drawn by Clear(), so a front
+  /// filled from an earlier life (or another cache) never matches.
+  std::atomic<uint64_t> front_epoch_;
+  std::atomic<uint64_t> front_hits_{0};
 };
 
 }  // namespace remi

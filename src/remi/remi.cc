@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -24,6 +25,15 @@ constexpr size_t kSpillMinRange = 16;
 constexpr size_t kPinnedBitmapBudgetBytes = 64u << 20;
 
 }  // namespace
+
+int RemiOptions::EffectiveThreads() const {
+  if (!clamp_threads_to_hardware || num_threads <= 1) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  // hardware_concurrency() may legitimately return 0 ("unknown"); then
+  // the requested count stands.
+  if (hw == 0) return num_threads;
+  return std::min(num_threads, static_cast<int>(hw));
+}
 
 struct RemiMiner::SearchShared {
   const std::vector<RankedSubgraph>* queue = nullptr;
@@ -196,12 +206,13 @@ RemiMiner::RemiMiner(const KnowledgeBase* kb, const RemiOptions& options,
       enumerator_(
           std::make_unique<SubgraphEnumerator>(evaluator_.get(),
                                                options.enumerator)) {
-  if (options_.num_threads > 1) {
+  const int effective_threads = options_.EffectiveThreads();
+  if (effective_threads > 1) {
     if (shared_pool != nullptr) {
       pool_ = shared_pool;
     } else {
-      owned_pool_ = std::make_unique<ThreadPool>(
-          static_cast<size_t>(options_.num_threads));
+      owned_pool_ =
+          std::make_unique<ThreadPool>(static_cast<size_t>(effective_threads));
       pool_ = owned_pool_.get();
     }
   }
@@ -385,10 +396,21 @@ void RemiMiner::Dfs(const MatchSet& prefix_matches, double prefix_cost,
     //     twin) and both tests read frame->size().
     // Either way the steady state allocates nothing: frames only grow to
     // their per-depth high-water capacity.
-    const MatchSet* rhs = dense != nullptr ? (*dense)[j] : pinned[j];
-    if (!pinned[j]->is_bitmap() &&
-        pinned[j]->size() * 16 < prefix_matches.size()) {
-      rhs = pinned[j];
+    // Budget fallback (RemiOptions::max_pinned_bytes): an entry left
+    // unpinned resolves through the evaluator per node — the cache lookup
+    // the pinned fast path avoids — with its owner held for this node
+    // (including the recursion below).
+    std::shared_ptr<const MatchSet> fallback_owner;
+    const MatchSet* entry = pinned[j];
+    if (entry == nullptr) {
+      fallback_owner = evaluator_->Match(queue[j].expression);
+      entry = fallback_owner.get();
+    }
+    const MatchSet* rhs =
+        (dense != nullptr && (*dense)[j] != nullptr) ? (*dense)[j] : entry;
+    if (!entry->is_bitmap() &&
+        entry->size() * 16 < prefix_matches.size()) {
+      rhs = entry;
     }
     size_t count;
     bool redundant;
@@ -466,16 +488,22 @@ bool RemiMiner::ExploreRoot(size_t root, SearchShared* shared,
     return true;  // nothing cheaper can exist below this root
   }
 
-  // The root's match set is a pinned view: no cache lookup, no copy.
-  const MatchSet& matches = *(*shared->pinned)[root];
+  // The root's match set is a pinned view (no cache lookup, no copy)
+  // unless max_pinned_bytes left this entry unpinned.
+  std::shared_ptr<const MatchSet> root_owner;
+  const MatchSet* matches = (*shared->pinned)[root];
+  if (matches == nullptr) {
+    root_owner = evaluator_->Match(rho.expression);
+    matches = root_owner.get();
+  }
   shared->nodes.fetch_add(1, std::memory_order_relaxed);
   std::vector<size_t> path{root};
-  if (matches.size() <= shared->max_matches) {
+  if (matches->size() <= shared->max_matches) {
     shared->UpdateBest(rho.cost, path);
     shared->depth_prunes.fetch_add(1, std::memory_order_relaxed);
     ++arena->count_only;
   } else {
-    Dfs(matches, rho.cost, root + 1, queue.size(), shared, 1, tracker, &path,
+    Dfs(*matches, rho.cost, root + 1, queue.size(), shared, 1, tracker, &path,
         arena);
   }
   return !shared->Interrupted();
@@ -626,10 +654,29 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
     }
     interrupted_before_search = shared.Interrupted();
     if (!interrupted_before_search) {
-      result.stats.pinned_queue_entries = n;
-      for (const MatchSet* set : pinned) {
-        result.stats.pinned_queue_bytes += set->MemoryBytes();
+      // RemiOptions::max_pinned_bytes: keep the longest queue-order prefix
+      // that fits the budget. The prefix rule is deliberate — it is
+      // deterministic and the head of the cost-sorted queue is exactly
+      // what the DFS touches most. Entries past the cut release their
+      // owners and fall back to per-node evaluator lookups in the DFS.
+      const size_t budget = options_.max_pinned_bytes;
+      size_t kept = n;
+      size_t kept_bytes = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t entry_bytes = pinned[i]->MemoryBytes();
+        if (budget != 0 && kept_bytes + entry_bytes > budget) {
+          kept = i;
+          break;
+        }
+        kept_bytes += entry_bytes;
       }
+      for (size_t i = kept; i < n; ++i) {
+        pinned_owners[i].reset();
+        pinned[i] = nullptr;
+      }
+      result.stats.pinned_queue_entries = kept;
+      result.stats.pinned_queue_bytes = kept_bytes;
+      result.stats.unpinned_queue_entries = n - kept;
     }
   }
   shared.pinned = &pinned;
@@ -646,19 +693,35 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
       bitmap_bytes * n <= kPinnedBitmapBudgetBytes) {
     dense_storage.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      if (pinned[i]->is_bitmap()) {
+      if (pinned[i] == nullptr) {
+        // Budget-unpinned entry: resolved per node, no resident twin.
+        dense[i] = nullptr;
+      } else if (pinned[i]->is_bitmap()) {
         dense[i] = pinned[i];
       } else {
         dense_storage.push_back(pinned[i]->ForcedBitmap(universe));
         dense[i] = &dense_storage.back();
-        result.stats.pinned_queue_bytes += dense_storage.back().MemoryBytes();
+        result.stats.dense_twin_bytes += dense_storage.back().MemoryBytes();
       }
     }
     shared.dense = &dense;
   }
 
+  // Resolves queue entry `idx` for the assembly-side passes below: the
+  // pinned view when present, else a fresh evaluator lookup whose owner
+  // the caller keeps alive via `owner`.
+  const auto resolve = [&](size_t idx, std::shared_ptr<const MatchSet>* owner)
+      -> const MatchSet* {
+    if (pinned[idx] != nullptr) return pinned[idx];
+    *owner = evaluator_->Match((*ranked)[idx].expression);
+    return owner->get();
+  };
+
   // Cache traffic from here on is per-node traffic: the pinning pass
-  // above was the search's last legitimate EvalCache access.
+  // above was the search's last legitimate EvalCache access. (With a
+  // max_pinned_bytes budget in force, unpinned entries legitimately
+  // contribute per-node lookups here; the counter then measures exactly
+  // the traffic the budget trades for memory.)
   const uint64_t cache_lookups_before_search =
       evaluator_->stats().cache_lookups();
 
@@ -669,13 +732,15 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
   // first root can be skipped entirely. The pinned views make this a pure
   // intersection cascade over two ping-pong buffers.
   if (n > 0 && !interrupted_before_search) {
-    MatchSet everything = *pinned[0];
+    std::shared_ptr<const MatchSet> first_owner;
+    MatchSet everything = *resolve(0, &first_owner);
     MatchSet scratch;
     for (size_t i = 1;
          i < n && everything.size() > shared.max_matches &&
          !shared.CheckDeadline();
          ++i) {
-      EntitySet::IntersectInto(everything, *pinned[i], &scratch);
+      std::shared_ptr<const MatchSet> owner;
+      EntitySet::IntersectInto(everything, *resolve(i, &owner), &scratch);
       std::swap(everything, scratch);
     }
     no_solution_proven = everything.size() > shared.max_matches &&
@@ -758,10 +823,13 @@ Result<RemiResult> RemiMiner::MineCore(const MatchSet& sorted_targets,
     for (const size_t idx : best_path) {
       result.expression = result.expression.Conjoin((*ranked)[idx].expression);
     }
-    MatchSet matches = *pinned[best_path[0]];
+    std::shared_ptr<const MatchSet> first_owner;
+    MatchSet matches = *resolve(best_path[0], &first_owner);
     MatchSet scratch;
     for (size_t i = 1; i < best_path.size(); ++i) {
-      EntitySet::IntersectInto(matches, *pinned[best_path[i]], &scratch);
+      std::shared_ptr<const MatchSet> owner;
+      EntitySet::IntersectInto(matches, *resolve(best_path[i], &owner),
+                               &scratch);
       std::swap(matches, scratch);
     }
     // Exceptions: the matched non-targets of the winning expression.

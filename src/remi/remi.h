@@ -66,6 +66,27 @@ struct RemiOptions {
   /// MineBatch calls.
   int num_threads = 1;
 
+  /// Clamp num_threads to std::thread::hardware_concurrency() (when the
+  /// runtime can report it). Oversubscribing a machine with more workers
+  /// than cores only adds context-switch and wake-up overhead to P-REMI's
+  /// latency-bound searches, so production configs keep this on; tests
+  /// that deliberately oversubscribe to exercise concurrency interleavings
+  /// switch it off. See EffectiveThreads().
+  bool clamp_threads_to_hardware = true;
+
+  /// Byte budget for the search kernel's pinned queue views (the
+  /// forced-bitmap twins have their own separate 64 MiB budget; see
+  /// remi.cc). The pinning pass resolves queue entries in queue order —
+  /// cheapest Ĉ first, i.e. the entries the DFS visits most — and stops
+  /// pinning once the resident view bytes would exceed this budget;
+  /// unpinned entries fall back to per-node evaluator lookups (counted in
+  /// RemiStats::unpinned_queue_entries and search_cache_lookups). 0 means
+  /// unlimited: every entry is pinned and the DFS issues no cache lookups.
+  size_t max_pinned_bytes = 0;
+
+  /// num_threads after the hardware clamp: what the miner actually uses.
+  int EffectiveThreads() const;
+
   /// P-REMI only: DFS levels at depth <= spill_depth may hand the upper
   /// half of their unexplored sibling range to the pool when workers are
   /// idle. 0 disables spilling (per-root parallelism only).
@@ -131,10 +152,20 @@ struct RemiStats {
   /// holds every entry's set alive for the search regardless of the
   /// EvalCache's LRU capacity, so a request's peak match-set memory is
   /// bounded by its queue (Σ match-set sizes, observable here), not by
-  /// the cache budget; the forced-bitmap twins additionally respect a
-  /// hard byte budget (see remi.cc).
+  /// the cache budget. `pinned_queue_bytes` counts exactly the view bytes
+  /// RemiOptions::max_pinned_bytes is charged against; the forced-bitmap
+  /// twins are accounted separately in `dense_twin_bytes` and respect
+  /// their own hard byte budget (see remi.cc).
   size_t pinned_queue_entries = 0;
   size_t pinned_queue_bytes = 0;
+  /// Heap bytes of the forced-bitmap twins built for vector-rep pinned
+  /// entries (0 when the twin pass was skipped or every entry was already
+  /// a bitmap).
+  size_t dense_twin_bytes = 0;
+  /// Queue entries left unpinned by RemiOptions::max_pinned_bytes; the DFS
+  /// resolves them per node through the evaluator (and its cache) instead
+  /// of a pinned view. 0 whenever the budget is unlimited or large enough.
+  size_t unpinned_queue_entries = 0;
   /// EvalCache lookups issued during the DFS itself — 0 in steady state
   /// (the pinning pass and cross-request reuse still go through the
   /// cache; only per-node lookups are outlawed). Measured as a delta of

@@ -95,9 +95,10 @@ Service::Service(KnowledgeBase kb, const ServiceOptions& options)
       eval_cache_(std::make_shared<EvalCache>(
           options.mining.eval_cache_capacity,
           options.mining.eval_cache_shards)) {
-  if (options_.mining.num_threads > 1) {
+  const int effective_threads = options_.mining.EffectiveThreads();
+  if (effective_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(
-        static_cast<size_t>(options_.mining.num_threads));
+        static_cast<size_t>(effective_threads));
   }
 }
 

@@ -1,0 +1,119 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace remi {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512 = __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#elif defined(__aarch64__)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  f.neon = true;
+#endif
+  return f;
+}
+
+/// Parses REMI_SIMD; unknown/unset values mean "auto" (detected best).
+SimdLevel RequestedLevel(const CpuFeatures& f) {
+  const char* env = std::getenv("REMI_SIMD");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 || env[0] == '\0') {
+    return f.Best();
+  }
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "neon") == 0) return SimdLevel::kNeon;
+  if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+  if (std::strcmp(env, "avx512") == 0) return SimdLevel::kAvx512;
+  return f.Best();
+}
+
+SimdLevel ClampToDetected(SimdLevel level, const CpuFeatures& f) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      if (f.avx512) return SimdLevel::kAvx512;
+      [[fallthrough]];
+    case SimdLevel::kAvx2:
+      if (f.avx2) return SimdLevel::kAvx2;
+      [[fallthrough]];
+    case SimdLevel::kNeon:
+      if (f.neon) return SimdLevel::kNeon;
+      [[fallthrough]];
+    case SimdLevel::kScalar:
+      break;
+  }
+  return SimdLevel::kScalar;
+}
+
+/// -1 = no ForceSimdLevel override in effect.
+std::atomic<int> g_forced_level{-1};
+
+}  // namespace
+
+SimdLevel CpuFeatures::Best() const {
+  if (avx512) return SimdLevel::kAvx512;
+  if (avx2) return SimdLevel::kAvx2;
+  if (neon) return SimdLevel::kNeon;
+  return SimdLevel::kScalar;
+}
+
+std::string CpuFeatures::Describe() const {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (avx2) add("avx2");
+  if (avx512) add("avx512-vpopcntdq");
+  if (neon) add("neon");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const CpuFeatures& f = DetectCpuFeatures();
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return ClampToDetected(static_cast<SimdLevel>(forced), f);
+  }
+  static const SimdLevel env_level = ClampToDetected(RequestedLevel(f), f);
+  return env_level;
+}
+
+void ForceSimdLevel(SimdLevel level) {
+  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ClearForcedSimdLevel() {
+  g_forced_level.store(-1, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+}  // namespace remi

@@ -1,0 +1,73 @@
+// One-time runtime CPU-feature probe and the SIMD dispatch level derived
+// from it.
+//
+// The set kernels of the search inner loop (query/simd_kernels.h) exist in
+// several variants — portable scalar, AVX2, AVX-512 (with VPOPCNTDQ), and
+// NEON — compiled into every binary via per-function target attributes.
+// Which variant runs is decided once, at first use, from
+//
+//   1. what the CPU actually reports (CPUID on x86-64; NEON is baseline on
+//      AArch64), and
+//   2. an optional override: the REMI_SIMD environment variable
+//      ("auto" | "scalar" | "neon" | "avx2" | "avx512") or an explicit
+//      ForceSimdLevel() call from tests and benchmarks.
+//
+// An override can only lower the level: requesting avx512 on an AVX2-only
+// host clamps to avx2, so a forced run never executes unsupported
+// instructions. Benchmarks record both the detected features and the
+// active level in their JSON context (bench/bench_common.h), so committed
+// numbers always say what hardware path produced them.
+
+#pragma once
+
+#include <string>
+
+namespace remi {
+
+/// Instruction-set tiers the set kernels are specialized for, in
+/// ascending capability order (on their respective architectures).
+enum class SimdLevel {
+  kScalar = 0,  ///< portable C++ (the oracle for the property tests)
+  kNeon = 1,    ///< AArch64 NEON (128-bit)
+  kAvx2 = 2,    ///< x86-64 AVX2 (256-bit, pshufb popcount)
+  kAvx512 = 3,  ///< x86-64 AVX-512F/BW/VL + VPOPCNTDQ (512-bit)
+};
+
+/// What the probe saw. All fields are false on architectures where the
+/// corresponding extension cannot exist.
+struct CpuFeatures {
+  bool avx2 = false;
+  /// AVX-512 Foundation + BW + VL + VPOPCNTDQ together — the subset the
+  /// kernels need (vpopcntq and masked 64-bit lane ops).
+  bool avx512 = false;
+  bool neon = false;
+
+  /// Highest kernel tier this CPU supports.
+  SimdLevel Best() const;
+
+  /// Human/JSON-friendly summary, e.g. "avx2+avx512-vpopcntdq" or
+  /// "neon" or "none".
+  std::string Describe() const;
+};
+
+/// The probed features of the executing CPU (computed once, cached).
+const CpuFeatures& DetectCpuFeatures();
+
+/// The dispatch level the kernels currently run at: the detected best,
+/// lowered by REMI_SIMD or ForceSimdLevel() if either asked for less.
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the active level (clamped to the detected best) and
+/// re-resolves the kernel dispatch table. For tests and benchmarks —
+/// e.g. the scalar-vs-SIMD oracle runs and bench/micro_simd.cc. Not
+/// thread-safe against concurrent kernel calls; call it from a single
+/// thread before spawning workers.
+void ForceSimdLevel(SimdLevel level);
+
+/// Drops any ForceSimdLevel override, returning to REMI_SIMD/auto.
+void ClearForcedSimdLevel();
+
+/// Lower-case name of a level: "scalar", "neon", "avx2", "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace remi

@@ -72,7 +72,15 @@ void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
     std::lock_guard<std::mutex> lock(inbox_mu_);
     inbox_.push_back(Task{std::move(task), group});
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  // Eventcount-style wake elision: publish the task (A), then check for
+  // sleepers (B). A worker going to sleep increments idle_ (C) before its
+  // predicate re-reads queued_ (D); all four are seq_cst, so if B reads 0
+  // the single total order puts A < B < C < D and D must observe the new
+  // task — the worker cannot sleep through it. Skipping the mutex+notify
+  // when every worker is busy removes the dominant Submit cost in the
+  // saturated steady state (P-REMI spilling under load).
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  if (idle_.load(std::memory_order_seq_cst) == 0) return;
   {
     std::lock_guard<std::mutex> lock(mu_);  // pair with sleeper's check
   }
@@ -131,10 +139,12 @@ void ThreadPool::WorkerLoop(size_t index) {
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
-    idle_.fetch_add(1, std::memory_order_relaxed);
+    // seq_cst increment before the predicate's queued_ read: pairs with
+    // the wake-elision check in Submit() (see comment there).
+    idle_.fetch_add(1, std::memory_order_seq_cst);
     task_cv_.wait(lock, [this] {
       return shutdown_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
+             queued_.load(std::memory_order_seq_cst) > 0;
     });
     idle_.fetch_sub(1, std::memory_order_relaxed);
     if (shutdown_.load(std::memory_order_acquire) &&

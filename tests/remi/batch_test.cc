@@ -68,6 +68,7 @@ TEST_F(MineBatchTest, SequentialBatchMatchesIndividualRuns) {
 TEST_F(MineBatchTest, ParallelBatchMatchesSequentialResults) {
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner par_miner(kb_, par);
   RemiMiner seq_miner(kb_, RemiOptions{});
   const auto sets = SampleBatch();
@@ -79,6 +80,7 @@ TEST_F(MineBatchTest, ParallelBatchMatchesSequentialResults) {
 TEST_F(MineBatchTest, RepeatedParallelBatchesAreDeterministic) {
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner miner(kb_, par);
   const auto sets = SampleBatch();
   auto first = miner.MineBatch(sets);
@@ -112,6 +114,7 @@ TEST_F(MineBatchTest, EmptyTargetSetIsRejected) {
 TEST_F(MineBatchTest, BatchWithExceptionsMatchesIndividualRuns) {
   RemiOptions par;
   par.num_threads = 3;
+  par.clamp_threads_to_hardware = false;
   RemiMiner par_miner(kb_, par);
   RemiMiner seq_miner(kb_, RemiOptions{});
   const auto sets = SampleBatch();
@@ -134,6 +137,7 @@ TEST_F(MineBatchTest, BatchWithExceptionsMatchesIndividualRuns) {
 TEST_F(MineBatchTest, ManyThreadsFewSets) {
   RemiOptions par;
   par.num_threads = 16;
+  par.clamp_threads_to_hardware = false;
   RemiMiner miner(kb_, par);
   const std::vector<std::vector<TermId>> sets = {{Id("Paris")},
                                                  {Id("Marie_Curie")}};
@@ -148,6 +152,7 @@ TEST_F(MineBatchTest, ManyThreadsFewSets) {
 TEST_F(MineBatchTest, ConcurrentCallersShareOneMiner) {
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner miner(kb_, par);
   RemiMiner reference(kb_, RemiOptions{});
   const auto sets = SampleBatch();

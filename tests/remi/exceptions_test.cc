@@ -120,6 +120,7 @@ TEST_F(ExceptionsTest, LargerBudgetsOnlyImprove) {
 TEST_F(ExceptionsTest, ParallelAgreesWithSequential) {
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner par_miner(kb_, par);
   const std::vector<TermId> targets{Id("Rennes"), Id("Nantes")};
   for (size_t k : {1u, 3u}) {

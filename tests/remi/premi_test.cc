@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "kbgen/curated.h"
 #include "kbgen/kb_builder.h"
 #include "kbgen/synthetic.h"
@@ -29,10 +31,42 @@ class PremiTest : public ::testing::Test {
 
 KnowledgeBase* PremiTest::kb_ = nullptr;
 
+TEST_F(PremiTest, EffectiveThreadsClampsToHardware) {
+  RemiOptions options;
+  options.num_threads = 1 << 20;  // absurd request
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(options.EffectiveThreads(), static_cast<int>(hw));
+  } else {
+    EXPECT_EQ(options.EffectiveThreads(), options.num_threads);
+  }
+  options.clamp_threads_to_hardware = false;
+  EXPECT_EQ(options.EffectiveThreads(), options.num_threads);
+  // Sequential configs are never touched by the clamp.
+  options.clamp_threads_to_hardware = true;
+  options.num_threads = 1;
+  EXPECT_EQ(options.EffectiveThreads(), 1);
+
+  // A clamped miner still mines correctly (it may fall back to the
+  // sequential path on few-core machines — results must be identical
+  // either way).
+  RemiOptions clamped;
+  clamped.num_threads = 64;
+  RemiMiner clamped_miner(kb_, clamped);
+  RemiMiner seq_miner(kb_, RemiOptions{});
+  auto a = seq_miner.MineRe({Id("Paris")});
+  auto b = clamped_miner.MineRe({Id("Paris")});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->found, b->found);
+  EXPECT_EQ(a->expression, b->expression);
+}
+
 TEST_F(PremiTest, AgreesWithSequentialOnSingleton) {
   RemiOptions seq;
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner seq_miner(kb_, seq);
   RemiMiner par_miner(kb_, par);
   for (const char* name : {"Paris", "Marie_Curie", "Agrofert", "Guyana"}) {
@@ -52,6 +86,7 @@ TEST_F(PremiTest, AgreesWithSequentialOnSingleton) {
 TEST_F(PremiTest, AgreesWithSequentialOnPairs) {
   RemiOptions par;
   par.num_threads = 3;
+  par.clamp_threads_to_hardware = false;
   RemiMiner seq_miner(kb_, RemiOptions{});
   RemiMiner par_miner(kb_, par);
   const std::vector<std::vector<TermId>> target_sets = {
@@ -84,6 +119,7 @@ TEST_F(PremiTest, NoSolutionSignalTerminatesAllThreads) {
   KnowledgeBase kb = std::move(b).Build(kb_options);
   RemiOptions options;
   options.num_threads = 4;
+  options.clamp_threads_to_hardware = false;
   RemiMiner miner(&kb, options);
   auto result = miner.MineRe({*FindEntity(kb, "twin1")});
   ASSERT_TRUE(result.ok());
@@ -93,6 +129,7 @@ TEST_F(PremiTest, NoSolutionSignalTerminatesAllThreads) {
 TEST_F(PremiTest, ManyThreadsMoreThanRoots) {
   RemiOptions options;
   options.num_threads = 32;  // far more threads than queue entries
+  options.clamp_threads_to_hardware = false;
   RemiMiner miner(kb_, options);
   auto result = miner.MineRe({Id("Paris")});
   ASSERT_TRUE(result.ok());
@@ -102,6 +139,7 @@ TEST_F(PremiTest, ManyThreadsMoreThanRoots) {
 TEST_F(PremiTest, RepeatedRunsAreDeterministic) {
   RemiOptions options;
   options.num_threads = 4;
+  options.clamp_threads_to_hardware = false;
   RemiMiner miner(kb_, options);
   auto first = miner.MineRe({Id("Rennes"), Id("Nantes")});
   ASSERT_TRUE(first.ok());
@@ -130,6 +168,7 @@ TEST_P(PremiWorkloadTest, ParallelMatchesSequentialOnWorkload) {
 
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   RemiMiner seq_miner(&kb, RemiOptions{});
   RemiMiner par_miner(&kb, par);
   for (const auto& set : sets) {
@@ -175,6 +214,7 @@ TEST_P(PremiSyntheticPropertyTest, ThreadCountsAgreeWithSequential) {
   for (const int threads : {2, 4, 8}) {
     RemiOptions par;
     par.num_threads = threads;
+    par.clamp_threads_to_hardware = false;
     RemiMiner par_miner(&kb, par);
     for (const auto& set : sets) {
       auto a = seq_miner.MineRe(set.entities);
@@ -198,6 +238,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PremiSyntheticPropertyTest,
 TEST_F(PremiTest, DeepSpillDepthAgreesWithSequential) {
   RemiOptions par;
   par.num_threads = 4;
+  par.clamp_threads_to_hardware = false;
   par.spill_depth = 64;
   RemiMiner seq_miner(kb_, RemiOptions{});
   RemiMiner par_miner(kb_, par);

@@ -300,6 +300,7 @@ TEST(ServiceCandidatesTest, RankedQueueAscendingAndLimited) {
 TEST(ServiceBatchTest, BatchEqualsIndividualMines) {
   ServiceOptions options;
   options.mining.num_threads = 4;  // exercise the shared pool
+  options.mining.clamp_threads_to_hardware = false;
   auto service = Service::Create(BuildCuratedKb(), options);
 
   const std::vector<std::vector<std::string>> names = {

@@ -295,7 +295,8 @@ int CmdMine(const std::string& path, const remi::Flags& flags) {
                   response->stats.count_only_prunes),
               static_cast<unsigned long long>(
                   response->stats.arena_frames_reused),
-              response->stats.pinned_queue_bytes / 1024,
+              (response->stats.pinned_queue_bytes +
+               response->stats.dense_twin_bytes) / 1024,
               static_cast<unsigned long long>(
                   response->stats.search_cache_lookups));
   return 0;
