@@ -219,16 +219,25 @@ JsonValue StatusToJson(const Status& status) {
   if (!status.message().empty()) {
     out.Set("message", JsonValue::String(status.message()));
   }
+  if (status.IsResourceExhausted()) {
+    // Admission queue is full: tell well-behaved clients when to come
+    // back. The slot turnover time is workload-dependent; 100 ms is a
+    // conservative floor that stops tight retry loops without parking
+    // clients for a human-visible pause.
+    out.Set("retry_after_ms", JsonValue::Number(100));
+  }
   return out;
 }
 
-JsonValue MineResponseToJson(const Service& service,
-                             const MineResponse& response) {
+JsonValue MineResponseToJson(const MineResponse& response) {
   JsonValue out = StatusToJson(response.status);
   out.Set("found", JsonValue::Bool(response.found));
+  // target_labels were rendered under the request's pinned generation;
+  // resolving response.targets against the live KB here instead would
+  // race with a concurrent reload (the ids index the *old* dictionary).
   JsonValue targets = JsonValue::Array();
-  for (const TermId t : response.targets) {
-    targets.Append(JsonValue::String(service.kb().Label(t)));
+  for (const std::string& label : response.target_labels) {
+    targets.Append(JsonValue::String(label));
   }
   out.Set("targets", std::move(targets));
   if (response.found) {
@@ -249,12 +258,11 @@ JsonValue MineResponseToJson(const Service& service,
   return out;
 }
 
-JsonValue BatchMineResponseToJson(const Service& service,
-                                  const BatchMineResponse& response) {
+JsonValue BatchMineResponseToJson(const BatchMineResponse& response) {
   JsonValue out = StatusToJson(response.status);
   JsonValue results = JsonValue::Array();
   for (const MineResponse& item : response.results) {
-    results.Append(MineResponseToJson(service, item));
+    results.Append(MineResponseToJson(item));
   }
   out.Set("results", std::move(results));
   out.Set("queue_wait_seconds",
@@ -277,12 +285,16 @@ JsonValue SummarizeResponseToJson(const SummarizeResponse& response) {
 JsonValue CountersToJson(const Service& service) {
   const ServiceCounters counters = service.counters();
   JsonValue out = StatusToJson(Status::OK());
+  // Pin the current generation for the three KB reads: a reload between
+  // them must not mix sizes of two different KBs (or retire the one being
+  // read from under us).
+  const std::shared_ptr<const KnowledgeBase> kb = service.SharedKb();
   out.Set("facts",
-          JsonValue::Number(static_cast<double>(service.kb().NumFacts())));
+          JsonValue::Number(static_cast<double>(kb->NumFacts())));
   out.Set("entities",
-          JsonValue::Number(static_cast<double>(service.kb().NumEntities())));
+          JsonValue::Number(static_cast<double>(kb->NumEntities())));
   out.Set("predicates", JsonValue::Number(static_cast<double>(
-                            service.kb().NumPredicates())));
+                            kb->NumPredicates())));
   out.Set("admitted",
           JsonValue::Number(static_cast<double>(counters.admitted)));
   out.Set("completed_ok",
@@ -299,6 +311,30 @@ JsonValue CountersToJson(const Service& service) {
           JsonValue::Number(static_cast<double>(counters.in_flight)));
   out.Set("peak_in_flight", JsonValue::Number(
                                 static_cast<double>(counters.peak_in_flight)));
+  out.Set("generation",
+          JsonValue::Number(static_cast<double>(counters.generation)));
+  out.Set("active_generations", JsonValue::Number(static_cast<double>(
+                                    counters.active_generations)));
+  out.Set("reloads_ok",
+          JsonValue::Number(static_cast<double>(counters.reloads_ok)));
+  out.Set("reloads_rejected", JsonValue::Number(static_cast<double>(
+                                  counters.reloads_rejected)));
+  return out;
+}
+
+JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response) {
+  JsonValue out = StatusToJson(response.status);
+  out.Set("generation",
+          JsonValue::Number(static_cast<double>(response.generation)));
+  out.Set("facts", JsonValue::Number(static_cast<double>(response.facts)));
+  out.Set("entities",
+          JsonValue::Number(static_cast<double>(response.entities)));
+  if (response.parse_skipped_lines > 0) {
+    out.Set("parse_skipped_lines",
+            JsonValue::Number(
+                static_cast<double>(response.parse_skipped_lines)));
+  }
+  out.Set("load_seconds", JsonValue::Number(response.load_seconds));
   return out;
 }
 
@@ -330,7 +366,7 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     request->control.cancel = cancel;
     auto response = service->Mine(*request);
     if (!response.ok()) return StatusToJson(response.status()).Dump();
-    return MineResponseToJson(*service, *response).Dump();
+    return MineResponseToJson(*response).Dump();
   }
   if (op->AsString() == "batch_mine") {
     auto request = BatchMineRequestFromJson(*parsed);
@@ -338,7 +374,7 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     request->control.cancel = cancel;
     auto response = service->BatchMine(*request);
     if (!response.ok()) return StatusToJson(response.status()).Dump();
-    return BatchMineResponseToJson(*service, *response).Dump();
+    return BatchMineResponseToJson(*response).Dump();
   }
   if (op->AsString() == "summarize") {
     auto request = SummarizeRequestFromJson(*parsed);
@@ -352,20 +388,39 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     auto request = CandidatesRequestFromJson(*parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
     request->control.cancel = cancel;
-    auto ranked = service->Candidates(*request);
+    // Texts come back rendered under the request's pinned generation —
+    // rendering the TermId-bearing expressions against service->kb()
+    // here would be undefined behavior if a reload swapped dictionaries.
+    std::vector<std::string> texts;
+    auto ranked = service->Candidates(*request, &texts);
     if (!ranked.ok()) return StatusToJson(ranked.status()).Dump();
     JsonValue out = StatusToJson(Status::OK());
     JsonValue items = JsonValue::Array();
-    for (const RankedSubgraph& r : *ranked) {
+    for (size_t i = 0; i < ranked->size(); ++i) {
       JsonValue item = JsonValue::Object();
-      item.Set("cost", JsonValue::Number(r.cost));
-      item.Set("expression",
-               JsonValue::String(r.expression.ToString(
-                   service->kb().dict())));
+      item.Set("cost", JsonValue::Number((*ranked)[i].cost));
+      item.Set("expression", JsonValue::String(texts[i]));
       items.Append(std::move(item));
     }
     out.Set("candidates", std::move(items));
     return out.Dump();
+  }
+  if (op->AsString() == "reload") {
+    const JsonValue* path = parsed->Find("path");
+    if (path == nullptr || !path->is_string()) {
+      return StatusToJson(Status::InvalidArgument(
+                              "reload request needs \"path\" (string)"))
+          .Dump();
+    }
+    ReloadKbRequest request;
+    request.spec.path = path->AsString();
+    const Status lenient =
+        ReadBool(*parsed, "lenient", &request.spec.lenient_parse);
+    if (!lenient.ok()) return StatusToJson(lenient).Dump();
+    // ReloadKb itself never fails out-of-band: every load/validation
+    // error is in the response status and the prior generation keeps
+    // serving.
+    return ReloadKbResponseToJson(service->ReloadKb(request)).Dump();
   }
   return StatusToJson(Status::InvalidArgument("unknown op '" +
                                               op->AsString() + "'"))

@@ -12,6 +12,7 @@
 //   {"op":"candidates","targets":["Berlin"],"limit":10}
 //   {"op":"stats"}
 //   {"op":"ping"}
+//   {"op":"reload","path":"/data/kb.rkf2","lenient":true}
 //
 // Shared optional knobs: "deadline_ms" (number) → RequestControl,
 // "metric" ("fr"|"pr") → CostModelOptions override, "language"
@@ -22,7 +23,17 @@
 // Every response is one JSON object with at least {"status": "<Code>"}
 // ("OK" for success) and, for non-OK statuses, a "message". Execution
 // outcomes (DeadlineExceeded, Cancelled) come back with the partial stats
-// the run accumulated, mirroring MineResponse::status.
+// the run accumulated, mirroring MineResponse::status. ResourceExhausted
+// responses (admission overflow) additionally carry "retry_after_ms", a
+// client back-off hint. "reload" responses report the serving generation
+// after the call — unchanged when the candidate was rejected (reload
+// failures are in-band: Corruption/ParseError/IoError, connection stays
+// open, prior generation keeps serving).
+//
+// Response serialization never touches the live KB: mine/batch responses
+// carry labels and expression text pre-rendered under the generation the
+// request was pinned to, so a concurrent "reload" cannot skew or corrupt
+// bytes already being written out.
 
 #pragma once
 
@@ -43,13 +54,16 @@ Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v);
 
 // --- response serialization (contract structs -> JSON) -----------------------
 
-JsonValue MineResponseToJson(const Service& service,
-                             const MineResponse& response);
-JsonValue BatchMineResponseToJson(const Service& service,
-                                  const BatchMineResponse& response);
+/// Self-contained: reads only the pre-rendered labels/text carried by the
+/// response (its pinned generation), never the service's live KB.
+JsonValue MineResponseToJson(const MineResponse& response);
+JsonValue BatchMineResponseToJson(const BatchMineResponse& response);
 JsonValue SummarizeResponseToJson(const SummarizeResponse& response);
 JsonValue CountersToJson(const Service& service);
+JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response);
 /// {"status": "<Code>", "message": "..."} (message omitted when empty).
+/// ResourceExhausted additionally carries "retry_after_ms" so well-behaved
+/// clients back off instead of hammering a full admission queue.
 JsonValue StatusToJson(const Status& status);
 
 /// Parses one request line, dispatches it to `service`, and serializes

@@ -117,6 +117,69 @@ void LineServer::Stop() {
   }
 }
 
+bool LineServer::Drain(double grace_seconds) {
+  // Phase 1: stop the intake. After this no new connection is accepted;
+  // the listener socket is fully gone, so clients see ECONNREFUSED
+  // instead of queueing behind a server that will never serve them.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Phase 2: half-close every open connection. SHUT_RD makes the serving
+  // thread's next recv() return 0 once it has drained what the client
+  // already sent — buffered requests still execute and their responses
+  // still flush (the write side stays open). This is the difference from
+  // Stop(): no in-flight mine is cancelled yet.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      if (connection->fd >= 0) shutdown(connection->fd, SHUT_RD);
+    }
+  }
+
+  // Phase 3: wait out the grace period on the connections' done flags.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(grace_seconds));
+  bool all_done = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      all_done = true;
+      for (const auto& connection : connections_) {
+        if (!connection->done.load(std::memory_order_acquire)) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Phase 4: whatever is still running has used up its grace — cancel it
+  // (every dispatched request carries this token) and cut the sockets
+  // both ways so the serving threads unblock and exit.
+  if (!all_done) cancel_source_.RequestCancellation();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      if (connection->fd >= 0) shutdown(connection->fd, SHUT_RDWR);
+    }
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  return all_done;
+}
+
 void LineServer::ReapFinishedConnections() {
   std::vector<std::unique_ptr<Connection>> finished;
   {

@@ -62,6 +62,17 @@ class LineServer {
   /// serving threads. Idempotent; also run by the destructor.
   void Stop();
 
+  /// Graceful shutdown: stops accepting new connections, half-closes every
+  /// open connection (SHUT_RD — requests already received keep executing
+  /// and their responses still flush; the client sees EOF after the last
+  /// one), and waits up to `grace_seconds` for connections to finish. On
+  /// grace expiry the remaining in-flight requests are cancelled and the
+  /// connections torn down. Always leaves the server fully stopped
+  /// (follow with Stop() if you want the idempotent hard-stop bookkeeping;
+  /// it is a no-op after a completed drain). Returns true iff every
+  /// connection finished within the grace period.
+  bool Drain(double grace_seconds);
+
   /// The bound port (after Start); useful with port 0.
   int port() const { return port_; }
 

@@ -48,22 +48,41 @@ std::string VariantKey(const CostModelOptions& cost,
 
 }  // namespace
 
-Result<std::unique_ptr<Service>> Service::Open(const KbSpec& spec,
-                                               const ServiceOptions& options) {
+// --- epoch registry ----------------------------------------------------------
+
+Service::KbEpoch::KbEpoch(KnowledgeBase kb_in, uint64_t generation_in,
+                          const ServiceOptions& options,
+                          std::shared_ptr<std::atomic<size_t>> live_epochs_in)
+    : kb(std::move(kb_in)),
+      generation(generation_in),
+      eval_cache(std::make_shared<EvalCache>(
+          options.mining.eval_cache_capacity,
+          options.mining.eval_cache_shards)),
+      live_epochs(std::move(live_epochs_in)) {
+  live_epochs->fetch_add(1, std::memory_order_relaxed);
+}
+
+Service::KbEpoch::~KbEpoch() {
+  live_epochs->fetch_sub(1, std::memory_order_relaxed);
+}
+
+Result<Service::LoadedKb> Service::LoadKb(const KbSpec& spec) {
   const std::string magic = ReadMagic(spec.path);
   if (magic == std::string("RKF2", 4)) {
+    // OpenSnapshot runs the full structural-invariant validation pass:
+    // checksums, section-table bounds, dictionary/CSR cross-invariants.
+    // Anything wrong fails here with Corruption, never downstream UB.
     auto kb = KnowledgeBase::OpenSnapshot(spec.path);
     if (!kb.ok()) return WithMessagePrefix(kb.status(), spec.path);
-    return std::unique_ptr<Service>(
-        new Service(std::move(*kb), options));
+    return LoadedKb{std::move(*kb), 0};
   }
   if (magic == std::string("RKF1", 4)) {
     auto data = ReadRkfFile(spec.path);
     if (!data.ok()) return WithMessagePrefix(data.status(), spec.path);
-    return std::unique_ptr<Service>(new Service(
+    return LoadedKb{
         KnowledgeBase::Build(std::move(data->dict), std::move(data->triples),
                              spec.kb),
-        options));
+        0};
   }
   Dictionary dict;
   Result<std::vector<Triple>> triples = Status::Internal("unreachable");
@@ -77,10 +96,17 @@ Result<std::unique_ptr<Service>> Service::Open(const KbSpec& spec,
     skipped_lines = parser.skipped_lines();
   }
   if (!triples.ok()) return WithMessagePrefix(triples.status(), spec.path);
-  auto service = std::unique_ptr<Service>(new Service(
+  return LoadedKb{
       KnowledgeBase::Build(std::move(dict), std::move(*triples), spec.kb),
-      options));
-  service->parse_skipped_lines_ = skipped_lines;
+      skipped_lines};
+}
+
+Result<std::unique_ptr<Service>> Service::Open(const KbSpec& spec,
+                                               const ServiceOptions& options) {
+  REMI_ASSIGN_OR_RETURN(LoadedKb loaded, LoadKb(spec));
+  auto service =
+      std::unique_ptr<Service>(new Service(std::move(loaded.kb), options));
+  service->epoch_->parse_skipped_lines = loaded.parse_skipped_lines;
   return service;
 }
 
@@ -90,21 +116,85 @@ std::unique_ptr<Service> Service::Create(KnowledgeBase kb,
 }
 
 Service::Service(KnowledgeBase kb, const ServiceOptions& options)
-    : kb_(std::move(kb)),
-      options_(options),
-      eval_cache_(std::make_shared<EvalCache>(
-          options.mining.eval_cache_capacity,
-          options.mining.eval_cache_shards)) {
+    : options_(options) {
   const int effective_threads = options_.mining.EffectiveThreads();
   if (effective_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(effective_threads));
   }
+  epoch_ = std::make_shared<KbEpoch>(std::move(kb), /*generation=*/1,
+                                     options_, live_epochs_);
 }
 
 Service::~Service() = default;
 
-RemiMiner* Service::MinerFor(const std::optional<CostModelOptions>& cost,
+std::shared_ptr<Service::KbEpoch> Service::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+const KnowledgeBase& Service::kb() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_->kb;
+}
+
+std::shared_ptr<const KnowledgeBase> Service::SharedKb() const {
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  // Aliased: holds the whole epoch, exposes only its KB.
+  return std::shared_ptr<const KnowledgeBase>(epoch, &epoch->kb);
+}
+
+uint64_t Service::generation() const { return CurrentEpoch()->generation; }
+
+size_t Service::parse_skipped_lines() const {
+  return CurrentEpoch()->parse_skipped_lines;
+}
+
+ReloadKbResponse Service::ReloadKb(const ReloadKbRequest& request) {
+  ReloadKbResponse response;
+  Timer timer;
+  // Serializing reloads makes generation numbering race-free and keeps at
+  // most one candidate load in memory at a time. Request traffic is never
+  // blocked by this lock: the serving path only takes epoch_mu_, which is
+  // held below just for the pointer swap.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  auto loaded = LoadKb(request.spec);
+  response.load_seconds = timer.ElapsedSeconds();
+  if (!loaded.ok()) {
+    // Fail closed: the candidate never touched the registry. Report the
+    // load error in-band and describe the generation that keeps serving.
+    reloads_rejected_.fetch_add(1, std::memory_order_relaxed);
+    response.status = loaded.status();
+    std::shared_ptr<KbEpoch> serving = CurrentEpoch();
+    response.generation = serving->generation;
+    response.facts = serving->kb.NumFacts();
+    response.entities = serving->kb.NumEntities();
+    response.parse_skipped_lines = serving->parse_skipped_lines;
+    return response;
+  }
+  std::shared_ptr<KbEpoch> next;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    next = std::make_shared<KbEpoch>(std::move(loaded->kb),
+                                     epoch_->generation + 1, options_,
+                                     live_epochs_);
+    next->parse_skipped_lines = loaded->parse_skipped_lines;
+    // Publish. The displaced epoch lives on until its last pinned request
+    // releases it (shared_ptr count is the drain counter) and takes its
+    // EvalCache and miners with it — stale entries die with their epoch.
+    epoch_ = next;
+  }
+  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
+  response.status = Status::OK();
+  response.generation = next->generation;
+  response.facts = next->kb.NumFacts();
+  response.entities = next->kb.NumEntities();
+  response.parse_skipped_lines = next->parse_skipped_lines;
+  return response;
+}
+
+RemiMiner* Service::MinerFor(const KbEpoch& epoch,
+                             const std::optional<CostModelOptions>& cost,
                              const std::optional<EnumeratorOptions>&
                                  enumerator) {
   RemiOptions variant = options_.mining;
@@ -113,18 +203,19 @@ RemiMiner* Service::MinerFor(const std::optional<CostModelOptions>& cost,
   const std::string key = VariantKey(variant.cost, variant.enumerator);
 
   {
-    std::lock_guard<std::mutex> lock(miners_mu_);
-    auto it = miners_.find(key);
-    if (it != miners_.end()) return it->second.get();
+    std::lock_guard<std::mutex> lock(epoch.miners_mu);
+    auto it = epoch.miners.find(key);
+    if (it != epoch.miners.end()) return it->second.get();
   }
   // Build outside the lock: a first Ĉpr request runs a full PageRank
   // pass, which must not stall concurrent requests for other (or
   // already-built) variants. Two racing builders of the same variant
-  // just discard one result.
-  auto built =
-      std::make_unique<RemiMiner>(&kb_, variant, pool_.get(), eval_cache_);
-  std::lock_guard<std::mutex> lock(miners_mu_);
-  auto [it, inserted] = miners_.emplace(key, std::move(built));
+  // just discard one result. The miner points into this epoch's KB and
+  // cache only — the caller's epoch pin keeps both alive.
+  auto built = std::make_unique<RemiMiner>(&epoch.kb, variant, pool_.get(),
+                                           epoch.eval_cache);
+  std::lock_guard<std::mutex> lock(epoch.miners_mu);
+  auto [it, inserted] = epoch.miners.emplace(key, std::move(built));
   return it->second.get();
 }
 
@@ -207,6 +298,10 @@ ServiceCounters Service::counters() const {
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
   c.rejected = rejected_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
+  c.reloads_rejected = reloads_rejected_.load(std::memory_order_relaxed);
+  c.generation = generation();
+  c.active_generations = live_epochs_->load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(admission_mu_);
   c.in_flight = in_flight_;
   c.peak_in_flight = peak_in_flight_;
@@ -215,46 +310,47 @@ ServiceCounters Service::counters() const {
 
 // --- target resolution -------------------------------------------------------
 
-void Service::EnsureLocalNameIndex() const {
-  std::call_once(local_name_index_once_, [this] {
-    local_name_index_.reserve(kb_.NumEntities());
-    for (TermId id = 0; id < kb_.dict().size(); ++id) {
-      if (kb_.dict().kind(id) != TermKind::kIri) continue;
-      if (!kb_.IsEntity(id)) continue;
-      const std::string_view lex = kb_.dict().lexical(id);
+void Service::EnsureNameIndex(const KbEpoch& epoch) {
+  std::call_once(epoch.name_index_once, [&epoch] {
+    epoch.name_index.reserve(epoch.kb.NumEntities());
+    for (TermId id = 0; id < epoch.kb.dict().size(); ++id) {
+      if (epoch.kb.dict().kind(id) != TermKind::kIri) continue;
+      if (!epoch.kb.IsEntity(id)) continue;
+      const std::string_view lex = epoch.kb.dict().lexical(id);
       const size_t cut = lex.find_last_of("/#");
       const std::string_view local =
           cut == std::string_view::npos ? lex : lex.substr(cut + 1);
       auto [it, inserted] =
-          local_name_index_.emplace(local, std::make_pair(id, 1u));
+          epoch.name_index.emplace(local, std::make_pair(id, 1u));
       if (!inserted) ++it->second.second;
     }
   });
 }
 
-Result<TermId> Service::ResolveTarget(const std::string& name) const {
+Result<TermId> Service::ResolveTargetIn(const KbEpoch& epoch,
+                                        const std::string& name) {
   // The exact-IRI path enforces the same entity contract as the suffix
   // paths: a predicate or class IRI is not a mining target.
-  auto exact = kb_.dict().Lookup(TermKind::kIri, name);
-  if (exact.ok() && kb_.IsEntity(*exact)) return *exact;
+  auto exact = epoch.kb.dict().Lookup(TermKind::kIri, name);
+  if (exact.ok() && epoch.kb.IsEntity(*exact)) return *exact;
   size_t hits = 0;
   TermId match = kNullTerm;
   if (name.find_first_of("/#") == std::string::npos) {
     // A separator-free name can only match as a whole IRI local name:
     // answered by the O(1) index instead of a dictionary scan.
-    EnsureLocalNameIndex();
-    const auto it = local_name_index_.find(name);
-    if (it != local_name_index_.end()) {
+    EnsureNameIndex(epoch);
+    const auto it = epoch.name_index.find(name);
+    if (it != epoch.name_index.end()) {
       match = it->second.first;
       hits = it->second.second;
     }
   } else {
     // Multi-segment suffixes ("resource/Paris") are rare: fall back to
     // the boundary-checked scan.
-    for (TermId id = 0; id < kb_.dict().size(); ++id) {
-      if (kb_.dict().kind(id) != TermKind::kIri) continue;
-      if (!kb_.IsEntity(id)) continue;
-      const std::string_view lex = kb_.dict().lexical(id);
+    for (TermId id = 0; id < epoch.kb.dict().size(); ++id) {
+      if (epoch.kb.dict().kind(id) != TermKind::kIri) continue;
+      if (!epoch.kb.IsEntity(id)) continue;
+      const std::string_view lex = epoch.kb.dict().lexical(id);
       if (EndsWith(lex, name) &&
           (lex.size() == name.size() ||
            lex[lex.size() - name.size() - 1] == '/' ||
@@ -270,18 +366,18 @@ Result<TermId> Service::ResolveTarget(const std::string& name) const {
                                  std::to_string(hits) + " matches)");
 }
 
-Result<std::vector<TermId>> Service::ResolveTargets(
-    const TargetSpec& spec) const {
+Result<std::vector<TermId>> Service::ResolveTargetsIn(const KbEpoch& epoch,
+                                                      const TargetSpec& spec) {
   std::vector<TermId> out;
   out.reserve(spec.ids.size() + spec.names.size());
   for (const TermId id : spec.ids) {
-    if (id >= kb_.dict().size()) {
+    if (id >= epoch.kb.dict().size()) {
       return Status::InvalidArgument("target id " + std::to_string(id) +
                                      " is outside the dictionary");
     }
     // Same entity contract as the lexical paths: predicates, classes and
     // literals are not mining targets.
-    if (!kb_.IsEntity(id)) {
+    if (!epoch.kb.IsEntity(id)) {
       return Status::InvalidArgument("target id " + std::to_string(id) +
                                      " is not an entity");
     }
@@ -289,7 +385,7 @@ Result<std::vector<TermId>> Service::ResolveTargets(
   }
   for (const std::string& name : spec.names) {
     if (name.empty()) continue;
-    REMI_ASSIGN_OR_RETURN(const TermId id, ResolveTarget(name));
+    REMI_ASSIGN_OR_RETURN(const TermId id, ResolveTargetIn(epoch, name));
     out.push_back(id);
   }
   std::sort(out.begin(), out.end());
@@ -300,9 +396,21 @@ Result<std::vector<TermId>> Service::ResolveTargets(
   return out;
 }
 
+Result<TermId> Service::ResolveTarget(const std::string& name) const {
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  return ResolveTargetIn(*epoch, name);
+}
+
+Result<std::vector<TermId>> Service::ResolveTargets(
+    const TargetSpec& spec) const {
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  return ResolveTargetsIn(*epoch, spec);
+}
+
 // --- request handlers --------------------------------------------------------
 
-MineResponse Service::BuildMineResponse(const RemiResult& mined,
+MineResponse Service::BuildMineResponse(const KbEpoch& epoch,
+                                        const RemiResult& mined,
                                         bool verbalize,
                                         std::vector<TermId> targets) const {
   MineResponse response;
@@ -313,18 +421,24 @@ MineResponse Service::BuildMineResponse(const RemiResult& mined,
   }
   response.found = mined.found;
   response.targets = std::move(targets);
+  // Labels are rendered here, under the request's pin, so serialization
+  // layers never have to touch a possibly-swapped live KB.
+  for (const TermId t : response.targets) {
+    response.target_labels.push_back(epoch.kb.Label(t));
+  }
   response.stats = mined.stats;
+  response.service.generation = epoch.generation;
   if (mined.found) {
     response.cost = mined.cost;
     response.expression = mined.expression;
-    response.expression_text = mined.expression.ToString(kb_.dict());
+    response.expression_text = mined.expression.ToString(epoch.kb.dict());
     if (verbalize) {
-      Verbalizer verbalizer(&kb_);
+      Verbalizer verbalizer(&epoch.kb);
       response.verbalization = verbalizer.Sentence(mined.expression);
     }
     response.exceptions = mined.exceptions;
     for (const TermId e : mined.exceptions) {
-      response.exception_labels.push_back(kb_.Label(e));
+      response.exception_labels.push_back(epoch.kb.Label(e));
     }
   }
   return response;
@@ -344,17 +458,21 @@ Result<MineResponse> Service::Mine(const MineRequest& request) {
     CountOutcome(admitted);
     return response;
   }
+  // Pin after admission, not before: the request runs on the freshest
+  // generation and holds its pin only while actually executing.
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
 
   auto run = [&]() -> Result<MineResponse> {
     ServiceStats service_stats;
     service_stats.queue_wait_seconds = queue_wait;
+    service_stats.generation = epoch->generation;
 
     Timer resolve_timer;
-    auto targets = ResolveTargets(request.targets);
+    auto targets = ResolveTargetsIn(*epoch, request.targets);
     if (!targets.ok()) return targets.status();
     service_stats.resolve_seconds = resolve_timer.ElapsedSeconds();
 
-    RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+    RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -365,8 +483,9 @@ Result<MineResponse> Service::Mine(const MineRequest& request) {
     if (!mined.ok()) return mined.status();
     service_stats.mine_seconds = mine_timer.ElapsedSeconds();
 
-    MineResponse response =
-        BuildMineResponse(*mined, request.verbalize, std::move(*targets));
+    MineResponse response = BuildMineResponse(*epoch, *mined,
+                                              request.verbalize,
+                                              std::move(*targets));
     response.service = service_stats;
     CountOutcome(response.status);
     return response;
@@ -393,16 +512,18 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     CountOutcome(admitted);
     return response;
   }
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
 
   auto run = [&]() -> Result<BatchMineResponse> {
     BatchMineResponse response;
     response.service.queue_wait_seconds = queue_wait;
+    response.service.generation = epoch->generation;
 
     Timer resolve_timer;
     std::vector<std::vector<TermId>> sets;
     sets.reserve(request.target_sets.size());
     for (size_t i = 0; i < request.target_sets.size(); ++i) {
-      auto targets = ResolveTargets(request.target_sets[i]);
+      auto targets = ResolveTargetsIn(*epoch, request.target_sets[i]);
       if (!targets.ok()) {
         return WithMessagePrefix(targets.status(),
                                  "target set #" + std::to_string(i));
@@ -411,7 +532,7 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     }
     response.service.resolve_seconds = resolve_timer.ElapsedSeconds();
 
-    RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+    RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -425,7 +546,7 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     bool any_cancelled = false;
     for (size_t i = 0; i < mined->size(); ++i) {
       MineResponse item = BuildMineResponse(
-          (*mined)[i], request.verbalize, std::move(sets[i]));
+          *epoch, (*mined)[i], request.verbalize, std::move(sets[i]));
       any_timed_out |= item.status.IsDeadlineExceeded();
       any_cancelled |= item.status.IsCancelled();
       response.results.push_back(std::move(item));
@@ -460,13 +581,15 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
     CountOutcome(admitted);
     return response;
   }
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
 
   auto run = [&]() -> Result<SummarizeResponse> {
     SummarizeResponse response;
     response.service.queue_wait_seconds = queue_wait;
+    response.service.generation = epoch->generation;
 
     Timer resolve_timer;
-    auto resolved = ResolveTargets(request.entity);
+    auto resolved = ResolveTargetsIn(*epoch, request.entity);
     if (!resolved.ok()) return resolved.status();
     if (resolved->size() != 1) {
       return Status::InvalidArgument(
@@ -475,11 +598,11 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
     }
     response.service.resolve_seconds = resolve_timer.ElapsedSeconds();
     response.entity = (*resolved)[0];
-    response.entity_label = kb_.Label(response.entity);
+    response.entity_label = epoch->kb.Label(response.entity);
 
     // Table 3 protocol: standard language, no rdf:type, no inverses.
     const RemiOptions table3 = MakeTable3RemiOptions(request.metric);
-    RemiMiner* miner = MinerFor(table3.cost, table3.enumerator);
+    RemiMiner* miner = MinerFor(*epoch, table3.cost, table3.enumerator);
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -496,8 +619,8 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
     } else {
       response.items = std::move(*summary);
       for (const SummaryItem& item : response.items) {
-        response.item_labels.push_back(kb_.Label(item.predicate) + " = " +
-                                       kb_.Label(item.object));
+        response.item_labels.push_back(epoch->kb.Label(item.predicate) +
+                                       " = " + epoch->kb.Label(item.object));
       }
     }
     CountOutcome(response.status);
@@ -510,10 +633,12 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
 }
 
 Result<std::vector<RankedSubgraph>> Service::Candidates(
-    const CandidatesRequest& request) {
+    const CandidatesRequest& request,
+    std::vector<std::string>* expression_texts) {
+  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
   REMI_ASSIGN_OR_RETURN(const std::vector<TermId> targets,
-                        ResolveTargets(request.targets));
-  RemiMiner* miner = MinerFor(request.cost, request.enumerator);
+                        ResolveTargetsIn(*epoch, request.targets));
+  RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
   MineControl control;
   control.deadline = DeadlineFor(request.control);
   control.cancel = request.control.cancel;
@@ -521,6 +646,15 @@ Result<std::vector<RankedSubgraph>> Service::Candidates(
                         miner->RankedCommonSubgraphs(targets, control));
   if (request.limit > 0 && ranked.size() > request.limit) {
     ranked.resize(request.limit);
+  }
+  if (expression_texts != nullptr) {
+    expression_texts->clear();
+    expression_texts->reserve(ranked.size());
+    for (const RankedSubgraph& r : ranked) {
+      // Rendered under this request's pin: safe to serialize even if a
+      // reload retires this generation before the caller writes it out.
+      expression_texts->push_back(r.expression.ToString(epoch->kb.dict()));
+    }
   }
   return ranked;
 }

@@ -2,13 +2,32 @@
 //
 // The paper's cost-vs-users scenario (Table 2) and the entity-summarization
 // application (§5) both presume a single KB instance answering many
-// heterogeneous requests. Service packages that: it owns one KnowledgeBase
-// (opened uniformly from .nt/.ttl/.rkf/.rkf2 via KbSpec, or adopted from
-// memory), one long-lived work-stealing thread pool, and one shared
-// match-set cache, and exposes typed request/response contracts. Consumers
-// (the CLI, the line-protocol server, examples, harnesses) talk to this
-// API only; the layers below (RemiMiner, Evaluator, Verbalizer, the
-// summarizer) are implementation detail they no longer wire up by hand.
+// heterogeneous requests. Service packages that: it serves one *current*
+// knowledge-base generation (opened uniformly from .nt/.ttl/.rkf/.rkf2 via
+// KbSpec, or adopted from memory), one long-lived work-stealing thread
+// pool, and exposes typed request/response contracts. Consumers (the CLI,
+// the line-protocol server, examples, harnesses) talk to this API only;
+// the layers below (RemiMiner, Evaluator, Verbalizer, the summarizer) are
+// implementation detail they no longer wire up by hand.
+//
+// Hot-swap (epoch-pinned snapshot registry):
+//   * The KB, its match-set cache, its variant miners, and its lexical
+//     name index are bundled into one immutable-once-published KbEpoch,
+//     held by shared_ptr. Every request pins the epoch that is current
+//     when it starts executing and uses only that epoch's state until it
+//     returns — so a concurrent ReloadKb can never change a request's
+//     results mid-flight (byte-identical to a no-reload run).
+//   * ReloadKb opens and fully validates a candidate KB *off the serving
+//     path* (the RKF2 loader's structural-invariant pass, the parsers'
+//     error checks), and only then publishes it as generation N+1. A
+//     corrupt, truncated, or invariant-violating image fails closed: the
+//     response carries an in-band Corruption/ParseError/IoError status
+//     and the service keeps serving generation N. No reload ever drops
+//     an in-flight or queued request.
+//   * Retired generations are destroyed when their last pinned request
+//     completes (the shared_ptr count is the drain counter; there is no
+//     global pause). Each generation owns its own EvalCache, so stale
+//     match sets die with their epoch instead of poisoning the next one.
 //
 // Contracts:
 //   * Every request carries a RequestControl: a relative deadline and a
@@ -25,8 +44,8 @@
 //     execute while up to max_queued callers wait; one more caller gets
 //     kResourceExhausted immediately.
 //
-// See README.md "Serving & the Service API" for the full status-code
-// table.
+// See README.md "Serving & the Service API" and "Hot-swap & operational
+// runbook" for the full status-code table and reload semantics.
 
 #pragma once
 
@@ -70,8 +89,9 @@ struct KbSpec {
 struct ServiceOptions {
   /// Base mining configuration. `mining.num_threads` sizes the Service's
   /// shared pool (>1 enables P-REMI and concurrent batch items);
-  /// `mining.eval_cache_capacity/shards` size the shared match-set cache.
-  /// Per-request overrides replace only the cost model / language bias.
+  /// `mining.eval_cache_capacity/shards` size each generation's
+  /// match-set cache. Per-request overrides replace only the cost model /
+  /// language bias.
   RemiOptions mining;
 
   /// Requests executing concurrently before callers queue. 0 = unlimited
@@ -122,6 +142,9 @@ struct ServiceStats {
   double queue_wait_seconds = 0.0;  ///< admission queue
   double resolve_seconds = 0.0;     ///< lexical target resolution
   double mine_seconds = 0.0;        ///< time inside the miner
+  /// KB generation this request was pinned to (0 = never pinned, e.g.
+  /// expired while queued).
+  uint64_t generation = 0;
 };
 
 struct MineResponse {
@@ -131,6 +154,10 @@ struct MineResponse {
   bool found = false;
   double cost = 0.0;
   std::vector<TermId> targets;  ///< resolved, sorted, deduplicated
+  /// Labels of `targets`, rendered under the request's pinned generation
+  /// (wire serialization must not consult the live KB: a concurrent
+  /// reload could have swapped it).
+  std::vector<std::string> target_labels;
   Expression expression;
   std::string expression_text;
   std::string verbalization;  ///< filled iff request.verbalize
@@ -196,6 +223,30 @@ struct CandidatesRequest {
   RequestControl control;
 };
 
+/// \brief Swap in a new KB generation without dropping requests.
+///
+/// The candidate is opened and fully validated off the serving path; only
+/// a candidate that passes every structural-invariant check is published.
+/// All failures are reported in-band (fail closed, keep serving).
+struct ReloadKbRequest {
+  KbSpec spec;
+};
+
+struct ReloadKbResponse {
+  /// OK: the new generation is serving. Corruption / ParseError / IoError:
+  /// the candidate was rejected and the previous generation keeps serving
+  /// (the fields below then describe that still-serving generation).
+  Status status;
+  /// The serving generation after the call.
+  uint64_t generation = 0;
+  size_t facts = 0;
+  size_t entities = 0;
+  /// Malformed N-Triples lines skipped by a lenient reload (0 otherwise).
+  size_t parse_skipped_lines = 0;
+  /// Open + validate time of the candidate (even when rejected).
+  double load_seconds = 0.0;
+};
+
 /// Service-wide request counters (monotonic since construction). At
 /// quiescence, admitted == completed_ok + deadline_exceeded + cancelled
 /// + failed; rejected requests were never admitted.
@@ -208,14 +259,25 @@ struct ServiceCounters {
   uint64_t failed = 0;    ///< admitted but invalid (bad targets etc.)
   size_t in_flight = 0;
   size_t peak_in_flight = 0;
+  // --- hot-swap registry ---
+  uint64_t reloads_ok = 0;        ///< published generations (beyond the first)
+  uint64_t reloads_rejected = 0;  ///< fail-closed ReloadKb calls
+  /// The serving generation (starts at 1, +1 per successful reload).
+  uint64_t generation = 0;
+  /// Epochs still alive: the serving one plus retired generations kept
+  /// alive by in-flight pinned requests. 1 at quiescence; a value stuck
+  /// above 1 means a retired generation leaked.
+  size_t active_generations = 0;
 };
 
-/// \brief One KB, one pool, one cache — many requests.
+/// \brief One serving process, many requests, hot-swappable KB generations.
 ///
 /// Thread-safe: any number of threads may issue requests concurrently;
-/// admission control bounds how many actually execute. The Service owns
-/// its KnowledgeBase; keep it alive as long as responses' Expression
-/// values are in use (their TermIds index the Service's dictionary).
+/// admission control bounds how many actually execute, and ReloadKb may
+/// run concurrently with all of them. Responses' Expression/TermId values
+/// index the dictionary of the generation that produced them — keep the
+/// Service alive (and, under concurrent reload, prefer the pre-rendered
+/// *_text/*_labels response fields) while using them.
 class Service {
  public:
   /// Opens the KB described by `spec` and starts a service on it.
@@ -247,30 +309,115 @@ class Service {
   /// Ranked candidate queue; bypasses admission control (introspection),
   /// but the request's control still bounds the costing pass —
   /// DeadlineExceeded/Cancelled surface as the Result error here since
-  /// there is no partial payload to return.
+  /// there is no partial payload to return. When `expression_texts` is
+  /// non-null it receives one rendered expression per returned candidate,
+  /// produced under the request's pinned generation (safe to serialize
+  /// even if a reload lands concurrently).
   Result<std::vector<RankedSubgraph>> Candidates(
-      const CandidatesRequest& request);
+      const CandidatesRequest& request,
+      std::vector<std::string>* expression_texts = nullptr);
+
+  // --- hot swap --------------------------------------------------------------
+
+  /// Opens + validates `request.spec` off the serving path and, on
+  /// success, atomically publishes it as the next generation. Fails
+  /// closed: a corrupt/truncated/invariant-violating candidate is
+  /// reported in-band (Corruption/ParseError/IoError) and the previous
+  /// generation keeps serving. In-flight requests pinned to older
+  /// generations are never disturbed; their epochs are destroyed when the
+  /// last pinned request completes. Concurrent reloads serialize.
+  ReloadKbResponse ReloadKb(const ReloadKbRequest& request);
 
   // --- resolution & introspection -------------------------------------------
 
   /// Resolves one lexical form (full IRI or unambiguous suffix) to an
-  /// entity id. NotFound / InvalidArgument on zero / several matches.
+  /// entity id of the *current* generation. NotFound / InvalidArgument on
+  /// zero / several matches.
   Result<TermId> ResolveTarget(const std::string& name) const;
 
   /// Resolves a TargetSpec to a sorted, deduplicated id list; validates
   /// that explicit ids are in the dictionary range.
   Result<std::vector<TermId>> ResolveTargets(const TargetSpec& spec) const;
 
-  const KnowledgeBase& kb() const { return kb_; }
+  /// The current generation's KB. The reference is stable only while no
+  /// concurrent ReloadKb retires this generation — single-owner callers
+  /// (CLI, tests, examples) may hold it across calls; concurrent servers
+  /// should pin via SharedKb() instead.
+  const KnowledgeBase& kb() const;
+
+  /// The current generation's KB, pinned: the aliased shared_ptr keeps
+  /// the whole epoch (KB + caches) alive even after a reload retires it.
+  std::shared_ptr<const KnowledgeBase> SharedKb() const;
+
+  /// The serving generation number (1-based, +1 per successful reload).
+  uint64_t generation() const;
+
   const ServiceOptions& options() const { return options_; }
   ServiceCounters counters() const;
 
-  /// Malformed N-Triples lines skipped by a lenient Open (0 for other
-  /// formats). Callers surface this so silent data loss stays visible.
-  size_t parse_skipped_lines() const { return parse_skipped_lines_; }
+  /// Malformed N-Triples lines skipped by the current generation's
+  /// lenient open (0 for other formats). Callers surface this so silent
+  /// data loss stays visible.
+  size_t parse_skipped_lines() const;
 
  private:
+  /// One KB generation and everything whose lifetime must match it: the
+  /// per-generation match-set cache (so stale entries die with their
+  /// epoch), the lazily built variant miners (they hold raw pointers into
+  /// `kb`), and the lazily built lexical name index (its keys are views
+  /// into `kb`'s dictionary storage). Published epochs are structurally
+  /// immutable; the mutable members below are internal lazy caches with
+  /// their own synchronization.
+  struct KbEpoch {
+    KbEpoch(KnowledgeBase kb_in, uint64_t generation_in,
+            const ServiceOptions& options,
+            std::shared_ptr<std::atomic<size_t>> live_epochs_in);
+    ~KbEpoch();
+    KbEpoch(const KbEpoch&) = delete;
+    KbEpoch& operator=(const KbEpoch&) = delete;
+
+    const KnowledgeBase kb;
+    const uint64_t generation;
+    size_t parse_skipped_lines = 0;
+    /// Per-generation match-set cache: entries can never outlive (or
+    /// cross into) another generation's KB.
+    std::shared_ptr<EvalCache> eval_cache;
+
+    /// The miner for a cost/bias variant, created on first use. All
+    /// variant miners of one epoch share the service pool and this
+    /// epoch's cache.
+    mutable std::mutex miners_mu;
+    mutable std::map<std::string, std::unique_ptr<RemiMiner>> miners;
+
+    /// Built once on first suffix resolution: IRI local name (after the
+    /// last '/' or '#') -> (entity id, number of entities sharing the
+    /// name). Keys are views into this epoch's dictionary storage. Makes
+    /// the common "Paris"-style lookup O(1) instead of a full dictionary
+    /// scan per request on the serving path.
+    mutable std::once_flag name_index_once;
+    mutable std::unordered_map<std::string_view, std::pair<TermId, uint32_t>>
+        name_index;
+
+    /// Shared live-epoch gauge (ServiceCounters::active_generations);
+    /// shared_ptr so a pinned epoch outliving the Service stays safe.
+    std::shared_ptr<std::atomic<size_t>> live_epochs;
+  };
+
+  /// A KB opened from disk, before it becomes an epoch.
+  struct LoadedKb {
+    KnowledgeBase kb;
+    size_t parse_skipped_lines = 0;
+  };
+
   Service(KnowledgeBase kb, const ServiceOptions& options);
+
+  /// Opens `spec` with format sniffing and full validation (the RKF2
+  /// structural-invariant pass, the parsers' error checks). Pure: touches
+  /// no Service state, so ReloadKb can run it off the serving path.
+  static Result<LoadedKb> LoadKb(const KbSpec& spec);
+
+  /// The serving epoch; the returned shared_ptr is the caller's pin.
+  std::shared_ptr<KbEpoch> CurrentEpoch() const;
 
   /// Blocks until an execution slot is free (or the deadline expires /
   /// the queue overflows). OK = admitted; caller must Release().
@@ -278,37 +425,38 @@ class Service {
                double* queue_wait_seconds);
   void Release();
 
-  /// The miner for a cost/bias variant, created on first use. All variant
-  /// miners share pool_ and eval_cache_.
-  RemiMiner* MinerFor(const std::optional<CostModelOptions>& cost,
+  RemiMiner* MinerFor(const KbEpoch& epoch,
+                      const std::optional<CostModelOptions>& cost,
                       const std::optional<EnumeratorOptions>& enumerator);
 
-  /// Maps one RemiResult into a MineResponse (status, text, labels).
-  MineResponse BuildMineResponse(const RemiResult& mined, bool verbalize,
+  static void EnsureNameIndex(const KbEpoch& epoch);
+  static Result<TermId> ResolveTargetIn(const KbEpoch& epoch,
+                                        const std::string& name);
+  static Result<std::vector<TermId>> ResolveTargetsIn(const KbEpoch& epoch,
+                                                      const TargetSpec& spec);
+
+  /// Maps one RemiResult into a MineResponse (status, text, labels), all
+  /// rendered under `epoch` so the response is self-contained.
+  MineResponse BuildMineResponse(const KbEpoch& epoch, const RemiResult& mined,
+                                 bool verbalize,
                                  std::vector<TermId> targets) const;
 
   Deadline DeadlineFor(const RequestControl& control) const;
   void CountOutcome(const Status& status);
 
-  /// Built once on first suffix resolution: IRI local name (after the
-  /// last '/' or '#') -> (entity id, number of entities sharing the
-  /// name). Keys are views into the dictionary's stable storage. Makes
-  /// the common "Paris"-style lookup O(1) instead of a full dictionary
-  /// scan per request on the serving path.
-  void EnsureLocalNameIndex() const;
-
-  KnowledgeBase kb_;
   ServiceOptions options_;
-  size_t parse_skipped_lines_ = 0;
   std::unique_ptr<ThreadPool> pool_;  ///< iff mining.num_threads > 1
-  std::shared_ptr<EvalCache> eval_cache_;
 
-  std::mutex miners_mu_;
-  std::map<std::string, std::unique_ptr<RemiMiner>> miners_;
+  /// Live-epoch gauge shared with every KbEpoch (see KbEpoch::live_epochs).
+  std::shared_ptr<std::atomic<size_t>> live_epochs_ =
+      std::make_shared<std::atomic<size_t>>(0);
 
-  mutable std::once_flag local_name_index_once_;
-  mutable std::unordered_map<std::string_view, std::pair<TermId, uint32_t>>
-      local_name_index_;
+  /// The snapshot registry: the serving epoch, swapped by ReloadKb.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<KbEpoch> epoch_;
+
+  /// Serializes ReloadKb calls (generation numbering + publish order).
+  std::mutex reload_mu_;
 
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
@@ -322,6 +470,8 @@ class Service {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> reloads_ok_{0};
+  std::atomic<uint64_t> reloads_rejected_{0};
 };
 
 }  // namespace remi

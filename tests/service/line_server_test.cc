@@ -11,7 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <fstream>
 #include <string>
+#include <thread>
 
 #include "service/json_codec.h"
 #include "util/json.h"
@@ -26,7 +30,7 @@ namespace {
 /// A blocking line-oriented client over one TCP connection.
 class LineClient {
  public:
-  explicit LineClient(int port) {
+  explicit LineClient(int port, bool expect_connect = true) {
     fd_ = socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
     sockaddr_in addr{};
@@ -35,7 +39,7 @@ class LineClient {
     inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
     connected_ = connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                          sizeof(addr)) == 0;
-    EXPECT_TRUE(connected_);
+    if (expect_connect) EXPECT_TRUE(connected_);
   }
   ~LineClient() {
     if (fd_ >= 0) close(fd_);
@@ -43,11 +47,15 @@ class LineClient {
 
   bool connected() const { return connected_; }
 
-  /// Sends one request line and reads one response line.
-  std::string RoundTrip(const std::string& request) {
+  /// Sends one request line without waiting for the response.
+  void Send(const std::string& request) {
     std::string out = request + "\n";
     EXPECT_EQ(send(fd_, out.data(), out.size(), 0),
               static_cast<ssize_t>(out.size()));
+  }
+
+  /// Reads one response line (empty + failure on EOF).
+  std::string ReadLine() {
     std::string line;
     char c = 0;
     while (recv(fd_, &c, 1, 0) == 1) {
@@ -56,6 +64,18 @@ class LineClient {
     }
     ADD_FAILURE() << "connection closed before a full response line";
     return line;
+  }
+
+  /// True iff the server closed its end (clean EOF).
+  bool AtEof() {
+    char c = 0;
+    return recv(fd_, &c, 1, 0) == 0;
+  }
+
+  /// Sends one request line and reads one response line.
+  std::string RoundTrip(const std::string& request) {
+    Send(request);
+    return ReadLine();
   }
 
  private:
@@ -187,6 +207,103 @@ TEST_F(LineServerTest, DeadlineTravelsOverTheWire) {
       &client,
       R"({"op":"mine","targets":["Berlin"],"deadline_ms":0.000001})");
   EXPECT_EQ(response.Find("status")->AsString(), "DeadlineExceeded");
+}
+
+TEST_F(LineServerTest, ReloadVerbSwapsGenerationsInBand) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Good reload: re-open the same smoke KB as generation 2.
+  const std::string smoke = std::string(REMI_TESTDATA_DIR) + "/smoke.nt";
+  JsonValue good = Request(
+      &client, std::string(R"({"op":"reload","path":")") + smoke + "\"}");
+  EXPECT_EQ(good.Find("status")->AsString(), "OK");
+  EXPECT_EQ(good.Find("generation")->AsNumber(), 2.0);
+  EXPECT_GT(good.Find("facts")->AsNumber(), 0.0);
+
+  // Corrupt candidate: valid magic, garbage body. Fail closed in-band —
+  // the connection survives and generation 2 keeps serving.
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/line_server_corrupt.rkf2";
+  {
+    std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+    out << "RKF2 this is not a snapshot";
+  }
+  JsonValue corrupt = Request(
+      &client,
+      std::string(R"({"op":"reload","path":")") + corrupt_path + "\"}");
+  EXPECT_EQ(corrupt.Find("status")->AsString(), "Corruption");
+  EXPECT_EQ(corrupt.Find("generation")->AsNumber(), 2.0);
+
+  // Still mining, and the stats op reports the registry counters.
+  JsonValue mine =
+      Request(&client, R"({"op":"mine","targets":["Berlin"]})");
+  EXPECT_EQ(mine.Find("status")->AsString(), "OK");
+  JsonValue stats = Request(&client, R"({"op":"stats"})");
+  EXPECT_EQ(stats.Find("generation")->AsNumber(), 2.0);
+  EXPECT_EQ(stats.Find("reloads_ok")->AsNumber(), 1.0);
+  EXPECT_EQ(stats.Find("reloads_rejected")->AsNumber(), 1.0);
+  EXPECT_GE(stats.Find("active_generations")->AsNumber(), 1.0);
+  std::remove(corrupt_path.c_str());
+}
+
+TEST_F(LineServerTest, AdmissionOverflowCarriesRetryAfterHint) {
+  // A service with one never-queued slot, occupied by a long cancellable
+  // batch: the next wire request must come back ResourceExhausted with
+  // the retry_after_ms back-off hint.
+  KbSpec spec;
+  spec.path = std::string(REMI_TESTDATA_DIR) + "/smoke.nt";
+  ServiceOptions options;
+  options.max_in_flight = 1;
+  options.max_queued = 0;
+  auto opened = Service::Open(spec, options);
+  ASSERT_TRUE(opened.ok());
+  Service* service = opened->get();
+
+  CancellationSource source;
+  BatchMineRequest slow;
+  for (int i = 0; i < 4096; ++i) {
+    TargetSpec target;
+    target.names = {"Berlin"};
+    slow.target_sets.push_back(target);
+  }
+  slow.control.cancel = source.token();
+  std::thread occupant([&] { (void)service->BatchMine(slow); });
+  while (service->counters().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto response = ParseJson(HandleRequestLine(
+      service, R"({"op":"mine","targets":["Berlin"]})"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Find("status")->AsString(), "ResourceExhausted");
+  ASSERT_NE(response->Find("retry_after_ms"), nullptr);
+  EXPECT_GT(response->Find("retry_after_ms")->AsNumber(), 0.0);
+
+  source.RequestCancellation();
+  occupant.join();
+}
+
+TEST_F(LineServerTest, DrainFlushesBufferedResponsesThenCloses) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(Request(&client, R"({"op":"ping"})").Find("status")->AsString(),
+            "OK");
+
+  // A request already on the wire when Drain() starts must still be
+  // answered; afterwards the server closes its end and refuses new
+  // connections.
+  client.Send(R"({"op":"mine","targets":["Berlin"]})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(server_->Drain(/*grace_seconds=*/10.0));
+
+  auto parsed = ParseJson(client.ReadLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("status")->AsString(), "OK");
+  EXPECT_TRUE(client.AtEof());
+
+  LineClient late(server_->port(), /*expect_connect=*/false);
+  EXPECT_FALSE(late.connected());
 }
 
 TEST_F(LineServerTest, StopUnblocksOpenConnections) {

@@ -475,6 +475,47 @@ TEST(ServiceCancelTest, CancellationStopsARunningRequest) {
   EXPECT_EQ(service->counters().cancelled, 1u);
 }
 
+// --- hot-swap registry basics (the fault harness lives in
+// reload_fault_test.cc; these cover the API contract) -------------------------
+
+TEST(ServiceReloadTest, FirstGenerationCountersAndPinnedLabels) {
+  auto service = OpenSmoke();
+  const ServiceCounters before = service->counters();
+  EXPECT_EQ(before.generation, 1u);
+  EXPECT_EQ(before.active_generations, 1u);
+  EXPECT_EQ(before.reloads_ok, 0u);
+  EXPECT_EQ(before.reloads_rejected, 0u);
+
+  MineRequest request;
+  request.targets.names = {"Berlin"};
+  auto response = service->Mine(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->service.generation, 1u);
+  // Labels are rendered under the pin so the wire layer never has to
+  // consult the (possibly swapped) live KB.
+  ASSERT_EQ(response->target_labels.size(), response->targets.size());
+  EXPECT_EQ(response->target_labels[0], "Berlin");
+}
+
+TEST(ServiceReloadTest, SharedKbPinKeepsDisplacedGenerationAlive) {
+  auto service = OpenSmoke();
+  std::shared_ptr<const KnowledgeBase> pinned = service->SharedKb();
+  const size_t facts = pinned->NumFacts();
+
+  ReloadKbRequest reload;
+  reload.spec.path = TestDataPath("smoke.nt");
+  const ReloadKbResponse published = service->ReloadKb(reload);
+  ASSERT_TRUE(published.status.ok()) << published.status.ToString();
+  EXPECT_EQ(published.generation, 2u);
+  EXPECT_EQ(service->generation(), 2u);
+
+  // The displaced generation survives exactly as long as its last pin.
+  EXPECT_EQ(service->counters().active_generations, 2u);
+  EXPECT_EQ(pinned->NumFacts(), facts);
+  pinned.reset();
+  EXPECT_EQ(service->counters().active_generations, 1u);
+}
+
 // --- admission control ------------------------------------------------------
 
 TEST(ServiceAdmissionTest, OverflowReturnsResourceExhausted) {

@@ -7,6 +7,13 @@
 //   remi mine <kb> --targets <iri[,iri...]>  mine the most intuitive RE
 //   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
+//   remi reload <path> --port <p>            hot-swap a running server's KB
+//
+// `reload` is an admin client, not a local operation: it connects to a
+// running remi_server (--host/--port) and sends {"op":"reload","path":...}.
+// The path is resolved by the *server* process. Exit 0 when the new
+// generation is serving; nonzero when the server rejected the candidate
+// (it then keeps serving the prior generation — fail closed).
 //
 // <kb> is anything KbSpec understands: N-Triples (.nt), Turtle (.ttl),
 // RKF (.rkf), or an RKF2 snapshot (.rkf2; opened zero-copy, no rebuild) —
@@ -18,7 +25,14 @@
 // shared pool. --timeout sets the per-request deadline: an expired
 // request reports "timed out" instead of running unbounded.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -27,6 +41,7 @@
 #include "rdf/rkf.h"
 #include "service/service.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -329,6 +344,84 @@ int CmdSummarize(const std::string& path, const remi::Flags& flags) {
   return 0;
 }
 
+/// One blocking line-protocol round trip against a running remi_server:
+/// connect, send `request` + '\n' (full-write loop; MSG_NOSIGNAL so a
+/// server that died mid-send surfaces as EPIPE, not a fatal SIGPIPE),
+/// read until the response newline.
+Result<std::string> LineRoundTrip(const std::string& host, int port,
+                                  const std::string& request) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    const Status status = Status::IoError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  const std::string line = request + "\n";
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close(fd);
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+    const size_t newline = response.find('\n');
+    if (newline != std::string::npos) {
+      close(fd);
+      return response.substr(0, newline);
+    }
+  }
+  close(fd);
+  return Status::IoError("connection closed before a response line");
+}
+
+int CmdReload(const std::string& path, const remi::Flags& flags) {
+  remi::JsonValue request = remi::JsonValue::Object();
+  request.Set("op", remi::JsonValue::String("reload"));
+  request.Set("path", remi::JsonValue::String(path));
+  request.Set("lenient", remi::JsonValue::Bool(!flags.GetBool("strict")));
+  auto response =
+      LineRoundTrip(flags.GetString("host"),
+                    static_cast<int>(flags.GetInt("port")), request.Dump());
+  if (!response.ok()) return Fail(response.status());
+  auto parsed = remi::ParseJson(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return Fail(Status::Internal("unparseable server response: " +
+                                 *response));
+  }
+  std::printf("%s\n", response->c_str());
+  const remi::JsonValue* status = parsed->Find("status");
+  if (status == nullptr || !status->is_string() ||
+      status->AsString() != "OK") {
+    // Fail closed on the client too: the server kept its prior
+    // generation; tell the operator via the exit code.
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,13 +439,18 @@ int main(int argc, char** argv) {
   flags.DefineDouble("timeout", 0.0, "per-request deadline in seconds");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
+  flags.DefineString("host", "127.0.0.1", "server address (reload)");
+  flags.DefineInt("port", 7411, "server port (reload)");
+  flags.DefineBool("strict", false,
+                   "reload: fail on malformed N-Triples lines instead of "
+                   "skipping them");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status);
   }
   const auto& args = flags.positional();
   if (args.empty()) {
     std::printf(
-        "usage: remi <stats|convert|snapshot|mine|summarize> <kb> "
+        "usage: remi <stats|convert|snapshot|mine|summarize|reload> <kb> "
         "[args]\n\n%s",
         flags.Help().c_str());
     return 1;
@@ -372,6 +470,9 @@ int main(int argc, char** argv) {
   }
   if (command == "summarize" && args.size() == 2) {
     return CmdSummarize(args[1], flags);
+  }
+  if (command == "reload" && args.size() == 2) {
+    return CmdReload(args[1], flags);
   }
   std::fprintf(stderr, "unknown or malformed command\n");
   return 1;

@@ -11,8 +11,11 @@
 //   $ printf '{"op":"mine","targets":["Berlin"]}\n' | nc 127.0.0.1 7411
 //   {"status":"OK","found":true,...}
 //
-// The server runs until SIGINT/SIGTERM, then drains connections and
-// exits cleanly.
+// The server runs until SIGINT/SIGTERM, then drains gracefully: it stops
+// accepting, lets requests already on the wire finish and flush (up to
+// --drain-grace seconds), then cancels stragglers and exits. The KB can
+// be hot-swapped at runtime with {"op":"reload","path":...} (or
+// `remi_cli reload`) — see README "Hot-swap & operational runbook".
 
 #include <csignal>
 #include <cstdio>
@@ -44,6 +47,9 @@ int main(int argc, char** argv) {
                   "queued requests before ResourceExhausted");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
+  flags.DefineDouble("drain-grace", 30.0,
+                     "seconds to let in-flight requests finish on "
+                     "SIGTERM/SIGINT before cancelling them");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
@@ -88,12 +94,21 @@ int main(int argc, char** argv) {
               server_options.bind_address.c_str(), server.port());
   std::fflush(stdout);
 
+  // A client that disconnects mid-response must surface as a send()
+  // error on that one connection, never as a process-killing SIGPIPE.
+  // send() already passes MSG_NOSIGNAL; this covers any other fd writes.
+  std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (!g_shutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::printf("shutting down\n");
+  const double grace = flags.GetDouble("drain-grace");
+  std::printf("draining (grace %.1fs)\n", grace);
+  std::fflush(stdout);
+  const bool drained = server.Drain(grace);
   server.Stop();
+  std::printf(drained ? "drained cleanly\n"
+                      : "drain grace expired; cancelled stragglers\n");
   return 0;
 }
