@@ -1,0 +1,840 @@
+// Open-loop load generator for the serving cores (BENCH_serve.json).
+//
+// Four phases, all against real TCP sockets on loopback:
+//
+//   capacity     fork-isolated connection ramp under RLIMIT_AS: how many
+//                concurrent connections can each serving core hold in the
+//                same address-space budget? Thread-per-connection pays an
+//                8MB stack per connection; the epoll core pays a few KB of
+//                buffers. The acceptance bar is epoll >= 4x threads.
+//   equivalence  deterministic requests sent over both wire protocols to
+//                one epoll server must come back byte-identical.
+//   sweep        open-loop load (requests dispatched on a fixed schedule,
+//                never gated on responses) across connection counts, for
+//                threads/NDJSON, epoll/NDJSON and epoll/binary. Reports
+//                p50/p99 latency and sustained QPS per point.
+//   counters     at quiescence, admitted == completed_ok +
+//                deadline_exceeded + cancelled + failed.
+//
+//   ./bench_load_serve [--scale 0.02] [--kb path.nt]
+//                      [--connections 1,4,16,64] [--requests 1500]
+//                      [--rps 500] [--mine-fraction 0.02]
+//                      [--capacity-limit-mb 768] [--capacity-max 1024]
+//                      [--skip-capacity] [--out BENCH_serve.json]
+//
+// CI smoke mode: `--connect PORT [--target Berlin]` runs equivalence, a
+// short mixed-protocol burst and the wire-level counter identity against
+// an already-running remi_server, exits nonzero on any failure, writes no
+// JSON.
+//
+// The committed BENCH_serve.json records hardware_concurrency: on a
+// 1-core host the sweep measures protocol + event-loop overhead, not
+// parallel mining throughput.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/event_server.h"
+#include "service/socket_util.h"
+#include "service/frame_codec.h"
+#include "service/json_codec.h"
+#include "service/line_server.h"
+#include "service/service.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using remi::AppendFrame;
+using remi::FrameDecoder;
+using remi::FrameVerb;
+using remi::FrameView;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAllBlocking(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// One blocking NDJSON round trip on a fresh connection ("" on failure).
+std::string LineRoundTrip(int port, const std::string& request) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  std::string response;
+  if (SendAllBlocking(fd, request + "\n")) {
+    char c = 0;
+    while (recv(fd, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+  }
+  close(fd);
+  return response;
+}
+
+/// One blocking binary round trip on a fresh connection ("" on failure).
+std::string FrameRoundTrip(int port, uint8_t verb, const std::string& payload) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  std::string wire;
+  AppendFrame(verb, /*request_id=*/1, payload, &wire);
+  std::string response;
+  if (SendAllBlocking(fd, wire)) {
+    FrameDecoder decoder(64u << 20);
+    char chunk[4096];
+    for (;;) {
+      FrameView frame;
+      const auto result = decoder.Next(&frame);
+      if (result == FrameDecoder::Result::kFrame) {
+        response.assign(frame.payload.data(), frame.payload.size());
+        break;
+      }
+      if (result == FrameDecoder::Result::kError) break;
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      decoder.Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    }
+  }
+  close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop generator: one thread, poll(2) over all connections. Requests
+// are stamped at their *scheduled* time, so server-side queueing under
+// overload shows up in the latency numbers instead of slowing the
+// generator down (the coordinated-omission trap of closed-loop clients).
+// ---------------------------------------------------------------------------
+
+struct LoadConfig {
+  int port = 0;
+  bool binary = false;
+  size_t connections = 4;
+  size_t total_requests = 1000;
+  double rps = 500.0;
+  /// Every Nth request is a mine; the rest are pings.
+  size_t mine_every = 0;  // 0 = never
+  std::vector<std::string> mine_payloads;
+};
+
+struct LoadResult {
+  bool ok = true;
+  std::string note;
+  size_t completed = 0;  ///< responses with status OK
+  size_t rejected = 0;   ///< ResourceExhausted (admission shed, expected)
+  size_t errors = 0;     ///< anything else
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+};
+
+struct ClientConn {
+  int fd = -1;
+  std::string outbuf;
+  size_t out_off = 0;
+  FrameDecoder decoder{64u << 20};
+  std::string linebuf;
+  std::deque<double> fifo_send_times;                 // NDJSON (in-order)
+  std::unordered_map<uint64_t, double> send_times;    // binary (by id)
+  bool failed = false;
+};
+
+void Classify(std::string_view response_doc, double latency_ms,
+              LoadResult* result, std::vector<double>* latencies) {
+  if (response_doc.find("\"status\":\"OK\"") != std::string_view::npos) {
+    ++result->completed;
+    latencies->push_back(latency_ms);
+  } else if (response_doc.find("ResourceExhausted") !=
+             std::string_view::npos) {
+    ++result->rejected;
+  } else {
+    ++result->errors;
+  }
+}
+
+LoadResult RunOpenLoopLoad(const LoadConfig& config) {
+  LoadResult result;
+  std::vector<ClientConn> conns(config.connections);
+  for (auto& conn : conns) {
+    conn.fd = ConnectLoopback(config.port);
+    if (conn.fd >= 0 && !remi::SetNonBlocking(conn.fd)) {
+      close(conn.fd);
+      conn.fd = -1;
+    }
+    if (conn.fd < 0) {
+      result.ok = false;
+      result.note = "connect failed";
+      for (auto& c : conns)
+        if (c.fd >= 0) close(c.fd);
+      return result;
+    }
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(config.total_requests);
+  const double start = NowSeconds();
+  double last_response = start;
+  size_t next_request = 0;
+  size_t responses = 0;
+  std::vector<pollfd> pfds(conns.size());
+  char chunk[16384];
+
+  while (responses < config.total_requests) {
+    const double now = NowSeconds();
+    // Dispatch every request whose scheduled time has arrived.
+    while (next_request < config.total_requests &&
+           start + static_cast<double>(next_request) / config.rps <= now) {
+      const size_t k = next_request++;
+      ClientConn& conn = conns[k % conns.size()];
+      if (conn.failed) {
+        ++result.errors;  // undeliverable
+        ++responses;
+        continue;
+      }
+      const bool mine = config.mine_every != 0 &&
+                        !config.mine_payloads.empty() &&
+                        k % config.mine_every == 0;
+      const std::string& payload =
+          mine ? config.mine_payloads[k % config.mine_payloads.size()]
+               : std::string(R"({"op":"ping"})");
+      const double scheduled =
+          start + static_cast<double>(k) / config.rps;
+      if (config.binary) {
+        AppendFrame(static_cast<uint8_t>(mine ? FrameVerb::kMine
+                                              : FrameVerb::kPing),
+                    static_cast<uint64_t>(k), payload, &conn.outbuf);
+        conn.send_times.emplace(static_cast<uint64_t>(k), scheduled);
+      } else {
+        conn.outbuf += payload;
+        conn.outbuf += '\n';
+        conn.fifo_send_times.push_back(scheduled);
+      }
+    }
+
+    // Wake for the next scheduled dispatch (or 50ms when idle).
+    int timeout_ms = 50;
+    if (next_request < config.total_requests) {
+      const double due =
+          start + static_cast<double>(next_request) / config.rps;
+      timeout_ms = std::max(
+          0, static_cast<int>((due - NowSeconds()) * 1000.0));
+      timeout_ms = std::min(timeout_ms, 50);
+    } else if (NowSeconds() - last_response > 30.0) {
+      result.ok = false;
+      result.note = "timed out waiting for responses";
+      break;
+    }
+
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i].fd = conns[i].failed ? -1 : conns[i].fd;
+      pfds[i].events = static_cast<short>(
+          POLLIN |
+          (conns[i].out_off < conns[i].outbuf.size() ? POLLOUT : 0));
+      pfds[i].revents = 0;
+    }
+    if (poll(pfds.data(), pfds.size(), timeout_ms) < 0 && errno != EINTR) {
+      result.ok = false;
+      result.note = "poll failed";
+      break;
+    }
+
+    for (size_t i = 0; i < conns.size(); ++i) {
+      ClientConn& conn = conns[i];
+      if (conn.failed) continue;
+      if (pfds[i].revents & POLLOUT) {
+        while (conn.out_off < conn.outbuf.size()) {
+          const ssize_t n =
+              send(conn.fd, conn.outbuf.data() + conn.out_off,
+                   conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            conn.failed = true;
+            break;
+          }
+        }
+        if (conn.out_off == conn.outbuf.size()) {
+          conn.outbuf.clear();
+          conn.out_off = 0;
+        }
+      }
+      if (conn.failed || (pfds[i].revents & (POLLIN | POLLHUP)) == 0) {
+        continue;
+      }
+      for (;;) {
+        const ssize_t n = recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+          const double arrival = NowSeconds();
+          last_response = arrival;
+          if (config.binary) {
+            conn.decoder.Feed(
+                std::string_view(chunk, static_cast<size_t>(n)));
+            FrameView frame;
+            while (conn.decoder.Next(&frame) ==
+                   FrameDecoder::Result::kFrame) {
+              const auto it = conn.send_times.find(frame.request_id);
+              const double sent =
+                  it != conn.send_times.end() ? it->second : arrival;
+              if (it != conn.send_times.end()) conn.send_times.erase(it);
+              Classify(frame.payload, (arrival - sent) * 1000.0, &result,
+                       &latencies);
+              ++responses;
+            }
+          } else {
+            conn.linebuf.append(chunk, static_cast<size_t>(n));
+            size_t pos = 0;
+            size_t newline;
+            while ((newline = conn.linebuf.find('\n', pos)) !=
+                   std::string::npos) {
+              const std::string_view line(conn.linebuf.data() + pos,
+                                          newline - pos);
+              double sent = arrival;
+              if (!conn.fifo_send_times.empty()) {
+                sent = conn.fifo_send_times.front();
+                conn.fifo_send_times.pop_front();
+              }
+              Classify(line, (arrival - sent) * 1000.0, &result,
+                       &latencies);
+              ++responses;
+              pos = newline + 1;
+            }
+            conn.linebuf.erase(0, pos);
+          }
+        } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;
+        } else if (n < 0 && errno == EINTR) {
+          continue;
+        } else {
+          // EOF (or a reset) with requests still outstanding.
+          conn.failed = true;
+          const size_t outstanding = config.binary
+                                         ? conn.send_times.size()
+                                         : conn.fifo_send_times.size();
+          result.errors += outstanding;
+          responses += outstanding;
+          conn.send_times.clear();
+          conn.fifo_send_times.clear();
+          break;
+        }
+      }
+    }
+  }
+
+  for (auto& conn : conns) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    result.p50_ms = latencies[latencies.size() / 2];
+    result.p99_ms = latencies[std::min(latencies.size() - 1,
+                                       latencies.size() * 99 / 100)];
+  }
+  const double wall = std::max(last_response - start, 1e-9);
+  result.qps = static_cast<double>(result.completed + result.rejected) / wall;
+  if (result.errors > 0) result.ok = false;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Capacity ramp: fork a server under RLIMIT_AS, connect until it breaks.
+// ---------------------------------------------------------------------------
+
+struct CapacityResult {
+  bool ran = false;
+  size_t sustained = 0;
+  bool hit_cap = false;  ///< stopped at --capacity-max, not at a failure
+};
+
+CapacityResult RunCapacityRamp(bool epoll_mode, size_t limit_mb,
+                               size_t max_conns, const std::string& kb_path,
+                               double scale) {
+  CapacityResult result;
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return result;
+  const pid_t child = fork();
+  if (child < 0) {
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    return result;
+  }
+  if (child == 0) {
+    // Server child: cap the address space, then serve until killed. The
+    // thread-per-connection core burns ~8MB of it per connection (stack);
+    // the epoll core a few KB of buffers — same budget, same KB.
+    close(pipe_fds[0]);
+    signal(SIGPIPE, SIG_IGN);
+    rlimit limit{};
+    limit.rlim_cur = limit.rlim_max =
+        static_cast<rlim_t>(limit_mb) << 20;
+    setrlimit(RLIMIT_AS, &limit);
+
+    std::unique_ptr<remi::Service> service;
+    if (!kb_path.empty()) {
+      remi::KbSpec spec;
+      spec.path = kb_path;
+      auto opened = remi::Service::Open(spec);
+      if (!opened.ok()) _exit(2);
+      service = std::move(*opened);
+    } else {
+      service = remi::Service::Create(remi::bench::BuildDbpediaLike(scale));
+    }
+    int port = -1;
+    remi::LineServer line_server(service.get(), {});
+    remi::EventServerOptions event_options;
+    remi::EventServer event_server(service.get(), event_options);
+    if (epoll_mode) {
+      if (event_server.Start().ok()) port = event_server.port();
+    } else {
+      if (line_server.Start().ok()) port = line_server.port();
+    }
+    if (write(pipe_fds[1], &port, sizeof(port)) != sizeof(port)) _exit(3);
+    close(pipe_fds[1]);
+    for (;;) pause();  // parent SIGKILLs us
+  }
+
+  close(pipe_fds[1]);
+  int port = -1;
+  if (read(pipe_fds[0], &port, sizeof(port)) != sizeof(port)) port = -1;
+  close(pipe_fds[0]);
+  if (port <= 0) {
+    kill(child, SIGKILL);
+    waitpid(child, nullptr, 0);
+    return result;
+  }
+
+  result.ran = true;
+  std::vector<int> held;
+  held.reserve(max_conns);
+  const std::string ping = "{\"op\":\"ping\"}\n";
+  for (size_t i = 0; i < max_conns; ++i) {
+    const int fd = ConnectLoopback(port);
+    if (fd < 0) break;
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    // A connection only counts if the server actually serves it: an
+    // accept()ed-then-shed connection answers the ping with EOF.
+    bool served = false;
+    if (SendAllBlocking(fd, ping)) {
+      char c = 0;
+      while (recv(fd, &c, 1, 0) == 1) {
+        if (c == '\n') {
+          served = true;
+          break;
+        }
+      }
+    }
+    if (!served) {
+      close(fd);
+      break;
+    }
+    held.push_back(fd);  // stays open: concurrency is the resource
+  }
+  result.sustained = held.size();
+  result.hit_cap = held.size() == max_conns;
+  for (const int fd : held) close(fd);
+  kill(child, SIGKILL);
+  waitpid(child, nullptr, 0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+struct EquivalenceCase {
+  FrameVerb verb;
+  std::string payload;
+};
+
+/// Sends each deterministic request over both wire modes; true iff every
+/// response pair is byte-identical.
+bool CheckEquivalence(int port, const std::vector<EquivalenceCase>& cases,
+                      size_t* checked) {
+  bool all_identical = true;
+  for (const auto& test_case : cases) {
+    const std::string line = LineRoundTrip(port, test_case.payload);
+    const std::string frame = FrameRoundTrip(
+        port, static_cast<uint8_t>(test_case.verb), test_case.payload);
+    ++*checked;
+    if (line.empty() || line != frame) {
+      std::fprintf(stderr,
+                   "  MISMATCH for %s\n    ndjson: %s\n    binary: %s\n",
+                   test_case.payload.c_str(), line.c_str(), frame.c_str());
+      all_identical = false;
+    }
+  }
+  return all_identical;
+}
+
+std::vector<size_t> ParseSizeList(const std::string& spec,
+                                  std::vector<size_t> fallback) {
+  std::vector<size_t> values;
+  for (const std::string& token : remi::SplitString(spec, ',')) {
+    if (token.empty()) continue;
+    const long parsed = std::atol(token.c_str());
+    if (parsed > 0) values.push_back(static_cast<size_t>(parsed));
+  }
+  return values.empty() ? fallback : values;
+}
+
+double JsonNumber(const remi::JsonValue& doc, const char* key) {
+  const remi::JsonValue* value = doc.Find(key);
+  return value != nullptr ? value->AsNumber() : -1.0;
+}
+
+struct SweepRow {
+  std::string server;
+  std::string wire;
+  size_t connections = 0;
+  LoadResult load;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remi::Flags flags;
+  flags.DefineDouble("scale", 0.02, "synthetic KB scale (ignored with --kb)");
+  flags.DefineString("kb", "", "serve this KB file instead of a synthetic");
+  flags.DefineString("connections", "1,4,16,64",
+                     "comma-separated sweep connection counts");
+  flags.DefineInt("requests", 1500, "requests per sweep point");
+  flags.DefineDouble("rps", 500.0, "open-loop aggregate request rate");
+  flags.DefineDouble("mine-fraction", 0.02,
+                     "fraction of requests that mine (the rest ping)");
+  flags.DefineInt("capacity-limit-mb", 768,
+                  "RLIMIT_AS for the forked capacity-ramp servers");
+  flags.DefineInt("capacity-max", 1024,
+                  "stop the capacity ramp at this many connections");
+  flags.DefineBool("skip-capacity", false,
+                   "skip the fork-isolated capacity phase");
+  flags.DefineInt("connect", 0,
+                  "CI smoke mode: run checks against an external server "
+                  "on this port, write no JSON");
+  flags.DefineString("target", "Berlin",
+                     "mine/summarize target entity in --connect mode");
+  flags.DefineString("out", "BENCH_serve.json", "JSON output path");
+  REMI_CHECK_OK(flags.Parse(argc, argv));
+  remi::bench::WarnIfNotReleaseBuild();
+  signal(SIGPIPE, SIG_IGN);
+
+  // ---- CI smoke mode: external server, pass/fail only. ----
+  if (flags.GetInt("connect") != 0) {
+    const int port = static_cast<int>(flags.GetInt("connect"));
+    const std::string target = flags.GetString("target");
+    bool ok = true;
+
+    remi::bench::Banner("equivalence (external server)");
+    std::vector<EquivalenceCase> cases = {
+        {FrameVerb::kPing, R"({"op":"ping"})"},
+        {FrameVerb::kSummarize,
+         R"({"op":"summarize","entity":")" + target + R"(","k":3})"},
+        {FrameVerb::kCandidates,
+         R"({"op":"candidates","targets":[")" + target + R"("],"limit":3})"},
+        {FrameVerb::kMine,
+         R"({"op":"mine","targets":["NoSuchEntityAnywhere"]})"},
+    };
+    size_t checked = 0;
+    if (!CheckEquivalence(port, cases, &checked)) ok = false;
+    std::printf("  %zu request pairs byte-identical: %s\n", checked,
+                ok ? "yes" : "NO");
+
+    remi::bench::Banner("mixed burst");
+    LoadConfig burst;
+    burst.port = port;
+    burst.connections = 4;
+    burst.total_requests = 200;
+    burst.rps = 200.0;
+    burst.mine_every = 10;
+    burst.mine_payloads = {R"({"op":"mine","targets":[")" + target +
+                           R"("]})"};
+    for (const bool binary : {false, true}) {
+      burst.binary = binary;
+      const LoadResult load = RunOpenLoopLoad(burst);
+      std::printf("  %-6s ok=%zu rejected=%zu errors=%zu p99=%.2fms\n",
+                  binary ? "binary" : "ndjson", load.completed,
+                  load.rejected, load.errors, load.p99_ms);
+      if (!load.ok || load.completed == 0) ok = false;
+    }
+
+    remi::bench::Banner("counter identity (wire)");
+    const std::string counters_doc = FrameRoundTrip(
+        port, static_cast<uint8_t>(FrameVerb::kCounters), "");
+    auto counters = remi::ParseJson(counters_doc);
+    if (!counters.ok()) {
+      ok = false;
+    } else {
+      const double admitted = JsonNumber(*counters, "admitted");
+      const double accounted = JsonNumber(*counters, "completed_ok") +
+                               JsonNumber(*counters, "deadline_exceeded") +
+                               JsonNumber(*counters, "cancelled") +
+                               JsonNumber(*counters, "failed");
+      const bool consistent =
+          admitted >= 0 && admitted == accounted &&
+          JsonNumber(*counters, "in_flight") == 0;
+      std::printf("  admitted=%.0f accounted=%.0f in_flight=%.0f: %s\n",
+                  admitted, accounted, JsonNumber(*counters, "in_flight"),
+                  consistent ? "consistent" : "INCONSISTENT");
+      if (!consistent) ok = false;
+    }
+
+    std::printf("\nserve smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  // ---- Capacity phase first: fork before this process owns threads. ----
+  const std::string kb_path = flags.GetString("kb");
+  const double scale = flags.GetDouble("scale");
+  CapacityResult cap_threads;
+  CapacityResult cap_epoll;
+  if (!flags.GetBool("skip-capacity")) {
+    remi::bench::Banner("capacity under RLIMIT_AS");
+    const size_t limit_mb =
+        static_cast<size_t>(flags.GetInt("capacity-limit-mb"));
+    const size_t cap_max =
+        static_cast<size_t>(flags.GetInt("capacity-max"));
+    cap_threads =
+        RunCapacityRamp(/*epoll_mode=*/false, limit_mb, cap_max, kb_path,
+                        scale);
+    std::printf("  threads: %zu connections%s\n", cap_threads.sustained,
+                cap_threads.hit_cap ? " (hit ramp cap)" : "");
+    cap_epoll = RunCapacityRamp(/*epoll_mode=*/true, limit_mb, cap_max,
+                                kb_path, scale);
+    std::printf("  epoll:   %zu connections%s\n", cap_epoll.sustained,
+                cap_epoll.hit_cap ? " (hit ramp cap)" : "");
+    if (cap_threads.ran && cap_epoll.ran && cap_threads.sustained > 0) {
+      std::printf("  epoll/threads: %.1fx\n",
+                  static_cast<double>(cap_epoll.sustained) /
+                      static_cast<double>(cap_threads.sustained));
+    }
+  }
+
+  // ---- Shared service for the in-process phases. ----
+  std::unique_ptr<remi::Service> service;
+  if (!kb_path.empty()) {
+    remi::KbSpec spec;
+    spec.path = kb_path;
+    auto opened = remi::Service::Open(spec);
+    REMI_CHECK_OK(opened.status());
+    service = std::move(*opened);
+  } else {
+    service = remi::Service::Create(remi::bench::BuildDbpediaLike(scale));
+  }
+  const remi::KnowledgeBase& kb = service->kb();
+  std::printf("\nserving %zu facts, %zu entities\n", kb.NumFacts(),
+              kb.NumEntities());
+
+  // Mine targets: mid-prominence entities, addressed by exact IRI so the
+  // payloads resolve on the synthetic KB too.
+  std::vector<std::string> mine_payloads;
+  std::string summarize_entity;
+  {
+    const auto entities = kb.EntitiesByProminence();
+    for (size_t rank = 8; rank < entities.size() && mine_payloads.size() < 4;
+         rank += 3) {
+      remi::JsonValue request = remi::JsonValue::Object();
+      request.Set("op", remi::JsonValue::String("mine"));
+      remi::JsonValue targets = remi::JsonValue::Array();
+      targets.Append(remi::JsonValue::String(
+          std::string(kb.dict().lexical(entities[rank]))));
+      request.Set("targets", std::move(targets));
+      mine_payloads.push_back(request.Dump());
+      if (summarize_entity.empty()) {
+        summarize_entity = std::string(kb.dict().lexical(entities[rank]));
+      }
+    }
+  }
+
+  // ---- Equivalence. ----
+  remi::bench::Banner("wire-mode equivalence");
+  remi::EventServerOptions equivalence_options;
+  remi::EventServer equivalence_server(service.get(), equivalence_options);
+  REMI_CHECK_OK(equivalence_server.Start());
+  std::vector<EquivalenceCase> cases = {
+      {FrameVerb::kPing, R"({"op":"ping"})"},
+      {FrameVerb::kMine, R"({"op":"mine","targets":["NoSuchEntityAnywhere"]})"},
+  };
+  if (!summarize_entity.empty()) {
+    remi::JsonValue summarize = remi::JsonValue::Object();
+    summarize.Set("op", remi::JsonValue::String("summarize"));
+    summarize.Set("entity", remi::JsonValue::String(summarize_entity));
+    summarize.Set("k", remi::JsonValue::Number(3));
+    cases.push_back({FrameVerb::kSummarize, summarize.Dump()});
+    remi::JsonValue candidates = remi::JsonValue::Object();
+    candidates.Set("op", remi::JsonValue::String("candidates"));
+    remi::JsonValue targets = remi::JsonValue::Array();
+    targets.Append(remi::JsonValue::String(summarize_entity));
+    candidates.Set("targets", std::move(targets));
+    candidates.Set("limit", remi::JsonValue::Number(3));
+    cases.push_back({FrameVerb::kCandidates, candidates.Dump()});
+  }
+  size_t equivalence_checked = 0;
+  const bool equivalence_ok = CheckEquivalence(
+      equivalence_server.port(), cases, &equivalence_checked);
+  equivalence_server.Stop();
+  std::printf("  %zu request pairs byte-identical: %s\n",
+              equivalence_checked, equivalence_ok ? "yes" : "NO");
+
+  // ---- Sweep. ----
+  remi::bench::Banner("open-loop sweep");
+  const std::vector<size_t> connection_counts =
+      ParseSizeList(flags.GetString("connections"), {1, 4, 16, 64});
+  LoadConfig base;
+  base.total_requests = static_cast<size_t>(flags.GetInt("requests"));
+  base.rps = flags.GetDouble("rps");
+  const double mine_fraction = flags.GetDouble("mine-fraction");
+  base.mine_every =
+      mine_fraction > 0.0
+          ? static_cast<size_t>(std::max(1.0, 1.0 / mine_fraction))
+          : 0;
+  base.mine_payloads = mine_payloads;
+
+  std::vector<SweepRow> rows;
+  for (const size_t connections : connection_counts) {
+    for (int variant = 0; variant < 3; ++variant) {
+      SweepRow row;
+      row.server = variant == 0 ? "threads" : "epoll";
+      row.wire = variant == 2 ? "binary" : "ndjson";
+      row.connections = connections;
+      LoadConfig config = base;
+      config.connections = connections;
+      config.binary = variant == 2;
+      if (variant == 0) {
+        remi::LineServer server(service.get(), {});
+        REMI_CHECK_OK(server.Start());
+        config.port = server.port();
+        row.load = RunOpenLoopLoad(config);
+        server.Stop();
+      } else {
+        remi::EventServerOptions options;
+        remi::EventServer server(service.get(), options);
+        REMI_CHECK_OK(server.Start());
+        config.port = server.port();
+        row.load = RunOpenLoopLoad(config);
+        server.Stop();
+      }
+      std::printf("  C=%-4zu %-7s/%-6s p50=%7.2fms p99=%7.2fms "
+                  "qps=%8.1f ok=%zu rejected=%zu errors=%zu%s\n",
+                  connections, row.server.c_str(), row.wire.c_str(),
+                  row.load.p50_ms, row.load.p99_ms, row.load.qps,
+                  row.load.completed, row.load.rejected, row.load.errors,
+                  row.load.ok ? "" : "  [FAILED]");
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // ---- Counter identity at quiescence. ----
+  const remi::ServiceCounters counters = service->counters();
+  const bool counters_consistent =
+      counters.admitted == counters.completed_ok +
+                               counters.deadline_exceeded +
+                               counters.cancelled + counters.failed &&
+      counters.in_flight == 0;
+  std::printf("\ncounters: admitted=%llu ok=%llu rejected=%llu -> %s\n",
+              static_cast<unsigned long long>(counters.admitted),
+              static_cast<unsigned long long>(counters.completed_ok),
+              static_cast<unsigned long long>(counters.rejected),
+              counters_consistent ? "consistent" : "INCONSISTENT");
+
+  // ---- JSON. ----
+  const std::string out_path = flags.GetString("out");
+  FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"context\": {\n");
+  std::fprintf(out, "    \"build_type\": \"%s\",\n", remi::bench::kBuildType);
+  remi::bench::WriteHostContextFields(out);
+  std::fprintf(out, "    \"workload\": \"%s\",\n",
+               kb_path.empty() ? "dbpedia_like" : kb_path.c_str());
+  std::fprintf(out, "    \"num_facts\": %zu,\n", kb.NumFacts());
+  std::fprintf(out, "    \"open_loop_rps\": %g,\n", base.rps);
+  std::fprintf(out, "    \"requests_per_point\": %zu,\n",
+               base.total_requests);
+  std::fprintf(out, "    \"mine_fraction\": %g\n", mine_fraction);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out,
+               "  \"equivalence\": {\"checked\": %zu, "
+               "\"byte_identical\": %s},\n",
+               equivalence_checked, equivalence_ok ? "true" : "false");
+  if (cap_threads.ran && cap_epoll.ran) {
+    std::fprintf(
+        out,
+        "  \"capacity\": {\"rlimit_as_mb\": %lld, "
+        "\"threads_connections\": %zu, \"epoll_connections\": %zu, "
+        "\"epoll_hit_ramp_cap\": %s, \"epoll_over_threads_x\": %.1f},\n",
+        static_cast<long long>(flags.GetInt("capacity-limit-mb")),
+        cap_threads.sustained,
+        cap_epoll.sustained, cap_epoll.hit_cap ? "true" : "false",
+        cap_threads.sustained > 0
+            ? static_cast<double>(cap_epoll.sustained) /
+                  static_cast<double>(cap_threads.sustained)
+            : 0.0);
+  }
+  std::fprintf(out, "  \"counters_consistent\": %s,\n",
+               counters_consistent ? "true" : "false");
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"server\": \"%s\", \"wire\": \"%s\", "
+                 "\"connections\": %zu, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"qps\": %.1f, \"completed\": %zu, "
+                 "\"rejected\": %zu, \"errors\": %zu}%s\n",
+                 row.server.c_str(), row.wire.c_str(), row.connections,
+                 row.load.p50_ms, row.load.p99_ms, row.load.qps,
+                 row.load.completed, row.load.rejected, row.load.errors,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  const bool sweep_ok = std::all_of(
+      rows.begin(), rows.end(), [](const SweepRow& r) { return r.load.ok; });
+  return equivalence_ok && counters_consistent && sweep_ok ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "service/frame_codec.h"
+
+#include <cstring>
+
+namespace remi {
+
+namespace {
+
+void AppendLe16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendLe32(uint32_t v, std::string* out) {
+  AppendLe16(static_cast<uint16_t>(v & 0xffff), out);
+  AppendLe16(static_cast<uint16_t>(v >> 16), out);
+}
+
+void AppendLe64(uint64_t v, std::string* out) {
+  AppendLe32(static_cast<uint32_t>(v & 0xffffffffu), out);
+  AppendLe32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint32_t ReadLe32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t ReadLe64(const char* p) {
+  return static_cast<uint64_t>(ReadLe32(p)) |
+         (static_cast<uint64_t>(ReadLe32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* FrameVerbToOp(uint8_t verb) {
+  switch (static_cast<FrameVerb>(verb)) {
+    case FrameVerb::kPing:
+      return "ping";
+    case FrameVerb::kMine:
+      return "mine";
+    case FrameVerb::kBatchMine:
+      return "batch_mine";
+    case FrameVerb::kSummarize:
+      return "summarize";
+    case FrameVerb::kCandidates:
+      return "candidates";
+    case FrameVerb::kCounters:
+      return "stats";
+    case FrameVerb::kReload:
+      return "reload";
+  }
+  return nullptr;
+}
+
+void AppendFrame(uint8_t verb, uint64_t request_id, std::string_view payload,
+                 std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  out->push_back(static_cast<char>(verb));
+  out->push_back('\0');  // flags
+  AppendLe16(0, out);    // reserved
+  AppendLe64(request_id, out);
+  AppendLe32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+FrameDecoder::Result FrameDecoder::Next(FrameView* out) {
+  if (poisoned_) return Result::kError;
+  // The previous frame's bytes are consumed on the *next* call, so the
+  // FrameView handed out stays valid while the caller processes it.
+  if (pending_consume_ > 0) {
+    buffer_.Consume(pending_consume_);
+    pending_consume_ = 0;
+  }
+  const std::string_view pending = buffer_.Pending();
+  if (pending.size() < kFrameHeaderBytes) {
+    // Reject a bad magic as soon as the first bytes arrive instead of
+    // waiting for a full header that will never parse.
+    const size_t check = std::min(pending.size(), sizeof(kFrameMagic));
+    if (std::memcmp(pending.data(), kFrameMagic, check) != 0) {
+      poisoned_ = true;
+      status_ = Status::InvalidArgument(
+          "bad frame magic (expected the bytes \"REMI\")");
+      return Result::kError;
+    }
+    return Result::kNeedMore;
+  }
+  if (std::memcmp(pending.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    poisoned_ = true;
+    status_ = Status::InvalidArgument(
+        "bad frame magic (expected the bytes \"REMI\")");
+    return Result::kError;
+  }
+  const uint8_t verb = static_cast<uint8_t>(pending[4]);
+  const uint8_t flags = static_cast<uint8_t>(pending[5]);
+  const uint32_t reserved = static_cast<uint32_t>(
+      static_cast<unsigned char>(pending[6]) |
+      (static_cast<unsigned char>(pending[7]) << 8));
+  const uint64_t request_id = ReadLe64(pending.data() + 8);
+  const uint64_t payload_len = ReadLe32(pending.data() + 16);
+  if (flags != 0 || reserved != 0) {
+    poisoned_ = true;
+    error_request_id_ = request_id;
+    status_ = Status::InvalidArgument(
+        "nonzero reserved frame header bits (version mismatch?)");
+    return Result::kError;
+  }
+  if (payload_len > max_payload_bytes_) {
+    // Checked against the *declared* length: the oversize payload is
+    // never buffered, so a lying header can't make us allocate it.
+    poisoned_ = true;
+    error_request_id_ = request_id;
+    status_ = Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload_bytes_) +
+        " byte limit");
+    return Result::kError;
+  }
+  if (pending.size() < kFrameHeaderBytes + payload_len) {
+    return Result::kNeedMore;
+  }
+  out->verb = verb;
+  out->request_id = request_id;
+  out->payload = pending.substr(kFrameHeaderBytes,
+                                static_cast<size_t>(payload_len));
+  pending_consume_ = kFrameHeaderBytes + static_cast<size_t>(payload_len);
+  return Result::kFrame;
+}
+
+WireMode SniffWireMode(char first_byte) {
+  if (first_byte == kFrameMagic[0]) return WireMode::kBinary;
+  if (first_byte == '{' || first_byte == ' ' || first_byte == '\t' ||
+      first_byte == '\r' || first_byte == '\n') {
+    return WireMode::kNdjson;
+  }
+  return WireMode::kInvalid;
+}
+
+}  // namespace remi

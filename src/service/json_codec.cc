@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "service/frame_codec.h"
+
 namespace remi {
 
 namespace {
@@ -213,7 +215,7 @@ Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v) {
   return request;
 }
 
-JsonValue StatusToJson(const Status& status) {
+JsonValue StatusToJson(const Status& status, const Service* service) {
   JsonValue out = JsonValue::Object();
   out.Set("status", JsonValue::String(StatusCodeToString(status.code())));
   if (!status.message().empty()) {
@@ -221,10 +223,15 @@ JsonValue StatusToJson(const Status& status) {
   }
   if (status.IsResourceExhausted()) {
     // Admission queue is full: tell well-behaved clients when to come
-    // back. The slot turnover time is workload-dependent; 100 ms is a
-    // conservative floor that stops tight retry loops without parking
-    // clients for a human-visible pause.
-    out.Set("retry_after_ms", JsonValue::Number(100));
+    // back. The hint is derived from live admission state (measured mean
+    // service time × queue depth / slots, jittered ±25%), so it grows as
+    // the queue deepens instead of inviting a fixed-cadence retry storm.
+    // The 100 ms fallback only covers serialization paths with no service
+    // at hand.
+    const uint64_t hint = service != nullptr ? service->RetryAfterMsHint()
+                                             : 100;
+    out.Set("retry_after_ms",
+            JsonValue::Number(static_cast<double>(hint)));
   }
   return out;
 }
@@ -319,6 +326,15 @@ JsonValue CountersToJson(const Service& service) {
           JsonValue::Number(static_cast<double>(counters.reloads_ok)));
   out.Set("reloads_rejected", JsonValue::Number(static_cast<double>(
                                   counters.reloads_rejected)));
+  out.Set("accept_errors_retried",
+          JsonValue::Number(
+              static_cast<double>(counters.accept_errors_retried)));
+  out.Set("accept_errors_fatal",
+          JsonValue::Number(static_cast<double>(counters.accept_errors_fatal)));
+  out.Set("nodes_visited_total",
+          JsonValue::Number(static_cast<double>(counters.nodes_visited_total)));
+  out.Set("mine_micros_total",
+          JsonValue::Number(static_cast<double>(counters.mine_micros_total)));
   return out;
 }
 
@@ -338,54 +354,41 @@ JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response) {
   return out;
 }
 
-std::string HandleRequestLine(Service* service, std::string_view line,
-                              const CancellationToken& cancel) {
-  auto parsed = ParseJson(line);
-  if (!parsed.ok()) return StatusToJson(parsed.status()).Dump();
-  if (!parsed->is_object()) {
-    return StatusToJson(
-               Status::InvalidArgument("request must be a JSON object"))
-        .Dump();
-  }
-  const JsonValue* op = parsed->Find("op");
-  if (op == nullptr || !op->is_string()) {
-    return StatusToJson(
-               Status::InvalidArgument("request needs an \"op\" string"))
-        .Dump();
-  }
-
-  if (op->AsString() == "ping") {
+std::string DispatchRequest(Service* service, std::string_view op,
+                            const JsonValue& parsed,
+                            const CancellationToken& cancel) {
+  if (op == "ping") {
     return StatusToJson(Status::OK()).Dump();
   }
-  if (op->AsString() == "stats") {
+  if (op == "stats") {
     return CountersToJson(*service).Dump();
   }
-  if (op->AsString() == "mine") {
-    auto request = MineRequestFromJson(*parsed);
+  if (op == "mine") {
+    auto request = MineRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
     request->control.cancel = cancel;
     auto response = service->Mine(*request);
-    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
     return MineResponseToJson(*response).Dump();
   }
-  if (op->AsString() == "batch_mine") {
-    auto request = BatchMineRequestFromJson(*parsed);
+  if (op == "batch_mine") {
+    auto request = BatchMineRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
     request->control.cancel = cancel;
     auto response = service->BatchMine(*request);
-    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
     return BatchMineResponseToJson(*response).Dump();
   }
-  if (op->AsString() == "summarize") {
-    auto request = SummarizeRequestFromJson(*parsed);
+  if (op == "summarize") {
+    auto request = SummarizeRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
     request->control.cancel = cancel;
     auto response = service->Summarize(*request);
-    if (!response.ok()) return StatusToJson(response.status()).Dump();
+    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
     return SummarizeResponseToJson(*response).Dump();
   }
-  if (op->AsString() == "candidates") {
-    auto request = CandidatesRequestFromJson(*parsed);
+  if (op == "candidates") {
+    auto request = CandidatesRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
     request->control.cancel = cancel;
     // Texts come back rendered under the request's pinned generation —
@@ -405,8 +408,8 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     out.Set("candidates", std::move(items));
     return out.Dump();
   }
-  if (op->AsString() == "reload") {
-    const JsonValue* path = parsed->Find("path");
+  if (op == "reload") {
+    const JsonValue* path = parsed.Find("path");
     if (path == nullptr || !path->is_string()) {
       return StatusToJson(Status::InvalidArgument(
                               "reload request needs \"path\" (string)"))
@@ -415,7 +418,7 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     ReloadKbRequest request;
     request.spec.path = path->AsString();
     const Status lenient =
-        ReadBool(*parsed, "lenient", &request.spec.lenient_parse);
+        ReadBool(parsed, "lenient", &request.spec.lenient_parse);
     if (!lenient.ok()) return StatusToJson(lenient).Dump();
     // ReloadKb itself never fails out-of-band: every load/validation
     // error is in the response status and the prior generation keeps
@@ -423,8 +426,58 @@ std::string HandleRequestLine(Service* service, std::string_view line,
     return ReloadKbResponseToJson(service->ReloadKb(request)).Dump();
   }
   return StatusToJson(Status::InvalidArgument("unknown op '" +
-                                              op->AsString() + "'"))
+                                              std::string(op) + "'"))
       .Dump();
+}
+
+std::string HandleRequestLine(Service* service, std::string_view line,
+                              const CancellationToken& cancel) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return StatusToJson(parsed.status()).Dump();
+  if (!parsed->is_object()) {
+    return StatusToJson(
+               Status::InvalidArgument("request must be a JSON object"))
+        .Dump();
+  }
+  const JsonValue* op = parsed->Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return StatusToJson(
+               Status::InvalidArgument("request needs an \"op\" string"))
+        .Dump();
+  }
+  return DispatchRequest(service, op->AsString(), *parsed, cancel);
+}
+
+std::string HandleFramePayload(Service* service, uint8_t verb,
+                               std::string_view payload,
+                               const CancellationToken& cancel) {
+  const char* op = FrameVerbToOp(verb);
+  if (op == nullptr) {
+    return StatusToJson(Status::InvalidArgument(
+                            "unknown frame verb " + std::to_string(verb)))
+        .Dump();
+  }
+  // An empty payload is the frame shorthand for "no arguments".
+  auto parsed = ParseJson(payload.empty() ? std::string_view("{}") : payload);
+  if (!parsed.ok()) return StatusToJson(parsed.status()).Dump();
+  if (!parsed->is_object()) {
+    return StatusToJson(
+               Status::InvalidArgument("frame payload must be a JSON object"))
+        .Dump();
+  }
+  // The verb byte is authoritative; a payload "op" is allowed only as a
+  // cross-check (it would otherwise silently win in one mode and be
+  // ignored in the other).
+  const JsonValue* payload_op = parsed->Find("op");
+  if (payload_op != nullptr &&
+      (!payload_op->is_string() || payload_op->AsString() != op)) {
+    return StatusToJson(Status::InvalidArgument(
+                            std::string("frame payload \"op\" contradicts the "
+                                        "frame verb (expected \"") +
+                            op + "\")"))
+        .Dump();
+  }
+  return DispatchRequest(service, op, *parsed, cancel);
 }
 
 }  // namespace remi

@@ -63,8 +63,18 @@ JsonValue CountersToJson(const Service& service);
 JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response);
 /// {"status": "<Code>", "message": "..."} (message omitted when empty).
 /// ResourceExhausted additionally carries "retry_after_ms" so well-behaved
-/// clients back off instead of hammering a full admission queue.
-JsonValue StatusToJson(const Status& status);
+/// clients back off instead of hammering a full admission queue; with a
+/// `service` the hint is Service::RetryAfterMsHint() (derived from live
+/// admission state, jittered), without one it falls back to a flat 100 ms.
+JsonValue StatusToJson(const Status& status, const Service* service = nullptr);
+
+/// Dispatches one parsed request to `service` and serializes the
+/// response (no trailing newline). The shared core of the NDJSON and
+/// binary-frame entry points below — both wire modes produce
+/// byte-identical response documents because both end here.
+std::string DispatchRequest(Service* service, std::string_view op,
+                            const JsonValue& parsed,
+                            const CancellationToken& cancel = {});
 
 /// Parses one request line, dispatches it to `service`, and serializes
 /// the response. Never fails: malformed input comes back as an
@@ -74,5 +84,14 @@ JsonValue StatusToJson(const Status& status);
 /// token, so shutdown can interrupt deadline-less in-flight work.
 std::string HandleRequestLine(Service* service, std::string_view line,
                               const CancellationToken& cancel = {});
+
+/// The binary-frame twin of HandleRequestLine: maps the frame verb to its
+/// op (FrameVerbToOp), parses the JSON payload (empty == "{}"), rejects a
+/// payload "op" that contradicts the verb, and dispatches. Returns the
+/// response *payload*; the transport wraps it in a response frame echoing
+/// the request id. Never fails out-of-band.
+std::string HandleFramePayload(Service* service, uint8_t verb,
+                               std::string_view payload,
+                               const CancellationToken& cancel = {});
 
 }  // namespace remi

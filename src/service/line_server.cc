@@ -13,28 +13,9 @@
 #include <thread>
 
 #include "service/json_codec.h"
+#include "service/socket_util.h"
 
 namespace remi {
-
-namespace {
-
-/// Sends the whole buffer; false on a broken connection. MSG_NOSIGNAL
-/// turns a peer hangup into EPIPE instead of killing the process.
-bool SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
-                           MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 LineServer::LineServer(Service* service, const LineServerOptions& options)
     : service_(service), options_(options) {}
@@ -207,58 +188,115 @@ void LineServer::AcceptLoop() {
       return;
     }
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Transient resource exhaustion (e.g. a connection burst used up
-        // the fd table): back off and keep listening instead of silently
-        // turning into a zombie server.
-        std::fprintf(stderr, "line_server: accept: %s; retrying\n",
-                     std::strerror(errno));
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        continue;
+      // Every errno is classified: an unlisted one must never silently
+      // end this loop (a server that stops accepting but keeps running
+      // is a zombie — it looks alive to health checks and serves no one).
+      const int err = errno;
+      switch (ClassifyAcceptError(err)) {
+        case AcceptErrorAction::kRetry:
+          continue;
+        case AcceptErrorAction::kRetryCounted:
+          // A network error pending on the *new* socket (EPROTO, ...)
+          // is reported through accept(2); the listener itself is fine.
+          service_->RecordAcceptError(/*fatal=*/false);
+          std::fprintf(stderr, "line_server: accept: %s; continuing\n",
+                       std::strerror(err));
+          continue;
+        case AcceptErrorAction::kRetryAfterBackoff:
+          // Transient resource exhaustion (e.g. a connection burst used
+          // up the fd table): back off and keep listening.
+          service_->RecordAcceptError(/*fatal=*/false);
+          std::fprintf(stderr, "line_server: accept: %s; backing off\n",
+                       std::strerror(err));
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          continue;
+        case AcceptErrorAction::kFatal:
+          // The listener fd itself is broken — retrying would spin.
+          // (Stop()'s own shutdown(2) exits through the stopping_ check
+          // above, so it is never misreported here.)
+          service_->RecordAcceptError(/*fatal=*/true);
+          std::fprintf(stderr,
+                       "line_server: accept: %s; accept loop shutting down\n",
+                       std::strerror(err));
+          stopping_.store(true, std::memory_order_relaxed);
+          return;
       }
-      return;  // listener gone (EBADF/EINVAL after shutdown)
+      continue;
     }
     // Join threads of connections that already hung up, so a long-running
     // server holds resources proportional to *open* connections only.
     ReapFinishedConnections();
     std::lock_guard<std::mutex> lock(connections_mu_);
-    connections_.push_back(std::make_unique<Connection>());
-    Connection* connection = connections_.back().get();
-    connection->fd = fd;
-    connection->thread =
-        std::thread([this, connection] { ServeConnection(connection); });
+    Connection* connection = nullptr;
+    try {
+      connections_.push_back(std::make_unique<Connection>());
+      connection = connections_.back().get();
+      connection->fd = fd;
+      connection->thread =
+          std::thread([this, connection] { ServeConnection(connection); });
+    } catch (const std::exception& e) {
+      // Allocation or thread spawn failed under resource pressure
+      // (std::system_error on EAGAIN): shed this one connection and keep
+      // accepting — a per-connection failure must not kill the listener.
+      close(fd);
+      if (connection != nullptr) {
+        connection->fd = -1;
+        // The reaper erases it on the next accept; join is skipped on a
+        // never-started thread.
+        connection->done.store(true, std::memory_order_release);
+      }
+      service_->RecordAcceptError(/*fatal=*/false);
+      std::fprintf(stderr, "line_server: connection setup: %s; shed\n",
+                   e.what());
+    }
   }
 }
 
 void LineServer::ServeConnection(Connection* connection) {
   const int fd = connection->fd;
   const CancellationToken cancel = cancel_source_.token();
-  std::string buffer;
+  // Offset-consumed buffer: a deep pipeline used to pay an O(tail)
+  // erase(0, start) per recv — quadratic in the bytes a fast client could
+  // pre-send. Consume() just advances an offset and compacts amortized.
+  ConsumedBuffer buffer;
   char chunk[4096];
   bool poisoned = false;
   while (!poisoned) {
     const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed or connection reset
-    buffer.append(chunk, static_cast<size_t>(n));
+    buffer.Append(std::string_view(chunk, static_cast<size_t>(n)));
 
-    size_t start = 0;
     for (;;) {
-      const size_t newline = buffer.find('\n', start);
-      if (newline == std::string::npos) break;
-      std::string_view line(buffer.data() + start, newline - start);
+      const std::string_view pending = buffer.Pending();
+      const size_t newline = pending.find('\n');
+      if (newline == std::string_view::npos) break;
+      std::string_view line = pending.substr(0, newline);
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      // The budget applies to every complete line, not only the
+      // unterminated tail (checked below): a pipelined oversize line
+      // whose newline already arrived must be rejected, not executed.
+      if (line.size() > options_.max_line_bytes) {
+        SendAll(fd,
+                StatusToJson(Status::InvalidArgument(
+                                 "request line exceeds " +
+                                 std::to_string(options_.max_line_bytes) +
+                                 " bytes"))
+                        .Dump() +
+                    "\n");
+        poisoned = true;
+        break;
+      }
       const std::string response = HandleRequestLine(service_, line, cancel);
       if (!SendAll(fd, response) || !SendAll(fd, "\n")) {
         poisoned = true;
         break;
       }
-      start = newline + 1;
+      // After the send: Consume() may compact the storage, which would
+      // invalidate the `line` view the handler just used.
+      buffer.Consume(newline + 1);
     }
-    buffer.erase(0, start);
-    if (buffer.size() > options_.max_line_bytes) {
+    if (!poisoned && buffer.PendingSize() > options_.max_line_bytes) {
       SendAll(fd,
               StatusToJson(Status::InvalidArgument(
                                "request line exceeds " +

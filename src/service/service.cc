@@ -280,6 +280,63 @@ Deadline Service::DeadlineFor(const RequestControl& control) const {
   return Deadline();
 }
 
+void Service::RecordAcceptError(bool fatal) {
+  (fatal ? accept_errors_fatal_ : accept_errors_retried_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void Service::RecordMiningStats(const RemiStats& stats,
+                                double mine_seconds) {
+  nodes_visited_total_.fetch_add(stats.nodes_visited,
+                                 std::memory_order_relaxed);
+  mine_micros_total_.fetch_add(
+      static_cast<uint64_t>(mine_seconds * 1e6),
+      std::memory_order_relaxed);
+}
+
+uint64_t Service::ComputeRetryAfterMs(size_t queued, size_t max_in_flight,
+                                      double mean_service_ms,
+                                      uint32_t jitter256) {
+  // Per-queued-request drain estimate; floored so a cold service (no
+  // completions yet, mean 0) still spreads clients out.
+  const double per_slot_ms = std::max(mean_service_ms, 25.0);
+  const double slots = static_cast<double>(std::max<size_t>(max_in_flight, 1));
+  // +1: the retrying caller queues behind everyone counted in `queued`.
+  double base =
+      per_slot_ms * (static_cast<double>(queued) + 1.0) / slots;
+  // Strict growth in `queued` must survive the clamp, so clamp the
+  // *inputs'* contribution by adding the floor rather than flooring the
+  // result: hint(q+1) > hint(q) at fixed jitter.
+  base = 25.0 + std::min(base, 10000.0);
+  const double jitter = 0.75 + static_cast<double>(jitter256 & 0xff) / 512.0;
+  return static_cast<uint64_t>(base * jitter);
+}
+
+uint64_t Service::RetryAfterMsHint() const {
+  size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    queued = queued_;
+  }
+  const uint64_t completed = completed_ok_.load(std::memory_order_relaxed) +
+                             deadline_exceeded_.load(std::memory_order_relaxed) +
+                             cancelled_.load(std::memory_order_relaxed);
+  const double mean_service_ms =
+      completed > 0
+          ? static_cast<double>(
+                mine_micros_total_.load(std::memory_order_relaxed)) /
+                (1000.0 * static_cast<double>(completed))
+          : 0.0;
+  // Cheap xorshift jitter off a per-call counter: no <random> state, no
+  // lock, good enough to de-synchronize retrying clients.
+  static std::atomic<uint32_t> jitter_state{0x9e3779b9u};
+  uint32_t j = jitter_state.fetch_add(0x61c88647u, std::memory_order_relaxed);
+  j ^= j << 13;
+  j ^= j >> 17;
+  return ComputeRetryAfterMs(queued, options_.max_in_flight, mean_service_ms,
+                             j);
+}
+
 void Service::CountOutcome(const Status& status) {
   if (status.ok()) {
     completed_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -302,6 +359,11 @@ ServiceCounters Service::counters() const {
   c.reloads_rejected = reloads_rejected_.load(std::memory_order_relaxed);
   c.generation = generation();
   c.active_generations = live_epochs_->load(std::memory_order_relaxed);
+  c.accept_errors_retried =
+      accept_errors_retried_.load(std::memory_order_relaxed);
+  c.accept_errors_fatal = accept_errors_fatal_.load(std::memory_order_relaxed);
+  c.nodes_visited_total = nodes_visited_total_.load(std::memory_order_relaxed);
+  c.mine_micros_total = mine_micros_total_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(admission_mu_);
   c.in_flight = in_flight_;
   c.peak_in_flight = peak_in_flight_;
@@ -482,6 +544,7 @@ Result<MineResponse> Service::Mine(const MineRequest& request) {
         *targets, request.max_exceptions, control);
     if (!mined.ok()) return mined.status();
     service_stats.mine_seconds = mine_timer.ElapsedSeconds();
+    RecordMiningStats(mined->stats, service_stats.mine_seconds);
 
     MineResponse response = BuildMineResponse(*epoch, *mined,
                                               request.verbalize,
@@ -541,6 +604,11 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     auto mined = miner->MineBatch(sets, request.max_exceptions, control);
     if (!mined.ok()) return mined.status();
     response.service.mine_seconds = mine_timer.ElapsedSeconds();
+    RemiStats batch_stats;
+    for (const RemiResult& item : *mined) {
+      batch_stats.nodes_visited += item.stats.nodes_visited;
+    }
+    RecordMiningStats(batch_stats, response.service.mine_seconds);
 
     bool any_timed_out = false;
     bool any_cancelled = false;
@@ -610,6 +678,9 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
     Timer mine_timer;
     auto summary = RemiSummarize(*miner, response.entity, request.k, control);
     response.service.mine_seconds = mine_timer.ElapsedSeconds();
+    // RemiSummarize doesn't surface per-run RemiStats; the time still
+    // feeds the mean-service-time estimate behind RetryAfterMsHint().
+    RecordMiningStats(RemiStats{}, response.service.mine_seconds);
     if (!summary.ok()) {
       if (!summary.status().IsDeadlineExceeded() &&
           !summary.status().IsCancelled()) {

@@ -268,6 +268,16 @@ struct ServiceCounters {
   /// alive by in-flight pinned requests. 1 at quiescence; a value stuck
   /// above 1 means a retired generation leaked.
   size_t active_generations = 0;
+  // --- transport health (reported by the wire servers) ---
+  /// accept(2) failures survived and retried (EPROTO, EMFILE bursts, ...).
+  /// A growing value with zero new connections is the old zombie-accept
+  /// signature, now visible instead of silent.
+  uint64_t accept_errors_retried = 0;
+  /// accept(2) failures that terminated an accept loop (dead listener).
+  uint64_t accept_errors_fatal = 0;
+  // --- aggregated mining stats (the "counters" verb's RemiStats view) ---
+  uint64_t nodes_visited_total = 0;  ///< DFS nodes across all admitted runs
+  uint64_t mine_micros_total = 0;    ///< wall micros inside the miner
 };
 
 /// \brief One serving process, many requests, hot-swappable KB generations.
@@ -354,6 +364,27 @@ class Service {
 
   const ServiceOptions& options() const { return options_; }
   ServiceCounters counters() const;
+
+  /// Records an accept(2) failure observed by a wire server fronting this
+  /// service (ServiceCounters::accept_errors_*). `fatal` marks failures
+  /// that killed an accept loop.
+  void RecordAcceptError(bool fatal);
+
+  /// The back-off hint (milliseconds) wire servers attach to
+  /// ResourceExhausted responses. Derived from live admission state — the
+  /// measured mean service time, how full the queue is, and how many
+  /// slots drain it — plus ±25% jitter so a burst of rejected clients
+  /// doesn't come back as a synchronized thundering herd.
+  uint64_t RetryAfterMsHint() const;
+
+  /// The deterministic core of RetryAfterMsHint (pure, unit-testable):
+  /// roughly the time for `queued` requests ahead of the caller to drain
+  /// through `max_in_flight` slots at `mean_service_ms` each, floored at
+  /// 25ms and capped near 10s, scaled by jitter/256 in [0.75, 1.25).
+  /// Strictly monotonic in `queued` (at fixed jitter) until the cap.
+  static uint64_t ComputeRetryAfterMs(size_t queued, size_t max_in_flight,
+                                      double mean_service_ms,
+                                      uint32_t jitter256);
 
   /// Malformed N-Triples lines skipped by the current generation's
   /// lenient open (0 for other formats). Callers surface this so silent
@@ -443,6 +474,8 @@ class Service {
 
   Deadline DeadlineFor(const RequestControl& control) const;
   void CountOutcome(const Status& status);
+  /// Folds one admitted run into the service-wide mining aggregates.
+  void RecordMiningStats(const RemiStats& stats, double mine_seconds);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;  ///< iff mining.num_threads > 1
@@ -472,6 +505,10 @@ class Service {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> reloads_ok_{0};
   std::atomic<uint64_t> reloads_rejected_{0};
+  std::atomic<uint64_t> accept_errors_retried_{0};
+  std::atomic<uint64_t> accept_errors_fatal_{0};
+  std::atomic<uint64_t> nodes_visited_total_{0};
+  std::atomic<uint64_t> mine_micros_total_{0};
 };
 
 }  // namespace remi

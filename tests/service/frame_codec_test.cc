@@ -1,0 +1,165 @@
+#include "service/frame_codec.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace remi {
+namespace {
+
+TEST(FrameCodecTest, EncodeDecodeRoundTrip) {
+  std::string wire;
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kMine), 42,
+              R"({"targets":["Berlin"]})", &wire);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 22);
+
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed(wire);
+  FrameView frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.verb, static_cast<uint8_t>(FrameVerb::kMine));
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, R"({"targets":["Berlin"]})");
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameCodecTest, EmptyPayloadAndLargeRequestId) {
+  std::string wire;
+  const uint64_t id = 0xDEADBEEFCAFEF00Dull;
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kPing), id, "", &wire);
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed(wire);
+  FrameView frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.request_id, id);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameCodecTest, ByteByByteFeedYieldsTheSameFrames) {
+  // A frame header (and payload) may arrive split at every possible
+  // boundary; the decoder must reassemble regardless.
+  std::string wire;
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kSummarize), 7,
+              R"({"entity":"Berlin","k":3})", &wire);
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kPing), 8, "", &wire);
+
+  FrameDecoder decoder(1 << 20);
+  std::vector<FrameView> frames;
+  std::vector<std::string> payloads;
+  for (const char byte : wire) {
+    decoder.Feed(std::string_view(&byte, 1));
+    FrameView frame;
+    while (decoder.Next(&frame) == FrameDecoder::Result::kFrame) {
+      frames.push_back(frame);
+      payloads.emplace_back(frame.payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].request_id, 7u);
+  EXPECT_EQ(payloads[0], R"({"entity":"Berlin","k":3})");
+  EXPECT_EQ(frames[1].request_id, 8u);
+  EXPECT_TRUE(payloads[1].empty());
+}
+
+TEST(FrameCodecTest, PipelinedFramesInOneFeed) {
+  std::string wire;
+  for (uint64_t id = 1; id <= 16; ++id) {
+    AppendFrame(static_cast<uint8_t>(FrameVerb::kPing), id,
+                "{\"n\":" + std::to_string(id) + "}", &wire);
+  }
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed(wire);
+  for (uint64_t id = 1; id <= 16; ++id) {
+    FrameView frame;
+    ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+    EXPECT_EQ(frame.request_id, id);
+    EXPECT_EQ(frame.payload, "{\"n\":" + std::to_string(id) + "}");
+  }
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameCodecTest, BadMagicPoisonsImmediately) {
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed("GET / HTTP/1.1\r\n");
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  EXPECT_TRUE(decoder.status().IsInvalidArgument());
+  // Stays poisoned: frame boundaries cannot be re-synchronized.
+  decoder.Feed("more bytes");
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(FrameCodecTest, BadMagicDetectedOnPartialPrefix) {
+  // Even a single wrong first byte is rejected before a full header
+  // arrives — an NDJSON client on a binary decoder fails fast.
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed("{");
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(FrameCodecTest, PartialMagicPrefixWaitsForMore) {
+  // "RE" is a valid prefix of the magic: not yet an error.
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed("RE");
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+  decoder.Feed("MI");
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameCodecTest, OversizeDeclaredPayloadRejectedBeforeBuffering) {
+  std::string wire;
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kMine), 99,
+              std::string(2048, 'x'), &wire);
+  FrameDecoder decoder(/*max_payload_bytes=*/1024);
+  // Feed only the header: the declared length alone must trigger the
+  // rejection — the decoder never waits for (or buffers) the payload.
+  decoder.Feed(std::string_view(wire).substr(0, kFrameHeaderBytes));
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  EXPECT_TRUE(decoder.status().IsInvalidArgument());
+  EXPECT_EQ(decoder.error_request_id(), 99u);
+}
+
+TEST(FrameCodecTest, NonzeroReservedBitsReject) {
+  std::string wire;
+  AppendFrame(static_cast<uint8_t>(FrameVerb::kPing), 5, "", &wire);
+  wire[5] = 1;  // flags byte must be 0
+  FrameDecoder decoder(1 << 20);
+  decoder.Feed(wire);
+  FrameView frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  EXPECT_EQ(decoder.error_request_id(), 5u);
+}
+
+TEST(FrameCodecTest, VerbOpMappingIsTotalOverTheEnum) {
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kPing)), "ping");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kMine)), "mine");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kBatchMine)),
+               "batch_mine");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kSummarize)),
+               "summarize");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kCandidates)),
+               "candidates");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kCounters)),
+               "stats");
+  EXPECT_STREQ(FrameVerbToOp(static_cast<uint8_t>(FrameVerb::kReload)),
+               "reload");
+  EXPECT_EQ(FrameVerbToOp(0), nullptr);
+  EXPECT_EQ(FrameVerbToOp(200), nullptr);
+}
+
+TEST(FrameCodecTest, SniffWireMode) {
+  EXPECT_EQ(SniffWireMode('R'), WireMode::kBinary);
+  EXPECT_EQ(SniffWireMode('{'), WireMode::kNdjson);
+  EXPECT_EQ(SniffWireMode(' '), WireMode::kNdjson);
+  EXPECT_EQ(SniffWireMode('\n'), WireMode::kNdjson);
+  EXPECT_EQ(SniffWireMode('G'), WireMode::kInvalid);
+  EXPECT_EQ(SniffWireMode('\0'), WireMode::kInvalid);
+}
+
+}  // namespace
+}  // namespace remi

@@ -284,6 +284,58 @@ TEST_F(LineServerTest, AdmissionOverflowCarriesRetryAfterHint) {
   occupant.join();
 }
 
+TEST_F(LineServerTest, RetryHintGrowsWithQueueDepth) {
+  // The hint is derived from admission state, not a constant: at equal
+  // jitter, deeper queues must produce strictly larger hints until the
+  // cap, and the jitter band keeps any hint within [0.75x, 1.25x) base.
+  uint64_t previous = 0;
+  for (size_t queued = 0; queued < 64; ++queued) {
+    const uint64_t hint = Service::ComputeRetryAfterMs(
+        queued, /*max_in_flight=*/4, /*mean_service_ms=*/40.0,
+        /*jitter256=*/128);
+    EXPECT_GT(hint, previous) << "queued=" << queued;
+    previous = hint;
+  }
+  // Cold start (no completions yet) still floors at a sane minimum.
+  const uint64_t cold = Service::ComputeRetryAfterMs(0, 4, 0.0, 128);
+  EXPECT_GE(cold, 25u);
+  // The cap bounds even absurd backlogs.
+  const uint64_t capped = Service::ComputeRetryAfterMs(
+      1u << 20, 1, 5000.0, 255);
+  EXPECT_LE(capped, 13000u);
+  // Jitter spreads retries instead of synchronizing them.
+  const uint64_t low = Service::ComputeRetryAfterMs(8, 4, 40.0, 0);
+  const uint64_t high = Service::ComputeRetryAfterMs(8, 4, 40.0, 255);
+  EXPECT_LT(low, high);
+}
+
+TEST_F(LineServerTest, OversizeCompleteLinePoisonsTheConnection) {
+  // The historical check only bounded the *partial* tail, so an oversize
+  // line whose newline arrived in the same recv() slipped through. The
+  // limit must apply to complete lines too.
+  KbSpec spec;
+  spec.path = std::string(REMI_TESTDATA_DIR) + "/smoke.nt";
+  auto opened = Service::Open(spec);
+  ASSERT_TRUE(opened.ok());
+  LineServerOptions options;
+  options.port = 0;
+  options.max_line_bytes = 128;
+  LineServer server(opened->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  std::string oversize = R"({"op":"ping","pad":")";
+  oversize += std::string(512, 'x');
+  oversize += "\"}";
+  client.Send(oversize);  // appends the newline: a complete line
+  auto parsed = ParseJson(client.ReadLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("status")->AsString(), "InvalidArgument");
+  EXPECT_TRUE(client.AtEof());
+  server.Stop();
+}
+
 TEST_F(LineServerTest, DrainFlushesBufferedResponsesThenCloses) {
   LineClient client(server_->port());
   ASSERT_TRUE(client.connected());

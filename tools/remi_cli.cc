@@ -8,12 +8,16 @@
 //   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
 //   remi reload <path> --port <p>            hot-swap a running server's KB
+//   remi counters --port <p>                 live ServiceCounters of a server
 //
-// `reload` is an admin client, not a local operation: it connects to a
-// running remi_server (--host/--port) and sends {"op":"reload","path":...}.
-// The path is resolved by the *server* process. Exit 0 when the new
-// generation is serving; nonzero when the server rejected the candidate
-// (it then keeps serving the prior generation — fail closed).
+// `reload` and `counters` are admin clients, not local operations: they
+// connect to a running remi_server (--host/--port). `counters` speaks the
+// binary frame protocol (so it doubles as a smoke test for it against an
+// epoll-mode server); `reload` speaks NDJSON by default and the binary
+// framing with --binary. The reload path is resolved by the *server*
+// process. Exit 0 when the new generation is serving; nonzero when the
+// server rejected the candidate (it then keeps serving the prior
+// generation — fail closed).
 //
 // <kb> is anything KbSpec understands: N-Triples (.nt), Turtle (.ttl),
 // RKF (.rkf), or an RKF2 snapshot (.rkf2; opened zero-copy, no rebuild) —
@@ -39,6 +43,7 @@
 
 #include "rdf/ntriples.h"
 #include "rdf/rkf.h"
+#include "service/frame_codec.h"
 #include "service/service.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -344,12 +349,8 @@ int CmdSummarize(const std::string& path, const remi::Flags& flags) {
   return 0;
 }
 
-/// One blocking line-protocol round trip against a running remi_server:
-/// connect, send `request` + '\n' (full-write loop; MSG_NOSIGNAL so a
-/// server that died mid-send surfaces as EPIPE, not a fatal SIGPIPE),
-/// read until the response newline.
-Result<std::string> LineRoundTrip(const std::string& host, int port,
-                                  const std::string& request) {
+/// Blocking TCP connect; the caller owns (and closes) the fd.
+Result<int> ConnectTo(const std::string& host, int port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
@@ -368,33 +369,94 @@ Result<std::string> LineRoundTrip(const std::string& host, int port,
     close(fd);
     return status;
   }
-  const std::string line = request + "\n";
+  return fd;
+}
+
+/// Full-write loop; MSG_NOSIGNAL so a server that died mid-send surfaces
+/// as EPIPE, not a fatal SIGPIPE.
+Status SendAllTo(int fd, const std::string& data) {
   size_t sent = 0;
-  while (sent < line.size()) {
+  while (sent < data.size()) {
     const ssize_t n =
-        send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      close(fd);
       return Status::IoError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
+
+/// One blocking line-protocol round trip against a running remi_server:
+/// connect, send `request` + '\n', read until the response newline.
+Result<std::string> LineRoundTrip(const std::string& host, int port,
+                                  const std::string& request) {
+  auto fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+  if (auto status = SendAllTo(*fd, request + "\n"); !status.ok()) {
+    close(*fd);
+    return status;
+  }
   std::string response;
   char chunk[4096];
   for (;;) {
-    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = recv(*fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     response.append(chunk, static_cast<size_t>(n));
     const size_t newline = response.find('\n');
     if (newline != std::string::npos) {
-      close(fd);
+      close(*fd);
       return response.substr(0, newline);
     }
   }
-  close(fd);
+  close(*fd);
   return Status::IoError("connection closed before a response line");
+}
+
+/// One binary-frame round trip: connect, send `payload` under `verb`,
+/// decode response frames until ours (matched by request id) arrives, and
+/// return its payload — the same JSON document the NDJSON protocol would
+/// produce. Requires an epoll-mode server (--mode threads speaks only
+/// NDJSON and will reject the frame).
+Result<std::string> FrameRoundTrip(const std::string& host, int port,
+                                   remi::FrameVerb verb,
+                                   const std::string& payload) {
+  auto fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+  constexpr uint64_t kRequestId = 1;
+  std::string wire;
+  remi::AppendFrame(static_cast<uint8_t>(verb), kRequestId, payload, &wire);
+  if (auto status = SendAllTo(*fd, wire); !status.ok()) {
+    close(*fd);
+    return status;
+  }
+  remi::FrameDecoder decoder(/*max_payload_bytes=*/64u << 20);
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = recv(*fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    decoder.Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    remi::FrameView frame;
+    for (;;) {
+      const auto result = decoder.Next(&frame);
+      if (result == remi::FrameDecoder::Result::kNeedMore) break;
+      if (result == remi::FrameDecoder::Result::kError) {
+        close(*fd);
+        return decoder.status();
+      }
+      if (frame.request_id == kRequestId || frame.verb == 0) {
+        // Ours, or a stream-level error frame from the server.
+        const std::string response(frame.payload);
+        close(*fd);
+        return response;
+      }
+    }
+  }
+  close(*fd);
+  return Status::IoError("connection closed before a response frame");
 }
 
 int CmdReload(const std::string& path, const remi::Flags& flags) {
@@ -402,9 +464,13 @@ int CmdReload(const std::string& path, const remi::Flags& flags) {
   request.Set("op", remi::JsonValue::String("reload"));
   request.Set("path", remi::JsonValue::String(path));
   request.Set("lenient", remi::JsonValue::Bool(!flags.GetBool("strict")));
+  const std::string host = flags.GetString("host");
+  const int port = static_cast<int>(flags.GetInt("port"));
   auto response =
-      LineRoundTrip(flags.GetString("host"),
-                    static_cast<int>(flags.GetInt("port")), request.Dump());
+      flags.GetBool("binary")
+          ? FrameRoundTrip(host, port, remi::FrameVerb::kReload,
+                           request.Dump())
+          : LineRoundTrip(host, port, request.Dump());
   if (!response.ok()) return Fail(response.status());
   auto parsed = remi::ParseJson(*response);
   if (!parsed.ok() || !parsed->is_object()) {
@@ -420,6 +486,26 @@ int CmdReload(const std::string& path, const remi::Flags& flags) {
     return 2;
   }
   return 0;
+}
+
+/// Fetches a running server's live ServiceCounters (admission outcomes,
+/// transport health, aggregated mining stats) over the binary frame
+/// protocol and prints the JSON document.
+int CmdCounters(const remi::Flags& flags) {
+  auto response = FrameRoundTrip(flags.GetString("host"),
+                                 static_cast<int>(flags.GetInt("port")),
+                                 remi::FrameVerb::kCounters, "{}");
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response->c_str());
+  auto parsed = remi::ParseJson(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return Fail(Status::Internal("unparseable server response"));
+  }
+  const remi::JsonValue* status = parsed->Find("status");
+  return (status != nullptr && status->is_string() &&
+          status->AsString() == "OK")
+             ? 0
+             : 2;
 }
 
 }  // namespace
@@ -439,19 +525,22 @@ int main(int argc, char** argv) {
   flags.DefineDouble("timeout", 0.0, "per-request deadline in seconds");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
-  flags.DefineString("host", "127.0.0.1", "server address (reload)");
-  flags.DefineInt("port", 7411, "server port (reload)");
+  flags.DefineString("host", "127.0.0.1", "server address (reload/counters)");
+  flags.DefineInt("port", 7411, "server port (reload/counters)");
   flags.DefineBool("strict", false,
                    "reload: fail on malformed N-Triples lines instead of "
                    "skipping them");
+  flags.DefineBool("binary", false,
+                   "reload: use the binary frame protocol instead of NDJSON "
+                   "(requires an epoll-mode server)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status);
   }
   const auto& args = flags.positional();
   if (args.empty()) {
     std::printf(
-        "usage: remi <stats|convert|snapshot|mine|summarize|reload> <kb> "
-        "[args]\n\n%s",
+        "usage: remi <stats|convert|snapshot|mine|summarize|reload|counters> "
+        "<kb> [args]\n\n%s",
         flags.Help().c_str());
     return 1;
   }
@@ -473,6 +562,9 @@ int main(int argc, char** argv) {
   }
   if (command == "reload" && args.size() == 2) {
     return CmdReload(args[1], flags);
+  }
+  if (command == "counters" && args.size() == 1) {
+    return CmdCounters(flags);
   }
   std::fprintf(stderr, "unknown or malformed command\n");
   return 1;

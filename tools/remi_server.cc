@@ -1,11 +1,16 @@
-// remi_server — the newline-delimited-JSON-over-TCP serving front end.
+// remi_server — the TCP serving front end.
 //
-//   remi_server <kb> [--port 7411] [--threads N] [--max-inflight 4]
-//               [--max-queued 16] [--inverse-fraction 0.01]
+//   remi_server <kb> [--port 7411] [--mode epoll|threads] [--threads N]
+//               [--max-inflight 4] [--max-queued 16]
+//               [--inverse-fraction 0.01]
 //
 // <kb> is any format KbSpec understands (.nt / .ttl / .rkf / .rkf2; RKF2
-// snapshots open zero-copy). One request per line, one response per line;
-// see src/service/json_codec.h for the protocol. Example session:
+// snapshots open zero-copy). The default --mode epoll serves both wire
+// protocols on one port, autodetected per connection: the length-prefixed
+// binary framing (request-id multiplexed, out-of-order responses; see
+// src/service/frame_codec.h) and the newline-delimited-JSON debug
+// protocol. --mode threads is the thread-per-connection NDJSON-only
+// reference server. Example debug session:
 //
 //   $ remi_server tests/data/smoke.nt --port 7411 &
 //   $ printf '{"op":"mine","targets":["Berlin"]}\n' | nc 127.0.0.1 7411
@@ -24,6 +29,9 @@
 #include <chrono>
 #include <thread>
 
+#include <string>
+
+#include "service/event_server.h"
 #include "service/line_server.h"
 #include "service/service.h"
 #include "util/flags.h"
@@ -50,6 +58,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("drain-grace", 30.0,
                      "seconds to let in-flight requests finish on "
                      "SIGTERM/SIGINT before cancelling them");
+  flags.DefineString("mode", "epoll",
+                     "serving core: 'epoll' (event loop, binary frames + "
+                     "NDJSON autodetected) or 'threads' "
+                     "(thread-per-connection, NDJSON only)");
+  flags.DefineInt("dispatch-threads", 4,
+                  "epoll mode: worker threads executing requests");
+  flags.DefineInt("max-write-buffer", 4 << 20,
+                  "epoll mode: per-connection write-buffer bytes before "
+                  "the connection stops being read (backpressure)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
@@ -82,16 +99,41 @@ int main(int argc, char** argv) {
   std::printf("loaded %s: %zu facts, %zu entities\n", spec.path.c_str(),
               (*service)->kb().NumFacts(), (*service)->kb().NumEntities());
 
-  remi::LineServerOptions server_options;
-  server_options.bind_address = flags.GetString("bind");
-  server_options.port = static_cast<int>(flags.GetInt("port"));
-  remi::LineServer server(service->get(), server_options);
-  if (auto status = server.Start(); !status.ok()) {
+  const std::string mode = flags.GetString("mode");
+  if (mode != "epoll" && mode != "threads") {
+    std::fprintf(stderr, "error: --mode must be 'epoll' or 'threads'\n");
+    return 1;
+  }
+
+  // Both serving cores share the start / wait-for-signal / drain
+  // lifecycle; only construction differs.
+  remi::LineServer line_server(
+      service->get(), [&] {
+        remi::LineServerOptions o;
+        o.bind_address = flags.GetString("bind");
+        o.port = static_cast<int>(flags.GetInt("port"));
+        return o;
+      }());
+  remi::EventServer event_server(
+      service->get(), [&] {
+        remi::EventServerOptions o;
+        o.bind_address = flags.GetString("bind");
+        o.port = static_cast<int>(flags.GetInt("port"));
+        o.dispatch_threads =
+            static_cast<size_t>(flags.GetInt("dispatch-threads"));
+        o.max_write_buffer_bytes =
+            static_cast<size_t>(flags.GetInt("max-write-buffer"));
+        return o;
+      }());
+  const bool epoll_mode = mode == "epoll";
+  if (auto status = epoll_mode ? event_server.Start() : line_server.Start();
+      !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("remi_server listening on %s:%d\n",
-              server_options.bind_address.c_str(), server.port());
+  const int port = epoll_mode ? event_server.port() : line_server.port();
+  std::printf("remi_server (%s) listening on %s:%d\n", mode.c_str(),
+              flags.GetString("bind").c_str(), port);
   std::fflush(stdout);
 
   // A client that disconnects mid-response must surface as a send()
@@ -106,8 +148,9 @@ int main(int argc, char** argv) {
   const double grace = flags.GetDouble("drain-grace");
   std::printf("draining (grace %.1fs)\n", grace);
   std::fflush(stdout);
-  const bool drained = server.Drain(grace);
-  server.Stop();
+  const bool drained =
+      epoll_mode ? event_server.Drain(grace) : line_server.Drain(grace);
+  if (!epoll_mode) line_server.Stop();
   std::printf(drained ? "drained cleanly\n"
                       : "drain grace expired; cancelled stragglers\n");
   return 0;
