@@ -15,17 +15,27 @@
 //                p50/p99 latency and sustained QPS per point.
 //   counters     at quiescence, admitted == completed_ok +
 //                deadline_exceeded + cancelled + failed.
+//   tenants      multi-tenant sweep (BENCH_tenant.json): T named tenants
+//                on one server, Zipf-skewed tenant pick, per-tenant
+//                latency splits; plus an isolation pass per T where the
+//                hot tenant is quota-pinned — it must shed while the cold
+//                tenants' p99 stays flat.
 //
 //   ./bench_load_serve [--scale 0.02] [--kb path.nt]
 //                      [--connections 1,4,16,64] [--requests 1500]
 //                      [--rps 500] [--mine-fraction 0.02]
 //                      [--capacity-limit-mb 768] [--capacity-max 1024]
 //                      [--skip-capacity] [--out BENCH_serve.json]
+//                      [--tenant-counts 1,4,16] [--tenant-requests 1200]
+//                      [--tenant-rps 300] [--skip-tenants]
+//                      [--tenant-out BENCH_tenant.json]
 //
 // CI smoke mode: `--connect PORT [--target Berlin]` runs equivalence, a
 // short mixed-protocol burst and the wire-level counter identity against
 // an already-running remi_server, exits nonzero on any failure, writes no
-// JSON.
+// JSON. `--connect-kb NAME` extends the smoke to a named tenant: routed
+// equivalence, a mixed two-tenant burst, the unknown-kb NotFound
+// contract, and the per-tenant counter identity.
 //
 // The committed BENCH_serve.json records hardware_concurrency: on a
 // 1-core host the sweep measures protocol + event-loop overhead, not
@@ -41,6 +51,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -158,6 +169,14 @@ struct LoadConfig {
   /// Every Nth request is a mine; the rest are pings.
   size_t mine_every = 0;  // 0 = never
   std::vector<std::string> mine_payloads;
+  /// Pre-built schedule (multi-tenant sweep): request k sends
+  /// scheduled_payloads[k] with scheduled_verbs[k], and its latency is
+  /// attributed to class scheduled_class[k] (one class per tenant).
+  /// Empty = the mine_every/ping schedule above, everything in class 0.
+  std::vector<std::string> scheduled_payloads;
+  std::vector<uint8_t> scheduled_verbs;
+  std::vector<int> scheduled_class;
+  size_t num_classes = 1;
 };
 
 struct LoadResult {
@@ -169,6 +188,11 @@ struct LoadResult {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double qps = 0.0;
+  /// Per-class splits (sized num_classes); class = tenant in the
+  /// multi-tenant sweep.
+  std::vector<size_t> class_completed;
+  std::vector<size_t> class_rejected;
+  std::vector<double> class_p99_ms;
 };
 
 struct ClientConn {
@@ -177,19 +201,24 @@ struct ClientConn {
   size_t out_off = 0;
   FrameDecoder decoder{64u << 20};
   std::string linebuf;
-  std::deque<double> fifo_send_times;                 // NDJSON (in-order)
-  std::unordered_map<uint64_t, double> send_times;    // binary (by id)
+  /// Send time + request class, matched to responses in order (NDJSON)
+  /// or by request id (binary).
+  std::deque<std::pair<double, int>> fifo_send_times;
+  std::unordered_map<uint64_t, std::pair<double, int>> send_times;
   bool failed = false;
 };
 
 void Classify(std::string_view response_doc, double latency_ms,
-              LoadResult* result, std::vector<double>* latencies) {
+              int request_class, LoadResult* result,
+              std::vector<std::vector<double>>* latencies) {
   if (response_doc.find("\"status\":\"OK\"") != std::string_view::npos) {
     ++result->completed;
-    latencies->push_back(latency_ms);
+    ++result->class_completed[static_cast<size_t>(request_class)];
+    (*latencies)[static_cast<size_t>(request_class)].push_back(latency_ms);
   } else if (response_doc.find("ResourceExhausted") !=
              std::string_view::npos) {
     ++result->rejected;
+    ++result->class_rejected[static_cast<size_t>(request_class)];
   } else {
     ++result->errors;
   }
@@ -197,6 +226,9 @@ void Classify(std::string_view response_doc, double latency_ms,
 
 LoadResult RunOpenLoopLoad(const LoadConfig& config) {
   LoadResult result;
+  result.class_completed.assign(config.num_classes, 0);
+  result.class_rejected.assign(config.num_classes, 0);
+  result.class_p99_ms.assign(config.num_classes, 0.0);
   std::vector<ClientConn> conns(config.connections);
   for (auto& conn : conns) {
     conn.fd = ConnectLoopback(config.port);
@@ -213,8 +245,7 @@ LoadResult RunOpenLoopLoad(const LoadConfig& config) {
     }
   }
 
-  std::vector<double> latencies;
-  latencies.reserve(config.total_requests);
+  std::vector<std::vector<double>> latencies(config.num_classes);
   const double start = NowSeconds();
   double last_response = start;
   size_t next_request = 0;
@@ -234,23 +265,35 @@ LoadResult RunOpenLoopLoad(const LoadConfig& config) {
         ++responses;
         continue;
       }
-      const bool mine = config.mine_every != 0 &&
+      const bool scheduled_mode = !config.scheduled_payloads.empty();
+      const bool mine = !scheduled_mode && config.mine_every != 0 &&
                         !config.mine_payloads.empty() &&
                         k % config.mine_every == 0;
+      const std::string ping = R"({"op":"ping"})";
       const std::string& payload =
-          mine ? config.mine_payloads[k % config.mine_payloads.size()]
-               : std::string(R"({"op":"ping"})");
+          scheduled_mode
+              ? config.scheduled_payloads[k % config.scheduled_payloads.size()]
+              : (mine ? config.mine_payloads[k % config.mine_payloads.size()]
+                      : ping);
+      const uint8_t verb =
+          scheduled_mode
+              ? config.scheduled_verbs[k % config.scheduled_verbs.size()]
+              : static_cast<uint8_t>(mine ? FrameVerb::kMine
+                                          : FrameVerb::kPing);
+      const int request_class =
+          scheduled_mode
+              ? config.scheduled_class[k % config.scheduled_class.size()]
+              : 0;
       const double scheduled =
           start + static_cast<double>(k) / config.rps;
       if (config.binary) {
-        AppendFrame(static_cast<uint8_t>(mine ? FrameVerb::kMine
-                                              : FrameVerb::kPing),
-                    static_cast<uint64_t>(k), payload, &conn.outbuf);
-        conn.send_times.emplace(static_cast<uint64_t>(k), scheduled);
+        AppendFrame(verb, static_cast<uint64_t>(k), payload, &conn.outbuf);
+        conn.send_times.emplace(static_cast<uint64_t>(k),
+                                std::make_pair(scheduled, request_class));
       } else {
         conn.outbuf += payload;
         conn.outbuf += '\n';
-        conn.fifo_send_times.push_back(scheduled);
+        conn.fifo_send_times.emplace_back(scheduled, request_class);
       }
     }
 
@@ -318,11 +361,15 @@ LoadResult RunOpenLoopLoad(const LoadConfig& config) {
             while (conn.decoder.Next(&frame) ==
                    FrameDecoder::Result::kFrame) {
               const auto it = conn.send_times.find(frame.request_id);
-              const double sent =
-                  it != conn.send_times.end() ? it->second : arrival;
-              if (it != conn.send_times.end()) conn.send_times.erase(it);
-              Classify(frame.payload, (arrival - sent) * 1000.0, &result,
-                       &latencies);
+              double sent = arrival;
+              int request_class = 0;
+              if (it != conn.send_times.end()) {
+                sent = it->second.first;
+                request_class = it->second.second;
+                conn.send_times.erase(it);
+              }
+              Classify(frame.payload, (arrival - sent) * 1000.0,
+                       request_class, &result, &latencies);
               ++responses;
             }
           } else {
@@ -334,12 +381,14 @@ LoadResult RunOpenLoopLoad(const LoadConfig& config) {
               const std::string_view line(conn.linebuf.data() + pos,
                                           newline - pos);
               double sent = arrival;
+              int request_class = 0;
               if (!conn.fifo_send_times.empty()) {
-                sent = conn.fifo_send_times.front();
+                sent = conn.fifo_send_times.front().first;
+                request_class = conn.fifo_send_times.front().second;
                 conn.fifo_send_times.pop_front();
               }
-              Classify(line, (arrival - sent) * 1000.0, &result,
-                       &latencies);
+              Classify(line, (arrival - sent) * 1000.0, request_class,
+                       &result, &latencies);
               ++responses;
               pos = newline + 1;
             }
@@ -368,11 +417,22 @@ LoadResult RunOpenLoopLoad(const LoadConfig& config) {
   for (auto& conn : conns) {
     if (conn.fd >= 0) close(conn.fd);
   }
-  std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
-    result.p50_ms = latencies[latencies.size() / 2];
-    result.p99_ms = latencies[std::min(latencies.size() - 1,
-                                       latencies.size() * 99 / 100)];
+  std::vector<double> merged;
+  for (size_t cls = 0; cls < latencies.size(); ++cls) {
+    auto& class_latencies = latencies[cls];
+    std::sort(class_latencies.begin(), class_latencies.end());
+    if (!class_latencies.empty()) {
+      result.class_p99_ms[cls] = class_latencies[std::min(
+          class_latencies.size() - 1, class_latencies.size() * 99 / 100)];
+    }
+    merged.insert(merged.end(), class_latencies.begin(),
+                  class_latencies.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  if (!merged.empty()) {
+    result.p50_ms = merged[merged.size() / 2];
+    result.p99_ms = merged[std::min(merged.size() - 1,
+                                    merged.size() * 99 / 100)];
   }
   const double wall = std::max(last_response - start, 1e-9);
   result.qps = static_cast<double>(result.completed + result.rejected) / wall;
@@ -533,6 +593,125 @@ struct SweepRow {
   LoadResult load;
 };
 
+// ---------------------------------------------------------------------------
+// Multi-tenant sweep: one epoll server, T named tenants (clones of the
+// same KB image, so responses are comparable across tenants), a
+// Zipf-skewed tenant pick (tenant rank r gets weight 1/(r+1) — t0 is the
+// hot head), all-mine traffic attributed per tenant. Each T runs twice:
+// a baseline pass, and an isolation pass where t0 gets a one-slot quota
+// and an in-process occupant pins that slot — the hot tenant must shed
+// (ResourceExhausted) while the cold tenants' latency stays flat.
+// ---------------------------------------------------------------------------
+
+struct TenantPassRow {
+  size_t tenants = 0;
+  bool hot_quota = false;
+  std::vector<std::string> names;
+  LoadResult load;
+};
+
+/// Deterministic Zipf tenant pick for request k (no RNG: the schedule
+/// must be identical between the baseline and isolation passes).
+size_t ZipfTenant(size_t k, const std::vector<double>& cumulative) {
+  const uint32_t hashed = static_cast<uint32_t>(k) * 2654435761u;
+  const double u =
+      static_cast<double>(hashed >> 8 & 0xFFFFFF) / static_cast<double>(1 << 24);
+  const double target = u * cumulative.back();
+  for (size_t i = 0; i < cumulative.size(); ++i) {
+    if (target < cumulative[i]) return i;
+  }
+  return cumulative.size() - 1;
+}
+
+TenantPassRow RunTenantPass(const std::string& kb_image, size_t tenants,
+                            bool hot_quota, size_t requests, double rps,
+                            const std::vector<std::string>& targets) {
+  TenantPassRow row;
+  row.tenants = tenants;
+  row.hot_quota = hot_quota;
+
+  auto default_kb = remi::KnowledgeBase::OpenSnapshotBuffer(kb_image);
+  REMI_CHECK_OK(default_kb.status());
+  remi::ServiceOptions options;
+  options.max_in_flight = 8;
+  options.max_queued = 64;
+  auto service = remi::Service::Create(std::move(*default_kb), options);
+  for (size_t i = 0; i < tenants; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    row.names.push_back(name);
+    auto clone = remi::KnowledgeBase::OpenSnapshotBuffer(kb_image);
+    REMI_CHECK_OK(clone.status());
+    if (hot_quota && i == 0) {
+      remi::TenantQuota quota;
+      quota.max_in_flight = 1;
+      quota.max_queued = 0;
+      REMI_CHECK_OK(service->AttachKb(name, std::move(*clone), quota));
+    } else {
+      REMI_CHECK_OK(service->AttachKb(name, std::move(*clone)));
+    }
+  }
+
+  std::vector<double> cumulative(tenants);
+  double total = 0.0;
+  for (size_t i = 0; i < tenants; ++i) {
+    total += 1.0 / static_cast<double>(i + 1);
+    cumulative[i] = total;
+  }
+
+  LoadConfig config;
+  config.binary = true;
+  config.connections = std::min<size_t>(8, tenants * 2);
+  config.total_requests = requests;
+  config.rps = rps;
+  config.num_classes = tenants;
+  for (size_t k = 0; k < requests; ++k) {
+    const size_t tenant = ZipfTenant(k, cumulative);
+    remi::JsonValue request = remi::JsonValue::Object();
+    request.Set("op", remi::JsonValue::String("mine"));
+    request.Set("kb", remi::JsonValue::String(row.names[tenant]));
+    remi::JsonValue target_list = remi::JsonValue::Array();
+    target_list.Append(
+        remi::JsonValue::String(targets[k % targets.size()]));
+    request.Set("targets", std::move(target_list));
+    config.scheduled_payloads.push_back(request.Dump());
+    config.scheduled_verbs.push_back(
+        static_cast<uint8_t>(FrameVerb::kMine));
+    config.scheduled_class.push_back(static_cast<int>(tenant));
+  }
+
+  // The isolation pass pins the hot tenant's single quota slot from
+  // in-process, so every wire request to t0 sheds regardless of how fast
+  // a single mine is on this host.
+  std::atomic<bool> stop_occupant{false};
+  std::thread occupant;
+  if (hot_quota) {
+    occupant = std::thread([&] {
+      while (!stop_occupant.load()) {
+        remi::BatchMineRequest batch;
+        batch.kb = "t0";
+        for (size_t i = 0; i < 64; ++i) {
+          remi::TargetSpec spec;
+          spec.names = {targets[i % targets.size()]};
+          batch.target_sets.push_back(spec);
+        }
+        (void)service->BatchMine(batch);
+      }
+    });
+  }
+
+  remi::EventServerOptions server_options;
+  remi::EventServer server(service.get(), server_options);
+  REMI_CHECK_OK(server.Start());
+  config.port = server.port();
+  row.load = RunOpenLoopLoad(config);
+  server.Stop();
+  if (occupant.joinable()) {
+    stop_occupant.store(true);
+    occupant.join();
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -556,6 +735,18 @@ int main(int argc, char** argv) {
                   "on this port, write no JSON");
   flags.DefineString("target", "Berlin",
                      "mine/summarize target entity in --connect mode");
+  flags.DefineString("connect-kb", "",
+                     "CI smoke mode: also exercise this named tenant "
+                     "(per-request kb routing + per-tenant counters)");
+  flags.DefineString("tenant-counts", "1,4,16",
+                     "multi-tenant sweep tenant counts");
+  flags.DefineInt("tenant-requests", 1200,
+                  "requests per multi-tenant sweep pass");
+  flags.DefineDouble("tenant-rps", 300.0,
+                     "open-loop rate for the multi-tenant sweep");
+  flags.DefineBool("skip-tenants", false, "skip the multi-tenant sweep");
+  flags.DefineString("tenant-out", "BENCH_tenant.json",
+                     "multi-tenant sweep JSON output path");
   flags.DefineString("out", "BENCH_serve.json", "JSON output path");
   REMI_CHECK_OK(flags.Parse(argc, argv));
   remi::bench::WarnIfNotReleaseBuild();
@@ -621,6 +812,93 @@ int main(int argc, char** argv) {
       if (!consistent) ok = false;
     }
 
+    // ---- Named-tenant smoke (two-tenant serving): routed equivalence,
+    // a skewed two-tenant burst, the unknown-kb contract, and the
+    // per-tenant counter identity. ----
+    if (const std::string kb_name = flags.GetString("connect-kb");
+        !kb_name.empty()) {
+      remi::bench::Banner(("named tenant '" + kb_name + "'").c_str());
+      // OK mines embed wall-clock timing, so equivalence uses the
+      // deterministic error path; the burst below covers routed OK mines.
+      std::vector<EquivalenceCase> tenant_cases = {
+          {FrameVerb::kMine, R"({"op":"mine","kb":")" + kb_name +
+                                 R"(","targets":["NoSuchEntityAnywhere"]})"},
+          {FrameVerb::kCounters, R"({"op":"stats","kb":")" + kb_name +
+                                     R"("})"},
+      };
+      size_t tenant_checked = 0;
+      if (!CheckEquivalence(port, tenant_cases, &tenant_checked)) ok = false;
+      std::printf("  %zu routed request pairs byte-identical\n",
+                  tenant_checked);
+
+      const std::string unknown = LineRoundTrip(
+          port, R"({"op":"mine","kb":"no_such_tenant","targets":[")" +
+                    target + R"("]})");
+      const bool unknown_in_band =
+          unknown.find("NotFound") != std::string::npos;
+      std::printf("  unknown kb rejected in-band: %s\n",
+                  unknown_in_band ? "yes" : "NO");
+      if (!unknown_in_band) ok = false;
+
+      // Burst with a 2:1 default/named skew across both protocols.
+      LoadConfig tenant_burst;
+      tenant_burst.port = port;
+      tenant_burst.connections = 4;
+      tenant_burst.total_requests = 300;
+      tenant_burst.rps = 200.0;
+      tenant_burst.num_classes = 2;
+      for (size_t k = 0; k < tenant_burst.total_requests; ++k) {
+        const bool named = k % 3 == 2;
+        tenant_burst.scheduled_payloads.push_back(
+            named ? R"({"op":"mine","kb":")" + kb_name +
+                        R"(","targets":[")" + target + R"("]})"
+                  : R"({"op":"mine","targets":[")" + target + R"("]})");
+        tenant_burst.scheduled_verbs.push_back(
+            static_cast<uint8_t>(FrameVerb::kMine));
+        tenant_burst.scheduled_class.push_back(named ? 1 : 0);
+      }
+      for (const bool binary : {false, true}) {
+        tenant_burst.binary = binary;
+        const LoadResult load = RunOpenLoopLoad(tenant_burst);
+        std::printf(
+            "  %-6s default ok=%zu '%s' ok=%zu errors=%zu p99=%.2fms\n",
+            binary ? "binary" : "ndjson", load.class_completed[0],
+            kb_name.c_str(), load.class_completed[1], load.errors,
+            load.p99_ms);
+        if (!load.ok || load.class_completed[1] == 0) ok = false;
+      }
+
+      // Per-tenant identity + registry gauges after everything drained.
+      const std::string slice_doc = FrameRoundTrip(
+          port, static_cast<uint8_t>(FrameVerb::kCounters),
+          R"({"kb":")" + kb_name + R"("})");
+      const std::string global_doc = FrameRoundTrip(
+          port, static_cast<uint8_t>(FrameVerb::kCounters), "");
+      auto slice = remi::ParseJson(slice_doc);
+      auto global_counters = remi::ParseJson(global_doc);
+      if (!slice.ok() || !global_counters.ok()) {
+        ok = false;
+      } else {
+        const double admitted = JsonNumber(*slice, "admitted");
+        const double accounted = JsonNumber(*slice, "completed_ok") +
+                                 JsonNumber(*slice, "deadline_exceeded") +
+                                 JsonNumber(*slice, "cancelled") +
+                                 JsonNumber(*slice, "failed");
+        const bool tenant_consistent =
+            admitted > 0 && admitted == accounted &&
+            JsonNumber(*slice, "in_flight") == 0 &&
+            JsonNumber(*global_counters, "tenants_active") >= 2 &&
+            JsonNumber(*global_counters, "admitted") >= admitted;
+        std::printf(
+            "  tenant admitted=%.0f accounted=%.0f tenants_active=%.0f: "
+            "%s\n",
+            admitted, accounted,
+            JsonNumber(*global_counters, "tenants_active"),
+            tenant_consistent ? "consistent" : "INCONSISTENT");
+        if (!tenant_consistent) ok = false;
+      }
+    }
+
     std::printf("\nserve smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
@@ -670,21 +948,21 @@ int main(int argc, char** argv) {
   // Mine targets: mid-prominence entities, addressed by exact IRI so the
   // payloads resolve on the synthetic KB too.
   std::vector<std::string> mine_payloads;
+  std::vector<std::string> mine_targets;
   std::string summarize_entity;
   {
     const auto entities = kb.EntitiesByProminence();
     for (size_t rank = 8; rank < entities.size() && mine_payloads.size() < 4;
          rank += 3) {
+      const std::string name(kb.dict().lexical(entities[rank]));
       remi::JsonValue request = remi::JsonValue::Object();
       request.Set("op", remi::JsonValue::String("mine"));
       remi::JsonValue targets = remi::JsonValue::Array();
-      targets.Append(remi::JsonValue::String(
-          std::string(kb.dict().lexical(entities[rank]))));
+      targets.Append(remi::JsonValue::String(name));
       request.Set("targets", std::move(targets));
       mine_payloads.push_back(request.Dump());
-      if (summarize_entity.empty()) {
-        summarize_entity = std::string(kb.dict().lexical(entities[rank]));
-      }
+      mine_targets.push_back(name);
+      if (summarize_entity.empty()) summarize_entity = name;
     }
   }
 
@@ -766,6 +1044,111 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Multi-tenant sweep (its own servers; BENCH_tenant.json). ----
+  std::vector<TenantPassRow> tenant_rows;
+  bool tenants_ok = true;
+  bool isolation_ok = true;
+  if (!flags.GetBool("skip-tenants") && !mine_targets.empty()) {
+    remi::bench::Banner("multi-tenant sweep");
+    const std::string kb_image = kb.SerializeSnapshot();
+    const std::vector<size_t> tenant_counts =
+        ParseSizeList(flags.GetString("tenant-counts"), {1, 4, 16});
+    const size_t tenant_requests =
+        static_cast<size_t>(flags.GetInt("tenant-requests"));
+    const double tenant_rps = flags.GetDouble("tenant-rps");
+    for (const size_t tenants : tenant_counts) {
+      for (const bool hot_quota : {false, true}) {
+        TenantPassRow row =
+            RunTenantPass(kb_image, tenants, hot_quota, tenant_requests,
+                          tenant_rps, mine_targets);
+        std::printf("  T=%-3zu %-9s p99=%7.2fms qps=%8.1f ok=%zu "
+                    "rejected=%zu errors=%zu",
+                    tenants, hot_quota ? "hot-quota" : "baseline",
+                    row.load.p99_ms, row.load.qps, row.load.completed,
+                    row.load.rejected, row.load.errors);
+        if (hot_quota && tenants > 1) {
+          // Isolation evidence: t0 sheds, the cold tail stays flat
+          // relative to this pass's own cold baseline.
+          const TenantPassRow& baseline = tenant_rows.back();
+          double cold_p99 = 0.0;
+          double cold_baseline_p99 = 0.0;
+          size_t cold_rejected = 0;
+          for (size_t i = 1; i < tenants; ++i) {
+            cold_p99 = std::max(cold_p99, row.load.class_p99_ms[i]);
+            cold_baseline_p99 =
+                std::max(cold_baseline_p99, baseline.load.class_p99_ms[i]);
+            cold_rejected += row.load.class_rejected[i];
+          }
+          std::printf("  [hot rejected=%zu cold rejected=%zu "
+                      "cold p99 %.2f->%.2fms]",
+                      row.load.class_rejected[0], cold_rejected,
+                      cold_baseline_p99, cold_p99);
+          if (row.load.class_rejected[0] == 0 || cold_rejected != 0) {
+            isolation_ok = false;
+          }
+        }
+        std::printf("%s\n", row.load.ok ? "" : "  [FAILED]");
+        if (!row.load.ok) tenants_ok = false;
+        tenant_rows.push_back(std::move(row));
+      }
+    }
+    std::printf("  isolation (hot sheds, cold serves clean): %s\n",
+                isolation_ok ? "yes" : "NO");
+
+    const std::string tenant_out_path = flags.GetString("tenant-out");
+    FILE* tenant_out = std::fopen(tenant_out_path.c_str(), "wb");
+    if (tenant_out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   tenant_out_path.c_str());
+      return 1;
+    }
+    std::fprintf(tenant_out, "{\n  \"context\": {\n");
+    std::fprintf(tenant_out, "    \"build_type\": \"%s\",\n",
+                 remi::bench::kBuildType);
+    remi::bench::WriteHostContextFields(tenant_out);
+    std::fprintf(tenant_out, "    \"workload\": \"%s\",\n",
+                 kb_path.empty() ? "dbpedia_like" : kb_path.c_str());
+    std::fprintf(tenant_out, "    \"num_facts_per_tenant\": %zu,\n",
+                 kb.NumFacts());
+    std::fprintf(tenant_out, "    \"open_loop_rps\": %g,\n", tenant_rps);
+    std::fprintf(tenant_out, "    \"requests_per_pass\": %zu,\n",
+                 tenant_requests);
+    std::fprintf(tenant_out,
+                 "    \"tenant_pick\": \"zipf (rank r weight 1/(r+1))\",\n");
+    std::fprintf(tenant_out,
+                 "    \"hot_quota\": \"t0 max_in_flight=1 max_queued=0, "
+                 "slot pinned in-process\"\n");
+    std::fprintf(tenant_out, "  },\n");
+    std::fprintf(tenant_out, "  \"isolation_ok\": %s,\n",
+                 isolation_ok ? "true" : "false");
+    std::fprintf(tenant_out, "  \"sweep\": [\n");
+    for (size_t i = 0; i < tenant_rows.size(); ++i) {
+      const TenantPassRow& row = tenant_rows[i];
+      std::fprintf(tenant_out,
+                   "    {\"tenants\": %zu, \"hot_quota\": %s, "
+                   "\"p99_ms\": %.3f, \"qps\": %.1f, \"completed\": %zu, "
+                   "\"rejected\": %zu, \"errors\": %zu,\n"
+                   "     \"per_tenant\": [",
+                   row.tenants, row.hot_quota ? "true" : "false",
+                   row.load.p99_ms, row.load.qps, row.load.completed,
+                   row.load.rejected, row.load.errors);
+      for (size_t t = 0; t < row.tenants; ++t) {
+        std::fprintf(tenant_out,
+                     "%s{\"kb\": \"%s\", \"completed\": %zu, "
+                     "\"rejected\": %zu, \"p99_ms\": %.3f}",
+                     t == 0 ? "" : ", ", row.names[t].c_str(),
+                     row.load.class_completed[t],
+                     row.load.class_rejected[t],
+                     row.load.class_p99_ms[t]);
+      }
+      std::fprintf(tenant_out, "]}%s\n",
+                   i + 1 < tenant_rows.size() ? "," : "");
+    }
+    std::fprintf(tenant_out, "  ]\n}\n");
+    std::fclose(tenant_out);
+    std::printf("wrote %s\n", tenant_out_path.c_str());
+  }
+
   // ---- Counter identity at quiescence. ----
   const remi::ServiceCounters counters = service->counters();
   const bool counters_consistent =
@@ -836,5 +1219,8 @@ int main(int argc, char** argv) {
 
   const bool sweep_ok = std::all_of(
       rows.begin(), rows.end(), [](const SweepRow& r) { return r.load.ok; });
-  return equivalence_ok && counters_consistent && sweep_ok ? 0 : 1;
+  return equivalence_ok && counters_consistent && sweep_ok && tenants_ok &&
+                 isolation_ok
+             ? 0
+             : 1;
 }

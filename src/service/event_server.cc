@@ -183,13 +183,15 @@ void EventServer::WorkerThread() {
     }
     std::string out;
     if (item.request.binary) {
-      const std::string payload = HandleFramePayload(
-          service_, item.request.verb, item.request.data, cancel);
+      const std::string payload =
+          HandleFramePayload(service_, item.request.verb, item.request.data,
+                             cancel, item.default_kb);
       // Responses echo the request's verb and id — that is the whole
       // multiplexing contract.
       AppendFrame(item.request.verb, item.request.request_id, payload, &out);
     } else {
-      out = HandleRequestLine(service_, item.request.data, cancel);
+      out = HandleRequestLine(service_, item.request.data, cancel,
+                              item.default_kb);
       out.push_back('\n');
     }
     PushCompletion({item.conn_id, std::move(out)});
@@ -514,9 +516,23 @@ void EventServer::MaybeDispatch(Connection* conn) {
                            : 1;  // NDJSON responses must stay in order
   bool dispatched = false;
   while (!conn->queue.empty() && conn->inflight < limit) {
+    // The kUseKb handshake runs inline on the loop thread, in FIFO order
+    // with the frames around it: frames dispatched before it carried the
+    // old default (their WorkItem copy), frames after it see the new
+    // one. It occupies no dispatch slot — the check is Service::HasKb,
+    // which never loads a KB.
+    if (conn->queue.front().binary &&
+        conn->queue.front().verb ==
+            static_cast<uint8_t>(FrameVerb::kUseKb)) {
+      const PendingRequest request = std::move(conn->queue.front());
+      conn->queue.pop_front();
+      HandleUseKb(conn, request);
+      continue;
+    }
     WorkItem item;
     item.conn_id = conn->id;
     item.request = std::move(conn->queue.front());
+    item.default_kb = conn->default_kb;
     conn->queue.pop_front();
     ++conn->inflight;
     {
@@ -526,6 +542,48 @@ void EventServer::MaybeDispatch(Connection* conn) {
     dispatched = true;
   }
   if (dispatched) dispatch_cv_.notify_all();
+}
+
+void EventServer::HandleUseKb(Connection* conn,
+                              const PendingRequest& request) {
+  Status status = Status::OK();
+  std::string kb;
+  auto parsed = ParseJson(request.data.empty() ? std::string_view("{}")
+                                               : std::string_view(
+                                                     request.data));
+  if (!parsed.ok()) {
+    status = parsed.status();
+  } else if (!parsed->is_object()) {
+    status = Status::InvalidArgument("frame payload must be a JSON object");
+  } else {
+    const JsonValue* name = parsed->Find("kb");
+    if (name == nullptr || !name->is_string()) {
+      status = Status::InvalidArgument(
+          "use_kb request needs \"kb\" (string; \"\" resets to the "
+          "default kb)");
+    } else {
+      kb = name->AsString();
+      // Existence only — a catalog entry still opens lazily on the first
+      // request that actually serves from it.
+      if (!kb.empty() && !service_->HasKb(kb)) {
+        status = Status::NotFound("unknown kb '" + kb + "'");
+      }
+    }
+  }
+  std::string payload;
+  if (status.ok()) {
+    conn->default_kb = kb;
+    JsonValue out = StatusToJson(Status::OK());
+    out.Set("kb", JsonValue::String(kb));
+    payload = out.Dump();
+  } else {
+    // A failed handshake leaves the previous default in place; the error
+    // is request-level (the connection survives).
+    payload = StatusToJson(status).Dump();
+  }
+  std::string frame;
+  AppendFrame(request.verb, request.request_id, payload, &frame);
+  conn->write_buffer.Append(frame);
 }
 
 void EventServer::MaybeFinish(Connection* conn) {

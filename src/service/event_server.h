@@ -137,11 +137,19 @@ class EventServer {
     /// The one final response of a poisoned stream (error line/frame),
     /// sent after the requests decoded before the poison finish.
     std::string final_error;
+    /// The connection's handshake tenant (binary kUseKb): requests whose
+    /// payload has no "kb" member serve from this KB. "" = the default
+    /// tenant. Loop-thread-only, like the rest of the struct — workers
+    /// get a copy in their WorkItem.
+    std::string default_kb;
   };
 
   struct WorkItem {
     uint64_t conn_id = 0;
     PendingRequest request;
+    /// The connection's default_kb at dispatch time (copied so a later
+    /// handshake cannot race an in-flight request).
+    std::string default_kb;
   };
 
   struct Completion {
@@ -159,7 +167,13 @@ class EventServer {
   void IngestNdjson(Connection* conn);
   void IngestFrames(Connection* conn);
   /// Moves queued requests to the dispatch pool while slots are free.
+  /// kUseKb handshake frames are executed inline here instead (they
+  /// mutate per-connection state only the loop thread may touch).
   void MaybeDispatch(Connection* conn);
+  /// Executes one kUseKb handshake frame: validates the named KB exists
+  /// (Service::HasKb — never loads one), updates conn->default_kb, and
+  /// appends the response frame directly to the write buffer.
+  void HandleUseKb(Connection* conn, const PendingRequest& request);
   /// Appends the final error and starts the close-after-flush path once a
   /// finished connection (EOF or poisoned) has no queued/in-flight work.
   void MaybeFinish(Connection* conn);

@@ -51,6 +51,14 @@ const char* FrameVerbToOp(uint8_t verb) {
       return "stats";
     case FrameVerb::kReload:
       return "reload";
+    case FrameVerb::kAttachKb:
+      return "attach";
+    case FrameVerb::kDetachKb:
+      return "detach";
+    case FrameVerb::kListKbs:
+      return "list_kbs";
+    case FrameVerb::kUseKb:
+      return "use_kb";
   }
   return nullptr;
 }

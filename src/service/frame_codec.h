@@ -50,6 +50,14 @@ inline constexpr char kFrameMagic[4] = {'R', 'E', 'M', 'I'};
 /// Request verbs, 1:1 with the NDJSON "op" strings (FrameVerbToOp).
 /// kCounters is the metrics surface: ServiceCounters plus the aggregated
 /// mining stats, identical to the NDJSON "stats" op.
+///
+/// Multi-tenant verbs: kAttachKb/kDetachKb/kListKbs are the admin surface
+/// of the named-KB registry. kUseKb is the binary name-table handshake —
+/// it sets the connection's default tenant (payload {"kb":"<name>"}), so
+/// subsequent frames without an explicit "kb" field serve from it. It is
+/// handled on the server's loop thread in FIFO order with the frames
+/// around it and never occupies a dispatch slot. Per-request "kb" fields
+/// always win over the handshake default.
 enum class FrameVerb : uint8_t {
   kPing = 1,
   kMine = 2,
@@ -58,6 +66,10 @@ enum class FrameVerb : uint8_t {
   kCandidates = 5,
   kCounters = 6,
   kReload = 7,
+  kAttachKb = 8,
+  kDetachKb = 9,
+  kListKbs = 10,
+  kUseKb = 11,
 };
 
 /// The NDJSON "op" string for a verb byte; nullptr for unknown verbs.

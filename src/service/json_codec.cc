@@ -96,6 +96,61 @@ Status ReadBool(const JsonValue& v, const char* key, bool* out) {
   return Status::OK();
 }
 
+/// The multi-tenant "kb" knob: which named KB serves the request
+/// (absent or "" = the default tenant). Only writes *out when present,
+/// so a transport-level default already in *out survives omission but
+/// an explicit "kb" — including "" — wins.
+Status ReadKb(const JsonValue& v, std::string* out) {
+  if (const JsonValue* value = v.Find("kb")) {
+    if (!value->is_string()) {
+      return Status::InvalidArgument("kb must be a string (KB name)");
+    }
+    *out = value->AsString();
+  }
+  return Status::OK();
+}
+
+/// The optional per-tenant quota knobs of attach/catalog requests.
+/// `*quota` stays nullopt when neither key is present (= use the
+/// service's default quota).
+Status ReadQuota(const JsonValue& v, std::optional<TenantQuota>* quota) {
+  if (v.Find("max_in_flight") == nullptr && v.Find("max_queued") == nullptr) {
+    return Status::OK();
+  }
+  TenantQuota q;
+  REMI_RETURN_NOT_OK(ReadSize(v, "max_in_flight", &q.max_in_flight));
+  REMI_RETURN_NOT_OK(ReadSize(v, "max_queued", &q.max_queued));
+  *quota = q;
+  return Status::OK();
+}
+
+/// Sets one tenant's counter slice onto `out` (field names match the
+/// service-wide CountersToJson where the concepts coincide).
+void SetTenantCounterFields(const TenantCounters& c, JsonValue* out) {
+  out->Set("admitted", JsonValue::Number(static_cast<double>(c.admitted)));
+  out->Set("completed_ok",
+           JsonValue::Number(static_cast<double>(c.completed_ok)));
+  out->Set("deadline_exceeded",
+           JsonValue::Number(static_cast<double>(c.deadline_exceeded)));
+  out->Set("cancelled", JsonValue::Number(static_cast<double>(c.cancelled)));
+  out->Set("rejected", JsonValue::Number(static_cast<double>(c.rejected)));
+  out->Set("failed", JsonValue::Number(static_cast<double>(c.failed)));
+  out->Set("in_flight", JsonValue::Number(static_cast<double>(c.in_flight)));
+  out->Set("queued", JsonValue::Number(static_cast<double>(c.queued)));
+  out->Set("peak_in_flight",
+           JsonValue::Number(static_cast<double>(c.peak_in_flight)));
+  out->Set("reloads_ok",
+           JsonValue::Number(static_cast<double>(c.reloads_ok)));
+  out->Set("reloads_rejected",
+           JsonValue::Number(static_cast<double>(c.reloads_rejected)));
+  out->Set("generation",
+           JsonValue::Number(static_cast<double>(c.generation)));
+  out->Set("nodes_visited_total",
+           JsonValue::Number(static_cast<double>(c.nodes_visited_total)));
+  out->Set("mine_micros_total",
+           JsonValue::Number(static_cast<double>(c.mine_micros_total)));
+}
+
 /// One target array: strings are lexical forms, numbers are raw ids.
 Status ReadTargetSpec(const JsonValue& array, TargetSpec* spec) {
   if (!array.is_array()) {
@@ -157,6 +212,7 @@ Result<MineRequest> MineRequestFromJson(const JsonValue& v) {
     return Status::InvalidArgument("mine request needs \"targets\"");
   }
   REMI_RETURN_NOT_OK(ReadTargetSpec(*targets, &request.targets));
+  REMI_RETURN_NOT_OK(ReadKb(v, &request.kb));
   REMI_RETURN_NOT_OK(ReadSize(v, "max_exceptions", &request.max_exceptions));
   REMI_RETURN_NOT_OK(ReadBool(v, "verbalize", &request.verbalize));
   REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
@@ -177,6 +233,7 @@ Result<BatchMineRequest> BatchMineRequestFromJson(const JsonValue& v) {
     REMI_RETURN_NOT_OK(ReadTargetSpec(set, &spec));
     request.target_sets.push_back(std::move(spec));
   }
+  REMI_RETURN_NOT_OK(ReadKb(v, &request.kb));
   REMI_RETURN_NOT_OK(ReadSize(v, "max_exceptions", &request.max_exceptions));
   REMI_RETURN_NOT_OK(ReadBool(v, "verbalize", &request.verbalize));
   REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
@@ -193,6 +250,7 @@ Result<SummarizeRequest> SummarizeRequestFromJson(const JsonValue& v) {
         "summarize request needs \"entity\" (string)");
   }
   request.entity.names.push_back(entity->AsString());
+  REMI_RETURN_NOT_OK(ReadKb(v, &request.kb));
   REMI_RETURN_NOT_OK(ReadSize(v, "k", &request.k));
   std::optional<CostModelOptions> cost;
   REMI_RETURN_NOT_OK(ReadCostOverride(v, &cost));
@@ -208,6 +266,7 @@ Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v) {
     return Status::InvalidArgument("candidates request needs \"targets\"");
   }
   REMI_RETURN_NOT_OK(ReadTargetSpec(*targets, &request.targets));
+  REMI_RETURN_NOT_OK(ReadKb(v, &request.kb));
   REMI_RETURN_NOT_OK(ReadSize(v, "limit", &request.limit));
   REMI_RETURN_NOT_OK(ReadCostOverride(v, &request.cost));
   REMI_RETURN_NOT_OK(ReadLanguageOverride(v, &request.enumerator));
@@ -215,7 +274,8 @@ Result<CandidatesRequest> CandidatesRequestFromJson(const JsonValue& v) {
   return request;
 }
 
-JsonValue StatusToJson(const Status& status, const Service* service) {
+JsonValue StatusToJson(const Status& status, const Service* service,
+                       const std::string& kb) {
   JsonValue out = JsonValue::Object();
   out.Set("status", JsonValue::String(StatusCodeToString(status.code())));
   if (!status.message().empty()) {
@@ -226,10 +286,11 @@ JsonValue StatusToJson(const Status& status, const Service* service) {
     // back. The hint is derived from live admission state (measured mean
     // service time × queue depth / slots, jittered ±25%), so it grows as
     // the queue deepens instead of inviting a fixed-cadence retry storm.
-    // The 100 ms fallback only covers serialization paths with no service
-    // at hand.
-    const uint64_t hint = service != nullptr ? service->RetryAfterMsHint()
-                                             : 100;
+    // A quota-throttled tenant's hint reflects *its* queue, not the
+    // global one (Service::RetryAfterMsHint(kb)). The 100 ms fallback
+    // only covers serialization paths with no service at hand.
+    const uint64_t hint =
+        service != nullptr ? service->RetryAfterMsHint(kb) : 100;
     out.Set("retry_after_ms",
             JsonValue::Number(static_cast<double>(hint)));
   }
@@ -335,6 +396,31 @@ JsonValue CountersToJson(const Service& service) {
           JsonValue::Number(static_cast<double>(counters.nodes_visited_total)));
   out.Set("mine_micros_total",
           JsonValue::Number(static_cast<double>(counters.mine_micros_total)));
+  // --- multi-tenant gauges + per-tenant breakdown ---
+  out.Set("tenants_active",
+          JsonValue::Number(static_cast<double>(counters.tenants_active)));
+  // Same value as active_generations, under the registry-level name the
+  // runbook uses: epochs still alive across ALL tenants.
+  out.Set("epochs_live_total", JsonValue::Number(static_cast<double>(
+                                   counters.active_generations)));
+  JsonValue tenants = JsonValue::Object();
+  for (const KbInfo& info : service.ListKbs()) {
+    if (!info.open) continue;  // lazy catalog entries have served nothing
+    auto slice = service.CountersFor(info.name);
+    if (!slice.ok()) continue;  // raced with a concurrent detach
+    JsonValue entry = JsonValue::Object();
+    SetTenantCounterFields(*slice, &entry);
+    tenants.Set(info.name, std::move(entry));
+  }
+  out.Set("tenants", std::move(tenants));
+  return out;
+}
+
+JsonValue TenantCountersToJson(const std::string& kb,
+                               const TenantCounters& counters) {
+  JsonValue out = StatusToJson(Status::OK());
+  out.Set("kb", JsonValue::String(kb));
+  SetTenantCounterFields(counters, &out);
   return out;
 }
 
@@ -356,40 +442,60 @@ JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response) {
 
 std::string DispatchRequest(Service* service, std::string_view op,
                             const JsonValue& parsed,
-                            const CancellationToken& cancel) {
+                            const CancellationToken& cancel,
+                            const std::string& default_kb) {
+  // The connection's handshake tenant fills in only when the payload has
+  // no "kb" member — an explicit "kb" (even "") wins.
+  const bool has_kb = parsed.Find("kb") != nullptr;
   if (op == "ping") {
     return StatusToJson(Status::OK()).Dump();
   }
   if (op == "stats") {
-    return CountersToJson(*service).Dump();
+    std::string kb = default_kb;
+    const Status kb_status = ReadKb(parsed, &kb);
+    if (!kb_status.ok()) return StatusToJson(kb_status).Dump();
+    if (kb.empty()) return CountersToJson(*service).Dump();
+    auto slice = service->CountersFor(kb);
+    if (!slice.ok()) return StatusToJson(slice.status()).Dump();
+    return TenantCountersToJson(kb, *slice).Dump();
   }
   if (op == "mine") {
     auto request = MineRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
+    if (!has_kb) request->kb = default_kb;
     request->control.cancel = cancel;
     auto response = service->Mine(*request);
-    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
+    if (!response.ok()) {
+      return StatusToJson(response.status(), service, request->kb).Dump();
+    }
     return MineResponseToJson(*response).Dump();
   }
   if (op == "batch_mine") {
     auto request = BatchMineRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
+    if (!has_kb) request->kb = default_kb;
     request->control.cancel = cancel;
     auto response = service->BatchMine(*request);
-    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
+    if (!response.ok()) {
+      return StatusToJson(response.status(), service, request->kb).Dump();
+    }
     return BatchMineResponseToJson(*response).Dump();
   }
   if (op == "summarize") {
     auto request = SummarizeRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
+    if (!has_kb) request->kb = default_kb;
     request->control.cancel = cancel;
     auto response = service->Summarize(*request);
-    if (!response.ok()) return StatusToJson(response.status(), service).Dump();
+    if (!response.ok()) {
+      return StatusToJson(response.status(), service, request->kb).Dump();
+    }
     return SummarizeResponseToJson(*response).Dump();
   }
   if (op == "candidates") {
     auto request = CandidatesRequestFromJson(parsed);
     if (!request.ok()) return StatusToJson(request.status()).Dump();
+    if (!has_kb) request->kb = default_kb;
     request->control.cancel = cancel;
     // Texts come back rendered under the request's pinned generation —
     // rendering the TermId-bearing expressions against service->kb()
@@ -416,14 +522,102 @@ std::string DispatchRequest(Service* service, std::string_view op,
           .Dump();
     }
     ReloadKbRequest request;
+    request.kb = default_kb;
+    const Status kb_status = ReadKb(parsed, &request.kb);
+    if (!kb_status.ok()) return StatusToJson(kb_status).Dump();
     request.spec.path = path->AsString();
     const Status lenient =
         ReadBool(parsed, "lenient", &request.spec.lenient_parse);
     if (!lenient.ok()) return StatusToJson(lenient).Dump();
     // ReloadKb itself never fails out-of-band: every load/validation
-    // error is in the response status and the prior generation keeps
-    // serving.
+    // error (and an unknown kb) is in the response status and the prior
+    // generation keeps serving.
     return ReloadKbResponseToJson(service->ReloadKb(request)).Dump();
+  }
+  if (op == "attach") {
+    const JsonValue* name = parsed.Find("kb");
+    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+      return StatusToJson(Status::InvalidArgument(
+                              "attach request needs \"kb\" (non-empty "
+                              "string; the default kb always exists)"))
+          .Dump();
+    }
+    const JsonValue* path = parsed.Find("path");
+    if (path == nullptr || !path->is_string()) {
+      return StatusToJson(Status::InvalidArgument(
+                              "attach request needs \"path\" (string)"))
+          .Dump();
+    }
+    KbSpec spec;
+    spec.path = path->AsString();
+    const Status lenient = ReadBool(parsed, "lenient", &spec.lenient_parse);
+    if (!lenient.ok()) return StatusToJson(lenient).Dump();
+    std::optional<TenantQuota> quota;
+    const Status quota_status = ReadQuota(parsed, &quota);
+    if (!quota_status.ok()) return StatusToJson(quota_status).Dump();
+    // "lazy": register as a catalog entry (opened on first request)
+    // instead of opening the KB before replying.
+    bool lazy = false;
+    const Status lazy_status = ReadBool(parsed, "lazy", &lazy);
+    if (!lazy_status.ok()) return StatusToJson(lazy_status).Dump();
+    const Status attached =
+        lazy ? service->AddCatalogKb(name->AsString(), spec, quota)
+             : service->AttachKb(name->AsString(), spec, quota);
+    if (!attached.ok()) return StatusToJson(attached).Dump();
+    JsonValue out = StatusToJson(Status::OK());
+    out.Set("kb", JsonValue::String(name->AsString()));
+    return out.Dump();
+  }
+  if (op == "detach") {
+    const JsonValue* name = parsed.Find("kb");
+    if (name == nullptr || !name->is_string()) {
+      return StatusToJson(Status::InvalidArgument(
+                              "detach request needs \"kb\" (string)"))
+          .Dump();
+    }
+    const Status detached = service->DetachKb(name->AsString());
+    if (!detached.ok()) return StatusToJson(detached).Dump();
+    JsonValue out = StatusToJson(Status::OK());
+    out.Set("kb", JsonValue::String(name->AsString()));
+    return out.Dump();
+  }
+  if (op == "list_kbs") {
+    JsonValue out = StatusToJson(Status::OK());
+    JsonValue kbs = JsonValue::Array();
+    for (const KbInfo& info : service->ListKbs()) {
+      JsonValue item = JsonValue::Object();
+      item.Set("kb", JsonValue::String(info.name));
+      item.Set("open", JsonValue::Bool(info.open));
+      item.Set("from_catalog", JsonValue::Bool(info.from_catalog));
+      if (info.open) {
+        item.Set("generation",
+                 JsonValue::Number(static_cast<double>(info.generation)));
+        item.Set("facts",
+                 JsonValue::Number(static_cast<double>(info.facts)));
+        item.Set("entities",
+                 JsonValue::Number(static_cast<double>(info.entities)));
+      }
+      if (info.quota.max_in_flight > 0 || info.quota.max_queued > 0) {
+        item.Set("max_in_flight", JsonValue::Number(static_cast<double>(
+                                      info.quota.max_in_flight)));
+        item.Set("max_queued", JsonValue::Number(static_cast<double>(
+                                   info.quota.max_queued)));
+      }
+      kbs.Append(std::move(item));
+    }
+    out.Set("kbs", std::move(kbs));
+    return out.Dump();
+  }
+  if (op == "use_kb") {
+    // The binary transport intercepts kUseKb frames on its loop thread
+    // (the handshake mutates per-connection state the dispatch layer
+    // cannot reach); reaching this dispatcher means an NDJSON client
+    // sent it as an op.
+    return StatusToJson(Status::InvalidArgument(
+                            "use_kb is the binary connection handshake; "
+                            "NDJSON requests select a tenant with a "
+                            "per-request \"kb\" field"))
+        .Dump();
   }
   return StatusToJson(Status::InvalidArgument("unknown op '" +
                                               std::string(op) + "'"))
@@ -431,7 +625,8 @@ std::string DispatchRequest(Service* service, std::string_view op,
 }
 
 std::string HandleRequestLine(Service* service, std::string_view line,
-                              const CancellationToken& cancel) {
+                              const CancellationToken& cancel,
+                              const std::string& default_kb) {
   auto parsed = ParseJson(line);
   if (!parsed.ok()) return StatusToJson(parsed.status()).Dump();
   if (!parsed->is_object()) {
@@ -445,12 +640,14 @@ std::string HandleRequestLine(Service* service, std::string_view line,
                Status::InvalidArgument("request needs an \"op\" string"))
         .Dump();
   }
-  return DispatchRequest(service, op->AsString(), *parsed, cancel);
+  return DispatchRequest(service, op->AsString(), *parsed, cancel,
+                         default_kb);
 }
 
 std::string HandleFramePayload(Service* service, uint8_t verb,
                                std::string_view payload,
-                               const CancellationToken& cancel) {
+                               const CancellationToken& cancel,
+                               const std::string& default_kb) {
   const char* op = FrameVerbToOp(verb);
   if (op == nullptr) {
     return StatusToJson(Status::InvalidArgument(
@@ -477,7 +674,7 @@ std::string HandleFramePayload(Service* service, uint8_t verb,
                             op + "\")"))
         .Dump();
   }
-  return DispatchRequest(service, op, *parsed, cancel);
+  return DispatchRequest(service, op, *parsed, cancel, default_kb);
 }
 
 }  // namespace remi

@@ -13,6 +13,20 @@
 //   {"op":"stats"}
 //   {"op":"ping"}
 //   {"op":"reload","path":"/data/kb.rkf2","lenient":true}
+//   {"op":"attach","kb":"dbpedia","path":"/data/dbpedia.rkf2",
+//    "max_in_flight":2,"max_queued":8}
+//   {"op":"detach","kb":"dbpedia"}
+//   {"op":"list_kbs"}
+//
+// Multi-tenant: every request may carry a "kb" field (string) naming the
+// KB to serve from; "" or absent = the unnamed default tenant, so every
+// pre-existing client keeps working unchanged. Unknown names come back as
+// an in-band NotFound response. "stats" with a "kb" returns that tenant's
+// counter slice; without one it returns the service-wide counters plus a
+// per-tenant breakdown ("tenants"). On binary connections the kUseKb
+// handshake sets a connection default that fills in for requests without
+// an explicit "kb" (the transport passes it as `default_kb` below); an
+// explicit "kb" — including "" — always wins over the handshake default.
 //
 // Shared optional knobs: "deadline_ms" (number) → RequestControl,
 // "metric" ("fr"|"pr") → CostModelOptions override, "language"
@@ -60,21 +74,30 @@ JsonValue MineResponseToJson(const MineResponse& response);
 JsonValue BatchMineResponseToJson(const BatchMineResponse& response);
 JsonValue SummarizeResponseToJson(const SummarizeResponse& response);
 JsonValue CountersToJson(const Service& service);
+/// One tenant's counter slice — the "stats" response when the request
+/// names a KB.
+JsonValue TenantCountersToJson(const std::string& kb,
+                               const TenantCounters& counters);
 JsonValue ReloadKbResponseToJson(const ReloadKbResponse& response);
 /// {"status": "<Code>", "message": "..."} (message omitted when empty).
 /// ResourceExhausted additionally carries "retry_after_ms" so well-behaved
 /// clients back off instead of hammering a full admission queue; with a
-/// `service` the hint is Service::RetryAfterMsHint() (derived from live
-/// admission state, jittered), without one it falls back to a flat 100 ms.
-JsonValue StatusToJson(const Status& status, const Service* service = nullptr);
+/// `service` the hint is Service::RetryAfterMsHint(kb) — derived from the
+/// named tenant's admission state when it has a quota, the global state
+/// otherwise, jittered — without one it falls back to a flat 100 ms.
+JsonValue StatusToJson(const Status& status, const Service* service = nullptr,
+                       const std::string& kb = {});
 
 /// Dispatches one parsed request to `service` and serializes the
 /// response (no trailing newline). The shared core of the NDJSON and
 /// binary-frame entry points below — both wire modes produce
-/// byte-identical response documents because both end here.
+/// byte-identical response documents because both end here. `default_kb`
+/// is the connection's handshake tenant (binary kUseKb); it fills in for
+/// requests whose payload has no "kb" member.
 std::string DispatchRequest(Service* service, std::string_view op,
                             const JsonValue& parsed,
-                            const CancellationToken& cancel = {});
+                            const CancellationToken& cancel = {},
+                            const std::string& default_kb = {});
 
 /// Parses one request line, dispatches it to `service`, and serializes
 /// the response. Never fails: malformed input comes back as an
@@ -83,7 +106,8 @@ std::string DispatchRequest(Service* service, std::string_view op,
 /// every dispatched request — the transport's server-wide cancellation
 /// token, so shutdown can interrupt deadline-less in-flight work.
 std::string HandleRequestLine(Service* service, std::string_view line,
-                              const CancellationToken& cancel = {});
+                              const CancellationToken& cancel = {},
+                              const std::string& default_kb = {});
 
 /// The binary-frame twin of HandleRequestLine: maps the frame verb to its
 /// op (FrameVerbToOp), parses the JSON payload (empty == "{}"), rejects a
@@ -92,6 +116,7 @@ std::string HandleRequestLine(Service* service, std::string_view line,
 /// the request id. Never fails out-of-band.
 std::string HandleFramePayload(Service* service, uint8_t verb,
                                std::string_view payload,
-                               const CancellationToken& cancel = {});
+                               const CancellationToken& cancel = {},
+                               const std::string& default_kb = {});
 
 }  // namespace remi

@@ -7,6 +7,10 @@
 // is served by its own thread, so slow mining on one connection never
 // stalls another's reads).
 //
+// Multi-tenant: a request selects a named KB with a per-request "kb"
+// field (NDJSON has no connection handshake; that is the binary
+// protocol's kUseKb). Absent or "" serves the default tenant.
+//
 // The server is embeddable: tests start it in-process on an ephemeral
 // loopback port (port 0) and connect through a socket, which is exactly
 // what tools/remi_server.cc does minus the flag parsing.

@@ -2,233 +2,175 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "nlg/verbalizer.h"
-#include "rdf/ntriples.h"
-#include "rdf/rkf.h"
-#include "rdf/turtle_lite.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace remi {
 
-namespace {
-
-/// First bytes of the file, for magic-based format sniffing. Missing or
-/// short files return an empty string (the open path reports the error).
-std::string ReadMagic(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return {};
-  char buf[4];
-  const size_t got = std::fread(buf, 1, sizeof(buf), f);
-  std::fclose(f);
-  return std::string(buf, got);
-}
-
-/// Deterministic cache key of a miner variant: the cost-model and
-/// language-bias knobs a request may override.
-std::string VariantKey(const CostModelOptions& cost,
-                       const EnumeratorOptions& enumerator) {
-  std::string key;
-  key += 'c';
-  key += std::to_string(static_cast<int>(cost.metric));
-  key += cost.use_fitted_entity_ranks ? 'f' : '-';
-  key += cost.use_join_predicate_ranks ? 'j' : '-';
-  key += 'e';
-  key += enumerator.extended_language ? 'x' : '-';
-  key += enumerator.skip_blank_atoms ? 'b' : '-';
-  key += enumerator.prune_prominent_expansion ? 'p' : '-';
-  key += std::to_string(enumerator.prominent_object_fraction);
-  key += enumerator.include_type_atoms ? 't' : '-';
-  key += enumerator.include_inverse_predicates ? 'i' : '-';
-  key += std::to_string(enumerator.max_subgraphs);
-  return key;
-}
-
-}  // namespace
-
-// --- epoch registry ----------------------------------------------------------
-
-Service::KbEpoch::KbEpoch(KnowledgeBase kb_in, uint64_t generation_in,
-                          const ServiceOptions& options,
-                          std::shared_ptr<std::atomic<size_t>> live_epochs_in)
-    : kb(std::move(kb_in)),
-      generation(generation_in),
-      eval_cache(std::make_shared<EvalCache>(
-          options.mining.eval_cache_capacity,
-          options.mining.eval_cache_shards)),
-      live_epochs(std::move(live_epochs_in)) {
-  live_epochs->fetch_add(1, std::memory_order_relaxed);
-}
-
-Service::KbEpoch::~KbEpoch() {
-  live_epochs->fetch_sub(1, std::memory_order_relaxed);
-}
-
-Result<Service::LoadedKb> Service::LoadKb(const KbSpec& spec) {
-  const std::string magic = ReadMagic(spec.path);
-  if (magic == std::string("RKF2", 4)) {
-    // OpenSnapshot runs the full structural-invariant validation pass:
-    // checksums, section-table bounds, dictionary/CSR cross-invariants.
-    // Anything wrong fails here with Corruption, never downstream UB.
-    auto kb = KnowledgeBase::OpenSnapshot(spec.path);
-    if (!kb.ok()) return WithMessagePrefix(kb.status(), spec.path);
-    return LoadedKb{std::move(*kb), 0};
-  }
-  if (magic == std::string("RKF1", 4)) {
-    auto data = ReadRkfFile(spec.path);
-    if (!data.ok()) return WithMessagePrefix(data.status(), spec.path);
-    return LoadedKb{
-        KnowledgeBase::Build(std::move(data->dict), std::move(data->triples),
-                             spec.kb),
-        0};
-  }
-  Dictionary dict;
-  Result<std::vector<Triple>> triples = Status::Internal("unreachable");
-  size_t skipped_lines = 0;
-  if (EndsWith(spec.path, ".ttl") || EndsWith(spec.path, ".turtle")) {
-    TurtleLiteParser parser(&dict);
-    triples = parser.ParseFile(spec.path);
-  } else {
-    NTriplesParser parser(&dict, spec.lenient_parse);
-    triples = parser.ParseFile(spec.path);
-    skipped_lines = parser.skipped_lines();
-  }
-  if (!triples.ok()) return WithMessagePrefix(triples.status(), spec.path);
-  return LoadedKb{
-      KnowledgeBase::Build(std::move(dict), std::move(*triples), spec.kb),
-      skipped_lines};
-}
-
 Result<std::unique_ptr<Service>> Service::Open(const KbSpec& spec,
                                                const ServiceOptions& options) {
-  REMI_ASSIGN_OR_RETURN(LoadedKb loaded, LoadKb(spec));
-  auto service =
-      std::unique_ptr<Service>(new Service(std::move(loaded.kb), options));
-  service->epoch_->parse_skipped_lines = loaded.parse_skipped_lines;
-  return service;
+  REMI_ASSIGN_OR_RETURN(LoadedKb loaded, LoadKbFromSpec(spec));
+  return std::unique_ptr<Service>(new Service(std::move(loaded), options));
 }
 
 std::unique_ptr<Service> Service::Create(KnowledgeBase kb,
                                          const ServiceOptions& options) {
-  return std::unique_ptr<Service>(new Service(std::move(kb), options));
+  return std::unique_ptr<Service>(
+      new Service(LoadedKb{std::move(kb), 0}, options));
 }
 
-Service::Service(KnowledgeBase kb, const ServiceOptions& options)
+Service::Service(LoadedKb loaded, const ServiceOptions& options)
     : options_(options) {
   const int effective_threads = options_.mining.EffectiveThreads();
   if (effective_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(effective_threads));
   }
-  epoch_ = std::make_shared<KbEpoch>(std::move(kb), /*generation=*/1,
-                                     options_, live_epochs_);
+  const TenantQuota default_quota{options_.tenant_max_in_flight,
+                                  options_.tenant_max_queued};
+  registry_ = std::make_unique<TenantRegistry>(options_.mining, default_quota,
+                                               live_epochs_);
+  registry_->InitDefault(std::move(loaded.kb), loaded.parse_skipped_lines);
+  default_tenant_ = registry_->DefaultTenant();
 }
 
 Service::~Service() = default;
 
-std::shared_ptr<Service::KbEpoch> Service::CurrentEpoch() const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
-  return epoch_;
-}
-
 const KnowledgeBase& Service::kb() const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
-  return epoch_->kb;
+  // The epoch_ member of the (never-detached) default tenant keeps the
+  // referenced epoch alive until the next reload retires it — same
+  // stability contract as the single-KB service.
+  return default_tenant_->CurrentEpoch()->kb;
 }
 
 std::shared_ptr<const KnowledgeBase> Service::SharedKb() const {
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  std::shared_ptr<KbEpoch> epoch = default_tenant_->CurrentEpoch();
   // Aliased: holds the whole epoch, exposes only its KB.
   return std::shared_ptr<const KnowledgeBase>(epoch, &epoch->kb);
 }
 
-uint64_t Service::generation() const { return CurrentEpoch()->generation; }
+uint64_t Service::generation() const { return default_tenant_->generation(); }
 
 size_t Service::parse_skipped_lines() const {
-  return CurrentEpoch()->parse_skipped_lines;
+  return default_tenant_->CurrentEpoch()->parse_skipped_lines;
 }
 
 ReloadKbResponse Service::ReloadKb(const ReloadKbRequest& request) {
-  ReloadKbResponse response;
-  Timer timer;
-  // Serializing reloads makes generation numbering race-free and keeps at
-  // most one candidate load in memory at a time. Request traffic is never
-  // blocked by this lock: the serving path only takes epoch_mu_, which is
-  // held below just for the pointer swap.
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
-  auto loaded = LoadKb(request.spec);
-  response.load_seconds = timer.ElapsedSeconds();
-  if (!loaded.ok()) {
-    // Fail closed: the candidate never touched the registry. Report the
-    // load error in-band and describe the generation that keeps serving.
+  // Peek, don't Resolve: reloading a catalog entry that never served
+  // would open two KBs back to back for no request. Reload targets live
+  // tenants.
+  std::shared_ptr<Tenant> tenant = registry_->Peek(request.kb);
+  if (tenant == nullptr) {
+    ReloadKbResponse response;
+    response.status =
+        Status::NotFound("unknown kb '" + request.kb + "'");
     reloads_rejected_.fetch_add(1, std::memory_order_relaxed);
-    response.status = loaded.status();
-    std::shared_ptr<KbEpoch> serving = CurrentEpoch();
-    response.generation = serving->generation;
-    response.facts = serving->kb.NumFacts();
-    response.entities = serving->kb.NumEntities();
-    response.parse_skipped_lines = serving->parse_skipped_lines;
     return response;
   }
-  std::shared_ptr<KbEpoch> next;
-  {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
-    next = std::make_shared<KbEpoch>(std::move(loaded->kb),
-                                     epoch_->generation + 1, options_,
-                                     live_epochs_);
-    next->parse_skipped_lines = loaded->parse_skipped_lines;
-    // Publish. The displaced epoch lives on until its last pinned request
-    // releases it (shared_ptr count is the drain counter) and takes its
-    // EvalCache and miners with it — stale entries die with their epoch.
-    epoch_ = next;
-  }
-  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
-  response.status = Status::OK();
-  response.generation = next->generation;
-  response.facts = next->kb.NumFacts();
-  response.entities = next->kb.NumEntities();
-  response.parse_skipped_lines = next->parse_skipped_lines;
+  ReloadKbResponse response = tenant->Reload(request.spec);
+  (response.status.ok() ? reloads_ok_ : reloads_rejected_)
+      .fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 
-RemiMiner* Service::MinerFor(const KbEpoch& epoch,
-                             const std::optional<CostModelOptions>& cost,
-                             const std::optional<EnumeratorOptions>&
-                                 enumerator) {
-  RemiOptions variant = options_.mining;
-  if (cost.has_value()) variant.cost = *cost;
-  if (enumerator.has_value()) variant.enumerator = *enumerator;
-  const std::string key = VariantKey(variant.cost, variant.enumerator);
+// --- multi-tenant registry ---------------------------------------------------
 
-  {
-    std::lock_guard<std::mutex> lock(epoch.miners_mu);
-    auto it = epoch.miners.find(key);
-    if (it != epoch.miners.end()) return it->second.get();
+Status Service::AttachKb(const std::string& name, const KbSpec& spec,
+                         const std::optional<TenantQuota>& quota) {
+  return registry_->Attach(name, spec, quota);
+}
+
+Status Service::AttachKb(const std::string& name, KnowledgeBase kb,
+                         const std::optional<TenantQuota>& quota) {
+  return registry_->AttachKb(name, std::move(kb), quota);
+}
+
+Status Service::DetachKb(const std::string& name) {
+  return registry_->Detach(name);
+}
+
+Status Service::AddCatalogKb(const std::string& name, const KbSpec& spec,
+                             const std::optional<TenantQuota>& quota) {
+  return registry_->AddCatalogEntry(name, spec, quota);
+}
+
+Result<size_t> Service::LoadCatalogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open catalog file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  REMI_ASSIGN_OR_RETURN(const std::vector<KbCatalogEntry> entries,
+                        ParseKbCatalog(buf.str()));
+  // Validate the whole batch against the registry before registering any
+  // entry: a catalog that half-loads is worse than one that fails.
+  for (const KbCatalogEntry& entry : entries) {
+    if (HasKb(entry.name)) {
+      return Status::AlreadyExists("catalog entry '" + entry.name +
+                                   "' collides with an existing kb");
+    }
   }
-  // Build outside the lock: a first Ĉpr request runs a full PageRank
-  // pass, which must not stall concurrent requests for other (or
-  // already-built) variants. Two racing builders of the same variant
-  // just discard one result. The miner points into this epoch's KB and
-  // cache only — the caller's epoch pin keeps both alive.
-  auto built = std::make_unique<RemiMiner>(&epoch.kb, variant, pool_.get(),
-                                           epoch.eval_cache);
-  std::lock_guard<std::mutex> lock(epoch.miners_mu);
-  auto [it, inserted] = epoch.miners.emplace(key, std::move(built));
-  return it->second.get();
+  for (const KbCatalogEntry& entry : entries) {
+    REMI_RETURN_NOT_OK(
+        registry_->AddCatalogEntry(entry.name, entry.spec, entry.quota));
+  }
+  return entries.size();
+}
+
+bool Service::HasKb(const std::string& name) const {
+  return registry_->Has(name);
+}
+
+std::vector<KbInfo> Service::ListKbs() const { return registry_->List(); }
+
+Result<TenantCounters> Service::CountersFor(const std::string& kb) const {
+  std::shared_ptr<Tenant> tenant = registry_->Peek(kb);
+  if (tenant == nullptr) {
+    return Status::NotFound("unknown kb '" + kb + "'");
+  }
+  TenantCounters c = tenant->counters();
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  c.in_flight = tenant->admission().in_flight;
+  c.queued = tenant->admission().queued;
+  c.peak_in_flight = tenant->admission().peak_in_flight;
+  return c;
 }
 
 // --- admission control -------------------------------------------------------
 
-Status Service::Admit(const Deadline& deadline,
+Status Service::Admit(Tenant& tenant, const Deadline& deadline,
                       const CancellationToken& cancel,
                       double* queue_wait_seconds) {
   Timer timer;
   std::unique_lock<std::mutex> lock(admission_mu_);
-  if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
-    if (queued_ >= options_.max_queued) {
+  const TenantQuota& quota = tenant.quota();
+  Tenant::AdmissionState& adm = tenant.admission();
+  const auto global_full = [&] {
+    return options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight;
+  };
+  const auto tenant_full = [&] {
+    return quota.max_in_flight > 0 && adm.in_flight >= quota.max_in_flight;
+  };
+  if (global_full() || tenant_full()) {
+    // Reject at entry when the binding gate's queue is already full. The
+    // tenant gate trips *before* a hot tenant can occupy more of the
+    // shared queue than its quota allows — that is the isolation
+    // property: other tenants keep finding global queue room.
+    if (tenant_full() && adm.queued >= quota.max_queued) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      tenant.RecordRejected();
+      return Status::ResourceExhausted(
+          "kb '" + tenant.name() + "': " + std::to_string(adm.in_flight) +
+          " requests in flight and " + std::to_string(adm.queued) +
+          " queued (tenant quota: " + std::to_string(quota.max_in_flight) +
+          " in flight, " + std::to_string(quota.max_queued) + " queued)");
+    }
+    if (global_full() && queued_ >= options_.max_queued) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      tenant.RecordRejected();
       return Status::ResourceExhausted(
           std::to_string(in_flight_) + " requests in flight and " +
           std::to_string(queued_) + " queued (limits: " +
@@ -236,41 +178,54 @@ Status Service::Admit(const Deadline& deadline,
           std::to_string(options_.max_queued) + " queued)");
     }
     ++queued_;
+    ++adm.queued;
     // Queued callers poll deadline + cancellation: a request abandoned by
     // its client must not occupy a queue slot forever.
-    while (in_flight_ >= options_.max_in_flight) {
+    while (global_full() || tenant_full()) {
       // A queued request that gives up still counts as admitted (it was
       // accepted, not rejected), so the counter identity
       // admitted == ok + deadline_exceeded + cancelled + failed holds.
       if (deadline.Expired()) {
         --queued_;
+        --adm.queued;
         admitted_.fetch_add(1, std::memory_order_relaxed);
+        tenant.RecordAdmitted();
         *queue_wait_seconds = timer.ElapsedSeconds();
         return Status::DeadlineExceeded("deadline expired while queued");
       }
       if (cancel.CancellationRequested()) {
         --queued_;
+        --adm.queued;
         admitted_.fetch_add(1, std::memory_order_relaxed);
+        tenant.RecordAdmitted();
         *queue_wait_seconds = timer.ElapsedSeconds();
         return Status::Cancelled("cancelled while queued");
       }
       admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
     }
     --queued_;
+    --adm.queued;
   }
   ++in_flight_;
+  ++adm.in_flight;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  adm.peak_in_flight = std::max(adm.peak_in_flight, adm.in_flight);
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  tenant.RecordAdmitted();
   *queue_wait_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 
-void Service::Release() {
+void Service::Release(Tenant& tenant) {
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     --in_flight_;
+    --tenant.admission().in_flight;
   }
-  admission_cv_.notify_one();
+  // notify_all, not notify_one: with per-tenant gates the woken waiter
+  // may still be quota-blocked while a different tenant's waiter could
+  // run — a single wake could strand it.
+  admission_cv_.notify_all();
 }
 
 Deadline Service::DeadlineFor(const RequestControl& control) const {
@@ -285,13 +240,13 @@ void Service::RecordAcceptError(bool fatal) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
-void Service::RecordMiningStats(const RemiStats& stats,
+void Service::RecordMiningStats(Tenant& tenant, const RemiStats& stats,
                                 double mine_seconds) {
+  const uint64_t micros = static_cast<uint64_t>(mine_seconds * 1e6);
   nodes_visited_total_.fetch_add(stats.nodes_visited,
                                  std::memory_order_relaxed);
-  mine_micros_total_.fetch_add(
-      static_cast<uint64_t>(mine_seconds * 1e6),
-      std::memory_order_relaxed);
+  mine_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+  tenant.RecordMiningStats(stats.nodes_visited, micros);
 }
 
 uint64_t Service::ComputeRetryAfterMs(size_t queued, size_t max_in_flight,
@@ -313,31 +268,54 @@ uint64_t Service::ComputeRetryAfterMs(size_t queued, size_t max_in_flight,
 }
 
 uint64_t Service::RetryAfterMsHint() const {
+  return RetryAfterMsHint(std::string());
+}
+
+uint64_t Service::RetryAfterMsHint(const std::string& kb) const {
+  // Peek, never Resolve: a metrics/error path must not lazily open a KB.
+  std::shared_ptr<Tenant> tenant = registry_->Peek(kb);
+  const bool tenant_gate =
+      tenant != nullptr && tenant->quota().max_in_flight > 0;
   size_t queued;
+  size_t slots;
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
-    queued = queued_;
+    if (tenant_gate) {
+      // Quota-aware: a throttled tenant's clients should back off on
+      // *its* congestion. The global queue may be empty while this
+      // tenant's quota is saturated (or vice versa).
+      queued = tenant->admission().queued;
+      slots = tenant->quota().max_in_flight;
+    } else {
+      queued = queued_;
+      slots = options_.max_in_flight;
+    }
   }
-  const uint64_t completed = completed_ok_.load(std::memory_order_relaxed) +
-                             deadline_exceeded_.load(std::memory_order_relaxed) +
-                             cancelled_.load(std::memory_order_relaxed);
-  const double mean_service_ms =
-      completed > 0
-          ? static_cast<double>(
-                mine_micros_total_.load(std::memory_order_relaxed)) /
-                (1000.0 * static_cast<double>(completed))
-          : 0.0;
+  double mean_service_ms;
+  if (tenant_gate) {
+    mean_service_ms = tenant->MeanServiceMs();
+  } else {
+    const uint64_t completed =
+        completed_ok_.load(std::memory_order_relaxed) +
+        deadline_exceeded_.load(std::memory_order_relaxed) +
+        cancelled_.load(std::memory_order_relaxed);
+    mean_service_ms =
+        completed > 0
+            ? static_cast<double>(
+                  mine_micros_total_.load(std::memory_order_relaxed)) /
+                  (1000.0 * static_cast<double>(completed))
+            : 0.0;
+  }
   // Cheap xorshift jitter off a per-call counter: no <random> state, no
   // lock, good enough to de-synchronize retrying clients.
   static std::atomic<uint32_t> jitter_state{0x9e3779b9u};
   uint32_t j = jitter_state.fetch_add(0x61c88647u, std::memory_order_relaxed);
   j ^= j << 13;
   j ^= j >> 17;
-  return ComputeRetryAfterMs(queued, options_.max_in_flight, mean_service_ms,
-                             j);
+  return ComputeRetryAfterMs(queued, slots, mean_service_ms, j);
 }
 
-void Service::CountOutcome(const Status& status) {
+void Service::CountOutcome(Tenant& tenant, const Status& status) {
   if (status.ok()) {
     completed_ok_.fetch_add(1, std::memory_order_relaxed);
   } else if (status.IsDeadlineExceeded()) {
@@ -345,6 +323,7 @@ void Service::CountOutcome(const Status& status) {
   } else if (status.IsCancelled()) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
+  tenant.RecordOutcome(status);
 }
 
 ServiceCounters Service::counters() const {
@@ -359,6 +338,7 @@ ServiceCounters Service::counters() const {
   c.reloads_rejected = reloads_rejected_.load(std::memory_order_relaxed);
   c.generation = generation();
   c.active_generations = live_epochs_->load(std::memory_order_relaxed);
+  c.tenants_active = registry_->tenants_active();
   c.accept_errors_retried =
       accept_errors_retried_.load(std::memory_order_relaxed);
   c.accept_errors_fatal = accept_errors_fatal_.load(std::memory_order_relaxed);
@@ -459,13 +439,13 @@ Result<std::vector<TermId>> Service::ResolveTargetsIn(const KbEpoch& epoch,
 }
 
 Result<TermId> Service::ResolveTarget(const std::string& name) const {
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  std::shared_ptr<KbEpoch> epoch = default_tenant_->CurrentEpoch();
   return ResolveTargetIn(*epoch, name);
 }
 
 Result<std::vector<TermId>> Service::ResolveTargets(
     const TargetSpec& spec) const {
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  std::shared_ptr<KbEpoch> epoch = default_tenant_->CurrentEpoch();
   return ResolveTargetsIn(*epoch, spec);
 }
 
@@ -507,22 +487,24 @@ MineResponse Service::BuildMineResponse(const KbEpoch& epoch,
 }
 
 Result<MineResponse> Service::Mine(const MineRequest& request) {
+  REMI_ASSIGN_OR_RETURN(const std::shared_ptr<Tenant> tenant,
+                        registry_->Resolve(request.kb));
   const Deadline deadline = DeadlineFor(request.control);
   double queue_wait = 0.0;
   const Status admitted =
-      Admit(deadline, request.control.cancel, &queue_wait);
+      Admit(*tenant, deadline, request.control.cancel, &queue_wait);
   if (admitted.IsResourceExhausted()) return admitted;
   if (!admitted.ok()) {
     // Expired or cancelled while queued: in-band outcome, nothing ran.
     MineResponse response;
     response.status = admitted;
     response.service.queue_wait_seconds = queue_wait;
-    CountOutcome(admitted);
+    CountOutcome(*tenant, admitted);
     return response;
   }
-  // Pin after admission, not before: the request runs on the freshest
-  // generation and holds its pin only while actually executing.
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  // Pin after admission, not before: the request runs on the tenant's
+  // freshest generation and holds its pin only while actually executing.
+  std::shared_ptr<KbEpoch> epoch = tenant->CurrentEpoch();
 
   auto run = [&]() -> Result<MineResponse> {
     ServiceStats service_stats;
@@ -534,7 +516,9 @@ Result<MineResponse> Service::Mine(const MineRequest& request) {
     if (!targets.ok()) return targets.status();
     service_stats.resolve_seconds = resolve_timer.ElapsedSeconds();
 
-    RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
+    RemiMiner* miner =
+        tenant->MinerFor(*epoch, request.cost, request.enumerator,
+                         pool_.get());
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -544,18 +528,21 @@ Result<MineResponse> Service::Mine(const MineRequest& request) {
         *targets, request.max_exceptions, control);
     if (!mined.ok()) return mined.status();
     service_stats.mine_seconds = mine_timer.ElapsedSeconds();
-    RecordMiningStats(mined->stats, service_stats.mine_seconds);
+    RecordMiningStats(*tenant, mined->stats, service_stats.mine_seconds);
 
     MineResponse response = BuildMineResponse(*epoch, *mined,
                                               request.verbalize,
                                               std::move(*targets));
     response.service = service_stats;
-    CountOutcome(response.status);
+    CountOutcome(*tenant, response.status);
     return response;
   };
   auto result = run();
-  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
-  Release();
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tenant->RecordFailed();
+  }
+  Release(*tenant);
   return result;
 }
 
@@ -563,19 +550,21 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
   if (request.target_sets.empty()) {
     return Status::InvalidArgument("batch contains no target sets");
   }
+  REMI_ASSIGN_OR_RETURN(const std::shared_ptr<Tenant> tenant,
+                        registry_->Resolve(request.kb));
   const Deadline deadline = DeadlineFor(request.control);
   double queue_wait = 0.0;
   const Status admitted =
-      Admit(deadline, request.control.cancel, &queue_wait);
+      Admit(*tenant, deadline, request.control.cancel, &queue_wait);
   if (admitted.IsResourceExhausted()) return admitted;
   if (!admitted.ok()) {
     BatchMineResponse response;
     response.status = admitted;
     response.service.queue_wait_seconds = queue_wait;
-    CountOutcome(admitted);
+    CountOutcome(*tenant, admitted);
     return response;
   }
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  std::shared_ptr<KbEpoch> epoch = tenant->CurrentEpoch();
 
   auto run = [&]() -> Result<BatchMineResponse> {
     BatchMineResponse response;
@@ -595,7 +584,9 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     }
     response.service.resolve_seconds = resolve_timer.ElapsedSeconds();
 
-    RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
+    RemiMiner* miner =
+        tenant->MinerFor(*epoch, request.cost, request.enumerator,
+                         pool_.get());
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -608,7 +599,7 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     for (const RemiResult& item : *mined) {
       batch_stats.nodes_visited += item.stats.nodes_visited;
     }
-    RecordMiningStats(batch_stats, response.service.mine_seconds);
+    RecordMiningStats(*tenant, batch_stats, response.service.mine_seconds);
 
     bool any_timed_out = false;
     bool any_cancelled = false;
@@ -624,12 +615,15 @@ Result<BatchMineResponse> Service::BatchMine(const BatchMineRequest& request) {
     } else if (any_timed_out) {
       response.status = Status::DeadlineExceeded("batch deadline expired");
     }
-    CountOutcome(response.status);
+    CountOutcome(*tenant, response.status);
     return response;
   };
   auto result = run();
-  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
-  Release();
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tenant->RecordFailed();
+  }
+  Release(*tenant);
   return result;
 }
 
@@ -637,19 +631,21 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
   if (request.k == 0) {
     return Status::InvalidArgument("summary size k must be positive");
   }
+  REMI_ASSIGN_OR_RETURN(const std::shared_ptr<Tenant> tenant,
+                        registry_->Resolve(request.kb));
   const Deadline deadline = DeadlineFor(request.control);
   double queue_wait = 0.0;
   const Status admitted =
-      Admit(deadline, request.control.cancel, &queue_wait);
+      Admit(*tenant, deadline, request.control.cancel, &queue_wait);
   if (admitted.IsResourceExhausted()) return admitted;
   if (!admitted.ok()) {
     SummarizeResponse response;
     response.status = admitted;
     response.service.queue_wait_seconds = queue_wait;
-    CountOutcome(admitted);
+    CountOutcome(*tenant, admitted);
     return response;
   }
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  std::shared_ptr<KbEpoch> epoch = tenant->CurrentEpoch();
 
   auto run = [&]() -> Result<SummarizeResponse> {
     SummarizeResponse response;
@@ -670,7 +666,8 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
 
     // Table 3 protocol: standard language, no rdf:type, no inverses.
     const RemiOptions table3 = MakeTable3RemiOptions(request.metric);
-    RemiMiner* miner = MinerFor(*epoch, table3.cost, table3.enumerator);
+    RemiMiner* miner =
+        tenant->MinerFor(*epoch, table3.cost, table3.enumerator, pool_.get());
     MineControl control;
     control.deadline = deadline;
     control.cancel = request.control.cancel;
@@ -680,7 +677,7 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
     response.service.mine_seconds = mine_timer.ElapsedSeconds();
     // RemiSummarize doesn't surface per-run RemiStats; the time still
     // feeds the mean-service-time estimate behind RetryAfterMsHint().
-    RecordMiningStats(RemiStats{}, response.service.mine_seconds);
+    RecordMiningStats(*tenant, RemiStats{}, response.service.mine_seconds);
     if (!summary.ok()) {
       if (!summary.status().IsDeadlineExceeded() &&
           !summary.status().IsCancelled()) {
@@ -694,22 +691,28 @@ Result<SummarizeResponse> Service::Summarize(const SummarizeRequest& request) {
                                        " = " + epoch->kb.Label(item.object));
       }
     }
-    CountOutcome(response.status);
+    CountOutcome(*tenant, response.status);
     return response;
   };
   auto result = run();
-  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
-  Release();
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tenant->RecordFailed();
+  }
+  Release(*tenant);
   return result;
 }
 
 Result<std::vector<RankedSubgraph>> Service::Candidates(
     const CandidatesRequest& request,
     std::vector<std::string>* expression_texts) {
-  std::shared_ptr<KbEpoch> epoch = CurrentEpoch();
+  REMI_ASSIGN_OR_RETURN(const std::shared_ptr<Tenant> tenant,
+                        registry_->Resolve(request.kb));
+  std::shared_ptr<KbEpoch> epoch = tenant->CurrentEpoch();
   REMI_ASSIGN_OR_RETURN(const std::vector<TermId> targets,
                         ResolveTargetsIn(*epoch, request.targets));
-  RemiMiner* miner = MinerFor(*epoch, request.cost, request.enumerator);
+  RemiMiner* miner =
+      tenant->MinerFor(*epoch, request.cost, request.enumerator, pool_.get());
   MineControl control;
   control.deadline = DeadlineFor(request.control);
   control.cancel = request.control.cancel;

@@ -2,15 +2,35 @@
 //
 // The paper's cost-vs-users scenario (Table 2) and the entity-summarization
 // application (§5) both presume a single KB instance answering many
-// heterogeneous requests. Service packages that: it serves one *current*
-// knowledge-base generation (opened uniformly from .nt/.ttl/.rkf/.rkf2 via
-// KbSpec, or adopted from memory), one long-lived work-stealing thread
-// pool, and exposes typed request/response contracts. Consumers (the CLI,
-// the line-protocol server, examples, harnesses) talk to this API only;
-// the layers below (RemiMiner, Evaluator, Verbalizer, the summarizer) are
-// implementation detail they no longer wire up by hand.
+// heterogeneous requests. Service packages that — and generalizes it to
+// many *named* KBs in one process: a TenantRegistry
+// (service/tenant_registry.h) maps names to tenants, each tenant owning
+// its own epoch chain (KB generations + match-set caches + warm variant
+// miners), all served through one long-lived work-stealing thread pool
+// and one global admission controller. Consumers (the CLI, the wire
+// servers, examples, harnesses) talk to this API only; the layers below
+// (RemiMiner, Evaluator, Verbalizer, the summarizer) are implementation
+// detail they no longer wire up by hand.
 //
-// Hot-swap (epoch-pinned snapshot registry):
+// Multi-tenant model:
+//   * Every request names its KB via the `kb` field ("" = the unnamed
+//     default tenant, so all pre-existing single-KB callers work
+//     unchanged). Unknown names fail with kNotFound in-band.
+//   * Tenants come from three places: the KB the service was opened on
+//     (the default tenant), AttachKb/DetachKb at runtime (the
+//     attach/detach/list_kbs admin verbs), and a KbSpec catalog
+//     (AddCatalogKb/LoadCatalogFile) whose entries open lazily on first
+//     request.
+//   * Admission is ONE controller: the global max_in_flight/max_queued
+//     bounds plus per-tenant quotas enforced under the same lock. A hot
+//     tenant exceeding its quota gets kResourceExhausted (with a
+//     retry_after_ms hint derived from *its* queue, not the global one)
+//     while other tenants keep serving.
+//   * ReloadKb is per-tenant: reloading tenant A under sustained load on
+//     tenant B leaves B's pinned results byte-identical, and a rejected
+//     candidate rolls back A alone.
+//
+// Hot-swap (epoch-pinned snapshot registry, per tenant):
 //   * The KB, its match-set cache, its variant miners, and its lexical
 //     name index are bundled into one immutable-once-published KbEpoch,
 //     held by shared_ptr. Every request pins the epoch that is current
@@ -18,16 +38,15 @@
 //     returns — so a concurrent ReloadKb can never change a request's
 //     results mid-flight (byte-identical to a no-reload run).
 //   * ReloadKb opens and fully validates a candidate KB *off the serving
-//     path* (the RKF2 loader's structural-invariant pass, the parsers'
-//     error checks), and only then publishes it as generation N+1. A
-//     corrupt, truncated, or invariant-violating image fails closed: the
-//     response carries an in-band Corruption/ParseError/IoError status
-//     and the service keeps serving generation N. No reload ever drops
-//     an in-flight or queued request.
+//     path* and only then publishes it as that tenant's generation N+1.
+//     A corrupt, truncated, or invariant-violating image fails closed:
+//     the response carries an in-band Corruption/ParseError/IoError
+//     status and the tenant keeps serving generation N. No reload ever
+//     drops an in-flight or queued request.
 //   * Retired generations are destroyed when their last pinned request
 //     completes (the shared_ptr count is the drain counter; there is no
-//     global pause). Each generation owns its own EvalCache, so stale
-//     match sets die with their epoch instead of poisoning the next one.
+//     global pause). The same discipline covers DetachKb: a detached
+//     tenant's epochs drain, they are never torn down while pinned.
 //
 // Contracts:
 //   * Every request carries a RequestControl: a relative deadline and a
@@ -35,55 +54,39 @@
 //     REMI/P-REMI DFS (polled at every search node, including spilled
 //     subtree tasks), so an expired request stops within one node
 //     evaluation instead of running unbounded.
-//   * Request-level failures (bad targets, capacity) are the error side of
-//     the returned Result. Execution outcomes of an *admitted* run —
-//     kOk, kDeadlineExceeded, kCancelled — are reported in-band as
-//     `response.status`, alongside the partial ServiceStats/RemiStats the
-//     run accumulated before it was interrupted.
-//   * Admission control bounds concurrency: at most max_in_flight requests
-//     execute while up to max_queued callers wait; one more caller gets
-//     kResourceExhausted immediately.
+//   * Request-level failures (bad targets, unknown kb, capacity) are the
+//     error side of the returned Result. Execution outcomes of an
+//     *admitted* run — kOk, kDeadlineExceeded, kCancelled — are reported
+//     in-band as `response.status`, alongside the partial
+//     ServiceStats/RemiStats the run accumulated before interruption.
+//   * Admission control bounds concurrency: at most max_in_flight
+//     requests execute while up to max_queued callers wait; one more
+//     caller gets kResourceExhausted. Per-tenant quotas bound each
+//     tenant's share of both numbers.
 //
-// See README.md "Serving & the Service API" and "Hot-swap & operational
-// runbook" for the full status-code table and reload semantics.
+// See README.md "Serving & the Service API", "Hot-swap & operational
+// runbook", and "Multi-tenant serving" for the full status-code table,
+// reload semantics, and quota semantics.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <string_view>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "kb/knowledge_base.h"
 #include "remi/remi.h"
+#include "service/tenant_registry.h"
 #include "summ/remi_summarizer.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace remi {
-
-/// \brief Where and how to open a knowledge base.
-///
-/// The format is sniffed from the file: first by magic bytes (RKF2
-/// snapshots, RKF1 containers), then by extension (.ttl/.turtle parse as
-/// Turtle; everything else as N-Triples). This replaces the per-consumer
-/// format plumbing that used to live in the CLI.
-struct KbSpec {
-  std::string path;
-  /// Build options for text/RKF1 inputs. An .rkf2 snapshot carries its
-  /// own build options and ignores these.
-  KbOptions kb;
-  /// N-Triples only: skip malformed lines instead of failing.
-  bool lenient_parse = true;
-};
 
 /// \brief Server-wide configuration.
 struct ServiceOptions {
@@ -101,6 +104,13 @@ struct ServiceOptions {
   /// Callers allowed to wait for a slot; the next one is rejected with
   /// kResourceExhausted.
   size_t max_queued = 16;
+
+  /// Default per-tenant quota (TenantQuota), applied to every tenant —
+  /// including the default one — unless an attach/catalog entry
+  /// overrides it. 0 = unlimited: tenants ride on the global limits
+  /// only, which is the pre-multi-tenant behavior.
+  size_t tenant_max_in_flight = 0;
+  size_t tenant_max_queued = 0;
 };
 
 /// \brief Per-request execution control.
@@ -124,6 +134,9 @@ struct TargetSpec {
 
 /// \brief Mine the most intuitive referring expression for one target set.
 struct MineRequest {
+  /// Which KB to serve from ("" = the default tenant). Unknown names
+  /// fail the request with kNotFound.
+  std::string kb;
   TargetSpec targets;
   /// Allowed non-target matches (0 = strict RE; paper §6 future work).
   size_t max_exceptions = 0;
@@ -142,8 +155,8 @@ struct ServiceStats {
   double queue_wait_seconds = 0.0;  ///< admission queue
   double resolve_seconds = 0.0;     ///< lexical target resolution
   double mine_seconds = 0.0;        ///< time inside the miner
-  /// KB generation this request was pinned to (0 = never pinned, e.g.
-  /// expired while queued).
+  /// Tenant KB generation this request was pinned to (0 = never pinned,
+  /// e.g. expired while queued).
   uint64_t generation = 0;
 };
 
@@ -176,6 +189,7 @@ struct MineResponse {
 /// many-users workload). The deadline and the admission slot cover the
 /// whole batch.
 struct BatchMineRequest {
+  std::string kb;  ///< "" = the default tenant
   std::vector<TargetSpec> target_sets;
   size_t max_exceptions = 0;
   bool verbalize = false;
@@ -195,6 +209,7 @@ struct BatchMineResponse {
 /// \brief Top-k most intuitive atoms of one entity (Table 3 protocol:
 /// standard language, no rdf:type, no inverse predicates).
 struct SummarizeRequest {
+  std::string kb;     ///< "" = the default tenant
   TargetSpec entity;  ///< must resolve to exactly one entity
   size_t k = 5;
   ProminenceMetric metric = ProminenceMetric::kFrequency;
@@ -213,6 +228,7 @@ struct SummarizeResponse {
 /// \brief The ranked candidate queue (Alg. 1 line 2) for a target set —
 /// the introspection surface used by demos and the user-study harnesses.
 struct CandidatesRequest {
+  std::string kb;  ///< "" = the default tenant
   TargetSpec targets;
   /// Keep only the cheapest `limit` candidates; 0 = all.
   size_t limit = 0;
@@ -229,27 +245,17 @@ struct CandidatesRequest {
 /// a candidate that passes every structural-invariant check is published.
 /// All failures are reported in-band (fail closed, keep serving).
 struct ReloadKbRequest {
+  /// Which tenant to reload ("" = the default tenant). Unknown names
+  /// report kNotFound in the response status; no other tenant is
+  /// touched either way.
+  std::string kb;
   KbSpec spec;
-};
-
-struct ReloadKbResponse {
-  /// OK: the new generation is serving. Corruption / ParseError / IoError:
-  /// the candidate was rejected and the previous generation keeps serving
-  /// (the fields below then describe that still-serving generation).
-  Status status;
-  /// The serving generation after the call.
-  uint64_t generation = 0;
-  size_t facts = 0;
-  size_t entities = 0;
-  /// Malformed N-Triples lines skipped by a lenient reload (0 otherwise).
-  size_t parse_skipped_lines = 0;
-  /// Open + validate time of the candidate (even when rejected).
-  double load_seconds = 0.0;
 };
 
 /// Service-wide request counters (monotonic since construction). At
 /// quiescence, admitted == completed_ok + deadline_exceeded + cancelled
-/// + failed; rejected requests were never admitted.
+/// + failed; rejected requests were never admitted. All request fields
+/// aggregate over every tenant; the per-tenant split is CountersFor().
 struct ServiceCounters {
   uint64_t admitted = 0;
   uint64_t completed_ok = 0;
@@ -262,12 +268,18 @@ struct ServiceCounters {
   // --- hot-swap registry ---
   uint64_t reloads_ok = 0;        ///< published generations (beyond the first)
   uint64_t reloads_rejected = 0;  ///< fail-closed ReloadKb calls
-  /// The serving generation (starts at 1, +1 per successful reload).
+  /// The default tenant's serving generation (generations are
+  /// per-tenant; see CountersFor for named tenants).
   uint64_t generation = 0;
-  /// Epochs still alive: the serving one plus retired generations kept
-  /// alive by in-flight pinned requests. 1 at quiescence; a value stuck
-  /// above 1 means a retired generation leaked.
+  /// Epochs still alive across ALL tenants: each tenant's serving epoch
+  /// plus retired generations kept alive by in-flight pinned requests.
+  /// Equals tenants_active at quiescence; a value stuck above that means
+  /// a retired generation leaked. (Exported on the wire as both
+  /// active_generations and epochs_live_total.)
   size_t active_generations = 0;
+  /// Open tenants (the default one counts; lazy catalog entries don't
+  /// until first use).
+  size_t tenants_active = 0;
   // --- transport health (reported by the wire servers) ---
   /// accept(2) failures survived and retried (EPROTO, EMFILE bursts, ...).
   /// A growing value with zero new connections is the old zombie-accept
@@ -280,17 +292,20 @@ struct ServiceCounters {
   uint64_t mine_micros_total = 0;    ///< wall micros inside the miner
 };
 
-/// \brief One serving process, many requests, hot-swappable KB generations.
+/// \brief One serving process, many named KBs, many requests,
+/// hot-swappable generations per tenant.
 ///
 /// Thread-safe: any number of threads may issue requests concurrently;
-/// admission control bounds how many actually execute, and ReloadKb may
-/// run concurrently with all of them. Responses' Expression/TermId values
-/// index the dictionary of the generation that produced them — keep the
-/// Service alive (and, under concurrent reload, prefer the pre-rendered
-/// *_text/*_labels response fields) while using them.
+/// admission control bounds how many actually execute, and
+/// ReloadKb/AttachKb/DetachKb may run concurrently with all of them.
+/// Responses' Expression/TermId values index the dictionary of the
+/// tenant generation that produced them — keep the Service alive (and,
+/// under concurrent reload, prefer the pre-rendered *_text/*_labels
+/// response fields) while using them.
 class Service {
  public:
-  /// Opens the KB described by `spec` and starts a service on it.
+  /// Opens the KB described by `spec` and starts a service on it (the
+  /// default tenant; attach more via AttachKb / the catalog).
   static Result<std::unique_ptr<Service>> Open(
       const KbSpec& spec, const ServiceOptions& options = {});
 
@@ -305,8 +320,8 @@ class Service {
   // --- request surface -------------------------------------------------------
 
   /// Result error: InvalidArgument (empty/ambiguous targets, bad ids),
-  /// NotFound (unresolvable name), ResourceExhausted (admission).
-  /// Response status: OK | DeadlineExceeded | Cancelled.
+  /// NotFound (unresolvable name or unknown `kb`), ResourceExhausted
+  /// (admission). Response status: OK | DeadlineExceeded | Cancelled.
   Result<MineResponse> Mine(const MineRequest& request);
 
   /// Same contract as Mine, over many sets sharing one admission slot.
@@ -330,36 +345,83 @@ class Service {
   // --- hot swap --------------------------------------------------------------
 
   /// Opens + validates `request.spec` off the serving path and, on
-  /// success, atomically publishes it as the next generation. Fails
-  /// closed: a corrupt/truncated/invariant-violating candidate is
-  /// reported in-band (Corruption/ParseError/IoError) and the previous
-  /// generation keeps serving. In-flight requests pinned to older
-  /// generations are never disturbed; their epochs are destroyed when the
-  /// last pinned request completes. Concurrent reloads serialize.
+  /// success, atomically publishes it as the named tenant's next
+  /// generation. Fails closed: a corrupt/truncated/invariant-violating
+  /// candidate is reported in-band (Corruption/ParseError/IoError) and
+  /// the tenant's previous generation keeps serving; an unknown
+  /// `request.kb` reports kNotFound. In-flight requests pinned to older
+  /// generations are never disturbed; their epochs are destroyed when
+  /// the last pinned request completes. Concurrent reloads of one tenant
+  /// serialize; different tenants reload independently.
   ReloadKbResponse ReloadKb(const ReloadKbRequest& request);
+
+  // --- multi-tenant registry -------------------------------------------------
+
+  /// Opens `spec` (off the serving path) and attaches it as the named
+  /// tenant. kAlreadyExists if the name is taken (open or catalog);
+  /// kInvalidArgument for the reserved default name "". `quota` absent =
+  /// the service's default per-tenant quota.
+  Status AttachKb(const std::string& name, const KbSpec& spec,
+                  const std::optional<TenantQuota>& quota = std::nullopt);
+
+  /// Attaches an already built KB (synthetic and curated workloads).
+  Status AttachKb(const std::string& name, KnowledgeBase kb,
+                  const std::optional<TenantQuota>& quota = std::nullopt);
+
+  /// Detaches the named tenant (and masks any catalog entry with that
+  /// name). In-flight requests on it drain — a pinned epoch is never
+  /// torn down. kInvalidArgument for the default tenant, kNotFound for
+  /// unknown names.
+  Status DetachKb(const std::string& name);
+
+  /// Registers a lazily opened catalog entry (loaded on first request
+  /// that names it). Same errors as AttachKb.
+  Status AddCatalogKb(const std::string& name, const KbSpec& spec,
+                      const std::optional<TenantQuota>& quota = std::nullopt);
+
+  /// Reads a catalog file (see ParseKbCatalog for the format) and
+  /// registers every entry. Returns the number of entries registered;
+  /// fails atomically on parse errors or duplicate names (no partial
+  /// registration).
+  Result<size_t> LoadCatalogFile(const std::string& path);
+
+  /// True iff `name` is serveable now or on first use (open tenant or
+  /// catalog entry). Never loads anything.
+  bool HasKb(const std::string& name) const;
+
+  /// Every open tenant and not-yet-opened catalog entry, name-sorted
+  /// (default tenant "" first).
+  std::vector<KbInfo> ListKbs() const;
+
+  /// Per-tenant counter snapshot (admission gauges included). kNotFound
+  /// for unknown names; a catalog entry not yet opened also reports
+  /// kNotFound (it has served nothing).
+  Result<TenantCounters> CountersFor(const std::string& kb) const;
 
   // --- resolution & introspection -------------------------------------------
 
   /// Resolves one lexical form (full IRI or unambiguous suffix) to an
-  /// entity id of the *current* generation. NotFound / InvalidArgument on
-  /// zero / several matches.
+  /// entity id of the default tenant's *current* generation. NotFound /
+  /// InvalidArgument on zero / several matches.
   Result<TermId> ResolveTarget(const std::string& name) const;
 
   /// Resolves a TargetSpec to a sorted, deduplicated id list; validates
-  /// that explicit ids are in the dictionary range.
+  /// that explicit ids are in the dictionary range (default tenant).
   Result<std::vector<TermId>> ResolveTargets(const TargetSpec& spec) const;
 
-  /// The current generation's KB. The reference is stable only while no
-  /// concurrent ReloadKb retires this generation — single-owner callers
-  /// (CLI, tests, examples) may hold it across calls; concurrent servers
-  /// should pin via SharedKb() instead.
+  /// The default tenant's current KB. The reference is stable only while
+  /// no concurrent ReloadKb retires that generation — single-owner
+  /// callers (CLI, tests, examples) may hold it across calls; concurrent
+  /// servers should pin via SharedKb() instead.
   const KnowledgeBase& kb() const;
 
-  /// The current generation's KB, pinned: the aliased shared_ptr keeps
-  /// the whole epoch (KB + caches) alive even after a reload retires it.
+  /// The default tenant's current KB, pinned: the aliased shared_ptr
+  /// keeps the whole epoch (KB + caches) alive even after a reload
+  /// retires it.
   std::shared_ptr<const KnowledgeBase> SharedKb() const;
 
-  /// The serving generation number (1-based, +1 per successful reload).
+  /// The default tenant's serving generation number (1-based, +1 per
+  /// successful reload).
   uint64_t generation() const;
 
   const ServiceOptions& options() const { return options_; }
@@ -371,11 +433,19 @@ class Service {
   void RecordAcceptError(bool fatal);
 
   /// The back-off hint (milliseconds) wire servers attach to
-  /// ResourceExhausted responses. Derived from live admission state — the
-  /// measured mean service time, how full the queue is, and how many
-  /// slots drain it — plus ±25% jitter so a burst of rejected clients
-  /// doesn't come back as a synchronized thundering herd.
+  /// ResourceExhausted responses, for the default tenant. Derived from
+  /// live admission state — the measured mean service time, how full the
+  /// queue is, and how many slots drain it — plus ±25% jitter so a burst
+  /// of rejected clients doesn't come back as a synchronized thundering
+  /// herd.
   uint64_t RetryAfterMsHint() const;
+
+  /// Quota-aware variant: when the named tenant has an in-flight quota,
+  /// the hint is derived from *its* queue depth, slot count, and mean
+  /// service time — a throttled tenant's clients back off on their own
+  /// tenant's congestion, not the (possibly idle) global queue. Falls
+  /// back to the global hint for unknown names and quota-less tenants.
+  uint64_t RetryAfterMsHint(const std::string& kb) const;
 
   /// The deterministic core of RetryAfterMsHint (pure, unit-testable):
   /// roughly the time for `queued` requests ahead of the caller to drain
@@ -386,79 +456,21 @@ class Service {
                                       double mean_service_ms,
                                       uint32_t jitter256);
 
-  /// Malformed N-Triples lines skipped by the current generation's
+  /// Malformed N-Triples lines skipped by the default tenant's current
   /// lenient open (0 for other formats). Callers surface this so silent
   /// data loss stays visible.
   size_t parse_skipped_lines() const;
 
  private:
-  /// One KB generation and everything whose lifetime must match it: the
-  /// per-generation match-set cache (so stale entries die with their
-  /// epoch), the lazily built variant miners (they hold raw pointers into
-  /// `kb`), and the lazily built lexical name index (its keys are views
-  /// into `kb`'s dictionary storage). Published epochs are structurally
-  /// immutable; the mutable members below are internal lazy caches with
-  /// their own synchronization.
-  struct KbEpoch {
-    KbEpoch(KnowledgeBase kb_in, uint64_t generation_in,
-            const ServiceOptions& options,
-            std::shared_ptr<std::atomic<size_t>> live_epochs_in);
-    ~KbEpoch();
-    KbEpoch(const KbEpoch&) = delete;
-    KbEpoch& operator=(const KbEpoch&) = delete;
+  Service(LoadedKb loaded, const ServiceOptions& options);
 
-    const KnowledgeBase kb;
-    const uint64_t generation;
-    size_t parse_skipped_lines = 0;
-    /// Per-generation match-set cache: entries can never outlive (or
-    /// cross into) another generation's KB.
-    std::shared_ptr<EvalCache> eval_cache;
-
-    /// The miner for a cost/bias variant, created on first use. All
-    /// variant miners of one epoch share the service pool and this
-    /// epoch's cache.
-    mutable std::mutex miners_mu;
-    mutable std::map<std::string, std::unique_ptr<RemiMiner>> miners;
-
-    /// Built once on first suffix resolution: IRI local name (after the
-    /// last '/' or '#') -> (entity id, number of entities sharing the
-    /// name). Keys are views into this epoch's dictionary storage. Makes
-    /// the common "Paris"-style lookup O(1) instead of a full dictionary
-    /// scan per request on the serving path.
-    mutable std::once_flag name_index_once;
-    mutable std::unordered_map<std::string_view, std::pair<TermId, uint32_t>>
-        name_index;
-
-    /// Shared live-epoch gauge (ServiceCounters::active_generations);
-    /// shared_ptr so a pinned epoch outliving the Service stays safe.
-    std::shared_ptr<std::atomic<size_t>> live_epochs;
-  };
-
-  /// A KB opened from disk, before it becomes an epoch.
-  struct LoadedKb {
-    KnowledgeBase kb;
-    size_t parse_skipped_lines = 0;
-  };
-
-  Service(KnowledgeBase kb, const ServiceOptions& options);
-
-  /// Opens `spec` with format sniffing and full validation (the RKF2
-  /// structural-invariant pass, the parsers' error checks). Pure: touches
-  /// no Service state, so ReloadKb can run it off the serving path.
-  static Result<LoadedKb> LoadKb(const KbSpec& spec);
-
-  /// The serving epoch; the returned shared_ptr is the caller's pin.
-  std::shared_ptr<KbEpoch> CurrentEpoch() const;
-
-  /// Blocks until an execution slot is free (or the deadline expires /
-  /// the queue overflows). OK = admitted; caller must Release().
-  Status Admit(const Deadline& deadline, const CancellationToken& cancel,
-               double* queue_wait_seconds);
-  void Release();
-
-  RemiMiner* MinerFor(const KbEpoch& epoch,
-                      const std::optional<CostModelOptions>& cost,
-                      const std::optional<EnumeratorOptions>& enumerator);
+  /// Blocks until an execution slot is free for `tenant` (or the
+  /// deadline expires / a queue overflows). Both gates — the global
+  /// bound and the tenant's quota — are checked under the one admission
+  /// mutex. OK = admitted; caller must Release(tenant).
+  Status Admit(Tenant& tenant, const Deadline& deadline,
+               const CancellationToken& cancel, double* queue_wait_seconds);
+  void Release(Tenant& tenant);
 
   static void EnsureNameIndex(const KbEpoch& epoch);
   static Result<TermId> ResolveTargetIn(const KbEpoch& epoch,
@@ -473,23 +485,25 @@ class Service {
                                  std::vector<TermId> targets) const;
 
   Deadline DeadlineFor(const RequestControl& control) const;
-  void CountOutcome(const Status& status);
-  /// Folds one admitted run into the service-wide mining aggregates.
-  void RecordMiningStats(const RemiStats& stats, double mine_seconds);
+  /// Counts one admitted run's outcome into the global and the tenant
+  /// counters (the two views always reconcile).
+  void CountOutcome(Tenant& tenant, const Status& status);
+  /// Folds one admitted run into the service-wide + tenant mining
+  /// aggregates.
+  void RecordMiningStats(Tenant& tenant, const RemiStats& stats,
+                         double mine_seconds);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;  ///< iff mining.num_threads > 1
 
-  /// Live-epoch gauge shared with every KbEpoch (see KbEpoch::live_epochs).
+  /// Live-epoch gauge shared with every tenant's every KbEpoch.
   std::shared_ptr<std::atomic<size_t>> live_epochs_ =
       std::make_shared<std::atomic<size_t>>(0);
 
-  /// The snapshot registry: the serving epoch, swapped by ReloadKb.
-  mutable std::mutex epoch_mu_;
-  std::shared_ptr<KbEpoch> epoch_;
-
-  /// Serializes ReloadKb calls (generation numbering + publish order).
-  std::mutex reload_mu_;
+  std::unique_ptr<TenantRegistry> registry_;
+  /// The "" tenant, cached: it is resolved on every legacy call
+  /// (kb(), generation(), ...) and can never be detached.
+  std::shared_ptr<Tenant> default_tenant_;
 
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;

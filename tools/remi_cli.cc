@@ -7,17 +7,25 @@
 //   remi mine <kb> --targets <iri[,iri...]>  mine the most intuitive RE
 //   remi mine <kb> --batch <file>            mine many sets (one per line)
 //   remi summarize <kb> --entity <iri>       top-k intuitive atoms
-//   remi reload <path> --port <p>            hot-swap a running server's KB
-//   remi counters --port <p>                 live ServiceCounters of a server
+//   remi reload <path> --port <p> [--kb n]   hot-swap a running server's KB
+//   remi counters --port <p> [--kb n]        live ServiceCounters of a server
+//   remi attach <name> <path> --port <p>     attach a named KB to a server
+//   remi detach <name> --port <p>            detach a named KB
+//   remi list --port <p>                     list a server's KBs
 //
-// `reload` and `counters` are admin clients, not local operations: they
-// connect to a running remi_server (--host/--port). `counters` speaks the
-// binary frame protocol (so it doubles as a smoke test for it against an
-// epoll-mode server); `reload` speaks NDJSON by default and the binary
-// framing with --binary. The reload path is resolved by the *server*
-// process. Exit 0 when the new generation is serving; nonzero when the
-// server rejected the candidate (it then keeps serving the prior
-// generation — fail closed).
+// `reload`, `counters`, `attach`, `detach`, and `list` are admin clients,
+// not local operations: they connect to a running remi_server
+// (--host/--port). `counters` speaks the binary frame protocol (so it
+// doubles as a smoke test for it against an epoll-mode server); the
+// others speak NDJSON by default and the binary framing with --binary.
+// The reload/attach paths are resolved by the *server* process. Exit 0
+// when the server accepted the operation; nonzero otherwise (a rejected
+// reload keeps the prior generation serving — fail closed).
+//
+// Multi-tenant admin: `reload --kb <name>` swaps one named tenant;
+// `counters --kb <name>` prints that tenant's counter slice. `attach`
+// opens the KB before replying (--lazy registers it as a catalog entry
+// instead); --kb-max-inflight/--kb-max-queued set its admission quota.
 //
 // <kb> is anything KbSpec understands: N-Triples (.nt), Turtle (.ttl),
 // RKF (.rkf), or an RKF2 snapshot (.rkf2; opened zero-copy, no rebuild) —
@@ -459,42 +467,94 @@ Result<std::string> FrameRoundTrip(const std::string& host, int port,
   return Status::IoError("connection closed before a response frame");
 }
 
-int CmdReload(const std::string& path, const remi::Flags& flags) {
-  remi::JsonValue request = remi::JsonValue::Object();
-  request.Set("op", remi::JsonValue::String("reload"));
-  request.Set("path", remi::JsonValue::String(path));
-  request.Set("lenient", remi::JsonValue::Bool(!flags.GetBool("strict")));
+/// Sends one admin request (NDJSON by default, one binary frame with
+/// --binary), prints the server's response document, and maps it to an
+/// exit code: 0 when the server reported "status":"OK", 2 otherwise
+/// (fail closed on the client too — e.g. a rejected reload means the
+/// server kept its prior generation; tell the operator via the exit
+/// code).
+int AdminRoundTrip(const remi::Flags& flags, remi::FrameVerb verb,
+                   const remi::JsonValue& request) {
   const std::string host = flags.GetString("host");
   const int port = static_cast<int>(flags.GetInt("port"));
-  auto response =
-      flags.GetBool("binary")
-          ? FrameRoundTrip(host, port, remi::FrameVerb::kReload,
-                           request.Dump())
-          : LineRoundTrip(host, port, request.Dump());
+  auto response = flags.GetBool("binary")
+                      ? FrameRoundTrip(host, port, verb, request.Dump())
+                      : LineRoundTrip(host, port, request.Dump());
   if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response->c_str());
   auto parsed = remi::ParseJson(*response);
   if (!parsed.ok() || !parsed->is_object()) {
     return Fail(Status::Internal("unparseable server response: " +
                                  *response));
   }
-  std::printf("%s\n", response->c_str());
   const remi::JsonValue* status = parsed->Find("status");
-  if (status == nullptr || !status->is_string() ||
-      status->AsString() != "OK") {
-    // Fail closed on the client too: the server kept its prior
-    // generation; tell the operator via the exit code.
-    return 2;
+  return (status != nullptr && status->is_string() &&
+          status->AsString() == "OK")
+             ? 0
+             : 2;
+}
+
+int CmdReload(const std::string& path, const remi::Flags& flags) {
+  remi::JsonValue request = remi::JsonValue::Object();
+  request.Set("op", remi::JsonValue::String("reload"));
+  if (flags.WasSet("kb")) {
+    request.Set("kb", remi::JsonValue::String(flags.GetString("kb")));
   }
-  return 0;
+  request.Set("path", remi::JsonValue::String(path));
+  request.Set("lenient", remi::JsonValue::Bool(!flags.GetBool("strict")));
+  return AdminRoundTrip(flags, remi::FrameVerb::kReload, request);
+}
+
+int CmdAttach(const std::string& name, const std::string& path,
+              const remi::Flags& flags) {
+  remi::JsonValue request = remi::JsonValue::Object();
+  request.Set("op", remi::JsonValue::String("attach"));
+  request.Set("kb", remi::JsonValue::String(name));
+  request.Set("path", remi::JsonValue::String(path));
+  request.Set("lenient", remi::JsonValue::Bool(!flags.GetBool("strict")));
+  if (flags.GetBool("lazy")) {
+    request.Set("lazy", remi::JsonValue::Bool(true));
+  }
+  if (flags.WasSet("kb-max-inflight")) {
+    request.Set("max_in_flight",
+                remi::JsonValue::Number(static_cast<double>(
+                    flags.GetInt("kb-max-inflight"))));
+  }
+  if (flags.WasSet("kb-max-queued")) {
+    request.Set("max_queued",
+                remi::JsonValue::Number(static_cast<double>(
+                    flags.GetInt("kb-max-queued"))));
+  }
+  return AdminRoundTrip(flags, remi::FrameVerb::kAttachKb, request);
+}
+
+int CmdDetach(const std::string& name, const remi::Flags& flags) {
+  remi::JsonValue request = remi::JsonValue::Object();
+  request.Set("op", remi::JsonValue::String("detach"));
+  request.Set("kb", remi::JsonValue::String(name));
+  return AdminRoundTrip(flags, remi::FrameVerb::kDetachKb, request);
+}
+
+int CmdListKbs(const remi::Flags& flags) {
+  remi::JsonValue request = remi::JsonValue::Object();
+  request.Set("op", remi::JsonValue::String("list_kbs"));
+  return AdminRoundTrip(flags, remi::FrameVerb::kListKbs, request);
 }
 
 /// Fetches a running server's live ServiceCounters (admission outcomes,
-/// transport health, aggregated mining stats) over the binary frame
-/// protocol and prints the JSON document.
+/// transport health, aggregated mining stats) — or one tenant's slice
+/// with --kb — over the binary frame protocol and prints the JSON
+/// document.
 int CmdCounters(const remi::Flags& flags) {
+  std::string payload = "{}";
+  if (flags.WasSet("kb")) {
+    remi::JsonValue request = remi::JsonValue::Object();
+    request.Set("kb", remi::JsonValue::String(flags.GetString("kb")));
+    payload = request.Dump();
+  }
   auto response = FrameRoundTrip(flags.GetString("host"),
                                  static_cast<int>(flags.GetInt("port")),
-                                 remi::FrameVerb::kCounters, "{}");
+                                 remi::FrameVerb::kCounters, payload);
   if (!response.ok()) return Fail(response.status());
   std::printf("%s\n", response->c_str());
   auto parsed = remi::ParseJson(*response);
@@ -531,16 +591,26 @@ int main(int argc, char** argv) {
                    "reload: fail on malformed N-Triples lines instead of "
                    "skipping them");
   flags.DefineBool("binary", false,
-                   "reload: use the binary frame protocol instead of NDJSON "
-                   "(requires an epoll-mode server)");
+                   "admin commands: use the binary frame protocol instead "
+                   "of NDJSON (requires an epoll-mode server)");
+  flags.DefineString("kb", "",
+                     "reload/counters: the named KB to target (default: "
+                     "the server's default tenant)");
+  flags.DefineBool("lazy", false,
+                   "attach: register as a catalog entry (opened on first "
+                   "request) instead of opening the KB now");
+  flags.DefineInt("kb-max-inflight", 0,
+                  "attach: the new tenant's in-flight quota (0 = unlimited)");
+  flags.DefineInt("kb-max-queued", 0,
+                  "attach: the new tenant's queue quota (0 = unlimited)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status);
   }
   const auto& args = flags.positional();
   if (args.empty()) {
     std::printf(
-        "usage: remi <stats|convert|snapshot|mine|summarize|reload|counters> "
-        "<kb> [args]\n\n%s",
+        "usage: remi <stats|convert|snapshot|mine|summarize|reload|counters"
+        "|attach|detach|list> <kb> [args]\n\n%s",
         flags.Help().c_str());
     return 1;
   }
@@ -565,6 +635,15 @@ int main(int argc, char** argv) {
   }
   if (command == "counters" && args.size() == 1) {
     return CmdCounters(flags);
+  }
+  if (command == "attach" && args.size() == 3) {
+    return CmdAttach(args[1], args[2], flags);
+  }
+  if (command == "detach" && args.size() == 2) {
+    return CmdDetach(args[1], flags);
+  }
+  if (command == "list" && args.size() == 1) {
+    return CmdListKbs(flags);
   }
   std::fprintf(stderr, "unknown or malformed command\n");
   return 1;

@@ -2,7 +2,8 @@
 //
 //   remi_server <kb> [--port 7411] [--mode epoll|threads] [--threads N]
 //               [--max-inflight 4] [--max-queued 16]
-//               [--inverse-fraction 0.01]
+//               [--inverse-fraction 0.01] [--catalog catalog.json]
+//               [--tenant-max-inflight 0] [--tenant-max-queued 0]
 //
 // <kb> is any format KbSpec understands (.nt / .ttl / .rkf / .rkf2; RKF2
 // snapshots open zero-copy). The default --mode epoll serves both wire
@@ -21,6 +22,12 @@
 // --drain-grace seconds), then cancels stragglers and exits. The KB can
 // be hot-swapped at runtime with {"op":"reload","path":...} (or
 // `remi_cli reload`) — see README "Hot-swap & operational runbook".
+//
+// Multi-tenant: <kb> becomes the unnamed default tenant. More named KBs
+// come from --catalog (a JSON file of lazily opened entries; see README
+// "Multi-tenant serving") or are attached at runtime via `remi_cli
+// attach`. --tenant-max-inflight/--tenant-max-queued set the default
+// per-tenant admission quota (0 = tenants share only the global limits).
 
 #include <csignal>
 #include <cstdio>
@@ -53,6 +60,13 @@ int main(int argc, char** argv) {
                   "concurrent requests before callers queue (0 = unlimited)");
   flags.DefineInt("max-queued", 16,
                   "queued requests before ResourceExhausted");
+  flags.DefineString("catalog", "",
+                     "KB catalog JSON file; entries are registered as "
+                     "named tenants and open lazily on first request");
+  flags.DefineInt("tenant-max-inflight", 0,
+                  "default per-tenant in-flight quota (0 = unlimited)");
+  flags.DefineInt("tenant-max-queued", 0,
+                  "default per-tenant queue quota (0 = unlimited)");
   flags.DefineDouble("inverse-fraction", 0.01,
                      "inverse materialization fraction (paper: 0.01)");
   flags.DefineDouble("drain-grace", 30.0,
@@ -85,12 +99,27 @@ int main(int argc, char** argv) {
   options.mining.num_threads = static_cast<int>(flags.GetInt("threads"));
   options.max_in_flight = static_cast<size_t>(flags.GetInt("max-inflight"));
   options.max_queued = static_cast<size_t>(flags.GetInt("max-queued"));
+  options.tenant_max_in_flight =
+      static_cast<size_t>(flags.GetInt("tenant-max-inflight"));
+  options.tenant_max_queued =
+      static_cast<size_t>(flags.GetInt("tenant-max-queued"));
 
   auto service = remi::Service::Open(spec, options);
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  service.status().ToString().c_str());
     return 1;
+  }
+  if (const std::string catalog = flags.GetString("catalog");
+      !catalog.empty()) {
+    auto registered = (*service)->LoadCatalogFile(catalog);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   registered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("catalog %s: %zu kb(s) registered (lazy)\n",
+                catalog.c_str(), *registered);
   }
   if ((*service)->parse_skipped_lines() > 0) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
