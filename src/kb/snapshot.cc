@@ -15,14 +15,19 @@
 // monotonicity, range tiling) is checked before a single view escapes, so
 // a lying image yields Corruption, never undefined behavior.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
 #include <vector>
 
 #include "kb/knowledge_base.h"
+#include "util/io_hooks.h"
 #include "rdf/rkf2.h"
 #include "util/logging.h"
 #include "util/varint.h"
@@ -709,11 +714,68 @@ std::string KnowledgeBase::SerializeSnapshot() const {
 
 Status KnowledgeBase::SaveSnapshot(const std::string& path) const {
   const std::string bytes = SerializeSnapshot();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IoError("write failure on " + path);
+  // Crash-safe publish: write a temp file *in the target directory* (a
+  // cross-filesystem rename is not atomic), fsync it, rename over the
+  // destination, then fsync the directory so the rename itself is
+  // durable. A writer killed at any step leaves either the old snapshot
+  // or a stray .tmp — never a torn destination file.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + " for writing: " +
+                           std::strerror(errno));
+  }
+  auto fail = [&](const std::string& what) {
+    const Status status =
+        Status::IoError(what + " " + tmp + ": " + std::strerror(errno));
+    io::Hooks().Close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        io::Hooks().Write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write failure on");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (io::Hooks().Fsync(fd) != 0) return fail("fsync failure on");
+  if (io::Hooks().Close(fd) != 0) {
+    // close(2) can report a deferred write error; the data may be torn.
+    const Status status =
+        Status::IoError("close failure on " + tmp + ": " +
+                        std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (io::Hooks().Rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::IoError("rename " + tmp + " -> " + path +
+                                          ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Durability of the rename: fsync the containing directory. Failure
+  // here is reported (the data might vanish on power loss) but the new
+  // snapshot is already visible and intact.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::IoError("cannot open directory " + dir +
+                           " for fsync: " + std::strerror(errno));
+  }
+  if (io::Hooks().Fsync(dir_fd) != 0) {
+    const Status status = Status::IoError("fsync failure on directory " +
+                                          dir + ": " + std::strerror(errno));
+    io::Hooks().Close(dir_fd);
+    return status;
+  }
+  io::Hooks().Close(dir_fd);
   return Status::OK();
 }
 

@@ -7,11 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "service/json_codec.h"
+#include "util/io_hooks.h"
 
 namespace remi {
 
@@ -226,15 +228,23 @@ void EventServer::LoopThread() {
             1);
       }
     }
+    // The wheel's earliest deadline bounds the sleep so reaps are not
+    // deferred until the next network event.
+    const int wheel_delay =
+        timer_wheel_.NextDelayMs(std::chrono::steady_clock::now());
+    if (wheel_delay >= 0 && (timeout_ms < 0 || wheel_delay < timeout_ms)) {
+      timeout_ms = wheel_delay;
+    }
     const int n =
-        epoll_wait(epoll_fd_, events.data(),
-                   static_cast<int>(events.size()), timeout_ms);
+        io::Hooks().EpollWait(epoll_fd_, events.data(),
+                              static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       std::fprintf(stderr, "event_server: epoll_wait: %s\n",
                    std::strerror(errno));
       break;
     }
+    ReapExpired(std::chrono::steady_clock::now());
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[static_cast<size_t>(i)].data.u64;
       const uint32_t mask = events[static_cast<size_t>(i)].events;
@@ -312,7 +322,8 @@ void EventServer::HandleControl() {
 
 void EventServer::AcceptReady() {
   for (;;) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    const int fd =
+        io::Hooks().Accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
       const int err = errno;
       if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
@@ -369,8 +380,14 @@ void EventServer::AcceptReady() {
         continue;
       }
       conn->armed_mask = EPOLLIN;
-      connections_.emplace(conn->id, std::move(conn));
+      const auto now = std::chrono::steady_clock::now();
+      conn->accepted_at = now;
+      conn->last_read_activity = now;
+      conn->last_write_progress = now;
+      Connection* raw = conn.get();
+      connections_.emplace(raw->id, std::move(conn));
       open_connections_.fetch_add(1, std::memory_order_relaxed);
+      ScheduleLifecycle(raw);
     } catch (const std::exception& e) {
       close(fd);
       service_->RecordAcceptError(/*fatal=*/false);
@@ -392,7 +409,7 @@ void EventServer::ReadReady(Connection* conn) {
   // Bounded per event so one firehose client cannot starve the rest;
   // level-triggered epoll re-fires for what is left.
   for (int round = 0; round < 4; ++round) {
-    const ssize_t n = recv(conn->fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = io::Hooks().Recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -403,6 +420,7 @@ void EventServer::ReadReady(Connection* conn) {
       conn->read_closed = true;
       break;
     }
+    conn->last_read_activity = std::chrono::steady_clock::now();
     IngestBytes(conn, chunk, static_cast<size_t>(n));
     if (conn->poisoned) break;
     if (static_cast<size_t>(n) < sizeof(chunk)) break;
@@ -583,14 +601,14 @@ void EventServer::HandleUseKb(Connection* conn,
   }
   std::string frame;
   AppendFrame(request.verb, request.request_id, payload, &frame);
-  conn->write_buffer.Append(frame);
+  AppendResponse(conn, frame);
 }
 
 void EventServer::MaybeFinish(Connection* conn) {
   if (!conn->read_closed) return;
   if (!conn->queue.empty() || conn->inflight > 0) return;
   if (!conn->final_error.empty()) {
-    conn->write_buffer.Append(conn->final_error);
+    AppendResponse(conn, conn->final_error);
     conn->final_error.clear();
   }
   if (conn->write_buffer.Empty()) {
@@ -603,14 +621,15 @@ void EventServer::FlushAndUpdate(Connection* conn) {
   if (conn->fd < 0) return;
   while (!conn->write_buffer.Empty()) {
     const std::string_view pending = conn->write_buffer.Pending();
-    const ssize_t n =
-        send(conn->fd, pending.data(), pending.size(), MSG_NOSIGNAL);
+    const ssize_t n = io::Hooks().Send(conn->fd, pending.data(),
+                                       pending.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       CloseConnection(conn);
       return;
     }
+    if (n > 0) conn->last_write_progress = std::chrono::steady_clock::now();
     conn->write_buffer.Consume(static_cast<size_t>(n));
   }
   const size_t backlog = conn->write_buffer.PendingSize();
@@ -638,17 +657,94 @@ void EventServer::FlushAndUpdate(Connection* conn) {
       conn->armed_mask = mask;
     }
   }
+  ScheduleLifecycle(conn);
 }
 
 void EventServer::CloseConnection(Connection* conn) {
   if (conn->fd >= 0) {
     epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-    close(conn->fd);
+    io::Hooks().Close(conn->fd);
     conn->fd = -1;
   }
   const uint64_t id = conn->id;
   connections_.erase(id);
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EventServer::AppendResponse(Connection* conn, const std::string& bytes) {
+  if (conn->write_buffer.Empty()) {
+    // The stall clock measures "bytes owed but not accepted"; it starts
+    // when the debt starts, not at whatever stale progress stamp a long-
+    // idle connection carries.
+    conn->last_write_progress = std::chrono::steady_clock::now();
+  }
+  conn->write_buffer.Append(bytes);
+}
+
+std::chrono::steady_clock::time_point EventServer::LifecycleDeadline(
+    const Connection& conn, bool* write_stall) const {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline = Clock::time_point::max();
+  *write_stall = false;
+  if (options_.write_stall_timeout_ms > 0 && !conn.write_buffer.Empty()) {
+    deadline = conn.last_write_progress +
+               std::chrono::milliseconds(options_.write_stall_timeout_ms);
+    *write_stall = true;
+  }
+  if (options_.handshake_timeout_ms > 0 && conn.mode == WireMode::kUnknown) {
+    const Clock::time_point handshake =
+        conn.accepted_at +
+        std::chrono::milliseconds(options_.handshake_timeout_ms);
+    if (handshake < deadline) {
+      deadline = handshake;
+      *write_stall = false;
+    }
+  }
+  // Idle only applies when the connection owes us nothing and we owe it
+  // nothing in compute: queued or in-flight requests park the clock (the
+  // Service's deadline machinery bounds those instead).
+  if (options_.idle_timeout_ms > 0 && conn.queue.empty() &&
+      conn.inflight == 0) {
+    const Clock::time_point idle =
+        std::max(conn.last_read_activity, conn.last_write_progress) +
+        std::chrono::milliseconds(options_.idle_timeout_ms);
+    if (idle < deadline) {
+      deadline = idle;
+      *write_stall = false;
+    }
+  }
+  return deadline;
+}
+
+void EventServer::ScheduleLifecycle(Connection* conn) {
+  if (conn->timer_pending || conn->fd < 0) return;
+  bool write_stall;
+  const auto deadline = LifecycleDeadline(*conn, &write_stall);
+  if (deadline == std::chrono::steady_clock::time_point::max()) return;
+  timer_wheel_.Schedule(conn->id, deadline);
+  conn->timer_pending = true;
+}
+
+void EventServer::ReapExpired(std::chrono::steady_clock::time_point now) {
+  if (timer_wheel_.size() == 0) return;
+  std::vector<uint64_t> due;
+  timer_wheel_.PopExpired(now, &due);
+  for (const uint64_t id : due) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // closed; ids never reused
+    Connection* conn = it->second.get();
+    conn->timer_pending = false;
+    // Lazy re-validation: activity since Schedule() moved the real
+    // deadline; the popped entry is just a hint to look again.
+    bool write_stall;
+    const auto deadline = LifecycleDeadline(*conn, &write_stall);
+    if (deadline <= now) {
+      service_->RecordConnectionReaped(write_stall);
+      CloseConnection(conn);
+      continue;
+    }
+    ScheduleLifecycle(conn);
+  }
 }
 
 void EventServer::HandleCompletions() {
@@ -662,7 +758,7 @@ void EventServer::HandleCompletions() {
     if (it == connections_.end()) continue;  // connection already gone
     Connection* conn = it->second.get();
     --conn->inflight;
-    conn->write_buffer.Append(completion.bytes);
+    AppendResponse(conn, completion.bytes);
     MaybeDispatch(conn);
     MaybeFinish(conn);
     // The connection may have just closed (MaybeFinish with an empty

@@ -42,6 +42,7 @@
 #include "service/frame_codec.h"
 #include "service/service.h"
 #include "service/socket_util.h"
+#include "service/timer_wheel.h"
 #include "util/status.h"
 
 namespace remi {
@@ -70,6 +71,19 @@ struct EventServerOptions {
   /// frames wait decoded in the connection's queue. NDJSON connections
   /// are always serial (responses must come back in order).
   size_t max_inflight_per_connection = 32;
+  /// Reap a connection with no queued or in-flight work whose last byte
+  /// of progress (read or write) is older than this. 0 disables. Also
+  /// the slow-loris bound: a client trickling a request byte-by-byte
+  /// must keep each gap under this.
+  int idle_timeout_ms = 0;
+  /// Reap a connection whose write buffer is non-empty and whose socket
+  /// has accepted no bytes for this long (a peer that stopped reading
+  /// holds buffer memory forever otherwise). 0 disables.
+  int write_stall_timeout_ms = 0;
+  /// Reap a connection that has not revealed its wire protocol (sent
+  /// its first byte) within this bound. 0 disables. Reaps count as
+  /// idle-reaps in the counters.
+  int handshake_timeout_ms = 0;
 };
 
 /// \brief Accepts connections and serves both wire protocols until
@@ -142,6 +156,14 @@ class EventServer {
     /// tenant. Loop-thread-only, like the rest of the struct — workers
     /// get a copy in their WorkItem.
     std::string default_kb;
+    // Lifecycle clocks (loop-thread-only, like everything above). The
+    // timer wheel holds at most one live entry per connection
+    // (timer_pending); activity just moves these deadlines forward and
+    // the popped entry re-validates against them.
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::chrono::steady_clock::time_point last_read_activity{};
+    std::chrono::steady_clock::time_point last_write_progress{};
+    bool timer_pending = false;
   };
 
   struct WorkItem {
@@ -184,6 +206,22 @@ class EventServer {
   void CloseConnection(Connection* conn);
   void HandleCompletions();
   void HandleControl();
+  /// Appends response bytes and, when the buffer was empty, restarts the
+  /// write-progress clock — the stall timeout measures "peer stopped
+  /// accepting bytes we owe it", not "buffer happened to be idle".
+  void AppendResponse(Connection* conn, const std::string& bytes);
+  /// The earliest lifecycle deadline applying to `conn` right now
+  /// (time_point::max() when none does); *write_stall reports which
+  /// timeout class it is, for the reap counters.
+  std::chrono::steady_clock::time_point LifecycleDeadline(
+      const Connection& conn, bool* write_stall) const;
+  /// Ensures the wheel holds an entry for `conn`'s current deadline
+  /// (no-op when one is already pending — lazy re-validation at pop time
+  /// absorbs deadline movement).
+  void ScheduleLifecycle(Connection* conn);
+  /// Pops due wheel entries, re-validates each against the connection's
+  /// real deadline, and reaps the ones that are genuinely expired.
+  void ReapExpired(std::chrono::steady_clock::time_point now);
 
   void PushCompletion(Completion completion);
   void Wake();
@@ -213,6 +251,7 @@ class EventServer {
   /// style resource exhaustion; epoll_wait timeouts re-arm it.
   std::chrono::steady_clock::time_point listener_paused_until_{};
   bool listener_paused_ = false;
+  TimerWheel timer_wheel_;
 
   std::mutex dispatch_mu_;
   std::condition_variable dispatch_cv_;

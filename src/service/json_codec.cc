@@ -135,6 +135,8 @@ void SetTenantCounterFields(const TenantCounters& c, JsonValue* out) {
   out->Set("cancelled", JsonValue::Number(static_cast<double>(c.cancelled)));
   out->Set("rejected", JsonValue::Number(static_cast<double>(c.rejected)));
   out->Set("failed", JsonValue::Number(static_cast<double>(c.failed)));
+  out->Set("shed_expired_in_queue",
+           JsonValue::Number(static_cast<double>(c.shed_expired_in_queue)));
   out->Set("in_flight", JsonValue::Number(static_cast<double>(c.in_flight)));
   out->Set("queued", JsonValue::Number(static_cast<double>(c.queued)));
   out->Set("peak_in_flight",
@@ -392,6 +394,18 @@ JsonValue CountersToJson(const Service& service) {
               static_cast<double>(counters.accept_errors_retried)));
   out.Set("accept_errors_fatal",
           JsonValue::Number(static_cast<double>(counters.accept_errors_fatal)));
+  out.Set("shed_expired_in_queue",
+          JsonValue::Number(
+              static_cast<double>(counters.shed_expired_in_queue)));
+  out.Set("brownout_rejected",
+          JsonValue::Number(static_cast<double>(counters.brownout_rejected)));
+  out.Set("brownout_active", JsonValue::Bool(counters.brownout_active));
+  out.Set("connections_reaped_idle",
+          JsonValue::Number(
+              static_cast<double>(counters.connections_reaped_idle)));
+  out.Set("connections_reaped_write_stall",
+          JsonValue::Number(static_cast<double>(
+              counters.connections_reaped_write_stall)));
   out.Set("nodes_visited_total",
           JsonValue::Number(static_cast<double>(counters.nodes_visited_total)));
   out.Set("mine_micros_total",

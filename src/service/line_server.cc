@@ -14,6 +14,7 @@
 
 #include "service/json_codec.h"
 #include "service/socket_util.h"
+#include "util/io_hooks.h"
 
 namespace remi {
 
@@ -182,7 +183,9 @@ void LineServer::ReapFinishedConnections() {
 
 void LineServer::AcceptLoop() {
   for (;;) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
+    // accept4 with flags=0 is accept(2); routed through the I/O seam so
+    // the chaos harness can inject EMFILE/ENOMEM at the intake.
+    const int fd = io::Hooks().Accept4(listen_fd_, nullptr, nullptr, 0);
     if (stopping_.load(std::memory_order_relaxed)) {
       if (fd >= 0) close(fd);
       return;
@@ -262,7 +265,7 @@ void LineServer::ServeConnection(Connection* connection) {
   char chunk[4096];
   bool poisoned = false;
   while (!poisoned) {
-    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = io::Hooks().Recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed or connection reset
     buffer.Append(std::string_view(chunk, static_cast<size_t>(n)));

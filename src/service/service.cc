@@ -154,6 +154,18 @@ Status Service::Admit(Tenant& tenant, const Deadline& deadline,
   const auto tenant_full = [&] {
     return quota.max_in_flight > 0 && adm.in_flight >= quota.max_in_flight;
   };
+  // Shed dead-on-arrival work: a request whose deadline already expired
+  // gets its DeadlineExceeded now, before it can occupy a slot or queue
+  // space — mining an answer nobody will read is pure waste. Counted as
+  // admitted (it was accepted, not rejected) so the identity
+  // admitted == ok + deadline_exceeded + cancelled + failed holds.
+  if (deadline.Expired()) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    tenant.RecordAdmitted();
+    RecordShedLocked(tenant);
+    *queue_wait_seconds = timer.ElapsedSeconds();
+    return Status::DeadlineExceeded("deadline already expired at admission");
+  }
   if (global_full() || tenant_full()) {
     // Reject at entry when the binding gate's queue is already full. The
     // tenant gate trips *before* a hot tenant can occupy more of the
@@ -168,29 +180,33 @@ Status Service::Admit(Tenant& tenant, const Deadline& deadline,
           " queued (tenant quota: " + std::to_string(quota.max_in_flight) +
           " in flight, " + std::to_string(quota.max_queued) + " queued)");
     }
-    if (global_full() && queued_ >= options_.max_queued) {
+    if (global_full() && queued_ >= EffectiveMaxQueuedLocked()) {
+      if (queued_ < options_.max_queued) {
+        // Only the tightened brownout depth rejected this caller.
+        brownout_rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
       rejected_.fetch_add(1, std::memory_order_relaxed);
       tenant.RecordRejected();
       return Status::ResourceExhausted(
           std::to_string(in_flight_) + " requests in flight and " +
           std::to_string(queued_) + " queued (limits: " +
           std::to_string(options_.max_in_flight) + " in flight, " +
-          std::to_string(options_.max_queued) + " queued)");
+          std::to_string(EffectiveMaxQueuedLocked()) + " queued" +
+          (brownout_active_ ? ", brownout" : "") + ")");
     }
     ++queued_;
     ++adm.queued;
     // Queued callers poll deadline + cancellation: a request abandoned by
     // its client must not occupy a queue slot forever.
     while (global_full() || tenant_full()) {
-      // A queued request that gives up still counts as admitted (it was
-      // accepted, not rejected), so the counter identity
-      // admitted == ok + deadline_exceeded + cancelled + failed holds.
       if (deadline.Expired()) {
         --queued_;
         --adm.queued;
         admitted_.fetch_add(1, std::memory_order_relaxed);
         tenant.RecordAdmitted();
+        RecordShedLocked(tenant);
         *queue_wait_seconds = timer.ElapsedSeconds();
+        RecordQueueWaitLocked(*queue_wait_seconds);
         return Status::DeadlineExceeded("deadline expired while queued");
       }
       if (cancel.CancellationRequested()) {
@@ -199,12 +215,25 @@ Status Service::Admit(Tenant& tenant, const Deadline& deadline,
         admitted_.fetch_add(1, std::memory_order_relaxed);
         tenant.RecordAdmitted();
         *queue_wait_seconds = timer.ElapsedSeconds();
+        RecordQueueWaitLocked(*queue_wait_seconds);
         return Status::Cancelled("cancelled while queued");
       }
       admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
     }
     --queued_;
     --adm.queued;
+    // The slot freed, but the wait may have consumed the whole budget
+    // (the 10ms poll can land after expiry): re-check before burning a
+    // dispatch slot on a request that is already dead.
+    if (deadline.Expired()) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      tenant.RecordAdmitted();
+      RecordShedLocked(tenant);
+      *queue_wait_seconds = timer.ElapsedSeconds();
+      RecordQueueWaitLocked(*queue_wait_seconds);
+      admission_cv_.notify_all();  // the slot we declined is still free
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
   }
   ++in_flight_;
   ++adm.in_flight;
@@ -213,7 +242,49 @@ Status Service::Admit(Tenant& tenant, const Deadline& deadline,
   admitted_.fetch_add(1, std::memory_order_relaxed);
   tenant.RecordAdmitted();
   *queue_wait_seconds = timer.ElapsedSeconds();
+  RecordQueueWaitLocked(*queue_wait_seconds);
   return Status::OK();
+}
+
+void Service::RecordShedLocked(Tenant& tenant) {
+  shed_expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+  tenant.RecordShedExpired();
+}
+
+void Service::RecordQueueWaitLocked(double wait_seconds) {
+  if (options_.brownout_p99_queue_wait_ms <= 0) return;
+  if (queue_wait_ring_.size() < kQueueWaitWindow) {
+    queue_wait_ring_.push_back(wait_seconds);
+  } else {
+    queue_wait_ring_[queue_wait_pos_] = wait_seconds;
+    queue_wait_pos_ = (queue_wait_pos_ + 1) % kQueueWaitWindow;
+  }
+  // p99 over the window (64 samples: effectively the max, which is the
+  // right bias for a protect-the-tail control signal).
+  std::vector<double> sorted = queue_wait_ring_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx =
+      (sorted.size() * 99 + 99) / 100 == 0
+          ? 0
+          : std::min(sorted.size() - 1, (sorted.size() * 99) / 100);
+  const double p99_ms = sorted[idx] * 1000.0;
+  // Hysteresis: enter above the bound, exit below half of it, so the
+  // gate doesn't flap around the threshold.
+  if (!brownout_active_ && p99_ms > options_.brownout_p99_queue_wait_ms) {
+    brownout_active_ = true;
+  } else if (brownout_active_ &&
+             p99_ms < options_.brownout_p99_queue_wait_ms * 0.5) {
+    brownout_active_ = false;
+  }
+}
+
+size_t Service::EffectiveMaxQueuedLocked() const {
+  if (!brownout_active_) return options_.max_queued;
+  const double fraction =
+      std::min(1.0, std::max(0.0, options_.brownout_queue_fraction));
+  const auto tightened =
+      static_cast<size_t>(static_cast<double>(options_.max_queued) * fraction);
+  return std::max<size_t>(1, tightened);
 }
 
 void Service::Release(Tenant& tenant) {
@@ -344,10 +415,26 @@ ServiceCounters Service::counters() const {
   c.accept_errors_fatal = accept_errors_fatal_.load(std::memory_order_relaxed);
   c.nodes_visited_total = nodes_visited_total_.load(std::memory_order_relaxed);
   c.mine_micros_total = mine_micros_total_.load(std::memory_order_relaxed);
+  c.shed_expired_in_queue =
+      shed_expired_in_queue_.load(std::memory_order_relaxed);
+  c.brownout_rejected = brownout_rejected_.load(std::memory_order_relaxed);
+  c.connections_reaped_idle =
+      connections_reaped_idle_.load(std::memory_order_relaxed);
+  c.connections_reaped_write_stall =
+      connections_reaped_write_stall_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(admission_mu_);
   c.in_flight = in_flight_;
   c.peak_in_flight = peak_in_flight_;
+  c.brownout_active = brownout_active_;
   return c;
+}
+
+void Service::RecordConnectionReaped(bool write_stall) {
+  if (write_stall) {
+    connections_reaped_write_stall_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    connections_reaped_idle_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // --- target resolution -------------------------------------------------------

@@ -111,6 +111,16 @@ struct ServiceOptions {
   /// only, which is the pre-multi-tenant behavior.
   size_t tenant_max_in_flight = 0;
   size_t tenant_max_queued = 0;
+
+  /// Brownout: when the p99 queue wait (over a sliding window of recent
+  /// admissions) exceeds this bound, the effective global queue depth
+  /// tightens to brownout_queue_fraction * max_queued — excess callers
+  /// get ResourceExhausted *now* instead of queueing toward a deadline
+  /// they cannot meet. Exits with hysteresis at half the bound.
+  /// 0 = disabled.
+  double brownout_p99_queue_wait_ms = 0.0;
+  /// Fraction of max_queued kept while browned out (floored at 1 slot).
+  double brownout_queue_fraction = 0.25;
 };
 
 /// \brief Per-request execution control.
@@ -263,6 +273,16 @@ struct ServiceCounters {
   uint64_t cancelled = 0;
   uint64_t rejected = 0;  ///< kResourceExhausted at admission
   uint64_t failed = 0;    ///< admitted but invalid (bad targets etc.)
+  /// Requests whose deadline had already expired at admission or while
+  /// queued: shed in-band with DeadlineExceeded *before* any mining work
+  /// (a subset of deadline_exceeded; nodes_visited_total is untouched).
+  uint64_t shed_expired_in_queue = 0;
+  /// Callers rejected only because brownout tightened the queue depth
+  /// (the full max_queued would have let them wait).
+  uint64_t brownout_rejected = 0;
+  /// Gauge: the admission controller is currently browned out (p99 queue
+  /// wait exceeded ServiceOptions::brownout_p99_queue_wait_ms).
+  bool brownout_active = false;
   size_t in_flight = 0;
   size_t peak_in_flight = 0;
   // --- hot-swap registry ---
@@ -287,6 +307,13 @@ struct ServiceCounters {
   uint64_t accept_errors_retried = 0;
   /// accept(2) failures that terminated an accept loop (dead listener).
   uint64_t accept_errors_fatal = 0;
+  /// Connections the epoll core reaped for lifecycle-timeout reasons:
+  /// idle (no traffic and no pending work past --idle-timeout-ms, which
+  /// includes a never-completed wire-mode handshake) and write-stall (a
+  /// peer that stopped draining its responses past
+  /// --write-stall-timeout-ms — the slow-loris signature).
+  uint64_t connections_reaped_idle = 0;
+  uint64_t connections_reaped_write_stall = 0;
   // --- aggregated mining stats (the "counters" verb's RemiStats view) ---
   uint64_t nodes_visited_total = 0;  ///< DFS nodes across all admitted runs
   uint64_t mine_micros_total = 0;    ///< wall micros inside the miner
@@ -432,6 +459,11 @@ class Service {
   /// that killed an accept loop.
   void RecordAcceptError(bool fatal);
 
+  /// Records a connection reaped by a wire server's lifecycle timeouts
+  /// (ServiceCounters::connections_reaped_*). `write_stall` separates the
+  /// slow-loris/never-drains case from plain idleness.
+  void RecordConnectionReaped(bool write_stall);
+
   /// The back-off hint (milliseconds) wire servers attach to
   /// ResourceExhausted responses, for the default tenant. Derived from
   /// live admission state — the measured mean service time, how full the
@@ -484,6 +516,18 @@ class Service {
                                  bool verbalize,
                                  std::vector<TermId> targets) const;
 
+  /// Counts one request shed for an expired deadline before any mining
+  /// work ran (global + tenant). Caller holds admission_mu_.
+  void RecordShedLocked(Tenant& tenant);
+  /// Feeds one queue-wait sample into the brownout window and updates
+  /// brownout_active_ (enter above the p99 bound, exit below half of
+  /// it). Caller holds admission_mu_; no-op when brownout is disabled.
+  void RecordQueueWaitLocked(double wait_seconds);
+  /// The queue depth currently enforced by the global gate: max_queued,
+  /// tightened to brownout_queue_fraction * max_queued while browned
+  /// out. Caller holds admission_mu_.
+  size_t EffectiveMaxQueuedLocked() const;
+
   Deadline DeadlineFor(const RequestControl& control) const;
   /// Counts one admitted run's outcome into the global and the tenant
   /// counters (the two views always reconcile).
@@ -511,12 +555,23 @@ class Service {
   size_t queued_ = 0;
   size_t peak_in_flight_ = 0;
 
+  // Brownout state, guarded by admission_mu_: a ring of recent queue
+  // waits (seconds) whose p99 drives the active flag.
+  static constexpr size_t kQueueWaitWindow = 64;
+  std::vector<double> queue_wait_ring_;
+  size_t queue_wait_pos_ = 0;
+  bool brownout_active_ = false;
+
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> completed_ok_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> shed_expired_in_queue_{0};
+  std::atomic<uint64_t> brownout_rejected_{0};
+  std::atomic<uint64_t> connections_reaped_idle_{0};
+  std::atomic<uint64_t> connections_reaped_write_stall_{0};
   std::atomic<uint64_t> reloads_ok_{0};
   std::atomic<uint64_t> reloads_rejected_{0};
   std::atomic<uint64_t> accept_errors_retried_{0};

@@ -5,6 +5,8 @@
 
 #include <cerrno>
 
+#include "util/io_hooks.h"
+
 namespace remi {
 
 AcceptErrorAction ClassifyAcceptError(int err) {
@@ -54,10 +56,12 @@ bool SetNonBlocking(int fd) {
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = io::Hooks().Send(fd, data.data() + sent,
+                                       data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      // EAGAIN on a blocking socket is a send-timeout (or injected
+      // noise); the bytes are still deliverable, so retry like EINTR.
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
       return false;
     }
     sent += static_cast<size_t>(n);

@@ -290,6 +290,8 @@ TenantCounters Tenant::counters() const {
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
   c.rejected = rejected_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.shed_expired_in_queue =
+      shed_expired_in_queue_.load(std::memory_order_relaxed);
   c.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
   c.reloads_rejected = reloads_rejected_.load(std::memory_order_relaxed);
   c.generation = generation();

@@ -155,6 +155,9 @@ struct TenantCounters {
   uint64_t cancelled = 0;
   uint64_t rejected = 0;
   uint64_t failed = 0;
+  /// Subset of deadline_exceeded: requests shed in-band because their
+  /// deadline expired at or while queued at admission — before mining.
+  uint64_t shed_expired_in_queue = 0;
   size_t in_flight = 0;
   size_t queued = 0;
   size_t peak_in_flight = 0;
@@ -258,6 +261,9 @@ class Tenant {
   void RecordAdmitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
   void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void RecordFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordShedExpired() {
+    shed_expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordOutcome(const Status& status);
   void RecordMiningStats(uint64_t nodes_visited, uint64_t mine_micros);
 
@@ -304,6 +310,7 @@ class Tenant {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> shed_expired_in_queue_{0};
   std::atomic<uint64_t> reloads_ok_{0};
   std::atomic<uint64_t> reloads_rejected_{0};
   std::atomic<uint64_t> nodes_visited_total_{0};

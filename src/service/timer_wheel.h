@@ -1,0 +1,117 @@
+// A single-level hashed timing wheel for connection lifecycle timeouts.
+//
+// The epoll loop needs "wake me when connection N's deadline passes" for
+// thousands of connections without a per-connection timerfd or an O(log n)
+// heap touched on every byte of traffic. The classic answer is a hashed
+// wheel: slots of tick_ms granularity, Schedule() appends to
+// slot[when / tick % kSlots], and the loop advances a cursor over the
+// slots that have come due. Entries are never cancelled — activity just
+// moves the connection's *real* deadline forward, and when the stale
+// entry pops the owner re-checks and reschedules (lazy re-validation).
+// That makes Schedule() and expiry O(1) amortized and keeps the hot path
+// (bytes flowing) completely timer-free.
+//
+// Single-threaded by design: owned and touched only by the event loop
+// thread, like the rest of the connection state.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace remi {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// \param tick_ms slot granularity: deadlines fire up to one tick late.
+  explicit TimerWheel(int tick_ms = 16)
+      : tick_ms_(tick_ms < 1 ? 1 : tick_ms) {
+    slots_.resize(kSlots);
+  }
+
+  /// Schedules `id` to pop at (or one tick after) `when`. Duplicate
+  /// schedules are allowed; the owner's re-validation makes extras
+  /// harmless.
+  void Schedule(uint64_t id, Clock::time_point when) {
+    uint64_t tick = TickOf(when);
+    // An already-overdue deadline must not land in a slot the cursor has
+    // passed this rotation (it would hide for a full wheel turn).
+    if (tick < cursor_) tick = cursor_;
+    slots_[tick % kSlots].push_back(Entry{id, when});
+    ++count_;
+  }
+
+  /// Appends to `out` every id whose entry is due at `now`; entries of a
+  /// future rotation stay in their slot. The caller re-validates each
+  /// popped id against the owner's real deadline.
+  void PopExpired(Clock::time_point now, std::vector<uint64_t>* out) {
+    const uint64_t target = TickOf(now);
+    if (count_ == 0) {
+      cursor_ = target;
+      return;
+    }
+    // A loop stalled past a full rotation has visited every slot by
+    // sweeping each once; don't re-walk rotations that can't add entries.
+    if (target - cursor_ > kSlots) cursor_ = target - kSlots;
+    for (;; ++cursor_) {
+      std::vector<Entry>& bucket = slots_[cursor_ % kSlots];
+      size_t keep = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].when <= now) {
+          out->push_back(bucket[i].id);
+          --count_;
+        } else {
+          bucket[keep++] = bucket[i];
+        }
+      }
+      bucket.resize(keep);
+      if (cursor_ == target) break;
+    }
+  }
+
+  /// Milliseconds until the earliest pending entry (>= 1, rounded up),
+  /// or -1 when the wheel is empty — the epoll_wait timeout bound.
+  int NextDelayMs(Clock::time_point now) const {
+    if (count_ == 0) return -1;
+    Clock::time_point earliest = Clock::time_point::max();
+    for (const std::vector<Entry>& bucket : slots_) {
+      for (const Entry& entry : bucket) {
+        if (entry.when < earliest) earliest = entry.when;
+      }
+    }
+    if (earliest <= now) return 1;
+    const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           earliest - now)
+                           .count() +
+                       1;
+    return delta > 1000000 ? 1000000 : static_cast<int>(delta);
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  static constexpr size_t kSlots = 256;
+
+  struct Entry {
+    uint64_t id;
+    Clock::time_point when;
+  };
+
+  uint64_t TickOf(Clock::time_point t) const {
+    return static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   t.time_since_epoch())
+                   .count()) /
+           static_cast<uint64_t>(tick_ms_);
+  }
+
+  const int tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  uint64_t cursor_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace remi

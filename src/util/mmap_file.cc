@@ -1,5 +1,6 @@
 #include "util/mmap_file.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -10,6 +11,8 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "util/io_hooks.h"
 #endif
 
 namespace remi {
@@ -19,6 +22,35 @@ namespace {
 /// Reads the whole file into an 8-byte-aligned buffer.
 Status ReadWholeFile(const std::string& path, std::vector<uint64_t>* heap,
                      size_t* size) {
+#if REMI_HAVE_MMAP
+  // Raw read(2) through the I/O seam: the chaos harness exercises this
+  // fallback with EINTR storms and torn short reads.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t n = static_cast<size_t>(st.st_size);
+  heap->assign((n + 7) / 8, 0);
+  char* dst = reinterpret_cast<char*>(heap->data());
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = io::Hooks().Read(fd, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("read failure on " + path);
+    }
+    if (r == 0) break;  // truncated between fstat and read
+    got += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  if (got != n) return Status::IoError("short read on " + path);
+  *size = n;
+  return Status::OK();
+#else
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open " + path);
   const std::streamoff end = in.tellg();
@@ -33,6 +65,7 @@ Status ReadWholeFile(const std::string& path, std::vector<uint64_t>* heap,
   }
   *size = n;
   return Status::OK();
+#endif
 }
 
 }  // namespace
@@ -80,7 +113,7 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
         ::close(fd);
         return file;  // empty file: empty view, nothing to map
       }
-      void* map = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+      void* map = io::Hooks().Mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
       ::close(fd);
       if (map != MAP_FAILED) {
         file.base_ = map;

@@ -2,13 +2,17 @@
 // OpenSnapshot must agree with the original KB on every statistic, index,
 // and — the acceptance bar — on the exact expressions the miner returns.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "kb/knowledge_base.h"
+#include "util/io_hooks.h"
 #include "kbgen/synthetic.h"
 #include "kbgen/workload.h"
 #include "rdf/rkf2.h"
@@ -233,6 +237,88 @@ TEST(SnapshotTest, OwnedDictionaryCopyOutlivesSnapshot) {
 TEST(SnapshotTest, MissingFileIsIoError) {
   EXPECT_TRUE(
       KnowledgeBase::OpenSnapshot("/nonexistent/kb.rkf2").status().IsIoError());
+}
+
+// --- crash-safe save ---------------------------------------------------------
+
+/// Opens `path` and checks it is a fully valid snapshot of `reference`.
+void ExpectSnapshotIntact(const std::string& path,
+                          const KnowledgeBase& reference) {
+  auto opened = KnowledgeBase::OpenSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->NumFacts(), reference.NumFacts());
+  EXPECT_EQ(opened->dict().size(), reference.dict().size());
+}
+
+TEST(SnapshotCrashSafetyTest, WriterKilledMidStreamLeavesOldSnapshotIntact) {
+  const KnowledgeBase old_kb = BuildSyntheticKb(SmallConfig(41));
+  const KnowledgeBase new_kb = BuildSyntheticKb(SmallConfig(42));
+  const std::string path = ::testing::TempDir() + "/crash_mid_write.rkf2";
+  ASSERT_TRUE(old_kb.SaveSnapshot(path).ok());
+
+  // "Kill" the writer partway through the data stream: the first write
+  // of the replacement snapshot fails hard. The destination must still
+  // be the old, fully valid snapshot — the torn bytes only ever touched
+  // the temp file, which is cleaned up.
+  io::FaultInjector injector{io::FaultProfile{}};
+  injector.FailNth(io::IoOp::kWrite, 1, EIO);
+  {
+    io::ScopedHooks scoped(&injector);
+    EXPECT_TRUE(new_kb.SaveSnapshot(path).IsIoError());
+  }
+  ExpectSnapshotIntact(path, old_kb);
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0)
+      << "temp file must not survive a failed save";
+}
+
+TEST(SnapshotCrashSafetyTest, FsyncFailureRejectsTheSaveAndKeepsTheOld) {
+  const KnowledgeBase old_kb = BuildSyntheticKb(SmallConfig(43));
+  const KnowledgeBase new_kb = BuildSyntheticKb(SmallConfig(44));
+  const std::string path = ::testing::TempDir() + "/crash_fsync.rkf2";
+  ASSERT_TRUE(old_kb.SaveSnapshot(path).ok());
+
+  io::FaultInjector injector{io::FaultProfile{}};
+  injector.FailNth(io::IoOp::kFsync, 1, EIO);  // the temp-file fsync
+  {
+    io::ScopedHooks scoped(&injector);
+    EXPECT_TRUE(new_kb.SaveSnapshot(path).IsIoError());
+  }
+  ExpectSnapshotIntact(path, old_kb);
+}
+
+TEST(SnapshotCrashSafetyTest, RenameFailureRejectsTheSaveAndKeepsTheOld) {
+  const KnowledgeBase old_kb = BuildSyntheticKb(SmallConfig(45));
+  const KnowledgeBase new_kb = BuildSyntheticKb(SmallConfig(46));
+  const std::string path = ::testing::TempDir() + "/crash_rename.rkf2";
+  ASSERT_TRUE(old_kb.SaveSnapshot(path).ok());
+
+  io::FaultInjector injector{io::FaultProfile{}};
+  injector.FailNth(io::IoOp::kRename, 1, EXDEV);
+  {
+    io::ScopedHooks scoped(&injector);
+    EXPECT_TRUE(new_kb.SaveSnapshot(path).IsIoError());
+  }
+  ExpectSnapshotIntact(path, old_kb);
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+}
+
+TEST(SnapshotCrashSafetyTest, EintrStormsAndShortWritesStillSaveCorrectly) {
+  // The save loop must absorb retryable noise without corrupting a byte:
+  // under an EINTR storm plus pervasive short writes, the published
+  // snapshot still round-trips exactly.
+  const KnowledgeBase kb = BuildSyntheticKb(SmallConfig(47));
+  const std::string path = ::testing::TempDir() + "/noisy_save.rkf2";
+  io::FaultProfile profile;
+  profile.seed = 7;
+  profile.eintr_probability = 0.2;
+  profile.short_write_probability = 0.8;
+  io::FaultInjector injector(profile);
+  {
+    io::ScopedHooks scoped(&injector);
+    ASSERT_TRUE(kb.SaveSnapshot(path).ok());
+  }
+  EXPECT_GT(injector.injected_total(), 0u) << "the storm never hit";
+  ExpectSnapshotIntact(path, kb);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <map>
 #include <string>
@@ -21,6 +23,7 @@
 #include "service/frame_codec.h"
 #include "service/json_codec.h"
 #include "service/line_server.h"
+#include "util/io_hooks.h"
 #include "util/json.h"
 
 #ifndef REMI_TESTDATA_DIR
@@ -143,6 +146,18 @@ class EventServerTest : public ::testing::Test {
     auto parsed = ParseJson(doc);
     EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << ": " << doc;
     return parsed.ok() ? *parsed : JsonValue();
+  }
+
+  // A peer observes EOF the instant the fd closes, a beat before the
+  // loop thread decrements the connection count — poll, don't assert.
+  void ExpectConnectionsDrain() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (server_->open_connections() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(server_->open_connections(), 0u);
   }
 
   std::unique_ptr<Service> service_;
@@ -487,6 +502,105 @@ TEST_F(EventServerTest, EofWithPipelinedRequestsStillAnswersThem) {
     responses[id] = payload;
   }
   EXPECT_EQ(responses.size(), 4u);
+}
+
+// --- connection lifecycle timeouts ------------------------------------------
+
+TEST_F(EventServerTest, SlowLorisPartialRequestIsReapedOnIdleTimeout) {
+  EventServerOptions options;
+  options.idle_timeout_ms = 120;
+  StartServer(options);
+  TestClient loris(server_->port());
+  // A torn NDJSON request that never completes: no newline, then
+  // silence. Without the idle timeout this connection lives forever.
+  loris.SendRaw(R"({"op":"pi)");
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(loris.AtEof());  // blocks until the server reaps us
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "reap took too long";
+  EXPECT_EQ(service_->counters().connections_reaped_idle, 1u);
+  EXPECT_EQ(service_->counters().connections_reaped_write_stall, 0u);
+  ExpectConnectionsDrain();
+}
+
+TEST_F(EventServerTest, SlowLorisReapLeavesHealthyPeersUnaffected) {
+  EventServerOptions options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+  TestClient loris(server_->port());
+  loris.SendRaw("R");  // a torn binary frame header, then silence
+
+  // A healthy peer keeps round-tripping the whole time the loris ages
+  // out; every request must answer promptly (its activity clock resets
+  // per round trip, so it is never reaped).
+  TestClient healthy(server_->port());
+  std::atomic<bool> loris_gone{false};
+  std::thread watcher([&] {
+    loris_gone.store(loris.AtEof());
+  });
+  for (int i = 0; i < 20; ++i) {
+    healthy.SendLine(R"({"op":"ping"})");
+    EXPECT_EQ(Parse(healthy.ReadLine()).Find("status")->AsString(), "OK");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  watcher.join();
+  EXPECT_TRUE(loris_gone.load());
+  EXPECT_GE(service_->counters().connections_reaped_idle, 1u);
+  // The healthy connection survived the sweep.
+  healthy.SendLine(R"({"op":"ping"})");
+  EXPECT_EQ(Parse(healthy.ReadLine()).Find("status")->AsString(), "OK");
+}
+
+TEST_F(EventServerTest, HandshakeTimeoutReapsProtocollessConnections) {
+  EventServerOptions options;
+  options.handshake_timeout_ms = 100;
+  StartServer(options);
+  TestClient mute(server_->port());  // connects, never sends a byte
+  EXPECT_TRUE(mute.AtEof());
+  EXPECT_EQ(service_->counters().connections_reaped_idle, 1u);
+
+  // A connection that *did* finish the protocol sniff is exempt.
+  TestClient talker(server_->port());
+  talker.SendLine(R"({"op":"ping"})");
+  EXPECT_EQ(Parse(talker.ReadLine()).Find("status")->AsString(), "OK");
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  talker.SendLine(R"({"op":"ping"})");
+  EXPECT_EQ(Parse(talker.ReadLine()).Find("status")->AsString(), "OK");
+}
+
+namespace {
+/// Blocks every server-side send with EAGAIN while leaving reads (and
+/// the test client's raw syscalls) untouched — simulates a peer whose
+/// receive window never opens.
+class BlockSends : public io::IoHooks {
+ public:
+  ssize_t Send(int fd, const void* buf, size_t len, int flags) override {
+    (void)fd;
+    (void)buf;
+    (void)len;
+    (void)flags;
+    errno = EAGAIN;
+    return -1;
+  }
+};
+}  // namespace
+
+TEST_F(EventServerTest, WriteStallReapsAPeerThatStopsReading) {
+  EventServerOptions options;
+  options.write_stall_timeout_ms = 150;
+  StartServer(options);
+  BlockSends block;
+  io::ScopedHooks scoped(&block);
+
+  TestClient client(server_->port());
+  client.SendLine(R"({"op":"ping"})");
+  // The response is computed but no byte of it ever leaves the write
+  // buffer; after 150ms of zero progress the connection is reaped.
+  EXPECT_TRUE(client.AtEof());
+  EXPECT_EQ(service_->counters().connections_reaped_write_stall, 1u);
+  EXPECT_EQ(service_->counters().connections_reaped_idle, 0u);
+  ExpectConnectionsDrain();
 }
 
 }  // namespace

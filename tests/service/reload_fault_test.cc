@@ -397,8 +397,16 @@ TEST_F(ReloadFaultTest, RequestPinnedAcrossSwapCompletesByteIdentical) {
     }
   }
   Result<BatchMineResponse> result = Status::Internal("not run");
-  std::thread worker([&] { result = service_->BatchMine(batch); });
-  while (service_->counters().in_flight == 0) {
+  // A cache-warm batch can finish inside one scheduling quantum on a
+  // single-core host, closing the in_flight window before this thread
+  // ever observes it — so the poll must also exit on worker completion
+  // (the byte-identity and epoch assertions below hold either way).
+  std::atomic<bool> worker_done{false};
+  std::thread worker([&] {
+    result = service_->BatchMine(batch);
+    worker_done.store(true);
+  });
+  while (service_->counters().in_flight == 0 && !worker_done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 

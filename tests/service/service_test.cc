@@ -597,5 +597,158 @@ TEST(ServiceAdmissionTest, QueuedRequestHonorsDeadline) {
   occupant.join();
 }
 
+// --- deadline-aware shedding ------------------------------------------------
+
+TEST(ServiceSheddingTest, ExpiredAtAdmissionShedsBeforeMining) {
+  ServiceOptions options;
+  options.mining = ExhaustiveMining();
+  auto service = Service::Create(BuildBitLatticeKb(kBitKbBits), options);
+  const std::string entity =
+      "http://ex/e" + std::to_string((size_t{1} << kBitKbBits) - 1);
+  ASSERT_EQ(service->counters().nodes_visited_total, 0u);
+
+  MineRequest request;
+  request.targets.names = {entity};
+  // Expired before Admit even looks at it: the deadline budget is gone
+  // by the first Expired() check.
+  request.control.deadline_seconds = 1e-9;
+  auto response = service->Mine(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsDeadlineExceeded())
+      << response->status.ToString();
+
+  const ServiceCounters c = service->counters();
+  EXPECT_EQ(c.shed_expired_in_queue, 1u);
+  EXPECT_EQ(c.deadline_exceeded, 1u);
+  EXPECT_EQ(c.admitted, 1u);  // shed is an admitted outcome, not a reject
+  EXPECT_EQ(c.rejected, 0u);
+  // The whole point of shedding: no mining work happened for the corpse.
+  EXPECT_EQ(c.nodes_visited_total, 0u);
+
+  // The per-tenant slice reconciles with the global counter.
+  auto slice = service->CountersFor("");
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  EXPECT_EQ(slice->shed_expired_in_queue, 1u);
+  EXPECT_EQ(slice->admitted, 1u);
+}
+
+TEST(ServiceSheddingTest, ExpiredWhileQueuedCountsAsShed) {
+  ServiceOptions options;
+  options.mining = ExhaustiveMining();
+  options.max_in_flight = 1;
+  options.max_queued = 4;
+  auto service = Service::Create(BuildBitLatticeKb(kBitKbBits), options);
+  const std::string entity =
+      "http://ex/e" + std::to_string((size_t{1} << kBitKbBits) - 1);
+
+  CancellationSource source;
+  BatchMineRequest slow;
+  for (int i = 0; i < 256; ++i) {
+    TargetSpec spec;
+    spec.names = {entity};
+    slow.target_sets.push_back(spec);
+  }
+  slow.control.cancel = source.token();
+  std::thread occupant([&] { (void)service->BatchMine(slow); });
+  while (service->counters().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  MineRequest queued;
+  queued.targets.names = {entity};
+  queued.control.deadline_seconds = 0.05;
+  auto response = service->Mine(queued);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsDeadlineExceeded());
+  EXPECT_EQ(response->stats.nodes_visited, 0u);  // shed, never mined
+  EXPECT_EQ(service->counters().shed_expired_in_queue, 1u);
+  auto slice = service->CountersFor("");
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->shed_expired_in_queue, 1u);
+
+  source.RequestCancellation();
+  occupant.join();
+}
+
+// --- brownout ---------------------------------------------------------------
+
+TEST(ServiceBrownoutTest, SustainedQueueWaitTightensAdmission) {
+  ServiceOptions options;
+  options.mining = ExhaustiveMining();
+  options.max_in_flight = 1;
+  options.max_queued = 4;
+  options.brownout_p99_queue_wait_ms = 1.0;  // any real queueing trips it
+  options.brownout_queue_fraction = 0.25;    // 4 -> 1 effective slot
+  auto service = Service::Create(BuildBitLatticeKb(kBitKbBits), options);
+  const std::string entity =
+      "http://ex/e" + std::to_string((size_t{1} << kBitKbBits) - 1);
+
+  CancellationSource source;
+  BatchMineRequest slow;
+  for (int i = 0; i < 256; ++i) {
+    TargetSpec spec;
+    spec.names = {entity};
+    slow.target_sets.push_back(spec);
+  }
+  slow.control.cancel = source.token();
+  std::thread occupant([&] { (void)service->BatchMine(slow); });
+  while (service->counters().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Two requests queue behind the occupant and expire after ~30 ms of
+  // waiting; their recorded queue waits push the window's p99 far above
+  // the 1 ms bound.
+  for (int i = 0; i < 2; ++i) {
+    MineRequest waiting;
+    waiting.targets.names = {entity};
+    waiting.control.deadline_seconds = 0.03;
+    auto shed = service->Mine(waiting);
+    ASSERT_TRUE(shed.ok());
+    EXPECT_TRUE(shed->status.IsDeadlineExceeded());
+  }
+  EXPECT_TRUE(service->counters().brownout_active);
+
+  // Brownout tightened the queue to one slot: park one waiter in it,
+  // then the next arrival is rejected even though the nominal queue
+  // depth (4) has room.
+  std::thread parked([&] {
+    MineRequest waiting;
+    waiting.targets.names = {entity};
+    waiting.control.deadline_seconds = 5.0;
+    (void)service->Mine(waiting);
+  });
+  for (;;) {
+    auto slice = service->CountersFor("");
+    ASSERT_TRUE(slice.ok());
+    if (slice->queued >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  MineRequest overflow;
+  overflow.targets.names = {entity};
+  overflow.control.deadline_seconds = 5.0;
+  auto rejected = service->Mine(overflow);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  const ServiceCounters c = service->counters();
+  EXPECT_GE(c.brownout_rejected, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+
+  source.RequestCancellation();
+  occupant.join();
+  parked.join();
+}
+
+TEST(ServiceBrownoutTest, DisabledByDefault) {
+  ServiceOptions options;
+  options.mining = ExhaustiveMining();
+  auto service = Service::Create(BuildBitLatticeKb(kBitKbBits), options);
+  const ServiceCounters c = service->counters();
+  EXPECT_FALSE(c.brownout_active);
+  EXPECT_EQ(c.brownout_rejected, 0u);
+}
+
 }  // namespace
 }  // namespace remi

@@ -1,0 +1,117 @@
+// TimerWheel unit tests: slot hashing, lazy expiry, overdue clamping,
+// and the epoll-timeout bound NextDelayMs provides.
+
+#include "service/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace remi {
+namespace {
+
+using Clock = TimerWheel::Clock;
+
+TEST(TimerWheelTest, EmptyWheelPopsNothingAndHasNoDelay) {
+  TimerWheel wheel;
+  std::vector<uint64_t> out;
+  const auto now = Clock::now();
+  wheel.PopExpired(now, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(wheel.NextDelayMs(now), -1);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheelTest, EntryPopsOnceItsDeadlinePasses) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  wheel.Schedule(7, now + std::chrono::milliseconds(100));
+  EXPECT_EQ(wheel.size(), 1u);
+
+  std::vector<uint64_t> out;
+  wheel.PopExpired(now + std::chrono::milliseconds(10), &out);
+  EXPECT_TRUE(out.empty()) << "deadline is 90ms away";
+
+  wheel.PopExpired(now + std::chrono::milliseconds(150), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheelTest, AlreadyOverdueDeadlinePopsImmediately) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  // Establish the cursor at `now` first, then schedule into the past —
+  // the regression this guards: a past deadline hashed to a slot the
+  // cursor already swept would hide for a full wheel rotation.
+  std::vector<uint64_t> out;
+  wheel.PopExpired(now, &out);
+  wheel.Schedule(3, now - std::chrono::seconds(5));
+  wheel.PopExpired(now + std::chrono::milliseconds(20), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST(TimerWheelTest, FutureRotationEntriesStayPut) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  // 256 slots * 16ms = ~4.1s per rotation; 5s lands one rotation ahead,
+  // in a slot the cursor passes before the deadline arrives.
+  wheel.Schedule(1, now + std::chrono::seconds(5));
+  std::vector<uint64_t> out;
+  wheel.PopExpired(now + std::chrono::seconds(1), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.PopExpired(now + std::chrono::seconds(6), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(TimerWheelTest, ManyEntriesPopInTheRightBuckets) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  for (uint64_t id = 0; id < 100; ++id) {
+    wheel.Schedule(id, now + std::chrono::milliseconds(10 * (id + 1)));
+  }
+  std::vector<uint64_t> early;
+  wheel.PopExpired(now + std::chrono::milliseconds(500), &early);
+  // Ids 0..48 have deadlines <= 490ms < 500ms; 49 lands exactly at 500.
+  EXPECT_GE(early.size(), 49u);
+  std::vector<uint64_t> late;
+  wheel.PopExpired(now + std::chrono::seconds(2), &late);
+  EXPECT_EQ(early.size() + late.size(), 100u);
+  std::vector<uint64_t> all = early;
+  all.insert(all.end(), late.begin(), late.end());
+  std::sort(all.begin(), all.end());
+  for (uint64_t id = 0; id < 100; ++id) EXPECT_EQ(all[id], id);
+}
+
+TEST(TimerWheelTest, NextDelayBoundsTheEarliestDeadline) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  wheel.Schedule(1, now + std::chrono::milliseconds(300));
+  wheel.Schedule(2, now + std::chrono::milliseconds(80));
+  const int delay = wheel.NextDelayMs(now);
+  EXPECT_GE(delay, 80);
+  EXPECT_LE(delay, 100);
+  // A due entry still reports a positive (minimal) delay, never 0 or
+  // negative — epoll_wait(0) in a loop would spin.
+  EXPECT_EQ(wheel.NextDelayMs(now + std::chrono::seconds(1)), 1);
+}
+
+TEST(TimerWheelTest, StalledCursorRecoversWithinOneRotation) {
+  TimerWheel wheel(/*tick_ms=*/16);
+  const auto now = Clock::now();
+  std::vector<uint64_t> out;
+  wheel.PopExpired(now, &out);
+  wheel.Schedule(9, now + std::chrono::milliseconds(50));
+  // Simulate a loop thread that stalls for many rotations; the sweep
+  // must still find the entry without walking every missed tick.
+  wheel.PopExpired(now + std::chrono::minutes(5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 9u);
+}
+
+}  // namespace
+}  // namespace remi

@@ -42,11 +42,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rdf/ntriples.h"
@@ -477,21 +480,54 @@ int AdminRoundTrip(const remi::Flags& flags, remi::FrameVerb verb,
                    const remi::JsonValue& request) {
   const std::string host = flags.GetString("host");
   const int port = static_cast<int>(flags.GetInt("port"));
-  auto response = flags.GetBool("binary")
-                      ? FrameRoundTrip(host, port, verb, request.Dump())
-                      : LineRoundTrip(host, port, request.Dump());
-  if (!response.ok()) return Fail(response.status());
-  std::printf("%s\n", response->c_str());
-  auto parsed = remi::ParseJson(*response);
-  if (!parsed.ok() || !parsed->is_object()) {
-    return Fail(Status::Internal("unparseable server response: " +
-                                 *response));
+  const int max_retries = static_cast<int>(flags.GetInt("max-retries"));
+  // Cheap jitter state: decorrelates concurrent CLI invocations so a
+  // fleet of retrying clients doesn't re-converge into one thundering
+  // herd at hint × 2^k boundaries.
+  uint64_t jitter =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) |
+      1;
+  for (int attempt = 0;; ++attempt) {
+    auto response = flags.GetBool("binary")
+                        ? FrameRoundTrip(host, port, verb, request.Dump())
+                        : LineRoundTrip(host, port, request.Dump());
+    if (!response.ok()) return Fail(response.status());
+    auto parsed = remi::ParseJson(*response);
+    if (!parsed.ok() || !parsed->is_object()) {
+      return Fail(Status::Internal("unparseable server response: " +
+                                   *response));
+    }
+    const remi::JsonValue* status = parsed->Find("status");
+    const std::string code =
+        status != nullptr && status->is_string() ? status->AsString() : "";
+    if (code == "ResourceExhausted" && attempt < max_retries) {
+      // The server's retry_after_ms hint is scaled off its live queue;
+      // trust it as the base and back off exponentially on repeated
+      // rejections, capped at 10 s.
+      uint64_t hint = 100;
+      const remi::JsonValue* after = parsed->Find("retry_after_ms");
+      if (after != nullptr && after->is_number() && after->AsNumber() >= 1) {
+        hint = static_cast<uint64_t>(after->AsNumber());
+      }
+      constexpr uint64_t kMaxDelayMs = 10000;
+      uint64_t delay =
+          std::min(kMaxDelayMs, hint << std::min(attempt, 10));
+      // xorshift64 step; jitter the delay into [0.75, 1.25).
+      jitter ^= jitter << 13;
+      jitter ^= jitter >> 7;
+      jitter ^= jitter << 17;
+      delay = delay * 3 / 4 + (jitter % (std::max<uint64_t>(delay, 2) / 2));
+      std::fprintf(stderr,
+                   "server busy; retrying in %llu ms (attempt %d of %d)\n",
+                   static_cast<unsigned long long>(delay), attempt + 1,
+                   max_retries);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      continue;
+    }
+    std::printf("%s\n", response->c_str());
+    return code == "OK" ? 0 : 2;
   }
-  const remi::JsonValue* status = parsed->Find("status");
-  return (status != nullptr && status->is_string() &&
-          status->AsString() == "OK")
-             ? 0
-             : 2;
 }
 
 int CmdReload(const std::string& path, const remi::Flags& flags) {
@@ -603,6 +639,10 @@ int main(int argc, char** argv) {
                   "attach: the new tenant's in-flight quota (0 = unlimited)");
   flags.DefineInt("kb-max-queued", 0,
                   "attach: the new tenant's queue quota (0 = unlimited)");
+  flags.DefineInt("max-retries", 0,
+                  "admin commands: on ResourceExhausted, honor the "
+                  "server's retry_after_ms hint and retry up to this many "
+                  "times (capped exponential backoff with jitter)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status);
   }

@@ -81,6 +81,24 @@ int main(int argc, char** argv) {
   flags.DefineInt("max-write-buffer", 4 << 20,
                   "epoll mode: per-connection write-buffer bytes before "
                   "the connection stops being read (backpressure)");
+  flags.DefineInt("idle-timeout-ms", 0,
+                  "epoll mode: reap connections with no queued/in-flight "
+                  "work and no read/write progress for this long "
+                  "(0 = never; also bounds slow-loris trickles)");
+  flags.DefineInt("write-stall-timeout-ms", 0,
+                  "epoll mode: reap connections whose peer accepts no "
+                  "response bytes for this long while bytes are owed "
+                  "(0 = never)");
+  flags.DefineInt("handshake-timeout-ms", 0,
+                  "epoll mode: reap connections that send no first byte "
+                  "(protocol sniff) within this bound (0 = never)");
+  flags.DefineDouble("brownout-p99-ms", 0.0,
+                     "enter brownout (tighten the admission queue) when "
+                     "the p99 queue wait exceeds this many milliseconds; "
+                     "exits below half the bound (0 = disabled)");
+  flags.DefineDouble("brownout-queue-fraction", 0.25,
+                     "fraction of --max-queued admitted while brownout "
+                     "is active (floored at 1 slot)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
@@ -103,6 +121,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("tenant-max-inflight"));
   options.tenant_max_queued =
       static_cast<size_t>(flags.GetInt("tenant-max-queued"));
+  options.brownout_p99_queue_wait_ms = flags.GetDouble("brownout-p99-ms");
+  options.brownout_queue_fraction =
+      flags.GetDouble("brownout-queue-fraction");
 
   auto service = remi::Service::Open(spec, options);
   if (!service.ok()) {
@@ -152,6 +173,11 @@ int main(int argc, char** argv) {
             static_cast<size_t>(flags.GetInt("dispatch-threads"));
         o.max_write_buffer_bytes =
             static_cast<size_t>(flags.GetInt("max-write-buffer"));
+        o.idle_timeout_ms = static_cast<int>(flags.GetInt("idle-timeout-ms"));
+        o.write_stall_timeout_ms =
+            static_cast<int>(flags.GetInt("write-stall-timeout-ms"));
+        o.handshake_timeout_ms =
+            static_cast<int>(flags.GetInt("handshake-timeout-ms"));
         return o;
       }());
   const bool epoll_mode = mode == "epoll";
